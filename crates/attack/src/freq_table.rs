@@ -1,0 +1,133 @@
+//! Frequency-table attack — a non-ML statistical baseline.
+//!
+//! The SnapShot feature space at RTL is tiny (two operator codes), so the
+//! Bayes-optimal classifier is just the per-pair majority label of the
+//! relocked training set. This baseline makes the paper's point sharper:
+//! the defence cannot rely on the attacker's model being weak, because the
+//! optimal "model" is a counting table. The auto-ml pipeline
+//! ([`crate::snapshot`]) converges to the same decisions; this one gets
+//! there without training.
+
+use std::collections::HashMap;
+
+use mlrl_locking::key::Key;
+use mlrl_rtl::Module;
+
+use crate::extract::extract_localities;
+use crate::relock::{build_training_set, RelockConfig};
+
+/// Result of a frequency-table attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqTableReport {
+    /// KPA in percent over the attacked bits.
+    pub kpa: f64,
+    /// Bits attacked.
+    pub attacked_bits: usize,
+    /// `(c1, c2) -> (label-0 count, label-1 count)` — the whole "model".
+    pub table: HashMap<(u32, u32), (usize, usize)>,
+    /// Per-bit predictions `(key_bit, predicted)`.
+    pub predictions: Vec<(u32, bool)>,
+}
+
+/// Runs the frequency-table attack against `target` (scored with
+/// `true_key`, which the attacker never sees).
+///
+/// Returns `None` when the target exposes no localities.
+pub fn freq_table_attack(
+    target: &Module,
+    true_key: &Key,
+    relock: &RelockConfig,
+) -> Option<FreqTableReport> {
+    let target_localities = extract_localities(target);
+    if target_localities.is_empty() {
+        return None;
+    }
+    let training = build_training_set(target, relock);
+    if training.is_empty() {
+        return None;
+    }
+
+    let mut table: HashMap<(u32, u32), (usize, usize)> = HashMap::new();
+    let mut global = (0usize, 0usize);
+    for (f, &label) in training.features.iter().zip(&training.labels) {
+        let entry = table.entry((f[0], f[1])).or_default();
+        if label == 1 {
+            entry.1 += 1;
+            global.1 += 1;
+        } else {
+            entry.0 += 1;
+            global.0 += 1;
+        }
+    }
+
+    let mut predictions = Vec::with_capacity(target_localities.len());
+    let mut correct = 0usize;
+    let mut scored = 0usize;
+    for loc in &target_localities {
+        let (n0, n1) = table.get(&(loc.c1, loc.c2)).copied().unwrap_or(global);
+        // Ties resolve to the global majority; a global tie to `true`.
+        let predicted = if n1 == n0 { global.1 >= global.0 } else { n1 > n0 };
+        predictions.push((loc.key_bit, predicted));
+        if let Some(actual) = true_key.bit(loc.key_bit) {
+            scored += 1;
+            if predicted == actual {
+                correct += 1;
+            }
+        }
+    }
+    let kpa = if scored == 0 { 0.0 } else { 100.0 * correct as f64 / scored as f64 };
+    Some(FreqTableReport { kpa, attacked_bits: scored, table, predictions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlrl_locking::assure::{lock_operations, AssureConfig};
+    use mlrl_locking::era::{era_lock, EraConfig};
+    use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+    use mlrl_rtl::visit;
+
+    fn relock_cfg(seed: u64) -> RelockConfig {
+        RelockConfig { rounds: 25, budget_fraction: 0.75, seed }
+    }
+
+    #[test]
+    fn breaks_imbalanced_assure_like_the_ml_attack() {
+        let mut m = generate(&benchmark_by_name("FIR").unwrap(), 5);
+        let total = visit::binary_ops(&m).len();
+        let key = lock_operations(&mut m, &AssureConfig::serial(total * 3 / 4, 6)).unwrap();
+        let report = freq_table_attack(&m, &key, &relock_cfg(7)).unwrap();
+        assert!(report.kpa > 90.0, "counting table should break FIR, got {}", report.kpa);
+        assert_eq!(report.attacked_bits, key.len());
+    }
+
+    #[test]
+    fn stays_at_chance_against_era() {
+        let mut kpas = Vec::new();
+        for i in 0..4 {
+            let mut m = generate(&benchmark_by_name("FIR").unwrap(), 100 + i);
+            let total = visit::binary_ops(&m).len();
+            let outcome = era_lock(&mut m, &EraConfig::new(total * 3 / 4, i)).unwrap();
+            let report = freq_table_attack(&m, &outcome.key, &relock_cfg(i ^ 0xAB)).unwrap();
+            kpas.push(report.kpa);
+        }
+        let mean = kpas.iter().sum::<f64>() / kpas.len() as f64;
+        assert!((mean - 50.0).abs() < 15.0, "ERA should hold ~50%, got {mean:.1} ({kpas:?})");
+    }
+
+    #[test]
+    fn unlocked_target_returns_none() {
+        let m = generate(&benchmark_by_name("IIR").unwrap(), 1);
+        assert!(freq_table_attack(&m, &Key::new(), &relock_cfg(1)).is_none());
+    }
+
+    #[test]
+    fn table_covers_training_features() {
+        let mut m = generate(&benchmark_by_name("SASC").unwrap(), 2);
+        let key = lock_operations(&mut m, &AssureConfig::serial(15, 3)).unwrap();
+        let report = freq_table_attack(&m, &key, &relock_cfg(4)).unwrap();
+        assert!(!report.table.is_empty());
+        let total: usize = report.table.values().map(|(a, b)| a + b).sum();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion bench for the end-to-end SnapShot-RTL attack on one small
+//! benchmark (lock → relock-train → auto-ml → deploy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlrl_attack::relock::RelockConfig;
+use mlrl_attack::snapshot::{snapshot_attack, AttackConfig};
+use mlrl_locking::assure::{lock_operations, AssureConfig};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+use mlrl_rtl::visit;
+use std::hint::black_box;
+
+fn bench_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(10);
+    for name in ["SASC", "FIR"] {
+        let spec = benchmark_by_name(name).expect("benchmark");
+        let mut module = generate(&spec, 1);
+        let budget = visit::binary_ops(&module).len() * 3 / 4;
+        let key = lock_operations(&mut module, &AssureConfig::serial(budget, 7))
+            .expect("lockable");
+        let cfg = AttackConfig {
+            relock: RelockConfig { rounds: 10, budget_fraction: 0.75, seed: 3 },
+            ..Default::default()
+        };
+        group.bench_function(format!("snapshot/{name}"), |b| {
+            b.iter(|| black_box(snapshot_attack(&module, &key, &cfg).map(|r| r.kpa)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the attack's extraction path: locality extraction
+//! and one relock round (the dominant cost of training-set assembly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_attack::extract::extract_localities;
+use mlrl_attack::relock::{build_training_set, RelockConfig};
+use mlrl_locking::assure::{lock_operations, AssureConfig};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+use mlrl_rtl::visit;
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction");
+    for name in ["FIR", "SHA256", "N_2046"] {
+        let spec = benchmark_by_name(name).expect("benchmark");
+        let mut module = generate(&spec, 1);
+        let budget = visit::binary_ops(&module).len() * 3 / 4;
+        lock_operations(&mut module, &AssureConfig::serial(budget, 7)).expect("lockable");
+
+        group.bench_with_input(BenchmarkId::new("localities", name), &module, |b, m| {
+            b.iter(|| black_box(extract_localities(m)))
+        });
+    }
+
+    let spec = benchmark_by_name("MD5").expect("benchmark");
+    let mut module = generate(&spec, 1);
+    let budget = visit::binary_ops(&module).len() * 3 / 4;
+    lock_operations(&mut module, &AssureConfig::serial(budget, 7)).expect("lockable");
+    group.sample_size(10);
+    group.bench_function("relock-round/MD5", |b| {
+        b.iter(|| {
+            black_box(build_training_set(
+                &module,
+                &RelockConfig { rounds: 1, budget_fraction: 0.75, seed: 3 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the three locking algorithms (cost side of the
+//! Fig. 6 evaluation): ASSURE serial, HRA and ERA at a 75% key budget on
+//! representative benchmark sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_locking::assure::{lock_operations, AssureConfig};
+use mlrl_locking::era::{era_lock, EraConfig};
+use mlrl_locking::hra::{hra_lock, HraConfig};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+use mlrl_rtl::visit;
+use std::hint::black_box;
+
+fn bench_locking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locking");
+    group.sample_size(10);
+    for name in ["FIR", "MD5", "SHA256"] {
+        let spec = benchmark_by_name(name).expect("benchmark");
+        let module = generate(&spec, 1);
+        let budget = visit::binary_ops(&module).len() * 3 / 4;
+
+        group.bench_with_input(BenchmarkId::new("assure-serial", name), &module, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                black_box(lock_operations(&mut m, &AssureConfig::serial(budget, 7)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("era", name), &module, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                black_box(era_lock(&mut m, &EraConfig::new(budget, 7)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hra", name), &module, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                black_box(hra_lock(&mut m, &HraConfig::new(budget, 7)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

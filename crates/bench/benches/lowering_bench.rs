@@ -1,0 +1,46 @@
+//! Criterion bench: RTL → gate-level lowering and netlist simulation
+//! throughput per benchmark design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_netlist::lower::lower_module;
+use mlrl_netlist::sim::NetlistSimulator;
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width};
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_module");
+    for name in ["SIM_SPI", "SASC", "DES3"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &module, |b, m| {
+            b.iter(|| lower_module(m).expect("lowers"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_netlist_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_settle");
+    for name in ["SIM_SPI", "DES3"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 16);
+        let mut netlist = lower_module(&module).expect("lowers");
+        netlist.sweep();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &netlist, |b, n| {
+            let mut sim = NetlistSimulator::new(n).expect("acyclic");
+            let inputs: Vec<String> = n.inputs().iter().map(|p| p.name.clone()).collect();
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+                for name in &inputs {
+                    sim.set_input(name, x).expect("input");
+                }
+                sim.settle().expect("settles");
+                sim.outputs_digest().expect("digest")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lowering, bench_netlist_sim);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the ML stack: individual model fits and the full
+//! auto-ml search on a SnapShot-shaped categorical dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_ml::automl::{auto_fit, AutoMlConfig};
+use mlrl_ml::dataset::{Dataset, OneHotEncoder};
+use mlrl_ml::models::{Classifier, DecisionTree, LogisticRegression, RandomForest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds a locality-shaped dataset: categorical (c1, c2) pairs with a
+/// 60/40 majority structure.
+fn locality_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c1 = rng.gen_range(1..9u32);
+        let c2 = if c1 % 2 == 0 { c1 - 1 } else { c1 + 1 };
+        rows.push(vec![c1, c2]);
+        labels.push(usize::from(rng.gen_bool(if c1 % 2 == 0 { 0.6 } else { 0.4 })));
+    }
+    let enc = OneHotEncoder::fit(&rows);
+    Dataset::from_rows(enc.transform_all(&rows), labels).expect("consistent")
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ml");
+    group.sample_size(10);
+    for n in [1000usize, 4000] {
+        let ds = locality_dataset(n, 1);
+        group.bench_with_input(BenchmarkId::new("tree-fit", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut t = DecisionTree::with_defaults();
+                t.fit(ds);
+                black_box(t.predict(ds.row(0)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forest-fit", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut f = RandomForest::new(10, 8, 0);
+                f.fit(ds);
+                black_box(f.predict(ds.row(0)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("logistic-fit", n), &ds, |b, ds| {
+            b.iter(|| {
+                let mut l = LogisticRegression::new(0.3, 30, 1e-4, 0);
+                l.fit(ds);
+                black_box(l.predict(ds.row(0)))
+            })
+        });
+    }
+    let ds = locality_dataset(2000, 2);
+    group.bench_function("auto-fit/2000", |b| {
+        b.iter(|| black_box(auto_fit(&ds, &AutoMlConfig::default()).cv_accuracy))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the Verilog front end: generation, emission,
+//! parsing and a full round trip on benchmark-sized designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+use mlrl_rtl::{emit, parser};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for name in ["IIR", "SHA256", "N_2046"] {
+        let spec = benchmark_by_name(name).expect("benchmark");
+        group.bench_with_input(BenchmarkId::new("generate", name), &spec, |b, spec| {
+            b.iter(|| black_box(generate(spec, 1)))
+        });
+        let module = generate(&spec, 1);
+        group.bench_with_input(BenchmarkId::new("emit", name), &module, |b, m| {
+            b.iter(|| black_box(emit::emit_verilog(m).unwrap()))
+        });
+        let text = emit::emit_verilog(&module).expect("emit");
+        group.bench_with_input(BenchmarkId::new("parse", name), &text, |b, t| {
+            b.iter(|| black_box(parser::parse_verilog(t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: CDCL solver throughput and end-to-end SAT attack time
+//! on gate-locked benchmark designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_netlist::lock::xor_xnor_lock;
+use mlrl_netlist::lower::lower_module;
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width};
+use mlrl_sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
+use mlrl_sat::cnf::{CnfBuilder, Var};
+use mlrl_sat::solver::Solver;
+
+/// Pigeonhole formula PHP(n+1, n): a standard hard UNSAT family.
+fn pigeonhole(n: usize) -> CnfBuilder {
+    let mut b = CnfBuilder::new();
+    let p: Vec<Vec<Var>> = (0..n + 1).map(|_| (0..n).map(|_| b.new_var()).collect()).collect();
+    for row in &p {
+        let clause: Vec<_> = row.iter().map(|v| v.pos()).collect();
+        b.add_clause(&clause);
+    }
+    for j in 0..n {
+        for i1 in 0..n + 1 {
+            for i2 in i1 + 1..n + 1 {
+                b.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+            }
+        }
+    }
+    b
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_pigeonhole");
+    for n in [4usize, 5, 6] {
+        let b = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &b, |bench, b| {
+            bench.iter(|| {
+                let mut s = Solver::from_builder(b);
+                assert!(!s.solve().is_sat());
+                s.conflicts()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sat_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_attack");
+    group.sample_size(10);
+    for name in ["SIM_SPI", "USB_PHY"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 6);
+        let mut locked = lower_module(&module).expect("lowers").to_scan_view();
+        locked.sweep();
+        let key = xor_xnor_lock(&mut locked, 24, 7).expect("lockable");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(locked, key),
+            |bench, (locked, key)| {
+                bench.iter(|| {
+                    let (report, ok) = sat_attack_with_sim_oracle(
+                        locked,
+                        key.bits(),
+                        &SatAttackConfig::default(),
+                    )
+                    .expect("attack converges");
+                    assert!(report.proved && ok);
+                    report.dips
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_sat_attack);
+criterion_main!(benches);

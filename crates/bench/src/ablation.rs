@@ -1,0 +1,165 @@
+//! Ablation studies beyond the paper's headline figures.
+//!
+//! - [`budget_sweep`] quantifies the §5.1 "half measures are not effective"
+//!   lesson: KPA as a function of the key-budget fraction for each scheme.
+//!   HRA's curve only reaches the 50% floor once the budget covers the
+//!   design's total imbalance; ERA sits on the floor at every budget.
+//! - [`design_bias`] explores the §5 "Limitations" question — is there a
+//!   global bias among designs? — by reporting each benchmark's initial
+//!   distance from the optimal distribution (the metric denominator).
+
+use mlrl_locking::odt::Odt;
+use mlrl_locking::pairs::PairTable;
+use mlrl_rtl::bench_designs::{benchmark_by_name, paper_benchmarks};
+use mlrl_rtl::visit;
+use serde::Serialize;
+
+use crate::experiments::{attack_instance, lock_benchmark, Scheme};
+
+/// One point of the budget-sweep ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct BudgetPoint {
+    /// Locking scheme.
+    pub scheme: String,
+    /// Key budget as a fraction of the design's operations.
+    pub budget_fraction: f64,
+    /// Mean KPA over the instances, in percent.
+    pub kpa: f64,
+}
+
+/// Sweeps the key budget for every scheme on one benchmark.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn budget_sweep(
+    benchmark: &str,
+    fractions: &[f64],
+    instances: usize,
+    relock_rounds: usize,
+    seed: u64,
+) -> Vec<BudgetPoint> {
+    let base_spec = benchmark_by_name(benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
+    let mut out = Vec::new();
+    for &fraction in fractions {
+        for scheme in Scheme::ALL {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for i in 0..instances {
+                let s = seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9) ^ scheme as u64;
+                // Reuse lock_benchmark's machinery but with a custom budget:
+                // lock a fresh design manually at `fraction`.
+                let mut module = mlrl_rtl::bench_designs::generate(&base_spec, s);
+                let total = visit::binary_ops(&module).len();
+                let budget = ((total as f64) * fraction).round().max(1.0) as usize;
+                let key = match scheme {
+                    Scheme::Assure => mlrl_locking::assure::lock_operations(
+                        &mut module,
+                        &mlrl_locking::assure::AssureConfig::serial(budget, s),
+                    )
+                    .expect("lockable"),
+                    Scheme::Hra => mlrl_locking::hra::hra_lock(
+                        &mut module,
+                        &mlrl_locking::hra::HraConfig::new(budget, s),
+                    )
+                    .expect("lockable")
+                    .key,
+                    Scheme::Era => mlrl_locking::era::era_lock(
+                        &mut module,
+                        &mlrl_locking::era::EraConfig::new(budget, s),
+                    )
+                    .expect("lockable")
+                    .key,
+                };
+                if let Some(kpa) = attack_instance(&module, &key, relock_rounds, s ^ 0xFACE) {
+                    sum += kpa;
+                    n += 1;
+                }
+            }
+            out.push(BudgetPoint {
+                scheme: scheme.name().to_owned(),
+                budget_fraction: fraction,
+                kpa: if n == 0 { 50.0 } else { sum / n as f64 },
+            });
+        }
+    }
+    out
+}
+
+/// One row of the design-bias report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BiasRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total operations.
+    pub ops: usize,
+    /// Total absolute pair imbalance (minimum balancing key bits).
+    pub imbalance: u64,
+    /// Imbalance as a fraction of operations — the "global bias" proxy.
+    pub bias: f64,
+    /// Euclidean distance of the initial distribution from the optimum
+    /// (the `d_e(v_i, v_o)` denominator of the metric).
+    pub initial_distance: f64,
+}
+
+/// Reports the initial distribution bias of every paper benchmark
+/// (§5 "Limitations and opportunities").
+pub fn design_bias(seed: u64) -> Vec<BiasRow> {
+    paper_benchmarks()
+        .iter()
+        .map(|spec| {
+            let module = mlrl_rtl::bench_designs::generate(spec, seed);
+            let odt = Odt::load(&module, PairTable::fixed());
+            let v = odt.abs_vector();
+            let dist = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let ops = visit::binary_ops(&module).len();
+            BiasRow {
+                benchmark: spec.name.to_owned(),
+                ops,
+                imbalance: odt.total_imbalance(),
+                bias: odt.total_imbalance() as f64 / ops.max(1) as f64,
+                initial_distance: dist,
+            }
+        })
+        .collect()
+}
+
+/// Reuse guard: `lock_benchmark` stays the single source of §5 budgets.
+#[doc(hidden)]
+pub fn paper_budget_lock(spec_name: &str, scheme: Scheme, seed: u64) -> usize {
+    let spec = benchmark_by_name(spec_name).expect("benchmark");
+    let (module, key) = lock_benchmark(&spec, scheme, seed);
+    debug_assert_eq!(module.key_width() as usize, key.len());
+    key.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_sweep_shape_on_small_benchmark() {
+        let points = budget_sweep("SIM_SPI", &[0.25, 1.0], 1, 10, 3);
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.kpa >= 0.0 && p.kpa <= 100.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn design_bias_flags_the_synthetic_extremes() {
+        let rows = design_bias(1);
+        let n2046 = rows.iter().find(|r| r.benchmark == "N_2046").unwrap();
+        let n1023 = rows.iter().find(|r| r.benchmark == "N_1023").unwrap();
+        assert!((n2046.bias - 1.0).abs() < 1e-9, "N_2046 is fully biased");
+        assert_eq!(n1023.imbalance, 0, "N_1023 is fully balanced");
+        assert_eq!(rows.len(), 14);
+    }
+
+    #[test]
+    fn paper_budget_lock_reports_key_length() {
+        let bits = paper_budget_lock("FIR", Scheme::Assure, 4);
+        assert_eq!(bits, 47); // 75% of 63 ops, rounded
+    }
+}

@@ -1,0 +1,107 @@
+//! Compares every attacker in the repository on one benchmark × scheme
+//! grid: the auto-ml SnapShot-RTL pipeline, the Bayes-optimal frequency
+//! table, the closed-form expected-KPA model, and the oracle-guided hill
+//! climber. The first three should agree (the feature space is tiny); the
+//! oracle attack succeeds regardless of scheme — learning resilience and
+//! oracle resilience are orthogonal.
+//!
+//! Usage: `cargo run --release -p mlrl-bench --bin attack_baselines
+//!         [benchmark] [--relocks N] [--seed N]`
+
+use mlrl_attack::freq_table::freq_table_attack;
+use mlrl_attack::kpa_model::predict_kpa;
+use mlrl_attack::oracle_guided::{oracle_guided_attack, OracleAttackConfig};
+use mlrl_attack::relock::RelockConfig;
+use mlrl_attack::snapshot::{snapshot_attack, AttackConfig};
+use mlrl_bench::experiments::{lock_benchmark, Scheme};
+use mlrl_locking::pairs::PairTable;
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // First token that is neither a flag nor a flag's value.
+    let benchmark = {
+        let mut found = None;
+        let mut skip_next = false;
+        for a in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if a.starts_with("--") {
+                skip_next = true;
+                continue;
+            }
+            found = Some(a.clone());
+            break;
+        }
+        found.unwrap_or_else(|| "SHA256".to_owned())
+    };
+    let relocks: usize = value("--relocks").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+
+    let spec = benchmark_by_name(&benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
+    println!("attack baselines on {} (seed {seed}, {relocks} relocks)", spec.name);
+    println!();
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>14}",
+        "scheme", "snapshot-ml", "freq-table", "kpa-model", "oracle-agree"
+    );
+
+    for scheme in Scheme::ALL {
+        let (locked, key) = lock_benchmark(&spec, scheme, seed);
+        let oracle = generate(&spec, seed);
+
+        let snap = snapshot_attack(
+            &locked,
+            &key,
+            &AttackConfig {
+                relock: RelockConfig { rounds: relocks, budget_fraction: 0.75, seed: seed ^ 1 },
+                ..Default::default()
+            },
+        )
+        .map(|r| r.kpa)
+        .unwrap_or(f64::NAN);
+        let freq = freq_table_attack(
+            &locked,
+            &key,
+            &RelockConfig { rounds: relocks, budget_fraction: 0.75, seed: seed ^ 2 },
+        )
+        .map(|r| r.kpa)
+        .unwrap_or(f64::NAN);
+        let model = predict_kpa(&locked, &key, &PairTable::fixed()).expected_kpa;
+        // The oracle attacker's objective is *functional* agreement with
+        // the activated chip (bit-exact KPA is capped by don't-care bits
+        // in nested dummy branches), so report agreement.
+        let oracle_agreement = oracle_guided_attack(
+            &locked,
+            &oracle,
+            &key,
+            &OracleAttackConfig { patterns: 24, restarts: 3, sweeps: 4, seed: seed ^ 3 },
+        )
+        .map(|r| 100.0 * r.agreement)
+        .unwrap_or(f64::NAN);
+
+        println!(
+            "{:<8} {:>13.1}% {:>11.1}% {:>11.1}% {:>13.1}%",
+            scheme.name(),
+            snap,
+            freq,
+            model,
+            oracle_agreement
+        );
+    }
+    println!();
+    println!("reading: snapshot-ml ≈ freq-table ≈ kpa-model (the optimal attacker");
+    println!("on this feature space is a counting table; the model predicts it in");
+    println!("closed form). The oracle-agree column (output agreement of the");
+    println!("recovered key) stays high for every scheme — ERA defends against");
+    println!("*learning*, not against an activated chip.");
+}

@@ -1,0 +1,94 @@
+//! Regenerates Fig. 6: KPA of the SnapShot-RTL attack per benchmark (6a)
+//! and averaged per locking scheme (6b).
+//!
+//! Usage:
+//!   `cargo run --release -p mlrl-bench --bin fig6_kpa [-- options]`
+//!
+//! Options:
+//!   `--quick`            3 small benchmarks, 1 instance, 20 relocks
+//!   `--full`             paper-scale: 10 instances, 200 relocks
+//!   `--benchmarks a,b,c` restrict the benchmark set
+//!   `--instances N`      locked instances per benchmark (default 3)
+//!   `--relocks N`        relock rounds per instance (default 60)
+//!   `--seed N`           base seed (default 2022)
+//!   `--csv`              emit CSV rows instead of the table
+
+use mlrl_bench::experiments::{run_fig6, Fig6Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let mut cfg = Fig6Config::default();
+    if flag("--quick") {
+        cfg.benchmarks = vec!["FIR".into(), "SASC".into(), "N_1023".into()];
+        cfg.test_locks = 1;
+        cfg.relock_rounds = 20;
+    }
+    if flag("--full") {
+        cfg.test_locks = 10;
+        cfg.relock_rounds = 200;
+    }
+    if let Some(b) = value("--benchmarks") {
+        cfg.benchmarks = b.split(',').map(|s| s.trim().to_owned()).collect();
+    }
+    if let Some(n) = value("--instances").and_then(|v| v.parse().ok()) {
+        cfg.test_locks = n;
+    }
+    if let Some(n) = value("--relocks").and_then(|v| v.parse().ok()) {
+        cfg.relock_rounds = n;
+    }
+    if let Some(n) = value("--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = n;
+    }
+
+    eprintln!(
+        "Fig. 6 sweep: {} benchmarks x 3 schemes x {} instances, {} relocks each",
+        cfg.benchmarks.len(),
+        cfg.test_locks,
+        cfg.relock_rounds
+    );
+    let result = run_fig6(&cfg);
+
+    if flag("--csv") {
+        println!("benchmark,scheme,kpa");
+        for cell in &result.cells {
+            println!("{},{},{:.2}", cell.benchmark, cell.scheme, cell.kpa);
+        }
+        for (scheme, avg) in &result.averages {
+            println!("AVERAGE,{scheme},{avg:.2}");
+        }
+        return;
+    }
+
+    println!();
+    println!("Fig. 6a — KPA (%) per benchmark (random guess = 50%)");
+    println!("{:<10} {:>10} {:>10} {:>10}", "benchmark", "ASSURE", "HRA", "ERA");
+    for name in &cfg.benchmarks {
+        let get = |scheme: &str| {
+            result
+                .cells
+                .iter()
+                .find(|c| &c.benchmark == name && c.scheme == scheme)
+                .map(|c| c.kpa)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{name:<10} {:>10.2} {:>10.2} {:>10.2}",
+            get("ASSURE"),
+            get("HRA"),
+            get("ERA")
+        );
+    }
+    println!();
+    println!("Fig. 6b — average KPA (%) (paper: ASSURE 74.78, HRA 74.26, ERA 47.92)");
+    for (scheme, avg) in &result.averages {
+        println!("{scheme:<8} {avg:>8.2}");
+    }
+}

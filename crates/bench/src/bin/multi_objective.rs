@@ -1,0 +1,77 @@
+//! The §5.1 lesson, measured on all three axes at once: *learning
+//! resilience* (SnapShot KPA), *output corruptibility* (near-miss wrong-key
+//! damage), and *SAT resistance* (oracle-guided DIP count) for ASSURE, HRA,
+//! and ERA — the trade-off space the paper says HRA exists to navigate.
+//!
+//! Usage: `cargo run --release -p mlrl-bench --bin multi_objective
+//!         [--benchmarks a,b,c] [--width N] [--seed N] [--csv]`
+
+use mlrl_bench::gate_experiments::{run_multi_objective, MultiObjectiveConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let mut cfg = MultiObjectiveConfig::default();
+    if let Some(b) = value("--benchmarks") {
+        cfg.benchmarks = b.split(',').map(|s| s.trim().to_owned()).collect();
+    }
+    if let Some(w) = value("--width").and_then(|v| v.parse().ok()) {
+        cfg.width = w;
+    }
+    if let Some(s) = value("--seed").and_then(|v| v.parse().ok()) {
+        cfg.seed = s;
+    }
+    let csv = args.iter().any(|a| a == "--csv");
+
+    println!(
+        "§5.1 — three security objectives per scheme (width {}, seed {})",
+        cfg.width, cfg.seed
+    );
+    println!("learning: SnapShot KPA (50% = resilient) | corruption: near-miss wrong keys |");
+    println!("SAT: oracle-guided DIPs to full break (all schemes fall; higher = slower).");
+    println!();
+    if csv {
+        println!("benchmark,scheme,key_bits,kpa,corruption_rate,error_rate,sat_dips");
+    } else {
+        println!(
+            "{:<10} {:<8} {:>9} | {:>8} | {:>10} {:>10} | {:>8}",
+            "benchmark", "scheme", "key bits", "KPA", "corrupt %", "err rate", "SAT DIPs"
+        );
+    }
+    for row in run_multi_objective(&cfg) {
+        if csv {
+            println!(
+                "{},{},{},{:.2},{:.3},{:.3},{}",
+                row.benchmark,
+                row.scheme,
+                row.key_bits,
+                row.kpa,
+                row.corruption_rate,
+                row.error_rate,
+                row.sat_dips
+            );
+        } else {
+            println!(
+                "{:<10} {:<8} {:>9} | {:>7.1}% | {:>9.1}% {:>10.3} | {:>8}",
+                row.benchmark,
+                row.scheme,
+                row.key_bits,
+                row.kpa,
+                row.corruption_rate * 100.0,
+                row.error_rate,
+                row.sat_dips
+            );
+        }
+    }
+    if !csv {
+        println!();
+        println!("Shape: ERA wins the learning axis (KPA ≈ 50%) but nests key bits in");
+        println!("dummy branches (slightly lower near-miss corruption), and no scheme");
+        println!("resists the SAT attack — the multi-objective space HRA is built for.");
+    }
+}

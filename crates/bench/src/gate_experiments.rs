@@ -1,0 +1,482 @@
+//! Gate-level experiments: the Fig. 1 motivation and the §5 oracle-guided
+//! open question.
+//!
+//! - [`run_fig1`] quantifies the paper's premise that ML-driven structural
+//!   attacks break *gate-level* locking while RTL locking can resist:
+//!   the same designs, the same key-bit counts, attacked with the same
+//!   auto-ml stack at both abstraction levels.
+//! - [`run_sat_eval`] answers "are the locking algorithms resilient to
+//!   oracle-guided attacks?" by running the classic SAT attack against
+//!   RTL-locked designs lowered to gates and against gate-locked netlists.
+
+use mlrl_attack::gate_snapshot::{gate_snapshot_attack, GateAttackConfig};
+use mlrl_ml::automl::AutoMlConfig;
+use mlrl_netlist::ir::Netlist;
+use mlrl_netlist::lock::{lock_netlist, GateLockScheme};
+use mlrl_netlist::lower::lower_module;
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width, DesignSpec};
+use mlrl_rtl::visit;
+use mlrl_sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
+use serde::Serialize;
+
+use crate::experiments::{attack_instance, lock_benchmark, Scheme};
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — gate-level vs RTL locking under structural ML attacks
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Benchmarks to evaluate (must be lowerable: everything except RSA,
+    /// whose locked form contains variable-exponent `**` dummies).
+    pub benchmarks: Vec<String>,
+    /// Independently locked instances per cell (results are averaged).
+    pub instances: usize,
+    /// Relock rounds for the gate-level training sets.
+    pub gate_rounds: usize,
+    /// Relock rounds for the RTL training sets.
+    pub rtl_rounds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            benchmarks: vec![
+                "DES3".into(),
+                "MD5".into(),
+                "SASC".into(),
+                "SIM_SPI".into(),
+                "USB_PHY".into(),
+                "I2C_SL".into(),
+            ],
+            instances: 3,
+            gate_rounds: 30,
+            rtl_rounds: 60,
+            seed: 2022,
+        }
+    }
+}
+
+/// One benchmark row of the Fig. 1 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Key bits used at both levels (75 % of the benchmark's operations).
+    pub key_bits: usize,
+    /// Gates in the lowered (unlocked) netlist.
+    pub gates: usize,
+    /// Mean KPA of gate-level SnapShot on XOR/XNOR locking.
+    pub kpa_gate_xor: f64,
+    /// Mean KPA of gate-level SnapShot on MUX locking.
+    pub kpa_gate_mux: f64,
+    /// Mean KPA of SnapShot-RTL on serial ASSURE.
+    pub kpa_rtl_assure: f64,
+    /// Mean KPA of SnapShot-RTL on ERA.
+    pub kpa_rtl_era: f64,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Runs the Fig. 1 experiment.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names or unlowerable designs.
+pub fn run_fig1(cfg: &Fig1Config) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for name in &cfg.benchmarks {
+        let spec: DesignSpec = benchmark_by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
+        let mut gate_xor = Vec::new();
+        let mut gate_mux = Vec::new();
+        let mut rtl_assure = Vec::new();
+        let mut rtl_era = Vec::new();
+        let mut gates = 0usize;
+
+        for i in 0..cfg.instances {
+            let seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+            let module = generate_with_width(&spec, seed, 32);
+            let mut netlist = lower_module(&module).expect("benchmark lowers");
+            netlist.sweep();
+            gates = netlist.gates().len();
+
+            for (scheme, sink) in [
+                (GateLockScheme::XorXnor, &mut gate_xor),
+                (GateLockScheme::Mux, &mut gate_mux),
+            ] {
+                let mut locked = netlist.clone();
+                let key = lock_netlist(&mut locked, scheme, key_bits, seed ^ 0x10c)
+                    .expect("enough lockable wires");
+                let gcfg = GateAttackConfig {
+                    scheme,
+                    rounds: cfg.gate_rounds,
+                    bits_per_round: key_bits.min(64),
+                    seed: seed ^ 0xa77,
+                    automl: AutoMlConfig { seed, ..Default::default() },
+                };
+                if let Some(report) = gate_snapshot_attack(&locked, &key, &gcfg) {
+                    sink.push(report.kpa);
+                }
+            }
+
+            for (scheme, sink) in
+                [(Scheme::Assure, &mut rtl_assure), (Scheme::Era, &mut rtl_era)]
+            {
+                let (locked, key) = lock_benchmark(&spec, scheme, seed);
+                if let Some(kpa) = attack_instance(&locked, &key, cfg.rtl_rounds, seed ^ 0xbee) {
+                    sink.push(kpa);
+                }
+            }
+        }
+
+        rows.push(Fig1Row {
+            benchmark: name.clone(),
+            key_bits,
+            gates,
+            kpa_gate_xor: mean(&gate_xor),
+            kpa_gate_mux: mean(&gate_mux),
+            kpa_rtl_assure: mean(&rtl_assure),
+            kpa_rtl_era: mean(&rtl_era),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// §5 open question — the oracle-guided SAT attack
+// ---------------------------------------------------------------------------
+
+/// Configuration of the SAT-attack evaluation.
+#[derive(Debug, Clone)]
+pub struct SatEvalConfig {
+    /// Benchmarks to evaluate (kept small and Mod-free so the bit-blasted
+    /// locked designs stay within SAT reach).
+    pub benchmarks: Vec<String>,
+    /// Signal width for design generation (narrow keeps CNFs small).
+    pub width: u32,
+    /// Upper bound on DIP iterations.
+    pub max_dips: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SatEvalConfig {
+    fn default() -> Self {
+        Self {
+            benchmarks: vec!["SASC".into(), "SIM_SPI".into(), "USB_PHY".into(), "I2C_SL".into()],
+            width: 8,
+            max_dips: 512,
+            seed: 2022,
+        }
+    }
+}
+
+/// One benchmark × scheme row of the SAT evaluation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SatEvalRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Locking scheme label.
+    pub scheme: String,
+    /// Key bits in the locked design.
+    pub key_bits: usize,
+    /// Gates in the attacked netlist.
+    pub gates: usize,
+    /// DIP iterations (oracle queries) the attack needed.
+    pub dips: usize,
+    /// Whether the attack proved functional correctness (UNSAT miter).
+    pub proved: bool,
+    /// Whether the recovered key was verified functionally correct by
+    /// random simulation.
+    pub key_correct: bool,
+}
+
+/// Lowers an RTL-locked benchmark instance, returning the locked netlist
+/// and the correct key bits.
+fn lowered_locked(spec: &DesignSpec, scheme: Scheme, width: u32, seed: u64) -> (Netlist, Vec<bool>) {
+    let mut module = generate_with_width(spec, seed, width);
+    let total = visit::binary_ops(&module).len();
+    let budget = (total as f64 * 0.75).round() as usize;
+    let key = crate::experiments::lock_scheme_on(&mut module, scheme, budget, seed ^ 0x5eed);
+    // Scan view: oracle-guided attacks assume scan-chain access to state.
+    let mut netlist = lower_module(&module).expect("locked benchmark lowers").to_scan_view();
+    netlist.sweep();
+    let bits: Vec<bool> = (0..module.key_width()).map(|i| key.bit(i).unwrap_or(false)).collect();
+    (netlist, bits)
+}
+
+/// Runs the SAT-attack evaluation over RTL schemes (lowered to gates) and
+/// gate-level schemes.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names or unlowerable designs.
+pub fn run_sat_eval(cfg: &SatEvalConfig) -> Vec<SatEvalRow> {
+    let sat_cfg = SatAttackConfig { max_dips: cfg.max_dips };
+    let mut rows = Vec::new();
+    for name in &cfg.benchmarks {
+        let spec = benchmark_by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let seed = cfg.seed ^ (name.len() as u64) << 7;
+
+        // RTL-locked, then lowered: ASSURE / HRA / ERA.
+        for scheme in Scheme::ALL {
+            let (netlist, key) = lowered_locked(&spec, scheme, cfg.width, seed);
+            let (report, key_correct) =
+                match sat_attack_with_sim_oracle(&netlist, &key, &sat_cfg) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        rows.push(SatEvalRow {
+                            benchmark: name.clone(),
+                            scheme: scheme.name().to_owned(),
+                            key_bits: key.len(),
+                            gates: netlist.gates().len(),
+                            dips: cfg.max_dips,
+                            proved: false,
+                            key_correct: false,
+                        });
+                        continue;
+                    }
+                };
+            rows.push(SatEvalRow {
+                benchmark: name.clone(),
+                scheme: scheme.name().to_owned(),
+                key_bits: key.len(),
+                gates: netlist.gates().len(),
+                dips: report.dips,
+                proved: report.proved,
+                key_correct,
+            });
+        }
+
+        // Gate-level locking on the lowered (unlocked) design, attacked
+        // through the scan view.
+        let module = generate_with_width(&spec, seed, cfg.width);
+        let mut base = lower_module(&module).expect("benchmark lowers").to_scan_view();
+        base.sweep();
+        let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
+        for (scheme, label) in
+            [(GateLockScheme::XorXnor, "XOR/XNOR"), (GateLockScheme::Mux, "MUX")]
+        {
+            let mut locked = base.clone();
+            let key = lock_netlist(&mut locked, scheme, key_bits, seed ^ 0x10c)
+                .expect("enough lockable wires");
+            let (report, key_correct) =
+                match sat_attack_with_sim_oracle(&locked, key.bits(), &sat_cfg) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        rows.push(SatEvalRow {
+                            benchmark: name.clone(),
+                            scheme: label.to_owned(),
+                            key_bits: key.len(),
+                            gates: locked.gates().len(),
+                            dips: cfg.max_dips,
+                            proved: false,
+                            key_correct: false,
+                        });
+                        continue;
+                    }
+                };
+            rows.push(SatEvalRow {
+                benchmark: name.clone(),
+                scheme: label.to_owned(),
+                key_bits: key.len(),
+                gates: locked.gates().len(),
+                dips: report.dips,
+                proved: report.proved,
+                key_correct,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 — the three security objectives side by side
+// ---------------------------------------------------------------------------
+
+/// Configuration of the multi-objective evaluation.
+#[derive(Debug, Clone)]
+pub struct MultiObjectiveConfig {
+    /// Benchmarks to evaluate (small + Mod-free, as for the SAT eval).
+    pub benchmarks: Vec<String>,
+    /// Signal width for design generation.
+    pub width: u32,
+    /// Relock rounds for the SnapShot KPA measurement.
+    pub relock_rounds: usize,
+    /// Wrong keys sampled for corruptibility.
+    pub wrong_keys: usize,
+    /// Upper bound on SAT-attack DIP iterations.
+    pub max_dips: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiObjectiveConfig {
+    fn default() -> Self {
+        Self {
+            benchmarks: vec!["SASC".into(), "SIM_SPI".into(), "USB_PHY".into(), "I2C_SL".into()],
+            width: 8,
+            relock_rounds: 60,
+            wrong_keys: 32,
+            max_dips: 512,
+            seed: 2022,
+        }
+    }
+}
+
+/// One benchmark × scheme row covering the three §5.1 objectives.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiObjectiveRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Locking scheme.
+    pub scheme: String,
+    /// Key bits used.
+    pub key_bits: usize,
+    /// Learning resilience: SnapShot-RTL KPA in percent (50 ≈ resilient).
+    pub kpa: f64,
+    /// Output corruptibility: fraction of near-miss keys that corrupt.
+    pub corruption_rate: f64,
+    /// Output corruptibility: mean output-read error rate under near-miss
+    /// keys.
+    pub error_rate: f64,
+    /// SAT resistance: DIPs the oracle-guided attack needed (more = more
+    /// resistant; these schemes all fall quickly).
+    pub sat_dips: usize,
+}
+
+/// Runs the three-objective evaluation over ASSURE, HRA, and ERA.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names or unlowerable designs.
+pub fn run_multi_objective(cfg: &MultiObjectiveConfig) -> Vec<MultiObjectiveRow> {
+    use mlrl_locking::corruptibility::{measure_corruptibility, CorruptibilityConfig};
+
+    let mut rows = Vec::new();
+    for name in &cfg.benchmarks {
+        let spec = benchmark_by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        for scheme in Scheme::ALL {
+            let seed = cfg.seed ^ (scheme as u64) << 3 ^ (name.len() as u64) << 9;
+            let original = generate_with_width(&spec, seed, cfg.width);
+            let mut locked = original.clone();
+            let total = visit::binary_ops(&locked).len();
+            let budget = (total as f64 * 0.75).round() as usize;
+            let key =
+                crate::experiments::lock_scheme_on(&mut locked, scheme, budget, seed ^ 0x5eed);
+            let bits: Vec<bool> =
+                (0..locked.key_width()).map(|i| key.bit(i).unwrap_or(false)).collect();
+
+            let kpa = attack_instance(&locked, &key, cfg.relock_rounds, seed ^ 0xbee)
+                .unwrap_or(f64::NAN);
+
+            let corr = measure_corruptibility(
+                &original,
+                &locked,
+                &bits,
+                &CorruptibilityConfig {
+                    wrong_keys: cfg.wrong_keys,
+                    patterns: 20,
+                    ticks: 2,
+                    flips: 1,
+                    seed: seed ^ 0xc0,
+                },
+            )
+            .expect("corruptibility measures");
+
+            let mut netlist =
+                lower_module(&locked).expect("locked benchmark lowers").to_scan_view();
+            netlist.sweep();
+            let sat_cfg = SatAttackConfig { max_dips: cfg.max_dips };
+            let sat_dips = sat_attack_with_sim_oracle(&netlist, &bits, &sat_cfg)
+                .map(|(r, _)| r.dips)
+                .unwrap_or(cfg.max_dips);
+
+            rows.push(MultiObjectiveRow {
+                benchmark: name.clone(),
+                scheme: scheme.name().to_owned(),
+                key_bits: bits.len(),
+                kpa,
+                corruption_rate: corr.corruption_rate,
+                error_rate: corr.error_rate,
+                sat_dips,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_objective_covers_all_three_axes() {
+        let cfg = MultiObjectiveConfig {
+            benchmarks: vec!["SIM_SPI".into()],
+            width: 6,
+            relock_rounds: 15,
+            wrong_keys: 12,
+            max_dips: 512,
+            seed: 5,
+        };
+        let rows = run_multi_objective(&cfg);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.kpa.is_finite());
+            assert!(row.corruption_rate > 0.0, "{row:?}");
+            assert!(row.sat_dips < 512, "{row:?}");
+        }
+        // ERA resists learning better than ASSURE on this seed.
+        let kpa_of = |s: &str| rows.iter().find(|r| r.scheme == s).unwrap().kpa;
+        assert!(kpa_of("ERA") <= kpa_of("ASSURE") + 10.0);
+    }
+
+    #[test]
+    fn fig1_runs_on_a_small_benchmark() {
+        let cfg = Fig1Config {
+            benchmarks: vec!["SIM_SPI".into()],
+            instances: 1,
+            gate_rounds: 10,
+            rtl_rounds: 15,
+            seed: 7,
+        };
+        let rows = run_fig1(&cfg);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.gates > 0);
+        // The Fig. 1 shape: XOR/XNOR gate locking is (nearly) fully broken,
+        // ERA holds near chance.
+        assert!(r.kpa_gate_xor >= 90.0, "gate XOR/XNOR KPA {}", r.kpa_gate_xor);
+        assert!(r.kpa_rtl_era <= 75.0, "ERA KPA {}", r.kpa_rtl_era);
+    }
+
+    #[test]
+    fn sat_eval_breaks_every_scheme_on_a_small_benchmark() {
+        let cfg = SatEvalConfig {
+            benchmarks: vec!["SIM_SPI".into()],
+            width: 6,
+            max_dips: 512,
+            seed: 3,
+        };
+        let rows = run_sat_eval(&cfg);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.proved, "{} should be SAT-broken", row.scheme);
+            assert!(row.key_correct, "{} key must unlock", row.scheme);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Output corruptibility: how badly a wrong key damages the function.
+//!
+//! The paper's §5.1 names three security objectives a locking scheme may
+//! have to satisfy at once: *learning resilience* (this paper's subject,
+//! measured by KPA), *SAT resistance* (deferred to Karfa et al. [3]), and
+//! *output corruptibility* — a locked design protects nothing if wrong
+//! keys still produce (nearly) correct outputs. This module makes the
+//! third objective measurable so heuristics like HRA can trade all three.
+//!
+//! Two complementary views are reported over a sample of wrong keys:
+//!
+//! - **corruption rate** — the fraction of wrong keys that corrupt at
+//!   least one output on at least one pattern (a weak, existential
+//!   guarantee: the key is not a don't-care),
+//! - **error rate** — the mean fraction of (pattern, output-port) reads
+//!   that differ from the original design (a strong, quantitative measure
+//!   of how useless a mis-keyed chip is),
+//! - **Hamming fraction** — the mean fraction of output *bits* that flip,
+//!   ideally near 0.5 (maximal confusion, as in strong gate-level
+//!   locking literature).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mlrl_rtl::ast::PortDir;
+use mlrl_rtl::sim::Simulator;
+use mlrl_rtl::Module;
+
+use crate::error::{LockError, Result};
+
+/// Configuration for [`measure_corruptibility`].
+#[derive(Debug, Clone)]
+pub struct CorruptibilityConfig {
+    /// Number of wrong keys to sample.
+    pub wrong_keys: usize,
+    /// Random input patterns per wrong key.
+    pub patterns: usize,
+    /// Clock ticks applied after each pattern (0 = combinational settle).
+    pub ticks: usize,
+    /// Number of key bits flipped per wrong key (1 = the hardest case:
+    /// a near-miss key).
+    pub flips: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorruptibilityConfig {
+    fn default() -> Self {
+        Self { wrong_keys: 32, patterns: 24, ticks: 2, flips: 1, seed: 0 }
+    }
+}
+
+/// Corruptibility measurement over a sample of wrong keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptibilityReport {
+    /// Wrong keys sampled.
+    pub wrong_keys: usize,
+    /// Fraction of wrong keys that corrupted at least one output once.
+    pub corruption_rate: f64,
+    /// Mean fraction of (pattern, output) reads that differed.
+    pub error_rate: f64,
+    /// Mean fraction of output bits that flipped.
+    pub hamming_fraction: f64,
+}
+
+/// Measures how much a wrong key corrupts `locked` relative to `original`.
+///
+/// Each trial flips `cfg.flips` random key bits of the correct key, drives
+/// both designs with identical random stimulus, and compares every output
+/// port. `original` is simulated with the *correct* key (pass the unlocked
+/// design and an empty key slice for the classic unlocked-reference
+/// measurement — both are equivalent given a sound locking pass).
+///
+/// # Errors
+///
+/// Returns [`LockError`] wrapping simulator construction/stimulus failures
+/// (cyclic designs, missing ports).
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_locking::assure::{lock_operations, AssureConfig};
+/// use mlrl_locking::corruptibility::{measure_corruptibility, CorruptibilityConfig};
+/// use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+///
+/// let original = generate(&benchmark_by_name("FIR").expect("benchmark"), 1);
+/// let mut locked = original.clone();
+/// let key = lock_operations(&mut locked, &AssureConfig::serial(20, 3))?;
+/// let bits: Vec<bool> = (0..locked.key_width()).map(|i| key.bit(i).unwrap()).collect();
+/// let report = measure_corruptibility(
+///     &original, &locked, &bits, &CorruptibilityConfig::default())?;
+/// assert!(report.corruption_rate > 0.5, "most near-miss keys must corrupt");
+/// # Ok::<(), mlrl_locking::LockError>(())
+/// ```
+pub fn measure_corruptibility(
+    original: &Module,
+    locked: &Module,
+    correct_key: &[bool],
+    cfg: &CorruptibilityConfig,
+) -> Result<CorruptibilityReport> {
+    if correct_key.len() < locked.key_width() as usize {
+        return Err(LockError::Rtl(mlrl_rtl::RtlError::KeyTooShort {
+            required: locked.key_width(),
+            provided: correct_key.len(),
+        }));
+    }
+    let sim_err = LockError::Rtl;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let inputs: Vec<(String, u32)> = original
+        .ports()
+        .iter()
+        .filter(|p| p.dir == PortDir::Input)
+        .map(|p| (p.name.clone(), p.width))
+        .collect();
+    let outputs: Vec<(String, u32)> = original
+        .ports()
+        .iter()
+        .filter(|p| p.dir == PortDir::Output)
+        .map(|p| (p.name.clone(), p.width))
+        .collect();
+    let total_out_bits: u64 = outputs.iter().map(|(_, w)| *w as u64).sum();
+
+    let mut corrupted_keys = 0usize;
+    let mut error_sum = 0.0f64;
+    let mut hamming_sum = 0.0f64;
+
+    for _ in 0..cfg.wrong_keys {
+        // A near-miss key: the correct key with `flips` random bits flipped.
+        let mut wrong = correct_key.to_vec();
+        let width = locked.key_width() as usize;
+        for _ in 0..cfg.flips.max(1) {
+            let i = rng.gen_range(0..width.max(1));
+            wrong[i] = !wrong[i];
+        }
+
+        let mut ref_sim = Simulator::new(original).map_err(sim_err)?;
+        ref_sim.set_key(correct_key).map_err(sim_err)?;
+        let mut bad_sim = Simulator::new(locked).map_err(sim_err)?;
+        bad_sim.set_key(&wrong).map_err(sim_err)?;
+
+        let mut reads = 0u64;
+        let mut errors = 0u64;
+        let mut bit_flips = 0u64;
+        let mut bits_seen = 0u64;
+        for _ in 0..cfg.patterns {
+            for (name, width) in &inputs {
+                let v: u64 = rng.gen();
+                let v = if *width >= 64 { v } else { v & ((1 << width) - 1) };
+                ref_sim.set_input(name, v).map_err(sim_err)?;
+                bad_sim.set_input(name, v).map_err(sim_err)?;
+            }
+            if cfg.ticks == 0 {
+                ref_sim.settle().map_err(sim_err)?;
+                bad_sim.settle().map_err(sim_err)?;
+            } else {
+                for _ in 0..cfg.ticks {
+                    ref_sim.tick().map_err(sim_err)?;
+                    bad_sim.tick().map_err(sim_err)?;
+                }
+            }
+            for (name, width) in &outputs {
+                let a = ref_sim.get(name).map_err(sim_err)?;
+                let b = bad_sim.get(name).map_err(sim_err)?;
+                reads += 1;
+                if a != b {
+                    errors += 1;
+                }
+                bit_flips += (a ^ b).count_ones() as u64;
+                bits_seen += *width as u64;
+            }
+        }
+        if errors > 0 {
+            corrupted_keys += 1;
+        }
+        error_sum += errors as f64 / reads.max(1) as f64;
+        hamming_sum += bit_flips as f64 / bits_seen.max(1) as f64;
+        let _ = total_out_bits;
+    }
+
+    let n = cfg.wrong_keys.max(1) as f64;
+    Ok(CorruptibilityReport {
+        wrong_keys: cfg.wrong_keys,
+        corruption_rate: corrupted_keys as f64 / n,
+        error_rate: error_sum / n,
+        hamming_fraction: hamming_sum / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assure::{lock_operations, AssureConfig};
+    use crate::era::{era_lock, EraConfig};
+    use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+    use mlrl_rtl::visit;
+
+    fn key_bits(key: &crate::key::Key, width: u32) -> Vec<bool> {
+        (0..width).map(|i| key.bit(i).unwrap_or(false)).collect()
+    }
+
+    #[test]
+    fn correct_key_with_zero_flips_never_corrupts() {
+        let original = generate(&benchmark_by_name("FIR").unwrap(), 5);
+        let mut locked = original.clone();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(15, 1)).unwrap();
+        let bits = key_bits(&key, locked.key_width());
+        // flips = 0 is clamped to 1 by the implementation; emulate the
+        // correct-key check by measuring the locked design against itself
+        // with the correct key on both sides via the equivalence probe.
+        let cfg = mlrl_rtl::equiv::EquivConfig { patterns: 20, ticks: 0, seed: 3 };
+        let r = mlrl_rtl::equiv::check_equiv(&original, &locked, &[], &bits, &cfg).unwrap();
+        assert!(r.is_equivalent());
+    }
+
+    #[test]
+    fn near_miss_keys_corrupt_assure_locked_designs() {
+        let original = generate(&benchmark_by_name("FIR").unwrap(), 7);
+        let mut locked = original.clone();
+        let total = visit::binary_ops(&locked).len();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(total / 2, 2)).unwrap();
+        let bits = key_bits(&key, locked.key_width());
+        let report = measure_corruptibility(
+            &original,
+            &locked,
+            &bits,
+            &CorruptibilityConfig { wrong_keys: 24, patterns: 16, ticks: 0, flips: 1, seed: 9 },
+        )
+        .unwrap();
+        assert!(report.corruption_rate > 0.6, "{report:?}");
+        assert!(report.error_rate > 0.0);
+        assert!(report.hamming_fraction > 0.0);
+    }
+
+    #[test]
+    fn era_locking_trades_some_corruptibility_for_balance() {
+        // ERA's relocking nests key bits inside dummy branches; those bits
+        // are functional don't-cares, so single-bit near-miss keys corrupt
+        // less often than under plain ASSURE — a real multi-objective
+        // trade-off §5.1 hints at. Still, a sizeable fraction must corrupt.
+        let original = generate(&benchmark_by_name("IIR").unwrap(), 3);
+        let mut locked = original.clone();
+        let total = visit::binary_ops(&locked).len();
+        let outcome = era_lock(&mut locked, &EraConfig::new(total / 2, 4)).unwrap();
+        let bits = key_bits(&outcome.key, locked.key_width());
+        let report = measure_corruptibility(
+            &original,
+            &locked,
+            &bits,
+            &CorruptibilityConfig { wrong_keys: 24, patterns: 16, ticks: 0, flips: 1, seed: 1 },
+        )
+        .unwrap();
+        assert!(report.corruption_rate > 0.4, "{report:?}");
+        assert!(report.error_rate > 0.05, "{report:?}");
+    }
+
+    #[test]
+    fn more_flips_never_reduce_corruption_rate_substantially() {
+        let original = generate(&benchmark_by_name("SHA256").unwrap(), 11);
+        let mut locked = original.clone();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(40, 6)).unwrap();
+        let bits = key_bits(&key, locked.key_width());
+        let one = measure_corruptibility(
+            &original,
+            &locked,
+            &bits,
+            &CorruptibilityConfig { wrong_keys: 16, patterns: 12, ticks: 0, flips: 1, seed: 2 },
+        )
+        .unwrap();
+        let many = measure_corruptibility(
+            &original,
+            &locked,
+            &bits,
+            &CorruptibilityConfig { wrong_keys: 16, patterns: 12, ticks: 0, flips: 8, seed: 2 },
+        )
+        .unwrap();
+        assert!(many.error_rate >= one.error_rate * 0.5, "one={one:?} many={many:?}");
+    }
+
+    #[test]
+    fn short_key_is_rejected() {
+        let original = generate(&benchmark_by_name("FIR").unwrap(), 5);
+        let mut locked = original.clone();
+        let _ = lock_operations(&mut locked, &AssureConfig::serial(10, 1)).unwrap();
+        let err = measure_corruptibility(
+            &original,
+            &locked,
+            &[true],
+            &CorruptibilityConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+}

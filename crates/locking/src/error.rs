@@ -1,0 +1,53 @@
+//! Error types for the locking crate.
+
+use std::fmt;
+
+use mlrl_rtl::op::BinaryOp;
+use mlrl_rtl::RtlError;
+
+/// Errors produced by locking algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// An underlying RTL mutation failed.
+    Rtl(RtlError),
+    /// No operation of the required type exists to pair a dummy onto.
+    NoOpsOfType(BinaryOp),
+    /// The operator does not participate in any locking pair.
+    UnlockableType(BinaryOp),
+    /// The design contains no lockable operations at all.
+    NothingToLock,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Rtl(e) => write!(f, "rtl error during locking: {e}"),
+            LockError::NoOpsOfType(op) => {
+                write!(f, "no operations of type `{op}` available for locking")
+            }
+            LockError::UnlockableType(op) => {
+                write!(f, "operator `{op}` has no locking pair in the active table")
+            }
+            LockError::NothingToLock => write!(f, "design contains no lockable operations"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtlError> for LockError {
+    fn from(e: RtlError) -> Self {
+        LockError::Rtl(e)
+    }
+}
+
+/// Convenient result alias for locking operations.
+pub type Result<T> = std::result::Result<T, LockError>;

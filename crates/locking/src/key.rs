@@ -1,0 +1,208 @@
+//! Locking keys.
+//!
+//! A [`Key`] is the ordered vector of secret bits produced by a locking run:
+//! bit `i` drives `K[i]` in the locked module. Keys also record *which kind
+//! of obfuscation* produced each bit, so the attack evaluation can score
+//! key-prediction accuracy on operation bits only (the paper's focus).
+
+use std::fmt;
+
+use rand::Rng;
+
+/// What kind of obfuscation consumed a key bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyBitKind {
+    /// Operation obfuscation (key-controlled real/dummy multiplexer).
+    Operation,
+    /// Branch obfuscation (condition XORed with the bit).
+    Branch,
+    /// Constant obfuscation (constant bit extracted into the key).
+    Constant,
+}
+
+/// An ordered locking key.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_locking::key::{Key, KeyBitKind};
+///
+/// let mut key = Key::new();
+/// key.push(true, KeyBitKind::Operation);
+/// key.push(false, KeyBitKind::Branch);
+/// assert_eq!(key.len(), 2);
+/// assert_eq!(key.bit(0), Some(true));
+/// assert_eq!(key.bits_of_kind(KeyBitKind::Operation), vec![(0, true)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Key {
+    bits: Vec<bool>,
+    kinds: Vec<KeyBitKind>,
+}
+
+impl Key {
+    /// Creates an empty key.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the key holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends a bit, returning its index.
+    pub fn push(&mut self, value: bool, kind: KeyBitKind) -> u32 {
+        self.bits.push(value);
+        self.kinds.push(kind);
+        (self.bits.len() - 1) as u32
+    }
+
+    /// Value of bit `i`.
+    pub fn bit(&self, i: u32) -> Option<bool> {
+        self.bits.get(i as usize).copied()
+    }
+
+    /// Removes and returns the most recently pushed bit (undo support).
+    pub fn pop(&mut self) -> Option<(bool, KeyBitKind)> {
+        let b = self.bits.pop()?;
+        let k = self.kinds.pop()?;
+        Some((b, k))
+    }
+
+    /// Kind of bit `i`.
+    pub fn kind(&self, i: u32) -> Option<KeyBitKind> {
+        self.kinds.get(i as usize).copied()
+    }
+
+    /// The raw bit vector, index 0 first (`K[0]`).
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// `(index, value)` of every bit of `kind`.
+    pub fn bits_of_kind(&self, kind: KeyBitKind) -> Vec<(u32, bool)> {
+        self.bits
+            .iter()
+            .zip(&self.kinds)
+            .enumerate()
+            .filter(|(_, (_, k))| **k == kind)
+            .map(|(i, (b, _))| (i as u32, *b))
+            .collect()
+    }
+
+    /// Samples a uniformly random wrong key of the same length (never equal
+    /// to `self` for non-empty keys).
+    pub fn random_wrong_key<R: Rng>(&self, rng: &mut R) -> Vec<bool> {
+        if self.bits.is_empty() {
+            return Vec::new();
+        }
+        loop {
+            let candidate: Vec<bool> = (0..self.bits.len()).map(|_| rng.gen()).collect();
+            if candidate != self.bits {
+                return candidate;
+            }
+        }
+    }
+
+    /// Fraction of bits in `predicted` matching this key, in percent — the
+    /// paper's *key prediction accuracy* (KPA) over all bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicted` has a different length.
+    pub fn kpa(&self, predicted: &[bool]) -> f64 {
+        assert_eq!(predicted.len(), self.bits.len(), "key length mismatch");
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        let correct = self.bits.iter().zip(predicted).filter(|(a, b)| a == b).count();
+        100.0 * correct as f64 / self.bits.len() as f64
+    }
+}
+
+impl fmt::Display for Key {
+    /// Renders as a bit string, `K[0]` leftmost.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            f.write_str(if *b { "1" } else { "0" })?;
+        }
+        if self.bits.is_empty() {
+            f.write_str("<empty>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_query() {
+        let mut k = Key::new();
+        assert!(k.is_empty());
+        assert_eq!(k.push(true, KeyBitKind::Operation), 0);
+        assert_eq!(k.push(false, KeyBitKind::Constant), 1);
+        assert_eq!(k.bit(0), Some(true));
+        assert_eq!(k.bit(1), Some(false));
+        assert_eq!(k.bit(2), None);
+        assert_eq!(k.kind(1), Some(KeyBitKind::Constant));
+    }
+
+    #[test]
+    fn kpa_counts_matches() {
+        let mut k = Key::new();
+        for v in [true, true, false, false] {
+            k.push(v, KeyBitKind::Operation);
+        }
+        assert_eq!(k.kpa(&[true, true, false, false]), 100.0);
+        assert_eq!(k.kpa(&[false, false, true, true]), 0.0);
+        assert_eq!(k.kpa(&[true, false, false, true]), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn kpa_rejects_length_mismatch() {
+        let mut k = Key::new();
+        k.push(true, KeyBitKind::Operation);
+        let _ = k.kpa(&[]);
+    }
+
+    #[test]
+    fn wrong_key_differs() {
+        let mut k = Key::new();
+        k.push(true, KeyBitKind::Operation);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert_ne!(k.random_wrong_key(&mut rng), k.as_bits());
+        }
+    }
+
+    #[test]
+    fn bits_of_kind_filters() {
+        let mut k = Key::new();
+        k.push(true, KeyBitKind::Operation);
+        k.push(false, KeyBitKind::Branch);
+        k.push(true, KeyBitKind::Operation);
+        assert_eq!(k.bits_of_kind(KeyBitKind::Operation), vec![(0, true), (2, true)]);
+        assert_eq!(k.bits_of_kind(KeyBitKind::Branch), vec![(1, false)]);
+        assert!(k.bits_of_kind(KeyBitKind::Constant).is_empty());
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let mut k = Key::new();
+        k.push(true, KeyBitKind::Operation);
+        k.push(false, KeyBitKind::Operation);
+        assert_eq!(k.to_string(), "10");
+        assert_eq!(Key::new().to_string(), "<empty>");
+    }
+}

@@ -1,0 +1,290 @@
+//! The `Lock` step (Algorithm 1 of the paper), shared by ERA and HRA.
+//!
+//! `Lock(T, ODT, D, P)` locks the design following three cases:
+//!
+//! 1. `ODT[T] > 0` and `!P`: pair a new `T'` dummy with an existing `T`
+//!    operation, reducing the excess of `T` (1 key bit).
+//! 2. `ODT[T] < 0` and `!P`: pair a new `T` dummy with an existing `T'`
+//!    operation, reducing the deficiency of `T` (1 key bit).
+//! 3. Otherwise: pair new `T'`- and `T`-type dummies with existing
+//!    operations of both types (2 key bits, balance unchanged).
+//!
+//! Every lock returns a [`LockTxn`] that can undo it exactly — HRA's inner
+//! candidate-evaluation loop (Alg. 4, lines 13–22) locks tentatively,
+//! measures the metric, and rolls back.
+
+use mlrl_rtl::ast::WrapUndo;
+use mlrl_rtl::op::BinaryOp;
+use mlrl_rtl::{visit, Module};
+use rand::Rng;
+
+use crate::error::{LockError, Result};
+use crate::key::{Key, KeyBitKind};
+use crate::odt::Odt;
+
+/// Reversible record of one `Lock` invocation.
+#[derive(Debug)]
+pub struct LockTxn {
+    /// Wrap undo tokens, in application order.
+    wraps: Vec<WrapUndo>,
+    /// Dummy operation types recorded into the ODT, in order.
+    odt_added: Vec<BinaryOp>,
+    /// Operation types that were wrapped (for restricted-metric touching).
+    locked_types: Vec<BinaryOp>,
+}
+
+impl LockTxn {
+    /// Number of key bits this lock consumed.
+    pub fn bits_used(&self) -> u32 {
+        self.wraps.len() as u32
+    }
+
+    /// The operation types that were wrapped by this lock.
+    pub fn locked_types(&self) -> &[BinaryOp] {
+        &self.locked_types
+    }
+}
+
+/// Applies Algorithm 1 for type `ty`, mutating `module`, `key` and `odt`
+/// together. Returns the number of key bits used and the undo transaction.
+///
+/// # Errors
+///
+/// - [`LockError::UnlockableType`] if `ty` has no pair in the ODT's table.
+/// - [`LockError::NoOpsOfType`] if the branch taken needs an operation of a
+///   type that does not occur in the design. In the paired branch (case 3)
+///   the lock degrades gracefully: if only one of the two types exists, only
+///   that side is locked (1 bit); the error is returned only when neither
+///   exists.
+pub fn lock_type<R: Rng>(
+    ty: BinaryOp,
+    odt: &mut Odt,
+    module: &mut Module,
+    key: &mut Key,
+    pair_mode: bool,
+    rng: &mut R,
+) -> Result<(u32, LockTxn)> {
+    let dummy_ty = odt
+        .table()
+        .dummy_for(ty)
+        .ok_or(LockError::UnlockableType(ty))?;
+
+    let sites_t = visit::ops_of_type(module, ty);
+    let sites_t2 = visit::ops_of_type(module, dummy_ty);
+    let pick = |rng: &mut R, sites: &[visit::OpSite]| -> Option<visit::OpSite> {
+        if sites.is_empty() {
+            None
+        } else {
+            Some(sites[rng.gen_range(0..sites.len())])
+        }
+    };
+    let o_i = pick(rng, &sites_t);
+    let o_j = pick(rng, &sites_t2);
+
+    let mut txn = LockTxn { wraps: Vec::new(), odt_added: Vec::new(), locked_types: Vec::new() };
+
+    let add_pair = |module: &mut Module,
+                        key: &mut Key,
+                        odt: &mut Odt,
+                        txn: &mut LockTxn,
+                        site: visit::OpSite,
+                        dummy: BinaryOp,
+                        rng: &mut R|
+     -> Result<()> {
+        let key_value: bool = rng.gen();
+        let (_bit, undo) = module.wrap_in_key_mux(site.id, key_value, dummy)?;
+        key.push(key_value, KeyBitKind::Operation);
+        odt.record_added(dummy);
+        txn.wraps.push(undo);
+        txn.odt_added.push(dummy);
+        txn.locked_types.push(site.op);
+        Ok(())
+    };
+
+    if odt.get(ty) > 0 && !pair_mode {
+        // Case 1: reduce the excess of `ty`.
+        let site = o_i.ok_or(LockError::NoOpsOfType(ty))?;
+        add_pair(module, key, odt, &mut txn, site, dummy_ty, rng)?;
+    } else if odt.get(ty) < 0 && !pair_mode {
+        // Case 2: reduce the deficiency of `ty`.
+        let site = o_j.ok_or(LockError::NoOpsOfType(dummy_ty))?;
+        add_pair(module, key, odt, &mut txn, site, ty, rng)?;
+    } else {
+        // Case 3: lock both sides; balance is preserved.
+        if o_i.is_none() && o_j.is_none() {
+            return Err(LockError::NoOpsOfType(ty));
+        }
+        if let Some(site) = o_i {
+            add_pair(module, key, odt, &mut txn, site, dummy_ty, rng)?;
+        }
+        if let Some(site) = o_j {
+            add_pair(module, key, odt, &mut txn, site, ty, rng)?;
+        }
+    }
+
+    Ok((txn.bits_used(), txn))
+}
+
+/// Reverts a [`lock_type`] call (`UndoLock` in Alg. 4). Must be applied in
+/// strict LIFO order with respect to other locks.
+///
+/// # Errors
+///
+/// Returns [`RtlError::UndoOrder`](mlrl_rtl::RtlError::UndoOrder) (wrapped)
+/// if intervening mutations make the undo unsound.
+pub fn undo_lock(txn: LockTxn, module: &mut Module, key: &mut Key, odt: &mut Odt) -> Result<()> {
+    for (undo, dummy) in txn.wraps.into_iter().zip(txn.odt_added).rev() {
+        module.undo_wrap(undo)?;
+        key.pop();
+        odt.record_removed(dummy);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::PairTable;
+    use mlrl_rtl::ast::Expr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use BinaryOp::*;
+
+    fn design(ops: &[(BinaryOp, usize)]) -> Module {
+        let mut m = Module::new("t");
+        m.add_input("a", 32).unwrap();
+        let mut i = 0;
+        for (op, n) in ops {
+            for _ in 0..*n {
+                let w = format!("w{i}");
+                m.add_wire(&w, 32).unwrap();
+                let a = m.alloc_expr(Expr::Ident("a".into()));
+                let b = m.alloc_expr(Expr::Ident("a".into()));
+                let e = m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b });
+                m.add_assign(&w, e).unwrap();
+                i += 1;
+            }
+        }
+        m
+    }
+
+    fn setup(ops: &[(BinaryOp, usize)]) -> (Module, Odt, Key, StdRng) {
+        let m = design(ops);
+        let odt = Odt::load(&m, PairTable::fixed());
+        (m, odt, Key::new(), StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn positive_odt_adds_dummy_of_pair_type() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 5), (Sub, 2)]);
+        assert_eq!(odt.get(Add), 3);
+        let (n, txn) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(odt.get(Add), 2);
+        assert_eq!(txn.locked_types(), &[Add]);
+        assert_eq!(key.len(), 1);
+        assert_eq!(m.key_width(), 1);
+        // The design now holds one extra Sub (the dummy).
+        assert_eq!(visit::op_census(&m)[&Sub], 3);
+    }
+
+    #[test]
+    fn negative_odt_adds_dummy_onto_pair_type() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 2), (Sub, 5)]);
+        assert_eq!(odt.get(Add), -3);
+        let (n, txn) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(odt.get(Add), -2);
+        // A Sub operation was wrapped with an Add dummy.
+        assert_eq!(txn.locked_types(), &[Sub]);
+        assert_eq!(visit::op_census(&m)[&Add], 3);
+    }
+
+    #[test]
+    fn balanced_odt_locks_both_sides() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 3), (Sub, 3)]);
+        let (n, _txn) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(odt.get(Add), 0);
+        assert_eq!(key.len(), 2);
+        let census = visit::op_census(&m);
+        assert_eq!(census[&Add], 4);
+        assert_eq!(census[&Sub], 4);
+    }
+
+    #[test]
+    fn pair_mode_ignores_imbalance() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 5), (Sub, 1)]);
+        let before = odt.get(Add);
+        let (n, _txn) = lock_type(Add, &mut odt, &mut m, &mut key, true, &mut rng).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(odt.get(Add), before, "pair mode must preserve balance");
+    }
+
+    #[test]
+    fn pair_mode_degrades_to_one_side_when_type_missing() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 4)]);
+        // No Sub ops exist; paired lock can only wrap an Add.
+        let (n, _txn) = lock_type(Add, &mut odt, &mut m, &mut key, true, &mut rng).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(odt.get(Add), 3);
+    }
+
+    #[test]
+    fn missing_both_types_errors() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 1)]);
+        let err = lock_type(Mul, &mut odt, &mut m, &mut key, false, &mut rng).unwrap_err();
+        assert_eq!(err, LockError::NoOpsOfType(Mul));
+    }
+
+    #[test]
+    fn undo_restores_everything() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 5), (Sub, 2)]);
+        let m0 = m.clone();
+        let odt0 = odt.clone();
+        let (_, txn) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+        undo_lock(txn, &mut m, &mut key, &mut odt).unwrap();
+        assert_eq!(m, m0);
+        assert_eq!(odt, odt0);
+        assert!(key.is_empty());
+    }
+
+    #[test]
+    fn undo_restores_two_bit_lock() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 3), (Sub, 3)]);
+        let m0 = m.clone();
+        let (n, txn) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+        assert_eq!(n, 2);
+        undo_lock(txn, &mut m, &mut key, &mut odt).unwrap();
+        assert_eq!(m, m0);
+        assert_eq!(key.len(), 0);
+        assert_eq!(m.key_width(), 0);
+    }
+
+    #[test]
+    fn repeated_locking_balances_pair() {
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 5)]);
+        let mut bits = 0;
+        while odt.get(Add).unsigned_abs() > 0 {
+            let (n, _) = lock_type(Add, &mut odt, &mut m, &mut key, false, &mut rng).unwrap();
+            bits += n;
+        }
+        assert_eq!(bits, 5);
+        assert_eq!(odt.get(Add), 0);
+        let census = visit::op_census(&m);
+        assert_eq!(census[&Add], 5);
+        assert_eq!(census[&Sub], 5);
+        // ODT bookkeeping must agree with a fresh census-based reload.
+        let reloaded = Odt::load(&m, PairTable::fixed());
+        assert_eq!(reloaded.get(Add), 0);
+    }
+
+    #[test]
+    fn unlockable_type_under_restricted_table() {
+        // A table covering only (+,-): Mul is unlockable.
+        let (mut m, mut odt, mut key, mut rng) = setup(&[(Add, 1)]);
+        let err = lock_type(Mul, &mut odt, &mut m, &mut key, false, &mut rng);
+        // Mul is lockable in the fixed table but absent from the design.
+        assert_eq!(err.unwrap_err(), LockError::NoOpsOfType(Mul));
+    }
+}

@@ -1,0 +1,221 @@
+//! The Operation Distribution Table (ODT) of §4.
+//!
+//! For each locking pair `(T, T')` the ODT stores the signed difference
+//! between the number of `T`-type and `T'`-type operations in the design:
+//! `ODT[T] = count(T) - count(T')` and `ODT[T'] = -ODT[T]`. A design is
+//! learning-resilient w.r.t. Def. 1 when every entry touched by locking
+//! is zero.
+
+use std::collections::BTreeMap;
+
+use mlrl_rtl::op::BinaryOp;
+use mlrl_rtl::{visit, Module};
+
+use crate::pairs::PairTable;
+
+/// Operation distribution table over the canonical pairs of a [`PairTable`].
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_locking::odt::Odt;
+/// use mlrl_locking::pairs::PairTable;
+/// use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+/// use mlrl_rtl::op::BinaryOp;
+///
+/// let m = generate(&benchmark_by_name("N_2046").expect("benchmark"), 1);
+/// let odt = Odt::load(&m, PairTable::fixed());
+/// assert_eq!(odt.get(BinaryOp::Add), 2046);
+/// assert_eq!(odt.get(BinaryOp::Sub), -2046);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Odt {
+    table: PairTable,
+    /// canonical pair -> ODT value of the pair's *first* type
+    entries: BTreeMap<(BinaryOp, BinaryOp), i64>,
+}
+
+impl Odt {
+    /// Loads the ODT from a module's reachable-operation census
+    /// (`LoadODT(D)` in Alg. 3/4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is not involutive — the ODT (and Def. 1) are only
+    /// well-defined for symmetric pairings; use [`PairTable::fixed`].
+    pub fn load(module: &Module, table: PairTable) -> Self {
+        assert!(
+            table.is_involutive(),
+            "ODT requires an involutive pair table (the §3.2 fix)"
+        );
+        let census = visit::op_census(module);
+        let mut entries = BTreeMap::new();
+        for (a, b) in table.canonical_pairs() {
+            let ca = census.get(&a).copied().unwrap_or(0) as i64;
+            let cb = census.get(&b).copied().unwrap_or(0) as i64;
+            entries.insert((a, b), ca - cb);
+        }
+        Self { table, entries }
+    }
+
+    /// The pair table this ODT is defined over.
+    pub fn table(&self) -> &PairTable {
+        &self.table
+    }
+
+    /// Signed ODT value from `op`'s perspective:
+    /// `ODT[T] = count(T) - count(T')`. Unlockable ops report 0.
+    pub fn get(&self, op: BinaryOp) -> i64 {
+        let Some((a, b)) = self.table.canonical_pair_of(op) else {
+            return 0;
+        };
+        let v = self.entries.get(&(a, b)).copied().unwrap_or(0);
+        if op == a {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Records that one new operation of type `op` (a locking dummy) was
+    /// added to the design, shifting its pair's balance by one.
+    pub fn record_added(&mut self, op: BinaryOp) {
+        if let Some((a, b)) = self.table.canonical_pair_of(op) {
+            let entry = self.entries.entry((a, b)).or_insert(0);
+            if op == a {
+                *entry += 1;
+            } else {
+                *entry -= 1;
+            }
+        }
+    }
+
+    /// Reverts a [`Odt::record_added`] (used by the locking undo journal).
+    pub fn record_removed(&mut self, op: BinaryOp) {
+        if let Some((a, b)) = self.table.canonical_pair_of(op) {
+            let entry = self.entries.entry((a, b)).or_insert(0);
+            if op == a {
+                *entry -= 1;
+            } else {
+                *entry += 1;
+            }
+        }
+    }
+
+    /// The canonical pairs in deterministic order (the axes of the metric
+    /// vector).
+    pub fn pairs(&self) -> Vec<(BinaryOp, BinaryOp)> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The distribution vector `v_j = [|ODT[T_0]|, ..., |ODT[T_l-1]|]`
+    /// (§4.1), aligned with [`Odt::pairs`].
+    pub fn abs_vector(&self) -> Vec<f64> {
+        self.entries.values().map(|v| v.unsigned_abs() as f64).collect()
+    }
+
+    /// Total absolute imbalance `Σ_i |ODT[T_i]|` — the minimum number of
+    /// single-bit balancing locks needed to reach Def. 1 security.
+    pub fn total_imbalance(&self) -> u64 {
+        self.entries.values().map(|v| v.unsigned_abs()).sum()
+    }
+
+    /// Whether every entry is zero (globally secure per Def. 1).
+    pub fn is_balanced(&self) -> bool {
+        self.entries.values().all(|&v| v == 0)
+    }
+
+    /// Index of `op`'s canonical pair within [`Odt::pairs`].
+    pub fn pair_index(&self, op: BinaryOp) -> Option<usize> {
+        let pair = self.table.canonical_pair_of(op)?;
+        self.entries.keys().position(|k| *k == pair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlrl_rtl::ast::Expr;
+    use BinaryOp::*;
+
+    fn design(ops: &[(BinaryOp, usize)]) -> Module {
+        let mut m = Module::new("t");
+        m.add_input("a", 32).unwrap();
+        m.add_input("b", 32).unwrap();
+        let mut i = 0;
+        for (op, n) in ops {
+            for _ in 0..*n {
+                let w = format!("w{i}");
+                m.add_wire(&w, 32).unwrap();
+                let a = m.alloc_expr(Expr::Ident("a".into()));
+                let b = m.alloc_expr(Expr::Ident("b".into()));
+                let e = m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b });
+                m.add_assign(&w, e).unwrap();
+                i += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn paper_example_seven_plus_five_minus() {
+        // "a design with 7 + and 5 - has ODT[+] = +2 and ODT[-] = -2"
+        let m = design(&[(Add, 7), (Sub, 5)]);
+        let odt = Odt::load(&m, PairTable::fixed());
+        assert_eq!(odt.get(Add), 2);
+        assert_eq!(odt.get(Sub), -2);
+        assert_eq!(odt.total_imbalance(), 2);
+        assert!(!odt.is_balanced());
+    }
+
+    #[test]
+    fn record_added_moves_balance() {
+        let m = design(&[(Add, 3)]);
+        let mut odt = Odt::load(&m, PairTable::fixed());
+        assert_eq!(odt.get(Add), 3);
+        odt.record_added(Sub); // a Sub dummy paired onto an Add op
+        assert_eq!(odt.get(Add), 2);
+        odt.record_removed(Sub);
+        assert_eq!(odt.get(Add), 3);
+    }
+
+    #[test]
+    fn abs_vector_aligns_with_pairs() {
+        let m = design(&[(Add, 7), (Sub, 5), (Shl, 10)]);
+        let odt = Odt::load(&m, PairTable::fixed());
+        let pairs = odt.pairs();
+        let v = odt.abs_vector();
+        let add_idx = pairs.iter().position(|p| *p == (Add, Sub)).unwrap();
+        let shl_idx = pairs.iter().position(|p| *p == (Shl, Shr)).unwrap();
+        assert_eq!(v[add_idx], 2.0);
+        assert_eq!(v[shl_idx], 10.0);
+        assert_eq!(odt.pair_index(Shr), Some(shl_idx));
+    }
+
+    #[test]
+    fn balanced_design_is_balanced() {
+        let m = design(&[(Add, 4), (Sub, 4), (Mul, 2), (Div, 2)]);
+        let odt = Odt::load(&m, PairTable::fixed());
+        assert!(odt.is_balanced());
+        assert_eq!(odt.total_imbalance(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "involutive")]
+    fn leaky_table_is_rejected() {
+        let m = design(&[(Add, 1)]);
+        let _ = Odt::load(&m, PairTable::original_assure());
+    }
+
+    #[test]
+    fn get_is_antisymmetric_for_every_pair() {
+        let m = design(&[(Xor, 9), (And, 4), (Or, 6), (Lt, 2)]);
+        let odt = Odt::load(&m, PairTable::fixed());
+        for (a, b) in odt.pairs() {
+            assert_eq!(odt.get(a), -odt.get(b), "{a:?}/{b:?}");
+        }
+        assert_eq!(odt.get(Xor), 9);
+        assert_eq!(odt.get(And), -2);
+        assert_eq!(odt.get(Lt), 2);
+    }
+}

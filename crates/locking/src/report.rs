@@ -1,0 +1,171 @@
+//! Locking run reports: key composition, structural overhead and
+//! before/after security posture in one summary.
+//!
+//! Used by the examples and the CLI to show the full cost/benefit picture
+//! of a locking run — the paper's evaluation reports the benefit (KPA);
+//! this report adds the cost side ("the cost of a locking pair per key bit
+//! has not changed", §5).
+
+use std::fmt;
+
+use mlrl_rtl::op::BinaryOp;
+use mlrl_rtl::stats::{DesignStats, LockingOverhead};
+use mlrl_rtl::Module;
+
+use crate::key::{Key, KeyBitKind};
+use crate::metric::SecurityMetric;
+use crate::odt::Odt;
+use crate::pairs::PairTable;
+
+/// Summary of one locking run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockingReport {
+    /// Scheme label supplied by the caller.
+    pub scheme: String,
+    /// Key bits by kind: `(operation, branch, constant)`.
+    pub key_bits: (usize, usize, usize),
+    /// Structural cost.
+    pub overhead: LockingOverhead,
+    /// Global security metric of the locked design against the original
+    /// distribution.
+    pub m_g_sec: f64,
+    /// Residual total imbalance after locking.
+    pub residual_imbalance: u64,
+    /// Per-pair `(T, T', |ODT|)` rows for pairs present in the design.
+    pub pair_balance: Vec<(BinaryOp, BinaryOp, u64)>,
+}
+
+impl LockingReport {
+    /// Builds the report from the original design, the locked design and
+    /// the key that locking produced.
+    pub fn build(
+        scheme: impl Into<String>,
+        original: &Module,
+        locked: &Module,
+        key: &Key,
+        table: &PairTable,
+    ) -> Self {
+        let before = DesignStats::of(original);
+        let after = DesignStats::of(locked);
+        let initial_odt = Odt::load(original, table.clone());
+        let metric = SecurityMetric::new(&initial_odt);
+        let locked_odt = Odt::load(locked, table.clone());
+        let pair_balance = locked_odt
+            .pairs()
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let v = locked_odt.get(a).unsigned_abs();
+                let present = after.ops.contains_key(&a) || after.ops.contains_key(&b);
+                present.then_some((a, b, v))
+            })
+            .collect();
+        Self {
+            scheme: scheme.into(),
+            key_bits: (
+                key.bits_of_kind(KeyBitKind::Operation).len(),
+                key.bits_of_kind(KeyBitKind::Branch).len(),
+                key.bits_of_kind(KeyBitKind::Constant).len(),
+            ),
+            overhead: after.overhead_vs(&before),
+            m_g_sec: metric.global(&locked_odt),
+            residual_imbalance: locked_odt.total_imbalance(),
+            pair_balance,
+        }
+    }
+
+    /// Total key bits.
+    pub fn total_key_bits(&self) -> usize {
+        self.key_bits.0 + self.key_bits.1 + self.key_bits.2
+    }
+
+    /// Whether the locked design satisfies Def. 1 globally.
+    pub fn is_globally_balanced(&self) -> bool {
+        self.residual_imbalance == 0
+    }
+}
+
+impl fmt::Display for LockingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} key bits (op {}, branch {}, const {})",
+            self.scheme,
+            self.total_key_bits(),
+            self.key_bits.0,
+            self.key_bits.1,
+            self.key_bits.2
+        )?;
+        writeln!(f, "  overhead: {}", self.overhead)?;
+        writeln!(
+            f,
+            "  M_g_sec = {:.1}, residual imbalance = {}",
+            self.m_g_sec, self.residual_imbalance
+        )?;
+        for (a, b, v) in &self.pair_balance {
+            writeln!(f, "    ({a}, {b}): |ODT| = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assure::{lock_operations, AssureConfig};
+    use crate::era::{era_lock, EraConfig};
+    use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+    use mlrl_rtl::visit;
+
+    #[test]
+    fn era_report_shows_full_balance() {
+        let original = generate(&benchmark_by_name("FIR").unwrap(), 1);
+        let mut locked = original.clone();
+        let total = visit::binary_ops(&locked).len();
+        let outcome = era_lock(&mut locked, &EraConfig::new(total, 2)).unwrap();
+        let report =
+            LockingReport::build("ERA", &original, &locked, &outcome.key, &PairTable::fixed());
+        assert!(report.is_globally_balanced());
+        assert_eq!(report.m_g_sec, 100.0);
+        assert_eq!(report.key_bits.0, outcome.key.len());
+        assert_eq!(report.key_bits.1, 0);
+        assert!((report.overhead.ops_per_key_bit() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assure_report_shows_residual_imbalance() {
+        let original = generate(&benchmark_by_name("MD5").unwrap(), 3);
+        let mut locked = original.clone();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(50, 4)).unwrap();
+        let report =
+            LockingReport::build("ASSURE", &original, &locked, &key, &PairTable::fixed());
+        assert!(!report.is_globally_balanced());
+        assert!(report.m_g_sec < 100.0);
+        assert!(report.residual_imbalance > 0);
+        assert_eq!(report.total_key_bits(), 50);
+    }
+
+    #[test]
+    fn display_renders_summary() {
+        let original = generate(&benchmark_by_name("IIR").unwrap(), 5);
+        let mut locked = original.clone();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(10, 6)).unwrap();
+        let report =
+            LockingReport::build("demo", &original, &locked, &key, &PairTable::fixed());
+        let text = report.to_string();
+        assert!(text.contains("demo: 10 key bits"));
+        assert!(text.contains("M_g_sec"));
+        assert!(text.contains("|ODT|"));
+    }
+
+    #[test]
+    fn pair_balance_only_lists_present_pairs() {
+        let original = generate(&benchmark_by_name("FIR").unwrap(), 7);
+        let mut locked = original.clone();
+        let key = lock_operations(&mut locked, &AssureConfig::serial(5, 8)).unwrap();
+        let report =
+            LockingReport::build("x", &original, &locked, &key, &PairTable::fixed());
+        // FIR only has (+,-) and (*,/) material.
+        assert!(report.pair_balance.len() <= 3);
+        assert!(!report.pair_balance.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Auto-ml model search — the stand-in for auto-sklearn [13].
+//!
+//! The paper lets auto-sklearn search model families and hyper-parameters
+//! for 600 s per attack iteration. This module performs the same job
+//! deterministically: a candidate grid over five model families is scored by
+//! stratified k-fold cross-validation; the winner is refit on the full
+//! training set. On SnapShot's tiny categorical feature space every
+//! competent family reaches the Bayes rate of the locality distribution, so
+//! the *choice* of stack does not move the evaluation — the label
+//! distribution induced by locking does (see DESIGN.md, substitution 2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::models::{
+    accuracy, AdaBoost, Classifier, DecisionTree, GaussianNaiveBayes, KNearestNeighbors,
+    LogisticRegression, MajorityClass, Mlp, RandomForest,
+};
+use crate::split::StratifiedKFold;
+
+/// Configuration of the auto-ml search.
+#[derive(Debug, Clone)]
+pub struct AutoMlConfig {
+    /// Cross-validation folds (≥ 2).
+    pub folds: usize,
+    /// Seed for fold assignment and stochastic models.
+    pub seed: u64,
+    /// Cap on training samples; larger sets are deterministically thinned.
+    /// Keeps the k-NN/forest candidates tractable on 100k+-sample
+    /// SnapShot training sets.
+    pub max_train_samples: usize,
+    /// Restrict the candidate families (empty = all).
+    pub families: Vec<ModelFamily>,
+    /// One-standard-error-style selection margin: a challenger must beat
+    /// the incumbent's CV accuracy by more than this to take the lead.
+    /// Candidates are ordered simple → flexible, so near-ties resolve to
+    /// the simpler model (majority, then trees, ... then logistic).
+    pub selection_margin: f64,
+}
+
+impl Default for AutoMlConfig {
+    fn default() -> Self {
+        Self {
+            folds: 3,
+            seed: 0,
+            max_train_samples: 6000,
+            families: Vec::new(),
+            selection_margin: 0.01,
+        }
+    }
+}
+
+/// Candidate model families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Majority baseline (always included as the floor).
+    Majority,
+    /// Multinomial logistic regression.
+    Logistic,
+    /// CART decision tree.
+    Tree,
+    /// Random forest.
+    Forest,
+    /// k-nearest neighbours.
+    Knn,
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+    /// Single-hidden-layer MLP (the SnapShot-style neural model).
+    Mlp,
+    /// AdaBoost over decision stumps.
+    AdaBoost,
+}
+
+/// Outcome of a search: the refit best model and its CV score.
+#[derive(Debug)]
+pub struct AutoMlOutcome {
+    /// Winner, refit on the full (possibly thinned) training set.
+    pub model: Box<dyn Classifier>,
+    /// Mean CV accuracy of the winner.
+    pub cv_accuracy: f64,
+    /// `(candidate name, mean CV accuracy)` leaderboard, best first.
+    pub leaderboard: Vec<(String, f64)>,
+}
+
+fn candidates(cfg: &AutoMlConfig) -> Vec<(String, Box<dyn Classifier>)> {
+    // Ordered simple -> flexible; the selection margin resolves near-ties
+    // towards the front of this list.
+    let all = [
+        ModelFamily::Majority,
+        ModelFamily::Tree,
+        ModelFamily::Forest,
+        ModelFamily::AdaBoost,
+        ModelFamily::Knn,
+        ModelFamily::NaiveBayes,
+        ModelFamily::Mlp,
+        ModelFamily::Logistic,
+    ];
+    let wanted: Vec<ModelFamily> = if cfg.families.is_empty() {
+        all.to_vec()
+    } else {
+        let mut fams = cfg.families.clone();
+        if !fams.contains(&ModelFamily::Majority) {
+            fams.push(ModelFamily::Majority);
+        }
+        fams
+    };
+    let mut out: Vec<(String, Box<dyn Classifier>)> = Vec::new();
+    for fam in wanted {
+        match fam {
+            ModelFamily::Majority => {
+                out.push(("majority".into(), Box::new(MajorityClass::new())));
+            }
+            ModelFamily::Logistic => {
+                for (lr, epochs) in [(0.3, 60), (0.1, 120)] {
+                    out.push((
+                        format!("logistic(lr={lr},epochs={epochs})"),
+                        Box::new(LogisticRegression::new(lr, epochs, 1e-4, cfg.seed)),
+                    ));
+                }
+            }
+            ModelFamily::Tree => {
+                for depth in [6, 12] {
+                    out.push((
+                        format!("tree(depth={depth})"),
+                        Box::new(DecisionTree::new(depth, 2)),
+                    ));
+                }
+            }
+            ModelFamily::Forest => {
+                out.push((
+                    "forest(trees=25,depth=10)".into(),
+                    Box::new(RandomForest::new(25, 10, cfg.seed)),
+                ));
+            }
+            ModelFamily::Knn => {
+                for k in [5, 15] {
+                    out.push((
+                        format!("knn(k={k})"),
+                        Box::new(KNearestNeighbors::new(k, 3000)),
+                    ));
+                }
+            }
+            ModelFamily::NaiveBayes => {
+                out.push(("naive-bayes".into(), Box::new(GaussianNaiveBayes::new())));
+            }
+            ModelFamily::Mlp => {
+                out.push((
+                    "mlp(hidden=16)".into(),
+                    Box::new(Mlp::new(16, 0.1, 60, cfg.seed)),
+                ));
+            }
+            ModelFamily::AdaBoost => {
+                out.push(("adaboost(rounds=30)".into(), Box::new(AdaBoost::new(30))));
+            }
+        }
+    }
+    out
+}
+
+/// Thins a dataset deterministically to at most `cap` samples via a seeded
+/// shuffle (a plain stride would alias with periodic class patterns).
+fn thin(data: &Dataset, cap: usize, seed: u64) -> Dataset {
+    if data.len() <= cap {
+        return data.clone();
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    indices.truncate(cap);
+    data.subset(&indices)
+}
+
+/// Runs the search: CV-scores every candidate, refits the best on the full
+/// training data and returns it.
+///
+/// # Panics
+///
+/// Panics if `train` has fewer samples than `cfg.folds`.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::automl::{auto_fit, AutoMlConfig};
+/// use mlrl_ml::dataset::Dataset;
+///
+/// let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 2) as f64]).collect();
+/// let y: Vec<usize> = (0..60).map(|i| i % 2).collect();
+/// let train = Dataset::from_rows(x, y)?;
+/// let outcome = auto_fit(&train, &AutoMlConfig::default());
+/// assert!(outcome.cv_accuracy > 0.95);
+/// assert_eq!(outcome.model.predict(&[1.0]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+pub fn auto_fit(train: &Dataset, cfg: &AutoMlConfig) -> AutoMlOutcome {
+    let train = thin(train, cfg.max_train_samples, cfg.seed);
+    let folds = cfg.folds.max(2).min(train.len());
+    let kfold = StratifiedKFold::new(&train, folds, cfg.seed);
+
+    let mut leaderboard: Vec<(String, f64)> = Vec::new();
+    let mut best: Option<(usize, f64)> = None;
+    let mut models = candidates(cfg);
+    for (idx, (name, model)) in models.iter_mut().enumerate() {
+        let mut scores = Vec::with_capacity(folds);
+        for fold in 0..folds {
+            let (tr, val) = kfold.split(&train, fold);
+            if tr.is_empty() || val.is_empty() {
+                continue;
+            }
+            model.fit(&tr);
+            scores.push(accuracy(model.as_ref(), &val));
+        }
+        let mean = if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        };
+        leaderboard.push((name.clone(), mean));
+        // One-standard-error-style rule: the earliest (simplest) candidate
+        // keeps the lead unless a challenger clearly beats it — majority
+        // wins on balanced data, trees beat logistic on near-ties.
+        if best.map(|(_, b)| mean > b + cfg.selection_margin).unwrap_or(true) {
+            best = Some((idx, mean));
+        }
+    }
+    let (best_idx, cv_accuracy) = best.expect("at least one candidate");
+    let (_, mut model) = models.swap_remove(best_idx);
+    model.fit(&train);
+    leaderboard.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    AutoMlOutcome { model, cv_accuracy, leaderboard }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::test_fixtures::{categorical, xor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn picks_a_nonlinear_model_for_xor() {
+        let train = xor(400, 1);
+        let outcome = auto_fit(&train, &AutoMlConfig::default());
+        assert!(outcome.cv_accuracy > 0.9, "leaderboard: {:?}", outcome.leaderboard);
+        let test = xor(200, 2);
+        let acc = crate::models::accuracy(outcome.model.as_ref(), &test);
+        assert!(acc > 0.9);
+    }
+
+    #[test]
+    fn balanced_random_labels_stay_at_chance() {
+        // The ERA situation: features carry no label information.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f64>> = (0..600)
+            .map(|_| {
+                let mut row = vec![0.0; 4];
+                row[rng.gen_range(0..4)] = 1.0;
+                row
+            })
+            .collect();
+        let y: Vec<usize> = (0..600).map(|_| rng.gen_range(0..2)).collect();
+        let train = Dataset::from_rows(x, y).unwrap();
+        let outcome = auto_fit(&train, &AutoMlConfig::default());
+        assert!(
+            outcome.cv_accuracy < 0.6,
+            "no model should beat chance: {:?}",
+            outcome.leaderboard
+        );
+    }
+
+    #[test]
+    fn thinning_respects_cap() {
+        let train = categorical(5000, 0.1, 4);
+        let cfg = AutoMlConfig { max_train_samples: 500, ..Default::default() };
+        let outcome = auto_fit(&train, &cfg);
+        assert!(outcome.cv_accuracy > 0.8);
+    }
+
+    #[test]
+    fn leaderboard_is_sorted_and_complete() {
+        let train = categorical(300, 0.05, 5);
+        let outcome = auto_fit(&train, &AutoMlConfig::default());
+        assert!(outcome.leaderboard.len() >= 6);
+        for w in outcome.leaderboard.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn family_restriction_is_honoured() {
+        let train = categorical(300, 0.05, 6);
+        let cfg = AutoMlConfig {
+            families: vec![ModelFamily::Tree],
+            ..Default::default()
+        };
+        let outcome = auto_fit(&train, &cfg);
+        // tree grid (2) + implicit majority floor (1)
+        assert_eq!(outcome.leaderboard.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = categorical(300, 0.1, 7);
+        let a = auto_fit(&train, &AutoMlConfig::default());
+        let b = auto_fit(&train, &AutoMlConfig::default());
+        assert_eq!(a.leaderboard, b.leaderboard);
+        assert_eq!(a.cv_accuracy, b.cv_accuracy);
+    }
+}

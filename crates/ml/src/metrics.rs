@@ -1,0 +1,171 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! KPA is an accuracy, but diagnosing *why* an attack works needs more:
+//! on the skewed label distributions of partially balanced locking, a
+//! majority predictor scores high accuracy while its balanced accuracy
+//! sits at 50% — exactly the "educated guess" effect of §5.1.
+
+use crate::dataset::Dataset;
+use crate::models::Classifier;
+
+/// A confusion matrix over `n` classes: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `model` on `data`.
+    pub fn evaluate(model: &dyn Classifier, data: &Dataset) -> Self {
+        let n = data.n_classes().max(1);
+        let mut counts = vec![vec![0usize; n]; n];
+        for i in 0..data.len() {
+            let actual = data.label(i);
+            let predicted = model.predict(data.row(i)).min(n - 1);
+            counts[actual][predicted] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Builds directly from label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_pairs(actual: &[usize], predicted: &[usize], n_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label count mismatch");
+        let n = n_classes.max(1);
+        let mut counts = vec![vec![0usize; n]; n];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            counts[a.min(n - 1)][p.min(n - 1)] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `counts[actual][predicted]`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Recall of `class` (true-positive rate), `None` if the class has no
+    /// samples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row as f64)
+        }
+    }
+
+    /// Precision of `class`, `None` if the class was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: usize = (0..self.n_classes()).map(|i| self.counts[i][class]).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / col as f64)
+        }
+    }
+
+    /// F1 score of `class`.
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Balanced accuracy: mean per-class recall. The honest score on a
+    /// skewed label distribution — a majority predictor gets `1/n`-ish
+    /// here no matter how skewed the data.
+    pub fn balanced_accuracy(&self) -> f64 {
+        let recalls: Vec<f64> =
+            (0..self.n_classes()).filter_map(|c| self.recall(c)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let cm = ConfusionMatrix::from_pairs(&[0, 1, 1, 0], &[0, 1, 1, 0], 2);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+        assert_eq!(cm.f1(0), Some(1.0));
+        assert_eq!(cm.f1(1), Some(1.0));
+    }
+
+    #[test]
+    fn majority_predictor_on_skewed_labels() {
+        // 90 of class 1, 10 of class 0, predictor says 1 always.
+        let actual: Vec<usize> = (0..100).map(|i| usize::from(i >= 10)).collect();
+        let predicted = vec![1usize; 100];
+        let cm = ConfusionMatrix::from_pairs(&actual, &predicted, 2);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-9);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-9, "balanced acc exposes the trick");
+        assert_eq!(cm.precision(0), None, "class 0 never predicted");
+        assert_eq!(cm.recall(0), Some(0.0));
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let cm = ConfusionMatrix::from_pairs(&[0, 0, 1], &[1, 0, 1], 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.total(), 3);
+    }
+
+    #[test]
+    fn evaluate_uses_a_model() {
+        use crate::models::MajorityClass;
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1, 0],
+        )
+        .unwrap();
+        let mut m = MajorityClass::new();
+        m.fit(&ds);
+        let cm = ConfusionMatrix::evaluate(&m, &ds);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-9);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn from_pairs_validates_lengths() {
+        let _ = ConfusionMatrix::from_pairs(&[0], &[], 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! AdaBoost (SAMME) over decision stumps — binary/multiclass boosting.
+//!
+//! Rounds out the auto-ml pool with a boosting family: auto-sklearn's
+//! search space includes AdaBoost, and on locality data boosting over
+//! one-feature stumps recovers per-indicator majorities with strong
+//! resistance to label noise.
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// A one-split decision stump.
+#[derive(Debug, Clone, Copy)]
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    /// predicted class when `row[feature] <= threshold`
+    left: usize,
+    /// predicted class otherwise
+    right: usize,
+}
+
+impl Stump {
+    fn predict(&self, row: &[f64]) -> usize {
+        if row[self.feature] <= self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+}
+
+/// AdaBoost.SAMME with decision stumps.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{AdaBoost, Classifier};
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]],
+///     vec![0, 0, 1, 1],
+/// )?;
+/// let mut ab = AdaBoost::new(10);
+/// ab.fit(&ds);
+/// assert_eq!(ab.predict(&[0.1]), 0);
+/// assert_eq!(ab.predict(&[0.9]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    rounds: usize,
+    stumps: Vec<(f64, Stump)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Creates an untrained booster with `rounds` stumps.
+    pub fn new(rounds: usize) -> Self {
+        Self { rounds: rounds.max(1), stumps: Vec::new(), n_classes: 2 }
+    }
+
+    /// Defaults for locality-sized problems.
+    pub fn with_defaults() -> Self {
+        Self::new(30)
+    }
+
+    /// Finds the weighted-error-minimizing stump.
+    fn best_stump(data: &Dataset, weights: &[f64]) -> Option<(Stump, f64)> {
+        let n_classes = data.n_classes();
+        let mut best: Option<(Stump, f64)> = None;
+        for feature in 0..data.n_features() {
+            let mut values: Vec<f64> = (0..data.len()).map(|i| data.row(i)[feature]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            values.dedup();
+            // Midpoints between distinct values plus an extreme threshold.
+            let mut thresholds: Vec<f64> =
+                values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+            if let Some(first) = values.first() {
+                thresholds.push(first - 1.0);
+            }
+            for &threshold in &thresholds {
+                // Weighted class votes on each side.
+                let mut left_votes = vec![0.0f64; n_classes];
+                let mut right_votes = vec![0.0f64; n_classes];
+                for i in 0..data.len() {
+                    if data.row(i)[feature] <= threshold {
+                        left_votes[data.label(i)] += weights[i];
+                    } else {
+                        right_votes[data.label(i)] += weights[i];
+                    }
+                }
+                let argmax = |v: &[f64]| {
+                    v.iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                };
+                let stump = Stump {
+                    feature,
+                    threshold,
+                    left: argmax(&left_votes),
+                    right: argmax(&right_votes),
+                };
+                let error: f64 = (0..data.len())
+                    .filter(|&i| stump.predict(data.row(i)) != data.label(i))
+                    .map(|i| weights[i])
+                    .sum();
+                if best.as_ref().map(|(_, e)| error < *e).unwrap_or(true) {
+                    best = Some((stump, error));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, data: &Dataset) {
+        self.stumps.clear();
+        self.n_classes = data.n_classes().max(2);
+        let n = data.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let k = self.n_classes as f64;
+        for _ in 0..self.rounds {
+            let Some((stump, error)) = Self::best_stump(data, &weights) else {
+                break;
+            };
+            let error = error.clamp(1e-12, 1.0);
+            if error >= 1.0 - 1.0 / k {
+                break; // no better than chance: stop boosting
+            }
+            // SAMME weight.
+            let alpha = ((1.0 - error) / error).ln() + (k - 1.0).ln();
+            self.stumps.push((alpha, stump));
+            // Re-weight and normalize.
+            let mut sum = 0.0;
+            for (i, w) in weights.iter_mut().enumerate() {
+                if stump.predict(data.row(i)) != data.label(i) {
+                    *w *= alpha.exp();
+                }
+                sum += *w;
+            }
+            for w in &mut weights {
+                *w /= sum;
+            }
+            if error < 1e-9 {
+                break; // perfect stump
+            }
+        }
+        if self.stumps.is_empty() {
+            // Degenerate data: fall back to a majority stump.
+            let majority = data.majority_class();
+            self.stumps.push((
+                1.0,
+                Stump { feature: 0, threshold: f64::INFINITY, left: majority, right: majority },
+            ));
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.stumps.is_empty(), "predict called before fit");
+        let mut votes = vec![0.0f64; self.n_classes];
+        for (alpha, stump) in &self.stumps {
+            votes[stump.predict(row).min(self.n_classes - 1)] += alpha;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaboost"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, categorical};
+
+    #[test]
+    fn separates_blobs() {
+        let mut ab = AdaBoost::with_defaults();
+        ab.fit(&blobs(200, 1));
+        assert!(accuracy(&ab, &blobs(100, 2)) > 0.95);
+    }
+
+    #[test]
+    fn boosting_beats_single_stump_on_conjunctions() {
+        // label = (x0 > 0.5) AND (x1 > 0.5): one axis-aligned stump tops
+        // out near 75%, an additive stump ensemble represents it exactly.
+        // (XOR is the known blind spot of stump boosting: every stump is
+        // chance there, so SAMME stops immediately — not a useful test.)
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let make = |n: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for _ in 0..n {
+                let a: f64 = rng.gen();
+                let b: f64 = rng.gen();
+                x.push(vec![a, b]);
+                y.push(usize::from(a > 0.5 && b > 0.5));
+            }
+            Dataset::from_rows(x, y).unwrap()
+        };
+        let train = make(500, 3);
+        let test = make(300, 4);
+        let mut one = AdaBoost::new(1);
+        one.fit(&train);
+        let mut many = AdaBoost::new(60);
+        many.fit(&train);
+        let single = accuracy(&one, &test);
+        let boosted = accuracy(&many, &test);
+        assert!(single < 0.9, "one stump cannot do AND exactly: {single}");
+        assert!(
+            boosted > single + 0.03,
+            "boosting must help: {single} -> {boosted}"
+        );
+        assert!(boosted > 0.93, "ensemble should approach the concept: {boosted}");
+    }
+
+    #[test]
+    fn noisy_categorical_majorities() {
+        let mut ab = AdaBoost::with_defaults();
+        ab.fit(&categorical(500, 0.1, 5));
+        assert!(accuracy(&ab, &categorical(200, 0.0, 6)) > 0.9);
+    }
+
+    #[test]
+    fn degenerate_single_class_data() {
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![2.0]], vec![0, 0]).unwrap();
+        let mut ab = AdaBoost::with_defaults();
+        ab.fit(&ds);
+        assert_eq!(ab.predict(&[5.0]), 0);
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_majority() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.0], vec![1.0], vec![1.0]],
+            vec![1, 1, 0],
+        )
+        .unwrap();
+        let mut ab = AdaBoost::with_defaults();
+        ab.fit(&ds);
+        assert_eq!(ab.predict(&[1.0]), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! k-nearest-neighbours classifier.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// k-NN with Euclidean distance and majority vote (ties broken towards the
+/// smaller class index, deterministically).
+///
+/// Fitting memorizes a bounded sample of the training set
+/// (`max_train_size`) so huge SnapShot training sets stay tractable.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{Classifier, KNearestNeighbors};
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]],
+///     vec![0, 0, 1, 1],
+/// )?;
+/// let mut knn = KNearestNeighbors::new(3, 10_000);
+/// knn.fit(&ds);
+/// assert_eq!(knn.predict(&[0.05]), 0);
+/// assert_eq!(knn.predict(&[4.9]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    k: usize,
+    max_train_size: usize,
+    train: Option<Dataset>,
+}
+
+impl KNearestNeighbors {
+    /// Creates an untrained k-NN model.
+    pub fn new(k: usize, max_train_size: usize) -> Self {
+        Self { k: k.max(1), max_train_size: max_train_size.max(1), train: None }
+    }
+
+    /// Reasonable defaults for locality datasets.
+    pub fn with_defaults() -> Self {
+        Self::new(15, 4000)
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, data: &Dataset) {
+        if data.len() <= self.max_train_size {
+            self.train = Some(data.clone());
+        } else {
+            // Deterministic thinning via a seeded shuffle — a plain stride
+            // would alias with any periodic class pattern in the data.
+            let mut indices: Vec<usize> = (0..data.len()).collect();
+            indices.shuffle(&mut StdRng::seed_from_u64(data.len() as u64));
+            indices.truncate(self.max_train_size);
+            self.train = Some(data.subset(&indices));
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let train = self.train.as_ref().expect("predict called before fit");
+        let mut dists: Vec<(f64, usize)> = (0..train.len())
+            .map(|i| {
+                let d: f64 = train
+                    .row(i)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, train.label(i))
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1))
+        });
+        let mut votes = vec![0usize; train.n_classes()];
+        for (_, label) in &dists[..k] {
+            votes[*label] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "k-nearest-neighbors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, xor};
+
+    #[test]
+    fn separates_blobs() {
+        let mut knn = KNearestNeighbors::new(5, 10_000);
+        knn.fit(&blobs(200, 1));
+        assert!(accuracy(&knn, &blobs(100, 2)) > 0.95);
+    }
+
+    #[test]
+    fn solves_xor() {
+        let mut knn = KNearestNeighbors::new(7, 10_000);
+        knn.fit(&xor(400, 3));
+        assert!(accuracy(&knn, &xor(200, 4)) > 0.9);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_set() {
+        let train = blobs(50, 5);
+        let mut knn = KNearestNeighbors::new(1, 10_000);
+        knn.fit(&train);
+        assert!((accuracy(&knn, &train) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thinning_caps_training_size() {
+        let train = blobs(1000, 6);
+        let mut knn = KNearestNeighbors::new(3, 100);
+        knn.fit(&train);
+        assert!(knn.train.as_ref().unwrap().len() <= 100);
+        // Still accurate on this easy problem.
+        assert!(accuracy(&knn, &blobs(100, 7)) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict called before fit")]
+    fn unfitted_predict_panics() {
+        let knn = KNearestNeighbors::with_defaults();
+        let _ = knn.predict(&[0.0]);
+    }
+}

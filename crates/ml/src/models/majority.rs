@@ -1,0 +1,74 @@
+//! Majority-class baseline.
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// Predicts the most frequent training class for every input — the floor
+/// any learned model must beat. On a perfectly balanced SnapShot training
+/// set (an ERA-locked design) no model can beat this baseline, which is
+/// exactly the paper's resilience argument.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{Classifier, MajorityClass};
+///
+/// let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 0])?;
+/// let mut m = MajorityClass::new();
+/// m.fit(&ds);
+/// assert_eq!(m.predict(&[9.0]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClass {
+    class: usize,
+}
+
+impl MajorityClass {
+    /// Creates an unfitted baseline (predicts class 0 until fitted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for MajorityClass {
+    fn fit(&mut self, data: &Dataset) {
+        self.class = data.majority_class();
+    }
+
+    fn predict(&self, _row: &[f64]) -> usize {
+        self.class
+    }
+
+    fn name(&self) -> &'static str {
+        "majority-class"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+
+    #[test]
+    fn predicts_majority_everywhere() {
+        let ds = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![2, 2, 2, 0],
+        )
+        .unwrap();
+        let mut m = MajorityClass::new();
+        m.fit(&ds);
+        assert_eq!(m.predict(&[0.0]), 2);
+        assert_eq!(m.predict(&[100.0]), 2);
+        assert!((accuracy(&m, &ds) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let m = MajorityClass::new();
+        assert_eq!(m.predict(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Single-hidden-layer multilayer perceptron.
+//!
+//! The original SnapShot attack [6] trains neural networks (found by
+//! neuroevolution); this MLP puts an equivalent hypothesis class into the
+//! auto-ml candidate pool. ReLU hidden layer, softmax output, seeded SGD.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// One-hidden-layer MLP classifier.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{Classifier, Mlp};
+///
+/// // XOR — beyond any linear model.
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]],
+///     vec![0, 1, 1, 0],
+/// )?;
+/// let mut mlp = Mlp::new(8, 0.3, 400, 0);
+/// mlp.fit(&ds);
+/// assert_eq!(mlp.predict(&[0.0, 1.0]), 1);
+/// assert_eq!(mlp.predict(&[1.0, 1.0]), 0);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    hidden: usize,
+    learning_rate: f64,
+    epochs: usize,
+    seed: u64,
+    /// w1[h][feature+1] (last = bias), w2[class][h+1] (last = bias)
+    w1: Vec<Vec<f64>>,
+    w2: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Creates an untrained MLP with `hidden` ReLU units.
+    pub fn new(hidden: usize, learning_rate: f64, epochs: usize, seed: u64) -> Self {
+        Self {
+            hidden: hidden.max(1),
+            learning_rate,
+            epochs,
+            seed,
+            w1: Vec::new(),
+            w2: Vec::new(),
+        }
+    }
+
+    /// Defaults tuned for locality-sized problems.
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(16, 0.1, 120, seed)
+    }
+
+    fn forward(&self, row: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let h: Vec<f64> = self
+            .w1
+            .iter()
+            .map(|w| {
+                let bias = *w.last().expect("bias");
+                let z: f64 =
+                    w[..w.len() - 1].iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + bias;
+                z.max(0.0)
+            })
+            .collect();
+        let scores: Vec<f64> = self
+            .w2
+            .iter()
+            .map(|w| {
+                let bias = *w.last().expect("bias");
+                w[..w.len() - 1].iter().zip(&h).map(|(wi, hi)| wi * hi).sum::<f64>() + bias
+            })
+            .collect();
+        (h, scores)
+    }
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset) {
+        let n_features = data.n_features();
+        let n_classes = data.n_classes().max(2);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let scale = (2.0 / (n_features.max(1) as f64)).sqrt();
+        self.w1 = (0..self.hidden)
+            .map(|_| (0..=n_features).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+        self.w2 = (0..n_classes)
+            .map(|_| (0..=self.hidden).map(|_| rng.gen_range(-scale..scale)).collect())
+            .collect();
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = data.row(i);
+                let target = data.label(i);
+                let (h, scores) = self.forward(row);
+                let probs = softmax(&scores);
+                // Output layer gradient.
+                let dout: Vec<f64> = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, p)| p - usize::from(c == target) as f64)
+                    .collect();
+                // Hidden gradient through ReLU.
+                let mut dh = vec![0.0; self.hidden];
+                for (c, w) in self.w2.iter().enumerate() {
+                    for (j, dh_j) in dh.iter_mut().enumerate() {
+                        *dh_j += dout[c] * w[j];
+                    }
+                }
+                let lr = self.learning_rate;
+                for (c, w) in self.w2.iter_mut().enumerate() {
+                    for (j, wj) in w[..self.hidden].iter_mut().enumerate() {
+                        *wj -= lr * dout[c] * h[j];
+                    }
+                    let bias = w.last_mut().expect("bias");
+                    *bias -= lr * dout[c];
+                }
+                for (j, w) in self.w1.iter_mut().enumerate() {
+                    if h[j] <= 0.0 {
+                        continue; // ReLU dead for this sample
+                    }
+                    for (wi, xi) in w[..n_features].iter_mut().zip(row) {
+                        *wi -= lr * dh[j] * xi;
+                    }
+                    let bias = w.last_mut().expect("bias");
+                    *bias -= lr * dh[j];
+                }
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.w1.is_empty(), "predict called before fit");
+        let (_, scores) = self.forward(row);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, categorical, xor};
+
+    #[test]
+    fn solves_xor() {
+        let train = xor(400, 1);
+        let test = xor(200, 2);
+        let mut mlp = Mlp::with_defaults(0);
+        mlp.fit(&train);
+        let acc = accuracy(&mlp, &test);
+        assert!(acc > 0.9, "MLP must solve XOR, got {acc}");
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let mut mlp = Mlp::with_defaults(1);
+        mlp.fit(&blobs(200, 3));
+        assert!(accuracy(&mlp, &blobs(100, 4)) > 0.95);
+    }
+
+    #[test]
+    fn categorical_structure() {
+        let mut mlp = Mlp::with_defaults(2);
+        mlp.fit(&categorical(500, 0.05, 5));
+        assert!(accuracy(&mlp, &categorical(200, 0.0, 6)) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = xor(150, 7);
+        let mut a = Mlp::with_defaults(9);
+        let mut b = Mlp::with_defaults(9);
+        a.fit(&train);
+        b.fit(&train);
+        for i in 0..train.len() {
+            assert_eq!(a.predict(train.row(i)), b.predict(train.row(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predict called before fit")]
+    fn unfitted_predict_panics() {
+        let mlp = Mlp::with_defaults(0);
+        let _ = mlp.predict(&[0.0]);
+    }
+}

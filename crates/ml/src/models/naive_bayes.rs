@@ -1,0 +1,148 @@
+//! Gaussian naive Bayes classifier.
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// Gaussian naive Bayes: per-class feature means/variances with Laplace
+/// variance smoothing, argmax of log-likelihood + log-prior.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{Classifier, GaussianNaiveBayes};
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![-3.0], vec![-2.5], vec![2.5], vec![3.0]],
+///     vec![0, 0, 1, 1],
+/// )?;
+/// let mut nb = GaussianNaiveBayes::new();
+/// nb.fit(&ds);
+/// assert_eq!(nb.predict(&[-2.0]), 0);
+/// assert_eq!(nb.predict(&[2.0]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNaiveBayes {
+    /// per class: (log_prior, means, variances)
+    classes: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+const VAR_SMOOTHING: f64 = 1e-6;
+
+impl GaussianNaiveBayes {
+    /// Creates an untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, data: &Dataset) {
+        self.classes.clear();
+        let n_features = data.n_features();
+        for class in 0..data.n_classes() {
+            let rows: Vec<&[f64]> = (0..data.len())
+                .filter(|&i| data.label(i) == class)
+                .map(|i| data.row(i))
+                .collect();
+            if rows.is_empty() {
+                // Empty class: strongly negative prior so it never wins.
+                self.classes.push((f64::NEG_INFINITY, vec![0.0; n_features], vec![1.0; n_features]));
+                continue;
+            }
+            let n = rows.len() as f64;
+            let log_prior = (n / data.len() as f64).ln();
+            let mut means = vec![0.0; n_features];
+            for row in &rows {
+                for (m, x) in means.iter_mut().zip(*row) {
+                    *m += x;
+                }
+            }
+            for m in &mut means {
+                *m /= n;
+            }
+            let mut vars = vec![0.0; n_features];
+            for row in &rows {
+                for ((v, m), x) in vars.iter_mut().zip(&means).zip(*row) {
+                    *v += (x - m) * (x - m);
+                }
+            }
+            for v in &mut vars {
+                *v = *v / n + VAR_SMOOTHING;
+            }
+            self.classes.push((log_prior, means, vars));
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.classes.is_empty(), "predict called before fit");
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (class, (log_prior, means, vars)) in self.classes.iter().enumerate() {
+            let mut ll = *log_prior;
+            for ((x, m), v) in row.iter().zip(means).zip(vars) {
+                ll += -0.5 * ((x - m) * (x - m) / v + (2.0 * std::f64::consts::PI * v).ln());
+            }
+            if ll > best.1 {
+                best = (class, ll);
+            }
+        }
+        best.0
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian-naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, categorical};
+
+    #[test]
+    fn separates_blobs() {
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&blobs(200, 1));
+        assert!(accuracy(&nb, &blobs(100, 2)) > 0.95);
+    }
+
+    #[test]
+    fn categorical_structure() {
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&categorical(500, 0.05, 3));
+        assert!(accuracy(&nb, &categorical(200, 0.0, 4)) > 0.9);
+    }
+
+    #[test]
+    fn respects_priors_on_skewed_data() {
+        // 90% class 1 with identical features: prior dominates.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![1.0]);
+            y.push(usize::from(i >= 10));
+        }
+        let ds = Dataset::from_rows(x, y).unwrap();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&ds);
+        assert_eq!(nb.predict(&[1.0]), 1);
+    }
+
+    #[test]
+    fn missing_class_never_predicted() {
+        // Labels {0, 2}: class 1 has no samples.
+        let ds = Dataset::from_rows(
+            vec![vec![-3.0], vec![-2.9], vec![3.0], vec![2.9]],
+            vec![0, 0, 2, 2],
+        )
+        .unwrap();
+        let mut nb = GaussianNaiveBayes::new();
+        nb.fit(&ds);
+        for probe in [-5.0, 0.0, 5.0] {
+            assert_ne!(nb.predict(&[probe]), 1);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! CART decision tree with Gini impurity.
+
+use crate::dataset::Dataset;
+
+use super::Classifier;
+
+/// Node of a fitted tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// rows with `row[feature] <= threshold`
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Axis-aligned CART decision tree (Gini impurity, binary splits).
+///
+/// The workhorse of the SnapShot attack in this reproduction: one-hot
+/// operator-code features give clean axis-aligned structure a tree captures
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_ml::dataset::Dataset;
+/// use mlrl_ml::models::{Classifier, DecisionTree};
+///
+/// let ds = Dataset::from_rows(
+///     vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 0.9], vec![0.9, 0.1]],
+///     vec![0, 1, 0, 1],
+/// )?;
+/// let mut tree = DecisionTree::new(4, 1);
+/// tree.fit(&ds);
+/// assert_eq!(tree.predict(&[0.0, 1.0]), 0);
+/// assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+/// # Ok::<(), mlrl_ml::dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples_split: usize,
+    nodes: Vec<Node>,
+    /// Restrict candidate features (used by random forests); `None` = all.
+    feature_subset: Option<Vec<usize>>,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree.
+    pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
+        Self { max_depth, min_samples_split: min_samples_split.max(1), nodes: Vec::new(), feature_subset: None }
+    }
+
+    /// Reasonable defaults for locality datasets.
+    pub fn with_defaults() -> Self {
+        Self::new(12, 2)
+    }
+
+    /// Restricts splits to `features` (random-forest support).
+    pub(crate) fn with_feature_subset(mut self, features: Vec<usize>) -> Self {
+        self.feature_subset = Some(features);
+        self
+    }
+
+    fn build(&mut self, data: &Dataset, indices: &[usize], depth: usize) -> usize {
+        let majority = majority_of(data, indices);
+        let done = depth >= self.max_depth
+            || indices.len() < self.min_samples_split
+            || is_pure(data, indices);
+        if done {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        match best_split(data, indices, self.feature_subset.as_deref()) {
+            None => {
+                self.nodes.push(Node::Leaf { class: majority });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| data.row(i)[feature] <= threshold);
+                if li.is_empty() || ri.is_empty() {
+                    self.nodes.push(Node::Leaf { class: majority });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve the split slot before recursing.
+                self.nodes.push(Node::Leaf { class: majority });
+                let slot = self.nodes.len() - 1;
+                let left = self.build(data, &li, depth + 1);
+                let right = self.build(data, &ri, depth + 1);
+                self.nodes[slot] = Node::Split { feature, threshold, left, right };
+                slot
+            }
+        }
+    }
+}
+
+fn majority_of(data: &Dataset, indices: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &i in indices {
+        counts[data.label(i)] += 1;
+    }
+    counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
+}
+
+fn is_pure(data: &Dataset, indices: &[usize]) -> bool {
+    let first = data.label(indices[0]);
+    indices.iter().all(|&i| data.label(i) == first)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+/// Finds the `(feature, threshold)` split minimizing weighted Gini, or
+/// `None` if no split improves purity.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    feature_subset: Option<&[usize]>,
+) -> Option<(usize, f64)> {
+    let n_classes = data.n_classes();
+    let total = indices.len();
+    let mut parent_counts = vec![0usize; n_classes];
+    for &i in indices {
+        parent_counts[data.label(i)] += 1;
+    }
+    let parent_gini = gini(&parent_counts, total);
+    let mut best: Option<(f64, usize, f64)> = None;
+
+    let all_features: Vec<usize> = (0..data.n_features()).collect();
+    let features = feature_subset.unwrap_or(&all_features);
+
+    for &feature in features {
+        // Sort indices by this feature; sweep thresholds between distinct
+        // values.
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            data.row(a)[feature]
+                .partial_cmp(&data.row(b)[feature])
+                .expect("finite features")
+        });
+        let mut left_counts = vec![0usize; n_classes];
+        for w in 0..sorted.len().saturating_sub(1) {
+            left_counts[data.label(sorted[w])] += 1;
+            let cur = data.row(sorted[w])[feature];
+            let next = data.row(sorted[w + 1])[feature];
+            if cur == next {
+                continue;
+            }
+            let left_n = w + 1;
+            let right_n = total - left_n;
+            let right_counts: Vec<usize> = parent_counts
+                .iter()
+                .zip(&left_counts)
+                .map(|(p, l)| p - l)
+                .collect();
+            let weighted = (left_n as f64 * gini(&left_counts, left_n)
+                + right_n as f64 * gini(&right_counts, right_n))
+                / total as f64;
+            if weighted + 1e-12 < parent_gini
+                && best.map(|(b, _, _)| weighted < b).unwrap_or(true)
+            {
+                best = Some((weighted, feature, (cur + next) / 2.0));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.build(data, &indices, 0);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.nodes.is_empty(), "predict called before fit");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, categorical, xor};
+
+    #[test]
+    fn solves_xor() {
+        let train = xor(400, 1);
+        let test = xor(200, 2);
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&train);
+        assert!(accuracy(&tree, &test) > 0.95, "tree must capture XOR");
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let train = blobs(200, 3);
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&train);
+        assert!(accuracy(&tree, &blobs(100, 4)) > 0.95);
+    }
+
+    #[test]
+    fn depth_zero_is_majority() {
+        let train = categorical(100, 0.0, 5);
+        let mut tree = DecisionTree::new(0, 2);
+        tree.fit(&train);
+        let maj = train.majority_class();
+        for i in 0..train.len() {
+            assert_eq!(tree.predict(train.row(i)), maj);
+        }
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 1]).unwrap();
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&ds);
+        assert_eq!(tree.nodes.len(), 1, "pure data needs a single leaf");
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn learns_noisy_categorical_majority_structure() {
+        let train = categorical(600, 0.1, 7);
+        let test = categorical(300, 0.0, 8);
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&train);
+        assert!(accuracy(&tree, &test) > 0.95);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let ds = Dataset::from_rows(
+            vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap();
+        let mut tree = DecisionTree::with_defaults();
+        tree.fit(&ds);
+        assert_eq!(tree.nodes.len(), 1, "no split possible on constant features");
+    }
+}

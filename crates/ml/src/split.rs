@@ -1,0 +1,150 @@
+//! Train/test splitting and stratified k-fold cross-validation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+
+/// Splits `data` into `(train, test)` with `test_fraction` of samples held
+/// out, shuffled deterministically by `seed`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not in `(0, 1)` or either side would be
+/// empty.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((data.len() as f64) * test_fraction).round() as usize;
+    let n_test = n_test.clamp(1, data.len() - 1);
+    let (test_idx, train_idx) = indices.split_at(n_test);
+    (data.subset(train_idx), data.subset(test_idx))
+}
+
+/// Stratified k-fold splitter: every fold approximates the full class
+/// distribution, so accuracy estimates stay unbiased on the skewed label
+/// distributions that partially-balanced locking produces.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl StratifiedKFold {
+    /// Assigns samples to `k` folds round-robin within each class,
+    /// after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > data.len()`.
+    pub fn new(data: &Dataset, k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        assert!(k <= data.len(), "k may not exceed the sample count");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut folds = vec![Vec::new(); k];
+        for class in 0..data.n_classes() {
+            let mut members: Vec<usize> =
+                (0..data.len()).filter(|&i| data.label(i) == class).collect();
+            members.shuffle(&mut rng);
+            for (j, idx) in members.into_iter().enumerate() {
+                folds[j % k].push(idx);
+            }
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `(train, validation)` datasets of fold `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold >= k`.
+    pub fn split(&self, data: &Dataset, fold: usize) -> (Dataset, Dataset) {
+        let val_idx = &self.folds[fold];
+        let train_idx: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (data.subset(&train_idx), data.subset(val_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed(n: usize) -> Dataset {
+        // 25% class 0, 75% class 1.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..n).map(|i| usize::from(i % 4 != 0)).collect();
+        Dataset::from_rows(x, y).unwrap()
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = skewed(100);
+        let (train, test) = train_test_split(&ds, 0.3, 1);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = skewed(50);
+        let (a, _) = train_test_split(&ds, 0.2, 9);
+        let (b, _) = train_test_split(&ds, 0.2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kfold_partitions_disjointly() {
+        let ds = skewed(97);
+        let kf = StratifiedKFold::new(&ds, 5, 3);
+        let mut seen = vec![false; ds.len()];
+        for fold in &kf.folds {
+            for &i in fold {
+                assert!(!seen[i], "sample {i} in two folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn kfold_preserves_class_ratio() {
+        let ds = skewed(200);
+        let kf = StratifiedKFold::new(&ds, 4, 0);
+        for fold in 0..4 {
+            let (_, val) = kf.split(&ds, fold);
+            let counts = val.class_counts();
+            let ratio = counts[1] as f64 / val.len() as f64;
+            assert!((ratio - 0.75).abs() < 0.05, "fold {fold} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn kfold_rejects_k_one() {
+        let ds = skewed(10);
+        let _ = StratifiedKFold::new(&ds, 1, 0);
+    }
+
+    #[test]
+    fn split_train_val_cover_everything() {
+        let ds = skewed(30);
+        let kf = StratifiedKFold::new(&ds, 3, 1);
+        let (train, val) = kf.split(&ds, 0);
+        assert_eq!(train.len() + val.len(), 30);
+    }
+}

@@ -1,0 +1,743 @@
+//! Word-level circuit builder over [`Netlist`].
+//!
+//! The RTL simulator evaluates every expression on full 64-bit values with
+//! wrapping semantics and masks only when a value is assigned to a signal
+//! (see `mlrl_rtl::sim`). To be *bit-exact* with it, the builder represents
+//! every intermediate value as a [`Lane`] of 64 bit-nets and relies on
+//! aggressive constant folding plus structural hashing to collapse the upper
+//! bits — signal values are stored masked, so an 8-bit signal contributes 56
+//! constant-0 nets and the arithmetic above bit 7 folds away for free.
+//!
+//! All gate-construction helpers simplify eagerly:
+//! identical operands, constant operands, and double negations never emit a
+//! gate, and structurally identical gates are shared (hash-consing).
+
+use std::collections::HashMap;
+
+use crate::ir::{GateKind, NetId, Netlist};
+
+/// Width of every builder lane. Matches the RTL simulator's `u64` values.
+pub const LANE_WIDTH: usize = 64;
+
+/// A 64-bit word as an array of bit nets, index 0 = LSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane(pub [NetId; LANE_WIDTH]);
+
+impl Lane {
+    /// Lane holding the constant 0.
+    pub fn zero() -> Self {
+        Lane([NetId::CONST0; LANE_WIDTH])
+    }
+
+    /// Bit net at position `i` (LSB = 0).
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// The low `width` bits of this lane.
+    pub fn low_bits(&self, width: usize) -> Vec<NetId> {
+        self.0[..width.min(LANE_WIDTH)].to_vec()
+    }
+}
+
+/// Builder that adds simplified, hash-consed logic to a [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_netlist::build::NetlistBuilder;
+/// use mlrl_netlist::ir::Netlist;
+///
+/// let mut b = NetlistBuilder::new(Netlist::new("adder"));
+/// let a = b.input_lane("a", 8);
+/// let c = b.input_lane("b", 8);
+/// let sum = b.add(a, c);
+/// b.output_from_lane("y", sum, 8);
+/// let netlist = b.finish();
+/// assert!(netlist.validate().is_ok());
+/// // 8-bit ripple-carry: the 56 upper bits folded to constants.
+/// assert!(netlist.gates().len() < 60);
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+    /// Constant value of a net, if known. Indexed by net id.
+    consts: Vec<Option<bool>>,
+    /// Structural hashing: (kind, inputs) -> existing output net.
+    cse: HashMap<(GateKind, [NetId; 3]), NetId>,
+    /// Involution cache: net -> its inverse, in both directions.
+    inverses: HashMap<NetId, NetId>,
+}
+
+impl NetlistBuilder {
+    /// Wraps an existing netlist (usually a fresh one).
+    pub fn new(netlist: Netlist) -> Self {
+        let mut consts = vec![None; netlist.net_count()];
+        consts[NetId::CONST0.index()] = Some(false);
+        consts[NetId::CONST1.index()] = Some(true);
+        Self { netlist, consts, cse: HashMap::new(), inverses: HashMap::new() }
+    }
+
+    /// Consumes the builder and returns the finished netlist.
+    pub fn finish(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Read-only view of the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Constant value of `net`, if the builder proved one.
+    pub fn const_of(&self, net: NetId) -> Option<bool> {
+        self.consts.get(net.index()).copied().flatten()
+    }
+
+    /// Constant value of a whole lane, if every bit is constant.
+    pub fn lane_const(&self, lane: Lane) -> Option<u64> {
+        let mut v = 0u64;
+        for (i, &b) in lane.0.iter().enumerate() {
+            if self.const_of(b)? {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// The net carrying constant `v`.
+    pub fn const_net(&self, v: bool) -> NetId {
+        if v {
+            NetId::CONST1
+        } else {
+            NetId::CONST0
+        }
+    }
+
+    /// Lane holding the 64-bit constant `value`.
+    pub fn const_lane(&self, value: u64) -> Lane {
+        let mut lane = Lane::zero();
+        for (i, slot) in lane.0.iter_mut().enumerate() {
+            *slot = self.const_net(value >> i & 1 == 1);
+        }
+        lane
+    }
+
+    /// Declares an input port and returns it as a zero-extended lane.
+    pub fn input_lane(&mut self, name: &str, width: usize) -> Lane {
+        let bits = self.netlist.add_input_port(name, width);
+        self.grow_consts();
+        let mut lane = Lane::zero();
+        lane.0[..width].copy_from_slice(&bits);
+        lane
+    }
+
+    /// Declares a fresh key bit and returns its net.
+    pub fn key_bit(&mut self) -> NetId {
+        let (_, net) = self.netlist.add_key_bit();
+        self.grow_consts();
+        net
+    }
+
+    /// Ensures at least `n` key input nets exist, so that netlist key bit
+    /// `i` is `K[i]` regardless of the order key references are lowered.
+    pub fn reserve_key_bits(&mut self, n: usize) {
+        while self.netlist.key_width() < n {
+            self.key_bit();
+        }
+    }
+
+    /// Key bits `lsb..lsb+width` as a zero-extended lane, allocating key
+    /// inputs as needed so that bit `i` of the netlist key is `K[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds [`LANE_WIDTH`] (a key *slice* is a lowered
+    /// constant, which is at most 64 bits; whole-design keys can be wider
+    /// and are reserved with [`NetlistBuilder::reserve_key_bits`]).
+    pub fn key_slice_lane(&mut self, lsb: u32, width: u32) -> Lane {
+        assert!(width as usize <= LANE_WIDTH, "key slice wider than a lane");
+        self.reserve_key_bits((lsb + width) as usize);
+        let mut lane = Lane::zero();
+        for b in 0..width as usize {
+            lane.0[b] = self.netlist.key_bits()[lsb as usize + b];
+        }
+        lane
+    }
+
+    /// Declares a flip-flop word of `width` bits and returns its state lane
+    /// (zero-extended). Data inputs are connected later via
+    /// [`NetlistBuilder::connect_dff_lane`].
+    pub fn dff_lane(&mut self, width: usize) -> Lane {
+        let mut lane = Lane::zero();
+        for slot in lane.0.iter_mut().take(width) {
+            *slot = self.netlist.add_dff();
+        }
+        self.grow_consts();
+        lane
+    }
+
+    /// Connects the next-state lane of a flip-flop word declared with
+    /// [`NetlistBuilder::dff_lane`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_lane` does not consist of flip-flop state nets.
+    pub fn connect_dff_lane(&mut self, q_lane: Lane, d_lane: Lane, width: usize) {
+        for i in 0..width {
+            self.netlist
+                .set_dff_data(q_lane.0[i], d_lane.0[i])
+                .expect("q lane must be dff state nets");
+        }
+    }
+
+    /// Binds the low `width` bits of `lane` to a fresh output port.
+    pub fn output_from_lane(&mut self, name: &str, lane: Lane, width: usize) {
+        self.netlist.add_output_port(name, lane.low_bits(width));
+    }
+
+    /// Masks a lane to `width` bits (upper bits become constant 0), the
+    /// netlist analogue of the simulator's assignment masking.
+    pub fn mask_lane(&self, lane: Lane, width: usize) -> Lane {
+        let mut out = Lane::zero();
+        out.0[..width.min(LANE_WIDTH)].copy_from_slice(&lane.0[..width.min(LANE_WIDTH)]);
+        out
+    }
+
+    fn grow_consts(&mut self) {
+        self.consts.resize(self.netlist.net_count(), None);
+    }
+
+    fn raw_gate(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
+        let mut key = [NetId::CONST0; 3];
+        key[..inputs.len()].copy_from_slice(&inputs);
+        if let Some(&out) = self.cse.get(&(kind, key)) {
+            return out;
+        }
+        let out = self.netlist.add_gate(kind, inputs);
+        self.grow_consts();
+        self.cse.insert((kind, key), out);
+        out
+    }
+
+    // ---- bit-level constructors with simplification --------------------
+
+    /// NOT with folding and involution sharing.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.const_of(a) {
+            return self.const_net(!v);
+        }
+        if let Some(&inv) = self.inverses.get(&a) {
+            return inv;
+        }
+        let out = self.raw_gate(GateKind::Not, vec![a]);
+        self.inverses.insert(a, out);
+        self.inverses.insert(out, a);
+        out
+    }
+
+    /// AND with folding: `a&0=0`, `a&1=a`, `a&a=a`, `a&!a=0`.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = sort2(a, b);
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return NetId::CONST0,
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.inverses.get(&a) == Some(&b) {
+            return NetId::CONST0;
+        }
+        self.raw_gate(GateKind::And, vec![a, b])
+    }
+
+    /// OR with folding: `a|1=1`, `a|0=a`, `a|a=a`, `a|!a=1`.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = sort2(a, b);
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return NetId::CONST1,
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.inverses.get(&a) == Some(&b) {
+            return NetId::CONST1;
+        }
+        self.raw_gate(GateKind::Or, vec![a, b])
+    }
+
+    /// XOR with folding: `a^0=a`, `a^1=!a`, `a^a=0`, `a^!a=1`.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        let (a, b) = sort2(a, b);
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return NetId::CONST0;
+        }
+        if self.inverses.get(&a) == Some(&b) {
+            return NetId::CONST1;
+        }
+        self.raw_gate(GateKind::Xor, vec![a, b])
+    }
+
+    /// XNOR via XOR + inversion folding.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// MUX `sel ? a : b` with folding: constant select, equal branches, and
+    /// boolean-shortcut branches.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        match self.const_of(sel) {
+            Some(true) => return a,
+            Some(false) => return b,
+            None => {}
+        }
+        if a == b {
+            return a;
+        }
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), Some(false)) => return sel,
+            (Some(false), Some(true)) => return self.not(sel),
+            (Some(true), None) => return self.or(sel, b),
+            (Some(false), None) => {
+                let ns = self.not(sel);
+                return self.and(ns, b);
+            }
+            (None, Some(true)) => {
+                let ns = self.not(sel);
+                return self.or(ns, a);
+            }
+            (None, Some(false)) => return self.and(sel, a),
+            _ => {}
+        }
+        self.raw_gate(GateKind::Mux, vec![sel, a, b])
+    }
+
+    /// Full adder; returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let t1 = self.and(a, b);
+        let t2 = self.and(axb, cin);
+        let carry = self.or(t1, t2);
+        (sum, carry)
+    }
+
+    // ---- word-level operations (all wrap at 64 bits) --------------------
+
+    /// Per-bit NOT of a lane (upper constant-0 bits become constant 1, as in
+    /// the simulator's 64-bit `!v`).
+    pub fn not_lane(&mut self, a: Lane) -> Lane {
+        let mut out = Lane::zero();
+        for i in 0..LANE_WIDTH {
+            out.0[i] = self.not(a.0[i]);
+        }
+        out
+    }
+
+    /// Per-bit binary op on two lanes.
+    fn zip_lane(&mut self, a: Lane, b: Lane, f: fn(&mut Self, NetId, NetId) -> NetId) -> Lane {
+        let mut out = Lane::zero();
+        for i in 0..LANE_WIDTH {
+            out.0[i] = f(self, a.0[i], b.0[i]);
+        }
+        out
+    }
+
+    /// Bitwise AND.
+    pub fn and_lane(&mut self, a: Lane, b: Lane) -> Lane {
+        self.zip_lane(a, b, Self::and)
+    }
+
+    /// Bitwise OR.
+    pub fn or_lane(&mut self, a: Lane, b: Lane) -> Lane {
+        self.zip_lane(a, b, Self::or)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor_lane(&mut self, a: Lane, b: Lane) -> Lane {
+        self.zip_lane(a, b, Self::xor)
+    }
+
+    /// Bitwise XNOR (64-bit, so upper bits of narrow operands become 1).
+    pub fn xnor_lane(&mut self, a: Lane, b: Lane) -> Lane {
+        self.zip_lane(a, b, Self::xnor)
+    }
+
+    /// Per-bit MUX of two lanes.
+    pub fn mux_lane(&mut self, sel: NetId, a: Lane, b: Lane) -> Lane {
+        let mut out = Lane::zero();
+        for i in 0..LANE_WIDTH {
+            out.0[i] = self.mux(sel, a.0[i], b.0[i]);
+        }
+        out
+    }
+
+    /// OR-reduction: 1 iff any bit of `a` is 1 (the simulator's `v != 0`).
+    pub fn or_reduce(&mut self, a: Lane) -> NetId {
+        let mut acc = NetId::CONST0;
+        for i in 0..LANE_WIDTH {
+            acc = self.or(acc, a.0[i]);
+        }
+        acc
+    }
+
+    /// Wrapping 64-bit addition (ripple carry).
+    pub fn add(&mut self, a: Lane, b: Lane) -> Lane {
+        self.add_with_carry(a, b, NetId::CONST0).0
+    }
+
+    /// Ripple-carry addition with explicit carry-in; returns `(sum, cout)`.
+    pub fn add_with_carry(&mut self, a: Lane, b: Lane, cin: NetId) -> (Lane, NetId) {
+        let mut out = Lane::zero();
+        let mut carry = cin;
+        for i in 0..LANE_WIDTH {
+            let (s, c) = self.full_adder(a.0[i], b.0[i], carry);
+            out.0[i] = s;
+            carry = c;
+        }
+        (out, carry)
+    }
+
+    /// Wrapping 64-bit subtraction `a - b` as `a + !b + 1`.
+    pub fn sub(&mut self, a: Lane, b: Lane) -> Lane {
+        let nb = self.not_lane(b);
+        self.add_with_carry(a, nb, NetId::CONST1).0
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: Lane) -> Lane {
+        self.sub(Lane::zero(), a)
+    }
+
+    /// Unsigned `a < b` (borrow of `a - b`).
+    pub fn lt(&mut self, a: Lane, b: Lane) -> NetId {
+        let nb = self.not_lane(b);
+        let (_, cout) = self.add_with_carry(a, nb, NetId::CONST1);
+        // carry-out of a + ~b + 1 is 1 iff a >= b
+        self.not(cout)
+    }
+
+    /// Equality over all 64 bits.
+    pub fn eq(&mut self, a: Lane, b: Lane) -> NetId {
+        let mut acc = NetId::CONST1;
+        for i in 0..LANE_WIDTH {
+            let x = self.xnor(a.0[i], b.0[i]);
+            acc = self.and(acc, x);
+        }
+        acc
+    }
+
+    /// Boolean bit as a zero-extended lane.
+    pub fn bit_lane(&self, bit: NetId) -> Lane {
+        let mut lane = Lane::zero();
+        lane.0[0] = bit;
+        lane
+    }
+
+    /// Wrapping 64-bit multiplication (shift-and-add over the multiplier's
+    /// non-constant-0 bits).
+    pub fn mul(&mut self, a: Lane, b: Lane) -> Lane {
+        let mut acc = self.const_lane(0);
+        for i in 0..LANE_WIDTH {
+            if self.const_of(b.0[i]) == Some(false) {
+                continue;
+            }
+            // partial product: (a << i) AND-replicated with b[i]
+            let mut pp = Lane::zero();
+            for j in i..LANE_WIDTH {
+                pp.0[j] = self.and(a.0[j - i], b.0[i]);
+            }
+            acc = self.add(acc, pp);
+        }
+        acc
+    }
+
+    /// Left shift by a variable amount (barrel shifter); amounts ≥ 64 give 0.
+    pub fn shl(&mut self, a: Lane, amount: Lane) -> Lane {
+        let mut cur = a;
+        for k in 0..6 {
+            let s = amount.0[k];
+            if self.const_of(s) == Some(false) {
+                continue;
+            }
+            let shift = 1usize << k;
+            let mut shifted = Lane::zero();
+            for j in shift..LANE_WIDTH {
+                shifted.0[j] = cur.0[j - shift];
+            }
+            cur = self.mux_lane(s, shifted, cur);
+        }
+        self.zero_if_amount_overflows(cur, amount)
+    }
+
+    /// Right shift by a variable amount (barrel shifter); amounts ≥ 64 give 0.
+    pub fn shr(&mut self, a: Lane, amount: Lane) -> Lane {
+        let mut cur = a;
+        for k in 0..6 {
+            let s = amount.0[k];
+            if self.const_of(s) == Some(false) {
+                continue;
+            }
+            let shift = 1usize << k;
+            let mut shifted = Lane::zero();
+            for j in 0..LANE_WIDTH - shift {
+                shifted.0[j] = cur.0[j + shift];
+            }
+            cur = self.mux_lane(s, shifted, cur);
+        }
+        self.zero_if_amount_overflows(cur, amount)
+    }
+
+    fn zero_if_amount_overflows(&mut self, value: Lane, amount: Lane) -> Lane {
+        // any amount bit >= 6 set -> shift >= 64 -> result 0
+        let mut big = NetId::CONST0;
+        for i in 6..LANE_WIDTH {
+            big = self.or(big, amount.0[i]);
+        }
+        let keep = self.not(big);
+        let mut out = Lane::zero();
+        for i in 0..LANE_WIDTH {
+            out.0[i] = self.and(value.0[i], keep);
+        }
+        out
+    }
+
+    /// Unsigned restoring division; returns `(quotient, remainder)`, with the
+    /// simulator's convention that division by zero yields `(0, 0)`.
+    pub fn divmod(&mut self, a: Lane, b: Lane) -> (Lane, Lane) {
+        let mut rem = self.const_lane(0);
+        let mut quo = Lane::zero();
+        for i in (0..LANE_WIDTH).rev() {
+            // rem = (rem << 1) | a[i]
+            let mut shifted = Lane::zero();
+            for j in 1..LANE_WIDTH {
+                shifted.0[j] = rem.0[j - 1];
+            }
+            shifted.0[0] = a.0[i];
+            rem = shifted;
+            // if rem >= b { rem -= b; q[i] = 1 }
+            let ge = {
+                let l = self.lt(rem, b);
+                self.not(l)
+            };
+            let diff = self.sub(rem, b);
+            rem = self.mux_lane(ge, diff, rem);
+            quo.0[i] = ge;
+        }
+        // division by zero yields 0 for both quotient and remainder
+        let bz = self.or_reduce(b);
+        let mut q_out = Lane::zero();
+        let mut r_out = Lane::zero();
+        for i in 0..LANE_WIDTH {
+            q_out.0[i] = self.and(quo.0[i], bz);
+            r_out.0[i] = self.and(rem.0[i], bz);
+        }
+        (q_out, r_out)
+    }
+
+    /// Wrapping exponentiation with a *constant* exponent (square-and-
+    /// multiply, exponent clamped to `u32::MAX` like the simulator).
+    pub fn pow_const(&mut self, a: Lane, exponent: u64) -> Lane {
+        let e = exponent.min(u32::MAX as u64) as u32;
+        let mut result = self.const_lane(1);
+        let mut square = a;
+        let mut rest = e;
+        while rest > 0 {
+            if rest & 1 == 1 {
+                result = self.mul(result, square);
+            }
+            rest >>= 1;
+            if rest > 0 {
+                square = self.mul(square, square);
+            }
+        }
+        result
+    }
+}
+
+fn sort2(a: NetId, b: NetId) -> (NetId, NetId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NetlistSimulator;
+
+    /// Builds a 2-input combinational netlist computing `f` and checks it
+    /// against `expect` on a grid of values.
+    fn check_binary(
+        widths: (usize, usize),
+        f: impl Fn(&mut NetlistBuilder, Lane, Lane) -> Lane,
+        expect: impl Fn(u64, u64) -> u64,
+    ) {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", widths.0);
+        let c = b.input_lane("b", widths.1);
+        let y = f(&mut b, a, c);
+        b.output_from_lane("y", y, 64);
+        let n = b.finish();
+        n.validate().unwrap();
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        let mask_a = if widths.0 >= 64 { u64::MAX } else { (1 << widths.0) - 1 };
+        let mask_b = if widths.1 >= 64 { u64::MAX } else { (1 << widths.1) - 1 };
+        for av in [0u64, 1, 2, 3, 7, 12, 100, 255, 256, u64::MAX] {
+            for bv in [0u64, 1, 2, 3, 5, 8, 63, 64, 200, u64::MAX] {
+                let (av, bv) = (av & mask_a, bv & mask_b);
+                sim.set_input("a", av).unwrap();
+                sim.set_input("b", bv).unwrap();
+                sim.settle().unwrap();
+                assert_eq!(
+                    sim.output("y").unwrap(),
+                    expect(av, bv),
+                    "inputs {av} {bv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_wrapping_semantics() {
+        check_binary((8, 8), |b, x, y| b.add(x, y), |x, y| x.wrapping_add(y));
+        check_binary((64, 64), |b, x, y| b.add(x, y), |x, y| x.wrapping_add(y));
+    }
+
+    #[test]
+    fn sub_wraps_to_full_64_bits() {
+        check_binary((8, 8), |b, x, y| b.sub(x, y), |x, y| x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn mul_matches() {
+        check_binary((8, 8), |b, x, y| b.mul(x, y), |x, y| x.wrapping_mul(y));
+        check_binary((16, 4), |b, x, y| b.mul(x, y), |x, y| x.wrapping_mul(y));
+    }
+
+    #[test]
+    fn divmod_matches_including_zero_divisor() {
+        check_binary(
+            (8, 8),
+            |b, x, y| b.divmod(x, y).0,
+            |x, y| if y == 0 { 0 } else { x / y },
+        );
+        check_binary(
+            (8, 8),
+            |b, x, y| b.divmod(x, y).1,
+            |x, y| if y == 0 { 0 } else { x % y },
+        );
+    }
+
+    #[test]
+    fn shifts_match_including_overflow_amounts() {
+        check_binary(
+            (8, 8),
+            |b, x, y| b.shl(x, y),
+            |x, y| if y >= 64 { 0 } else { x << y },
+        );
+        check_binary(
+            (8, 8),
+            |b, x, y| b.shr(x, y),
+            |x, y| if y >= 64 { 0 } else { x >> y },
+        );
+    }
+
+    #[test]
+    fn comparisons_match() {
+        check_binary((8, 8), |b, x, y| {
+            let bit = b.lt(x, y);
+            b.bit_lane(bit)
+        }, |x, y| (x < y) as u64);
+        check_binary((8, 8), |b, x, y| {
+            let bit = b.eq(x, y);
+            b.bit_lane(bit)
+        }, |x, y| (x == y) as u64);
+    }
+
+    #[test]
+    fn bitwise_ops_match_64_bit_semantics() {
+        check_binary((8, 8), |b, x, y| b.xor_lane(x, y), |x, y| x ^ y);
+        // XNOR on zero-extended operands sets the upper bits, like the sim.
+        check_binary((8, 8), |b, x, y| b.xnor_lane(x, y), |x, y| !(x ^ y));
+    }
+
+    #[test]
+    fn pow_const_matches() {
+        for e in 0..6u64 {
+            check_binary(
+                (8, 1),
+                |b, x, _| b.pow_const(x, e),
+                |x, _| x.wrapping_pow(e as u32),
+            );
+        }
+    }
+
+    #[test]
+    fn neg_and_not_match() {
+        check_binary((8, 1), |b, x, _| b.neg(x), |x, _| x.wrapping_neg());
+        check_binary((8, 1), |b, x, _| b.not_lane(x), |x, _| !x);
+    }
+
+    #[test]
+    fn constant_folding_emits_no_gates_for_constant_inputs() {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let x = b.const_lane(25);
+        let y = b.const_lane(17);
+        let sum = b.add(x, y);
+        assert_eq!(b.lane_const(sum), Some(42));
+        let prod = b.mul(x, y);
+        assert_eq!(b.lane_const(prod), Some(425));
+        let (q, r) = b.divmod(x, y);
+        assert_eq!(b.lane_const(q), Some(1));
+        assert_eq!(b.lane_const(r), Some(8));
+        assert!(b.finish().gates().is_empty());
+    }
+
+    #[test]
+    fn hash_consing_shares_identical_gates() {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", 2);
+        let g1 = b.and(a.bit(0), a.bit(1));
+        let g2 = b.and(a.bit(1), a.bit(0)); // commuted operands
+        assert_eq!(g1, g2);
+        assert_eq!(b.netlist().gates().len(), 1);
+    }
+
+    #[test]
+    fn double_negation_folds() {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", 1);
+        let n1 = b.not(a.bit(0));
+        let n2 = b.not(n1);
+        assert_eq!(n2, a.bit(0));
+    }
+
+    #[test]
+    fn mux_boolean_shortcuts() {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", 3);
+        let (s, x) = (a.bit(0), a.bit(1));
+        assert_eq!(b.mux(NetId::CONST1, x, a.bit(2)), x);
+        assert_eq!(b.mux(s, x, x), x);
+        // sel ? 1 : b == sel | b
+        let m = b.mux(s, NetId::CONST1, x);
+        let o = b.or(s, x);
+        assert_eq!(m, o);
+    }
+}

@@ -1,0 +1,210 @@
+//! Structural Verilog emitter for gate-level netlists.
+//!
+//! Emits one continuous assignment per gate over single-bit wires, plus
+//! word-level port declarations that concatenate the bit nets. The output is
+//! within the subset accepted by `mlrl_rtl::parser`, which gives a free
+//! cross-level round-trip check: emit the netlist, re-parse it as RTL, and
+//! simulate both against each other.
+
+use std::fmt::Write as _;
+
+use crate::error::Result;
+use crate::ir::{GateKind, NetId, Netlist};
+
+fn net_name(netlist: &Netlist, net: NetId) -> String {
+    if net == NetId::CONST0 {
+        "1'b0".to_owned()
+    } else if net == NetId::CONST1 {
+        "1'b1".to_owned()
+    } else if let Some(i) = netlist.key_bits().iter().position(|&k| k == net) {
+        format!("K[{i}]")
+    } else {
+        format!("n{}", net.0)
+    }
+}
+
+/// Emits a netlist as structural Verilog.
+///
+/// Word ports become `input`/`output` declarations plus per-bit unpacking /
+/// packing assigns; each gate becomes one `assign` with the matching
+/// operator (`~`, `&`, `|`, `^`, ternary for MUX); flip-flops become a
+/// single clocked always block. A `clk` input is added iff the netlist is
+/// sequential, and a `K` input iff it consumes key bits.
+///
+/// # Errors
+///
+/// Infallible today; kept fallible for interface stability.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_netlist::build::NetlistBuilder;
+/// use mlrl_netlist::emit::emit_structural_verilog;
+/// use mlrl_netlist::ir::Netlist;
+///
+/// let mut b = NetlistBuilder::new(Netlist::new("t"));
+/// let a = b.input_lane("a", 2);
+/// let c = b.input_lane("b", 2);
+/// let s = b.xor_lane(a, c);
+/// b.output_from_lane("y", s, 2);
+/// let text = emit_structural_verilog(&b.finish())?;
+/// assert!(text.contains("module t"));
+/// assert!(text.contains("^"));
+/// # Ok::<(), mlrl_netlist::error::NetlistError>(())
+/// ```
+pub fn emit_structural_verilog(netlist: &Netlist) -> Result<String> {
+    let mut out = String::new();
+    let has_dffs = !netlist.is_combinational();
+    // A lowered sequential design usually already carries its RTL `clk`
+    // input; only synthesize one when none exists.
+    let needs_clk_port = has_dffs && !netlist.inputs().iter().any(|p| p.name == "clk");
+
+    // Header.
+    let mut port_names: Vec<String> = Vec::new();
+    if needs_clk_port {
+        port_names.push("clk".to_owned());
+    }
+    if netlist.key_width() > 0 {
+        port_names.push("K".to_owned());
+    }
+    port_names.extend(netlist.inputs().iter().map(|p| p.name.clone()));
+    port_names.extend(netlist.outputs().iter().map(|p| p.name.clone()));
+    let _ = writeln!(out, "module {}({});", netlist.name(), port_names.join(", "));
+
+    if needs_clk_port {
+        let _ = writeln!(out, "  input clk;");
+    }
+    if netlist.key_width() > 0 {
+        let _ = writeln!(out, "  input [{}:0] K;", netlist.key_width() - 1);
+    }
+    for p in netlist.inputs() {
+        let _ = writeln!(out, "  input [{}:0] {};", p.width().saturating_sub(1), p.name);
+    }
+    for p in netlist.outputs() {
+        let _ = writeln!(out, "  output [{}:0] {};", p.width().saturating_sub(1), p.name);
+    }
+
+    // Wire declarations: gate outputs are wires, dff states are regs.
+    for g in netlist.gates() {
+        let _ = writeln!(out, "  wire n{};", g.output.0);
+    }
+    for f in netlist.dffs() {
+        let _ = writeln!(out, "  reg n{};", f.q.0);
+    }
+
+    // Input unpacking.
+    for p in netlist.inputs() {
+        for (i, &bit) in p.bits.iter().enumerate() {
+            let _ = writeln!(out, "  wire n{};", bit.0);
+            let _ = writeln!(out, "  assign n{} = {}[{}];", bit.0, p.name, i);
+        }
+    }
+
+    // Gates.
+    for g in netlist.gates() {
+        let ins: Vec<String> = g.inputs.iter().map(|&n| net_name(netlist, n)).collect();
+        let rhs = match g.kind {
+            GateKind::Buf => ins[0].clone(),
+            GateKind::Not => format!("~{}", ins[0]),
+            GateKind::And => format!("{} & {}", ins[0], ins[1]),
+            GateKind::Or => format!("{} | {}", ins[0], ins[1]),
+            GateKind::Nand => format!("~({} & {})", ins[0], ins[1]),
+            GateKind::Nor => format!("~({} | {})", ins[0], ins[1]),
+            GateKind::Xor => format!("{} ^ {}", ins[0], ins[1]),
+            GateKind::Xnor => format!("{} ~^ {}", ins[0], ins[1]),
+            GateKind::Mux => format!("{} ? {} : {}", ins[0], ins[1], ins[2]),
+        };
+        let _ = writeln!(out, "  assign n{} = {};", g.output.0, rhs);
+    }
+
+    // Flip-flops.
+    if has_dffs {
+        let _ = writeln!(out, "  always @(posedge clk) begin");
+        for f in netlist.dffs() {
+            let _ = writeln!(out, "    n{} <= {};", f.q.0, net_name(netlist, f.d));
+        }
+        let _ = writeln!(out, "  end");
+    }
+
+    // Output packing: build each output word from its bit nets.
+    for p in netlist.outputs() {
+        for (i, &bit) in p.bits.iter().enumerate() {
+            let _ = writeln!(out, "  wire {}_b{};", p.name, i);
+            let _ = writeln!(out, "  assign {}_b{} = {};", p.name, i, net_name(netlist, bit));
+        }
+        // y = b0 | (b1 << 1) | ...
+        let parts: Vec<String> = (0..p.width())
+            .map(|i| {
+                if i == 0 {
+                    format!("{}_b0", p.name)
+                } else {
+                    format!("({}_b{} << {})", p.name, i, i)
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "  assign {} = {};", p.name, parts.join(" | "));
+    }
+
+    let _ = writeln!(out, "endmodule");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::NetlistBuilder;
+    use crate::lock::xor_xnor_lock;
+    use crate::sim::NetlistSimulator;
+    use mlrl_rtl::parser::parse_verilog;
+    use mlrl_rtl::sim::Simulator;
+
+    #[test]
+    fn emitted_netlist_reparses_and_matches() {
+        let mut b = NetlistBuilder::new(NetlistBuilder::new(crate::ir::Netlist::new("t"))
+            .finish());
+        let a = b.input_lane("a", 4);
+        let c = b.input_lane("b", 4);
+        let s = b.add(a, c);
+        b.output_from_lane("y", s, 4);
+        let n = b.finish();
+        let text = emit_structural_verilog(&n).unwrap();
+        let m = parse_verilog(&text).unwrap();
+        let mut rtl = Simulator::new(&m).unwrap();
+        let mut gate = NetlistSimulator::new(&n).unwrap();
+        for (av, bv) in [(0u64, 0u64), (3, 5), (15, 15), (9, 8)] {
+            rtl.set_input("a", av).unwrap();
+            rtl.set_input("b", bv).unwrap();
+            gate.set_input("a", av).unwrap();
+            gate.set_input("b", bv).unwrap();
+            rtl.settle().unwrap();
+            gate.settle().unwrap();
+            assert_eq!(rtl.get("y").unwrap(), gate.output("y").unwrap());
+        }
+    }
+
+    #[test]
+    fn locked_netlist_emits_key_port() {
+        let mut b = NetlistBuilder::new(crate::ir::Netlist::new("t"));
+        let a = b.input_lane("a", 2);
+        let c = b.input_lane("b", 2);
+        let s = b.and_lane(a, c);
+        b.output_from_lane("y", s, 2);
+        let mut n = b.finish();
+        xor_xnor_lock(&mut n, 2, 1).unwrap();
+        let text = emit_structural_verilog(&n).unwrap();
+        assert!(text.contains("input [1:0] K;"));
+        assert!(text.contains("K[0]"));
+    }
+
+    #[test]
+    fn sequential_netlist_emits_always_block() {
+        let mut n = crate::ir::Netlist::new("t");
+        let q = n.add_dff();
+        let d = n.add_gate(crate::ir::GateKind::Not, vec![q]);
+        n.set_dff_data(q, d).unwrap();
+        n.add_output_port("y", vec![q]);
+        let text = emit_structural_verilog(&n).unwrap();
+        assert!(text.contains("always @(posedge clk)"));
+        assert!(text.contains("input clk;"));
+    }
+}

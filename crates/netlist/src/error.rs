@@ -1,0 +1,70 @@
+//! Error types for the netlist crate.
+
+use std::fmt;
+
+/// Errors produced while lowering, mutating, or simulating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A referenced net id does not exist in the netlist.
+    InvalidNetId(u32),
+    /// A port name was not found (or has the wrong direction).
+    UnknownPort(String),
+    /// Two ports or nets were declared with the same name.
+    DuplicateName(String),
+    /// The gates form a combinational cycle through this net.
+    CombinationalCycle(u32),
+    /// A net is driven by more than one gate / flip-flop / input.
+    MultipleDrivers(u32),
+    /// A net that must be driven has no driver.
+    Undriven(u32),
+    /// The RTL construct cannot be lowered to gates.
+    Lower(String),
+    /// `**` was applied to a non-constant exponent. Bit-blasting a variable
+    /// exponent is unbounded; real synthesis flows reject it too.
+    VariableExponent,
+    /// The key vector handed to the simulator is shorter than the netlist's
+    /// key width.
+    KeyTooShort {
+        /// Bits required by the netlist.
+        required: usize,
+        /// Bits provided.
+        provided: usize,
+    },
+    /// The operation requires a purely combinational netlist but flip-flops
+    /// are present.
+    Sequential,
+    /// A locking operation failed (no lockable wire left, bad target, ...).
+    Lock(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InvalidNetId(id) => write!(f, "invalid net id n{id}"),
+            NetlistError::UnknownPort(name) => write!(f, "unknown port `{name}`"),
+            NetlistError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle through net n{id}")
+            }
+            NetlistError::MultipleDrivers(id) => write!(f, "net n{id} has multiple drivers"),
+            NetlistError::Undriven(id) => write!(f, "net n{id} has no driver"),
+            NetlistError::Lower(msg) => write!(f, "lowering error: {msg}"),
+            NetlistError::VariableExponent => {
+                write!(f, "cannot bit-blast `**` with a non-constant exponent")
+            }
+            NetlistError::KeyTooShort { required, provided } => {
+                write!(f, "key has {provided} bits but netlist requires {required}")
+            }
+            NetlistError::Sequential => {
+                write!(f, "operation requires a combinational netlist but flip-flops are present")
+            }
+            NetlistError::Lock(msg) => write!(f, "locking error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetlistError>;

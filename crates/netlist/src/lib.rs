@@ -1,0 +1,59 @@
+//! # mlrl-netlist — gate-level substrate for ML-resilient logic locking
+//!
+//! The paper's threat model (§2.1) hands the attacker "a locked gate-level
+//! netlist"; its motivation (Fig. 1) is that ML attacks demonstrably break
+//! *gate-level* locking and asks whether the result extends to RTL. This
+//! crate supplies that gate level:
+//!
+//! - a flat structural [netlist IR](ir) over single-bit nets with a small
+//!   standard-cell-like gate set, flip-flops, and dedicated key inputs,
+//! - a word-level [builder](build) with constant folding and structural
+//!   hashing,
+//! - a bit-exact [lowering](lower) from `mlrl_rtl` modules ("synthesis" in
+//!   the paper's flow) under which RTL-locked designs stay locked,
+//! - a levelized [simulator](sim) and random-stimulus [equivalence
+//!   checks](equiv) against the RTL level,
+//! - traditional [gate-level locking](lock) (EPIC-style XOR/XNOR key gates
+//!   and key-controlled MUXes) — the baseline family the paper contrasts
+//!   RTL locking against,
+//! - netlist [statistics](stats) and a [structural Verilog emitter](emit)
+//!   that round-trips through the RTL parser.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mlrl_rtl::parser::parse_verilog;
+//! use mlrl_netlist::{equiv, lock, lower};
+//!
+//! // "Synthesize" an RTL design…
+//! let m = parse_verilog("
+//! module t(a, b, y);
+//!   input [7:0] a, b;
+//!   output [7:0] y;
+//!   assign y = a * b + a;
+//! endmodule")?;
+//! let netlist = lower::lower_module(&m)?;
+//!
+//! // …lock it at gate level, and verify the key restores the function.
+//! let mut locked = netlist.clone();
+//! let key = lock::xor_xnor_lock(&mut locked, 8, 42)?;
+//! let check = equiv::check_netlists(&netlist, &locked, &[], key.bits(), 100, 7)?;
+//! assert!(check.is_equivalent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod build;
+pub mod emit;
+pub mod equiv;
+pub mod error;
+pub mod ir;
+pub mod lock;
+pub mod lower;
+pub mod sim;
+pub mod stats;
+
+pub use error::{NetlistError, Result};
+pub use ir::{Gate, GateKind, NetId, Netlist};

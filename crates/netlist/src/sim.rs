@@ -1,0 +1,336 @@
+//! Gate-level netlist simulator.
+//!
+//! Mirrors the RTL simulator's interface (`set_input` / `set_key` /
+//! `settle` / `tick` / output reads) so the lowering can be validated by
+//! running both levels side by side on the same stimulus.
+
+use std::collections::HashMap;
+
+use crate::error::{NetlistError, Result};
+use crate::ir::{NetId, Netlist};
+
+/// A running simulation of one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_netlist::build::NetlistBuilder;
+/// use mlrl_netlist::ir::Netlist;
+/// use mlrl_netlist::sim::NetlistSimulator;
+///
+/// let mut b = NetlistBuilder::new(Netlist::new("adder"));
+/// let a = b.input_lane("a", 8);
+/// let c = b.input_lane("b", 8);
+/// let sum = b.add(a, c);
+/// b.output_from_lane("y", sum, 8);
+/// let n = b.finish();
+///
+/// let mut sim = NetlistSimulator::new(&n)?;
+/// sim.set_input("a", 200)?;
+/// sim.set_input("b", 100)?;
+/// sim.settle()?;
+/// assert_eq!(sim.output("y")?, 300 & 0xff);
+/// # Ok::<(), mlrl_netlist::error::NetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistSimulator<'n> {
+    netlist: &'n Netlist,
+    values: Vec<bool>,
+    key: Vec<bool>,
+    /// Gate indices in topological evaluation order.
+    order: Vec<usize>,
+}
+
+impl<'n> NetlistSimulator<'n> {
+    /// Prepares a simulator: validates the netlist and levelizes its gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if gates form a cycle and
+    /// propagates [`Netlist::validate`] errors.
+    pub fn new(netlist: &'n Netlist) -> Result<Self> {
+        netlist.validate()?;
+        let order = levelize(netlist)?;
+        let mut values = vec![false; netlist.net_count()];
+        values[NetId::CONST1.index()] = true;
+        Ok(Self { netlist, values, key: vec![false; netlist.key_width()], order })
+    }
+
+    /// Sets an input port value (masked to the port width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if `name` is not an input port.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<()> {
+        let port = self
+            .netlist
+            .inputs()
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))?;
+        for (i, &bit) in port.bits.iter().enumerate() {
+            self.values[bit.index()] = value >> i & 1 == 1;
+        }
+        Ok(())
+    }
+
+    /// Installs the key bit vector (index 0 = `K[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::KeyTooShort`] if fewer bits are provided than
+    /// the netlist consumes.
+    pub fn set_key(&mut self, key: &[bool]) -> Result<()> {
+        if key.len() < self.netlist.key_width() {
+            return Err(NetlistError::KeyTooShort {
+                required: self.netlist.key_width(),
+                provided: key.len(),
+            });
+        }
+        self.key = key[..self.netlist.key_width()].to_vec();
+        Ok(())
+    }
+
+    /// Propagates all combinational logic once (levelized pass).
+    ///
+    /// # Errors
+    ///
+    /// Infallible for a validated netlist; kept fallible for interface
+    /// symmetry with the RTL simulator.
+    pub fn settle(&mut self) -> Result<()> {
+        for (i, &k) in self.netlist.key_bits().iter().enumerate() {
+            self.values[k.index()] = self.key.get(i).copied().unwrap_or(false);
+        }
+        for &gi in &self.order {
+            let gate = &self.netlist.gates()[gi];
+            let mut ins = [false; 3];
+            for (j, &net) in gate.inputs.iter().enumerate() {
+                ins[j] = self.values[net.index()];
+            }
+            self.values[gate.output.index()] = gate.kind.eval(&ins[..gate.inputs.len()]);
+        }
+        Ok(())
+    }
+
+    /// Applies one clock edge: settles, captures every flip-flop's data
+    /// input, commits all state atomically, then settles again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistSimulator::settle`] errors.
+    pub fn tick(&mut self) -> Result<()> {
+        self.settle()?;
+        let next: Vec<(NetId, bool)> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|f| (f.q, self.values[f.d.index()]))
+            .collect();
+        for (q, v) in next {
+            self.values[q.index()] = v;
+        }
+        self.settle()
+    }
+
+    /// Current boolean value of a single net.
+    pub fn net(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Current value of an output port as an integer (LSB-first bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if `name` is not an output port.
+    pub fn output(&self, name: &str) -> Result<u64> {
+        let port = self
+            .netlist
+            .outputs()
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))?;
+        let mut v = 0u64;
+        for (i, &bit) in port.bits.iter().enumerate() {
+            if self.values[bit.index()] {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    /// Order-independent digest of every output-port value, comparable with
+    /// the RTL simulator's `outputs_digest` when ports match.
+    pub fn outputs_digest(&self) -> Result<u64> {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for p in self.netlist.outputs() {
+            digest ^= self.output(&p.name)?;
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(digest)
+    }
+
+    /// Forces a flip-flop state value by port-of-origin name lookup is not
+    /// possible at gate level; sets the state net directly instead.
+    pub fn set_state_net(&mut self, q: NetId, value: bool) {
+        self.values[q.index()] = value;
+    }
+}
+
+/// Topologically orders gate indices so every gate is evaluated after its
+/// combinational inputs. Flip-flop state nets are sources.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the gates form a cycle.
+pub fn levelize(netlist: &Netlist) -> Result<Vec<usize>> {
+    let driver: HashMap<NetId, usize> = netlist.driver_map();
+    let n = netlist.gates().len();
+    let mut order = Vec::with_capacity(n);
+    // 0 = unvisited, 1 = in progress, 2 = done
+    let mut state = vec![0u8; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+        while let Some((i, children_done)) = stack.pop() {
+            if children_done {
+                state[i] = 2;
+                order.push(i);
+                continue;
+            }
+            if state[i] == 2 {
+                continue;
+            }
+            if state[i] == 1 {
+                return Err(NetlistError::CombinationalCycle(
+                    netlist.gates()[i].output.0,
+                ));
+            }
+            state[i] = 1;
+            stack.push((i, true));
+            for &inp in &netlist.gates()[i].inputs {
+                if let Some(&j) = driver.get(&inp) {
+                    match state[j] {
+                        0 => stack.push((j, false)),
+                        1 => {
+                            return Err(NetlistError::CombinationalCycle(inp.0));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateKind;
+
+    #[test]
+    fn evaluates_simple_logic() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let x = n.add_gate(GateKind::Xor, vec![a, b]);
+        n.add_output_port("y", vec![x]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        for (av, bv) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            sim.set_input("a", av).unwrap();
+            sim.set_input("b", bv).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.output("y").unwrap(), av ^ bv);
+        }
+    }
+
+    #[test]
+    fn gates_evaluate_out_of_insertion_order() {
+        // Insert the consumer gate before its producer.
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let mid = n.add_net();
+        let out = n.add_net();
+        n.add_gate_to(GateKind::Not, vec![mid], out); // consumer first
+        n.add_gate_to(GateKind::Not, vec![a], mid); // producer second
+        n.add_output_port("y", vec![out]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input("a", 1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y").unwrap(), 1);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let x = n.add_net();
+        let y = n.add_net();
+        n.add_gate_to(GateKind::And, vec![a, y], x);
+        n.add_gate_to(GateKind::Buf, vec![x], y);
+        n.add_output_port("y", vec![y]);
+        assert!(matches!(
+            NetlistSimulator::new(&n),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn key_bits_drive_logic() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let (_, k) = n.add_key_bit();
+        let x = n.add_gate(GateKind::Xor, vec![a, k]);
+        n.add_output_port("y", vec![x]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input("a", 1).unwrap();
+        sim.set_key(&[true]).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0);
+        sim.set_key(&[false]).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y").unwrap(), 1);
+        assert!(matches!(
+            NetlistSimulator::new(&n).unwrap().set_key(&[]),
+            Err(NetlistError::KeyTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_ticks_with_two_phase_commit() {
+        // Two dffs swapping values: classic nonblocking-assignment check.
+        let mut n = Netlist::new("t");
+        let q0 = n.add_dff();
+        let q1 = n.add_dff();
+        n.set_dff_data(q0, q1).unwrap();
+        n.set_dff_data(q1, q0).unwrap();
+        n.add_output_port("a", vec![q0]);
+        n.add_output_port("b", vec![q1]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_state_net(q0, true);
+        sim.set_state_net(q1, false);
+        sim.tick().unwrap();
+        assert_eq!(sim.output("a").unwrap(), 0);
+        assert_eq!(sim.output("b").unwrap(), 1);
+        sim.tick().unwrap();
+        assert_eq!(sim.output("a").unwrap(), 1);
+        assert_eq!(sim.output("b").unwrap(), 0);
+    }
+
+    #[test]
+    fn outputs_digest_changes_with_outputs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 4);
+        n.add_output_port("y", a.clone());
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input("a", 3).unwrap();
+        sim.settle().unwrap();
+        let d1 = sim.outputs_digest().unwrap();
+        sim.set_input("a", 9).unwrap();
+        sim.settle().unwrap();
+        let d2 = sim.outputs_digest().unwrap();
+        assert_ne!(d1, d2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the RTL crate.
+
+use std::fmt;
+
+use crate::ast::ExprId;
+
+/// Errors produced while building, parsing, mutating, or simulating RTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A syntax error with source position (1-based line/column).
+    Parse {
+        /// Line of the offending token.
+        line: usize,
+        /// Column of the offending token.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A referenced signal was never declared.
+    UnknownSignal(String),
+    /// A signal was declared twice.
+    DuplicateSignal(String),
+    /// A declared width is outside the supported `1..=64` range.
+    WidthOutOfRange {
+        /// Offending signal name.
+        signal: String,
+        /// Declared width.
+        width: u32,
+    },
+    /// Continuous assignments form a combinational cycle through this signal.
+    CombinationalCycle(String),
+    /// An expression id does not exist in the module's arena.
+    InvalidExprId(ExprId),
+    /// The operation requires a binary-operator node but found something else.
+    NotABinaryOp(ExprId),
+    /// The operation requires a constant node but found something else.
+    NotAConstant(ExprId),
+    /// An undo was attempted out of LIFO order.
+    UndoOrder {
+        /// Arena length the undo expected.
+        expected: usize,
+        /// Arena length found.
+        found: usize,
+    },
+    /// A signal is driven by more than one assignment or process.
+    MultipleDrivers(String),
+    /// A simulation input was missing.
+    MissingInput(String),
+    /// A hierarchy operation failed (locked child, bad port binding, or an
+    /// unflattened module where a flat one is required).
+    Hierarchy(String),
+    /// The key vector handed to the simulator is shorter than the design's
+    /// key width.
+    KeyTooShort {
+        /// Bits required by the design.
+        required: u32,
+        /// Bits provided.
+        provided: usize,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Parse { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            RtlError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            RtlError::DuplicateSignal(name) => write!(f, "duplicate signal `{name}`"),
+            RtlError::WidthOutOfRange { signal, width } => {
+                write!(f, "width {width} of `{signal}` outside supported range 1..=64")
+            }
+            RtlError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through `{name}`")
+            }
+            RtlError::InvalidExprId(id) => write!(f, "invalid expression id {id:?}"),
+            RtlError::NotABinaryOp(id) => {
+                write!(f, "expression {id:?} is not a binary operation")
+            }
+            RtlError::NotAConstant(id) => write!(f, "expression {id:?} is not a constant"),
+            RtlError::UndoOrder { expected, found } => write!(
+                f,
+                "undo applied out of order: expected arena length {expected}, found {found}"
+            ),
+            RtlError::MultipleDrivers(name) => write!(f, "signal `{name}` has multiple drivers"),
+            RtlError::MissingInput(name) => write!(f, "missing value for input `{name}`"),
+            RtlError::Hierarchy(msg) => write!(f, "hierarchy error: {msg}"),
+            RtlError::KeyTooShort { required, provided } => {
+                write!(f, "key has {provided} bits but design requires {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RtlError>;

@@ -1,0 +1,544 @@
+//! Hierarchical designs: multi-module containers and flattening.
+//!
+//! Real RTL arrives as a module hierarchy; locking and simulation operate
+//! on a single flat module (ASSURE locks each module's flattened view).
+//! [`Design`] holds a set of modules; [`Design::flatten`] inlines every
+//! instance recursively — child signals are prefixed with the instance
+//! path (`u0__sum`), input ports become driven wires, and output-port
+//! cones are stitched to the parent's connection signals.
+//!
+//! Flattening requires children to be *unlocked* (key bits are allocated
+//! on the flattened design afterwards); locked children are rejected so
+//! key-bit indices can never silently collide across instances.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ast::{
+    AlwaysBlock, Expr, ExprId, Instance, Module, NetKind, Port, PortDir, SeqStmt,
+};
+use crate::error::{Result, RtlError};
+
+/// A set of modules forming a hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_rtl::hier::Design;
+/// use mlrl_rtl::parser::parse_design;
+///
+/// let design = parse_design("
+/// module leaf(a, y);
+///   input [7:0] a;
+///   output [7:0] y;
+///   assign y = a + 1;
+/// endmodule
+/// module top(x, z);
+///   input [7:0] x;
+///   output [7:0] z;
+///   wire [7:0] mid;
+///   leaf u0 (.a(x), .y(mid));
+///   leaf u1 (.a(mid), .y(z));
+/// endmodule")?;
+/// let flat = design.flatten("top")?;
+/// assert!(flat.instances().is_empty());
+/// # Ok::<(), mlrl_rtl::error::RtlError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Design {
+    modules: BTreeMap<String, Module>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DuplicateSignal`] (reused for module names) if a
+    /// module of that name already exists.
+    pub fn add_module(&mut self, module: Module) -> Result<()> {
+        let name = module.name().to_owned();
+        if self.modules.contains_key(&name) {
+            return Err(RtlError::DuplicateSignal(name));
+        }
+        self.modules.insert(name, module);
+        Ok(())
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.get(name)
+    }
+
+    /// All module names, sorted.
+    pub fn module_names(&self) -> Vec<&str> {
+        self.modules.keys().map(String::as_str).collect()
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the design holds no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Modules that are never instantiated — hierarchy roots.
+    pub fn tops(&self) -> Vec<&str> {
+        let mut instantiated = std::collections::HashSet::new();
+        for m in self.modules.values() {
+            for i in m.instances() {
+                instantiated.insert(i.module_name.as_str());
+            }
+        }
+        self.modules
+            .keys()
+            .map(String::as_str)
+            .filter(|n| !instantiated.contains(n))
+            .collect()
+    }
+
+    /// Recursively inlines every instance under `top`, producing a flat
+    /// module named after `top`.
+    ///
+    /// # Errors
+    ///
+    /// - [`RtlError::UnknownSignal`] for missing modules/ports,
+    /// - [`RtlError::CombinationalCycle`] (reused) for recursive
+    ///   instantiation,
+    /// - [`RtlError::Hierarchy`] for locked children or port direction
+    ///   mismatches.
+    pub fn flatten(&self, top: &str) -> Result<Module> {
+        let top_module = self
+            .module(top)
+            .ok_or_else(|| RtlError::UnknownSignal(top.to_owned()))?;
+        let mut stack = vec![top.to_owned()];
+        let mut flat = top_module.clone();
+        // Fixpoint: repeatedly inline until no instances remain. Each pass
+        // inlines the current instance list; nested instances of children
+        // appear prefixed and are handled next pass.
+        while !flat.instances().is_empty() {
+            flat = self.inline_once(&flat, &mut stack)?;
+        }
+        Ok(flat)
+    }
+
+    /// Inlines the direct instances of `parent` (one level).
+    fn inline_once(&self, parent: &Module, stack: &mut Vec<String>) -> Result<Module> {
+        // Rebuild the parent without instances.
+        let mut out = Module::new(parent.name());
+        for p in parent.ports() {
+            match p.dir {
+                PortDir::Input => out.add_input(&p.name, p.width)?,
+                PortDir::Output => out.add_output(&p.name, p.width)?,
+            }
+        }
+        for n in parent.nets() {
+            match n.kind {
+                NetKind::Wire => out.add_wire(&n.name, n.width)?,
+                NetKind::Reg => out.add_reg(&n.name, n.width)?,
+            }
+        }
+        // Copy parent expressions (same structure, new arena).
+        let mut map: HashMap<ExprId, ExprId> = HashMap::new();
+        for a in parent.assigns() {
+            let rhs = copy_expr(parent, a.rhs, &mut out, &mut map, None)?;
+            out.add_assign(&a.lhs, rhs)?;
+        }
+        for blk in parent.always_blocks() {
+            let body = copy_stmts(parent, &blk.body, &mut out, &mut map, None)?;
+            out.add_always(AlwaysBlock { clock: blk.clock.clone(), body })?;
+        }
+        if parent.key_width() > 0 {
+            return Err(RtlError::Hierarchy(format!(
+                "module `{}` is locked; flatten before locking",
+                parent.name()
+            )));
+        }
+
+        for inst in parent.instances() {
+            self.inline_instance(parent, inst, &mut out, stack)?;
+        }
+        Ok(out)
+    }
+
+    fn inline_instance(
+        &self,
+        parent: &Module,
+        inst: &Instance,
+        out: &mut Module,
+        stack: &mut Vec<String>,
+    ) -> Result<()> {
+        if stack.contains(&inst.module_name) {
+            return Err(RtlError::CombinationalCycle(format!(
+                "recursive instantiation of `{}`",
+                inst.module_name
+            )));
+        }
+        let child = self
+            .module(&inst.module_name)
+            .ok_or_else(|| RtlError::UnknownSignal(inst.module_name.clone()))?;
+        if child.key_width() > 0 {
+            return Err(RtlError::Hierarchy(format!(
+                "instance `{}` of locked module `{}`; lock after flattening",
+                inst.instance_name, inst.module_name
+            )));
+        }
+        stack.push(inst.module_name.clone());
+
+        let prefix = format!("{}__", inst.instance_name);
+        let rename = |name: &str| format!("{prefix}{name}");
+
+        // Declare every child signal as a prefixed wire/reg.
+        for p in child.ports() {
+            out.add_wire(rename(&p.name), p.width)?;
+        }
+        for n in child.nets() {
+            match n.kind {
+                NetKind::Wire => out.add_wire(rename(&n.name), n.width)?,
+                NetKind::Reg => out.add_reg(rename(&n.name), n.width)?,
+            }
+        }
+
+        // Port bindings.
+        let connection_of = |port: &str| -> Option<&str> {
+            inst.connections
+                .iter()
+                .find(|c| c.port == port)
+                .map(|c| c.signal.as_str())
+        };
+        for p in child.ports() {
+            match p.dir {
+                PortDir::Input => {
+                    // Drive the prefixed input wire from the parent signal
+                    // (unconnected inputs default to 0).
+                    let rhs = match connection_of(&p.name) {
+                        Some(signal) => out.alloc_expr(Expr::Ident(signal.to_owned())),
+                        None => out.alloc_expr(Expr::Const { value: 0, width: Some(p.width) }),
+                    };
+                    out.add_assign(rename(&p.name), rhs)?;
+                }
+                PortDir::Output => {
+                    if let Some(signal) = connection_of(&p.name) {
+                        let rhs = out.alloc_expr(Expr::Ident(rename(&p.name)));
+                        out.add_assign(signal, rhs)?;
+                    }
+                }
+            }
+        }
+        for c in &inst.connections {
+            if !child.ports().iter().any(|p| p.name == c.port) {
+                return Err(RtlError::Hierarchy(format!(
+                    "instance `{}` connects unknown port `{}` of `{}`",
+                    inst.instance_name, c.port, inst.module_name
+                )));
+            }
+            if !parent.is_declared(&c.signal) {
+                return Err(RtlError::UnknownSignal(c.signal.clone()));
+            }
+        }
+
+        // Inline child logic with renamed signals.
+        let mut map: HashMap<ExprId, ExprId> = HashMap::new();
+        for a in child.assigns() {
+            let rhs = copy_expr(child, a.rhs, out, &mut map, Some(&prefix))?;
+            out.add_assign(rename(&a.lhs), rhs)?;
+        }
+        for blk in child.always_blocks() {
+            let body = copy_stmts(child, &blk.body, out, &mut map, Some(&prefix))?;
+            out.add_always(AlwaysBlock { clock: rename(&blk.clock), body })?;
+        }
+        // Nested instances carry the prefix on their connections; they are
+        // inlined on the next fixpoint pass.
+        for nested in child.instances() {
+            let mut renamed = nested.clone();
+            renamed.instance_name = rename(&nested.instance_name);
+            for c in &mut renamed.connections {
+                c.signal = rename(&c.signal);
+            }
+            out.add_instance(renamed)?;
+        }
+
+        stack.pop();
+        Ok(())
+    }
+}
+
+impl FromIterator<Module> for Design {
+    fn from_iter<T: IntoIterator<Item = Module>>(iter: T) -> Self {
+        let mut d = Design::new();
+        for m in iter {
+            d.add_module(m).expect("unique module names");
+        }
+        d
+    }
+}
+
+/// Deep-copies the expression at `id` from `src` into `dst`, renaming
+/// identifiers with `prefix` when given. `map` memoizes shared nodes so DAG
+/// sharing survives the copy.
+fn copy_expr(
+    src: &Module,
+    id: ExprId,
+    dst: &mut Module,
+    map: &mut HashMap<ExprId, ExprId>,
+    prefix: Option<&str>,
+) -> Result<ExprId> {
+    if let Some(&done) = map.get(&id) {
+        return Ok(done);
+    }
+    let expr = src.expr(id)?.clone();
+    let new = match expr {
+        Expr::Const { value, width } => dst.alloc_expr(Expr::Const { value, width }),
+        Expr::Ident(name) => {
+            let name = match prefix {
+                Some(p) => format!("{p}{name}"),
+                None => name,
+            };
+            dst.alloc_expr(Expr::Ident(name))
+        }
+        Expr::KeyBit(b) => dst.alloc_expr(Expr::KeyBit(b)),
+        Expr::KeySlice { lsb, width } => dst.alloc_expr(Expr::KeySlice { lsb, width }),
+        Expr::Index { base, bit } => {
+            let base = match prefix {
+                Some(p) => format!("{p}{base}"),
+                None => base,
+            };
+            dst.alloc_expr(Expr::Index { base, bit })
+        }
+        Expr::Unary { op, arg } => {
+            let arg = copy_expr(src, arg, dst, map, prefix)?;
+            dst.alloc_expr(Expr::Unary { op, arg })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let lhs = copy_expr(src, lhs, dst, map, prefix)?;
+            let rhs = copy_expr(src, rhs, dst, map, prefix)?;
+            dst.alloc_expr(Expr::Binary { op, lhs, rhs })
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            let cond = copy_expr(src, cond, dst, map, prefix)?;
+            let then_expr = copy_expr(src, then_expr, dst, map, prefix)?;
+            let else_expr = copy_expr(src, else_expr, dst, map, prefix)?;
+            dst.alloc_expr(Expr::Ternary { cond, then_expr, else_expr })
+        }
+    };
+    map.insert(id, new);
+    Ok(new)
+}
+
+fn copy_stmts(
+    src: &Module,
+    stmts: &[SeqStmt],
+    dst: &mut Module,
+    map: &mut HashMap<ExprId, ExprId>,
+    prefix: Option<&str>,
+) -> Result<Vec<SeqStmt>> {
+    let mut out = Vec::with_capacity(stmts.len());
+    let rename = |name: &str| match prefix {
+        Some(p) => format!("{p}{name}"),
+        None => name.to_owned(),
+    };
+    for s in stmts {
+        out.push(match s {
+            SeqStmt::NonBlocking { lhs, rhs } => SeqStmt::NonBlocking {
+                lhs: rename(lhs),
+                rhs: copy_expr(src, *rhs, dst, map, prefix)?,
+            },
+            SeqStmt::If { cond, then_body, else_body } => SeqStmt::If {
+                cond: copy_expr(src, *cond, dst, map, prefix)?,
+                then_body: copy_stmts(src, then_body, dst, map, prefix)?,
+                else_body: copy_stmts(src, else_body, dst, map, prefix)?,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Width lookup helper for ports used by the flattener.
+#[allow(dead_code)]
+fn port_width(ports: &[Port], name: &str) -> Option<u32> {
+    ports.iter().find(|p| p.name == name).map(|p| p.width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_design;
+    use crate::sim::Simulator;
+
+    const TWO_LEVEL: &str = "
+module leaf(a, b, y);
+  input [7:0] a, b;
+  output [7:0] y;
+  assign y = a + b;
+endmodule
+module top(x, z);
+  input [7:0] x;
+  output [7:0] z;
+  wire [7:0] mid;
+  leaf u0 (.a(x), .b(x), .y(mid));
+  leaf u1 (.a(mid), .b(x), .y(z));
+endmodule";
+
+    #[test]
+    fn flatten_inlines_two_levels() {
+        let design = parse_design(TWO_LEVEL).unwrap();
+        assert_eq!(design.len(), 2);
+        assert_eq!(design.tops(), vec!["top"]);
+        let flat = design.flatten("top").unwrap();
+        assert!(flat.instances().is_empty());
+        // u0: x + x = 2x; u1: 2x + x = 3x.
+        let mut sim = Simulator::new(&flat).unwrap();
+        sim.set_input("x", 7).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get("z").unwrap(), 21);
+    }
+
+    #[test]
+    fn flattened_ops_are_lockable() {
+        let design = parse_design(TWO_LEVEL).unwrap();
+        let flat = design.flatten("top").unwrap();
+        assert_eq!(crate::visit::binary_ops(&flat).len(), 2, "one add per instance");
+    }
+
+    #[test]
+    fn three_level_hierarchy() {
+        let src = format!(
+            "{TWO_LEVEL}
+module wrapper(p, q);
+  input [7:0] p;
+  output [7:0] q;
+  top inner (.x(p), .z(q));
+endmodule"
+        );
+        let design = parse_design(&src).unwrap();
+        let flat = design.flatten("wrapper").unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        sim.set_input("p", 5).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get("q").unwrap(), 15);
+    }
+
+    #[test]
+    fn recursive_instantiation_is_rejected() {
+        let src = "
+module a(x, y);
+  input [7:0] x;
+  output [7:0] y;
+  wire [7:0] t;
+  a inner (.x(x), .y(t));
+  assign y = t;
+endmodule";
+        let design = parse_design(src).unwrap();
+        let err = design.flatten("a").unwrap_err();
+        assert!(matches!(err, RtlError::CombinationalCycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_child_module_is_reported() {
+        let src = "
+module top(x, y);
+  input [7:0] x;
+  output [7:0] y;
+  ghost g0 (.a(x), .b(y));
+endmodule";
+        let design = parse_design(src).unwrap();
+        assert_eq!(design.flatten("top").unwrap_err(), RtlError::UnknownSignal("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_port_is_reported() {
+        let src = "
+module leaf(a, y);
+  input [7:0] a;
+  output [7:0] y;
+  assign y = a;
+endmodule
+module top(x, z);
+  input [7:0] x;
+  output [7:0] z;
+  leaf u0 (.a(x), .nope(z));
+endmodule";
+        let design = parse_design(src).unwrap();
+        assert!(matches!(design.flatten("top").unwrap_err(), RtlError::Hierarchy(_)));
+    }
+
+    #[test]
+    fn unconnected_input_defaults_to_zero() {
+        let src = "
+module leaf(a, b, y);
+  input [7:0] a, b;
+  output [7:0] y;
+  assign y = a + b;
+endmodule
+module top(x, z);
+  input [7:0] x;
+  output [7:0] z;
+  leaf u0 (.a(x), .y(z));
+endmodule";
+        let design = parse_design(src).unwrap();
+        let flat = design.flatten("top").unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        sim.set_input("x", 9).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get("z").unwrap(), 9);
+    }
+
+    #[test]
+    fn sequential_children_flatten() {
+        let src = "
+module counter(clk, en, q);
+  input clk;
+  input en;
+  output [7:0] q;
+  reg [7:0] c;
+  assign q = c;
+  always @(posedge clk) begin
+    if (en) begin
+      c <= c + 1;
+    end
+  end
+endmodule
+module top(clk, go, total);
+  input clk;
+  input go;
+  output [7:0] total;
+  counter u0 (.clk(clk), .en(go), .q(total));
+endmodule";
+        let design = parse_design(src).unwrap();
+        let flat = design.flatten("top").unwrap();
+        let mut sim = Simulator::new(&flat).unwrap();
+        sim.set_input("go", 1).unwrap();
+        for _ in 0..3 {
+            sim.tick().unwrap();
+        }
+        assert_eq!(sim.get("total").unwrap(), 3);
+    }
+
+    #[test]
+    fn locked_child_is_rejected() {
+        let mut design = parse_design(TWO_LEVEL).unwrap();
+        // Lock the leaf in place.
+        let mut leaf = design.module("leaf").unwrap().clone();
+        let site = crate::visit::binary_ops(&leaf)[0];
+        leaf.wrap_in_key_mux(site.id, true, crate::op::BinaryOp::Sub).unwrap();
+        let mut rebuilt = Design::new();
+        rebuilt.add_module(leaf).unwrap();
+        rebuilt.add_module(design.module("top").unwrap().clone()).unwrap();
+        design = rebuilt;
+        assert!(matches!(design.flatten("top").unwrap_err(), RtlError::Hierarchy(_)));
+    }
+
+    #[test]
+    fn duplicate_module_names_rejected() {
+        let mut d = Design::new();
+        d.add_module(Module::new("m")).unwrap();
+        assert!(d.add_module(Module::new("m")).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Lexer for the Verilog subset.
+//!
+//! Produces a token stream with 1-based line/column positions for error
+//! reporting. Supports line (`//`) and block (`/* */`) comments, sized and
+//! unsized numeric literals (`8'hff`, `4'b1010`, `16'd255`, `42`), and the
+//! operator set of [`crate::op`].
+
+use crate::error::{Result, RtlError};
+
+/// Token kinds of the Verilog subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal with optional explicit width.
+    Number {
+        /// Value, masked to `width` bits if sized.
+        value: u64,
+        /// Bit width when the literal was sized.
+        width: Option<u32>,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `<=` — relational *or* non-blocking assign, disambiguated by parser.
+    LeOrNonBlocking,
+    /// Any other operator token (`+`, `~^`, `<<`, ...).
+    Op(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns [`RtlError::Parse`] on malformed literals, unterminated block
+/// comments, or unknown characters.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { chars: src.chars().collect(), pos: 0, line: 1, col: 1, src }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RtlError {
+        RtlError::Parse { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, line, col });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_ident()
+            } else if c.is_ascii_digit() {
+                self.lex_number()?
+            } else {
+                self.lex_symbol()?
+            };
+            out.push(Token { tok, line, col });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Tok::Ident(s)
+    }
+
+    fn lex_number(&mut self) -> Result<Tok> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    digits.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some('\'') {
+            self.bump();
+            let width: u32 = digits
+                .parse()
+                .map_err(|_| self.err(format!("bad literal width `{digits}`")))?;
+            if width == 0 || width > 64 {
+                return Err(self.err(format!("literal width {width} outside 1..=64")));
+            }
+            let base = self
+                .bump()
+                .ok_or_else(|| self.err("missing base after `'` in literal"))?;
+            let radix = match base.to_ascii_lowercase() {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                other => return Err(self.err(format!("unknown literal base `{other}`"))),
+            };
+            let mut body = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    if c != '_' {
+                        body.push(c);
+                    }
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if body.is_empty() {
+                return Err(self.err("empty literal body"));
+            }
+            let value = u64::from_str_radix(&body, radix)
+                .map_err(|_| self.err(format!("bad base-{radix} literal `{body}`")))?;
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            Ok(Tok::Number { value: value & mask, width: Some(width) })
+        } else {
+            let value: u64 = digits
+                .parse()
+                .map_err(|_| self.err(format!("bad decimal literal `{digits}`")))?;
+            Ok(Tok::Number { value, width: None })
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<Tok> {
+        let c = self.bump().expect("caller checked peek");
+        let next = self.peek();
+        let two = |this: &mut Self, tok: Tok| {
+            this.bump();
+            Ok(tok)
+        };
+        match (c, next) {
+            ('(', _) => Ok(Tok::LParen),
+            (')', _) => Ok(Tok::RParen),
+            ('[', _) => Ok(Tok::LBracket),
+            (']', _) => Ok(Tok::RBracket),
+            (';', _) => Ok(Tok::Semi),
+            (',', _) => Ok(Tok::Comma),
+            ('?', _) => Ok(Tok::Question),
+            ('@', _) => Ok(Tok::At),
+            (':', _) => Ok(Tok::Colon),
+            ('.', _) => Ok(Tok::Op(".")),
+            ('*', Some('*')) => two(self, Tok::Op("**")),
+            ('*', _) => Ok(Tok::Op("*")),
+            ('+', _) => Ok(Tok::Op("+")),
+            ('-', _) => Ok(Tok::Op("-")),
+            ('/', _) => Ok(Tok::Op("/")),
+            ('%', _) => Ok(Tok::Op("%")),
+            ('~', Some('^')) => two(self, Tok::Op("~^")),
+            ('~', _) => Ok(Tok::Op("~")),
+            ('^', Some('~')) => two(self, Tok::Op("~^")),
+            ('^', _) => Ok(Tok::Op("^")),
+            ('&', Some('&')) => two(self, Tok::Op("&&")),
+            ('&', _) => Ok(Tok::Op("&")),
+            ('|', Some('|')) => two(self, Tok::Op("||")),
+            ('|', _) => Ok(Tok::Op("|")),
+            ('<', Some('<')) => two(self, Tok::Op("<<")),
+            ('<', Some('=')) => two(self, Tok::LeOrNonBlocking),
+            ('<', _) => Ok(Tok::Op("<")),
+            ('>', Some('>')) => two(self, Tok::Op(">>")),
+            ('>', Some('=')) => two(self, Tok::Op(">=")),
+            ('>', _) => Ok(Tok::Op(">")),
+            ('=', Some('=')) => two(self, Tok::Op("==")),
+            ('=', _) => Ok(Tok::Assign),
+            ('!', Some('=')) => two(self, Tok::Op("!=")),
+            ('!', _) => Ok(Tok::Op("!")),
+            _ => Err(RtlError::Parse {
+                line: self.line,
+                col: self.col.saturating_sub(1),
+                msg: format!("unexpected character `{c}` (source: {:.40})", self.src),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        assert_eq!(
+            toks("foo 42 8'hff"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Number { value: 42, width: None },
+                Tok::Number { value: 255, width: Some(8) },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn sized_literals_mask_to_width() {
+        assert_eq!(toks("4'hff")[0], Tok::Number { value: 15, width: Some(4) });
+        assert_eq!(toks("4'b1101")[0], Tok::Number { value: 13, width: Some(4) });
+        assert_eq!(toks("6'o17")[0], Tok::Number { value: 15, width: Some(6) });
+    }
+
+    #[test]
+    fn operators_two_char_before_one_char() {
+        assert_eq!(
+            toks("a ** b << c ~^ d && e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Op("**"),
+                Tok::Ident("b".into()),
+                Tok::Op("<<"),
+                Tok::Ident("c".into()),
+                Tok::Op("~^"),
+                Tok::Ident("d".into()),
+                Tok::Op("&&"),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn le_and_nonblocking_share_a_token() {
+        assert_eq!(toks("a <= b")[1], Tok::LeOrNonBlocking);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block \n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(matches!(tokenize("/* oops"), Err(RtlError::Parse { .. })));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = tokenize("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        assert!(tokenize("0'd1").is_err());
+        assert!(tokenize("65'd1").is_err());
+        assert!(tokenize("8'z123").is_err());
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        assert_eq!(toks("1_000")[0], Tok::Number { value: 1000, width: None });
+        assert_eq!(toks("8'b1010_1010")[0], Tok::Number { value: 0xAA, width: Some(8) });
+    }
+}

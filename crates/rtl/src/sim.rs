@@ -1,0 +1,511 @@
+//! RTL simulator.
+//!
+//! Evaluates a [`Module`] on concrete input and key values. Continuous
+//! assignments are levelized (topologically sorted) and evaluated once per
+//! step; clocked processes use two-phase non-blocking semantics (all
+//! right-hand sides read pre-edge state, registers commit together).
+//!
+//! The simulator is what makes locking *testable*: with the correct key a
+//! locked module must be functionally equivalent to the original, and with a
+//! wrong key it should corrupt outputs. Division and modulo by zero evaluate
+//! to 0 (a deterministic stand-in for Verilog's `x`).
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, ExprId, Module, NetKind, PortDir, SeqStmt};
+use crate::error::{Result, RtlError};
+use crate::op::{BinaryOp, UnaryOp};
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A running simulation of one module.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_rtl::parser::parse_verilog;
+/// use mlrl_rtl::sim::Simulator;
+///
+/// let m = parse_verilog("
+/// module t(a, b, y);
+///   input [7:0] a, b;
+///   output [7:0] y;
+///   assign y = a + b;
+/// endmodule")?;
+/// let mut sim = Simulator::new(&m)?;
+/// sim.set_input("a", 3)?;
+/// sim.set_input("b", 4)?;
+/// sim.settle()?;
+/// assert_eq!(sim.get("y")?, 7);
+/// # Ok::<(), mlrl_rtl::error::RtlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    module: &'m Module,
+    values: HashMap<String, u64>,
+    key: Vec<bool>,
+    /// assign indices in evaluation order
+    order: Vec<usize>,
+}
+
+impl<'m> Simulator<'m> {
+    /// Prepares a simulator: checks drivers and levelizes the combinational
+    /// assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CombinationalCycle`] if continuous assignments
+    /// form a cycle, [`RtlError::UnknownSignal`] for undeclared references.
+    pub fn new(module: &'m Module) -> Result<Self> {
+        if !module.instances().is_empty() {
+            return Err(RtlError::Hierarchy(format!(
+                "module `{}` contains instances; flatten it first (Design::flatten)",
+                module.name()
+            )));
+        }
+        let order = levelize(module)?;
+        let mut values = HashMap::new();
+        for p in module.ports() {
+            values.insert(p.name.clone(), 0);
+        }
+        for n in module.nets() {
+            values.insert(n.name.clone(), 0);
+        }
+        Ok(Self { module, values, key: vec![false; module.key_width() as usize], order })
+    }
+
+    /// Sets an input port value (masked to the port width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] if `name` is not an input port.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<()> {
+        let port = self
+            .module
+            .ports()
+            .iter()
+            .find(|p| p.name == name && p.dir == PortDir::Input)
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
+        self.values.insert(name.to_owned(), value & mask(port.width));
+        Ok(())
+    }
+
+    /// Installs the key bit vector (index 0 = `K[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::KeyTooShort`] if fewer bits are provided than the
+    /// design consumes.
+    pub fn set_key(&mut self, key: &[bool]) -> Result<()> {
+        if key.len() < self.module.key_width() as usize {
+            return Err(RtlError::KeyTooShort {
+                required: self.module.key_width(),
+                provided: key.len(),
+            });
+        }
+        self.key = key.to_vec();
+        Ok(())
+    }
+
+    /// Current value of any signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] for undeclared names.
+    pub fn get(&self, name: &str) -> Result<u64> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
+    }
+
+    /// Order-independent digest of every output-port value — a cheap probe
+    /// for functional equivalence and key-corruption checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtlError::UnknownSignal`] (cannot happen for a
+    /// well-formed module).
+    pub fn outputs_digest(&self) -> Result<u64> {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for p in self.module.ports() {
+            if p.dir == PortDir::Output {
+                digest ^= self.get(&p.name)?;
+                digest = digest.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        Ok(digest)
+    }
+
+    /// Forces a register/state value (useful for test setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] for undeclared names.
+    pub fn set_state(&mut self, name: &str, value: u64) -> Result<()> {
+        let width = self
+            .module
+            .signal_width(name)
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
+        self.values.insert(name.to_owned(), value & mask(width));
+        Ok(())
+    }
+
+    /// Propagates combinational logic until stable (one levelized pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors (dangling ids, unknown
+    /// signals).
+    pub fn settle(&mut self) -> Result<()> {
+        for &i in &self.order.clone() {
+            let assign = &self.module.assigns()[i];
+            let v = self.eval(assign.rhs)?;
+            let width = self
+                .module
+                .signal_width(&assign.lhs)
+                .ok_or_else(|| RtlError::UnknownSignal(assign.lhs.clone()))?;
+            self.values.insert(assign.lhs.clone(), v & mask(width));
+        }
+        Ok(())
+    }
+
+    /// Applies one positive clock edge: evaluates every clocked process with
+    /// pre-edge values, commits all non-blocking updates atomically, then
+    /// re-settles combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors.
+    pub fn tick(&mut self) -> Result<()> {
+        self.settle()?;
+        let mut updates: Vec<(String, u64)> = Vec::new();
+        for blk in self.module.always_blocks() {
+            self.exec_stmts(&blk.body, &mut updates)?;
+        }
+        for (name, v) in updates {
+            let width = self
+                .module
+                .signal_width(&name)
+                .ok_or_else(|| RtlError::UnknownSignal(name.clone()))?;
+            self.values.insert(name, v & mask(width));
+        }
+        self.settle()
+    }
+
+    fn exec_stmts(&self, stmts: &[SeqStmt], updates: &mut Vec<(String, u64)>) -> Result<()> {
+        for s in stmts {
+            match s {
+                SeqStmt::NonBlocking { lhs, rhs } => {
+                    let v = self.eval(*rhs)?;
+                    updates.push((lhs.clone(), v));
+                }
+                SeqStmt::If { cond, then_body, else_body } => {
+                    if self.eval(*cond)? != 0 {
+                        self.exec_stmts(then_body, updates)?;
+                    } else {
+                        self.exec_stmts(else_body, updates)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the expression rooted at `id` with current signal values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] for undeclared identifiers and
+    /// [`RtlError::InvalidExprId`] for dangling ids.
+    pub fn eval(&self, id: ExprId) -> Result<u64> {
+        let expr = self.module.expr(id)?;
+        Ok(match expr {
+            Expr::Const { value, width } => match width {
+                Some(w) => value & mask(*w),
+                None => *value,
+            },
+            Expr::Ident(name) => self.get(name)?,
+            Expr::KeyBit(i) => self.key.get(*i as usize).copied().unwrap_or(false) as u64,
+            Expr::KeySlice { lsb, width } => {
+                let mut v = 0u64;
+                for b in 0..*width {
+                    let idx = (*lsb + b) as usize;
+                    if self.key.get(idx).copied().unwrap_or(false) {
+                        v |= 1 << b;
+                    }
+                }
+                v
+            }
+            Expr::Index { base, bit } => (self.get(base)? >> bit.min(&63)) & 1,
+            Expr::Unary { op, arg } => {
+                let v = self.eval(*arg)?;
+                match op {
+                    UnaryOp::Not => !v,
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::LNot => (v == 0) as u64,
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(*lhs)?;
+                let b = self.eval(*rhs)?;
+                eval_binary(*op, a, b)
+            }
+            Expr::Ternary { cond, then_expr, else_expr } => {
+                if self.eval(*cond)? != 0 {
+                    self.eval(*then_expr)?
+                } else {
+                    self.eval(*else_expr)?
+                }
+            }
+        })
+    }
+}
+
+/// Evaluates one binary operation on 64-bit values with Verilog-ish
+/// semantics: wrapping arithmetic, `/0` and `%0` yield 0, shifts ≥ 64 yield
+/// 0, predicates yield 0/1.
+pub fn eval_binary(op: BinaryOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Div => a.checked_div(b).unwrap_or(0),
+        BinaryOp::Mod => a.checked_rem(b).unwrap_or(0),
+        BinaryOp::Pow => a.wrapping_pow(b.min(u32::MAX as u64) as u32),
+        BinaryOp::And => a & b,
+        BinaryOp::Or => a | b,
+        BinaryOp::Xor => a ^ b,
+        BinaryOp::Xnor => !(a ^ b),
+        BinaryOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinaryOp::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinaryOp::Lt => (a < b) as u64,
+        BinaryOp::Gt => (a > b) as u64,
+        BinaryOp::Le => (a <= b) as u64,
+        BinaryOp::Ge => (a >= b) as u64,
+        BinaryOp::Eq => (a == b) as u64,
+        BinaryOp::Neq => (a != b) as u64,
+        BinaryOp::LAnd => (a != 0 && b != 0) as u64,
+        BinaryOp::LOr => (a != 0 || b != 0) as u64,
+    }
+}
+
+/// Topologically orders continuous assignments so every wire is computed
+/// after its combinational inputs.
+fn levelize(module: &Module) -> Result<Vec<usize>> {
+    // driver: signal name -> assign index
+    let mut driver: HashMap<&str, usize> = HashMap::new();
+    for (i, a) in module.assigns().iter().enumerate() {
+        driver.insert(a.lhs.as_str(), i);
+    }
+    // regs are state: not combinational dependencies
+    let regs: std::collections::HashSet<&str> = module
+        .nets()
+        .iter()
+        .filter(|n| n.kind == NetKind::Reg)
+        .map(|n| n.name.as_str())
+        .collect();
+
+    fn deps(module: &Module, id: ExprId, out: &mut Vec<String>) {
+        if let Ok(expr) = module.expr(id) {
+            match expr {
+                Expr::Ident(name) => out.push(name.clone()),
+                Expr::Index { base, .. } => out.push(base.clone()),
+                _ => {}
+            }
+            for c in expr.children() {
+                deps(module, c, out);
+            }
+        }
+    }
+
+    let n = module.assigns().len();
+    let mut order = Vec::with_capacity(n);
+    // 0 = unvisited, 1 = in progress, 2 = done
+    let mut state = vec![0u8; n];
+    // iterative DFS with explicit stack
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+        while let Some((i, children_done)) = stack.pop() {
+            if children_done {
+                state[i] = 2;
+                order.push(i);
+                continue;
+            }
+            if state[i] == 2 {
+                continue;
+            }
+            if state[i] == 1 {
+                return Err(RtlError::CombinationalCycle(module.assigns()[i].lhs.clone()));
+            }
+            state[i] = 1;
+            stack.push((i, true));
+            let mut d = Vec::new();
+            deps(module, module.assigns()[i].rhs, &mut d);
+            for name in d {
+                if regs.contains(name.as_str()) {
+                    continue;
+                }
+                if let Some(&j) = driver.get(name.as_str()) {
+                    match state[j] {
+                        0 => stack.push((j, false)),
+                        1 => {
+                            return Err(RtlError::CombinationalCycle(name));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_verilog;
+
+    fn sim_src(src: &str) -> Module {
+        parse_verilog(src).unwrap()
+    }
+
+    #[test]
+    fn combinational_chain_evaluates_in_order() {
+        // Declared out of dependency order on purpose.
+        let m = sim_src(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n wire [7:0] w1, w2;\n assign y = w2 + 1;\n assign w2 = w1 * 2;\n assign w1 = a + 3;\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("a", 5).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get("y").unwrap(), (5 + 3) * 2 + 1);
+    }
+
+    #[test]
+    fn combinational_cycle_is_detected() {
+        let m = sim_src(
+            "module t(y);\n output [7:0] y;\n wire [7:0] w;\n assign w = y + 1;\n assign y = w + 1;\nendmodule",
+        );
+        assert!(matches!(Simulator::new(&m), Err(RtlError::CombinationalCycle(_))));
+    }
+
+    #[test]
+    fn key_mux_selects_real_operation() {
+        let m = sim_src(
+            "module t(K, a, b, y);\n input [0:0] K;\n input [7:0] a, b;\n output [7:0] y;\n assign y = K[0] ? a + b : a - b;\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("a", 10).unwrap();
+        s.set_input("b", 3).unwrap();
+        s.set_key(&[true]).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get("y").unwrap(), 13);
+        s.set_key(&[false]).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get("y").unwrap(), 7);
+    }
+
+    #[test]
+    fn key_slice_reads_bits_lsb_first() {
+        let m = sim_src(
+            "module t(K, y);\n input [3:0] K;\n output [3:0] y;\n assign y = K[3:0];\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_key(&[true, false, true, true]).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get("y").unwrap(), 0b1101);
+    }
+
+    #[test]
+    fn widths_mask_results() {
+        let m = sim_src(
+            "module t(a, y);\n input [7:0] a;\n output [3:0] y;\n assign y = a + 1;\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("a", 0xFF).unwrap();
+        s.settle().unwrap();
+        assert_eq!(s.get("y").unwrap(), 0); // 0x100 masked to 4 bits
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(eval_binary(BinaryOp::Div, 5, 0), 0);
+        assert_eq!(eval_binary(BinaryOp::Mod, 5, 0), 0);
+    }
+
+    #[test]
+    fn shifts_saturate() {
+        assert_eq!(eval_binary(BinaryOp::Shl, 1, 64), 0);
+        assert_eq!(eval_binary(BinaryOp::Shr, u64::MAX, 64), 0);
+        assert_eq!(eval_binary(BinaryOp::Shl, 1, 3), 8);
+    }
+
+    #[test]
+    fn predicates_return_bits() {
+        assert_eq!(eval_binary(BinaryOp::Lt, 1, 2), 1);
+        assert_eq!(eval_binary(BinaryOp::Ge, 1, 2), 0);
+        assert_eq!(eval_binary(BinaryOp::LAnd, 5, 0), 0);
+        assert_eq!(eval_binary(BinaryOp::LOr, 5, 0), 1);
+        assert_eq!(eval_binary(BinaryOp::Xnor, 0b1010, 0b1010), u64::MAX);
+    }
+
+    #[test]
+    fn sequential_counter_ticks() {
+        let m = sim_src(
+            "module t(clk, en, q);\n input clk;\n input en;\n output [7:0] q;\n reg [7:0] cnt;\n assign q = cnt;\n always @(posedge clk) begin\n if (en) begin\n cnt <= cnt + 1;\n end\n end\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("en", 1).unwrap();
+        for _ in 0..5 {
+            s.tick().unwrap();
+        }
+        assert_eq!(s.get("q").unwrap(), 5);
+        s.set_input("en", 0).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 5);
+    }
+
+    #[test]
+    fn nonblocking_swap_uses_pre_edge_values() {
+        let m = sim_src(
+            "module t(clk, a, b);\n input clk;\n output [7:0] a, b;\n reg [7:0] x, y;\n assign a = x;\n assign b = y;\n always @(posedge clk) begin\n x <= y;\n y <= x;\n end\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_state("x", 1).unwrap();
+        s.set_state("y", 2).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("a").unwrap(), 2);
+        assert_eq!(s.get("b").unwrap(), 1);
+    }
+
+    #[test]
+    fn short_key_is_rejected() {
+        let m = sim_src(
+            "module t(K, y);\n input [3:0] K;\n output y;\n assign y = K[0];\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        assert!(matches!(s.set_key(&[true]), Err(RtlError::KeyTooShort { .. })));
+    }
+}

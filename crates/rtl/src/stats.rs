@@ -1,0 +1,219 @@
+//! Design statistics and locking-overhead reporting.
+//!
+//! Locking adds logic: each key bit buys one dummy operation plus a
+//! multiplexer. [`DesignStats`] summarizes a module before/after locking so
+//! examples and the harness can report the cost side of the evaluation
+//! (the paper notes the per-bit cost of ERA/HRA "is in line with the
+//! original ASSURE").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{Expr, Module, NetKind, PortDir};
+use crate::op::BinaryOp;
+use crate::visit;
+
+/// A snapshot of a module's size and composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Module name.
+    pub name: String,
+    /// Input/output port counts.
+    pub inputs: usize,
+    /// Output port count.
+    pub outputs: usize,
+    /// Wire count.
+    pub wires: usize,
+    /// Register count.
+    pub regs: usize,
+    /// Continuous assignments.
+    pub assigns: usize,
+    /// Clocked processes.
+    pub processes: usize,
+    /// Reachable expression nodes.
+    pub expr_nodes: usize,
+    /// Reachable binary operations by type (sorted).
+    pub ops: BTreeMap<BinaryOp, usize>,
+    /// Key-controlled multiplexers (locked pairs).
+    pub key_muxes: usize,
+    /// Key width in bits.
+    pub key_bits: u32,
+    /// Maximum expression depth over all roots.
+    pub max_depth: usize,
+}
+
+impl DesignStats {
+    /// Collects statistics from `module`.
+    pub fn of(module: &Module) -> Self {
+        let mut expr_nodes = 0usize;
+        visit::walk_exprs(module, |_, _| expr_nodes += 1);
+        let ops: BTreeMap<BinaryOp, usize> =
+            visit::op_census(module).into_iter().collect();
+        let max_depth = module
+            .roots()
+            .into_iter()
+            .map(|r| visit::expr_depth(module, r))
+            .max()
+            .unwrap_or(0);
+        Self {
+            name: module.name().to_owned(),
+            inputs: module.ports().iter().filter(|p| p.dir == PortDir::Input).count(),
+            outputs: module.ports().iter().filter(|p| p.dir == PortDir::Output).count(),
+            wires: module.nets().iter().filter(|n| n.kind == NetKind::Wire).count(),
+            regs: module.nets().iter().filter(|n| n.kind == NetKind::Reg).count(),
+            assigns: module.assigns().len(),
+            processes: module.always_blocks().len(),
+            expr_nodes,
+            ops,
+            key_muxes: visit::key_mux_count(module),
+            key_bits: module.key_width(),
+            max_depth,
+        }
+    }
+
+    /// Total binary operations.
+    pub fn total_ops(&self) -> usize {
+        self.ops.values().sum()
+    }
+
+    /// Locking overhead relative to `baseline`: extra operations and extra
+    /// expression nodes, as counts.
+    pub fn overhead_vs(&self, baseline: &DesignStats) -> LockingOverhead {
+        LockingOverhead {
+            extra_ops: self.total_ops().saturating_sub(baseline.total_ops()),
+            extra_nodes: self.expr_nodes.saturating_sub(baseline.expr_nodes),
+            key_bits: self.key_bits.saturating_sub(baseline.key_bits),
+            key_muxes: self.key_muxes.saturating_sub(baseline.key_muxes),
+        }
+    }
+
+    /// Count of constant nodes reachable in the design (constant-
+    /// obfuscation material).
+    pub fn constants(module: &Module) -> usize {
+        let mut n = 0usize;
+        visit::walk_exprs(module, |_, e| {
+            if matches!(e, Expr::Const { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} in / {} out, {} wires, {} regs, {} assigns, {} procs",
+            self.name, self.inputs, self.outputs, self.wires, self.regs, self.assigns,
+            self.processes
+        )?;
+        writeln!(
+            f,
+            "  {} expr nodes (max depth {}), {} ops, {} key muxes, {} key bits",
+            self.expr_nodes,
+            self.max_depth,
+            self.total_ops(),
+            self.key_muxes,
+            self.key_bits
+        )?;
+        let ops: Vec<String> =
+            self.ops.iter().map(|(op, n)| format!("{op}:{n}")).collect();
+        write!(f, "  op mix: {}", ops.join(" "))
+    }
+}
+
+/// Cost of a locking run, per [`DesignStats::overhead_vs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockingOverhead {
+    /// Dummy operations added.
+    pub extra_ops: usize,
+    /// Expression nodes added (dummies + mux conditions + copies).
+    pub extra_nodes: usize,
+    /// Key bits consumed.
+    pub key_bits: u32,
+    /// Key multiplexers inserted.
+    pub key_muxes: usize,
+}
+
+impl LockingOverhead {
+    /// Operations added per key bit — the paper's cost yardstick ("the cost
+    /// of a locking pair per key bit has not changed").
+    pub fn ops_per_key_bit(&self) -> f64 {
+        if self.key_bits == 0 {
+            0.0
+        } else {
+            self.extra_ops as f64 / self.key_bits as f64
+        }
+    }
+}
+
+impl fmt::Display for LockingOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} ops, +{} nodes, {} key bits, {} muxes ({:.2} ops/bit)",
+            self.extra_ops,
+            self.extra_nodes,
+            self.key_bits,
+            self.key_muxes,
+            self.ops_per_key_bit()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_designs::{benchmark_by_name, generate};
+
+    #[test]
+    fn stats_match_spec() {
+        let spec = benchmark_by_name("FIR").unwrap();
+        let m = generate(&spec, 1);
+        let stats = DesignStats::of(&m);
+        assert_eq!(stats.total_ops(), 63);
+        assert_eq!(stats.ops[&BinaryOp::Mul], 32);
+        assert_eq!(stats.key_bits, 0);
+        assert_eq!(stats.key_muxes, 0);
+        assert!(stats.max_depth >= 2);
+        assert!(stats.inputs >= 4);
+    }
+
+    #[test]
+    fn overhead_counts_locking_cost() {
+        let spec = benchmark_by_name("IIR").unwrap();
+        let m0 = generate(&spec, 2);
+        let before = DesignStats::of(&m0);
+        let mut m1 = m0.clone();
+        let mut i = 0;
+        // Lock ten operations by hand via the wrap primitive.
+        let sites = crate::visit::binary_ops(&m1);
+        for site in sites.into_iter().take(10) {
+            let dummy = if site.op == BinaryOp::Mul { BinaryOp::Div } else { BinaryOp::Sub };
+            m1.wrap_in_key_mux(site.id, i % 2 == 0, dummy).unwrap();
+            i += 1;
+        }
+        let after = DesignStats::of(&m1);
+        let overhead = after.overhead_vs(&before);
+        assert_eq!(overhead.key_bits, 10);
+        assert_eq!(overhead.key_muxes, 10);
+        assert_eq!(overhead.extra_ops, 10, "one dummy per key bit");
+        assert!((overhead.ops_per_key_bit() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let m = generate(&benchmark_by_name("SASC").unwrap(), 3);
+        let s = DesignStats::of(&m).to_string();
+        assert!(s.contains("sasc"));
+        assert!(s.contains("op mix"));
+    }
+
+    #[test]
+    fn constants_counted() {
+        let m = generate(&benchmark_by_name("DES3").unwrap(), 4);
+        // DES3 contains shift amounts as constants.
+        assert!(DesignStats::constants(&m) > 0);
+    }
+}

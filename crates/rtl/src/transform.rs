@@ -1,0 +1,200 @@
+//! Synthesis-like RTL transformations.
+//!
+//! Real flows run optimization between locking and the attacker's view.
+//! [`constant_fold`] models the pass most relevant to locking security:
+//! expressions over literals collapse to literals. The pass is
+//! *key-oblivious* — `K[i]` is an unknown input, so key-controlled
+//! multiplexers and anything below a key reference survive — which is
+//! exactly why operation obfuscation resists constant propagation while
+//! naive XOR-insertion schemes at gate level do not.
+
+use crate::ast::{Expr, ExprId, Module};
+use crate::error::Result;
+use crate::op::UnaryOp;
+use crate::sim::eval_binary;
+use crate::visit;
+
+/// Result of a constant-folding pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FoldReport {
+    /// Binary/unary/ternary nodes replaced by constants.
+    pub folded: usize,
+    /// Non-key ternaries resolved to one branch.
+    pub branches_resolved: usize,
+}
+
+/// Folds constant sub-expressions in place until a fixpoint.
+///
+/// Only reachable nodes are visited. Key bits and key slices are treated
+/// as opaque unknowns: a key-controlled ternary is never resolved, and an
+/// expression containing a key reference is never folded.
+///
+/// # Errors
+///
+/// Propagates arena access errors (cannot occur on a well-formed module).
+pub fn constant_fold(module: &mut Module) -> Result<FoldReport> {
+    let mut report = FoldReport::default();
+    loop {
+        let mut changed = false;
+        // Snapshot reachable ids; mutation below only rewrites node
+        // contents in place, never allocates, so ids stay valid.
+        let mut ids: Vec<ExprId> = Vec::new();
+        visit::walk_exprs(module, |id, _| ids.push(id));
+        for id in ids {
+            let new_node = {
+                let expr = module.expr(id)?;
+                match expr {
+                    // Intermediate expression values are full 64-bit in the
+                    // simulator (widths apply at net assignment), so folded
+                    // constants are *unsized*: `8'd200 + 8'd100` is 300.
+                    Expr::Unary { op, arg } => match module.expr(*arg)? {
+                        Expr::Const { value, width } => {
+                            let operand = mask_opt(*value, *width);
+                            let v = match op {
+                                UnaryOp::Not => !operand,
+                                UnaryOp::Neg => operand.wrapping_neg(),
+                                UnaryOp::LNot => (operand == 0) as u64,
+                            };
+                            Some(Expr::Const { value: v, width: None })
+                        }
+                        _ => None,
+                    },
+                    Expr::Binary { op, lhs, rhs } => {
+                        match (module.expr(*lhs)?, module.expr(*rhs)?) {
+                            (
+                                Expr::Const { value: a, width: wa },
+                                Expr::Const { value: b, width: wb },
+                            ) => {
+                                let v =
+                                    eval_binary(*op, mask_opt(*a, *wa), mask_opt(*b, *wb));
+                                Some(Expr::Const { value: v, width: None })
+                            }
+                            _ => None,
+                        }
+                    }
+                    Expr::Ternary { cond, then_expr, else_expr } => {
+                        match module.expr(*cond)? {
+                            Expr::Const { value, .. } => {
+                                let taken = if *value != 0 { *then_expr } else { *else_expr };
+                                report.branches_resolved += 1;
+                                Some(module.expr(taken)?.clone())
+                            }
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(node) = new_node {
+                if matches!(node, Expr::Const { .. }) {
+                    report.folded += 1;
+                }
+                module.replace_expr(id, node)?;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(report);
+        }
+    }
+}
+
+fn mask_opt(v: u64, width: Option<u32>) -> u64 {
+    match width {
+        Some(w) if w < 64 => v & ((1u64 << w) - 1),
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BinaryOp;
+    use crate::parser::parse_verilog;
+    use crate::sim::Simulator;
+
+    fn fold_and_eval(src: &str, key: &[bool]) -> (Module, u64) {
+        let mut m = parse_verilog(src).unwrap();
+        constant_fold(&mut m).unwrap();
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_key(key).unwrap();
+        sim.settle().unwrap();
+        let y = sim.get("y").unwrap();
+        (m, y)
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let (m, y) = fold_and_eval(
+            "module t(y);\n output [7:0] y;\n assign y = 2 + 3 * 4;\nendmodule",
+            &[],
+        );
+        assert_eq!(y, 14);
+        let root = m.assigns()[0].rhs;
+        assert!(matches!(m.expr(root).unwrap(), Expr::Const { value: 14, .. }));
+    }
+
+    #[test]
+    fn resolves_constant_conditionals() {
+        let mut m = parse_verilog(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n assign y = 1 ? a + 1 : a - 1;\nendmodule",
+        )
+        .unwrap();
+        let report = constant_fold(&mut m).unwrap();
+        assert_eq!(report.branches_resolved, 1);
+        let root = m.assigns()[0].rhs;
+        assert_eq!(m.expr(root).unwrap().binary_op(), Some(BinaryOp::Add));
+    }
+
+    #[test]
+    fn key_muxes_survive_folding() {
+        let mut m = parse_verilog(
+            "module t(K, y);\n input [0:0] K;\n output [7:0] y;\n assign y = K[0] ? 2 + 3 : 2 - 3;\nendmodule",
+        )
+        .unwrap();
+        let report = constant_fold(&mut m).unwrap();
+        assert_eq!(report.branches_resolved, 0, "key mux must not be resolved");
+        // The branches themselves fold, but the mux stays.
+        let root = m.assigns()[0].rhs;
+        assert!(matches!(m.expr(root).unwrap(), Expr::Ternary { .. }));
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.set_key(&[true]).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.get("y").unwrap(), 5);
+    }
+
+    #[test]
+    fn key_slices_are_opaque() {
+        let (m, _) = fold_and_eval(
+            "module t(K, y);\n input [3:0] K;\n output [7:0] y;\n assign y = K[3:0] + 0;\nendmodule",
+            &[false; 4],
+        );
+        let root = m.assigns()[0].rhs;
+        // Cannot fold an expression over an unknown key slice.
+        assert_eq!(m.expr(root).unwrap().binary_op(), Some(BinaryOp::Add));
+    }
+
+    #[test]
+    fn folding_preserves_locked_design_function() {
+        use crate::bench_designs::{benchmark_by_name, generate};
+        use crate::equiv::{check_equiv, EquivConfig};
+        let original = generate(&benchmark_by_name("DES3").unwrap(), 3);
+        let mut folded = original.clone();
+        let report = constant_fold(&mut folded).unwrap();
+        // DES3 has constant shift amounts but no constant-constant ops; the
+        // pass must at minimum be behaviour-preserving.
+        let r = check_equiv(&original, &folded, &[], &[], &EquivConfig::default()).unwrap();
+        assert!(r.is_equivalent(), "fold changed behaviour ({report:?})");
+    }
+
+    #[test]
+    fn fixpoint_reaches_nested_constants() {
+        let (m, y) = fold_and_eval(
+            "module t(y);\n output [7:0] y;\n assign y = ~(0 ? 1 : 2) & 7;\nendmodule",
+            &[],
+        );
+        assert_eq!(y, (!2u64) & 7);
+        let root = m.assigns()[0].rhs;
+        assert!(matches!(m.expr(root).unwrap(), Expr::Const { .. }));
+    }
+}

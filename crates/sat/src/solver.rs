@@ -1,0 +1,633 @@
+//! A CDCL SAT solver.
+//!
+//! Conflict-driven clause learning with two-watched-literal propagation,
+//! first-UIP conflict analysis, non-chronological backjumping, VSIDS-style
+//! variable activities, phase saving, and geometric restarts. No clause
+//! deletion — the formulas produced by the SAT attack stay small enough
+//! that the learned-clause database never becomes the bottleneck.
+//!
+//! The solver is *incremental* in the simple sense the SAT attack needs:
+//! clauses may be added between `solve` calls and all learned clauses remain
+//! valid (they are implied by the original formula).
+
+use crate::cnf::{CnfBuilder, Lit, Var};
+
+/// Result of a `solve` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; the witness assigns every variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Whether the formula was satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+const INVALID: usize = usize::MAX;
+
+/// A CDCL solver instance.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_sat::cnf::CnfBuilder;
+/// use mlrl_sat::solver::Solver;
+///
+/// let mut b = CnfBuilder::new();
+/// let x = b.new_var();
+/// let y = b.new_var();
+/// b.add_clause(&[x.pos(), y.pos()]);
+/// b.add_clause(&[x.neg()]);
+/// let mut solver = Solver::from_builder(&b);
+/// let result = solver.solve();
+/// let model = result.model().expect("satisfiable");
+/// assert!(!model[x.index()]);
+/// assert!(model[y.index()]);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    num_vars: usize,
+    /// Clause database; learned clauses are appended after input clauses.
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists indexed by literal code; entries are clause indices.
+    watches: Vec<Vec<usize>>,
+    /// Current assignment per variable (None = unassigned).
+    assign: Vec<Option<bool>>,
+    /// Assignment stack, in order.
+    trail: Vec<Lit>,
+    /// Trail indices where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Head of the propagation queue into `trail`.
+    qhead: usize,
+    /// Clause that implied each variable (INVALID = decision/unset).
+    reason: Vec<usize>,
+    /// Decision level of each variable.
+    level: Vec<usize>,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phases for decision polarity.
+    phase: Vec<bool>,
+    /// Formula already proven unsatisfiable at level 0.
+    proven_unsat: bool,
+    /// Statistics: conflicts seen over the solver lifetime.
+    conflicts: u64,
+    /// Statistics: decisions made over the solver lifetime.
+    decisions: u64,
+}
+
+impl Solver {
+    /// Creates a solver over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![None; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: vec![INVALID; num_vars],
+            level: vec![0; num_vars],
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            phase: vec![false; num_vars],
+            proven_unsat: false,
+            conflicts: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Creates a solver loaded with every clause of `builder`.
+    pub fn from_builder(builder: &CnfBuilder) -> Self {
+        let mut s = Self::new(builder.num_vars());
+        for c in builder.clauses() {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    /// Number of variables the solver knows about.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Lifetime conflict count (diagnostic).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Lifetime decision count (diagnostic).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Grows the variable space to at least `num_vars` variables.
+    pub fn ensure_vars(&mut self, num_vars: usize) {
+        if num_vars <= self.num_vars {
+            return;
+        }
+        self.num_vars = num_vars;
+        self.watches.resize(num_vars * 2, Vec::new());
+        self.assign.resize(num_vars, None);
+        self.reason.resize(num_vars, INVALID);
+        self.level.resize(num_vars, 0);
+        self.activity.resize(num_vars, 0.0);
+        self.phase.resize(num_vars, false);
+    }
+
+    /// Adds a clause. May be called between `solve` calls; the solver
+    /// backtracks to level 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal references a variable beyond
+    /// [`Solver::ensure_vars`].
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.backtrack_to(0);
+        // Normalize: drop duplicates and detect tautologies.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x OR !x: tautology, skip
+            }
+        }
+        // Drop literals already false at level 0; satisfied clauses skip.
+        let mut reduced = Vec::with_capacity(c.len());
+        for &l in &c {
+            assert!(l.var().index() < self.num_vars, "literal out of range");
+            match self.value(l) {
+                Some(true) => return,
+                Some(false) => {}
+                None => reduced.push(l),
+            }
+        }
+        match reduced.len() {
+            0 => {
+                self.proven_unsat = true;
+            }
+            1 => {
+                if !self.enqueue(reduced[0], INVALID) || self.propagate().is_some() {
+                    self.proven_unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[reduced[0].code()].push(idx);
+                self.watches[reduced[1].code()].push(idx);
+                self.clauses.push(reduced);
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| l.value_under(v))
+    }
+
+    /// Pushes `l` onto the trail with the given reason; `false` on conflict
+    /// with an existing assignment.
+    fn enqueue(&mut self, l: Lit, reason: usize) -> bool {
+        match self.value(l) {
+            Some(v) => v,
+            None => {
+                let vi = l.var().index();
+                self.assign[vi] = Some(!l.is_neg());
+                self.reason[vi] = reason;
+                self.level[vi] = self.trail_lim.len();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation with two watched literals. Returns the index of a
+    /// conflicting clause, or `None` when the queue drains.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let falsified = p.inverted();
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Make sure the falsified literal sits at position 1.
+                if self.clauses[ci][0] == falsified {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    let cand = self.clauses[ci][k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, ci) {
+                    // Conflict: restore remaining watches before returning.
+                    self.watches[falsified.code()].append(&mut watch_list);
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[falsified.code()].extend(watch_list);
+        }
+        None
+    }
+
+    fn backtrack_to(&mut self, target_level: usize) {
+        while self.trail_lim.len() > target_level {
+            let start = self.trail_lim.pop().expect("level exists");
+            while self.trail.len() > start {
+                let l = self.trail.pop().expect("trail entry");
+                let vi = l.var().index();
+                self.phase[vi] = !l.is_neg();
+                self.assign[vi] = None;
+                self.reason[vi] = INVALID;
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        if target_level == 0 {
+            self.qhead = 0;
+        }
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, usize) {
+        let current_level = self.trail_lim.len();
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.num_vars];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut reason_idx = conflict;
+        let mut trail_pos = self.trail.len();
+
+        loop {
+            let reason_clause = self.clauses[reason_idx].clone();
+            let skip = p.map(|l| l.var());
+            for &q in &reason_clause {
+                if Some(q.var()) == skip {
+                    continue;
+                }
+                let vi = q.var().index();
+                if !seen[vi] && self.level[vi] > 0 {
+                    seen[vi] = true;
+                    self.bump(q.var());
+                    if self.level[vi] == current_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("UIP literal").var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            reason_idx = self.reason[pv.index()];
+            debug_assert_ne!(reason_idx, INVALID, "non-decision must have a reason");
+        }
+
+        let uip = p.expect("first UIP").inverted();
+        let mut clause = vec![uip];
+        clause.extend(learned);
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backjump = clause[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level in watch position 1.
+        if clause.len() > 1 {
+            let pos = clause[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == backjump)
+                .expect("literal at backjump level")
+                + 1;
+            clause.swap(1, pos);
+        }
+        (clause, backjump)
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<(usize, f64)> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v].is_none() {
+                let a = self.activity[v];
+                if best.is_none_or(|(_, ba)| a > ba) {
+                    best = Some((v, a));
+                }
+            }
+        }
+        best.map(|(v, _)| Var(v as u32).lit(self.phase[v]))
+    }
+
+    /// Decides satisfiability of the current clause database.
+    ///
+    /// May be called repeatedly, interleaved with [`Solver::add_clause`];
+    /// learned clauses persist across calls.
+    pub fn solve(&mut self) -> SolveResult {
+        if self.proven_unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        self.qhead = 0;
+        if self.propagate().is_some() {
+            self.proven_unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            match self.propagate() {
+                Some(conflict) => {
+                    self.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.trail_lim.is_empty() {
+                        self.proven_unsat = true;
+                        return SolveResult::Unsat;
+                    }
+                    let (clause, backjump) = self.analyze(conflict);
+                    self.backtrack_to(backjump);
+                    if clause.len() == 1 {
+                        if !self.enqueue(clause[0], INVALID) {
+                            self.proven_unsat = true;
+                            return SolveResult::Unsat;
+                        }
+                    } else {
+                        let idx = self.clauses.len();
+                        self.watches[clause[0].code()].push(idx);
+                        self.watches[clause[1].code()].push(idx);
+                        let asserting = clause[0];
+                        self.clauses.push(clause);
+                        if !self.enqueue(asserting, idx) {
+                            self.proven_unsat = true;
+                            return SolveResult::Unsat;
+                        }
+                    }
+                    self.var_inc *= 1.0 / 0.95;
+                    if conflicts_since_restart >= restart_limit {
+                        conflicts_since_restart = 0;
+                        restart_limit = restart_limit.saturating_add(restart_limit / 2);
+                        self.backtrack_to(0);
+                    }
+                }
+                None => match self.pick_branch() {
+                    Some(decision) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(decision, INVALID);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                    None => {
+                        let model: Vec<bool> = self
+                            .assign
+                            .iter()
+                            .map(|a| a.unwrap_or(false))
+                            .collect();
+                        return SolveResult::Sat(model);
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_model(builder: &CnfBuilder, model: &[bool]) {
+        for clause in builder.clauses() {
+            assert!(
+                clause.iter().any(|l| l.value_under(model[l.var().index()])),
+                "model violates clause {clause:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let b = CnfBuilder::new();
+        assert!(Solver::from_builder(&b).solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut b = CnfBuilder::new();
+        b.add_clause(&[]);
+        assert_eq!(Solver::from_builder(&b).solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        b.add_clause(&[x.pos()]);
+        b.add_clause(&[x.neg()]);
+        assert_eq!(Solver::from_builder(&b).solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chains() {
+        // x0, x0->x1, x1->x2, ..., then force !x9: unsat.
+        let mut b = CnfBuilder::new();
+        let vars: Vec<_> = (0..10).map(|_| b.new_var()).collect();
+        b.add_clause(&[vars[0].pos()]);
+        for w in vars.windows(2) {
+            b.add_clause(&[w[0].neg(), w[1].pos()]);
+        }
+        let mut s = Solver::from_builder(&b);
+        assert!(s.solve().is_sat());
+        s.add_clause(&[vars[9].neg()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        b.add_clause(&[x.pos(), x.neg()]);
+        b.add_clause(&[x.neg()]);
+        let r = Solver::from_builder(&b).solve();
+        let m = r.model().unwrap();
+        assert!(!m[x.index()]);
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // p[i][j]: pigeon i sits in hole j.
+        let mut b = CnfBuilder::new();
+        let p: Vec<Vec<Var>> =
+            (0..4).map(|_| (0..3).map(|_| b.new_var()).collect()).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            b.add_clause(&clause);
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in i1 + 1..4 {
+                    b.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        assert_eq!(Solver::from_builder(&b).solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_is_sat() {
+        let mut b = CnfBuilder::new();
+        let p: Vec<Vec<Var>> =
+            (0..3).map(|_| (0..3).map(|_| b.new_var()).collect()).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+            b.add_clause(&clause);
+        }
+        for j in 0..3 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    b.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+                }
+            }
+        }
+        let r = Solver::from_builder(&b).solve();
+        check_model(&b, r.model().unwrap());
+    }
+
+    #[test]
+    fn xor_chain_has_even_parity_solutions_only() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, x2 ^ x0 = 1 is unsat (odd cycle).
+        let mut b = CnfBuilder::new();
+        let x: Vec<Var> = (0..3).map(|_| b.new_var()).collect();
+        for (i, j) in [(0, 1), (1, 2), (2, 0)] {
+            // xi ^ xj = 1  <=>  (xi | xj) & (!xi | !xj)
+            b.add_clause(&[x[i].pos(), x[j].pos()]);
+            b.add_clause(&[x[i].neg(), x[j].neg()]);
+        }
+        assert_eq!(Solver::from_builder(&b).solve(), SolveResult::Unsat);
+    }
+
+    /// Brute-force satisfiability for cross-checking.
+    fn brute_force(builder: &CnfBuilder) -> bool {
+        let n = builder.num_vars();
+        'outer: for bits in 0u32..(1 << n) {
+            for clause in builder.clauses() {
+                let sat = clause
+                    .iter()
+                    .any(|l| l.value_under(bits >> l.var().index() & 1 == 1));
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for round in 0..120 {
+            let n_vars = rng.gen_range(3..=9);
+            // Around the 3-SAT phase transition (~4.26 clauses/var).
+            let n_clauses = (n_vars as f64 * rng.gen_range(3.0..5.5)) as usize;
+            let mut b = CnfBuilder::new();
+            let vars: Vec<Var> = (0..n_vars).map(|_| b.new_var()).collect();
+            for _ in 0..n_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[rng.gen_range(0..n_vars)];
+                    clause.push(v.lit(rng.gen()));
+                }
+                b.add_clause(&clause);
+            }
+            let expected = brute_force(&b);
+            let mut s = Solver::from_builder(&b);
+            let got = s.solve();
+            assert_eq!(got.is_sat(), expected, "round {round} disagrees");
+            if let Some(m) = got.model() {
+                check_model(&b, m);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition_narrows_models() {
+        let mut b = CnfBuilder::new();
+        let x: Vec<Var> = (0..4).map(|_| b.new_var()).collect();
+        b.add_clause(&[x[0].pos(), x[1].pos(), x[2].pos(), x[3].pos()]);
+        let mut s = Solver::from_builder(&b);
+        assert!(s.solve().is_sat());
+        // Forbid each model's projection until exhaustion: at most 15 rounds.
+        let mut rounds = 0;
+        loop {
+            match s.solve() {
+                SolveResult::Sat(m) => {
+                    let block: Vec<Lit> =
+                        x.iter().map(|&v| v.lit(!m[v.index()])).collect();
+                    s.add_clause(&block);
+                    rounds += 1;
+                    assert!(rounds <= 16, "enumeration must terminate");
+                }
+                SolveResult::Unsat => break,
+            }
+        }
+        assert_eq!(rounds, 15, "exactly the 15 non-zero assignments");
+    }
+}

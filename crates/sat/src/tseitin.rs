@@ -1,0 +1,308 @@
+//! Tseitin encoding of gate-level netlists into CNF.
+//!
+//! Every net maps to a literal; every gate contributes the standard clause
+//! set relating its output literal to its input literals. Inverting gates
+//! (NOT, BUF, NAND, NOR, XNOR) reuse the complemented literal where the
+//! output net is not otherwise constrained, so they cost no extra variable.
+//!
+//! The encoder supports *pre-binding*: the caller may pin selected nets
+//! (primary inputs, key bits) to existing literals or constants before
+//! encoding. The SAT attack uses this to share input variables between two
+//! circuit copies while giving each copy its own key variables.
+
+use std::collections::HashMap;
+
+use mlrl_netlist::ir::{GateKind, NetId, Netlist};
+use mlrl_netlist::sim::levelize;
+use mlrl_netlist::NetlistError;
+
+use crate::cnf::{CnfBuilder, Lit};
+
+/// Mapping from netlist nets to CNF literals produced by [`encode`].
+#[derive(Debug, Clone, Default)]
+pub struct Encoding {
+    net_lit: HashMap<NetId, Lit>,
+}
+
+impl Encoding {
+    /// Literal carrying the value of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net was never encoded (e.g. a dangling net).
+    pub fn lit(&self, net: NetId) -> Lit {
+        self.net_lit[&net]
+    }
+
+    /// Literal carrying `net`, or `None` if the net was not encoded.
+    pub fn get(&self, net: NetId) -> Option<Lit> {
+        self.net_lit.get(&net).copied()
+    }
+
+    /// Literals of a whole port, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist on `netlist`.
+    pub fn port_lits(&self, netlist: &Netlist, port: &str) -> Vec<Lit> {
+        netlist
+            .port(port)
+            .unwrap_or_else(|| panic!("unknown port `{port}`"))
+            .bits
+            .iter()
+            .map(|&b| self.lit(b))
+            .collect()
+    }
+}
+
+/// Encodes a combinational netlist into `builder`, returning the net-to-
+/// literal mapping.
+///
+/// Nets present in `pre_bound` use the given literals; all other primary
+/// inputs and key bits get fresh variables. Constants bind to the builder's
+/// true/false literals.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Sequential`] if the netlist contains flip-flops
+/// and propagates cycle errors from levelization.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_netlist::build::NetlistBuilder;
+/// use mlrl_netlist::ir::Netlist;
+/// use mlrl_sat::cnf::CnfBuilder;
+/// use mlrl_sat::solver::Solver;
+/// use mlrl_sat::tseitin::encode;
+///
+/// let mut nb = NetlistBuilder::new(Netlist::new("t"));
+/// let a = nb.input_lane("a", 4);
+/// let b = nb.input_lane("b", 4);
+/// let s = nb.add(a, b);
+/// nb.output_from_lane("y", s, 4);
+/// let mut netlist = nb.finish();
+/// netlist.sweep();
+///
+/// let mut cnf = CnfBuilder::new();
+/// let enc = encode(&netlist, &mut cnf, &Default::default())?;
+/// // Ask the solver: can a + b == 15 with a == 9?
+/// for (i, lit) in enc.port_lits(&netlist, "a").iter().enumerate() {
+///     cnf.add_clause(&[if 9 >> i & 1 == 1 { *lit } else { lit.inverted() }]);
+/// }
+/// for lit in enc.port_lits(&netlist, "y") {
+///     cnf.add_clause(&[lit]); // all ones = 15
+/// }
+/// let result = Solver::from_builder(&cnf).solve();
+/// assert!(result.is_sat()); // b = 6
+/// # Ok::<(), mlrl_netlist::NetlistError>(())
+/// ```
+pub fn encode(
+    netlist: &Netlist,
+    builder: &mut CnfBuilder,
+    pre_bound: &HashMap<NetId, Lit>,
+) -> Result<Encoding, NetlistError> {
+    if !netlist.is_combinational() {
+        return Err(NetlistError::Sequential);
+    }
+    let order = levelize(netlist)?;
+    let mut enc = Encoding::default();
+
+    let f = builder.false_lit();
+    let t = builder.true_lit();
+    enc.net_lit.insert(NetId::CONST0, pre_bound.get(&NetId::CONST0).copied().unwrap_or(f));
+    enc.net_lit.insert(NetId::CONST1, pre_bound.get(&NetId::CONST1).copied().unwrap_or(t));
+
+    // Sources: primary inputs and key bits.
+    for p in netlist.inputs() {
+        for &bit in &p.bits {
+            let lit =
+                pre_bound.get(&bit).copied().unwrap_or_else(|| builder.new_var().pos());
+            enc.net_lit.insert(bit, lit);
+        }
+    }
+    for &k in netlist.key_bits() {
+        let lit = pre_bound.get(&k).copied().unwrap_or_else(|| builder.new_var().pos());
+        enc.net_lit.insert(k, lit);
+    }
+
+    for gi in order {
+        let gate = &netlist.gates()[gi];
+        let ins: Vec<Lit> = gate.inputs.iter().map(|&n| enc.net_lit[&n]).collect();
+        let bound_out = pre_bound.get(&gate.output).copied();
+        // Free-output inverting gates reuse complemented literals.
+        let out = match (gate.kind, bound_out) {
+            (GateKind::Buf, None) => ins[0],
+            (GateKind::Not, None) => ins[0].inverted(),
+            (kind, maybe) => {
+                let o = maybe.unwrap_or_else(|| builder.new_var().pos());
+                match kind {
+                    GateKind::Buf => builder.define_eq(o, ins[0]),
+                    GateKind::Not => builder.define_eq(o, ins[0].inverted()),
+                    GateKind::And => builder.define_and(o, ins[0], ins[1]),
+                    GateKind::Or => builder.define_or(o, ins[0], ins[1]),
+                    GateKind::Nand => builder.define_and(o.inverted(), ins[0], ins[1]),
+                    GateKind::Nor => builder.define_or(o.inverted(), ins[0], ins[1]),
+                    GateKind::Xor => builder.define_xor(o, ins[0], ins[1]),
+                    GateKind::Xnor => builder.define_xor(o.inverted(), ins[0], ins[1]),
+                    GateKind::Mux => builder.define_mux(o, ins[0], ins[1], ins[2]),
+                }
+                o
+            }
+        };
+        enc.net_lit.insert(gate.output, out);
+    }
+    Ok(enc)
+}
+
+/// Binds the bits of input port `port` to the constant `value` inside
+/// `pre_bound`, for encoding a circuit copy under a fixed stimulus.
+///
+/// # Panics
+///
+/// Panics if the port does not exist.
+pub fn bind_input_const(
+    netlist: &Netlist,
+    builder: &mut CnfBuilder,
+    pre_bound: &mut HashMap<NetId, Lit>,
+    port: &str,
+    value: u64,
+) {
+    let t = builder.true_lit();
+    let f = builder.false_lit();
+    let bits = netlist
+        .port(port)
+        .unwrap_or_else(|| panic!("unknown port `{port}`"))
+        .bits
+        .clone();
+    for (i, bit) in bits.into_iter().enumerate() {
+        pre_bound.insert(bit, if value >> i & 1 == 1 { t } else { f });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlrl_netlist::build::NetlistBuilder;
+    use mlrl_netlist::sim::NetlistSimulator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use crate::solver::Solver;
+
+    fn sample() -> Netlist {
+        let mut nb = NetlistBuilder::new(Netlist::new("t"));
+        let a = nb.input_lane("a", 6);
+        let b = nb.input_lane("b", 6);
+        let s = nb.add(a, b);
+        let m = nb.mul(s, a);
+        let x = nb.xor_lane(m, b);
+        nb.output_from_lane("y", x, 6);
+        let mut n = nb.finish();
+        n.sweep();
+        n
+    }
+
+    #[test]
+    fn encoding_agrees_with_simulation() {
+        let n = sample();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        for _ in 0..25 {
+            let av = rng.gen_range(0u64..64);
+            let bv = rng.gen_range(0u64..64);
+            sim.set_input("a", av).unwrap();
+            sim.set_input("b", bv).unwrap();
+            sim.settle().unwrap();
+            let want = sim.output("y").unwrap();
+
+            let mut cnf = CnfBuilder::new();
+            let mut bound = HashMap::new();
+            bind_input_const(&n, &mut cnf, &mut bound, "a", av);
+            bind_input_const(&n, &mut cnf, &mut bound, "b", bv);
+            let enc = encode(&n, &mut cnf, &bound).unwrap();
+            let result = Solver::from_builder(&cnf).solve();
+            let model = result.model().expect("circuit CNF is satisfiable");
+            let mut got = 0u64;
+            for (i, lit) in enc.port_lits(&n, "y").iter().enumerate() {
+                if lit.value_under(model[lit.var().index()]) {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, want, "a={av} b={bv}");
+        }
+    }
+
+    #[test]
+    fn constraining_outputs_solves_for_inputs() {
+        // Invert the function: find inputs mapping to a chosen output.
+        let n = sample();
+        let mut cnf = CnfBuilder::new();
+        let enc = encode(&n, &mut cnf, &HashMap::new()).unwrap();
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input("a", 13).unwrap();
+        sim.set_input("b", 7).unwrap();
+        sim.settle().unwrap();
+        let target = sim.output("y").unwrap();
+        for (i, lit) in enc.port_lits(&n, "y").iter().enumerate() {
+            cnf.add_clause(&[if target >> i & 1 == 1 { *lit } else { lit.inverted() }]);
+        }
+        let result = Solver::from_builder(&cnf).solve();
+        let model = result.model().expect("preimage exists");
+        // Decode and verify the found preimage through the simulator.
+        let read = |port: &str| -> u64 {
+            let mut v = 0;
+            for (i, lit) in enc.port_lits(&n, port).iter().enumerate() {
+                if lit.value_under(model[lit.var().index()]) {
+                    v |= 1 << i;
+                }
+            }
+            v
+        };
+        sim.set_input("a", read("a")).unwrap();
+        sim.set_input("b", read("b")).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output("y").unwrap(), target);
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected() {
+        let mut n = Netlist::new("t");
+        let q = n.add_dff();
+        let d = n.add_gate(GateKind::Not, vec![q]);
+        n.set_dff_data(q, d).unwrap();
+        n.add_output_port("y", vec![q]);
+        let mut cnf = CnfBuilder::new();
+        assert!(matches!(
+            encode(&n, &mut cnf, &HashMap::new()),
+            Err(NetlistError::Sequential)
+        ));
+    }
+
+    #[test]
+    fn key_bits_become_free_variables() {
+        let mut nb = NetlistBuilder::new(Netlist::new("t"));
+        let a = nb.input_lane("a", 1);
+        let k = nb.key_bit();
+        let o = nb.xor(a.bit(0), k);
+        nb.output_from_lane("y", nb_bit_lane(o), 1);
+        let n = nb.finish();
+        let mut cnf = CnfBuilder::new();
+        let enc = encode(&n, &mut cnf, &HashMap::new()).unwrap();
+        // Force a=1, y=0: key must be 1.
+        let a_lit = enc.port_lits(&n, "a")[0];
+        let y_lit = enc.port_lits(&n, "y")[0];
+        cnf.add_clause(&[a_lit]);
+        cnf.add_clause(&[y_lit.inverted()]);
+        let result = Solver::from_builder(&cnf).solve();
+        let model = result.model().unwrap();
+        let k_lit = enc.lit(n.key_bits()[0]);
+        assert!(k_lit.value_under(model[k_lit.var().index()]));
+    }
+
+    fn nb_bit_lane(bit: mlrl_netlist::NetId) -> mlrl_netlist::build::Lane {
+        let mut lane = mlrl_netlist::build::Lane::zero();
+        lane.0[0] = bit;
+        lane
+    }
+}

@@ -1,0 +1,385 @@
+//! `mlrl` — command-line front end for file-based locking workflows.
+//!
+//! ```text
+//! mlrl gen     <benchmark> [--seed N] [-o design.v]
+//! mlrl flatten <hier.v> --top NAME [-o flat.v]
+//! mlrl stats  <design.v>
+//! mlrl lock   <design.v> --scheme assure|hra|era [--budget F] [--seed N]
+//!             [-o locked.v] [--key-out key.txt]
+//! mlrl verify <original.v> <locked.v> --key key.txt [--patterns N]
+//! mlrl attack <locked.v> [--relocks N] [--key key.txt] [--seed N]
+//! mlrl synth  <design.v> [-o netlist.v]
+//! mlrl gatelock <design.v> --scheme xor|mux --bits N [--seed N]
+//!             [-o locked.v] [--key-out key.txt]
+//! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
+//! ```
+//!
+//! Keys are stored as plain bit strings, `K[0]` first.
+
+use std::fs;
+use std::process::ExitCode;
+
+use mlrl::attack::freq_table::freq_table_attack;
+use mlrl::attack::relock::RelockConfig;
+use mlrl::netlist::emit::emit_structural_verilog;
+use mlrl::netlist::lock::{lock_netlist, GateLockScheme};
+use mlrl::netlist::lower::lower_module;
+use mlrl::netlist::stats::NetlistStats;
+use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
+use mlrl::locking::assure::{lock_operations, AssureConfig};
+use mlrl::locking::era::{era_lock, EraConfig};
+use mlrl::locking::hra::{hra_lock, HraConfig};
+use mlrl::locking::key::{Key, KeyBitKind};
+use mlrl::locking::pairs::PairTable;
+use mlrl::locking::report::LockingReport;
+use mlrl::rtl::bench_designs::{benchmark_by_name, generate, paper_benchmarks};
+use mlrl::rtl::emit::emit_verilog;
+use mlrl::rtl::equiv::{check_equiv, EquivConfig, EquivResult};
+use mlrl::rtl::parser::{parse_design, parse_verilog};
+use mlrl::rtl::stats::DesignStats;
+use mlrl::rtl::{visit, Module};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_owned(), value));
+            } else if let Some(name) = a.strip_prefix('-') {
+                let value = it.next().cloned();
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn load_module(path: &str) -> Result<Module, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_verilog(&src).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn key_to_string(key: &[bool]) -> String {
+    key.iter().map(|b| if *b { '1' } else { '0' }).collect()
+}
+
+fn key_from_string(s: &str) -> Result<Vec<bool>, String> {
+    s.trim()
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid key character `{other}`")),
+        })
+        .collect()
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or_else(|| format!("usage: mlrl gen <benchmark>\nbenchmarks: {}",
+            paper_benchmarks().iter().map(|s| s.name).collect::<Vec<_>>().join(" ")))?;
+    let spec = benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let module = generate(&spec, args.num("seed", 2022u64));
+    let text = emit_verilog(&module).map_err(|e| e.to_string())?;
+    match args.flag("o") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path} ({} ops)", spec.total_ops());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_flatten(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: mlrl flatten <hier.v> --top NAME [-o flat.v]")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let design = parse_design(&src).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let top = match args.flag("top") {
+        Some(t) => t.to_owned(),
+        None => {
+            let tops = design.tops();
+            if tops.len() == 1 {
+                tops[0].to_owned()
+            } else {
+                return Err(format!(
+                    "ambiguous top (candidates: {}); pass --top",
+                    tops.join(", ")
+                ));
+            }
+        }
+    };
+    let flat = design.flatten(&top).map_err(|e| e.to_string())?;
+    eprintln!("{}", DesignStats::of(&flat));
+    let text = emit_verilog(&flat).map_err(|e| e.to_string())?;
+    match args.flag("o") {
+        Some(out) => {
+            fs::write(out, &text).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("usage: mlrl stats <design.v>")?;
+    let module = load_module(path)?;
+    println!("{}", DesignStats::of(&module));
+    let odt = mlrl::locking::odt::Odt::load(&module, PairTable::fixed());
+    println!(
+        "  imbalance: {} ({} ops => ERA needs >= {} bits for Def. 1)",
+        odt.total_imbalance(),
+        visit::binary_ops(&module).len(),
+        odt.total_imbalance()
+    );
+    Ok(())
+}
+
+fn cmd_lock(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("usage: mlrl lock <design.v> --scheme era")?;
+    let original = load_module(path)?;
+    let mut locked = original.clone();
+    let total = visit::binary_ops(&locked).len();
+    let fraction: f64 = args.num("budget", 0.75);
+    let budget = ((total as f64) * fraction).round().max(1.0) as usize;
+    let seed: u64 = args.num("seed", 2022);
+    let scheme = args.flag("scheme").unwrap_or("era");
+    let key: Key = match scheme {
+        "assure" => lock_operations(&mut locked, &AssureConfig::serial(budget, seed))
+            .map_err(|e| e.to_string())?,
+        "assure-random" => lock_operations(&mut locked, &AssureConfig::random(budget, seed))
+            .map_err(|e| e.to_string())?,
+        "hra" => hra_lock(&mut locked, &HraConfig::new(budget, seed))
+            .map_err(|e| e.to_string())?
+            .key,
+        "era" => era_lock(&mut locked, &EraConfig::new(budget, seed))
+            .map_err(|e| e.to_string())?
+            .key,
+        other => return Err(format!("unknown scheme `{other}` (assure|assure-random|hra|era)")),
+    };
+    let report = LockingReport::build(scheme, &original, &locked, &key, &PairTable::fixed());
+    eprintln!("{report}");
+    let text = emit_verilog(&locked).map_err(|e| e.to_string())?;
+    match args.flag("o") {
+        Some(out) => {
+            fs::write(out, &text).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    if let Some(key_out) = args.flag("key-out") {
+        fs::write(key_out, key_to_string(key.as_bits())).map_err(|e| e.to_string())?;
+        eprintln!("wrote {key_out} ({} bits)", key.len());
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let original = load_module(
+        args.positional.get(1).ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
+    )?;
+    let locked = load_module(
+        args.positional.get(2).ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
+    )?;
+    let key_path = args.flag("key").ok_or("missing --key <file>")?;
+    let key = key_from_string(&fs::read_to_string(key_path).map_err(|e| e.to_string())?)?;
+    let cfg = EquivConfig { patterns: args.num("patterns", 64usize), ticks: 2, seed: 7 };
+    match check_equiv(&original, &locked, &[], &key, &cfg).map_err(|e| e.to_string())? {
+        EquivResult::Equivalent { patterns } => {
+            println!("EQUIVALENT over {patterns} random patterns");
+            Ok(())
+        }
+        EquivResult::Mismatch { pattern, output, left, right } => Err(format!(
+            "MISMATCH at pattern {pattern}: output `{output}` original={left:#x} locked={right:#x}"
+        )),
+    }
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let locked = load_module(
+        args.positional.get(1).ok_or("usage: mlrl attack <locked.v> [--key key.txt]")?,
+    )?;
+    let relock = RelockConfig {
+        rounds: args.num("relocks", 60usize),
+        budget_fraction: 0.75,
+        seed: args.num("seed", 7u64),
+    };
+    // Build a scoring key: the real one if provided, else zeros (KPA then
+    // meaningless and suppressed).
+    let (score_key, have_key) = match args.flag("key") {
+        Some(path) => {
+            let bits =
+                key_from_string(&fs::read_to_string(path).map_err(|e| e.to_string())?)?;
+            let mut k = Key::new();
+            for b in bits {
+                k.push(b, KeyBitKind::Operation);
+            }
+            (k, true)
+        }
+        None => {
+            let mut k = Key::new();
+            for _ in 0..locked.key_width() {
+                k.push(false, KeyBitKind::Operation);
+            }
+            (k, false)
+        }
+    };
+    let report = freq_table_attack(&locked, &score_key, &relock)
+        .ok_or("design exposes no key-controlled localities")?;
+    println!("attacked bits: {}", report.attacked_bits);
+    let predicted: Vec<bool> = {
+        let mut bits = vec![false; locked.key_width() as usize];
+        for (bit, v) in &report.predictions {
+            if let Some(slot) = bits.get_mut(*bit as usize) {
+                *slot = *v;
+            }
+        }
+        bits
+    };
+    println!("predicted key: {}", key_to_string(&predicted));
+    if have_key {
+        println!("KPA: {:.2}% (50% = random guess)", report.kpa);
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &Args) -> Result<(), String> {
+    let module = load_module(
+        args.positional.get(1).ok_or("usage: mlrl synth <design.v> [-o netlist.v]")?,
+    )?;
+    let mut netlist = lower_module(&module).map_err(|e| e.to_string())?;
+    let removed = netlist.sweep();
+    let stats = NetlistStats::of(&netlist);
+    eprintln!("synthesized `{}`: {stats}({removed} dead gates swept)", netlist.name());
+    let text = emit_structural_verilog(&netlist).map_err(|e| e.to_string())?;
+    match args.flag("o") {
+        Some(out) => {
+            fs::write(out, text).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_gatelock(args: &Args) -> Result<(), String> {
+    let module = load_module(args.positional.get(1).ok_or(
+        "usage: mlrl gatelock <design.v> --scheme xor|mux --bits N [--seed N] [-o locked.v] [--key-out k.txt]",
+    )?)?;
+    let mut netlist = lower_module(&module).map_err(|e| e.to_string())?;
+    netlist.sweep();
+    let bits = args.num("bits", 32usize);
+    let seed = args.num("seed", 7u64);
+    let scheme = match args.flag("scheme").unwrap_or("xor") {
+        "xor" => GateLockScheme::XorXnor,
+        "mux" => GateLockScheme::Mux,
+        other => return Err(format!("unknown gate scheme `{other}` (xor|mux)")),
+    };
+    let key = lock_netlist(&mut netlist, scheme, bits, seed).map_err(|e| e.to_string())?;
+    eprintln!(
+        "gate-locked `{}` with {} key bits ({} gates)",
+        netlist.name(),
+        key.len(),
+        netlist.gates().len()
+    );
+    if let Some(path) = args.flag("key-out") {
+        fs::write(path, key_to_string(key.bits())).map_err(|e| e.to_string())?;
+        eprintln!("wrote key to {path}");
+    }
+    let text = emit_structural_verilog(&netlist).map_err(|e| e.to_string())?;
+    match args.flag("o") {
+        Some(out) => {
+            fs::write(out, text).map_err(|e| e.to_string())?;
+            println!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_sat_attack(args: &Args) -> Result<(), String> {
+    let locked = load_module(args.positional.get(1).ok_or(
+        "usage: mlrl sat-attack <locked.v> --key key.txt [--max-dips N] (key plays the oracle chip)",
+    )?)?;
+    let key_path = args.flag("key").ok_or("missing --key <file> (the oracle's key)")?;
+    let key = key_from_string(&fs::read_to_string(key_path).map_err(|e| e.to_string())?)?;
+    let mut netlist = lower_module(&locked).map_err(|e| e.to_string())?.to_scan_view();
+    netlist.sweep();
+    eprintln!(
+        "attacking `{}`: {} gates, {} key bits (scan view)",
+        netlist.name(),
+        netlist.gates().len(),
+        netlist.key_width()
+    );
+    let cfg = SatAttackConfig { max_dips: args.num("max-dips", 512usize) };
+    let (report, correct) =
+        sat_attack_with_sim_oracle(&netlist, &key, &cfg).map_err(|e| e.to_string())?;
+    println!("DIPs (oracle queries): {}", report.dips);
+    println!("UNSAT proof:           {}", report.proved);
+    println!("recovered key:         {}", key_to_string(&report.key));
+    println!("functionally correct:  {correct}");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args),
+        Some("flatten") => cmd_flatten(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("lock") => cmd_lock(&args),
+        Some("verify") => cmd_verify(&args),
+        Some("attack") => cmd_attack(&args),
+        Some("synth") => cmd_synth(&args),
+        Some("gatelock") => cmd_gatelock(&args),
+        Some("sat-attack") => cmd_sat_attack(&args),
+        _ => Err(
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack> ...\nsee `src/bin/mlrl.rs` docs"
+                .to_owned(),
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

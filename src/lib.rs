@@ -1,0 +1,39 @@
+//! # mlrl — ML-resilient logic locking at register-transfer level
+//!
+//! Umbrella crate of the reproduction of *"Designing ML-Resilient Locking
+//! at Register-Transfer Level"* (DAC 2022). It re-exports the six
+//! component crates:
+//!
+//! - [`rtl`] — RTL IR, Verilog front end, simulator, benchmark generators,
+//! - [`locking`] — ASSURE locking, ODT metrics, ERA/HRA algorithms,
+//! - [`ml`] — classifiers and the auto-ml search,
+//! - [`attack`] — SnapShot-RTL, gate-level SnapShot, and pair-analysis
+//!   attacks,
+//! - [`netlist`] — gate-level netlists: bit-blasting lowering ("synthesis"),
+//!   simulation, and traditional gate-level locking,
+//! - [`sat`] — CNF, a CDCL solver, Tseitin encoding, and the oracle-guided
+//!   SAT attack.
+//!
+//! See `examples/quickstart.rs` for an end-to-end lock → attack → score
+//! walkthrough, and the `mlrl-bench` binaries for the paper's figures.
+//!
+//! ```
+//! use mlrl::locking::era::{era_lock, EraConfig};
+//! use mlrl::rtl::bench_designs::{benchmark_by_name, generate};
+//!
+//! let spec = benchmark_by_name("FIR").expect("known benchmark");
+//! let mut module = generate(&spec, 42);
+//! let outcome = era_lock(&mut module, &EraConfig::new(47, 7))?;
+//! assert!(outcome.key.len() >= 47);
+//! # Ok::<(), mlrl::locking::LockError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use mlrl_attack as attack;
+pub use mlrl_locking as locking;
+pub use mlrl_ml as ml;
+pub use mlrl_netlist as netlist;
+pub use mlrl_rtl as rtl;
+pub use mlrl_sat as sat;

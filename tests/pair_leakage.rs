@@ -1,0 +1,84 @@
+//! Integration test for §3.2: the original ASSURE pairing is broken by
+//! pair analysis; the involutive fix closes the channel on every benchmark.
+
+use mlrl::attack::pair_analysis::pair_analysis_attack;
+use mlrl::locking::assure::{lock_operations, AssureConfig, Selection};
+use mlrl::locking::pairs::PairTable;
+use mlrl::rtl::bench_designs::{benchmark_by_name, paper_benchmarks};
+use mlrl::rtl::visit;
+
+#[test]
+fn original_pairing_breaks_arithmetic_benchmarks() {
+    // Benchmarks containing the §3.2-named leaky ops (*, /, %, ^, **).
+    for bench in ["RSA", "FIR", "DES3"] {
+        let spec = benchmark_by_name(bench).expect("benchmark");
+        let table = PairTable::original_assure();
+        let mut module = mlrl::rtl::bench_designs::generate(&spec, 41);
+        let total = visit::binary_ops(&module).len();
+        let cfg = AssureConfig {
+            selection: Selection::Serial,
+            pair_table: table.clone(),
+            budget: total * 3 / 4,
+            seed: 41,
+        };
+        let key = lock_operations(&mut module, &cfg).expect("lockable");
+        let report = pair_analysis_attack(&module, &key, &table);
+        assert!(
+            !report.inferred.is_empty(),
+            "{bench}: original pairing must leak bits"
+        );
+        assert_eq!(
+            report.kpa_on_inferred, 100.0,
+            "{bench}: pair inference must be exact"
+        );
+    }
+}
+
+#[test]
+fn fixed_pairing_closes_the_channel_on_every_benchmark() {
+    let table = PairTable::fixed();
+    for spec in paper_benchmarks() {
+        if spec.total_ops() > 300 {
+            continue; // the N_* networks only contain (+,-): nothing new
+        }
+        let mut module = mlrl::rtl::bench_designs::generate(&spec, 43);
+        let total = visit::binary_ops(&module).len();
+        let cfg = AssureConfig {
+            selection: Selection::Serial,
+            pair_table: table.clone(),
+            budget: total / 2,
+            seed: 43,
+        };
+        let key = lock_operations(&mut module, &cfg).expect("lockable");
+        let report = pair_analysis_attack(&module, &key, &table);
+        assert!(
+            report.inferred.is_empty(),
+            "{}: fixed pairing leaked {} bits",
+            spec.name,
+            report.inferred.len()
+        );
+    }
+}
+
+#[test]
+fn leak_coverage_tracks_leaky_op_share() {
+    // RSA: Mul 26 + Mod 14 of 100 ops are one-way pairs under the original
+    // table — coverage should be in that ballpark (serial, 75% budget).
+    let spec = benchmark_by_name("RSA").expect("benchmark");
+    let table = PairTable::original_assure();
+    let mut module = mlrl::rtl::bench_designs::generate(&spec, 47);
+    let total = visit::binary_ops(&module).len();
+    let cfg = AssureConfig {
+        selection: Selection::Serial,
+        pair_table: table.clone(),
+        budget: total * 3 / 4,
+        seed: 47,
+    };
+    let key = lock_operations(&mut module, &cfg).expect("lockable");
+    let report = pair_analysis_attack(&module, &key, &table);
+    assert!(
+        report.coverage > 15.0 && report.coverage < 80.0,
+        "coverage {:.1}% out of expected band",
+        report.coverage
+    );
+}
