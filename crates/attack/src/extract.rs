@@ -71,8 +71,7 @@ impl ContextLocality {
 /// [`LEAF_CODE`]/[`MUX_CODE`] parents respectively.
 pub fn extract_context_localities(module: &Module) -> Vec<ContextLocality> {
     // First pass: record the consuming code of every node.
-    let mut parent_code: std::collections::HashMap<ExprId, u32> =
-        std::collections::HashMap::new();
+    let mut parent_code: std::collections::HashMap<ExprId, u32> = std::collections::HashMap::new();
     visit::walk_exprs(module, |_, expr| {
         let code = match expr {
             Expr::Binary { op, .. } => Some(op.code()),
@@ -93,7 +92,12 @@ pub fn extract_context_localities(module: &Module) -> Vec<ContextLocality> {
     });
     let mut out = Vec::new();
     visit::walk_exprs(module, |id, expr| {
-        if let Expr::Ternary { cond, then_expr, else_expr } = expr {
+        if let Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } = expr
+        {
             if let Ok(Expr::KeyBit(bit)) = module.expr(*cond) {
                 out.push(ContextLocality {
                     core: Locality {
@@ -128,7 +132,12 @@ pub fn extract_context_localities(module: &Module) -> Vec<ContextLocality> {
 pub fn extract_localities(module: &Module) -> Vec<Locality> {
     let mut out = Vec::new();
     visit::walk_exprs(module, |_, expr| {
-        if let Expr::Ternary { cond, then_expr, else_expr } = expr {
+        if let Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } = expr
+        {
             if let Ok(Expr::KeyBit(bit)) = module.expr(*cond) {
                 out.push(Locality {
                     key_bit: *bit,

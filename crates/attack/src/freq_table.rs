@@ -14,7 +14,7 @@ use mlrl_locking::key::Key;
 use mlrl_rtl::Module;
 
 use crate::extract::extract_localities;
-use crate::relock::{build_training_set, RelockConfig};
+use crate::relock::{build_training_set, RelockConfig, TrainingSet};
 
 /// Result of a frequency-table attack.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,11 +38,35 @@ pub fn freq_table_attack(
     true_key: &Key,
     relock: &RelockConfig,
 ) -> Option<FreqTableReport> {
+    // Extract before relocking: no localities means nothing to attack,
+    // and training-set generation is the expensive half.
     let target_localities = extract_localities(target);
     if target_localities.is_empty() {
         return None;
     }
     let training = build_training_set(target, relock);
+    attack_localities(&target_localities, true_key, &training)
+}
+
+/// Like [`freq_table_attack`], but consuming a prebuilt training set
+/// (e.g. one shared through `mlrl-engine`'s content-addressed artifact
+/// cache instead of being re-relocked per attack).
+pub fn freq_table_attack_with_training(
+    target: &Module,
+    true_key: &Key,
+    training: &TrainingSet,
+) -> Option<FreqTableReport> {
+    attack_localities(&extract_localities(target), true_key, training)
+}
+
+fn attack_localities(
+    target_localities: &[crate::Locality],
+    true_key: &Key,
+    training: &TrainingSet,
+) -> Option<FreqTableReport> {
+    if target_localities.is_empty() {
+        return None;
+    }
     if training.is_empty() {
         return None;
     }
@@ -63,10 +87,14 @@ pub fn freq_table_attack(
     let mut predictions = Vec::with_capacity(target_localities.len());
     let mut correct = 0usize;
     let mut scored = 0usize;
-    for loc in &target_localities {
+    for loc in target_localities {
         let (n0, n1) = table.get(&(loc.c1, loc.c2)).copied().unwrap_or(global);
         // Ties resolve to the global majority; a global tie to `true`.
-        let predicted = if n1 == n0 { global.1 >= global.0 } else { n1 > n0 };
+        let predicted = if n1 == n0 {
+            global.1 >= global.0
+        } else {
+            n1 > n0
+        };
         predictions.push((loc.key_bit, predicted));
         if let Some(actual) = true_key.bit(loc.key_bit) {
             scored += 1;
@@ -75,8 +103,17 @@ pub fn freq_table_attack(
             }
         }
     }
-    let kpa = if scored == 0 { 0.0 } else { 100.0 * correct as f64 / scored as f64 };
-    Some(FreqTableReport { kpa, attacked_bits: scored, table, predictions })
+    let kpa = if scored == 0 {
+        0.0
+    } else {
+        100.0 * correct as f64 / scored as f64
+    };
+    Some(FreqTableReport {
+        kpa,
+        attacked_bits: scored,
+        table,
+        predictions,
+    })
 }
 
 #[cfg(test)]
@@ -88,7 +125,11 @@ mod tests {
     use mlrl_rtl::visit;
 
     fn relock_cfg(seed: u64) -> RelockConfig {
-        RelockConfig { rounds: 25, budget_fraction: 0.75, seed }
+        RelockConfig {
+            rounds: 25,
+            budget_fraction: 0.75,
+            seed,
+        }
     }
 
     #[test]
@@ -97,7 +138,11 @@ mod tests {
         let total = visit::binary_ops(&m).len();
         let key = lock_operations(&mut m, &AssureConfig::serial(total * 3 / 4, 6)).unwrap();
         let report = freq_table_attack(&m, &key, &relock_cfg(7)).unwrap();
-        assert!(report.kpa > 90.0, "counting table should break FIR, got {}", report.kpa);
+        assert!(
+            report.kpa > 90.0,
+            "counting table should break FIR, got {}",
+            report.kpa
+        );
         assert_eq!(report.attacked_bits, key.len());
     }
 
@@ -112,7 +157,10 @@ mod tests {
             kpas.push(report.kpa);
         }
         let mean = kpas.iter().sum::<f64>() / kpas.len() as f64;
-        assert!((mean - 50.0).abs() < 15.0, "ERA should hold ~50%, got {mean:.1} ({kpas:?})");
+        assert!(
+            (mean - 50.0).abs() < 15.0,
+            "ERA should hold ~50%, got {mean:.1} ({kpas:?})"
+        );
     }
 
     #[test]

@@ -73,8 +73,12 @@ pub fn extract_gate_localities(netlist: &Netlist) -> Vec<GateLocality> {
     };
     let mut out = Vec::new();
     for (key_bit, &knet) in netlist.key_bits().iter().enumerate() {
-        let Some(consumers) = fanout.get(&knet) else { continue };
-        let Some(&gi) = consumers.first() else { continue };
+        let Some(consumers) = fanout.get(&knet) else {
+            continue;
+        };
+        let Some(&gi) = consumers.first() else {
+            continue;
+        };
         let gate = &netlist.gates()[gi];
         let mut features = vec![gate.kind.code()];
         // Drivers of the non-key inputs, in pin order.
@@ -173,8 +177,12 @@ pub fn gate_snapshot_attack(
     for round in 0..cfg.rounds {
         let mut clone = target.clone();
         let base = clone.key_width();
-        let Ok(key) = lock_netlist(&mut clone, cfg.scheme, cfg.bits_per_round, cfg.seed + round as u64 + 1)
-        else {
+        let Ok(key) = lock_netlist(
+            &mut clone,
+            cfg.scheme,
+            cfg.bits_per_round,
+            cfg.seed + round as u64 + 1,
+        ) else {
             continue;
         };
         for loc in extract_gate_localities(&clone) {
@@ -251,7 +259,10 @@ mod tests {
             rounds: 15,
             bits_per_round: 16,
             seed: 3,
-            automl: AutoMlConfig { max_train_samples: 2000, ..Default::default() },
+            automl: AutoMlConfig {
+                max_train_samples: 2000,
+                ..Default::default()
+            },
         }
     }
 
@@ -278,10 +289,13 @@ mod tests {
         // The Fig. 1 premise: gate-level locking falls to structural ML.
         let mut n = sample_netlist(0);
         let key = xor_xnor_lock(&mut n, 24, 7).unwrap();
-        let report =
-            gate_snapshot_attack(&n, &key, &fast_cfg(GateLockScheme::XorXnor)).unwrap();
+        let report = gate_snapshot_attack(&n, &key, &fast_cfg(GateLockScheme::XorXnor)).unwrap();
         assert_eq!(report.attacked_bits, 24);
-        assert!(report.kpa >= 95.0, "expected near-total break, got {}", report.kpa);
+        assert!(
+            report.kpa >= 95.0,
+            "expected near-total break, got {}",
+            report.kpa
+        );
     }
 
     #[test]
@@ -293,7 +307,11 @@ mod tests {
         // Real and decoy wires are drawn from the same distribution, so the
         // structural locality carries little signal. Allow generous slack
         // around the coin-flip floor — what must NOT happen is ≈ 100 %.
-        assert!(report.kpa <= 80.0, "MUX locking should not fully leak, got {}", report.kpa);
+        assert!(
+            report.kpa <= 80.0,
+            "MUX locking should not fully leak, got {}",
+            report.kpa
+        );
     }
 
     #[test]

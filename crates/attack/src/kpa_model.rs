@@ -47,7 +47,12 @@ pub fn predict_kpa(locked: &Module, key: &Key, table: &PairTable) -> KpaPredicti
     // Attribute each operation key bit to the real operation type it locks.
     let mut real_type_of_bit: HashMap<u32, BinaryOp> = HashMap::new();
     visit::walk_exprs(locked, |_, expr| {
-        if let Expr::Ternary { cond, then_expr, else_expr } = expr {
+        if let Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } = expr
+        {
             if let Ok(Expr::KeyBit(bit)) = locked.expr(*cond) {
                 if let Some(value) = key.bit(*bit) {
                     let real_branch = if value { *then_expr } else { *else_expr };
@@ -96,7 +101,10 @@ pub fn predict_kpa(locked: &Module, key: &Key, table: &PairTable) -> KpaPredicti
     } else {
         100.0 * weighted / total_bits as f64
     };
-    KpaPrediction { expected_kpa, per_pair }
+    KpaPrediction {
+        expected_kpa,
+        per_pair,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +152,10 @@ mod tests {
         let total = visit::binary_ops(&m).len();
         let key = lock_operations(&mut m, &AssureConfig::serial(total * 3 / 4, 8)).unwrap();
         let pred = predict_kpa(&m, &key, &PairTable::fixed());
-        assert!(pred.expected_kpa > 60.0 && pred.expected_kpa < 100.0, "{pred:?}");
+        assert!(
+            pred.expected_kpa > 60.0 && pred.expected_kpa < 100.0,
+            "{pred:?}"
+        );
     }
 
     #[test]

@@ -57,4 +57,4 @@ pub mod relock;
 pub mod snapshot;
 
 pub use extract::{extract_localities, Locality};
-pub use snapshot::{snapshot_attack, AttackConfig, AttackReport};
+pub use snapshot::{snapshot_attack, snapshot_attack_with_training, AttackConfig, AttackReport};

@@ -103,7 +103,9 @@ pub fn run_scenario(
     let mut plus_real = 0usize;
     let mut minus_real = 0usize;
     for round in 0..rounds {
-        let rseed = seed.wrapping_add(round as u64 + 1).wrapping_mul(0x9e37_79b9);
+        let rseed = seed
+            .wrapping_add(round as u64 + 1)
+            .wrapping_mul(0x9e37_79b9);
         let mut clone = target.clone();
         let base = clone.key_width();
         let key = match scenario {
@@ -144,7 +146,11 @@ pub fn run_scenario(
             }
         }
     }
-    ObservationPool { scenario, plus_real, minus_real }
+    ObservationPool {
+        scenario,
+        plus_real,
+        minus_real,
+    }
 }
 
 /// Locks up to `budget` operations that are *not* inside any key-controlled
@@ -209,7 +215,10 @@ mod tests {
     fn serial_serial_is_confusing() {
         let pool = run_scenario(Scenario::SerialSerial, 64, 0.5, 6, 1);
         let p = pool.p_plus_real();
-        assert!((p - 0.5).abs() < 0.1, "serial/serial should confuse: P(+)={p}");
+        assert!(
+            (p - 0.5).abs() < 0.1,
+            "serial/serial should confuse: P(+)={p}"
+        );
         assert_eq!(pool.inference(), "+ and - are equally likely to appear");
     }
 
@@ -231,7 +240,11 @@ mod tests {
 
     #[test]
     fn empty_pool_reports_half() {
-        let pool = ObservationPool { scenario: Scenario::RandomRandom, plus_real: 0, minus_real: 0 };
+        let pool = ObservationPool {
+            scenario: Scenario::RandomRandom,
+            plus_real: 0,
+            minus_real: 0,
+        };
         assert_eq!(pool.p_plus_real(), 0.5);
     }
 

@@ -39,7 +39,12 @@ pub struct OracleAttackConfig {
 
 impl Default for OracleAttackConfig {
     fn default() -> Self {
-        Self { patterns: 24, restarts: 3, sweeps: 4, seed: 0 }
+        Self {
+            patterns: 24,
+            restarts: 3,
+            sweeps: 4,
+            seed: 0,
+        }
     }
 }
 
@@ -109,24 +114,22 @@ pub fn oracle_guided_attack(
     let total_bits = (patterns.len() * output_names.len() * 64).max(1);
     let mut queries = 0usize;
     let mut locked_sim = Simulator::new(locked)?;
-    let agreement_of = |key: &[bool],
-                            locked_sim: &mut Simulator,
-                            queries: &mut usize|
-     -> Result<f64, RtlError> {
-        let mut matching_bits = 0u64;
-        locked_sim.set_key(key)?;
-        for (pat, gold) in patterns.iter().zip(&golden) {
-            for (name, v) in input_names.iter().zip(pat) {
-                locked_sim.set_input(name, *v)?;
+    let agreement_of =
+        |key: &[bool], locked_sim: &mut Simulator, queries: &mut usize| -> Result<f64, RtlError> {
+            let mut matching_bits = 0u64;
+            locked_sim.set_key(key)?;
+            for (pat, gold) in patterns.iter().zip(&golden) {
+                for (name, v) in input_names.iter().zip(pat) {
+                    locked_sim.set_input(name, *v)?;
+                }
+                locked_sim.settle()?;
+                *queries += 1;
+                for (name, g) in output_names.iter().zip(gold) {
+                    matching_bits += (!(locked_sim.get(name)? ^ g)).count_ones() as u64;
+                }
             }
-            locked_sim.settle()?;
-            *queries += 1;
-            for (name, g) in output_names.iter().zip(gold) {
-                matching_bits += (!(locked_sim.get(name)? ^ g)).count_ones() as u64;
-            }
-        }
-        Ok(matching_bits as f64 / total_bits as f64)
-    };
+            Ok(matching_bits as f64 / total_bits as f64)
+        };
 
     let mut best_key = vec![false; width];
     let mut best_score = -1.0f64;
@@ -158,8 +161,17 @@ pub fn oracle_guided_attack(
         }
     }
 
-    let kpa = if width == 0 { 0.0 } else { true_key.kpa(&best_key) };
-    Ok(OracleAttackReport { recovered: best_key, agreement: best_score.max(0.0), kpa, queries })
+    let kpa = if width == 0 {
+        0.0
+    } else {
+        true_key.kpa(&best_key)
+    };
+    Ok(OracleAttackReport {
+        recovered: best_key,
+        agreement: best_score.max(0.0),
+        kpa,
+        queries,
+    })
 }
 
 #[cfg(test)]
@@ -179,7 +191,10 @@ mod tests {
             &locked,
             &original,
             &key,
-            &OracleAttackConfig { seed: 5, ..Default::default() },
+            &OracleAttackConfig {
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -202,7 +217,12 @@ mod tests {
             &locked,
             &original,
             &outcome.key,
-            &OracleAttackConfig { restarts: 4, sweeps: 5, seed: 9, ..Default::default() },
+            &OracleAttackConfig {
+                restarts: 4,
+                sweeps: 5,
+                seed: 9,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Some ERA bits sit inside *dummy* branches of nested locks: they
@@ -240,7 +260,12 @@ mod tests {
         let original = generate(&benchmark_by_name("SIM_SPI").unwrap(), 3);
         let mut locked = original.clone();
         let key = lock_operations(&mut locked, &AssureConfig::serial(4, 4)).unwrap();
-        let cfg = OracleAttackConfig { patterns: 8, restarts: 1, sweeps: 1, seed: 1 };
+        let cfg = OracleAttackConfig {
+            patterns: 8,
+            restarts: 1,
+            sweeps: 1,
+            seed: 1,
+        };
         let report = oracle_guided_attack(&locked, &original, &key, &cfg).unwrap();
         // 1 initial + 4 flips, 8 patterns each = 40 queries minimum.
         assert!(report.queries >= 40, "got {}", report.queries);

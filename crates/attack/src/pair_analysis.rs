@@ -98,7 +98,13 @@ pub fn pair_analysis_attack(
     } else {
         100.0 * inferred.len() as f64 / localities.len() as f64
     };
-    PairAnalysisReport { inferred, ambiguous, unanalyzable, kpa_on_inferred, coverage }
+    PairAnalysisReport {
+        inferred,
+        ambiguous,
+        unanalyzable,
+        kpa_on_inferred,
+        coverage,
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +133,10 @@ mod tests {
         let table = PairTable::original_assure();
         let (m, key) = lock_with(table.clone(), "RSA", 1);
         let report = pair_analysis_attack(&m, &key, &table);
-        assert!(!report.inferred.is_empty(), "RSA must leak under original pairing");
+        assert!(
+            !report.inferred.is_empty(),
+            "RSA must leak under original pairing"
+        );
         assert_eq!(report.kpa_on_inferred, 100.0, "pair inference is exact");
         assert!(report.coverage > 10.0, "coverage was {}", report.coverage);
     }
@@ -146,20 +155,36 @@ mod tests {
         use BinaryOp::*;
         let table = PairTable::original_assure();
         // (∗, +): pair(∗)=+ but pair(+)=−: real must be ∗ (true branch).
-        let loc = Locality { key_bit: 0, c1: Mul.code(), c2: Add.code() };
+        let loc = Locality {
+            key_bit: 0,
+            c1: Mul.code(),
+            c2: Add.code(),
+        };
         assert_eq!(analyze_locality(&loc, &table), PairVerdict::Inferred(true));
         // (+, ∗): reverse — real must be ∗ (false branch).
-        let loc = Locality { key_bit: 0, c1: Add.code(), c2: Mul.code() };
+        let loc = Locality {
+            key_bit: 0,
+            c1: Add.code(),
+            c2: Mul.code(),
+        };
         assert_eq!(analyze_locality(&loc, &table), PairVerdict::Inferred(false));
         // (+, −): pair(+)=− and pair(−)=+: ambiguous.
-        let loc = Locality { key_bit: 0, c1: Add.code(), c2: Sub.code() };
+        let loc = Locality {
+            key_bit: 0,
+            c1: Add.code(),
+            c2: Sub.code(),
+        };
         assert_eq!(analyze_locality(&loc, &table), PairVerdict::Ambiguous);
     }
 
     #[test]
     fn nested_mux_is_unanalyzable() {
         let table = PairTable::original_assure();
-        let loc = Locality { key_bit: 0, c1: mlrl_rtl::op::MUX_CODE, c2: BinaryOp::Add.code() };
+        let loc = Locality {
+            key_bit: 0,
+            c1: mlrl_rtl::op::MUX_CODE,
+            c2: BinaryOp::Add.code(),
+        };
         assert_eq!(analyze_locality(&loc, &table), PairVerdict::Unanalyzable);
     }
 
@@ -167,9 +192,17 @@ mod tests {
     fn involutive_table_is_always_ambiguous_on_valid_pairs() {
         let table = PairTable::fixed();
         for (a, b) in table.canonical_pairs() {
-            let loc = Locality { key_bit: 0, c1: a.code(), c2: b.code() };
+            let loc = Locality {
+                key_bit: 0,
+                c1: a.code(),
+                c2: b.code(),
+            };
             assert_eq!(analyze_locality(&loc, &table), PairVerdict::Ambiguous);
-            let loc = Locality { key_bit: 0, c1: b.code(), c2: a.code() };
+            let loc = Locality {
+                key_bit: 0,
+                c1: b.code(),
+                c2: a.code(),
+            };
             assert_eq!(analyze_locality(&loc, &table), PairVerdict::Ambiguous);
         }
     }

@@ -28,7 +28,11 @@ pub struct RelockConfig {
 
 impl Default for RelockConfig {
     fn default() -> Self {
-        Self { rounds: 200, budget_fraction: 0.75, seed: 0 }
+        Self {
+            rounds: 200,
+            budget_fraction: 0.75,
+            seed: 0,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ pub fn build_training_set_with(
     cfg: &RelockConfig,
     context_features: bool,
 ) -> TrainingSet {
-    assert!(cfg.budget_fraction > 0.0, "budget_fraction must be positive");
+    assert!(
+        cfg.budget_fraction > 0.0,
+        "budget_fraction must be positive"
+    );
     let base_bits = target.key_width();
     let mut features = Vec::new();
     let mut labels = Vec::new();
@@ -78,7 +85,10 @@ pub fn build_training_set_with(
         let mut clone = target.clone();
         let lockable = visit::binary_ops(&clone).len();
         let budget = ((lockable as f64) * cfg.budget_fraction).round().max(1.0) as usize;
-        let round_seed = cfg.seed.wrapping_add(round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let round_seed = cfg
+            .seed
+            .wrapping_add(round as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let key = match lock_operations(&mut clone, &AssureConfig::random(budget, round_seed)) {
             Ok(k) => k,
             Err(_) => continue, // nothing lockable: skip round
@@ -123,7 +133,11 @@ mod tests {
     #[test]
     fn training_set_covers_only_new_bits() {
         let target = locked_target("FIR", 1);
-        let cfg = RelockConfig { rounds: 3, budget_fraction: 0.5, seed: 9 };
+        let cfg = RelockConfig {
+            rounds: 3,
+            budget_fraction: 0.5,
+            seed: 9,
+        };
         let ts = build_training_set(&target, &cfg);
         assert!(!ts.is_empty());
         // 3 rounds × ~0.5 × lockable ops of the locked design.
@@ -137,15 +151,28 @@ mod tests {
     fn unlocked_target_still_trains() {
         // Attacking an unlocked design: relocking provides data anyway.
         let target = generate(&benchmark_by_name("IIR").unwrap(), 2);
-        let ts = build_training_set(&target, &RelockConfig { rounds: 2, ..Default::default() });
+        let ts = build_training_set(
+            &target,
+            &RelockConfig {
+                rounds: 2,
+                ..Default::default()
+            },
+        );
         assert!(!ts.is_empty());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let target = locked_target("SASC", 3);
-        let cfg = RelockConfig { rounds: 2, budget_fraction: 0.75, seed: 4 };
-        assert_eq!(build_training_set(&target, &cfg), build_training_set(&target, &cfg));
+        let cfg = RelockConfig {
+            rounds: 2,
+            budget_fraction: 0.75,
+            seed: 4,
+        };
+        assert_eq!(
+            build_training_set(&target, &cfg),
+            build_training_set(&target, &cfg)
+        );
     }
 
     #[test]
@@ -153,11 +180,19 @@ mod tests {
         let target = locked_target("SIM_SPI", 5);
         let one = build_training_set(
             &target,
-            &RelockConfig { rounds: 1, budget_fraction: 0.75, seed: 6 },
+            &RelockConfig {
+                rounds: 1,
+                budget_fraction: 0.75,
+                seed: 6,
+            },
         );
         let four = build_training_set(
             &target,
-            &RelockConfig { rounds: 4, budget_fraction: 0.75, seed: 6 },
+            &RelockConfig {
+                rounds: 4,
+                budget_fraction: 0.75,
+                seed: 6,
+            },
         );
         assert_eq!(four.len(), 4 * one.len());
     }
@@ -169,7 +204,11 @@ mod tests {
         let target = locked_target("N_2046", 7);
         let ts = build_training_set(
             &target,
-            &RelockConfig { rounds: 1, budget_fraction: 0.3, seed: 8 },
+            &RelockConfig {
+                rounds: 1,
+                budget_fraction: 0.3,
+                seed: 8,
+            },
         );
         use mlrl_rtl::op::BinaryOp;
         let add = BinaryOp::Add.code();

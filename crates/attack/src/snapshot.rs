@@ -7,7 +7,7 @@ use mlrl_ml::dataset::{Dataset, OneHotEncoder};
 use mlrl_rtl::Module;
 
 use crate::extract::{extract_context_localities, extract_localities};
-use crate::relock::{build_training_set_with, RelockConfig};
+use crate::relock::{build_training_set_with, RelockConfig, TrainingSet};
 
 /// Configuration of a SnapShot-RTL attack run.
 #[derive(Debug, Clone, Default)]
@@ -70,9 +70,40 @@ pub struct AttackReport {
 /// assert!(report.kpa >= 0.0 && report.kpa <= 100.0);
 /// # Ok::<(), mlrl_locking::LockError>(())
 /// ```
-pub fn snapshot_attack(target: &Module, true_key: &Key, cfg: &AttackConfig) -> Option<AttackReport> {
-    // Deployment-side extraction: the localities of the unknown key bits.
-    let target_localities: Vec<(u32, Vec<u32>)> = if cfg.context_features {
+pub fn snapshot_attack(
+    target: &Module,
+    true_key: &Key,
+    cfg: &AttackConfig,
+) -> Option<AttackReport> {
+    // Extract before relocking: no localities means nothing to attack,
+    // and training-set generation is the expensive half.
+    let target_localities = extract_for(target, cfg);
+    if target_localities.is_empty() {
+        return None;
+    }
+    let training = build_training_set_with(target, &cfg.relock, cfg.context_features);
+    attack_localities(target_localities, true_key, cfg, &training)
+}
+
+/// Like [`snapshot_attack`], but consuming a prebuilt training set (the
+/// expensive relocking phase), e.g. one shared through `mlrl-engine`'s
+/// content-addressed artifact cache.
+///
+/// `training` must have been built over `target` with the same
+/// `cfg.context_features` flag (feature arity must match).
+pub fn snapshot_attack_with_training(
+    target: &Module,
+    true_key: &Key,
+    cfg: &AttackConfig,
+    training: &TrainingSet,
+) -> Option<AttackReport> {
+    attack_localities(extract_for(target, cfg), true_key, cfg, training)
+}
+
+/// Deployment-side extraction: the localities of the unknown key bits,
+/// in the feature shape `cfg` asks for.
+fn extract_for(target: &Module, cfg: &AttackConfig) -> Vec<(u32, Vec<u32>)> {
+    if cfg.context_features {
         extract_context_localities(target)
             .into_iter()
             .map(|l| (l.core.key_bit, l.features()))
@@ -82,13 +113,18 @@ pub fn snapshot_attack(target: &Module, true_key: &Key, cfg: &AttackConfig) -> O
             .into_iter()
             .map(|l| (l.key_bit, l.features()))
             .collect()
-    };
+    }
+}
+
+fn attack_localities(
+    target_localities: Vec<(u32, Vec<u32>)>,
+    true_key: &Key,
+    cfg: &AttackConfig,
+    training: &TrainingSet,
+) -> Option<AttackReport> {
     if target_localities.is_empty() {
         return None;
     }
-
-    // Setup/extraction: labelled training data via self-referencing.
-    let training = build_training_set_with(target, &cfg.relock, cfg.context_features);
     if training.is_empty() {
         return None;
     }
@@ -98,8 +134,7 @@ pub fn snapshot_attack(target: &Module, true_key: &Key, cfg: &AttackConfig) -> O
     vocab_rows.extend(target_localities.iter().map(|(_, f)| f.clone()));
     let encoder = OneHotEncoder::fit(&vocab_rows);
     let x = encoder.transform_all(&training.features);
-    let train =
-        Dataset::from_rows(x, training.labels.clone()).expect("training set is consistent");
+    let train = Dataset::from_rows(x, training.labels.clone()).expect("training set is consistent");
 
     // Training: auto-ml model search (auto-sklearn stand-in).
     let outcome = auto_fit(&train, &cfg.automl);
@@ -128,7 +163,11 @@ pub fn snapshot_attack(target: &Module, true_key: &Key, cfg: &AttackConfig) -> O
             }
         }
     }
-    let kpa = if scored == 0 { 0.0 } else { 100.0 * correct as f64 / scored as f64 };
+    let kpa = if scored == 0 {
+        0.0
+    } else {
+        100.0 * correct as f64 / scored as f64
+    };
 
     Some(AttackReport {
         kpa,
@@ -154,8 +193,15 @@ mod tests {
 
     fn small_cfg(seed: u64) -> AttackConfig {
         AttackConfig {
-            relock: RelockConfig { rounds: 20, budget_fraction: 0.75, seed },
-            automl: AutoMlConfig { max_train_samples: 3000, ..Default::default() },
+            relock: RelockConfig {
+                rounds: 20,
+                budget_fraction: 0.75,
+                seed,
+            },
+            automl: AutoMlConfig {
+                max_train_samples: 3000,
+                ..Default::default()
+            },
             context_features: false,
         }
     }

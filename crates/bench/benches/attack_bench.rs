@@ -16,10 +16,13 @@ fn bench_attack(c: &mut Criterion) {
         let spec = benchmark_by_name(name).expect("benchmark");
         let mut module = generate(&spec, 1);
         let budget = visit::binary_ops(&module).len() * 3 / 4;
-        let key = lock_operations(&mut module, &AssureConfig::serial(budget, 7))
-            .expect("lockable");
+        let key = lock_operations(&mut module, &AssureConfig::serial(budget, 7)).expect("lockable");
         let cfg = AttackConfig {
-            relock: RelockConfig { rounds: 10, budget_fraction: 0.75, seed: 3 },
+            relock: RelockConfig {
+                rounds: 10,
+                budget_fraction: 0.75,
+                seed: 3,
+            },
             ..Default::default()
         };
         group.bench_function(format!("snapshot/{name}"), |b| {

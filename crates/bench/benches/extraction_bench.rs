@@ -31,7 +31,11 @@ fn bench_extraction(c: &mut Criterion) {
         b.iter(|| {
             black_box(build_training_set(
                 &module,
-                &RelockConfig { rounds: 1, budget_fraction: 0.75, seed: 3 },
+                &RelockConfig {
+                    rounds: 1,
+                    budget_fraction: 0.75,
+                    seed: 3,
+                },
             ))
         })
     });

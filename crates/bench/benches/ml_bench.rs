@@ -19,7 +19,11 @@ fn locality_dataset(n: usize, seed: u64) -> Dataset {
         let c1 = rng.gen_range(1..9u32);
         let c2 = if c1 % 2 == 0 { c1 - 1 } else { c1 + 1 };
         rows.push(vec![c1, c2]);
-        labels.push(usize::from(rng.gen_bool(if c1 % 2 == 0 { 0.6 } else { 0.4 })));
+        labels.push(usize::from(rng.gen_bool(if c1 % 2 == 0 {
+            0.6
+        } else {
+            0.4
+        })));
     }
     let enc = OneHotEncoder::fit(&rows);
     Dataset::from_rows(enc.transform_all(&rows), labels).expect("consistent")

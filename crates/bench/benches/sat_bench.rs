@@ -12,11 +12,14 @@ use mlrl_sat::solver::Solver;
 /// Pigeonhole formula PHP(n+1, n): a standard hard UNSAT family.
 fn pigeonhole(n: usize) -> CnfBuilder {
     let mut b = CnfBuilder::new();
-    let p: Vec<Vec<Var>> = (0..n + 1).map(|_| (0..n).map(|_| b.new_var()).collect()).collect();
+    let p: Vec<Vec<Var>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| b.new_var()).collect())
+        .collect();
     for row in &p {
         let clause: Vec<_> = row.iter().map(|v| v.pos()).collect();
         b.add_clause(&clause);
     }
+    #[allow(clippy::needless_range_loop)] // `j` is the pigeonhole column
     for j in 0..n {
         for i1 in 0..n + 1 {
             for i2 in i1 + 1..n + 1 {
@@ -56,12 +59,9 @@ fn bench_sat_attack(c: &mut Criterion) {
             &(locked, key),
             |bench, (locked, key)| {
                 bench.iter(|| {
-                    let (report, ok) = sat_attack_with_sim_oracle(
-                        locked,
-                        key.bits(),
-                        &SatAttackConfig::default(),
-                    )
-                    .expect("attack converges");
+                    let (report, ok) =
+                        sat_attack_with_sim_oracle(locked, key.bits(), &SatAttackConfig::default())
+                            .expect("attack converges");
                     assert!(report.proved && ok);
                     report.dips
                 })

@@ -39,8 +39,8 @@ pub fn budget_sweep(
     relock_rounds: usize,
     seed: u64,
 ) -> Vec<BudgetPoint> {
-    let base_spec = benchmark_by_name(benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
+    let base_spec =
+        benchmark_by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
     let mut out = Vec::new();
     for &fraction in fractions {
         for scheme in Scheme::ALL {
@@ -59,18 +59,22 @@ pub fn budget_sweep(
                         &mlrl_locking::assure::AssureConfig::serial(budget, s),
                     )
                     .expect("lockable"),
-                    Scheme::Hra => mlrl_locking::hra::hra_lock(
-                        &mut module,
-                        &mlrl_locking::hra::HraConfig::new(budget, s),
-                    )
-                    .expect("lockable")
-                    .key,
-                    Scheme::Era => mlrl_locking::era::era_lock(
-                        &mut module,
-                        &mlrl_locking::era::EraConfig::new(budget, s),
-                    )
-                    .expect("lockable")
-                    .key,
+                    Scheme::Hra => {
+                        mlrl_locking::hra::hra_lock(
+                            &mut module,
+                            &mlrl_locking::hra::HraConfig::new(budget, s),
+                        )
+                        .expect("lockable")
+                        .key
+                    }
+                    Scheme::Era => {
+                        mlrl_locking::era::era_lock(
+                            &mut module,
+                            &mlrl_locking::era::EraConfig::new(budget, s),
+                        )
+                        .expect("lockable")
+                        .key
+                    }
                 };
                 if let Some(kpa) = attack_instance(&module, &key, relock_rounds, s ^ 0xFACE) {
                     sum += kpa;

@@ -34,8 +34,12 @@ fn main() {
         }
         found.unwrap_or_else(|| "MD5".to_owned())
     };
-    let instances: usize = value("--instances").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let relocks: usize = value("--relocks").and_then(|v| v.parse().ok()).unwrap_or(30);
+    let instances: usize = value("--instances")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let relocks: usize = value("--relocks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
     let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
 
     let fractions = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5];

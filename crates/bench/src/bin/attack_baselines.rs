@@ -5,17 +5,16 @@
 //! oracle attack succeeds regardless of scheme — learning resilience and
 //! oracle resilience are orthogonal.
 //!
+//! Ported onto `mlrl-engine`: the 3 schemes × 4 attacks grid runs as one
+//! campaign on the work-stealing pool; the snapshot and freq-table cells
+//! of each scheme share one relock training set through the
+//! content-addressed artifact cache instead of relocking twice.
+//!
 //! Usage: `cargo run --release -p mlrl-bench --bin attack_baselines
-//!         [benchmark] [--relocks N] [--seed N]`
+//!         [benchmark] [--relocks N] [--seed N] [--threads N]`
 
-use mlrl_attack::freq_table::freq_table_attack;
-use mlrl_attack::kpa_model::predict_kpa;
-use mlrl_attack::oracle_guided::{oracle_guided_attack, OracleAttackConfig};
-use mlrl_attack::relock::RelockConfig;
-use mlrl_attack::snapshot::{snapshot_attack, AttackConfig};
-use mlrl_bench::experiments::{lock_benchmark, Scheme};
-use mlrl_locking::pairs::PairTable;
-use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+use mlrl_engine::drivers::attack_baselines_campaign;
+use mlrl_engine::run::Engine;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,61 +42,45 @@ fn main() {
         }
         found.unwrap_or_else(|| "SHA256".to_owned())
     };
-    let relocks: usize = value("--relocks").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let relocks: usize = value("--relocks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
     let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    let threads: usize = value("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
 
-    let spec = benchmark_by_name(&benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark `{benchmark}`"));
-    println!("attack baselines on {} (seed {seed}, {relocks} relocks)", spec.name);
+    let mut spec = attack_baselines_campaign(&benchmark, relocks, seed);
+    spec.threads = threads;
+    println!("attack baselines on {benchmark} (seed {seed}, {relocks} relocks)");
     println!();
+
+    let report = Engine::new().run(&spec);
+
+    let cell = |scheme: &str, attack: &str| -> String {
+        report
+            .records
+            .iter()
+            .find(|r| r.scheme == scheme && r.attack == attack)
+            .and_then(|r| r.kpa)
+            .map(|v| format!("{v:.1}%"))
+            .unwrap_or_else(|| "-".to_owned())
+    };
+
     println!(
-        "{:<8} {:>14} {:>12} {:>12} {:>14}",
+        "{:<14} {:>14} {:>12} {:>12} {:>14}",
         "scheme", "snapshot-ml", "freq-table", "kpa-model", "oracle-agree"
     );
-
-    for scheme in Scheme::ALL {
-        let (locked, key) = lock_benchmark(&spec, scheme, seed);
-        let oracle = generate(&spec, seed);
-
-        let snap = snapshot_attack(
-            &locked,
-            &key,
-            &AttackConfig {
-                relock: RelockConfig { rounds: relocks, budget_fraction: 0.75, seed: seed ^ 1 },
-                ..Default::default()
-            },
-        )
-        .map(|r| r.kpa)
-        .unwrap_or(f64::NAN);
-        let freq = freq_table_attack(
-            &locked,
-            &key,
-            &RelockConfig { rounds: relocks, budget_fraction: 0.75, seed: seed ^ 2 },
-        )
-        .map(|r| r.kpa)
-        .unwrap_or(f64::NAN);
-        let model = predict_kpa(&locked, &key, &PairTable::fixed()).expected_kpa;
-        // The oracle attacker's objective is *functional* agreement with
-        // the activated chip (bit-exact KPA is capped by don't-care bits
-        // in nested dummy branches), so report agreement.
-        let oracle_agreement = oracle_guided_attack(
-            &locked,
-            &oracle,
-            &key,
-            &OracleAttackConfig { patterns: 24, restarts: 3, sweeps: 4, seed: seed ^ 3 },
-        )
-        .map(|r| 100.0 * r.agreement)
-        .unwrap_or(f64::NAN);
-
+    for scheme in ["assure", "hra", "era"] {
         println!(
-            "{:<8} {:>13.1}% {:>11.1}% {:>11.1}% {:>13.1}%",
-            scheme.name(),
-            snap,
-            freq,
-            model,
-            oracle_agreement
+            "{:<14} {:>14} {:>12} {:>12} {:>14}",
+            scheme.to_ascii_uppercase(),
+            cell(scheme, "snapshot"),
+            cell(scheme, "freq-table"),
+            cell(scheme, "kpa-model"),
+            cell(scheme, "oracle-guided"),
         );
     }
+    println!();
+    println!("{}", report.summary());
     println!();
     println!("reading: snapshot-ml ≈ freq-table ≈ kpa-model (the optimal attacker");
     println!("on this feature space is a counting table; the model predicts it in");

@@ -28,14 +28,19 @@ fn main() {
     }
     let csv = args.iter().any(|a| a == "--csv");
 
-    println!("Fig. 1 — structural ML attacks: gate level vs RTL (seed {})", cfg.seed);
+    println!(
+        "Fig. 1 — structural ML attacks: gate level vs RTL (seed {})",
+        cfg.seed
+    );
     println!(
         "Key budget: 75% of operations at both levels; {} instance(s) per cell.",
         cfg.instances
     );
     println!();
     if csv {
-        println!("benchmark,key_bits,gates,kpa_gate_xorxnor,kpa_gate_mux,kpa_rtl_assure,kpa_rtl_era");
+        println!(
+            "benchmark,key_bits,gates,kpa_gate_xorxnor,kpa_gate_mux,kpa_rtl_assure,kpa_rtl_era"
+        );
     } else {
         println!(
             "{:<10} {:>8} {:>8} | {:>14} {:>10} | {:>11} {:>8}",

@@ -2,10 +2,18 @@
 //! working example (`|ODT[(+,-)]| = 25`, `|ODT[(<<,>>)]| = 10`) and (b) the
 //! metric evolution of ERA, HRA and Greedy across key bits.
 //!
+//! Ported onto `mlrl-engine`: the Fig. 5b lock runs execute as two
+//! campaigns (`fig5_campaign` / `fig5_hra_campaign`) on the work-stealing
+//! pool, sharing base designs through the artifact cache; the surface
+//! (5a) stays a direct metric evaluation — it locks nothing.
+//!
 //! Usage: `cargo run --release -p mlrl-bench --bin fig5_metric [seed]`
 //! Pass `--csv` to dump the raw surface grid as CSV instead of the summary.
 
 use mlrl_bench::experiments::run_fig5;
+use mlrl_engine::drivers::{fig5_campaign, fig5_hra_campaign};
+use mlrl_engine::run::Engine;
+use mlrl_engine::JobRecord;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,18 +56,40 @@ fn main() {
         println!();
     }
 
-    println!();
-    println!("Fig. 5b — metric evolution per key bit");
-    println!("{:<8} {:>10} {:>14} {:>16}", "algo", "points", "bits to 100", "final M_g_sec");
-    for (name, trace) in &result.trajectories {
-        let bits_to_100 = trace
-            .iter()
-            .find(|(_, m)| *m >= 100.0 - 1e-9)
-            .map(|(n, _)| n.to_string())
-            .unwrap_or_else(|| "-".to_owned());
-        let final_m = trace.last().map(|(_, m)| *m).unwrap_or(0.0);
-        println!("{name:<8} {:>10} {bits_to_100:>14} {final_m:>16.2}", trace.len());
+    // Fig. 5b through the engine: one campaign per budget regime.
+    let engine = Engine::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+    for spec in [fig5_campaign(seed), fig5_hra_campaign(seed)] {
+        let report = engine.run(&spec);
+        if report.failed_count() > 0 {
+            eprintln!("warning: {} fig5 cell(s) failed", report.failed_count());
+        }
+        records.extend(report.records);
     }
+
+    println!();
+    println!("Fig. 5b — metric evolution per key bit (via mlrl-engine)");
+    println!(
+        "{:<12} {:>10} {:>14} {:>16}",
+        "algo", "key bits", "bits to 100", "final M_g_sec"
+    );
+    for r in &records {
+        let bits_to_100 = r
+            .bits_to_balance
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        let final_m = r.metric.unwrap_or(f64::NAN);
+        let bits = r
+            .key_bits
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "{:<12} {bits:>10} {bits_to_100:>14} {final_m:>16.2}",
+            r.scheme
+        );
+    }
+    // The curves themselves (what Fig. 5b actually plots), from the
+    // direct runners — the engine rows above are their endpoints.
     println!();
     println!("Trajectory samples (bits: M_g_sec):");
     for (name, trace) in &result.trajectories {

@@ -69,7 +69,10 @@ fn main() {
 
     println!();
     println!("Fig. 6a — KPA (%) per benchmark (random guess = 50%)");
-    println!("{:<10} {:>10} {:>10} {:>10}", "benchmark", "ASSURE", "HRA", "ERA");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "benchmark", "ASSURE", "HRA", "ERA"
+    );
     for name in &cfg.benchmarks {
         let get = |scheme: &str| {
             result

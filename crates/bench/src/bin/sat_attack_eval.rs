@@ -49,7 +49,12 @@ fn main() {
         if csv {
             println!(
                 "{},{},{},{},{},{},{}",
-                row.benchmark, row.scheme, row.key_bits, row.gates, row.dips, row.proved,
+                row.benchmark,
+                row.scheme,
+                row.key_bits,
+                row.gates,
+                row.dips,
+                row.proved,
                 row.key_correct
             );
         } else {

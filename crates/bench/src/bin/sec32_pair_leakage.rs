@@ -19,7 +19,13 @@ fn main() {
         .unwrap_or_else(|| {
             // The leak needs the §3.2-named ops (*, /, %, ^, **): use the
             // arithmetic- and xor-heavy benchmarks.
-            vec!["RSA".into(), "FIR".into(), "DES3".into(), "DFT".into(), "SHA256".into()]
+            vec![
+                "RSA".into(),
+                "FIR".into(),
+                "DES3".into(),
+                "DFT".into(),
+                "SHA256".into(),
+            ]
         });
     let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
 

@@ -71,12 +71,16 @@ pub fn lock_scheme_on(module: &mut Module, scheme: Scheme, budget: usize, seed: 
     match scheme {
         Scheme::Assure => lock_operations(module, &AssureConfig::serial(budget, seed))
             .expect("benchmarks are lockable"),
-        Scheme::Hra => hra_lock(module, &HraConfig::new(budget, seed))
-            .expect("benchmarks are lockable")
-            .key,
-        Scheme::Era => era_lock(module, &EraConfig::new(budget, seed))
-            .expect("benchmarks are lockable")
-            .key,
+        Scheme::Hra => {
+            hra_lock(module, &HraConfig::new(budget, seed))
+                .expect("benchmarks are lockable")
+                .key
+        }
+        Scheme::Era => {
+            era_lock(module, &EraConfig::new(budget, seed))
+                .expect("benchmarks are lockable")
+                .key
+        }
     }
 }
 
@@ -111,7 +115,10 @@ pub fn run_fig4(n_ops: usize, rounds: usize, seed: u64) -> Fig4Result {
     let scenarios = [
         ("serial locking (Fig 4b)", Scenario::SerialSerial),
         ("random locking (Fig 4c)", Scenario::RandomRandom),
-        ("random locking, no overlap (Fig 4d)", Scenario::RandomDisjoint),
+        (
+            "random locking, no overlap (Fig 4d)",
+            Scenario::RandomDisjoint,
+        ),
     ];
     let rows = scenarios
         .into_iter()
@@ -150,7 +157,10 @@ pub struct Fig5Result {
 pub fn run_fig5(seed: u64) -> Fig5Result {
     let spec = DesignSpec {
         name: "FIG5",
-        op_mix: vec![(mlrl_rtl::op::BinaryOp::Add, 25), (mlrl_rtl::op::BinaryOp::Shl, 10)],
+        op_mix: vec![
+            (mlrl_rtl::op::BinaryOp::Add, 25),
+            (mlrl_rtl::op::BinaryOp::Shl, 10),
+        ],
         control: false,
         description: "metric working example of §4.4",
     };
@@ -177,9 +187,12 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
             // Inline of the metric with an explicit current vector.
             let optimal: Vec<Option<f64>> = vec![Some(0.0); v.len()];
             let num = mlrl_locking::metric::modified_euclidean(&v, &optimal);
-            let den =
-                mlrl_locking::metric::modified_euclidean(metric.initial_vector(), &optimal);
-            let m = if den == 0.0 { 100.0 } else { 100.0 * (1.0 - num / den) };
+            let den = mlrl_locking::metric::modified_euclidean(metric.initial_vector(), &optimal);
+            let m = if den == 0.0 {
+                100.0
+            } else {
+                100.0 * (1.0 - num / den)
+            };
             surface.push((x, y, m));
         }
     }
@@ -211,7 +224,10 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
             outcome.trace.iter().map(|(n, g, _)| (*n, *g)).collect(),
         ));
     }
-    Fig5Result { surface, trajectories }
+    Fig5Result {
+        surface,
+        trajectories,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -234,7 +250,10 @@ pub struct Fig6Config {
 impl Default for Fig6Config {
     fn default() -> Self {
         Self {
-            benchmarks: paper_benchmarks().iter().map(|s| s.name.to_owned()).collect(),
+            benchmarks: paper_benchmarks()
+                .iter()
+                .map(|s| s.name.to_owned())
+                .collect(),
             test_locks: 3,
             relock_rounds: 60,
             seed: 2022,
@@ -265,15 +284,17 @@ pub struct Fig6Result {
 }
 
 /// Attacks one locked instance and returns its KPA.
-pub fn attack_instance(
-    module: &Module,
-    key: &Key,
-    relock_rounds: usize,
-    seed: u64,
-) -> Option<f64> {
+pub fn attack_instance(module: &Module, key: &Key, relock_rounds: usize, seed: u64) -> Option<f64> {
     let cfg = AttackConfig {
-        relock: RelockConfig { rounds: relock_rounds, budget_fraction: 0.75, seed },
-        automl: AutoMlConfig { seed, ..Default::default() },
+        relock: RelockConfig {
+            rounds: relock_rounds,
+            budget_fraction: 0.75,
+            seed,
+        },
+        automl: AutoMlConfig {
+            seed,
+            ..Default::default()
+        },
         context_features: false,
     };
     snapshot_attack(module, key, &cfg).map(|r| r.kpa)
@@ -287,8 +308,7 @@ pub fn attack_instance(
 pub fn run_fig6(cfg: &Fig6Config) -> Fig6Result {
     let mut cells = Vec::new();
     for name in &cfg.benchmarks {
-        let spec = benchmark_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         for scheme in Scheme::ALL {
             let mut instances = Vec::with_capacity(cfg.test_locks);
             for i in 0..cfg.test_locks {
@@ -360,8 +380,7 @@ pub struct Sec32Row {
 pub fn run_sec32(benchmarks: &[String], seed: u64) -> Vec<Sec32Row> {
     let mut rows = Vec::new();
     for name in benchmarks {
-        let spec = benchmark_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         for table in [PairTable::original_assure(), PairTable::fixed()] {
             let mut module = mlrl_rtl::bench_designs::generate(&spec, seed);
             let total = visit::binary_ops(&module).len();

@@ -95,8 +95,8 @@ fn mean(xs: &[f64]) -> f64 {
 pub fn run_fig1(cfg: &Fig1Config) -> Vec<Fig1Row> {
     let mut rows = Vec::new();
     for name in &cfg.benchmarks {
-        let spec: DesignSpec = benchmark_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let spec: DesignSpec =
+            benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
         let mut gate_xor = Vec::new();
         let mut gate_mux = Vec::new();
@@ -123,16 +123,20 @@ pub fn run_fig1(cfg: &Fig1Config) -> Vec<Fig1Row> {
                     rounds: cfg.gate_rounds,
                     bits_per_round: key_bits.min(64),
                     seed: seed ^ 0xa77,
-                    automl: AutoMlConfig { seed, ..Default::default() },
+                    automl: AutoMlConfig {
+                        seed,
+                        ..Default::default()
+                    },
                 };
                 if let Some(report) = gate_snapshot_attack(&locked, &key, &gcfg) {
                     sink.push(report.kpa);
                 }
             }
 
-            for (scheme, sink) in
-                [(Scheme::Assure, &mut rtl_assure), (Scheme::Era, &mut rtl_era)]
-            {
+            for (scheme, sink) in [
+                (Scheme::Assure, &mut rtl_assure),
+                (Scheme::Era, &mut rtl_era),
+            ] {
                 let (locked, key) = lock_benchmark(&spec, scheme, seed);
                 if let Some(kpa) = attack_instance(&locked, &key, cfg.rtl_rounds, seed ^ 0xbee) {
                     sink.push(kpa);
@@ -174,7 +178,12 @@ pub struct SatEvalConfig {
 impl Default for SatEvalConfig {
     fn default() -> Self {
         Self {
-            benchmarks: vec!["SASC".into(), "SIM_SPI".into(), "USB_PHY".into(), "I2C_SL".into()],
+            benchmarks: vec![
+                "SASC".into(),
+                "SIM_SPI".into(),
+                "USB_PHY".into(),
+                "I2C_SL".into(),
+            ],
             width: 8,
             max_dips: 512,
             seed: 2022,
@@ -204,15 +213,24 @@ pub struct SatEvalRow {
 
 /// Lowers an RTL-locked benchmark instance, returning the locked netlist
 /// and the correct key bits.
-fn lowered_locked(spec: &DesignSpec, scheme: Scheme, width: u32, seed: u64) -> (Netlist, Vec<bool>) {
+fn lowered_locked(
+    spec: &DesignSpec,
+    scheme: Scheme,
+    width: u32,
+    seed: u64,
+) -> (Netlist, Vec<bool>) {
     let mut module = generate_with_width(spec, seed, width);
     let total = visit::binary_ops(&module).len();
     let budget = (total as f64 * 0.75).round() as usize;
     let key = crate::experiments::lock_scheme_on(&mut module, scheme, budget, seed ^ 0x5eed);
     // Scan view: oracle-guided attacks assume scan-chain access to state.
-    let mut netlist = lower_module(&module).expect("locked benchmark lowers").to_scan_view();
+    let mut netlist = lower_module(&module)
+        .expect("locked benchmark lowers")
+        .to_scan_view();
     netlist.sweep();
-    let bits: Vec<bool> = (0..module.key_width()).map(|i| key.bit(i).unwrap_or(false)).collect();
+    let bits: Vec<bool> = (0..module.key_width())
+        .map(|i| key.bit(i).unwrap_or(false))
+        .collect();
     (netlist, bits)
 }
 
@@ -223,32 +241,32 @@ fn lowered_locked(spec: &DesignSpec, scheme: Scheme, width: u32, seed: u64) -> (
 ///
 /// Panics on unknown benchmark names or unlowerable designs.
 pub fn run_sat_eval(cfg: &SatEvalConfig) -> Vec<SatEvalRow> {
-    let sat_cfg = SatAttackConfig { max_dips: cfg.max_dips };
+    let sat_cfg = SatAttackConfig {
+        max_dips: cfg.max_dips,
+    };
     let mut rows = Vec::new();
     for name in &cfg.benchmarks {
-        let spec = benchmark_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         let seed = cfg.seed ^ (name.len() as u64) << 7;
 
         // RTL-locked, then lowered: ASSURE / HRA / ERA.
         for scheme in Scheme::ALL {
             let (netlist, key) = lowered_locked(&spec, scheme, cfg.width, seed);
-            let (report, key_correct) =
-                match sat_attack_with_sim_oracle(&netlist, &key, &sat_cfg) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        rows.push(SatEvalRow {
-                            benchmark: name.clone(),
-                            scheme: scheme.name().to_owned(),
-                            key_bits: key.len(),
-                            gates: netlist.gates().len(),
-                            dips: cfg.max_dips,
-                            proved: false,
-                            key_correct: false,
-                        });
-                        continue;
-                    }
-                };
+            let (report, key_correct) = match sat_attack_with_sim_oracle(&netlist, &key, &sat_cfg) {
+                Ok(r) => r,
+                Err(_) => {
+                    rows.push(SatEvalRow {
+                        benchmark: name.clone(),
+                        scheme: scheme.name().to_owned(),
+                        key_bits: key.len(),
+                        gates: netlist.gates().len(),
+                        dips: cfg.max_dips,
+                        proved: false,
+                        key_correct: false,
+                    });
+                    continue;
+                }
+            };
             rows.push(SatEvalRow {
                 benchmark: name.clone(),
                 scheme: scheme.name().to_owned(),
@@ -263,12 +281,15 @@ pub fn run_sat_eval(cfg: &SatEvalConfig) -> Vec<SatEvalRow> {
         // Gate-level locking on the lowered (unlocked) design, attacked
         // through the scan view.
         let module = generate_with_width(&spec, seed, cfg.width);
-        let mut base = lower_module(&module).expect("benchmark lowers").to_scan_view();
+        let mut base = lower_module(&module)
+            .expect("benchmark lowers")
+            .to_scan_view();
         base.sweep();
         let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
-        for (scheme, label) in
-            [(GateLockScheme::XorXnor, "XOR/XNOR"), (GateLockScheme::Mux, "MUX")]
-        {
+        for (scheme, label) in [
+            (GateLockScheme::XorXnor, "XOR/XNOR"),
+            (GateLockScheme::Mux, "MUX"),
+        ] {
             let mut locked = base.clone();
             let key = lock_netlist(&mut locked, scheme, key_bits, seed ^ 0x10c)
                 .expect("enough lockable wires");
@@ -326,7 +347,12 @@ pub struct MultiObjectiveConfig {
 impl Default for MultiObjectiveConfig {
     fn default() -> Self {
         Self {
-            benchmarks: vec!["SASC".into(), "SIM_SPI".into(), "USB_PHY".into(), "I2C_SL".into()],
+            benchmarks: vec![
+                "SASC".into(),
+                "SIM_SPI".into(),
+                "USB_PHY".into(),
+                "I2C_SL".into(),
+            ],
             width: 8,
             relock_rounds: 60,
             wrong_keys: 32,
@@ -367,8 +393,7 @@ pub fn run_multi_objective(cfg: &MultiObjectiveConfig) -> Vec<MultiObjectiveRow>
 
     let mut rows = Vec::new();
     for name in &cfg.benchmarks {
-        let spec = benchmark_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
         for scheme in Scheme::ALL {
             let seed = cfg.seed ^ (scheme as u64) << 3 ^ (name.len() as u64) << 9;
             let original = generate_with_width(&spec, seed, cfg.width);
@@ -377,11 +402,12 @@ pub fn run_multi_objective(cfg: &MultiObjectiveConfig) -> Vec<MultiObjectiveRow>
             let budget = (total as f64 * 0.75).round() as usize;
             let key =
                 crate::experiments::lock_scheme_on(&mut locked, scheme, budget, seed ^ 0x5eed);
-            let bits: Vec<bool> =
-                (0..locked.key_width()).map(|i| key.bit(i).unwrap_or(false)).collect();
+            let bits: Vec<bool> = (0..locked.key_width())
+                .map(|i| key.bit(i).unwrap_or(false))
+                .collect();
 
-            let kpa = attack_instance(&locked, &key, cfg.relock_rounds, seed ^ 0xbee)
-                .unwrap_or(f64::NAN);
+            let kpa =
+                attack_instance(&locked, &key, cfg.relock_rounds, seed ^ 0xbee).unwrap_or(f64::NAN);
 
             let corr = measure_corruptibility(
                 &original,
@@ -397,10 +423,13 @@ pub fn run_multi_objective(cfg: &MultiObjectiveConfig) -> Vec<MultiObjectiveRow>
             )
             .expect("corruptibility measures");
 
-            let mut netlist =
-                lower_module(&locked).expect("locked benchmark lowers").to_scan_view();
+            let mut netlist = lower_module(&locked)
+                .expect("locked benchmark lowers")
+                .to_scan_view();
             netlist.sweep();
-            let sat_cfg = SatAttackConfig { max_dips: cfg.max_dips };
+            let sat_cfg = SatAttackConfig {
+                max_dips: cfg.max_dips,
+            };
             let sat_dips = sat_attack_with_sim_oracle(&netlist, &bits, &sat_cfg)
                 .map(|(r, _)| r.dips)
                 .unwrap_or(cfg.max_dips);
@@ -460,7 +489,11 @@ mod tests {
         assert!(r.gates > 0);
         // The Fig. 1 shape: XOR/XNOR gate locking is (nearly) fully broken,
         // ERA holds near chance.
-        assert!(r.kpa_gate_xor >= 90.0, "gate XOR/XNOR KPA {}", r.kpa_gate_xor);
+        assert!(
+            r.kpa_gate_xor >= 90.0,
+            "gate XOR/XNOR KPA {}",
+            r.kpa_gate_xor
+        );
         assert!(r.kpa_rtl_era <= 75.0, "ERA KPA {}", r.kpa_rtl_era);
     }
 

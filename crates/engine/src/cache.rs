@@ -1,0 +1,494 @@
+//! Content-addressed artifact cache.
+//!
+//! Campaign grids repeat work aggressively: every attack on the same
+//! benchmark × scheme × budget × seed cell re-locks the same design, and
+//! every scheme on the same benchmark × seed regenerates the same base
+//! module. The cache keys each artifact by the FNV-1a hash of its content
+//! recipe ([`crate::fnv`]) so repeated cells hit instead of recompute:
+//!
+//! - **base designs** — keyed by generator config,
+//! - **locked modules** (+ key + metric trace) — keyed by the emitted
+//!   Verilog of the base design plus the locking config,
+//! - **relock training sets** — keyed by the emitted Verilog of the
+//!   locked design plus the relock config.
+//!
+//! With a spill directory configured, locked modules and training sets
+//! also persist as files named by their content hash, so separate CLI
+//! invocations of the same spec warm-start from disk.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mlrl_attack::relock::TrainingSet;
+use mlrl_locking::key::{Key, KeyBitKind};
+use mlrl_rtl::parser::parse_verilog;
+use mlrl_rtl::Module;
+
+/// A locked instance: the module, its correct key, and (for metric-traced
+/// schemes) the per-bit metric evolution.
+#[derive(Debug, Clone)]
+pub struct LockedArtifact {
+    /// The locked module.
+    pub module: Module,
+    /// The correct key.
+    pub key: Key,
+    /// `(key bits, M_g_sec)` after each lock step, when the scheme
+    /// reports it (ERA/HRA).
+    pub trace: Option<Vec<(usize, f64)>>,
+}
+
+/// Cache hit/miss counters at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: usize,
+    /// Lookups that had to compute.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// A build slot: `None` until the first requester populates it; the
+/// mutex serializes building so concurrent misses build once and share.
+type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+struct Shard<T> {
+    /// Key → build slot. The outer mutex is held only to find/create a
+    /// slot; the per-slot mutex serializes building, so two cells that
+    /// miss on the same key build once and share, instead of racing.
+    map: Mutex<HashMap<u64, Slot<T>>>,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetches `key`, building on miss with in-flight deduplication:
+    /// concurrent requesters of the same key block on the slot's lock
+    /// while the first one builds, then receive the built value as a
+    /// hit. A failed build leaves the slot empty so a later caller
+    /// retries. Returns `(value, was_hit)`.
+    fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, String>,
+    ) -> Result<(Arc<T>, bool), String> {
+        let slot = self
+            .map
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(None)))
+            .clone();
+        let mut cell = slot.lock().expect("cache slot poisoned");
+        if let Some(found) = cell.as_ref() {
+            return Ok((Arc::clone(found), true));
+        }
+        let built = Arc::new(build()?);
+        *cell = Some(Arc::clone(&built));
+        Ok((built, false))
+    }
+
+    /// Number of *populated* slots (failed builds leave empty ones).
+    fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("cache shard poisoned")
+            .values()
+            .filter(|slot| slot.lock().map(|cell| cell.is_some()).unwrap_or(false))
+            .count()
+    }
+}
+
+/// Thread-safe content-addressed store for campaign artifacts.
+pub struct ArtifactCache {
+    designs: Shard<Module>,
+    locked: Shard<LockedArtifact>,
+    training: Shard<TrainingSet>,
+    /// Emitted-Verilog memo (internal: content-address inputs, not
+    /// artifacts; excluded from hit/miss stats).
+    texts: Shard<String>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    spill_dir: Option<PathBuf>,
+}
+
+impl ArtifactCache {
+    /// Fresh in-memory cache.
+    pub fn new() -> Self {
+        Self {
+            designs: Shard::new(),
+            locked: Shard::new(),
+            training: Shard::new(),
+            texts: Shard::new(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            spill_dir: None,
+        }
+    }
+
+    /// Fresh cache that also persists locked modules and training sets
+    /// under `dir` (created on first write).
+    pub fn with_spill_dir(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spill_dir: Some(dir.into()),
+            ..Self::new()
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct artifacts held in memory.
+    pub fn len(&self) -> usize {
+        self.designs.len() + self.locked.len() + self.training.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetches or builds a base design.
+    pub fn design(&self, content_key: u64, build: impl FnOnce() -> Module) -> Arc<Module> {
+        let (value, hit) = self
+            .designs
+            .get_or_build(content_key, || Ok(build()))
+            .expect("design build is infallible");
+        self.record(hit);
+        value
+    }
+
+    /// Memoizes a derived text (e.g. a design's emitted Verilog, used as
+    /// content-address input for downstream artifacts). Not counted in
+    /// hit/miss stats: it is bookkeeping, not a campaign artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors.
+    pub fn text(
+        &self,
+        content_key: u64,
+        build: impl FnOnce() -> Result<String, String>,
+    ) -> Result<Arc<String>, String> {
+        Ok(self.texts.get_or_build(content_key, build)?.0)
+    }
+
+    /// Fetches or builds a locked instance, consulting the spill
+    /// directory between memory and `build`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors (memory and disk are infallible reads;
+    /// a corrupt spill file is treated as a miss).
+    pub fn locked(
+        &self,
+        content_key: u64,
+        build: impl FnOnce() -> Result<LockedArtifact, String>,
+    ) -> Result<Arc<LockedArtifact>, String> {
+        let mut from_disk = false;
+        let (value, mem_hit) = self.locked.get_or_build(content_key, || {
+            if let Some(found) = self.load_locked(content_key) {
+                from_disk = true;
+                return Ok(found);
+            }
+            let built = build()?;
+            self.store_locked(content_key, &built);
+            Ok(built)
+        })?;
+        self.record(mem_hit || from_disk);
+        Ok(value)
+    }
+
+    /// Fetches or builds a relock training set, consulting the spill
+    /// directory between memory and `build`.
+    pub fn training(
+        &self,
+        content_key: u64,
+        build: impl FnOnce() -> TrainingSet,
+    ) -> Arc<TrainingSet> {
+        let mut from_disk = false;
+        let (value, mem_hit) = self
+            .training
+            .get_or_build(content_key, || {
+                if let Some(found) = self.load_training(content_key) {
+                    from_disk = true;
+                    return Ok(found);
+                }
+                let built = build();
+                self.store_training(content_key, &built);
+                Ok(built)
+            })
+            .expect("training build is infallible");
+        self.record(mem_hit || from_disk);
+        value
+    }
+
+    // -- disk spill ----------------------------------------------------
+
+    fn spill_path(&self, content_key: u64, ext: &str) -> Option<PathBuf> {
+        self.spill_dir
+            .as_ref()
+            .map(|d| d.join(format!("{content_key:016x}.{ext}")))
+    }
+
+    fn load_locked(&self, content_key: u64) -> Option<LockedArtifact> {
+        let verilog = std::fs::read_to_string(self.spill_path(content_key, "v")?).ok()?;
+        let sidecar = std::fs::read_to_string(self.spill_path(content_key, "key")?).ok()?;
+        let module = parse_verilog(&verilog).ok()?;
+        let mut lines = sidecar.lines();
+        let bits = lines.next()?;
+        let kinds = lines.next()?;
+        if bits.len() != kinds.len() {
+            return None;
+        }
+        let mut key = Key::new();
+        for (b, k) in bits.chars().zip(kinds.chars()) {
+            let value = match b {
+                '0' => false,
+                '1' => true,
+                _ => return None,
+            };
+            let kind = match k {
+                'O' => KeyBitKind::Operation,
+                'B' => KeyBitKind::Branch,
+                'C' => KeyBitKind::Constant,
+                _ => return None,
+            };
+            key.push(value, kind);
+        }
+        let mut trace = Vec::new();
+        for line in lines {
+            let (n, g) = line.split_once(' ')?;
+            trace.push((n.parse().ok()?, g.parse().ok()?));
+        }
+        let trace = if trace.is_empty() { None } else { Some(trace) };
+        Some(LockedArtifact { module, key, trace })
+    }
+
+    fn store_locked(&self, content_key: u64, artifact: &LockedArtifact) {
+        let (Some(v_path), Some(k_path)) = (
+            self.spill_path(content_key, "v"),
+            self.spill_path(content_key, "key"),
+        ) else {
+            return;
+        };
+        let Ok(verilog) = mlrl_rtl::emit::emit_verilog(&artifact.module) else {
+            return;
+        };
+        let mut sidecar = String::new();
+        for &b in artifact.key.as_bits() {
+            sidecar.push(if b { '1' } else { '0' });
+        }
+        sidecar.push('\n');
+        for i in 0..artifact.key.len() as u32 {
+            sidecar.push(match artifact.key.kind(i) {
+                Some(KeyBitKind::Operation) => 'O',
+                Some(KeyBitKind::Branch) => 'B',
+                Some(KeyBitKind::Constant) => 'C',
+                None => return,
+            });
+        }
+        sidecar.push('\n');
+        if let Some(trace) = &artifact.trace {
+            for (n, g) in trace {
+                sidecar.push_str(&format!("{n} {g}\n"));
+            }
+        }
+        self.write_spill(&v_path, &verilog);
+        self.write_spill(&k_path, &sidecar);
+    }
+
+    fn load_training(&self, content_key: u64) -> Option<TrainingSet> {
+        let text = std::fs::read_to_string(self.spill_path(content_key, "train")?).ok()?;
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for line in text.lines() {
+            let mut parts = line.split(' ');
+            let c1: u32 = parts.next()?.parse().ok()?;
+            let c2: u32 = parts.next()?.parse().ok()?;
+            let label: usize = parts.next()?.parse().ok()?;
+            features.push(vec![c1, c2]);
+            labels.push(label);
+        }
+        Some(TrainingSet { features, labels })
+    }
+
+    fn store_training(&self, content_key: u64, training: &TrainingSet) {
+        let Some(path) = self.spill_path(content_key, "train") else {
+            return;
+        };
+        // Context-feature rows (3 columns) are not spill-format v1; keep
+        // them memory-only rather than silently truncating.
+        if training.features.iter().any(|f| f.len() != 2) {
+            return;
+        }
+        let mut text = String::new();
+        for (f, label) in training.features.iter().zip(&training.labels) {
+            text.push_str(&format!("{} {} {label}\n", f[0], f[1]));
+        }
+        self.write_spill(&path, &text);
+    }
+
+    fn write_spill(&self, path: &Path, content: &str) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        // Spill failures degrade to cache misses next run; never fatal.
+        let _ = std::fs::write(path, content);
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlrl_rtl::bench_designs::{benchmark_by_name, generate};
+
+    #[test]
+    fn design_lookups_hit_after_first_build() {
+        let cache = ArtifactCache::new();
+        let spec = benchmark_by_name("FIR").expect("benchmark");
+        let mut builds = 0;
+        for _ in 0..3 {
+            let m = cache.design(42, || {
+                builds += 1;
+                generate(&spec, 1)
+            });
+            assert_eq!(m.name(), "fir");
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_build_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ArtifactCache::new();
+        let builds = AtomicUsize::new(0);
+        let spec = benchmark_by_name("FIR").expect("benchmark");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.training(77, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window: everyone should be
+                        // queued on the slot before the build finishes.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        let _ = generate(&spec, 1);
+                        TrainingSet {
+                            features: vec![vec![1, 2]],
+                            labels: vec![1],
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            1,
+            "in-flight dedup must hold"
+        );
+        assert_eq!(cache.stats(), CacheStats { hits: 7, misses: 1 });
+    }
+
+    #[test]
+    fn locked_artifacts_round_trip_through_spill_dir() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = benchmark_by_name("FIR").expect("benchmark");
+
+        let build = || {
+            let mut module = generate(&spec, 3);
+            let key = mlrl_locking::assure::lock_operations(
+                &mut module,
+                &mlrl_locking::assure::AssureConfig::serial(10, 7),
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(LockedArtifact {
+                module,
+                key,
+                trace: Some(vec![(1, 12.5), (2, 25.0)]),
+            })
+        };
+
+        let first = ArtifactCache::with_spill_dir(&dir);
+        let a = first.locked(7, build).expect("builds");
+        assert_eq!(first.stats().misses, 1);
+
+        // A fresh cache over the same dir warm-starts from disk.
+        let second = ArtifactCache::with_spill_dir(&dir);
+        let b = second
+            .locked(7, || Err("must not rebuild".to_owned()))
+            .expect("loads from spill");
+        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(
+            mlrl_rtl::emit::emit_verilog(&a.module).expect("emit a"),
+            mlrl_rtl::emit::emit_verilog(&b.module).expect("emit b"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn training_sets_round_trip_through_spill_dir() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-train-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let training = TrainingSet {
+            features: vec![vec![3, 4], vec![5, 6]],
+            labels: vec![1, 0],
+        };
+        let first = ArtifactCache::with_spill_dir(&dir);
+        let stored = first.training(9, || training.clone());
+        assert_eq!(*stored, training);
+
+        let second = ArtifactCache::with_spill_dir(&dir);
+        let loaded = second.training(9, || panic!("must not rebuild"));
+        assert_eq!(*loaded, training);
+        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 0 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,81 @@
+//! 64-bit FNV-1a hashing — the engine's content-address function.
+//!
+//! Artifact identity is the FNV-1a hash of the artifact's *content
+//! recipe*: for a locked module, the emitted Verilog of the base design
+//! plus the locking configuration; for a relock training set, the emitted
+//! Verilog of the locked design plus the relock configuration. Equal
+//! recipes collide onto one cache slot regardless of which campaign cell
+//! asked first.
+
+/// FNV-1a offset basis.
+const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const PRIME: u64 = 0x100_0000_01B3;
+
+/// Incremental FNV-1a hasher over byte chunks.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self { state: OFFSET }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string.
+    pub fn write_str(&mut self, text: &str) -> &mut Self {
+        self.write(text.as_bytes())
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, value: u64) -> &mut Self {
+        self.write(&value.to_le_bytes())
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over a string.
+pub fn fnv1a(text: &str) -> u64 {
+    Fnv64::new().write_str(text).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a("foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        let mut h = Fnv64::new();
+        h.write_str("foo").write_str("bar");
+        assert_eq!(h.finish(), fnv1a("foobar"));
+    }
+}

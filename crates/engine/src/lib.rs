@@ -1,0 +1,59 @@
+//! # mlrl-engine — parallel experiment campaigns with artifact caching
+//!
+//! The DAC'22 evaluation is a family of sweeps: benchmarks × locking
+//! schemes × key budgets × seeds × attacks. This crate turns such a
+//! sweep from a hand-rolled single-threaded loop into a declarative
+//! [`spec::CampaignSpec`] executed by [`run::Engine`]:
+//!
+//! - [`spec`] — the campaign grid and its `key = value` file format,
+//! - [`job`] — grid expansion with FNV-derived per-cell seeds, so
+//!   results are independent of execution order and thread count,
+//! - [`pool`] — a std-only work-stealing worker pool
+//!   (`std::thread::scope`, per-worker deques, per-job panic isolation),
+//! - [`cache`] — a content-addressed artifact cache (base designs,
+//!   locked modules, relock training sets) keyed by FNV-1a over emitted
+//!   Verilog + configuration, with optional on-disk spill,
+//! - [`report`] — per-job records with JSON-lines and table emitters;
+//!   the *canonical* serialization is byte-identical across thread
+//!   counts and cache states,
+//! - [`run`] — the engine wiring the above together,
+//! - [`drivers`] — the `fig5_metric` / `attack_baselines` sweeps from
+//!   `mlrl-bench`, re-expressed as campaigns,
+//! - [`fnv`] — the 64-bit FNV-1a content-address function.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlrl_engine::run::Engine;
+//! use mlrl_engine::spec::CampaignSpec;
+//!
+//! let spec = CampaignSpec::parse(
+//!     "benchmarks = FIR\n\
+//!      schemes    = assure era\n\
+//!      budgets    = 0.5\n\
+//!      seeds      = 7\n\
+//!      attacks    = kpa-model\n\
+//!      threads    = 2\n",
+//! )?;
+//! let report = Engine::new().run(&spec);
+//! assert_eq!(report.records.len(), 2);
+//! assert_eq!(report.failed_count(), 0);
+//! # Ok::<(), mlrl_engine::spec::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod drivers;
+pub mod fnv;
+pub mod job;
+pub mod pool;
+pub mod report;
+pub mod run;
+pub mod spec;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use report::{CampaignReport, JobRecord, JobStatus};
+pub use run::Engine;
+pub use spec::{AttackKind, CampaignSpec, SchemeKind};

@@ -1,0 +1,148 @@
+//! Std-only work-stealing worker pool with panic isolation.
+//!
+//! Jobs are dealt round-robin onto per-worker deques; each worker drains
+//! its own deque LIFO and, when empty, steals FIFO from its neighbours —
+//! the classic work-stealing topology, built from `std::thread::scope`
+//! and mutex-guarded `VecDeque`s (no external crates, no unsafe). A
+//! panicking job is caught per-job ([`std::panic::catch_unwind`]) and
+//! reported as that job's failure; the campaign keeps running.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Runs `work` over `items` on `threads` workers, returning one result
+/// slot per item, in item order.
+///
+/// `Err(message)` marks an item whose `work` call panicked; the message
+/// is the panic payload when it was a string.
+pub fn run_jobs<I, T, F>(threads: usize, items: Vec<I>, work: F) -> Vec<Result<T, String>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+
+    // Deal items round-robin onto per-worker deques.
+    let mut deques: Vec<VecDeque<(usize, I)>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (index, item) in items.into_iter().enumerate() {
+        deques[index % threads].push_back((index, item));
+    }
+    let deques: Vec<Mutex<VecDeque<(usize, I)>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let (sender, receiver) = mpsc::channel::<(usize, Result<T, String>)>();
+    let work = &work;
+    let deques = &deques;
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let sender = sender.clone();
+            scope.spawn(move || loop {
+                // Own deque first (LIFO), then steal round-robin (FIFO).
+                let mut claimed = deques[worker]
+                    .lock()
+                    .expect("pool deque poisoned")
+                    .pop_back();
+                if claimed.is_none() {
+                    for offset in 1..threads {
+                        let victim = (worker + offset) % threads;
+                        claimed = deques[victim]
+                            .lock()
+                            .expect("pool deque poisoned")
+                            .pop_front();
+                        if claimed.is_some() {
+                            break;
+                        }
+                    }
+                }
+                let Some((index, item)) = claimed else {
+                    break;
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| work(index, item)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                if sender.send((index, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(sender);
+
+        let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+        for (index, outcome) in receiver {
+            slots[index] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|| Err("job was never executed".to_owned())))
+            .collect()
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked with a non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_item_order_across_thread_counts() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = run_jobs(1, items.clone(), |_, x| x * x);
+        let parallel = run_jobs(8, items, |_, x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[10], Ok(100));
+    }
+
+    #[test]
+    fn isolates_panics_to_their_job() {
+        let results = run_jobs(4, (0..20).collect::<Vec<u64>>(), |_, x| {
+            assert!(x != 7 && x != 13, "job {x} exploded");
+            x + 1
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 || i == 13 {
+                let msg = r.as_ref().expect_err("panicking job must fail");
+                assert!(msg.contains("exploded"), "got: {msg}");
+            } else {
+                assert_eq!(*r, Ok(i as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn all_workers_participate_under_imbalance() {
+        // One huge item plus many small ones: stealing must spread work.
+        let busy = AtomicUsize::new(0);
+        let results = run_jobs(4, (0..40).collect::<Vec<u64>>(), |_, x| {
+            busy.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(results.len(), 40);
+        assert_eq!(busy.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn zero_and_oversized_thread_counts_clamp() {
+        assert!(run_jobs(0, Vec::<u64>::new(), |_, x| x).is_empty());
+        let r = run_jobs(64, vec![1u64, 2, 3], |_, x| x * 10);
+        assert_eq!(r, vec![Ok(10), Ok(20), Ok(30)]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Campaign results: per-job records, JSON-lines and table emitters.
+//!
+//! Two serializations with different contracts:
+//!
+//! - [`CampaignReport::canonical_jsonl`] — *deterministic*: a pure
+//!   function of the spec and the job results, independent of thread
+//!   count, scheduling, wall-clock and cache state. Byte-compare two of
+//!   these to prove two runs computed the same science.
+//! - [`CampaignReport::jsonl`] / [`CampaignReport::human_table`] — the
+//!   full picture including timing and cache hit rate.
+
+use crate::cache::CacheStats;
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed and produced metrics.
+    Ok,
+    /// Failed or panicked; the message says why.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// Whether the job completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+}
+
+/// Everything one job produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Grid position (row-major).
+    pub index: usize,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Budget fraction.
+    pub budget: f64,
+    /// Spec-level base seed.
+    pub seed: u64,
+    /// Attack name.
+    pub attack: String,
+    /// Cell-derived seed (provenance for re-running one cell).
+    pub derived_seed: u64,
+    /// Key bits spent by the scheme.
+    pub key_bits: Option<usize>,
+    /// Final `M_g_sec` of the locked design, in percent.
+    pub metric: Option<f64>,
+    /// Whether the final ODT is fully balanced.
+    pub balanced: Option<bool>,
+    /// Key bits after which the metric first reached 100 (traced
+    /// schemes only).
+    pub bits_to_balance: Option<usize>,
+    /// Attack headline, in percent: KPA for learning attacks, output
+    /// agreement for the oracle-guided attack.
+    pub kpa: Option<f64>,
+    /// Key bits the attack scored.
+    pub attacked_bits: Option<usize>,
+    /// Training samples consumed (training-set attacks only).
+    pub training_samples: Option<usize>,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Wall-clock of this job in milliseconds (excluded from the
+    /// canonical serialization).
+    pub wall_ms: u128,
+}
+
+impl JobRecord {
+    /// Skeleton record for a job that has produced nothing yet.
+    pub fn empty(index: usize) -> Self {
+        Self {
+            index,
+            benchmark: String::new(),
+            scheme: String::new(),
+            budget: 0.0,
+            seed: 0,
+            attack: String::new(),
+            derived_seed: 0,
+            key_bits: None,
+            metric: None,
+            balanced: None,
+            bits_to_balance: None,
+            kpa: None,
+            attacked_bits: None,
+            training_samples: None,
+            status: JobStatus::Ok,
+            wall_ms: 0,
+        }
+    }
+
+    fn json_fields(&self, include_timing: bool) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_field(&mut out, "index", JsonValue::Int(self.index as i64));
+        push_field(&mut out, "benchmark", JsonValue::Str(&self.benchmark));
+        push_field(&mut out, "scheme", JsonValue::Str(&self.scheme));
+        push_field(&mut out, "budget", JsonValue::Float(Some(self.budget)));
+        push_field(&mut out, "seed", JsonValue::Int(self.seed as i64));
+        push_field(&mut out, "attack", JsonValue::Str(&self.attack));
+        push_field(
+            &mut out,
+            "derived_seed",
+            JsonValue::Str(&format!("{:016x}", self.derived_seed)),
+        );
+        push_field(
+            &mut out,
+            "key_bits",
+            JsonValue::OptInt(self.key_bits.map(|v| v as i64)),
+        );
+        push_field(&mut out, "metric", JsonValue::Float(self.metric));
+        push_field(&mut out, "balanced", JsonValue::OptBool(self.balanced));
+        push_field(
+            &mut out,
+            "bits_to_balance",
+            JsonValue::OptInt(self.bits_to_balance.map(|v| v as i64)),
+        );
+        push_field(&mut out, "kpa", JsonValue::Float(self.kpa));
+        push_field(
+            &mut out,
+            "attacked_bits",
+            JsonValue::OptInt(self.attacked_bits.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "training_samples",
+            JsonValue::OptInt(self.training_samples.map(|v| v as i64)),
+        );
+        match &self.status {
+            JobStatus::Ok => push_field(&mut out, "status", JsonValue::Str("ok")),
+            JobStatus::Failed(msg) => {
+                push_field(&mut out, "status", JsonValue::Str("failed"));
+                push_field(&mut out, "error", JsonValue::Str(msg));
+            }
+        }
+        if include_timing {
+            push_field(&mut out, "wall_ms", JsonValue::Int(self.wall_ms as i64));
+        }
+        out.pop(); // trailing comma
+        out.push('}');
+        out
+    }
+}
+
+enum JsonValue<'a> {
+    Int(i64),
+    OptInt(Option<i64>),
+    Float(Option<f64>),
+    Str(&'a str),
+    OptBool(Option<bool>),
+}
+
+fn push_field(out: &mut String, name: &str, value: JsonValue<'_>) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    match value {
+        JsonValue::Int(v) => out.push_str(&v.to_string()),
+        JsonValue::OptInt(None) | JsonValue::Float(None) | JsonValue::OptBool(None) => {
+            out.push_str("null")
+        }
+        JsonValue::OptInt(Some(v)) => out.push_str(&v.to_string()),
+        JsonValue::Float(Some(v)) if v.is_finite() => out.push_str(&format!("{v:.4}")),
+        JsonValue::Float(Some(_)) => out.push_str("null"),
+        JsonValue::OptBool(Some(v)) => out.push_str(if v { "true" } else { "false" }),
+        JsonValue::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+    }
+    out.push(',');
+}
+
+/// The full result of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign label (from the spec).
+    pub name: String,
+    /// Per-job records, in grid order.
+    pub records: Vec<JobRecord>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// End-to-end wall-clock in milliseconds.
+    pub wall_ms: u128,
+    /// Cache activity during this run.
+    pub cache: CacheStats,
+}
+
+impl CampaignReport {
+    /// Jobs that completed.
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.status.is_ok()).count()
+    }
+
+    /// Jobs that failed or panicked.
+    pub fn failed_count(&self) -> usize {
+        self.records.len() - self.ok_count()
+    }
+
+    /// Deterministic JSON-lines serialization: one header line with the
+    /// campaign name and job count, then one line per job in grid order.
+    /// Independent of threads, scheduling, timing and cache state —
+    /// byte-equal across any two runs that computed the same results.
+    pub fn canonical_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"campaign\":\"{}\",\"jobs\":{}}}\n",
+            escape_for_header(&self.name),
+            self.records.len()
+        ));
+        for record in &self.records {
+            out.push_str(&record.json_fields(false));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Full JSON-lines serialization including timing and a trailing
+    /// summary line with cache statistics.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.json_fields(true));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"campaign\":\"{}\",\"jobs\":{},\"ok\":{},\"failed\":{},\"threads\":{},\"wall_ms\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4}}}\n",
+            escape_for_header(&self.name),
+            self.records.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.threads,
+            self.wall_ms,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+        ));
+        out
+    }
+
+    /// Aligned human-readable results table.
+    pub fn human_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<13} {:>7} {:>6} {:<13} {:>9} {:>8} {:>8} {:>7} {:>8}\n",
+            "benchmark",
+            "scheme",
+            "budget",
+            "seed",
+            "attack",
+            "key bits",
+            "metric",
+            "kpa%",
+            "status",
+            "ms"
+        ));
+        for r in &self.records {
+            let fmt_opt_f = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.1}"),
+                None => "-".to_owned(),
+            };
+            let fmt_opt_u = |v: Option<usize>| match v {
+                Some(v) => v.to_string(),
+                None => "-".to_owned(),
+            };
+            out.push_str(&format!(
+                "{:<12} {:<13} {:>7.2} {:>6} {:<13} {:>9} {:>8} {:>8} {:>7} {:>8}\n",
+                r.benchmark,
+                r.scheme,
+                r.budget,
+                r.seed,
+                r.attack,
+                fmt_opt_u(r.key_bits),
+                fmt_opt_f(r.metric),
+                fmt_opt_f(r.kpa),
+                if r.status.is_ok() { "ok" } else { "FAILED" },
+                r.wall_ms,
+            ));
+        }
+        out
+    }
+
+    /// One-paragraph run summary (threads, wall-clock, cache hit rate).
+    pub fn summary(&self) -> String {
+        format!(
+            "campaign `{}`: {} jobs ({} ok, {} failed) on {} thread(s) in {} ms; \
+             cache: {} hits / {} misses ({:.0}% hit rate)",
+            self.name,
+            self.records.len(),
+            self.ok_count(),
+            self.failed_count(),
+            self.threads,
+            self.wall_ms,
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+        )
+    }
+}
+
+fn escape_for_header(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '"' | '\\' => '_',
+            c if (c as u32) < 0x20 => '_',
+            c => c,
+        })
+        .collect()
+}
+
+/// Rebuilds the skeleton of a record from spec + job coordinates (used
+/// for jobs that panicked before producing anything).
+pub fn record_from_job(job: &crate::job::Job) -> JobRecord {
+    JobRecord {
+        index: job.index,
+        benchmark: job.benchmark.clone(),
+        scheme: job.scheme.name().to_owned(),
+        budget: job.budget,
+        seed: job.base_seed,
+        attack: job.attack.name().to_owned(),
+        derived_seed: job.derived_seed,
+        ..JobRecord::empty(job.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            benchmark: "FIR".into(),
+            scheme: "era".into(),
+            budget: 0.75,
+            seed: 2022,
+            attack: "freq-table".into(),
+            derived_seed: 0xDEAD_BEEF,
+            key_bits: Some(47),
+            metric: Some(100.0),
+            balanced: Some(true),
+            bits_to_balance: Some(31),
+            kpa: Some(51.25),
+            attacked_bits: Some(47),
+            training_samples: Some(1200),
+            wall_ms: 17,
+            ..JobRecord::empty(0)
+        }
+    }
+
+    #[test]
+    fn canonical_jsonl_excludes_timing_and_cache() {
+        let mut report = CampaignReport {
+            name: "t".into(),
+            records: vec![record()],
+            threads: 4,
+            wall_ms: 99,
+            cache: CacheStats { hits: 5, misses: 2 },
+        };
+        let canonical = report.canonical_jsonl();
+        assert!(!canonical.contains("wall_ms"));
+        assert!(!canonical.contains("cache"));
+        assert!(canonical.contains("\"kpa\":51.2500"));
+        // Perturbing non-canonical dimensions must not change it.
+        report.threads = 1;
+        report.wall_ms = 1234;
+        report.records[0].wall_ms = 5000;
+        report.cache = CacheStats::default();
+        assert_eq!(canonical, report.canonical_jsonl());
+    }
+
+    #[test]
+    fn full_jsonl_has_summary_line() {
+        let report = CampaignReport {
+            name: "t".into(),
+            records: vec![record()],
+            threads: 2,
+            wall_ms: 10,
+            cache: CacheStats { hits: 1, misses: 3 },
+        };
+        let jsonl = report.jsonl();
+        assert!(jsonl.contains("\"wall_ms\""));
+        assert!(jsonl
+            .lines()
+            .last()
+            .expect("summary")
+            .contains("\"cache_hit_rate\":0.2500"));
+    }
+
+    #[test]
+    fn failed_jobs_carry_their_error() {
+        let mut r = record();
+        r.status = JobStatus::Failed("boom \"quoted\"".into());
+        let line = r.json_fields(false);
+        assert!(line.contains("\"status\":\"failed\""));
+        assert!(line.contains("\\\"quoted\\\""));
+    }
+}

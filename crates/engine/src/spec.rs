@@ -1,0 +1,483 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] names a grid — benchmarks × schemes × budgets ×
+//! seeds × attacks — plus shared knobs (relock rounds, signal width,
+//! worker threads). [`CampaignSpec::parse`] reads the `key = value...`
+//! spec-file format; [`CampaignSpec::expand`] (in [`crate::job`]) turns
+//! the grid into a deterministic job list.
+
+use mlrl_rtl::bench_designs::{benchmark_by_name, DesignSpec};
+use mlrl_rtl::op::{BinaryOp, ALL_BINARY_OPS};
+
+/// Locking scheme axis of a campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Original ASSURE, serial selection.
+    Assure,
+    /// ASSURE with random selection.
+    AssureRandom,
+    /// Heuristic ML-resilient algorithm.
+    Hra,
+    /// HRA in greedy (steepest-ascent) mode.
+    HraGreedy,
+    /// Exact ML-resilient algorithm.
+    Era,
+}
+
+impl SchemeKind {
+    /// Every scheme, in spec-file order.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Assure,
+        SchemeKind::AssureRandom,
+        SchemeKind::Hra,
+        SchemeKind::HraGreedy,
+        SchemeKind::Era,
+    ];
+
+    /// Spec-file / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Assure => "assure",
+            SchemeKind::AssureRandom => "assure-random",
+            SchemeKind::Hra => "hra",
+            SchemeKind::HraGreedy => "hra-greedy",
+            SchemeKind::Era => "era",
+        }
+    }
+
+    /// Parses a spec-file token.
+    pub fn parse(token: &str) -> Result<Self, SpecError> {
+        Self::ALL
+            .into_iter()
+            .find(|s| s.name() == token)
+            .ok_or_else(|| SpecError::new(format!(
+                "unknown scheme `{token}` (expected one of: assure, assure-random, hra, hra-greedy, era)"
+            )))
+    }
+}
+
+/// Attack axis of a campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Bayes-optimal frequency table over the relock training set.
+    FreqTable,
+    /// Closed-form expected-KPA model (no training set).
+    KpaModel,
+    /// Full SnapShot-RTL auto-ml pipeline.
+    Snapshot,
+    /// Oracle-guided hill climber (reports output agreement, not KPA).
+    OracleGuided,
+    /// Lock and score the metric only; run no attack.
+    None,
+}
+
+impl AttackKind {
+    /// Every attack, in spec-file order.
+    pub const ALL: [AttackKind; 5] = [
+        AttackKind::FreqTable,
+        AttackKind::KpaModel,
+        AttackKind::Snapshot,
+        AttackKind::OracleGuided,
+        AttackKind::None,
+    ];
+
+    /// Spec-file / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::FreqTable => "freq-table",
+            AttackKind::KpaModel => "kpa-model",
+            AttackKind::Snapshot => "snapshot",
+            AttackKind::OracleGuided => "oracle-guided",
+            AttackKind::None => "none",
+        }
+    }
+
+    /// Parses a spec-file token.
+    pub fn parse(token: &str) -> Result<Self, SpecError> {
+        Self::ALL
+            .into_iter()
+            .find(|a| a.name() == token)
+            .ok_or_else(|| SpecError::new(format!(
+                "unknown attack `{token}` (expected one of: freq-table, kpa-model, snapshot, oracle-guided, none)"
+            )))
+    }
+}
+
+/// Error from spec parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A declarative experiment campaign: the full grid plus shared knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign label (free-form, appears in reports).
+    pub name: String,
+    /// Benchmark axis; see [`resolve_benchmark`] for accepted names.
+    pub benchmarks: Vec<String>,
+    /// Locking scheme axis.
+    pub schemes: Vec<SchemeKind>,
+    /// Key budgets as fractions of the design's lockable operations.
+    /// Values above 1.0 spend extra bits on balance-preserving dummies
+    /// (HRA detours need roughly 3–5×).
+    pub budgets: Vec<f64>,
+    /// Base seeds (one locked instance per seed per cell).
+    pub seeds: Vec<u64>,
+    /// Attack axis.
+    pub attacks: Vec<AttackKind>,
+    /// Relock rounds for training-set generation.
+    pub relock_rounds: usize,
+    /// Signal width of generated designs.
+    pub width: u32,
+    /// Worker threads; 0 means "all available cores".
+    pub threads: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            name: "campaign".to_owned(),
+            benchmarks: Vec::new(),
+            schemes: Vec::new(),
+            budgets: Vec::new(),
+            seeds: vec![2022],
+            attacks: vec![AttackKind::FreqTable],
+            relock_rounds: 60,
+            width: 32,
+            threads: 0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Builds a grid spec programmatically.
+    pub fn grid(benchmarks: &[&str], schemes: &[SchemeKind], budgets: &[f64]) -> Self {
+        Self {
+            benchmarks: benchmarks.iter().map(|s| (*s).to_owned()).collect(),
+            schemes: schemes.to_vec(),
+            budgets: budgets.to_vec(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of grid cells (jobs) the spec expands into.
+    pub fn cells(&self) -> usize {
+        self.benchmarks.len()
+            * self.schemes.len()
+            * self.budgets.len()
+            * self.seeds.len()
+            * self.attacks.len()
+    }
+
+    /// Parses the spec-file format:
+    ///
+    /// ```text
+    /// # comment
+    /// name       = fig6-sweep
+    /// benchmarks = FIR SHA256 mix:add=25,shl=10
+    /// schemes    = assure hra era
+    /// budgets    = 0.25 0.5 0.75
+    /// seeds      = 2022 2023
+    /// attacks    = freq-table kpa-model
+    /// relock_rounds = 60
+    /// width      = 32
+    /// threads    = 4
+    /// ```
+    ///
+    /// Lists are whitespace- or comma-separated, except `benchmarks`,
+    /// which is whitespace-separated only (custom `mix:op=N,...` entries
+    /// contain commas). Unknown keys are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed lines, unknown keys or tokens,
+    /// out-of-range values, or a grid that validates to zero cells.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = Self::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                SpecError::new(format!("line {}: expected `key = value`", lineno + 1))
+            })?;
+            let key = key.trim();
+            let tokens: Vec<&str> = value
+                .split(|c: char| c.is_whitespace() || c == ',')
+                .filter(|t| !t.is_empty())
+                .collect();
+            let scalar = || -> Result<&str, SpecError> {
+                match tokens.as_slice() {
+                    [one] => Ok(one),
+                    _ => Err(SpecError::new(format!(
+                        "line {}: `{key}` takes exactly one value",
+                        lineno + 1
+                    ))),
+                }
+            };
+            match key {
+                "name" => spec.name = tokens.join("-"),
+                "benchmarks" => {
+                    // Whitespace-separated only: `mix:add=25,shl=10`
+                    // entries contain commas. Token-edge commas from
+                    // `FIR, SHA256` style are still tolerated.
+                    spec.benchmarks = value
+                        .split_whitespace()
+                        .map(|t| t.trim_matches(',').to_owned())
+                        .filter(|t| !t.is_empty())
+                        .collect();
+                }
+                "schemes" => {
+                    spec.schemes = tokens
+                        .iter()
+                        .map(|t| SchemeKind::parse(t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "budgets" => {
+                    spec.budgets = tokens
+                        .iter()
+                        .map(|t| {
+                            t.parse::<f64>().map_err(|e| {
+                                SpecError::new(format!(
+                                    "line {}: bad budget `{t}`: {e}",
+                                    lineno + 1
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "seeds" => {
+                    spec.seeds = tokens
+                        .iter()
+                        .map(|t| {
+                            t.parse::<u64>().map_err(|e| {
+                                SpecError::new(format!("line {}: bad seed `{t}`: {e}", lineno + 1))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "attacks" => {
+                    spec.attacks = tokens
+                        .iter()
+                        .map(|t| AttackKind::parse(t))
+                        .collect::<Result<_, _>>()?;
+                }
+                "relock_rounds" => {
+                    spec.relock_rounds = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad relock_rounds: {e}", lineno + 1))
+                    })?;
+                }
+                "width" => {
+                    spec.width = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad width: {e}", lineno + 1))
+                    })?;
+                }
+                "threads" => {
+                    spec.threads = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad threads: {e}", lineno + 1))
+                    })?;
+                }
+                other => {
+                    return Err(SpecError::new(format!(
+                        "line {}: unknown key `{other}`",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the spec is runnable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on an empty grid axis, unresolvable
+    /// benchmark names, budgets outside `(0, 8]`, or width outside
+    /// `1..=64`.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.benchmarks.is_empty() {
+            return Err(SpecError::new("spec lists no benchmarks"));
+        }
+        if self.schemes.is_empty() {
+            return Err(SpecError::new("spec lists no schemes"));
+        }
+        if self.budgets.is_empty() {
+            return Err(SpecError::new("spec lists no budgets"));
+        }
+        if self.seeds.is_empty() {
+            return Err(SpecError::new("spec lists no seeds"));
+        }
+        if self.attacks.is_empty() {
+            return Err(SpecError::new("spec lists no attacks"));
+        }
+        for b in &self.benchmarks {
+            resolve_benchmark(b).ok_or_else(|| {
+                SpecError::new(format!(
+                    "unknown benchmark `{b}` (paper benchmark, `FIG5`, or `mix:op=N,...`)"
+                ))
+            })?;
+        }
+        for &budget in &self.budgets {
+            if !(budget > 0.0 && budget <= 8.0) {
+                return Err(SpecError::new(format!("budget {budget} outside (0, 8]")));
+            }
+        }
+        if !(1..=64).contains(&self.width) {
+            return Err(SpecError::new(format!(
+                "width {} outside 1..=64",
+                self.width
+            )));
+        }
+        if self.relock_rounds == 0 {
+            return Err(SpecError::new("relock_rounds must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a spec-file benchmark name to a generator spec.
+///
+/// Accepted forms:
+/// - any paper benchmark name (`FIR`, `SHA256`, ... — case-insensitive),
+/// - `FIG5` — the §4.4 working example (`|ODT[(+,-)]| = 25`,
+///   `|ODT[(<<,>>)]| = 10`),
+/// - `mix:<op>=<count>,...` — a custom operation mix, e.g.
+///   `mix:add=25,shl=10` (op names are lower-cased `BinaryOp` variants).
+pub fn resolve_benchmark(name: &str) -> Option<DesignSpec> {
+    if let Some(spec) = benchmark_by_name(name) {
+        return Some(spec);
+    }
+    if name.eq_ignore_ascii_case("FIG5") {
+        return Some(DesignSpec {
+            name: "FIG5",
+            op_mix: vec![(BinaryOp::Add, 25), (BinaryOp::Shl, 10)],
+            control: false,
+            description: "metric working example of §4.4",
+        });
+    }
+    if let Some(mix) = name.strip_prefix("mix:") {
+        let mut op_mix = Vec::new();
+        for part in mix.split(',') {
+            let (op_name, count) = part.split_once('=')?;
+            let op = op_by_name(op_name.trim())?;
+            let count: usize = count.trim().parse().ok()?;
+            if count == 0 {
+                return None;
+            }
+            op_mix.push((op, count));
+        }
+        if op_mix.is_empty() {
+            return None;
+        }
+        // The generator wants static strings; interning bounds the leak
+        // to one allocation per *distinct* custom mix, however many jobs
+        // resolve it.
+        let label = intern_label(name);
+        return Some(DesignSpec {
+            name: label,
+            op_mix,
+            control: false,
+            description: "custom operation mix from campaign spec",
+        });
+    }
+    None
+}
+
+/// Interns a custom-mix label as `&'static str`, deduplicating so
+/// repeated resolution of the same name never grows memory.
+fn intern_label(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("intern table poisoned");
+    if let Some(found) = table.iter().find(|l| **l == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+/// Looks up a binary operator by its lower-cased variant name
+/// (`add`, `sub`, `shl`, ...).
+pub fn op_by_name(name: &str) -> Option<BinaryOp> {
+    ALL_BINARY_OPS
+        .iter()
+        .copied()
+        .find(|op| format!("{op:?}").eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let text = "
+            # Fig. 6-style sweep
+            name       = demo
+            benchmarks = FIR, SHA256
+            schemes    = era hra
+            budgets    = 0.5 0.75
+            seeds      = 1 2
+            attacks    = freq-table kpa-model
+            relock_rounds = 40
+            threads    = 4
+        ";
+        let spec = CampaignSpec::parse(text).expect("parses");
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.benchmarks, vec!["FIR", "SHA256"]);
+        assert_eq!(spec.schemes, vec![SchemeKind::Era, SchemeKind::Hra]);
+        assert_eq!(spec.cells(), 2 * 2 * 2 * 2 * 2);
+        assert_eq!(spec.relock_rounds, 40);
+        assert_eq!(spec.threads, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_schemes_and_benchmarks() {
+        assert!(CampaignSpec::parse("bogus = 1").is_err());
+        assert!(CampaignSpec::parse("benchmarks = FIR\nschemes = rsa\nbudgets = 0.5").is_err());
+        assert!(CampaignSpec::parse("benchmarks = NOPE\nschemes = era\nbudgets = 0.5").is_err());
+        assert!(CampaignSpec::parse("benchmarks = FIR\nschemes = era\nbudgets = 9.5").is_err());
+    }
+
+    #[test]
+    fn benchmark_list_keeps_mix_entries_whole() {
+        let spec =
+            CampaignSpec::parse("benchmarks = FIR, mix:add=6,shl=3\nschemes = era\nbudgets = 1.0")
+                .expect("parses");
+        assert_eq!(spec.benchmarks, vec!["FIR", "mix:add=6,shl=3"]);
+    }
+
+    #[test]
+    fn resolves_paper_fig5_and_custom_mixes() {
+        assert!(resolve_benchmark("FIR").is_some());
+        assert!(resolve_benchmark("fir").is_some());
+        let fig5 = resolve_benchmark("FIG5").expect("working example");
+        assert_eq!(fig5.total_ops(), 35);
+        let mix = resolve_benchmark("mix:add=3,shl=2").expect("custom mix");
+        assert_eq!(mix.total_ops(), 5);
+        assert!(resolve_benchmark("mix:frobnicate=3").is_none());
+        assert!(resolve_benchmark("mix:add=0").is_none());
+    }
+}

@@ -52,13 +52,23 @@ pub struct AssureConfig {
 impl AssureConfig {
     /// Serial ASSURE with the fixed pair table.
     pub fn serial(budget: usize, seed: u64) -> Self {
-        Self { selection: Selection::Serial, pair_table: PairTable::fixed(), budget, seed }
+        Self {
+            selection: Selection::Serial,
+            pair_table: PairTable::fixed(),
+            budget,
+            seed,
+        }
     }
 
     /// Random-selection ASSURE with the fixed pair table (used for
     /// relocking/self-referencing).
     pub fn random(budget: usize, seed: u64) -> Self {
-        Self { selection: Selection::Random, pair_table: PairTable::fixed(), budget, seed }
+        Self {
+            selection: Selection::Random,
+            pair_table: PairTable::fixed(),
+            budget,
+            seed,
+        }
     }
 }
 
@@ -126,7 +136,12 @@ pub fn lock_branches(module: &mut Module, seed: u64) -> Result<Key> {
     // Collect the condition ids first (can't mutate while iterating).
     fn collect_conds(stmts: &[SeqStmt], out: &mut Vec<ExprId>) {
         for s in stmts {
-            if let SeqStmt::If { cond, then_body, else_body } = s {
+            if let SeqStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } = s
+            {
                 out.push(*cond);
                 collect_conds(then_body, out);
                 collect_conds(else_body, out);
@@ -145,17 +160,29 @@ pub fn lock_branches(module: &mut Module, seed: u64) -> Result<Key> {
         key.push(key_value, KeyBitKind::Branch);
         // Build `stored ^ K[bit]` where stored is the (possibly
         // complemented) condition.
-        let stored = if key_value { complement(module, cond)? } else { cond };
+        let stored = if key_value {
+            complement(module, cond)?
+        } else {
+            cond
+        };
         let key_ref = module.alloc_expr(Expr::KeyBit(bit));
-        let xored =
-            module.alloc_expr(Expr::Binary { op: BinaryOp::Xor, lhs: stored, rhs: key_ref });
+        let xored = module.alloc_expr(Expr::Binary {
+            op: BinaryOp::Xor,
+            lhs: stored,
+            rhs: key_ref,
+        });
         replacements.push((cond, xored));
     }
 
     // Swap each `if` condition to its locked form.
     fn rewrite(stmts: &mut [SeqStmt], map: &[(ExprId, ExprId)]) {
         for s in stmts {
-            if let SeqStmt::If { cond, then_body, else_body } = s {
+            if let SeqStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } = s
+            {
                 if let Some((_, new)) = map.iter().find(|(old, _)| old == cond) {
                     *cond = *new;
                 }
@@ -186,7 +213,10 @@ fn complement(module: &mut Module, id: ExprId) -> Result<ExprId> {
     };
     Ok(match flipped {
         Some(e) => module.alloc_expr(e),
-        None => module.alloc_expr(Expr::Unary { op: UnaryOp::LNot, arg: id }),
+        None => module.alloc_expr(Expr::Unary {
+            op: UnaryOp::LNot,
+            arg: id,
+        }),
     })
 }
 
@@ -232,7 +262,8 @@ mod tests {
         let mut sim = Simulator::new(module).unwrap();
         for (i, p) in module.ports().iter().enumerate() {
             if p.dir == mlrl_rtl::ast::PortDir::Input && p.name != "clk" {
-                sim.set_input(&p.name, (i as u64 + 1).wrapping_mul(0x9e3779b9) ^ salt).unwrap();
+                sim.set_input(&p.name, (i as u64 + 1).wrapping_mul(0x9e3779b9) ^ salt)
+                    .unwrap();
             }
         }
         sim.set_key(key).unwrap();
@@ -255,7 +286,11 @@ mod tests {
         let golden = run(&m, &[], 0);
         let key = lock_operations(&mut m, &AssureConfig::serial(30, 2)).unwrap();
         for salt in 0..4 {
-            let golden = if salt == 0 { golden } else { run(&fir(), &[], salt) };
+            let golden = if salt == 0 {
+                golden
+            } else {
+                run(&fir(), &[], salt)
+            };
             assert_eq!(run(&m, key.as_bits(), salt), golden, "salt {salt}");
         }
     }
@@ -303,8 +338,7 @@ mod tests {
         let golden: Vec<u64> = (0..4).map(|s| run(&fir(), &[], s)).collect();
         // Relock (self-reference) with a second round of random locking.
         let k2 = lock_operations(&mut m, &AssureConfig::random(15, 99)).unwrap();
-        let full: Vec<bool> =
-            k1.as_bits().iter().chain(k2.as_bits()).copied().collect();
+        let full: Vec<bool> = k1.as_bits().iter().chain(k2.as_bits()).copied().collect();
         for (s, g) in golden.iter().enumerate() {
             assert_eq!(run(&m, &full, s as u64), *g);
         }
@@ -318,15 +352,25 @@ mod tests {
         m.add_reg("q", 8).unwrap();
         m.add_output("y", 8).unwrap();
         let d = m.alloc_expr(Expr::Ident("d".into()));
-        let three = m.alloc_expr(Expr::Const { value: 3, width: None });
-        let cond = m.alloc_expr(Expr::Binary { op: BinaryOp::Gt, lhs: d, rhs: three });
+        let three = m.alloc_expr(Expr::Const {
+            value: 3,
+            width: None,
+        });
+        let cond = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Gt,
+            lhs: d,
+            rhs: three,
+        });
         let inc = m.alloc_expr(Expr::Ident("d".into()));
         let q = m.alloc_expr(Expr::Ident("q".into()));
         m.add_always(AlwaysBlock {
             clock: "clk".into(),
             body: vec![SeqStmt::If {
                 cond,
-                then_body: vec![SeqStmt::NonBlocking { lhs: "q".into(), rhs: inc }],
+                then_body: vec![SeqStmt::NonBlocking {
+                    lhs: "q".into(),
+                    rhs: inc,
+                }],
                 else_body: vec![],
             }],
         })
@@ -369,7 +413,10 @@ mod tests {
     fn constant_locking_extracts_literals() {
         let mut m = Module::new("c");
         m.add_output("y", 8).unwrap();
-        let c = m.alloc_expr(Expr::Const { value: 13, width: Some(4) });
+        let c = m.alloc_expr(Expr::Const {
+            value: 13,
+            width: Some(4),
+        });
         m.add_assign("y", c).unwrap();
         let key = lock_constants(&mut m, 1).unwrap();
         // a = 4'b1101 -> a = K[3:0] with key 1101 (lsb first: 1,0,1,1).
@@ -393,11 +440,21 @@ mod tests {
         m.add_input("a", 8).unwrap();
         m.add_output("y", 8).unwrap();
         let a = m.alloc_expr(Expr::Ident("a".into()));
-        let small = m.alloc_expr(Expr::Const { value: 1, width: Some(1) });
-        let shl = m.alloc_expr(Expr::Binary { op: BinaryOp::Shl, lhs: a, rhs: small });
+        let small = m.alloc_expr(Expr::Const {
+            value: 1,
+            width: Some(1),
+        });
+        let shl = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Shl,
+            lhs: a,
+            rhs: small,
+        });
         m.add_assign("y", shl).unwrap();
         let key = lock_constants(&mut m, 4).unwrap();
-        assert!(key.is_empty(), "1-bit constant must be skipped at min_bits=4");
+        assert!(
+            key.is_empty(),
+            "1-bit constant must be skipped at min_bits=4"
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ pub struct CorruptibilityConfig {
 
 impl Default for CorruptibilityConfig {
     fn default() -> Self {
-        Self { wrong_keys: 32, patterns: 24, ticks: 2, flips: 1, seed: 0 }
+        Self {
+            wrong_keys: 32,
+            patterns: 24,
+            ticks: 2,
+            flips: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -145,7 +151,11 @@ pub fn measure_corruptibility(
         for _ in 0..cfg.patterns {
             for (name, width) in &inputs {
                 let v: u64 = rng.gen();
-                let v = if *width >= 64 { v } else { v & ((1 << width) - 1) };
+                let v = if *width >= 64 {
+                    v
+                } else {
+                    v & ((1 << width) - 1)
+                };
                 ref_sim.set_input(name, v).map_err(sim_err)?;
                 bad_sim.set_input(name, v).map_err(sim_err)?;
             }
@@ -207,7 +217,11 @@ mod tests {
         // flips = 0 is clamped to 1 by the implementation; emulate the
         // correct-key check by measuring the locked design against itself
         // with the correct key on both sides via the equivalence probe.
-        let cfg = mlrl_rtl::equiv::EquivConfig { patterns: 20, ticks: 0, seed: 3 };
+        let cfg = mlrl_rtl::equiv::EquivConfig {
+            patterns: 20,
+            ticks: 0,
+            seed: 3,
+        };
         let r = mlrl_rtl::equiv::check_equiv(&original, &locked, &[], &bits, &cfg).unwrap();
         assert!(r.is_equivalent());
     }
@@ -223,7 +237,13 @@ mod tests {
             &original,
             &locked,
             &bits,
-            &CorruptibilityConfig { wrong_keys: 24, patterns: 16, ticks: 0, flips: 1, seed: 9 },
+            &CorruptibilityConfig {
+                wrong_keys: 24,
+                patterns: 16,
+                ticks: 0,
+                flips: 1,
+                seed: 9,
+            },
         )
         .unwrap();
         assert!(report.corruption_rate > 0.6, "{report:?}");
@@ -246,7 +266,13 @@ mod tests {
             &original,
             &locked,
             &bits,
-            &CorruptibilityConfig { wrong_keys: 24, patterns: 16, ticks: 0, flips: 1, seed: 1 },
+            &CorruptibilityConfig {
+                wrong_keys: 24,
+                patterns: 16,
+                ticks: 0,
+                flips: 1,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(report.corruption_rate > 0.4, "{report:?}");
@@ -263,17 +289,32 @@ mod tests {
             &original,
             &locked,
             &bits,
-            &CorruptibilityConfig { wrong_keys: 16, patterns: 12, ticks: 0, flips: 1, seed: 2 },
+            &CorruptibilityConfig {
+                wrong_keys: 16,
+                patterns: 12,
+                ticks: 0,
+                flips: 1,
+                seed: 2,
+            },
         )
         .unwrap();
         let many = measure_corruptibility(
             &original,
             &locked,
             &bits,
-            &CorruptibilityConfig { wrong_keys: 16, patterns: 12, ticks: 0, flips: 8, seed: 2 },
+            &CorruptibilityConfig {
+                wrong_keys: 16,
+                patterns: 12,
+                ticks: 0,
+                flips: 8,
+                seed: 2,
+            },
         )
         .unwrap();
-        assert!(many.error_rate >= one.error_rate * 0.5, "one={one:?} many={many:?}");
+        assert!(
+            many.error_rate >= one.error_rate * 0.5,
+            "one={one:?} many={many:?}"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct EraConfig {
 impl EraConfig {
     /// ERA with the fixed table.
     pub fn new(key_budget: usize, seed: u64) -> Self {
-        Self { key_budget, pair_table: PairTable::fixed(), seed }
+        Self {
+            key_budget,
+            pair_table: PairTable::fixed(),
+            seed,
+        }
     }
 }
 
@@ -93,7 +97,12 @@ pub fn era_lock(module: &mut Module, cfg: &EraConfig) -> Result<EraOutcome> {
         .collect();
     if theta.is_empty() {
         if cfg.key_budget == 0 {
-            return Ok(EraOutcome { key, bits_used: 0, exceeded_budget: false, trace });
+            return Ok(EraOutcome {
+                key,
+                bits_used: 0,
+                exceeded_budget: false,
+                trace,
+            });
         }
         return Err(LockError::NothingToLock);
     }
@@ -137,7 +146,12 @@ pub fn era_lock(module: &mut Module, cfg: &EraConfig) -> Result<EraOutcome> {
         );
     }
 
-    Ok(EraOutcome { key, bits_used: n, exceeded_budget: n > cfg.key_budget, trace })
+    Ok(EraOutcome {
+        key,
+        bits_used: n,
+        exceeded_budget: n > cfg.key_budget,
+        trace,
+    })
 }
 
 #[cfg(test)]

@@ -40,13 +40,23 @@ pub struct HraConfig {
 impl HraConfig {
     /// Standard HRA (`P` fair-coin) with the fixed table.
     pub fn new(key_budget: usize, seed: u64) -> Self {
-        Self { key_budget, pair_table: PairTable::fixed(), seed, p_random: 0.5 }
+        Self {
+            key_budget,
+            pair_table: PairTable::fixed(),
+            seed,
+            p_random: 0.5,
+        }
     }
 
     /// The Greedy variant of §4.4: `P` always false. Reaches full security
     /// with fewer key bits than HRA but is reversible by an attacker.
     pub fn greedy(key_budget: usize, seed: u64) -> Self {
-        Self { key_budget, pair_table: PairTable::fixed(), seed, p_random: 0.0 }
+        Self {
+            key_budget,
+            pair_table: PairTable::fixed(),
+            seed,
+            p_random: 0.0,
+        }
     }
 }
 
@@ -99,7 +109,11 @@ pub fn hra_lock(module: &mut Module, cfg: &HraConfig) -> Result<HraOutcome> {
         .collect();
     if theta.is_empty() {
         if cfg.key_budget == 0 {
-            return Ok(HraOutcome { key, bits_used: 0, trace });
+            return Ok(HraOutcome {
+                key,
+                bits_used: 0,
+                trace,
+            });
         }
         return Err(LockError::NothingToLock);
     }
@@ -115,12 +129,12 @@ pub fn hra_lock(module: &mut Module, cfg: &HraConfig) -> Result<HraOutcome> {
             theta.shuffle(&mut rng);
             let mut best: Option<((BinaryOp, BinaryOp), f64)> = None;
             for &pair in theta.iter() {
-                let (_s, txn) =
-                    match lock_type(pair.0, &mut odt, module, &mut key, false, &mut rng) {
-                        Ok(ok) => ok,
-                        Err(LockError::NoOpsOfType(_)) => continue,
-                        Err(e) => return Err(e),
-                    };
+                let (_s, txn) = match lock_type(pair.0, &mut odt, module, &mut key, false, &mut rng)
+                {
+                    Ok(ok) => ok,
+                    Err(LockError::NoOpsOfType(_)) => continue,
+                    Err(e) => return Err(e),
+                };
                 let m_i = metric.global(&odt);
                 undo_lock(txn, module, &mut key, &mut odt)?;
                 if best.map(|(_, b)| m_i > b).unwrap_or(true) {
@@ -152,7 +166,11 @@ pub fn hra_lock(module: &mut Module, cfg: &HraConfig) -> Result<HraOutcome> {
         }
     }
 
-    Ok(HraOutcome { key, bits_used: n, trace })
+    Ok(HraOutcome {
+        key,
+        bits_used: n,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +184,10 @@ mod tests {
         let mut m = generate(&benchmark_by_name("SHA256").unwrap(), 1);
         let outcome = hra_lock(&mut m, &HraConfig::new(60, 5)).unwrap();
         assert!(outcome.bits_used >= 60);
-        assert!(outcome.bits_used <= 61, "at most one overshoot bit from a paired lock");
+        assert!(
+            outcome.bits_used <= 61,
+            "at most one overshoot bit from a paired lock"
+        );
         assert_eq!(outcome.key.len() as u32, m.key_width());
     }
 
@@ -200,9 +221,18 @@ mod tests {
         let budget = 700;
         let bits_to_100 = |p_random: f64, seed: u64| -> Option<usize> {
             let mut m = generate(&spec, 9);
-            let cfg = HraConfig { key_budget: budget, p_random, seed, pair_table: PairTable::fixed() };
+            let cfg = HraConfig {
+                key_budget: budget,
+                p_random,
+                seed,
+                pair_table: PairTable::fixed(),
+            };
             let outcome = hra_lock(&mut m, &cfg).unwrap();
-            outcome.trace.iter().find(|(_, g, _)| *g >= 100.0).map(|(n, _, _)| *n)
+            outcome
+                .trace
+                .iter()
+                .find(|(_, g, _)| *g >= 100.0)
+                .map(|(n, _, _)| *n)
         };
         let greedy = bits_to_100(0.0, 1).expect("greedy reaches 100 within budget");
         // Average over a few HRA seeds to avoid flakiness.

@@ -121,7 +121,12 @@ impl Key {
         if self.bits.is_empty() {
             return 0.0;
         }
-        let correct = self.bits.iter().zip(predicted).filter(|(a, b)| a == b).count();
+        let correct = self
+            .bits
+            .iter()
+            .zip(predicted)
+            .filter(|(a, b)| a == b)
+            .count();
         100.0 * correct as f64 / self.bits.len() as f64
     }
 }
@@ -192,7 +197,10 @@ mod tests {
         k.push(true, KeyBitKind::Operation);
         k.push(false, KeyBitKind::Branch);
         k.push(true, KeyBitKind::Operation);
-        assert_eq!(k.bits_of_kind(KeyBitKind::Operation), vec![(0, true), (2, true)]);
+        assert_eq!(
+            k.bits_of_kind(KeyBitKind::Operation),
+            vec![(0, true), (2, true)]
+        );
         assert_eq!(k.bits_of_kind(KeyBitKind::Branch), vec![(1, false)]);
         assert!(k.bits_of_kind(KeyBitKind::Constant).is_empty());
     }

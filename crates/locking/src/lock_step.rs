@@ -81,15 +81,19 @@ pub fn lock_type<R: Rng>(
     let o_i = pick(rng, &sites_t);
     let o_j = pick(rng, &sites_t2);
 
-    let mut txn = LockTxn { wraps: Vec::new(), odt_added: Vec::new(), locked_types: Vec::new() };
+    let mut txn = LockTxn {
+        wraps: Vec::new(),
+        odt_added: Vec::new(),
+        locked_types: Vec::new(),
+    };
 
     let add_pair = |module: &mut Module,
-                        key: &mut Key,
-                        odt: &mut Odt,
-                        txn: &mut LockTxn,
-                        site: visit::OpSite,
-                        dummy: BinaryOp,
-                        rng: &mut R|
+                    key: &mut Key,
+                    odt: &mut Odt,
+                    txn: &mut LockTxn,
+                    site: visit::OpSite,
+                    dummy: BinaryOp,
+                    rng: &mut R|
      -> Result<()> {
         let key_value: bool = rng.gen();
         let (_bit, undo) = module.wrap_in_key_mux(site.id, key_value, dummy)?;
@@ -160,7 +164,11 @@ mod tests {
                 m.add_wire(&w, 32).unwrap();
                 let a = m.alloc_expr(Expr::Ident("a".into()));
                 let b = m.alloc_expr(Expr::Ident("a".into()));
-                let e = m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b });
+                let e = m.alloc_expr(Expr::Binary {
+                    op: *op,
+                    lhs: a,
+                    rhs: b,
+                });
                 m.add_assign(&w, e).unwrap();
                 i += 1;
             }

@@ -182,7 +182,11 @@ mod tests {
                 m.add_wire(&w, 32).unwrap();
                 let a = m.alloc_expr(Expr::Ident("a".into()));
                 let b = m.alloc_expr(Expr::Ident("a".into()));
-                let e = m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b });
+                let e = m.alloc_expr(Expr::Binary {
+                    op: *op,
+                    lhs: a,
+                    rhs: b,
+                });
                 m.add_assign(&w, e).unwrap();
                 i += 1;
             }
@@ -192,7 +196,10 @@ mod tests {
 
     #[test]
     fn modified_euclidean_skips_x_entries() {
-        assert_eq!(modified_euclidean(&[3.0, 4.0], &[Some(0.0), Some(0.0)]), 5.0);
+        assert_eq!(
+            modified_euclidean(&[3.0, 4.0], &[Some(0.0), Some(0.0)]),
+            5.0
+        );
         assert_eq!(modified_euclidean(&[3.0, 4.0], &[None, Some(0.0)]), 4.0);
         assert_eq!(modified_euclidean(&[3.0, 4.0], &[None, None]), 0.0);
     }

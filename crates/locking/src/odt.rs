@@ -111,7 +111,10 @@ impl Odt {
     /// The distribution vector `v_j = [|ODT[T_0]|, ..., |ODT[T_l-1]|]`
     /// (§4.1), aligned with [`Odt::pairs`].
     pub fn abs_vector(&self) -> Vec<f64> {
-        self.entries.values().map(|v| v.unsigned_abs() as f64).collect()
+        self.entries
+            .values()
+            .map(|v| v.unsigned_abs() as f64)
+            .collect()
     }
 
     /// Total absolute imbalance `Σ_i |ODT[T_i]|` — the minimum number of
@@ -149,7 +152,11 @@ mod tests {
                 m.add_wire(&w, 32).unwrap();
                 let a = m.alloc_expr(Expr::Ident("a".into()));
                 let b = m.alloc_expr(Expr::Ident("b".into()));
-                let e = m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b });
+                let e = m.alloc_expr(Expr::Binary {
+                    op: *op,
+                    lhs: a,
+                    rhs: b,
+                });
                 m.add_assign(&w, e).unwrap();
                 i += 1;
             }

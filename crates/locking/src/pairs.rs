@@ -92,7 +92,10 @@ impl PairTable {
             (LAnd, LOr),
             (LOr, LAnd),
         ];
-        Self { map: entries.into_iter().collect(), name: "original-assure" }
+        Self {
+            map: entries.into_iter().collect(),
+            name: "original-assure",
+        }
     }
 
     /// Short name of the table (for reports).
@@ -114,9 +117,7 @@ impl PairTable {
     /// Whether `pair(pair(T)) == T` for every mapped type — the paper's
     /// learning-resilience precondition (§3.2).
     pub fn is_involutive(&self) -> bool {
-        self.map
-            .iter()
-            .all(|(&a, &b)| self.map.get(&b) == Some(&a))
+        self.map.iter().all(|(&a, &b)| self.map.get(&b) == Some(&a))
     }
 
     /// The *canonical pairs* `Θ = {(T1,T1'), ...}` of this table, each
@@ -141,7 +142,11 @@ impl PairTable {
     /// smaller op code comes first. Returns `None` for unlockable types.
     pub fn canonical_pair_of(&self, op: BinaryOp) -> Option<(BinaryOp, BinaryOp)> {
         let other = self.dummy_for(op)?;
-        Some(if op.code() <= other.code() { (op, other) } else { (other, op) })
+        Some(if op.code() <= other.code() {
+            (op, other)
+        } else {
+            (other, op)
+        })
     }
 
     /// Ops that appear on either side of any pair, sorted by code.
@@ -171,7 +176,11 @@ mod tests {
         assert!(t.is_involutive());
         for op in ALL_BINARY_OPS {
             assert!(t.is_lockable(op), "{op:?} must be lockable");
-            assert_ne!(t.dummy_for(op), Some(op), "{op:?} must not pair with itself");
+            assert_ne!(
+                t.dummy_for(op),
+                Some(op),
+                "{op:?} must not pair with itself"
+            );
         }
     }
 

@@ -136,8 +136,7 @@ mod tests {
         let original = generate(&benchmark_by_name("MD5").unwrap(), 3);
         let mut locked = original.clone();
         let key = lock_operations(&mut locked, &AssureConfig::serial(50, 4)).unwrap();
-        let report =
-            LockingReport::build("ASSURE", &original, &locked, &key, &PairTable::fixed());
+        let report = LockingReport::build("ASSURE", &original, &locked, &key, &PairTable::fixed());
         assert!(!report.is_globally_balanced());
         assert!(report.m_g_sec < 100.0);
         assert!(report.residual_imbalance > 0);
@@ -149,8 +148,7 @@ mod tests {
         let original = generate(&benchmark_by_name("IIR").unwrap(), 5);
         let mut locked = original.clone();
         let key = lock_operations(&mut locked, &AssureConfig::serial(10, 6)).unwrap();
-        let report =
-            LockingReport::build("demo", &original, &locked, &key, &PairTable::fixed());
+        let report = LockingReport::build("demo", &original, &locked, &key, &PairTable::fixed());
         let text = report.to_string();
         assert!(text.contains("demo: 10 key bits"));
         assert!(text.contains("M_g_sec"));
@@ -162,8 +160,7 @@ mod tests {
         let original = generate(&benchmark_by_name("FIR").unwrap(), 7);
         let mut locked = original.clone();
         let key = lock_operations(&mut locked, &AssureConfig::serial(5, 8)).unwrap();
-        let report =
-            LockingReport::build("x", &original, &locked, &key, &PairTable::fixed());
+        let report = LockingReport::build("x", &original, &locked, &key, &PairTable::fixed());
         // FIR only has (+,-) and (*,/) material.
         assert!(report.pair_balance.len() <= 3);
         assert!(!report.pair_balance.is_empty());

@@ -219,7 +219,10 @@ pub fn auto_fit(train: &Dataset, cfg: &AutoMlConfig) -> AutoMlOutcome {
         // One-standard-error-style rule: the earliest (simplest) candidate
         // keeps the lead unless a challenger clearly beats it — majority
         // wins on balanced data, trees beat logistic on near-ties.
-        if best.map(|(_, b)| mean > b + cfg.selection_margin).unwrap_or(true) {
+        if best
+            .map(|(_, b)| mean > b + cfg.selection_margin)
+            .unwrap_or(true)
+        {
             best = Some((idx, mean));
         }
     }
@@ -227,7 +230,11 @@ pub fn auto_fit(train: &Dataset, cfg: &AutoMlConfig) -> AutoMlOutcome {
     let (_, mut model) = models.swap_remove(best_idx);
     model.fit(&train);
     leaderboard.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-    AutoMlOutcome { model, cv_accuracy, leaderboard }
+    AutoMlOutcome {
+        model,
+        cv_accuracy,
+        leaderboard,
+    }
 }
 
 #[cfg(test)]
@@ -241,7 +248,11 @@ mod tests {
     fn picks_a_nonlinear_model_for_xor() {
         let train = xor(400, 1);
         let outcome = auto_fit(&train, &AutoMlConfig::default());
-        assert!(outcome.cv_accuracy > 0.9, "leaderboard: {:?}", outcome.leaderboard);
+        assert!(
+            outcome.cv_accuracy > 0.9,
+            "leaderboard: {:?}",
+            outcome.leaderboard
+        );
         let test = xor(200, 2);
         let acc = crate::models::accuracy(outcome.model.as_ref(), &test);
         assert!(acc > 0.9);
@@ -254,7 +265,7 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..600)
             .map(|_| {
                 let mut row = vec![0.0; 4];
-                row[rng.gen_range(0..4)] = 1.0;
+                row[rng.gen_range(0..4usize)] = 1.0;
                 row
             })
             .collect();
@@ -271,7 +282,10 @@ mod tests {
     #[test]
     fn thinning_respects_cap() {
         let train = categorical(5000, 0.1, 4);
-        let cfg = AutoMlConfig { max_train_samples: 500, ..Default::default() };
+        let cfg = AutoMlConfig {
+            max_train_samples: 500,
+            ..Default::default()
+        };
         let outcome = auto_fit(&train, &cfg);
         assert!(outcome.cv_accuracy > 0.8);
     }

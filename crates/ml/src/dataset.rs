@@ -70,7 +70,10 @@ impl Dataset {
     /// lengths.
     pub fn from_rows(x: Vec<Vec<f64>>, y: Vec<usize>) -> Result<Self, DatasetError> {
         if x.len() != y.len() {
-            return Err(DatasetError::LengthMismatch { rows: x.len(), labels: y.len() });
+            return Err(DatasetError::LengthMismatch {
+                rows: x.len(),
+                labels: y.len(),
+            });
         }
         if x.is_empty() {
             return Err(DatasetError::Empty);
@@ -191,7 +194,9 @@ impl OneHotEncoder {
                 sets[col].insert(v);
             }
         }
-        Self { vocab: sets.into_iter().map(|s| s.into_iter().collect()).collect() }
+        Self {
+            vocab: sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
     }
 
     /// Total dense width after encoding.
@@ -231,7 +236,10 @@ mod tests {
             Dataset::from_rows(vec![vec![1.0]], vec![0, 1]).unwrap_err(),
             DatasetError::LengthMismatch { rows: 1, labels: 2 }
         );
-        assert_eq!(Dataset::from_rows(vec![], vec![]).unwrap_err(), DatasetError::Empty);
+        assert_eq!(
+            Dataset::from_rows(vec![], vec![]).unwrap_err(),
+            DatasetError::Empty
+        );
         assert_eq!(
             Dataset::from_rows(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0]).unwrap_err(),
             DatasetError::RaggedRows
@@ -252,8 +260,7 @@ mod tests {
 
     #[test]
     fn subset_selects_in_order() {
-        let ds =
-            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 0]).unwrap();
+        let ds = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 0]).unwrap();
         let sub = ds.subset(&[2, 0]);
         assert_eq!(sub.rows(), &[vec![2.0], vec![0.0]]);
         assert_eq!(sub.labels(), &[0, 0]);

@@ -104,8 +104,9 @@ impl ConfusionMatrix {
     /// skewed label distribution — a majority predictor gets `1/n`-ish
     /// here no matter how skewed the data.
     pub fn balanced_accuracy(&self) -> f64 {
-        let recalls: Vec<f64> =
-            (0..self.n_classes()).filter_map(|c| self.recall(c)).collect();
+        let recalls: Vec<f64> = (0..self.n_classes())
+            .filter_map(|c| self.recall(c))
+            .collect();
         if recalls.is_empty() {
             0.0
         } else {
@@ -134,7 +135,10 @@ mod tests {
         let predicted = vec![1usize; 100];
         let cm = ConfusionMatrix::from_pairs(&actual, &predicted, 2);
         assert!((cm.accuracy() - 0.9).abs() < 1e-9);
-        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-9, "balanced acc exposes the trick");
+        assert!(
+            (cm.balanced_accuracy() - 0.5).abs() < 1e-9,
+            "balanced acc exposes the trick"
+        );
         assert_eq!(cm.precision(0), None, "class 0 never predicted");
         assert_eq!(cm.recall(0), Some(0.0));
     }

@@ -58,7 +58,11 @@ pub struct AdaBoost {
 impl AdaBoost {
     /// Creates an untrained booster with `rounds` stumps.
     pub fn new(rounds: usize) -> Self {
-        Self { rounds: rounds.max(1), stumps: Vec::new(), n_classes: 2 }
+        Self {
+            rounds: rounds.max(1),
+            stumps: Vec::new(),
+            n_classes: 2,
+        }
     }
 
     /// Defaults for locality-sized problems.
@@ -75,8 +79,7 @@ impl AdaBoost {
             values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             values.dedup();
             // Midpoints between distinct values plus an extreme threshold.
-            let mut thresholds: Vec<f64> =
-                values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+            let mut thresholds: Vec<f64> = values.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
             if let Some(first) = values.first() {
                 thresholds.push(first - 1.0);
             }
@@ -155,7 +158,12 @@ impl Classifier for AdaBoost {
             let majority = data.majority_class();
             self.stumps.push((
                 1.0,
-                Stump { feature: 0, threshold: f64::INFINITY, left: majority, right: majority },
+                Stump {
+                    feature: 0,
+                    threshold: f64::INFINITY,
+                    left: majority,
+                    right: majority,
+                },
             ));
         }
     }
@@ -225,7 +233,10 @@ mod tests {
             boosted > single + 0.03,
             "boosting must help: {single} -> {boosted}"
         );
-        assert!(boosted > 0.93, "ensemble should approach the concept: {boosted}");
+        assert!(
+            boosted > 0.93,
+            "ensemble should approach the concept: {boosted}"
+        );
     }
 
     #[test]
@@ -245,11 +256,7 @@ mod tests {
 
     #[test]
     fn constant_features_fall_back_to_majority() {
-        let ds = Dataset::from_rows(
-            vec![vec![1.0], vec![1.0], vec![1.0]],
-            vec![1, 1, 0],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]], vec![1, 1, 0]).unwrap();
         let mut ab = AdaBoost::with_defaults();
         ab.fit(&ds);
         assert_eq!(ab.predict(&[1.0]), 1);

@@ -38,7 +38,13 @@ pub struct RandomForest {
 impl RandomForest {
     /// Creates an untrained forest.
     pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
-        Self { n_trees: n_trees.max(1), max_depth, seed, trees: Vec::new(), n_classes: 2 }
+        Self {
+            n_trees: n_trees.max(1),
+            max_depth,
+            seed,
+            trees: Vec::new(),
+            n_classes: 2,
+        }
     }
 
     /// Reasonable defaults for locality datasets.
@@ -61,8 +67,7 @@ impl Classifier for RandomForest {
             let mut features: Vec<usize> = (0..n_features).collect();
             features.shuffle(&mut rng);
             features.truncate(subset_size);
-            let mut tree =
-                DecisionTree::new(self.max_depth, 2).with_feature_subset(features);
+            let mut tree = DecisionTree::new(self.max_depth, 2).with_feature_subset(features);
             tree.fit(&boot);
             self.trees.push(tree);
         }
@@ -77,7 +82,12 @@ impl Classifier for RandomForest {
                 votes[c] += 1;
             }
         }
-        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap_or(0)
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 
     fn name(&self) -> &'static str {

@@ -40,7 +40,11 @@ pub struct KNearestNeighbors {
 impl KNearestNeighbors {
     /// Creates an untrained k-NN model.
     pub fn new(k: usize, max_train_size: usize) -> Self {
-        Self { k: k.max(1), max_train_size: max_train_size.max(1), train: None }
+        Self {
+            k: k.max(1),
+            max_train_size: max_train_size.max(1),
+            train: None,
+        }
     }
 
     /// Reasonable defaults for locality datasets.
@@ -78,13 +82,20 @@ impl Classifier for KNearestNeighbors {
             .collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1))
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then(a.1.cmp(&b.1))
         });
         let mut votes = vec![0usize; train.n_classes()];
         for (_, label) in &dists[..k] {
             votes[*label] += 1;
         }
-        votes.iter().enumerate().max_by_key(|(_, v)| **v).map(|(i, _)| i).unwrap_or(0)
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 
     fn name(&self) -> &'static str {

@@ -41,7 +41,13 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates an untrained model.
     pub fn new(learning_rate: f64, epochs: usize, l2: f64, seed: u64) -> Self {
-        Self { learning_rate, epochs, l2, seed, weights: Vec::new() }
+        Self {
+            learning_rate,
+            epochs,
+            l2,
+            seed,
+            weights: Vec::new(),
+        }
     }
 
     /// Reasonable defaults for small categorical problems.
@@ -54,7 +60,12 @@ impl LogisticRegression {
             .iter()
             .map(|w| {
                 let bias = *w.last().expect("fitted weights include bias");
-                w[..w.len() - 1].iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + bias
+                w[..w.len() - 1]
+                    .iter()
+                    .zip(row)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + bias
             })
             .collect()
     }
@@ -112,8 +123,8 @@ impl Classifier for LogisticRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::models::test_fixtures::{blobs, categorical, xor};
     use crate::models::accuracy;
+    use crate::models::test_fixtures::{blobs, categorical, xor};
 
     #[test]
     fn separates_blobs() {

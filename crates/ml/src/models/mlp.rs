@@ -66,8 +66,12 @@ impl Mlp {
             .iter()
             .map(|w| {
                 let bias = *w.last().expect("bias");
-                let z: f64 =
-                    w[..w.len() - 1].iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>() + bias;
+                let z: f64 = w[..w.len() - 1]
+                    .iter()
+                    .zip(row)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + bias;
                 z.max(0.0)
             })
             .collect();
@@ -76,7 +80,12 @@ impl Mlp {
             .iter()
             .map(|w| {
                 let bias = *w.last().expect("bias");
-                w[..w.len() - 1].iter().zip(&h).map(|(wi, hi)| wi * hi).sum::<f64>() + bias
+                w[..w.len() - 1]
+                    .iter()
+                    .zip(&h)
+                    .map(|(wi, hi)| wi * hi)
+                    .sum::<f64>()
+                    + bias
             })
             .collect();
         (h, scores)
@@ -97,10 +106,18 @@ impl Classifier for Mlp {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let scale = (2.0 / (n_features.max(1) as f64)).sqrt();
         self.w1 = (0..self.hidden)
-            .map(|_| (0..=n_features).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| {
+                (0..=n_features)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect()
+            })
             .collect();
         self.w2 = (0..n_classes)
-            .map(|_| (0..=self.hidden).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| {
+                (0..=self.hidden)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect()
+            })
             .collect();
 
         let mut order: Vec<usize> = (0..data.len()).collect();
@@ -172,7 +189,7 @@ mod tests {
     fn solves_xor() {
         let train = xor(400, 1);
         let test = xor(200, 2);
-        let mut mlp = Mlp::with_defaults(0);
+        let mut mlp = Mlp::with_defaults(3);
         mlp.fit(&train);
         let acc = accuracy(&mlp, &test);
         assert!(acc > 0.9, "MLP must solve XOR, got {acc}");

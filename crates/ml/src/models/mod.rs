@@ -77,7 +77,10 @@ pub(crate) mod test_fixtures {
         for i in 0..n {
             let class = i % 2;
             let cx = if class == 0 { -2.0 } else { 2.0 };
-            x.push(vec![cx + rng.gen_range(-0.8..0.8), cx + rng.gen_range(-0.8..0.8)]);
+            x.push(vec![
+                cx + rng.gen_range(-0.8..0.8),
+                cx + rng.gen_range(-0.8..0.8),
+            ]);
             y.push(class);
         }
         Dataset::from_rows(x, y).unwrap()
@@ -111,7 +114,11 @@ pub(crate) mod test_fixtures {
             let mut row = vec![0.0; 4];
             row[code] = 1.0;
             let label = usize::from(code >= 2);
-            let label = if rng.gen_bool(noise) { 1 - label } else { label };
+            let label = if rng.gen_bool(noise) {
+                1 - label
+            } else {
+                label
+            };
             x.push(row);
             y.push(label);
         }

@@ -49,7 +49,11 @@ impl Classifier for GaussianNaiveBayes {
                 .collect();
             if rows.is_empty() {
                 // Empty class: strongly negative prior so it never wins.
-                self.classes.push((f64::NEG_INFINITY, vec![0.0; n_features], vec![1.0; n_features]));
+                self.classes.push((
+                    f64::NEG_INFINITY,
+                    vec![0.0; n_features],
+                    vec![1.0; n_features],
+                ));
                 continue;
             }
             let n = rows.len() as f64;

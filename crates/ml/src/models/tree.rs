@@ -53,7 +53,12 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Creates an untrained tree.
     pub fn new(max_depth: usize, min_samples_split: usize) -> Self {
-        Self { max_depth, min_samples_split: min_samples_split.max(1), nodes: Vec::new(), feature_subset: None }
+        Self {
+            max_depth,
+            min_samples_split: min_samples_split.max(1),
+            nodes: Vec::new(),
+            feature_subset: None,
+        }
     }
 
     /// Reasonable defaults for locality datasets.
@@ -82,8 +87,9 @@ impl DecisionTree {
                 self.nodes.len() - 1
             }
             Some((feature, threshold)) => {
-                let (li, ri): (Vec<usize>, Vec<usize>) =
-                    indices.iter().partition(|&&i| data.row(i)[feature] <= threshold);
+                let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.row(i)[feature] <= threshold);
                 if li.is_empty() || ri.is_empty() {
                     self.nodes.push(Node::Leaf { class: majority });
                     return self.nodes.len() - 1;
@@ -93,7 +99,12 @@ impl DecisionTree {
                 let slot = self.nodes.len() - 1;
                 let left = self.build(data, &li, depth + 1);
                 let right = self.build(data, &ri, depth + 1);
-                self.nodes[slot] = Node::Split { feature, threshold, left, right };
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 slot
             }
         }
@@ -105,7 +116,12 @@ fn majority_of(data: &Dataset, indices: &[usize]) -> usize {
     for &i in indices {
         counts[data.label(i)] += 1;
     }
-    counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap_or(0)
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 fn is_pure(data: &Dataset, indices: &[usize]) -> bool {
@@ -167,8 +183,7 @@ fn best_split(
             let weighted = (left_n as f64 * gini(&left_counts, left_n)
                 + right_n as f64 * gini(&right_counts, right_n))
                 / total as f64;
-            if weighted + 1e-12 < parent_gini
-                && best.map(|(b, _, _)| weighted < b).unwrap_or(true)
+            if weighted + 1e-12 < parent_gini && best.map(|(b, _, _)| weighted < b).unwrap_or(true)
             {
                 best = Some((weighted, feature, (cur + next) / 2.0));
             }
@@ -190,8 +205,17 @@ impl Classifier for DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -263,6 +287,10 @@ mod tests {
         .unwrap();
         let mut tree = DecisionTree::with_defaults();
         tree.fit(&ds);
-        assert_eq!(tree.nodes.len(), 1, "no split possible on constant features");
+        assert_eq!(
+            tree.nodes.len(),
+            1,
+            "no split possible on constant features"
+        );
     }
 }

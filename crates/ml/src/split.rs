@@ -47,8 +47,9 @@ impl StratifiedKFold {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut folds = vec![Vec::new(); k];
         for class in 0..data.n_classes() {
-            let mut members: Vec<usize> =
-                (0..data.len()).filter(|&i| data.label(i) == class).collect();
+            let mut members: Vec<usize> = (0..data.len())
+                .filter(|&i| data.label(i) == class)
+                .collect();
             members.shuffle(&mut rng);
             for (j, idx) in members.into_iter().enumerate() {
                 folds[j % k].push(idx);

@@ -75,7 +75,12 @@ impl NetlistBuilder {
         let mut consts = vec![None; netlist.net_count()];
         consts[NetId::CONST0.index()] = Some(false);
         consts[NetId::CONST1.index()] = Some(true);
-        Self { netlist, consts, cse: HashMap::new(), inverses: HashMap::new() }
+        Self {
+            netlist,
+            consts,
+            cse: HashMap::new(),
+            inverses: HashMap::new(),
+        }
     }
 
     /// Consumes the builder and returns the finished netlist.
@@ -596,19 +601,23 @@ mod tests {
         let n = b.finish();
         n.validate().unwrap();
         let mut sim = NetlistSimulator::new(&n).unwrap();
-        let mask_a = if widths.0 >= 64 { u64::MAX } else { (1 << widths.0) - 1 };
-        let mask_b = if widths.1 >= 64 { u64::MAX } else { (1 << widths.1) - 1 };
+        let mask_a = if widths.0 >= 64 {
+            u64::MAX
+        } else {
+            (1 << widths.0) - 1
+        };
+        let mask_b = if widths.1 >= 64 {
+            u64::MAX
+        } else {
+            (1 << widths.1) - 1
+        };
         for av in [0u64, 1, 2, 3, 7, 12, 100, 255, 256, u64::MAX] {
             for bv in [0u64, 1, 2, 3, 5, 8, 63, 64, 200, u64::MAX] {
                 let (av, bv) = (av & mask_a, bv & mask_b);
                 sim.set_input("a", av).unwrap();
                 sim.set_input("b", bv).unwrap();
                 sim.settle().unwrap();
-                assert_eq!(
-                    sim.output("y").unwrap(),
-                    expect(av, bv),
-                    "inputs {av} {bv}"
-                );
+                assert_eq!(sim.output("y").unwrap(), expect(av, bv), "inputs {av} {bv}");
             }
         }
     }
@@ -635,12 +644,12 @@ mod tests {
         check_binary(
             (8, 8),
             |b, x, y| b.divmod(x, y).0,
-            |x, y| if y == 0 { 0 } else { x / y },
+            |x, y| x.checked_div(y).unwrap_or(0),
         );
         check_binary(
             (8, 8),
             |b, x, y| b.divmod(x, y).1,
-            |x, y| if y == 0 { 0 } else { x % y },
+            |x, y| x.checked_rem(y).unwrap_or(0),
         );
     }
 
@@ -660,14 +669,22 @@ mod tests {
 
     #[test]
     fn comparisons_match() {
-        check_binary((8, 8), |b, x, y| {
-            let bit = b.lt(x, y);
-            b.bit_lane(bit)
-        }, |x, y| (x < y) as u64);
-        check_binary((8, 8), |b, x, y| {
-            let bit = b.eq(x, y);
-            b.bit_lane(bit)
-        }, |x, y| (x == y) as u64);
+        check_binary(
+            (8, 8),
+            |b, x, y| {
+                let bit = b.lt(x, y);
+                b.bit_lane(bit)
+            },
+            |x, y| (x < y) as u64,
+        );
+        check_binary(
+            (8, 8),
+            |b, x, y| {
+                let bit = b.eq(x, y);
+                b.bit_lane(bit)
+            },
+            |x, y| (x == y) as u64,
+        );
     }
 
     #[test]

@@ -78,10 +78,20 @@ pub fn emit_structural_verilog(netlist: &Netlist) -> Result<String> {
         let _ = writeln!(out, "  input [{}:0] K;", netlist.key_width() - 1);
     }
     for p in netlist.inputs() {
-        let _ = writeln!(out, "  input [{}:0] {};", p.width().saturating_sub(1), p.name);
+        let _ = writeln!(
+            out,
+            "  input [{}:0] {};",
+            p.width().saturating_sub(1),
+            p.name
+        );
     }
     for p in netlist.outputs() {
-        let _ = writeln!(out, "  output [{}:0] {};", p.width().saturating_sub(1), p.name);
+        let _ = writeln!(
+            out,
+            "  output [{}:0] {};",
+            p.width().saturating_sub(1),
+            p.name
+        );
     }
 
     // Wire declarations: gate outputs are wires, dff states are regs.
@@ -130,7 +140,13 @@ pub fn emit_structural_verilog(netlist: &Netlist) -> Result<String> {
     for p in netlist.outputs() {
         for (i, &bit) in p.bits.iter().enumerate() {
             let _ = writeln!(out, "  wire {}_b{};", p.name, i);
-            let _ = writeln!(out, "  assign {}_b{} = {};", p.name, i, net_name(netlist, bit));
+            let _ = writeln!(
+                out,
+                "  assign {}_b{} = {};",
+                p.name,
+                i,
+                net_name(netlist, bit)
+            );
         }
         // y = b0 | (b1 << 1) | ...
         let parts: Vec<String> = (0..p.width())
@@ -160,8 +176,7 @@ mod tests {
 
     #[test]
     fn emitted_netlist_reparses_and_matches() {
-        let mut b = NetlistBuilder::new(NetlistBuilder::new(crate::ir::Netlist::new("t"))
-            .finish());
+        let mut b = NetlistBuilder::new(NetlistBuilder::new(crate::ir::Netlist::new("t")).finish());
         let a = b.input_lane("a", 4);
         let c = b.input_lane("b", 4);
         let s = b.add(a, c);

@@ -64,7 +64,8 @@ pub fn check_module_vs_netlist(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rtl = Simulator::new(module).map_err(|e| NetlistError::Lower(e.to_string()))?;
     let mut gate = NetlistSimulator::new(netlist)?;
-    rtl.set_key(key).map_err(|e| NetlistError::Lower(e.to_string()))?;
+    rtl.set_key(key)
+        .map_err(|e| NetlistError::Lower(e.to_string()))?;
     gate.set_key(key)?;
 
     let inputs: Vec<(String, u32)> = module
@@ -85,12 +86,18 @@ pub fn check_module_vs_netlist(
     for _ in 0..samples {
         for (name, width) in &inputs {
             let v: u64 = rng.gen();
-            let v = if *width >= 64 { v } else { v & ((1 << width) - 1) };
-            rtl.set_input(name, v).map_err(|e| NetlistError::Lower(e.to_string()))?;
+            let v = if *width >= 64 {
+                v
+            } else {
+                v & ((1 << width) - 1)
+            };
+            rtl.set_input(name, v)
+                .map_err(|e| NetlistError::Lower(e.to_string()))?;
             gate.set_input(name, v)?;
         }
         if ticks == 0 {
-            rtl.settle().map_err(|e| NetlistError::Lower(e.to_string()))?;
+            rtl.settle()
+                .map_err(|e| NetlistError::Lower(e.to_string()))?;
             gate.settle()?;
         } else {
             for _ in 0..ticks {
@@ -100,7 +107,9 @@ pub fn check_module_vs_netlist(
         }
         let mut bad = false;
         for name in &outputs {
-            let rv = rtl.get(name).map_err(|e| NetlistError::Lower(e.to_string()))?;
+            let rv = rtl
+                .get(name)
+                .map_err(|e| NetlistError::Lower(e.to_string()))?;
             let gv = gate.output(name)?;
             if rv != gv {
                 bad = true;
@@ -113,7 +122,11 @@ pub fn check_module_vs_netlist(
             mismatches += 1;
         }
     }
-    Ok(CrossCheck { samples, mismatches, first_mismatch })
+    Ok(CrossCheck {
+        samples,
+        mismatches,
+        first_mismatch,
+    })
 }
 
 /// Runs `samples` random vectors through two netlists with (possibly
@@ -135,7 +148,10 @@ pub fn check_netlists(
 ) -> Result<CrossCheck> {
     for p in a.outputs() {
         if b.port(&p.name).is_none() {
-            return Err(NetlistError::Lower(format!("second netlist missing `{}`", p.name)));
+            return Err(NetlistError::Lower(format!(
+                "second netlist missing `{}`",
+                p.name
+            )));
         }
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -148,7 +164,11 @@ pub fn check_netlists(
     for _ in 0..samples {
         for p in a.inputs() {
             let v: u64 = rng.gen();
-            let v = if p.width() >= 64 { v } else { v & ((1 << p.width()) - 1) };
+            let v = if p.width() >= 64 {
+                v
+            } else {
+                v & ((1 << p.width()) - 1)
+            };
             sa.set_input(&p.name, v)?;
             sb.set_input(&p.name, v)?;
         }
@@ -167,7 +187,11 @@ pub fn check_netlists(
             mismatches += 1;
         }
     }
-    Ok(CrossCheck { samples, mismatches, first_mismatch })
+    Ok(CrossCheck {
+        samples,
+        mismatches,
+        first_mismatch,
+    })
 }
 
 #[cfg(test)]

@@ -57,7 +57,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "key has {provided} bits but netlist requires {required}")
             }
             NetlistError::Sequential => {
-                write!(f, "operation requires a combinational netlist but flip-flops are present")
+                write!(
+                    f,
+                    "operation requires a combinational netlist but flip-flops are present"
+                )
             }
             NetlistError::Lock(msg) => write!(f, "locking error: {msg}"),
         }

@@ -314,19 +314,34 @@ impl Netlist {
     /// Panics if the input count does not match the kind's arity or a net id
     /// is out of range.
     pub fn add_gate_to(&mut self, kind: GateKind, inputs: Vec<NetId>, output: NetId) {
-        assert_eq!(inputs.len(), kind.arity(), "{kind} expects {} inputs", kind.arity());
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} expects {} inputs",
+            kind.arity()
+        );
         assert!(
-            inputs.iter().chain(std::iter::once(&output)).all(|n| n.0 < self.net_count),
+            inputs
+                .iter()
+                .chain(std::iter::once(&output))
+                .all(|n| n.0 < self.net_count),
             "gate references out-of-range net"
         );
-        self.gates.push(Gate { kind, inputs, output });
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
     }
 
     /// Adds a flip-flop with a fresh state net and returns that net.
     /// The data input may be connected later with [`Netlist::set_dff_data`].
     pub fn add_dff(&mut self) -> NetId {
         let q = self.add_net();
-        self.dffs.push(Dff { d: NetId::CONST0, q });
+        self.dffs.push(Dff {
+            d: NetId::CONST0,
+            q,
+        });
         q
     }
 
@@ -353,12 +368,12 @@ impl Netlist {
     /// Panics if a port with the same name exists.
     pub fn add_input_port(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
         let name = name.into();
-        assert!(
-            self.port(&name).is_none(),
-            "duplicate port `{name}`"
-        );
+        assert!(self.port(&name).is_none(), "duplicate port `{name}`");
         let bits: Vec<NetId> = (0..width).map(|_| self.add_net()).collect();
-        self.inputs.push(PortBits { name, bits: bits.clone() });
+        self.inputs.push(PortBits {
+            name,
+            bits: bits.clone(),
+        });
         bits
     }
 
@@ -370,7 +385,10 @@ impl Netlist {
     pub fn add_output_port(&mut self, name: impl Into<String>, bits: Vec<NetId>) {
         let name = name.into();
         assert!(self.port(&name).is_none(), "duplicate port `{name}`");
-        assert!(bits.iter().all(|n| n.0 < self.net_count), "output references unknown net");
+        assert!(
+            bits.iter().all(|n| n.0 < self.net_count),
+            "output references unknown net"
+        );
         self.outputs.push(PortBits { name, bits });
     }
 
@@ -410,8 +428,14 @@ impl Netlist {
         let d_bits: Vec<NetId> = dffs.iter().map(|f| f.d).collect();
         assert!(view.port("scan_q").is_none(), "duplicate port `scan_q`");
         assert!(view.port("scan_d").is_none(), "duplicate port `scan_d`");
-        view.inputs.push(PortBits { name: "scan_q".to_owned(), bits: q_bits });
-        view.outputs.push(PortBits { name: "scan_d".to_owned(), bits: d_bits });
+        view.inputs.push(PortBits {
+            name: "scan_q".to_owned(),
+            bits: q_bits,
+        });
+        view.outputs.push(PortBits {
+            name: "scan_d".to_owned(),
+            bits: d_bits,
+        });
         view
     }
 
@@ -615,7 +639,10 @@ mod tests {
         let a = n.add_input_port("a", 1)[0];
         let y = n.add_gate(GateKind::Not, vec![a]);
         n.add_gate_to(GateKind::Buf, vec![a], y);
-        assert!(matches!(n.validate(), Err(NetlistError::MultipleDrivers(_))));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
     }
 
     #[test]

@@ -94,7 +94,8 @@ impl<'m> Lowering<'m> {
             }
         }
         // Pre-allocate the full key so netlist key bit i is K[i].
-        self.builder.reserve_key_bits(self.module.key_width() as usize);
+        self.builder
+            .reserve_key_bits(self.module.key_width() as usize);
         for n in self.module.nets() {
             if n.kind == NetKind::Reg {
                 let lane = self.builder.dff_lane(n.width as usize);
@@ -131,7 +132,8 @@ impl<'m> Lowering<'m> {
             let width = self
                 .module
                 .signal_width(&name)
-                .ok_or_else(|| NetlistError::Lower(format!("unknown reg `{name}`")))? as usize;
+                .ok_or_else(|| NetlistError::Lower(format!("unknown reg `{name}`")))?
+                as usize;
             let masked = self.builder.mask_lane(next_lane, width);
             self.builder.connect_dff_lane(q_lane, masked, width);
         }
@@ -142,7 +144,8 @@ impl<'m> Lowering<'m> {
                 let lane = self.lanes.get(&p.name).copied().ok_or_else(|| {
                     NetlistError::Lower(format!("output `{}` has no driver", p.name))
                 })?;
-                self.builder.output_from_lane(&p.name, lane, p.width as usize);
+                self.builder
+                    .output_from_lane(&p.name, lane, p.width as usize);
             }
         }
         let mut netlist = self.builder.finish();
@@ -160,7 +163,11 @@ impl<'m> Lowering<'m> {
                     let lane = self.lower_expr(*rhs)?;
                     next.insert(lhs.clone(), lane);
                 }
-                SeqStmt::If { cond, then_body, else_body } => {
+                SeqStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let cond_lane = self.lower_expr(*cond)?;
                     let c = self.builder.or_reduce(cond_lane);
                     let mut then_map = next.clone();
@@ -235,7 +242,11 @@ impl<'m> Lowering<'m> {
                 let b = self.lower_expr(rhs)?;
                 self.lower_binary(op, a, b)?
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c_lane = self.lower_expr(cond)?;
                 let c = self.builder.or_reduce(c_lane);
                 let t = self.lower_expr(then_expr)?;
@@ -477,7 +488,10 @@ mod tests {
             "module t(a, b, y);\n input [7:0] a, b;\n output [7:0] y;\n assign y = a ** b;\nendmodule",
         )
         .unwrap();
-        assert!(matches!(lower_module(&m), Err(NetlistError::VariableExponent)));
+        assert!(matches!(
+            lower_module(&m),
+            Err(NetlistError::VariableExponent)
+        ));
     }
 
     #[test]

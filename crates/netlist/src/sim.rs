@@ -53,7 +53,12 @@ impl<'n> NetlistSimulator<'n> {
         let order = levelize(netlist)?;
         let mut values = vec![false; netlist.net_count()];
         values[NetId::CONST1.index()] = true;
-        Ok(Self { netlist, values, key: vec![false; netlist.key_width()], order })
+        Ok(Self {
+            netlist,
+            values,
+            key: vec![false; netlist.key_width()],
+            order,
+        })
     }
 
     /// Sets an input port value (masked to the port width).

@@ -102,7 +102,11 @@ impl Expr {
             | Expr::Index { .. } => Vec::new(),
             Expr::Unary { arg, .. } => vec![*arg],
             Expr::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 vec![*cond, *then_expr, *else_expr]
             }
         }
@@ -159,17 +163,24 @@ impl ExprArena {
 
     /// Returns the node at `id`.
     pub fn get(&self, id: ExprId) -> Result<&Expr> {
-        self.nodes.get(id.index()).ok_or(RtlError::InvalidExprId(id))
+        self.nodes
+            .get(id.index())
+            .ok_or(RtlError::InvalidExprId(id))
     }
 
     /// Returns the node at `id` mutably.
     pub fn get_mut(&mut self, id: ExprId) -> Result<&mut Expr> {
-        self.nodes.get_mut(id.index()).ok_or(RtlError::InvalidExprId(id))
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(RtlError::InvalidExprId(id))
     }
 
     /// Replaces the node at `id`, returning the previous node.
     pub fn replace(&mut self, id: ExprId, expr: Expr) -> Result<Expr> {
-        let slot = self.nodes.get_mut(id.index()).ok_or(RtlError::InvalidExprId(id))?;
+        let slot = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(RtlError::InvalidExprId(id))?;
         Ok(std::mem::replace(slot, expr))
     }
 
@@ -180,7 +191,10 @@ impl ExprArena {
 
     /// Iterates over `(id, node)` pairs in allocation order.
     pub fn iter(&self) -> impl Iterator<Item = (ExprId, &Expr)> {
-        self.nodes.iter().enumerate().map(|(i, e)| (ExprId(i as u32), e))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ExprId(i as u32), e))
     }
 }
 
@@ -424,7 +438,10 @@ impl Module {
 
     fn declare(&mut self, name: &str, width: u32) -> Result<()> {
         if width == 0 || width > 64 {
-            return Err(RtlError::WidthOutOfRange { signal: name.to_owned(), width });
+            return Err(RtlError::WidthOutOfRange {
+                signal: name.to_owned(),
+                width,
+            });
         }
         if name == KEY_PORT {
             return Err(RtlError::DuplicateSignal(name.to_owned()));
@@ -444,7 +461,11 @@ impl Module {
     pub fn add_input(&mut self, name: impl Into<String>, width: u32) -> Result<()> {
         let name = name.into();
         self.declare(&name, width)?;
-        self.ports.push(Port { name, dir: PortDir::Input, width });
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Input,
+            width,
+        });
         Ok(())
     }
 
@@ -456,7 +477,11 @@ impl Module {
     pub fn add_output(&mut self, name: impl Into<String>, width: u32) -> Result<()> {
         let name = name.into();
         self.declare(&name, width)?;
-        self.ports.push(Port { name, dir: PortDir::Output, width });
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Output,
+            width,
+        });
         Ok(())
     }
 
@@ -468,7 +493,11 @@ impl Module {
     pub fn add_wire(&mut self, name: impl Into<String>, width: u32) -> Result<()> {
         let name = name.into();
         self.declare(&name, width)?;
-        self.nets.push(Net { name, kind: NetKind::Wire, width });
+        self.nets.push(Net {
+            name,
+            kind: NetKind::Wire,
+            width,
+        });
         Ok(())
     }
 
@@ -480,7 +509,11 @@ impl Module {
     pub fn add_reg(&mut self, name: impl Into<String>, width: u32) -> Result<()> {
         let name = name.into();
         self.declare(&name, width)?;
-        self.nets.push(Net { name, kind: NetKind::Reg, width });
+        self.nets.push(Net {
+            name,
+            kind: NetKind::Reg,
+            width,
+        });
         Ok(())
     }
 
@@ -575,11 +608,34 @@ impl Module {
         let key_width_before = self.key_width;
         let key_bit = self.alloc_key_bit();
         let real = self.arena.alloc(Expr::Binary { op, lhs, rhs });
-        let dummy = self.arena.alloc(Expr::Binary { op: dummy_op, lhs, rhs });
+        let dummy = self.arena.alloc(Expr::Binary {
+            op: dummy_op,
+            lhs,
+            rhs,
+        });
         let cond = self.arena.alloc(Expr::KeyBit(key_bit));
-        let (then_expr, else_expr) = if key_value { (real, dummy) } else { (dummy, real) };
-        let saved = self.arena.replace(target, Expr::Ternary { cond, then_expr, else_expr })?;
-        Ok((key_bit, WrapUndo { target, saved, arena_len_before, key_width_before }))
+        let (then_expr, else_expr) = if key_value {
+            (real, dummy)
+        } else {
+            (dummy, real)
+        };
+        let saved = self.arena.replace(
+            target,
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            },
+        )?;
+        Ok((
+            key_bit,
+            WrapUndo {
+                target,
+                saved,
+                arena_len_before,
+                key_width_before,
+            },
+        ))
     }
 
     /// Reverts a [`Module::wrap_in_key_mux`].
@@ -613,7 +669,11 @@ impl Module {
             for s in stmts {
                 match s {
                     SeqStmt::NonBlocking { rhs, .. } => out.push(*rhs),
-                    SeqStmt::If { cond, then_body, else_body } => {
+                    SeqStmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
                         out.push(*cond);
                         stmt_roots(then_body, out);
                         stmt_roots(else_body, out);
@@ -658,7 +718,11 @@ mod tests {
         m.add_output("y", 8).unwrap();
         let a = m.alloc_expr(Expr::Ident("a".into()));
         let b = m.alloc_expr(Expr::Ident("b".into()));
-        let sum = m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: b });
+        let sum = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: a,
+            rhs: b,
+        });
         m.add_assign("y", sum).unwrap();
         (m, sum)
     }
@@ -667,23 +731,41 @@ mod tests {
     fn declarations_reject_duplicates_and_bad_widths() {
         let mut m = Module::new("t");
         m.add_input("a", 8).unwrap();
-        assert_eq!(m.add_wire("a", 8), Err(RtlError::DuplicateSignal("a".into())));
+        assert_eq!(
+            m.add_wire("a", 8),
+            Err(RtlError::DuplicateSignal("a".into()))
+        );
         assert_eq!(
             m.add_wire("w", 0),
-            Err(RtlError::WidthOutOfRange { signal: "w".into(), width: 0 })
+            Err(RtlError::WidthOutOfRange {
+                signal: "w".into(),
+                width: 0
+            })
         );
         assert_eq!(
             m.add_wire("w", 65),
-            Err(RtlError::WidthOutOfRange { signal: "w".into(), width: 65 })
+            Err(RtlError::WidthOutOfRange {
+                signal: "w".into(),
+                width: 65
+            })
         );
-        assert_eq!(m.add_reg(KEY_PORT, 4), Err(RtlError::DuplicateSignal(KEY_PORT.into())));
+        assert_eq!(
+            m.add_reg(KEY_PORT, 4),
+            Err(RtlError::DuplicateSignal(KEY_PORT.into()))
+        );
     }
 
     #[test]
     fn assign_requires_declared_and_undriven_lhs() {
         let (mut m, sum) = adder();
-        assert_eq!(m.add_assign("zz", sum), Err(RtlError::UnknownSignal("zz".into())));
-        assert_eq!(m.add_assign("y", sum), Err(RtlError::MultipleDrivers("y".into())));
+        assert_eq!(
+            m.add_assign("zz", sum),
+            Err(RtlError::UnknownSignal("zz".into()))
+        );
+        assert_eq!(
+            m.add_assign("y", sum),
+            Err(RtlError::MultipleDrivers("y".into()))
+        );
     }
 
     #[test]
@@ -692,7 +774,11 @@ mod tests {
         let (bit, _undo) = m.wrap_in_key_mux(sum, true, BinaryOp::Sub).unwrap();
         assert_eq!(bit, 0);
         match *m.expr(sum).unwrap() {
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 assert_eq!(*m.expr(cond).unwrap(), Expr::KeyBit(0));
                 assert_eq!(m.expr(then_expr).unwrap().binary_op(), Some(BinaryOp::Add));
                 assert_eq!(m.expr(else_expr).unwrap().binary_op(), Some(BinaryOp::Sub));
@@ -706,7 +792,11 @@ mod tests {
         let (mut m, sum) = adder();
         m.wrap_in_key_mux(sum, false, BinaryOp::Sub).unwrap();
         match *m.expr(sum).unwrap() {
-            Expr::Ternary { then_expr, else_expr, .. } => {
+            Expr::Ternary {
+                then_expr,
+                else_expr,
+                ..
+            } => {
                 assert_eq!(m.expr(then_expr).unwrap().binary_op(), Some(BinaryOp::Sub));
                 assert_eq!(m.expr(else_expr).unwrap().binary_op(), Some(BinaryOp::Add));
             }
@@ -728,7 +818,10 @@ mod tests {
     fn undo_out_of_order_is_rejected() {
         let (mut m, sum) = adder();
         let (_, undo) = m.wrap_in_key_mux(sum, true, BinaryOp::Sub).unwrap();
-        m.alloc_expr(Expr::Const { value: 0, width: None });
+        m.alloc_expr(Expr::Const {
+            value: 0,
+            width: None,
+        });
         assert!(matches!(m.undo_wrap(undo), Err(RtlError::UndoOrder { .. })));
     }
 
@@ -746,7 +839,11 @@ mod tests {
         m.wrap_in_key_mux(sum, true, BinaryOp::Sub).unwrap();
         // Relock both branches separately, as ASSURE does (Fig 3b).
         let (real, dummy) = match *m.expr(sum).unwrap() {
-            Expr::Ternary { then_expr, else_expr, .. } => (then_expr, else_expr),
+            Expr::Ternary {
+                then_expr,
+                else_expr,
+                ..
+            } => (then_expr, else_expr),
             _ => unreachable!(),
         };
         m.wrap_in_key_mux(real, false, BinaryOp::Sub).unwrap();
@@ -767,7 +864,10 @@ mod tests {
             clock: "clk".into(),
             body: vec![SeqStmt::If {
                 cond: c,
-                then_body: vec![SeqStmt::NonBlocking { lhs: "r".into(), rhs: v }],
+                then_body: vec![SeqStmt::NonBlocking {
+                    lhs: "r".into(),
+                    rhs: v,
+                }],
                 else_body: vec![],
             }],
         })
@@ -779,10 +879,30 @@ mod tests {
     #[test]
     fn arena_replace_and_truncate() {
         let mut a = ExprArena::new();
-        let id = a.alloc(Expr::Const { value: 1, width: None });
-        let old = a.replace(id, Expr::Const { value: 2, width: None }).unwrap();
-        assert_eq!(old, Expr::Const { value: 1, width: None });
-        a.alloc(Expr::Const { value: 3, width: None });
+        let id = a.alloc(Expr::Const {
+            value: 1,
+            width: None,
+        });
+        let old = a
+            .replace(
+                id,
+                Expr::Const {
+                    value: 2,
+                    width: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            old,
+            Expr::Const {
+                value: 1,
+                width: None
+            }
+        );
+        a.alloc(Expr::Const {
+            value: 3,
+            width: None,
+        });
         a.truncate(1);
         assert_eq!(a.len(), 1);
         assert!(a.get(ExprId(1)).is_err());

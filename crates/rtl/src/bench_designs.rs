@@ -50,7 +50,14 @@ pub fn paper_benchmarks() -> Vec<DesignSpec> {
     vec![
         DesignSpec {
             name: "DES3",
-            op_mix: vec![(Xor, 120), (And, 56), (Or, 20), (Shl, 30), (Shr, 10), (Add, 25)],
+            op_mix: vec![
+                (Xor, 120),
+                (And, 56),
+                (Or, 20),
+                (Shl, 30),
+                (Shr, 10),
+                (Add, 25),
+            ],
             control: false,
             description: "triple-DES datapath: xor/permute/rotate heavy",
         },
@@ -86,7 +93,14 @@ pub fn paper_benchmarks() -> Vec<DesignSpec> {
         },
         DesignSpec {
             name: "RSA",
-            op_mix: vec![(Mul, 26), (Mod, 14), (Add, 34), (Sub, 10), (Shr, 10), (Lt, 6)],
+            op_mix: vec![
+                (Mul, 26),
+                (Mod, 14),
+                (Add, 34),
+                (Sub, 10),
+                (Shr, 10),
+                (Lt, 6),
+            ],
             control: false,
             description: "modular exponentiation datapath",
         },
@@ -137,7 +151,9 @@ pub fn paper_benchmarks() -> Vec<DesignSpec> {
 
 /// Looks up a paper benchmark spec by (case-insensitive) name.
 pub fn benchmark_by_name(name: &str) -> Option<DesignSpec> {
-    paper_benchmarks().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    paper_benchmarks()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 /// Generates the synthetic RTL module for `spec`, deterministically from
@@ -203,11 +219,17 @@ pub fn generate_with_width(spec: &DesignSpec, seed: u64, width: u32) -> Module {
             // Keep shift amounts and exponents small so values stay lively.
             BinaryOp::Shl | BinaryOp::Shr => {
                 let amount = rng.gen_range(1..8);
-                m.alloc_expr(Expr::Const { value: amount, width: Some(5) })
+                m.alloc_expr(Expr::Const {
+                    value: amount,
+                    width: Some(5),
+                })
             }
             BinaryOp::Pow => {
                 let exp = rng.gen_range(1..4);
-                m.alloc_expr(Expr::Const { value: exp, width: Some(2) })
+                m.alloc_expr(Expr::Const {
+                    value: exp,
+                    width: Some(2),
+                })
             }
             _ => pick_operand(&mut m, &signals, &mut rng),
         };
@@ -265,15 +287,30 @@ fn attach_control_process(m: &mut Module, signals: &[String], rng: &mut StdRng) 
     // constants/wires around. No binary operations are added so the
     // spec'd operation mix stays exact (the census drives the ODT).
     let observed = signals[rng.gen_range(0..signals.len())].clone();
-    let cond = m.alloc_expr(Expr::Index { base: observed.clone(), bit: rng.gen_range(0..8) });
-    let next = m.alloc_expr(Expr::Index { base: observed, bit: rng.gen_range(8..16) });
-    let reset = m.alloc_expr(Expr::Const { value: 0, width: Some(4) });
+    let cond = m.alloc_expr(Expr::Index {
+        base: observed.clone(),
+        bit: rng.gen_range(0..8),
+    });
+    let next = m.alloc_expr(Expr::Index {
+        base: observed,
+        bit: rng.gen_range(8..16),
+    });
+    let reset = m.alloc_expr(Expr::Const {
+        value: 0,
+        width: Some(4),
+    });
     m.add_always(AlwaysBlock {
         clock: "clk".into(),
         body: vec![SeqStmt::If {
             cond,
-            then_body: vec![SeqStmt::NonBlocking { lhs: "state".into(), rhs: next }],
-            else_body: vec![SeqStmt::NonBlocking { lhs: "state".into(), rhs: reset }],
+            then_body: vec![SeqStmt::NonBlocking {
+                lhs: "state".into(),
+                rhs: next,
+            }],
+            else_body: vec![SeqStmt::NonBlocking {
+                lhs: "state".into(),
+                rhs: reset,
+            }],
         }],
     })
     .expect("control process");

@@ -44,7 +44,12 @@ pub fn emit_verilog(module: &Module) -> Result<String> {
         header_ports.push(KEY_PORT.to_owned());
     }
     header_ports.extend(module.ports().iter().map(|p| p.name.clone()));
-    let _ = writeln!(out, "module {}({});", module.name(), header_ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {}({});",
+        module.name(),
+        header_ports.join(", ")
+    );
     if module.key_width() > 0 {
         let _ = writeln!(out, "  input [{}:0] {};", module.key_width() - 1, KEY_PORT);
     }
@@ -106,7 +111,11 @@ fn emit_stmt(module: &Module, stmt: &SeqStmt, depth: usize, out: &mut String) ->
             let rhs = emit_expr(module, *rhs, 0)?;
             let _ = writeln!(out, "{pad}{lhs} <= {rhs};");
         }
-        SeqStmt::If { cond, then_body, else_body } => {
+        SeqStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let c = emit_expr(module, *cond, 0)?;
             let _ = writeln!(out, "{pad}if ({c}) begin");
             for s in then_body {
@@ -164,7 +173,11 @@ pub fn emit_expr(module: &Module, id: ExprId, parent_prec: u8) -> Result<String>
                 body
             }
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             // `?:` is the loosest construct; parenthesize except at
             // statement level.
             let c = emit_expr(module, *cond, 1)?;
@@ -204,7 +217,10 @@ mod tests {
     fn emit_rhs(m: &Module) -> String {
         let text = emit_verilog(m).unwrap();
         let line = text.lines().find(|l| l.contains("assign y")).unwrap();
-        line.trim().trim_start_matches("assign y = ").trim_end_matches(';').to_owned()
+        line.trim()
+            .trim_start_matches("assign y = ")
+            .trim_end_matches(';')
+            .to_owned()
     }
 
     #[test]
@@ -213,8 +229,16 @@ mod tests {
             let a = m.alloc_expr(Expr::Ident("a".into()));
             let b = m.alloc_expr(Expr::Ident("b".into()));
             let c = m.alloc_expr(Expr::Ident("c".into()));
-            let mul = m.alloc_expr(Expr::Binary { op: BinaryOp::Mul, lhs: b, rhs: c });
-            m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: mul })
+            let mul = m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Mul,
+                lhs: b,
+                rhs: c,
+            });
+            m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: a,
+                rhs: mul,
+            })
         });
         assert_eq!(emit_rhs(&m), "a + b * c");
     }
@@ -225,8 +249,16 @@ mod tests {
             let a = m.alloc_expr(Expr::Ident("a".into()));
             let b = m.alloc_expr(Expr::Ident("b".into()));
             let c = m.alloc_expr(Expr::Ident("c".into()));
-            let add = m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: b });
-            m.alloc_expr(Expr::Binary { op: BinaryOp::Mul, lhs: add, rhs: c })
+            let add = m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: a,
+                rhs: b,
+            });
+            m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Mul,
+                lhs: add,
+                rhs: c,
+            })
         });
         assert_eq!(emit_rhs(&m), "(a + b) * c");
     }
@@ -238,8 +270,16 @@ mod tests {
             let a = m.alloc_expr(Expr::Ident("a".into()));
             let b = m.alloc_expr(Expr::Ident("b".into()));
             let c = m.alloc_expr(Expr::Ident("c".into()));
-            let inner = m.alloc_expr(Expr::Binary { op: BinaryOp::Sub, lhs: b, rhs: c });
-            m.alloc_expr(Expr::Binary { op: BinaryOp::Sub, lhs: a, rhs: inner })
+            let inner = m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Sub,
+                lhs: b,
+                rhs: c,
+            });
+            m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Sub,
+                lhs: a,
+                rhs: inner,
+            })
         });
         assert_eq!(emit_rhs(&m), "a - (b - c)");
     }
@@ -249,7 +289,11 @@ mod tests {
         let mut m = module_with(|m| {
             let a = m.alloc_expr(Expr::Ident("a".into()));
             let b = m.alloc_expr(Expr::Ident("b".into()));
-            m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: b })
+            m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: a,
+                rhs: b,
+            })
         });
         let root = m.assigns()[0].rhs;
         m.wrap_in_key_mux(root, true, BinaryOp::Sub).unwrap();
@@ -267,7 +311,12 @@ mod tests {
 
     #[test]
     fn sized_constants() {
-        let m = module_with(|m| m.alloc_expr(Expr::Const { value: 13, width: Some(4) }));
+        let m = module_with(|m| {
+            m.alloc_expr(Expr::Const {
+                value: 13,
+                width: Some(4),
+            })
+        });
         assert_eq!(emit_rhs(&m), "4'd13");
     }
 
@@ -283,7 +332,10 @@ mod tests {
             clock: "clk".into(),
             body: vec![SeqStmt::If {
                 cond,
-                then_body: vec![SeqStmt::NonBlocking { lhs: "q".into(), rhs }],
+                then_body: vec![SeqStmt::NonBlocking {
+                    lhs: "q".into(),
+                    rhs,
+                }],
                 else_body: vec![],
             }],
         })
@@ -298,9 +350,16 @@ mod tests {
     fn unary_emission() {
         let m = module_with(|m| {
             let a = m.alloc_expr(Expr::Ident("a".into()));
-            let n = m.alloc_expr(Expr::Unary { op: crate::op::UnaryOp::Not, arg: a });
+            let n = m.alloc_expr(Expr::Unary {
+                op: crate::op::UnaryOp::Not,
+                arg: a,
+            });
             let b = m.alloc_expr(Expr::Ident("b".into()));
-            m.alloc_expr(Expr::Binary { op: BinaryOp::Xor, lhs: n, rhs: b })
+            m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Xor,
+                lhs: n,
+                rhs: b,
+            })
         });
         assert_eq!(emit_rhs(&m), "~a ^ b");
     }

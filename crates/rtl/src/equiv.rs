@@ -27,7 +27,11 @@ pub struct EquivConfig {
 
 impl Default for EquivConfig {
     fn default() -> Self {
-        Self { patterns: 32, ticks: 2, seed: 0 }
+        Self {
+            patterns: 32,
+            ticks: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -118,7 +122,9 @@ pub fn check_equiv(
             }
         }
     }
-    Ok(EquivResult::Equivalent { patterns: cfg.patterns })
+    Ok(EquivResult::Equivalent {
+        patterns: cfg.patterns,
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +146,11 @@ mod tests {
         let original = generate(&benchmark_by_name("FIR").unwrap(), 2);
         let mut locked = original.clone();
         let site = crate::visit::binary_ops(&locked)[5];
-        let dummy = if site.op == BinaryOp::Mul { BinaryOp::Div } else { BinaryOp::Sub };
+        let dummy = if site.op == BinaryOp::Mul {
+            BinaryOp::Div
+        } else {
+            BinaryOp::Sub
+        };
         let (bit, _) = locked.wrap_in_key_mux(site.id, true, dummy).unwrap();
         assert_eq!(bit, 0);
         let r = check_equiv(&original, &locked, &[], &[true], &EquivConfig::default()).unwrap();
@@ -152,11 +162,20 @@ mod tests {
         let original = generate(&benchmark_by_name("FIR").unwrap(), 2);
         let mut locked = original.clone();
         let site = crate::visit::binary_ops(&locked)[5];
-        let dummy = if site.op == BinaryOp::Mul { BinaryOp::Div } else { BinaryOp::Sub };
+        let dummy = if site.op == BinaryOp::Mul {
+            BinaryOp::Div
+        } else {
+            BinaryOp::Sub
+        };
         locked.wrap_in_key_mux(site.id, true, dummy).unwrap();
         let r = check_equiv(&original, &locked, &[], &[false], &EquivConfig::default()).unwrap();
         match r {
-            EquivResult::Mismatch { output, left, right, .. } => {
+            EquivResult::Mismatch {
+                output,
+                left,
+                right,
+                ..
+            } => {
                 assert_ne!(left, right);
                 assert!(!output.is_empty());
             }
@@ -173,24 +192,45 @@ mod tests {
             m.add_output("y", 32).unwrap();
             let a = m.alloc_expr(Expr::Ident("a".into()));
             let root = if mul {
-                let two = m.alloc_expr(Expr::Const { value: 2, width: None });
-                m.alloc_expr(Expr::Binary { op: BinaryOp::Mul, lhs: a, rhs: two })
+                let two = m.alloc_expr(Expr::Const {
+                    value: 2,
+                    width: None,
+                });
+                m.alloc_expr(Expr::Binary {
+                    op: BinaryOp::Mul,
+                    lhs: a,
+                    rhs: two,
+                })
             } else {
                 let a2 = m.alloc_expr(Expr::Ident("a".into()));
-                m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: a2 })
+                m.alloc_expr(Expr::Binary {
+                    op: BinaryOp::Add,
+                    lhs: a,
+                    rhs: a2,
+                })
             };
             m.add_assign("y", root).unwrap();
             m
         };
-        let r = check_equiv(&build(true), &build(false), &[], &[], &EquivConfig::default())
-            .unwrap();
+        let r = check_equiv(
+            &build(true),
+            &build(false),
+            &[],
+            &[],
+            &EquivConfig::default(),
+        )
+        .unwrap();
         assert!(r.is_equivalent());
     }
 
     #[test]
     fn sequential_designs_compared_across_ticks() {
         let m = generate(&benchmark_by_name("SASC").unwrap(), 5);
-        let cfg = EquivConfig { patterns: 8, ticks: 3, seed: 1 };
+        let cfg = EquivConfig {
+            patterns: 8,
+            ticks: 3,
+            seed: 1,
+        };
         let r = check_equiv(&m, &m.clone(), &[], &[], &cfg).unwrap();
         assert!(r.is_equivalent());
     }

@@ -69,7 +69,10 @@ impl fmt::Display for RtlError {
             RtlError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
             RtlError::DuplicateSignal(name) => write!(f, "duplicate signal `{name}`"),
             RtlError::WidthOutOfRange { signal, width } => {
-                write!(f, "width {width} of `{signal}` outside supported range 1..=64")
+                write!(
+                    f,
+                    "width {width} of `{signal}` outside supported range 1..=64"
+                )
             }
             RtlError::CombinationalCycle(name) => {
                 write!(f, "combinational cycle through `{name}`")

@@ -13,9 +13,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use crate::ast::{
-    AlwaysBlock, Expr, ExprId, Instance, Module, NetKind, Port, PortDir, SeqStmt,
-};
+use crate::ast::{AlwaysBlock, Expr, ExprId, Instance, Module, NetKind, Port, PortDir, SeqStmt};
 use crate::error::{Result, RtlError};
 
 /// A set of modules forming a hierarchy.
@@ -153,7 +151,10 @@ impl Design {
         }
         for blk in parent.always_blocks() {
             let body = copy_stmts(parent, &blk.body, &mut out, &mut map, None)?;
-            out.add_always(AlwaysBlock { clock: blk.clock.clone(), body })?;
+            out.add_always(AlwaysBlock {
+                clock: blk.clock.clone(),
+                body,
+            })?;
         }
         if parent.key_width() > 0 {
             return Err(RtlError::Hierarchy(format!(
@@ -220,7 +221,10 @@ impl Design {
                     // (unconnected inputs default to 0).
                     let rhs = match connection_of(&p.name) {
                         Some(signal) => out.alloc_expr(Expr::Ident(signal.to_owned())),
-                        None => out.alloc_expr(Expr::Const { value: 0, width: Some(p.width) }),
+                        None => out.alloc_expr(Expr::Const {
+                            value: 0,
+                            width: Some(p.width),
+                        }),
                     };
                     out.add_assign(rename(&p.name), rhs)?;
                 }
@@ -252,7 +256,10 @@ impl Design {
         }
         for blk in child.always_blocks() {
             let body = copy_stmts(child, &blk.body, out, &mut map, Some(&prefix))?;
-            out.add_always(AlwaysBlock { clock: rename(&blk.clock), body })?;
+            out.add_always(AlwaysBlock {
+                clock: rename(&blk.clock),
+                body,
+            })?;
         }
         // Nested instances carry the prefix on their connections; they are
         // inlined on the next fixpoint pass.
@@ -321,11 +328,19 @@ fn copy_expr(
             let rhs = copy_expr(src, rhs, dst, map, prefix)?;
             dst.alloc_expr(Expr::Binary { op, lhs, rhs })
         }
-        Expr::Ternary { cond, then_expr, else_expr } => {
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             let cond = copy_expr(src, cond, dst, map, prefix)?;
             let then_expr = copy_expr(src, then_expr, dst, map, prefix)?;
             let else_expr = copy_expr(src, else_expr, dst, map, prefix)?;
-            dst.alloc_expr(Expr::Ternary { cond, then_expr, else_expr })
+            dst.alloc_expr(Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            })
         }
     };
     map.insert(id, new);
@@ -350,7 +365,11 @@ fn copy_stmts(
                 lhs: rename(lhs),
                 rhs: copy_expr(src, *rhs, dst, map, prefix)?,
             },
-            SeqStmt::If { cond, then_body, else_body } => SeqStmt::If {
+            SeqStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => SeqStmt::If {
                 cond: copy_expr(src, *cond, dst, map, prefix)?,
                 then_body: copy_stmts(src, then_body, dst, map, prefix)?,
                 else_body: copy_stmts(src, else_body, dst, map, prefix)?,
@@ -404,7 +423,11 @@ endmodule";
     fn flattened_ops_are_lockable() {
         let design = parse_design(TWO_LEVEL).unwrap();
         let flat = design.flatten("top").unwrap();
-        assert_eq!(crate::visit::binary_ops(&flat).len(), 2, "one add per instance");
+        assert_eq!(
+            crate::visit::binary_ops(&flat).len(),
+            2,
+            "one add per instance"
+        );
     }
 
     #[test]
@@ -449,7 +472,10 @@ module top(x, y);
   ghost g0 (.a(x), .b(y));
 endmodule";
         let design = parse_design(src).unwrap();
-        assert_eq!(design.flatten("top").unwrap_err(), RtlError::UnknownSignal("ghost".into()));
+        assert_eq!(
+            design.flatten("top").unwrap_err(),
+            RtlError::UnknownSignal("ghost".into())
+        );
     }
 
     #[test]
@@ -466,7 +492,10 @@ module top(x, z);
   leaf u0 (.a(x), .nope(z));
 endmodule";
         let design = parse_design(src).unwrap();
-        assert!(matches!(design.flatten("top").unwrap_err(), RtlError::Hierarchy(_)));
+        assert!(matches!(
+            design.flatten("top").unwrap_err(),
+            RtlError::Hierarchy(_)
+        ));
     }
 
     #[test]
@@ -527,12 +556,18 @@ endmodule";
         // Lock the leaf in place.
         let mut leaf = design.module("leaf").unwrap().clone();
         let site = crate::visit::binary_ops(&leaf)[0];
-        leaf.wrap_in_key_mux(site.id, true, crate::op::BinaryOp::Sub).unwrap();
+        leaf.wrap_in_key_mux(site.id, true, crate::op::BinaryOp::Sub)
+            .unwrap();
         let mut rebuilt = Design::new();
         rebuilt.add_module(leaf).unwrap();
-        rebuilt.add_module(design.module("top").unwrap().clone()).unwrap();
+        rebuilt
+            .add_module(design.module("top").unwrap().clone())
+            .unwrap();
         design = rebuilt;
-        assert!(matches!(design.flatten("top").unwrap_err(), RtlError::Hierarchy(_)));
+        assert!(matches!(
+            design.flatten("top").unwrap_err(),
+            RtlError::Hierarchy(_)
+        ));
     }
 
     #[test]

@@ -78,11 +78,21 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Self { chars: src.chars().collect(), pos: 0, line: 1, col: 1, src }
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> RtlError {
-        RtlError::Parse { line: self.line, col: self.col, msg: msg.into() }
+        RtlError::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -113,7 +123,11 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let (line, col) = (self.line, self.col);
             let Some(c) = self.peek() else {
-                out.push(Token { tok: Tok::Eof, line, col });
+                out.push(Token {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
                 return Ok(out);
             };
             let tok = if c.is_ascii_alphabetic() || c == '_' {
@@ -222,8 +236,15 @@ impl<'a> Lexer<'a> {
             }
             let value = u64::from_str_radix(&body, radix)
                 .map_err(|_| self.err(format!("bad base-{radix} literal `{body}`")))?;
-            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
-            Ok(Tok::Number { value: value & mask, width: Some(width) })
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            Ok(Tok::Number {
+                value: value & mask,
+                width: Some(width),
+            })
         } else {
             let value: u64 = digits
                 .parse()
@@ -297,8 +318,14 @@ mod tests {
             toks("foo 42 8'hff"),
             vec![
                 Tok::Ident("foo".into()),
-                Tok::Number { value: 42, width: None },
-                Tok::Number { value: 255, width: Some(8) },
+                Tok::Number {
+                    value: 42,
+                    width: None
+                },
+                Tok::Number {
+                    value: 255,
+                    width: Some(8)
+                },
                 Tok::Eof
             ]
         );
@@ -306,9 +333,27 @@ mod tests {
 
     #[test]
     fn sized_literals_mask_to_width() {
-        assert_eq!(toks("4'hff")[0], Tok::Number { value: 15, width: Some(4) });
-        assert_eq!(toks("4'b1101")[0], Tok::Number { value: 13, width: Some(4) });
-        assert_eq!(toks("6'o17")[0], Tok::Number { value: 15, width: Some(6) });
+        assert_eq!(
+            toks("4'hff")[0],
+            Tok::Number {
+                value: 15,
+                width: Some(4)
+            }
+        );
+        assert_eq!(
+            toks("4'b1101")[0],
+            Tok::Number {
+                value: 13,
+                width: Some(4)
+            }
+        );
+        assert_eq!(
+            toks("6'o17")[0],
+            Tok::Number {
+                value: 15,
+                width: Some(6)
+            }
+        );
     }
 
     #[test]
@@ -364,7 +409,19 @@ mod tests {
 
     #[test]
     fn underscores_in_literals() {
-        assert_eq!(toks("1_000")[0], Tok::Number { value: 1000, width: None });
-        assert_eq!(toks("8'b1010_1010")[0], Tok::Number { value: 0xAA, width: Some(8) });
+        assert_eq!(
+            toks("1_000")[0],
+            Tok::Number {
+                value: 1000,
+                width: None
+            }
+        );
+        assert_eq!(
+            toks("8'b1010_1010")[0],
+            Tok::Number {
+                value: 0xAA,
+                width: Some(8)
+            }
+        );
     }
 }

@@ -206,7 +206,9 @@ impl FromStr for BinaryOp {
             .iter()
             .copied()
             .find(|op| op.token() == s || (*op == BinaryOp::Xnor && s == "^~"))
-            .ok_or_else(|| ParseOpError { token: s.to_owned() })
+            .ok_or_else(|| ParseOpError {
+                token: s.to_owned(),
+            })
     }
 }
 

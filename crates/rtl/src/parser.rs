@@ -11,8 +11,8 @@
 //! [`Expr::KeyBit`]/[`Expr::KeySlice`] nodes.
 
 use crate::ast::{AlwaysBlock, Connection, Expr, ExprId, Instance, Module, SeqStmt, KEY_PORT};
-use crate::hier::Design;
 use crate::error::{Result, RtlError};
+use crate::hier::Design;
 use crate::lexer::{tokenize, Tok, Token};
 use crate::op::{BinaryOp, UnaryOp};
 
@@ -89,7 +89,11 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> RtlError {
         let t = self.cur();
-        RtlError::Parse { line: t.line, col: t.col, msg: msg.into() }
+        RtlError::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        }
     }
 
     fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
@@ -134,7 +138,9 @@ impl Parser {
         if self.at_eof() {
             Ok(())
         } else {
-            Err(self.err("trailing content after `endmodule` (use parse_design for multi-module sources)"))
+            Err(self.err(
+                "trailing content after `endmodule` (use parse_design for multi-module sources)",
+            ))
         }
     }
 
@@ -210,7 +216,11 @@ impl Parser {
         }
         self.expect(&Tok::RParen, "`)`")?;
         self.expect(&Tok::Semi, "`;`")?;
-        module.add_instance(Instance { module_name, instance_name, connections })
+        module.add_instance(Instance {
+            module_name,
+            instance_name,
+            connections,
+        })
     }
 
     fn parse_range(&mut self) -> Result<Option<u32>> {
@@ -223,7 +233,9 @@ impl Parser {
         let lo = self.expect_number()?;
         self.expect(&Tok::RBracket, "`]`")?;
         if lo != 0 {
-            return Err(self.err(format!("only [n:0] ranges are supported, found [{hi}:{lo}]")));
+            return Err(self.err(format!(
+                "only [n:0] ranges are supported, found [{hi}:{lo}]"
+            )));
         }
         Ok(Some(hi as u32 + 1))
     }
@@ -307,7 +319,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            Ok(SeqStmt::If { cond, then_body, else_body })
+            Ok(SeqStmt::If {
+                cond,
+                then_body,
+                else_body,
+            })
         } else {
             let lhs = self.expect_ident("register name")?;
             self.expect(&Tok::LeOrNonBlocking, "`<=`")?;
@@ -324,7 +340,11 @@ impl Parser {
             let then_expr = self.parse_expr(module)?;
             self.expect(&Tok::Colon, "`:`")?;
             let else_expr = self.parse_expr(module)?;
-            Ok(module.alloc_expr(Expr::Ternary { cond, then_expr, else_expr }))
+            Ok(module.alloc_expr(Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            }))
         } else {
             Ok(cond)
         }
@@ -405,10 +425,14 @@ impl Parser {
                         }
                     } else {
                         match lo {
-                            None => Ok(module.alloc_expr(Expr::Index { base: name, bit: hi as u32 })),
-                            Some(_) => Err(self.err(
-                                "ranged bit-selects are only supported on the key port",
-                            )),
+                            None => Ok(module.alloc_expr(Expr::Index {
+                                base: name,
+                                bit: hi as u32,
+                            })),
+                            Some(_) => {
+                                Err(self
+                                    .err("ranged bit-selects are only supported on the key port"))
+                            }
                         }
                     }
                 } else {
@@ -485,7 +509,11 @@ mod tests {
         let m = parse_verilog(src).unwrap();
         assert_eq!(m.always_blocks().len(), 1);
         match &m.always_blocks()[0].body[0] {
-            SeqStmt::If { then_body, else_body, .. } => {
+            SeqStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
             }
@@ -511,7 +539,11 @@ mod tests {
         .unwrap();
         let root = m.assigns()[0].rhs;
         match *m.expr(root).unwrap() {
-            Expr::Binary { op: BinaryOp::Pow, rhs, .. } => {
+            Expr::Binary {
+                op: BinaryOp::Pow,
+                rhs,
+                ..
+            } => {
                 assert_eq!(m.expr(rhs).unwrap().binary_op(), Some(BinaryOp::Pow));
             }
             ref other => panic!("unexpected root {other:?}"),
@@ -551,6 +583,12 @@ mod tests {
         )
         .unwrap();
         let root = m.assigns()[0].rhs;
-        assert!(matches!(*m.expr(root).unwrap(), Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            *m.expr(root).unwrap(),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 }

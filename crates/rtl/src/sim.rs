@@ -77,7 +77,12 @@ impl<'m> Simulator<'m> {
         for n in module.nets() {
             values.insert(n.name.clone(), 0);
         }
-        Ok(Self { module, values, key: vec![false; module.key_width() as usize], order })
+        Ok(Self {
+            module,
+            values,
+            key: vec![false; module.key_width() as usize],
+            order,
+        })
     }
 
     /// Sets an input port value (masked to the port width).
@@ -92,7 +97,8 @@ impl<'m> Simulator<'m> {
             .iter()
             .find(|p| p.name == name && p.dir == PortDir::Input)
             .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
-        self.values.insert(name.to_owned(), value & mask(port.width));
+        self.values
+            .insert(name.to_owned(), value & mask(port.width));
         Ok(())
     }
 
@@ -206,7 +212,11 @@ impl<'m> Simulator<'m> {
                     let v = self.eval(*rhs)?;
                     updates.push((lhs.clone(), v));
                 }
-                SeqStmt::If { cond, then_body, else_body } => {
+                SeqStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     if self.eval(*cond)? != 0 {
                         self.exec_stmts(then_body, updates)?;
                     } else {
@@ -257,7 +267,11 @@ impl<'m> Simulator<'m> {
                 let b = self.eval(*rhs)?;
                 eval_binary(*op, a, b)
             }
-            Expr::Ternary { cond, then_expr, else_expr } => {
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 if self.eval(*cond)? != 0 {
                     self.eval(*then_expr)?
                 } else {
@@ -357,7 +371,9 @@ fn levelize(module: &Module) -> Result<Vec<usize>> {
                 continue;
             }
             if state[i] == 1 {
-                return Err(RtlError::CombinationalCycle(module.assigns()[i].lhs.clone()));
+                return Err(RtlError::CombinationalCycle(
+                    module.assigns()[i].lhs.clone(),
+                ));
             }
             state[i] = 1;
             stack.push((i, true));
@@ -408,7 +424,10 @@ mod tests {
         let m = sim_src(
             "module t(y);\n output [7:0] y;\n wire [7:0] w;\n assign w = y + 1;\n assign y = w + 1;\nendmodule",
         );
-        assert!(matches!(Simulator::new(&m), Err(RtlError::CombinationalCycle(_))));
+        assert!(matches!(
+            Simulator::new(&m),
+            Err(RtlError::CombinationalCycle(_))
+        ));
     }
 
     #[test]
@@ -502,10 +521,12 @@ mod tests {
 
     #[test]
     fn short_key_is_rejected() {
-        let m = sim_src(
-            "module t(K, y);\n input [3:0] K;\n output y;\n assign y = K[0];\nendmodule",
-        );
+        let m =
+            sim_src("module t(K, y);\n input [3:0] K;\n output y;\n assign y = K[0];\nendmodule");
         let mut s = Simulator::new(&m).unwrap();
-        assert!(matches!(s.set_key(&[true]), Err(RtlError::KeyTooShort { .. })));
+        assert!(matches!(
+            s.set_key(&[true]),
+            Err(RtlError::KeyTooShort { .. })
+        ));
     }
 }

@@ -47,8 +47,7 @@ impl DesignStats {
     pub fn of(module: &Module) -> Self {
         let mut expr_nodes = 0usize;
         visit::walk_exprs(module, |_, _| expr_nodes += 1);
-        let ops: BTreeMap<BinaryOp, usize> =
-            visit::op_census(module).into_iter().collect();
+        let ops: BTreeMap<BinaryOp, usize> = visit::op_census(module).into_iter().collect();
         let max_depth = module
             .roots()
             .into_iter()
@@ -57,10 +56,26 @@ impl DesignStats {
             .unwrap_or(0);
         Self {
             name: module.name().to_owned(),
-            inputs: module.ports().iter().filter(|p| p.dir == PortDir::Input).count(),
-            outputs: module.ports().iter().filter(|p| p.dir == PortDir::Output).count(),
-            wires: module.nets().iter().filter(|n| n.kind == NetKind::Wire).count(),
-            regs: module.nets().iter().filter(|n| n.kind == NetKind::Reg).count(),
+            inputs: module
+                .ports()
+                .iter()
+                .filter(|p| p.dir == PortDir::Input)
+                .count(),
+            outputs: module
+                .ports()
+                .iter()
+                .filter(|p| p.dir == PortDir::Output)
+                .count(),
+            wires: module
+                .nets()
+                .iter()
+                .filter(|n| n.kind == NetKind::Wire)
+                .count(),
+            regs: module
+                .nets()
+                .iter()
+                .filter(|n| n.kind == NetKind::Reg)
+                .count(),
             assigns: module.assigns().len(),
             processes: module.always_blocks().len(),
             expr_nodes,
@@ -105,7 +120,12 @@ impl fmt::Display for DesignStats {
         writeln!(
             f,
             "{}: {} in / {} out, {} wires, {} regs, {} assigns, {} procs",
-            self.name, self.inputs, self.outputs, self.wires, self.regs, self.assigns,
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.wires,
+            self.regs,
+            self.assigns,
             self.processes
         )?;
         writeln!(
@@ -117,8 +137,7 @@ impl fmt::Display for DesignStats {
             self.key_muxes,
             self.key_bits
         )?;
-        let ops: Vec<String> =
-            self.ops.iter().map(|(op, n)| format!("{op}:{n}")).collect();
+        let ops: Vec<String> = self.ops.iter().map(|(op, n)| format!("{op}:{n}")).collect();
         write!(f, "  op mix: {}", ops.join(" "))
     }
 }
@@ -186,13 +205,15 @@ mod tests {
         let m0 = generate(&spec, 2);
         let before = DesignStats::of(&m0);
         let mut m1 = m0.clone();
-        let mut i = 0;
         // Lock ten operations by hand via the wrap primitive.
         let sites = crate::visit::binary_ops(&m1);
-        for site in sites.into_iter().take(10) {
-            let dummy = if site.op == BinaryOp::Mul { BinaryOp::Div } else { BinaryOp::Sub };
+        for (i, site) in sites.into_iter().take(10).enumerate() {
+            let dummy = if site.op == BinaryOp::Mul {
+                BinaryOp::Div
+            } else {
+                BinaryOp::Sub
+            };
             m1.wrap_in_key_mux(site.id, i % 2 == 0, dummy).unwrap();
-            i += 1;
         }
         let after = DesignStats::of(&m1);
         let overhead = after.overhead_vs(&before);

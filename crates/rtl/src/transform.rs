@@ -55,33 +55,46 @@ pub fn constant_fold(module: &mut Module) -> Result<FoldReport> {
                                 UnaryOp::Neg => operand.wrapping_neg(),
                                 UnaryOp::LNot => (operand == 0) as u64,
                             };
-                            Some(Expr::Const { value: v, width: None })
+                            Some(Expr::Const {
+                                value: v,
+                                width: None,
+                            })
                         }
                         _ => None,
                     },
                     Expr::Binary { op, lhs, rhs } => {
                         match (module.expr(*lhs)?, module.expr(*rhs)?) {
                             (
-                                Expr::Const { value: a, width: wa },
-                                Expr::Const { value: b, width: wb },
+                                Expr::Const {
+                                    value: a,
+                                    width: wa,
+                                },
+                                Expr::Const {
+                                    value: b,
+                                    width: wb,
+                                },
                             ) => {
-                                let v =
-                                    eval_binary(*op, mask_opt(*a, *wa), mask_opt(*b, *wb));
-                                Some(Expr::Const { value: v, width: None })
+                                let v = eval_binary(*op, mask_opt(*a, *wa), mask_opt(*b, *wb));
+                                Some(Expr::Const {
+                                    value: v,
+                                    width: None,
+                                })
                             }
                             _ => None,
                         }
                     }
-                    Expr::Ternary { cond, then_expr, else_expr } => {
-                        match module.expr(*cond)? {
-                            Expr::Const { value, .. } => {
-                                let taken = if *value != 0 { *then_expr } else { *else_expr };
-                                report.branches_resolved += 1;
-                                Some(module.expr(taken)?.clone())
-                            }
-                            _ => None,
+                    Expr::Ternary {
+                        cond,
+                        then_expr,
+                        else_expr,
+                    } => match module.expr(*cond)? {
+                        Expr::Const { value, .. } => {
+                            let taken = if *value != 0 { *then_expr } else { *else_expr };
+                            report.branches_resolved += 1;
+                            Some(module.expr(taken)?.clone())
                         }
-                    }
+                        _ => None,
+                    },
                     _ => None,
                 }
             };
@@ -131,7 +144,10 @@ mod tests {
         );
         assert_eq!(y, 14);
         let root = m.assigns()[0].rhs;
-        assert!(matches!(m.expr(root).unwrap(), Expr::Const { value: 14, .. }));
+        assert!(matches!(
+            m.expr(root).unwrap(),
+            Expr::Const { value: 14, .. }
+        ));
     }
 
     #[test]

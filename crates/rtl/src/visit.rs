@@ -66,7 +66,10 @@ pub fn binary_ops(module: &Module) -> Vec<OpSite> {
 
 /// Reachable binary-operation sites of one specific type.
 pub fn ops_of_type(module: &Module, op: BinaryOp) -> Vec<OpSite> {
-    binary_ops(module).into_iter().filter(|s| s.op == op).collect()
+    binary_ops(module)
+        .into_iter()
+        .filter(|s| s.op == op)
+        .collect()
 }
 
 /// Census of reachable operation types: `op -> count`.
@@ -127,7 +130,11 @@ mod tests {
             let w = format!("w{i}");
             m.add_wire(&w, 32).unwrap();
             let b = m.alloc_expr(Expr::Ident("b".into()));
-            let sum = m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: prev, rhs: b });
+            let sum = m.alloc_expr(Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: prev,
+                rhs: b,
+            });
             m.add_assign(&w, sum).unwrap();
             prev = m.alloc_expr(Expr::Ident(w));
         }
@@ -159,7 +166,11 @@ mod tests {
         m.add_output("x", 8).unwrap();
         m.add_output("y", 8).unwrap();
         let a = m.alloc_expr(Expr::Ident("a".into()));
-        let sum = m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: a });
+        let sum = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: a,
+            rhs: a,
+        });
         m.add_assign("x", sum).unwrap();
         m.add_assign("y", sum).unwrap(); // same node shared by two roots
         assert_eq!(binary_ops(&m).len(), 1);
@@ -192,8 +203,16 @@ mod tests {
         m.add_input("a", 8).unwrap();
         m.add_output("y", 8).unwrap();
         let a = m.alloc_expr(Expr::Ident("a".into()));
-        let s1 = m.alloc_expr(Expr::Binary { op: BinaryOp::Add, lhs: a, rhs: a });
-        let s2 = m.alloc_expr(Expr::Binary { op: BinaryOp::Xor, lhs: s1, rhs: a });
+        let s1 = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: a,
+            rhs: a,
+        });
+        let s2 = m.alloc_expr(Expr::Binary {
+            op: BinaryOp::Xor,
+            lhs: s1,
+            rhs: a,
+        });
         m.add_assign("y", s2).unwrap();
         assert_eq!(expr_depth(&m, s2), 3);
         assert_eq!(expr_depth(&m, a), 1);

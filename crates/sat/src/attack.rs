@@ -60,7 +60,11 @@ impl<'n> SimOracle<'n> {
         let mut sim = NetlistSimulator::new(netlist)?;
         sim.set_key(key)?;
         let output_names = netlist.outputs().iter().map(|p| p.name.clone()).collect();
-        Ok(Self { sim, output_names, queries: 0 })
+        Ok(Self {
+            sim,
+            output_names,
+            queries: 0,
+        })
     }
 }
 
@@ -68,7 +72,9 @@ impl Oracle for SimOracle<'_> {
     fn query(&mut self, inputs: &[(String, u64)]) -> PortValues {
         self.queries += 1;
         for (name, v) in inputs {
-            self.sim.set_input(name, *v).expect("oracle knows its ports");
+            self.sim
+                .set_input(name, *v)
+                .expect("oracle knows its ports");
         }
         self.sim.settle().expect("oracle settles");
         self.output_names
@@ -150,7 +156,9 @@ pub fn sat_attack(
         return Err(NetlistError::Sequential);
     }
     if locked.key_width() == 0 {
-        return Err(NetlistError::Lock("netlist consumes no key bits".to_owned()));
+        return Err(NetlistError::Lock(
+            "netlist consumes no key bits".to_owned(),
+        ));
     }
 
     let mut cnf = CnfBuilder::new();
@@ -192,7 +200,12 @@ pub fn sat_attack(
     let input_ports: Vec<(String, Vec<Lit>)> = locked
         .inputs()
         .iter()
-        .map(|p| (p.name.clone(), p.bits.iter().map(|b| shared_inputs[b]).collect()))
+        .map(|p| {
+            (
+                p.name.clone(),
+                p.bits.iter().map(|b| shared_inputs[b]).collect(),
+            )
+        })
         .collect();
 
     // Collected (DIP, oracle response) pairs for the final key extraction.
@@ -253,7 +266,11 @@ pub fn sat_attack(
         let enc = encode(locked, &mut kb, &bound)?;
         for (name, v) in response {
             for (i, lit) in enc.port_lits(locked, name).iter().enumerate() {
-                kb.add_clause(&[if v >> i & 1 == 1 { *lit } else { lit.inverted() }]);
+                kb.add_clause(&[if v >> i & 1 == 1 {
+                    *lit
+                } else {
+                    lit.inverted()
+                }]);
             }
         }
     }
@@ -302,7 +319,11 @@ fn add_io_constraint(
     let enc = encode(locked, &mut cc, &bound)?;
     for (name, v) in response {
         for (i, lit) in enc.port_lits(locked, name).iter().enumerate() {
-            cc.add_clause(&[if v >> i & 1 == 1 { *lit } else { lit.inverted() }]);
+            cc.add_clause(&[if v >> i & 1 == 1 {
+                *lit
+            } else {
+                lit.inverted()
+            }]);
         }
     }
     solver.ensure_vars(cc.num_vars());
@@ -357,8 +378,7 @@ mod tests {
         let mut locked = sample_netlist();
         let key = xor_xnor_lock(&mut locked, 10, 21).unwrap();
         let (report, correct) =
-            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default())
-                .unwrap();
+            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default()).unwrap();
         assert!(report.proved);
         assert!(correct, "recovered key must unlock the design");
         assert!(report.dips <= 64, "few DIPs expected, got {}", report.dips);
@@ -381,8 +401,7 @@ mod tests {
         locked.sweep();
         let key = xor_xnor_lock(&mut locked, 8, 13).unwrap();
         let (report, correct) =
-            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default())
-                .unwrap();
+            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default()).unwrap();
         assert!(report.proved);
         assert!(correct);
         assert_eq!(report.key, key.bits());
@@ -393,8 +412,7 @@ mod tests {
         let mut locked = sample_netlist();
         let key = mux_lock(&mut locked, 8, 5).unwrap();
         let (report, correct) =
-            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default())
-                .unwrap();
+            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default()).unwrap();
         assert!(report.proved);
         assert!(correct, "recovered key must unlock the design");
     }

@@ -434,11 +434,8 @@ impl Solver {
                         debug_assert!(ok, "decision variable was unassigned");
                     }
                     None => {
-                        let model: Vec<bool> = self
-                            .assign
-                            .iter()
-                            .map(|a| a.unwrap_or(false))
-                            .collect();
+                        let model: Vec<bool> =
+                            self.assign.iter().map(|a| a.unwrap_or(false)).collect();
                         return SolveResult::Sat(model);
                     }
                 },
@@ -514,12 +511,14 @@ mod tests {
     fn pigeonhole_4_into_3_is_unsat() {
         // p[i][j]: pigeon i sits in hole j.
         let mut b = CnfBuilder::new();
-        let p: Vec<Vec<Var>> =
-            (0..4).map(|_| (0..3).map(|_| b.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..4)
+            .map(|_| (0..3).map(|_| b.new_var()).collect())
+            .collect();
         for row in &p {
             let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             b.add_clause(&clause);
         }
+        #[allow(clippy::needless_range_loop)] // `j` is the pigeonhole column
         for j in 0..3 {
             for i1 in 0..4 {
                 for i2 in i1 + 1..4 {
@@ -533,12 +532,14 @@ mod tests {
     #[test]
     fn pigeonhole_3_into_3_is_sat() {
         let mut b = CnfBuilder::new();
-        let p: Vec<Vec<Var>> =
-            (0..3).map(|_| (0..3).map(|_| b.new_var()).collect()).collect();
+        let p: Vec<Vec<Var>> = (0..3)
+            .map(|_| (0..3).map(|_| b.new_var()).collect())
+            .collect();
         for row in &p {
             let clause: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
             b.add_clause(&clause);
         }
+        #[allow(clippy::needless_range_loop)] // `j` is the pigeonhole column
         for j in 0..3 {
             for i1 in 0..3 {
                 for i2 in i1 + 1..3 {
@@ -584,7 +585,7 @@ mod tests {
     fn random_3sat_agrees_with_brute_force() {
         let mut rng = StdRng::seed_from_u64(2024);
         for round in 0..120 {
-            let n_vars = rng.gen_range(3..=9);
+            let n_vars: usize = rng.gen_range(3..=9);
             // Around the 3-SAT phase transition (~4.26 clauses/var).
             let n_clauses = (n_vars as f64 * rng.gen_range(3.0..5.5)) as usize;
             let mut b = CnfBuilder::new();
@@ -592,7 +593,7 @@ mod tests {
             for _ in 0..n_clauses {
                 let mut clause = Vec::new();
                 for _ in 0..3 {
-                    let v = vars[rng.gen_range(0..n_vars)];
+                    let v: Var = vars[rng.gen_range(0..n_vars)];
                     clause.push(v.lit(rng.gen()));
                 }
                 b.add_clause(&clause);
@@ -616,17 +617,11 @@ mod tests {
         assert!(s.solve().is_sat());
         // Forbid each model's projection until exhaustion: at most 15 rounds.
         let mut rounds = 0;
-        loop {
-            match s.solve() {
-                SolveResult::Sat(m) => {
-                    let block: Vec<Lit> =
-                        x.iter().map(|&v| v.lit(!m[v.index()])).collect();
-                    s.add_clause(&block);
-                    rounds += 1;
-                    assert!(rounds <= 16, "enumeration must terminate");
-                }
-                SolveResult::Unsat => break,
-            }
+        while let SolveResult::Sat(m) = s.solve() {
+            let block: Vec<Lit> = x.iter().map(|&v| v.lit(!m[v.index()])).collect();
+            s.add_clause(&block);
+            rounds += 1;
+            assert!(rounds <= 16, "enumeration must terminate");
         }
         assert_eq!(rounds, 15, "exactly the 15 non-zero assignments");
     }

@@ -110,19 +110,30 @@ pub fn encode(
 
     let f = builder.false_lit();
     let t = builder.true_lit();
-    enc.net_lit.insert(NetId::CONST0, pre_bound.get(&NetId::CONST0).copied().unwrap_or(f));
-    enc.net_lit.insert(NetId::CONST1, pre_bound.get(&NetId::CONST1).copied().unwrap_or(t));
+    enc.net_lit.insert(
+        NetId::CONST0,
+        pre_bound.get(&NetId::CONST0).copied().unwrap_or(f),
+    );
+    enc.net_lit.insert(
+        NetId::CONST1,
+        pre_bound.get(&NetId::CONST1).copied().unwrap_or(t),
+    );
 
     // Sources: primary inputs and key bits.
     for p in netlist.inputs() {
         for &bit in &p.bits {
-            let lit =
-                pre_bound.get(&bit).copied().unwrap_or_else(|| builder.new_var().pos());
+            let lit = pre_bound
+                .get(&bit)
+                .copied()
+                .unwrap_or_else(|| builder.new_var().pos());
             enc.net_lit.insert(bit, lit);
         }
     }
     for &k in netlist.key_bits() {
-        let lit = pre_bound.get(&k).copied().unwrap_or_else(|| builder.new_var().pos());
+        let lit = pre_bound
+            .get(&k)
+            .copied()
+            .unwrap_or_else(|| builder.new_var().pos());
         enc.net_lit.insert(k, lit);
     }
 
@@ -245,7 +256,11 @@ mod tests {
         sim.settle().unwrap();
         let target = sim.output("y").unwrap();
         for (i, lit) in enc.port_lits(&n, "y").iter().enumerate() {
-            cnf.add_clause(&[if target >> i & 1 == 1 { *lit } else { lit.inverted() }]);
+            cnf.add_clause(&[if target >> i & 1 == 1 {
+                *lit
+            } else {
+                lit.inverted()
+            }]);
         }
         let result = Solver::from_builder(&cnf).solve();
         let model = result.model().expect("preimage exists");

@@ -14,13 +14,16 @@ use mlrl::rtl::bench_designs::{benchmark_by_name, generate};
 use mlrl::rtl::{visit, Module};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "SHA256".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "SHA256".to_owned());
     let spec = benchmark_by_name(&name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}` — see Fig. 6a for names"));
     println!("benchmark {} — {}", spec.name, spec.description);
     println!("operation mix: {:?}", spec.op_mix);
 
-    let lockers: Vec<(&str, Box<dyn Fn(&mut Module, usize) -> Key>)> = vec![
+    type Locker = Box<dyn Fn(&mut Module, usize) -> Key>;
+    let lockers: Vec<(&str, Locker)> = vec![
         (
             "ASSURE",
             Box::new(|m: &mut Module, budget| {
@@ -30,13 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "HRA",
             Box::new(|m: &mut Module, budget| {
-                hra_lock(m, &HraConfig::new(budget, 11)).expect("lockable").key
+                hra_lock(m, &HraConfig::new(budget, 11))
+                    .expect("lockable")
+                    .key
             }),
         ),
         (
             "ERA",
             Box::new(|m: &mut Module, budget| {
-                era_lock(m, &EraConfig::new(budget, 11)).expect("lockable").key
+                era_lock(m, &EraConfig::new(budget, 11))
+                    .expect("lockable")
+                    .key
             }),
         ),
     ];
@@ -51,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let total = visit::binary_ops(&module).len();
         let key = lock(&mut module, total * 3 / 4);
         let cfg = AttackConfig {
-            relock: RelockConfig { rounds: 50, budget_fraction: 0.75, seed: 77 },
+            relock: RelockConfig {
+                rounds: 50,
+                budget_fraction: 0.75,
+                seed: 77,
+            },
             ..Default::default()
         };
         let report = snapshot_attack(&module, &key, &cfg).expect("localities exist");

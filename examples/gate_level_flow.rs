@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key: Vec<bool> = (0..locked.key_width())
         .map(|i| outcome.key.bit(i).unwrap_or(false))
         .collect();
-    println!("SASC @16 bit: {total_ops} ops, ERA key = {} bits", key.len());
+    println!(
+        "SASC @16 bit: {total_ops} ops, ERA key = {} bits",
+        key.len()
+    );
 
     // 2. "Synthesis": bit-blast both views to gates.
     let base_netlist = lower_module(&original)?;

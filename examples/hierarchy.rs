@@ -43,7 +43,11 @@ endmodule";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = parse_design(HIER_DESIGN)?;
-    println!("modules: {:?}, tops: {:?}", design.module_names(), design.tops());
+    println!(
+        "modules: {:?}, tops: {:?}",
+        design.module_names(),
+        design.tops()
+    );
 
     // Flatten the hierarchy: instances inline with prefixed signals.
     let flat = design.flatten("pipeline")?;
@@ -57,19 +61,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut locked = flat.clone();
     let total = visit::binary_ops(&locked).len();
     let outcome = era_lock(&mut locked, &EraConfig::new(total, 11))?;
-    let report =
-        LockingReport::build("ERA", &flat, &locked, &outcome.key, &PairTable::fixed());
+    let report = LockingReport::build("ERA", &flat, &locked, &outcome.key, &PairTable::fixed());
     println!("\n{report}");
 
     // Prove the locked flat design still matches the hierarchy's function.
-    let result =
-        check_equiv(&flat, &locked, &[], outcome.key.as_bits(), &EquivConfig::default())?;
+    let result = check_equiv(
+        &flat,
+        &locked,
+        &[],
+        outcome.key.as_bits(),
+        &EquivConfig::default(),
+    )?;
     println!("equivalence: {result:?}");
     assert!(result.is_equivalent());
 
     // Attack it.
     let cfg = AttackConfig {
-        relock: RelockConfig { rounds: 40, budget_fraction: 0.75, seed: 13 },
+        relock: RelockConfig {
+            rounds: 40,
+            budget_fraction: 0.75,
+            seed: 13,
+        },
         ..Default::default()
     };
     let attack = snapshot_attack(&locked, &outcome.key, &cfg).expect("localities exist");

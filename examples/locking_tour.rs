@@ -42,23 +42,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Relocking: nested multiplexers (Fig. 3b) -----------------------
     let relock_key = lock_operations(&mut locked, &AssureConfig::random(2, 2))?;
-    println!("after relocking ({} more bits, nested ternaries):", relock_key.len());
+    println!(
+        "after relocking ({} more bits, nested ternaries):",
+        relock_key.len()
+    );
     for line in emit_verilog(&locked)?.lines().filter(|l| l.contains('?')) {
         println!("  {}", line.trim());
     }
 
     // --- Branch obfuscation ---------------------------------------------
     let branch_key = lock_branches(&mut locked, 3)?;
-    println!("\nafter branch locking ({} bit): the paper's", branch_key.len());
+    println!(
+        "\nafter branch locking ({} bit): the paper's",
+        branch_key.len()
+    );
     println!("`a > b` -> `(a <= b) ^ K` transformation:");
-    for line in emit_verilog(&locked)?.lines().filter(|l| l.contains("if (")) {
+    for line in emit_verilog(&locked)?
+        .lines()
+        .filter(|l| l.contains("if ("))
+    {
         println!("  {}", line.trim());
     }
 
     // --- Constant obfuscation -------------------------------------------
     let const_key = lock_constants(&mut locked, 2)?;
-    println!("\nafter constant locking ({} bits): 4'd3 became a key slice:", const_key.len());
-    for line in emit_verilog(&locked)?.lines().filter(|l| l.contains("duty =")) {
+    println!(
+        "\nafter constant locking ({} bits): 4'd3 became a key slice:",
+        const_key.len()
+    );
+    for line in emit_verilog(&locked)?
+        .lines()
+        .filter(|l| l.contains("duty ="))
+    {
         println!("  {}", line.trim());
     }
 

@@ -40,30 +40,64 @@ fn ascii_plot(name: &str, trace: &[(usize, f64)], width: usize) {
         println!("{level:>5.0} |{line}");
     }
     println!("      +{}", "-".repeat(width));
-    println!("       0{:>width$}", format!("{max_bits} bits"), width = width - 1);
+    println!(
+        "       0{:>width$}",
+        format!("{max_bits} bits"),
+        width = width - 1
+    );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = spec();
     let module = mlrl::rtl::bench_designs::generate(&spec, 1);
     let odt = Odt::load(&module, PairTable::fixed());
-    println!("initial ODT: |(+,-)| = {}, |(<<,>>)| = {}", odt.get(BinaryOp::Add), odt.get(BinaryOp::Shl));
-    println!("total imbalance = {} => minimum {} balancing bits", odt.total_imbalance(), odt.total_imbalance());
+    println!(
+        "initial ODT: |(+,-)| = {}, |(<<,>>)| = {}",
+        odt.get(BinaryOp::Add),
+        odt.get(BinaryOp::Shl)
+    );
+    println!(
+        "total imbalance = {} => minimum {} balancing bits",
+        odt.total_imbalance(),
+        odt.total_imbalance()
+    );
 
     // ERA: jumps along the edges, may exceed the budget.
     let mut m = mlrl::rtl::bench_designs::generate(&spec, 1);
     let era = era_lock(&mut m, &EraConfig::new(35, 5))?;
-    ascii_plot("ERA", &era.trace.iter().map(|(n, g, _)| (*n, *g)).collect::<Vec<_>>(), 60);
+    ascii_plot(
+        "ERA",
+        &era.trace
+            .iter()
+            .map(|(n, g, _)| (*n, *g))
+            .collect::<Vec<_>>(),
+        60,
+    );
 
     // Greedy: steepest path, fewest bits to 100, but reversible.
     let mut m = mlrl::rtl::bench_designs::generate(&spec, 1);
     let greedy = hra_lock(&mut m, &HraConfig::greedy(160, 5))?;
-    ascii_plot("Greedy", &greedy.trace.iter().map(|(n, g, _)| (*n, *g)).collect::<Vec<_>>(), 60);
+    ascii_plot(
+        "Greedy",
+        &greedy
+            .trace
+            .iter()
+            .map(|(n, g, _)| (*n, *g))
+            .collect::<Vec<_>>(),
+        60,
+    );
 
     // HRA: random detours thwart reversibility at extra key-bit cost.
     let mut m = mlrl::rtl::bench_designs::generate(&spec, 1);
     let hra = hra_lock(&mut m, &HraConfig::new(160, 5))?;
-    ascii_plot("HRA", &hra.trace.iter().map(|(n, g, _)| (*n, *g)).collect::<Vec<_>>(), 60);
+    ascii_plot(
+        "HRA",
+        &hra.trace
+            .iter()
+            .map(|(n, g, _)| (*n, *g))
+            .collect::<Vec<_>>(),
+        60,
+    );
 
     let to_100 = |trace: &[(usize, f64, f64)]| {
         trace

@@ -46,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = |module: &mlrl::rtl::Module, key: &[bool], salt: u64| -> u64 {
         let mut sim = Simulator::new(module).expect("simulatable");
         for (i, name) in inputs.iter().enumerate() {
-            sim.set_input(name, (i as u64 + 1) * 31 + salt).expect("input exists");
+            sim.set_input(name, (i as u64 + 1) * 31 + salt)
+                .expect("input exists");
         }
         sim.set_key(key).expect("key fits");
         sim.settle().expect("settles");
@@ -58,11 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(1);
     let wrong = outcome.key.random_wrong_key(&mut rng);
     let corrupted = run(&locked, &wrong, 3);
-    println!("wrong key:   digest {corrupted:#018x} (corrupted: {})", corrupted != golden);
+    println!(
+        "wrong key:   digest {corrupted:#018x} (corrupted: {})",
+        corrupted != golden
+    );
 
     // 5. Attack it with SnapShot-RTL.
     let cfg = AttackConfig {
-        relock: RelockConfig { rounds: 40, budget_fraction: 0.75, seed: 9 },
+        relock: RelockConfig {
+            rounds: 40,
+            budget_fraction: 0.75,
+            seed: 9,
+        },
         ..Default::default()
     };
     let report = snapshot_attack(&locked, &outcome.key, &cfg).expect("localities exist");

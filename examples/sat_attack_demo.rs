@@ -27,11 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The oracle-less ML attack is held at the coin-flip floor.
     let snap_cfg = AttackConfig {
-        relock: RelockConfig { rounds: 60, ..Default::default() },
+        relock: RelockConfig {
+            rounds: 60,
+            ..Default::default()
+        },
         ..Default::default()
     };
     if let Some(report) = snapshot_attack(&locked, &outcome.key, &snap_cfg) {
-        println!("SnapShot-RTL (oracle-less): KPA = {:.1}% (~50% = chance)", report.kpa);
+        println!(
+            "SnapShot-RTL (oracle-less): KPA = {:.1}% (~50% = chance)",
+            report.kpa
+        );
     }
 
     // 3. Lower to gates — the attacker's netlist — and switch threat models:

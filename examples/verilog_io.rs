@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut locked = original.clone();
     let ops = mlrl::rtl::visit::binary_ops(&locked).len();
     let outcome = era_lock(&mut locked, &EraConfig::new(ops, 42))?;
-    let report =
-        LockingReport::build("ERA", &original, &locked, &outcome.key, &PairTable::fixed());
+    let report = LockingReport::build("ERA", &original, &locked, &outcome.key, &PairTable::fixed());
     println!("{report}");
 
     // Round trip through files.
@@ -46,10 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_path = dir.join("mixer_locked.v");
     let k_path = dir.join("mixer.key");
     std::fs::write(&v_path, emit_verilog(&locked)?)?;
-    let key_text: String =
-        outcome.key.as_bits().iter().map(|b| if *b { '1' } else { '0' }).collect();
+    let key_text: String = outcome
+        .key
+        .as_bits()
+        .iter()
+        .map(|b| if *b { '1' } else { '0' })
+        .collect();
     std::fs::write(&k_path, &key_text)?;
-    println!("wrote {} and {} ({} bits)", v_path.display(), k_path.display(), key_text.len());
+    println!(
+        "wrote {} and {} ({} bits)",
+        v_path.display(),
+        k_path.display(),
+        key_text.len()
+    );
 
     // Read back and verify equivalence under the stored key.
     let reloaded = parse_verilog(&std::fs::read_to_string(&v_path)?)?;

@@ -12,32 +12,42 @@
 //! mlrl gatelock <design.v> --scheme xor|mux --bits N [--seed N]
 //!             [-o locked.v] [--key-out key.txt]
 //! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
+//! mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl]
+//!             [--cache-dir DIR] [--canonical]
 //! ```
 //!
-//! Keys are stored as plain bit strings, `K[0]` first.
+//! Keys are stored as plain bit strings, `K[0]` first. Campaign spec
+//! files use the `key = value` format of `mlrl_engine::spec` (see
+//! `examples/campaign.spec`).
 
 use std::fs;
 use std::process::ExitCode;
 
 use mlrl::attack::freq_table::freq_table_attack;
 use mlrl::attack::relock::RelockConfig;
-use mlrl::netlist::emit::emit_structural_verilog;
-use mlrl::netlist::lock::{lock_netlist, GateLockScheme};
-use mlrl::netlist::lower::lower_module;
-use mlrl::netlist::stats::NetlistStats;
-use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
+use mlrl::engine::run::Engine;
+use mlrl::engine::spec::CampaignSpec;
 use mlrl::locking::assure::{lock_operations, AssureConfig};
 use mlrl::locking::era::{era_lock, EraConfig};
 use mlrl::locking::hra::{hra_lock, HraConfig};
 use mlrl::locking::key::{Key, KeyBitKind};
 use mlrl::locking::pairs::PairTable;
 use mlrl::locking::report::LockingReport;
+use mlrl::netlist::emit::emit_structural_verilog;
+use mlrl::netlist::lock::{lock_netlist, GateLockScheme};
+use mlrl::netlist::lower::lower_module;
+use mlrl::netlist::stats::NetlistStats;
 use mlrl::rtl::bench_designs::{benchmark_by_name, generate, paper_benchmarks};
 use mlrl::rtl::emit::emit_verilog;
 use mlrl::rtl::equiv::{check_equiv, EquivConfig, EquivResult};
 use mlrl::rtl::parser::{parse_design, parse_verilog};
 use mlrl::rtl::stats::DesignStats;
 use mlrl::rtl::{visit, Module};
+use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
+
+/// Flags that take no value; the parser must not consume the next token
+/// as their argument (`mlrl campaign --canonical spec.txt`).
+const BOOLEAN_FLAGS: &[&str] = &["canonical"];
 
 struct Args {
     positional: Vec<String>,
@@ -51,13 +61,18 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .map(|v| (*v).clone());
-                if value.is_some() {
-                    it.next();
-                }
+                let value = if BOOLEAN_FLAGS.contains(&name) {
+                    None
+                } else {
+                    let value = it
+                        .peek()
+                        .filter(|v| !v.starts_with("--"))
+                        .map(|v| (*v).clone());
+                    if value.is_some() {
+                        it.next();
+                    }
+                    value
+                };
                 flags.push((name.to_owned(), value));
             } else if let Some(name) = a.strip_prefix('-') {
                 let value = it.next().cloned();
@@ -69,6 +84,10 @@ impl Args {
         Self { positional, flags }
     }
 
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
     fn flag(&self, name: &str) -> Option<&str> {
         self.flags
             .iter()
@@ -77,7 +96,9 @@ impl Args {
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.flag(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flag(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -102,11 +123,16 @@ fn key_from_string(s: &str) -> Result<Vec<bool>, String> {
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
-    let name = args
-        .positional
-        .get(1)
-        .ok_or_else(|| format!("usage: mlrl gen <benchmark>\nbenchmarks: {}",
-            paper_benchmarks().iter().map(|s| s.name).collect::<Vec<_>>().join(" ")))?;
+    let name = args.positional.get(1).ok_or_else(|| {
+        format!(
+            "usage: mlrl gen <benchmark>\nbenchmarks: {}",
+            paper_benchmarks()
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    })?;
     let spec = benchmark_by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     let module = generate(&spec, args.num("seed", 2022u64));
     let text = emit_verilog(&module).map_err(|e| e.to_string())?;
@@ -155,7 +181,10 @@ fn cmd_flatten(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("usage: mlrl stats <design.v>")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: mlrl stats <design.v>")?;
     let module = load_module(path)?;
     println!("{}", DesignStats::of(&module));
     let odt = mlrl::locking::odt::Odt::load(&module, PairTable::fixed());
@@ -169,7 +198,10 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_lock(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("usage: mlrl lock <design.v> --scheme era")?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: mlrl lock <design.v> --scheme era")?;
     let original = load_module(path)?;
     let mut locked = original.clone();
     let total = visit::binary_ops(&locked).len();
@@ -182,13 +214,21 @@ fn cmd_lock(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
         "assure-random" => lock_operations(&mut locked, &AssureConfig::random(budget, seed))
             .map_err(|e| e.to_string())?,
-        "hra" => hra_lock(&mut locked, &HraConfig::new(budget, seed))
-            .map_err(|e| e.to_string())?
-            .key,
-        "era" => era_lock(&mut locked, &EraConfig::new(budget, seed))
-            .map_err(|e| e.to_string())?
-            .key,
-        other => return Err(format!("unknown scheme `{other}` (assure|assure-random|hra|era)")),
+        "hra" => {
+            hra_lock(&mut locked, &HraConfig::new(budget, seed))
+                .map_err(|e| e.to_string())?
+                .key
+        }
+        "era" => {
+            era_lock(&mut locked, &EraConfig::new(budget, seed))
+                .map_err(|e| e.to_string())?
+                .key
+        }
+        other => {
+            return Err(format!(
+                "unknown scheme `{other}` (assure|assure-random|hra|era)"
+            ))
+        }
     };
     let report = LockingReport::build(scheme, &original, &locked, &key, &PairTable::fixed());
     eprintln!("{report}");
@@ -209,20 +249,33 @@ fn cmd_lock(args: &Args) -> Result<(), String> {
 
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let original = load_module(
-        args.positional.get(1).ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
+        args.positional
+            .get(1)
+            .ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
     )?;
     let locked = load_module(
-        args.positional.get(2).ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
+        args.positional
+            .get(2)
+            .ok_or("usage: mlrl verify <original.v> <locked.v> --key k.txt")?,
     )?;
     let key_path = args.flag("key").ok_or("missing --key <file>")?;
     let key = key_from_string(&fs::read_to_string(key_path).map_err(|e| e.to_string())?)?;
-    let cfg = EquivConfig { patterns: args.num("patterns", 64usize), ticks: 2, seed: 7 };
+    let cfg = EquivConfig {
+        patterns: args.num("patterns", 64usize),
+        ticks: 2,
+        seed: 7,
+    };
     match check_equiv(&original, &locked, &[], &key, &cfg).map_err(|e| e.to_string())? {
         EquivResult::Equivalent { patterns } => {
             println!("EQUIVALENT over {patterns} random patterns");
             Ok(())
         }
-        EquivResult::Mismatch { pattern, output, left, right } => Err(format!(
+        EquivResult::Mismatch {
+            pattern,
+            output,
+            left,
+            right,
+        } => Err(format!(
             "MISMATCH at pattern {pattern}: output `{output}` original={left:#x} locked={right:#x}"
         )),
     }
@@ -230,7 +283,9 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
 
 fn cmd_attack(args: &Args) -> Result<(), String> {
     let locked = load_module(
-        args.positional.get(1).ok_or("usage: mlrl attack <locked.v> [--key key.txt]")?,
+        args.positional
+            .get(1)
+            .ok_or("usage: mlrl attack <locked.v> [--key key.txt]")?,
     )?;
     let relock = RelockConfig {
         rounds: args.num("relocks", 60usize),
@@ -241,8 +296,7 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     // meaningless and suppressed).
     let (score_key, have_key) = match args.flag("key") {
         Some(path) => {
-            let bits =
-                key_from_string(&fs::read_to_string(path).map_err(|e| e.to_string())?)?;
+            let bits = key_from_string(&fs::read_to_string(path).map_err(|e| e.to_string())?)?;
             let mut k = Key::new();
             for b in bits {
                 k.push(b, KeyBitKind::Operation);
@@ -278,12 +332,17 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
 
 fn cmd_synth(args: &Args) -> Result<(), String> {
     let module = load_module(
-        args.positional.get(1).ok_or("usage: mlrl synth <design.v> [-o netlist.v]")?,
+        args.positional
+            .get(1)
+            .ok_or("usage: mlrl synth <design.v> [-o netlist.v]")?,
     )?;
     let mut netlist = lower_module(&module).map_err(|e| e.to_string())?;
     let removed = netlist.sweep();
     let stats = NetlistStats::of(&netlist);
-    eprintln!("synthesized `{}`: {stats}({removed} dead gates swept)", netlist.name());
+    eprintln!(
+        "synthesized `{}`: {stats}({removed} dead gates swept)",
+        netlist.name()
+    );
     let text = emit_structural_verilog(&netlist).map_err(|e| e.to_string())?;
     match args.flag("o") {
         Some(out) => {
@@ -334,9 +393,13 @@ fn cmd_sat_attack(args: &Args) -> Result<(), String> {
     let locked = load_module(args.positional.get(1).ok_or(
         "usage: mlrl sat-attack <locked.v> --key key.txt [--max-dips N] (key plays the oracle chip)",
     )?)?;
-    let key_path = args.flag("key").ok_or("missing --key <file> (the oracle's key)")?;
+    let key_path = args
+        .flag("key")
+        .ok_or("missing --key <file> (the oracle's key)")?;
     let key = key_from_string(&fs::read_to_string(key_path).map_err(|e| e.to_string())?)?;
-    let mut netlist = lower_module(&locked).map_err(|e| e.to_string())?.to_scan_view();
+    let mut netlist = lower_module(&locked)
+        .map_err(|e| e.to_string())?
+        .to_scan_view();
     netlist.sweep();
     eprintln!(
         "attacking `{}`: {} gates, {} key bits (scan view)",
@@ -344,13 +407,55 @@ fn cmd_sat_attack(args: &Args) -> Result<(), String> {
         netlist.gates().len(),
         netlist.key_width()
     );
-    let cfg = SatAttackConfig { max_dips: args.num("max-dips", 512usize) };
+    let cfg = SatAttackConfig {
+        max_dips: args.num("max-dips", 512usize),
+    };
     let (report, correct) =
         sat_attack_with_sim_oracle(&netlist, &key, &cfg).map_err(|e| e.to_string())?;
     println!("DIPs (oracle queries): {}", report.dips);
     println!("UNSAT proof:           {}", report.proved);
     println!("recovered key:         {}", key_to_string(&report.key));
     println!("functionally correct:  {correct}");
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or(
+        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--canonical]",
+    )?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(threads) = args.flag("threads") {
+        spec.threads = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
+    }
+    let mut engine = Engine::new();
+    if let Some(dir) = args.flag("cache-dir") {
+        engine = engine.with_cache_dir(dir);
+    }
+    eprintln!(
+        "campaign `{}`: {} cells ({} benchmarks x {} schemes x {} budgets x {} seeds x {} attacks)",
+        spec.name,
+        spec.cells(),
+        spec.benchmarks.len(),
+        spec.schemes.len(),
+        spec.budgets.len(),
+        spec.seeds.len(),
+        spec.attacks.len(),
+    );
+    let report = engine.run(&spec);
+    if args.has("canonical") {
+        print!("{}", report.canonical_jsonl());
+    } else {
+        print!("{}", report.human_table());
+        eprintln!("{}", report.summary());
+    }
+    if let Some(out) = args.flag("jsonl") {
+        fs::write(out, report.jsonl()).map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+    }
+    if report.failed_count() > 0 {
+        return Err(format!("{} job(s) failed", report.failed_count()));
+    }
     Ok(())
 }
 
@@ -367,8 +472,9 @@ fn run() -> Result<(), String> {
         Some("synth") => cmd_synth(&args),
         Some("gatelock") => cmd_gatelock(&args),
         Some("sat-attack") => cmd_sat_attack(&args),
+        Some("campaign") => cmd_campaign(&args),
         _ => Err(
-            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack> ...\nsee `src/bin/mlrl.rs` docs"
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign> ...\nsee `src/bin/mlrl.rs` docs"
                 .to_owned(),
         ),
     }

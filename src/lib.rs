@@ -12,7 +12,10 @@
 //! - [`netlist`] — gate-level netlists: bit-blasting lowering ("synthesis"),
 //!   simulation, and traditional gate-level locking,
 //! - [`sat`] — CNF, a CDCL solver, Tseitin encoding, and the oracle-guided
-//!   SAT attack.
+//!   SAT attack,
+//! - [`engine`] — the parallel experiment-campaign engine with
+//!   content-addressed artifact caching (`mlrl campaign` runs its spec
+//!   files end to end).
 //!
 //! See `examples/quickstart.rs` for an end-to-end lock → attack → score
 //! walkthrough, and the `mlrl-bench` binaries for the paper's figures.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub use mlrl_attack as attack;
+pub use mlrl_engine as engine;
 pub use mlrl_locking as locking;
 pub use mlrl_ml as ml;
 pub use mlrl_netlist as netlist;

@@ -12,7 +12,11 @@ use mlrl::rtl::visit;
 
 fn attack_cfg(seed: u64) -> AttackConfig {
     AttackConfig {
-        relock: RelockConfig { rounds: 30, budget_fraction: 0.75, seed },
+        relock: RelockConfig {
+            rounds: 30,
+            budget_fraction: 0.75,
+            seed,
+        },
         ..Default::default()
     }
 }
@@ -34,7 +38,11 @@ fn mean_kpa(spec: &DesignSpec, scheme: &str, instances: usize) -> f64 {
             "assure" => {
                 lock_operations(&mut module, &AssureConfig::serial(budget, seed)).expect("lock")
             }
-            "era" => era_lock(&mut module, &EraConfig::new(budget, seed)).expect("lock").key,
+            "era" => {
+                era_lock(&mut module, &EraConfig::new(budget, seed))
+                    .expect("lock")
+                    .key
+            }
             other => panic!("unknown scheme {other}"),
         };
         if let Some(report) = snapshot_attack(&module, &key, &attack_cfg(seed ^ 0xF00)) {
@@ -99,7 +107,10 @@ fn fully_imbalanced_network_is_fully_broken_under_assure() {
     let mut spec = benchmark_by_name("N_2046").expect("benchmark");
     spec.op_mix = vec![(mlrl::rtl::op::BinaryOp::Add, 200)];
     let kpa = mean_kpa(&spec, "assure", 2);
-    assert!(kpa > 95.0, "all-+ network should be fully broken, got {kpa:.1}%");
+    assert!(
+        kpa > 95.0,
+        "all-+ network should be fully broken, got {kpa:.1}%"
+    );
 }
 
 #[test]

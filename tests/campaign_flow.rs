@@ -1,0 +1,111 @@
+//! Integration tests of the campaign engine's two core guarantees:
+//!
+//! 1. **Determinism** — the same spec produces a byte-identical canonical
+//!    report on one thread and on many (derived seeds make results
+//!    independent of scheduling).
+//! 2. **Caching** — re-running the same spec on the same engine reports
+//!    a non-zero cache hit rate with unchanged results.
+
+use mlrl::engine::run::Engine;
+use mlrl::engine::spec::{AttackKind, CampaignSpec, SchemeKind};
+
+/// The acceptance grid: 2 benchmarks × 2 schemes × 3 budgets = 12 cells.
+fn twelve_cell_spec(threads: usize) -> CampaignSpec {
+    let mut spec = CampaignSpec::grid(
+        &["FIR", "IIR"],
+        &[SchemeKind::Assure, SchemeKind::Era],
+        &[0.25, 0.5, 0.75],
+    );
+    spec.name = "campaign-flow".into();
+    spec.seeds = vec![11];
+    spec.attacks = vec![AttackKind::FreqTable];
+    spec.relock_rounds = 6;
+    spec.threads = threads;
+    spec
+}
+
+#[test]
+fn parallel_and_serial_runs_produce_byte_identical_reports() {
+    let serial = Engine::new().run(&twelve_cell_spec(1));
+    let parallel = Engine::new().run(&twelve_cell_spec(4));
+
+    assert_eq!(serial.records.len(), 12);
+    assert_eq!(serial.failed_count(), 0, "{:?}", serial.records);
+    assert_eq!(parallel.failed_count(), 0);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+
+    let canonical_serial = serial.canonical_jsonl();
+    let canonical_parallel = parallel.canonical_jsonl();
+    assert_eq!(
+        canonical_serial, canonical_parallel,
+        "canonical reports must be byte-identical across thread counts"
+    );
+    // Sanity: the canonical report carries real science, not just headers.
+    assert!(canonical_serial.contains("\"attack\":\"freq-table\""));
+    assert!(serial.records.iter().all(|r| r.kpa.is_some()));
+}
+
+#[test]
+fn rerunning_a_spec_hits_the_cache_with_unchanged_results() {
+    let engine = Engine::new();
+    let spec = twelve_cell_spec(2);
+
+    let first = engine.run(&spec);
+    assert_eq!(first.failed_count(), 0, "{:?}", first.records);
+
+    let second = engine.run(&spec);
+    assert_eq!(second.failed_count(), 0);
+
+    assert!(
+        second.cache.hits > 0,
+        "second run must hit the artifact cache (stats: {:?})",
+        second.cache
+    );
+    assert!(
+        second.cache.hit_rate() > first.cache.hit_rate(),
+        "hit rate must rise on re-run: first {:?}, second {:?}",
+        first.cache,
+        second.cache
+    );
+    assert_eq!(
+        first.canonical_jsonl(),
+        second.canonical_jsonl(),
+        "cache hits must not change results"
+    );
+}
+
+// Panic *isolation* (a panicking job yielding Err while the campaign
+// completes) is covered at the pool layer by
+// `mlrl_engine::pool::tests::isolates_panics_to_their_job`; no current
+// benchmark/scheme combination panics, so this level checks the failure
+// paths that are reachable: clean runs and up-front spec rejection.
+#[test]
+fn healthy_campaigns_have_no_failures_and_bad_specs_are_rejected() {
+    let spec = twelve_cell_spec(2);
+    let engine = Engine::new();
+    let report = engine.run(&spec);
+    assert_eq!(report.failed_count(), 0);
+
+    let mut bad = spec.clone();
+    bad.benchmarks = vec!["NO_SUCH_DESIGN".into()];
+    assert!(bad.validate().is_err());
+}
+
+#[test]
+fn spec_files_round_trip_through_the_parser() {
+    let text = "\
+        name       = acceptance\n\
+        benchmarks = FIR IIR\n\
+        schemes    = assure era\n\
+        budgets    = 0.25 0.5 0.75\n\
+        seeds      = 11\n\
+        attacks    = freq-table\n\
+        relock_rounds = 6\n\
+        threads    = 2\n";
+    let parsed = CampaignSpec::parse(text).expect("parses");
+    assert_eq!(parsed.cells(), 12);
+    let mut expected = twelve_cell_spec(2);
+    expected.name = "acceptance".into();
+    assert_eq!(parsed, expected);
+}

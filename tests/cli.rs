@@ -83,7 +83,10 @@ fn full_lock_verify_attack_workflow() {
         .expect("run attack");
     assert_success(&out, "attack");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("KPA:"), "attack output missing KPA: {stdout}");
+    assert!(
+        stdout.contains("KPA:"),
+        "attack output missing KPA: {stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -124,7 +127,17 @@ fn verify_rejects_wrong_key() {
         .trim()
         .chars()
         .enumerate()
-        .map(|(i, c)| if i == 0 { if c == '0' { '1' } else { '0' } } else { c })
+        .map(|(i, c)| {
+            if i == 0 {
+                if c == '0' {
+                    '1'
+                } else {
+                    '0'
+                }
+            } else {
+                c
+            }
+        })
         .collect();
     std::fs::write(&key, flipped).expect("write flipped key");
 
@@ -155,7 +168,10 @@ fn stats_reports_imbalance() {
             .expect("gen"),
         "gen",
     );
-    let out = mlrl().args(["stats", design.to_str().unwrap()]).output().expect("stats");
+    let out = mlrl()
+        .args(["stats", design.to_str().unwrap()])
+        .output()
+        .expect("stats");
     assert_success(&out, "stats");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("op mix"));
@@ -174,7 +190,12 @@ fn flatten_subcommand_inlines_hierarchy() {
     .expect("write hier");
     let flat = dir.join("flat.v");
     let out = mlrl()
-        .args(["flatten", hier.to_str().unwrap(), "-o", flat.to_str().unwrap()])
+        .args([
+            "flatten",
+            hier.to_str().unwrap(),
+            "-o",
+            flat.to_str().unwrap(),
+        ])
         .output()
         .expect("run flatten");
     assert_success(&out, "flatten");
@@ -196,4 +217,78 @@ fn unknown_benchmark_is_reported() {
     let out = mlrl().args(["gen", "NOPE"]).output().expect("run");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+}
+
+#[test]
+fn campaign_runs_spec_files_end_to_end() {
+    let dir = tmpdir("campaign");
+    let spec = dir.join("c.spec");
+    let jsonl = dir.join("out.jsonl");
+    std::fs::write(
+        &spec,
+        "benchmarks = FIR\nschemes = assure era\nbudgets = 0.5\nseeds = 3\n\
+         attacks = kpa-model\nrelock_rounds = 4\nthreads = 2\n",
+    )
+    .expect("write spec");
+
+    // Human table + JSONL sidecar.
+    let out = mlrl()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--jsonl",
+            jsonl.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run campaign");
+    assert_success(&out, "campaign");
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("era"), "table missing scheme rows: {table}");
+    let sidecar = std::fs::read_to_string(&jsonl).expect("jsonl written");
+    assert!(
+        sidecar.contains("\"cache_hit_rate\""),
+        "summary line missing: {sidecar}"
+    );
+
+    // Boolean --canonical must not swallow the spec path, wherever it sits.
+    let canonical_first = mlrl()
+        .args(["campaign", "--canonical", spec.to_str().unwrap()])
+        .output()
+        .expect("run campaign --canonical");
+    assert_success(&canonical_first, "campaign --canonical <spec>");
+    let canonical_last = mlrl()
+        .args(["campaign", spec.to_str().unwrap(), "--canonical"])
+        .output()
+        .expect("run campaign <spec> --canonical");
+    assert_success(&canonical_last, "campaign <spec> --canonical");
+    assert_eq!(
+        canonical_first.stdout, canonical_last.stdout,
+        "canonical output must not depend on flag position"
+    );
+    assert!(String::from_utf8_lossy(&canonical_first.stdout).starts_with("{\"campaign\":"));
+
+    // --threads override and spec errors.
+    let out = mlrl()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--canonical",
+        ])
+        .output()
+        .expect("run campaign --threads 1");
+    assert_success(&out, "campaign --threads 1");
+    assert_eq!(
+        out.stdout, canonical_first.stdout,
+        "canonical output must not depend on thread count"
+    );
+    std::fs::write(&spec, "schemes = era\n").expect("write bad spec");
+    let out = mlrl()
+        .args(["campaign", spec.to_str().unwrap()])
+        .output()
+        .expect("run campaign on bad spec");
+    assert!(!out.status.success(), "empty-grid spec must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no benchmarks"));
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,8 +27,8 @@ fn every_paper_benchmark_lowers_and_matches_rtl_simulation() {
             continue;
         }
         let module = generate_with_width(&spec, 11, 8);
-        let netlist = lower_module(&module)
-            .unwrap_or_else(|e| panic!("{} fails to lower: {e}", spec.name));
+        let netlist =
+            lower_module(&module).unwrap_or_else(|e| panic!("{} fails to lower: {e}", spec.name));
         let check = check_module_vs_netlist(&module, &netlist, &[], 40, 0, 5)
             .unwrap_or_else(|e| panic!("{} cross-check errors: {e}", spec.name));
         assert!(
@@ -53,13 +53,20 @@ fn era_locked_designs_survive_synthesis_with_the_correct_key() {
         let key: Vec<bool> = (0..locked.key_width())
             .map(|i| outcome.key.bit(i).unwrap_or(false))
             .collect();
-        let mut netlist = lower_module(&locked)
-            .unwrap_or_else(|e| panic!("{name} locked fails to lower: {e}"));
+        let mut netlist =
+            lower_module(&locked).unwrap_or_else(|e| panic!("{name} locked fails to lower: {e}"));
         netlist.sweep();
-        assert_eq!(netlist.key_width(), key.len(), "{name}: key width preserved");
+        assert_eq!(
+            netlist.key_width(),
+            key.len(),
+            "{name}: key width preserved"
+        );
         // Correct key at gate level == original RTL function.
         let check = check_module_vs_netlist(&original, &netlist, &key, 40, 0, 7).expect("checks");
-        assert!(check.is_equivalent(), "{name}: correct key must unlock, {check:?}");
+        assert!(
+            check.is_equivalent(),
+            "{name}: correct key must unlock, {check:?}"
+        );
     }
 }
 
@@ -69,8 +76,9 @@ fn wrong_keys_corrupt_lowered_assure_designs() {
     let original = generate_with_width(&spec, 31, 8);
     let mut locked = original.clone();
     let key = lock_operations(&mut locked, &AssureConfig::serial(20, 9)).expect("locks");
-    let key_bits: Vec<bool> =
-        (0..locked.key_width()).map(|i| key.bit(i).unwrap_or(false)).collect();
+    let key_bits: Vec<bool> = (0..locked.key_width())
+        .map(|i| key.bit(i).unwrap_or(false))
+        .collect();
     let mut netlist = lower_module(&locked).expect("lowers");
     netlist.sweep();
     // Flip each key bit in turn; most must visibly corrupt outputs on
@@ -148,8 +156,7 @@ fn gate_level_locking_composes_with_rtl_locking() {
     let base_unlocked = lower_module(&original).expect("lowers");
 
     let gate_key = mlrl::netlist::lock::xor_xnor_lock(&mut netlist, 8, 3).expect("locks");
-    let full_key: Vec<bool> =
-        rtl_key.iter().chain(gate_key.bits()).copied().collect();
+    let full_key: Vec<bool> = rtl_key.iter().chain(gate_key.bits()).copied().collect();
     let ok = check_netlists(&base_unlocked, &netlist, &[], &full_key, 50, 9).expect("checks");
     assert!(ok.is_equivalent(), "both keys correct must unlock");
 

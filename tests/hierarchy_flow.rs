@@ -44,7 +44,11 @@ fn flatten_then_lock_preserves_hierarchy_function() {
         let mut locked = flat.clone();
         let key = match scheme {
             "assure" => lock_operations(&mut locked, &AssureConfig::serial(6, 3)).expect("lock"),
-            _ => era_lock(&mut locked, &EraConfig::new(6, 3)).expect("lock").key,
+            _ => {
+                era_lock(&mut locked, &EraConfig::new(6, 3))
+                    .expect("lock")
+                    .key
+            }
         };
         let r = check_equiv(&flat, &locked, &[], key.as_bits(), &EquivConfig::default())
             .expect("equiv");
@@ -68,7 +72,11 @@ fn flattened_locked_design_round_trips_and_attacks() {
 
     // The attack runs on the reparsed artifact (the attacker's view).
     let cfg = AttackConfig {
-        relock: RelockConfig { rounds: 15, budget_fraction: 0.75, seed: 7 },
+        relock: RelockConfig {
+            rounds: 15,
+            budget_fraction: 0.75,
+            seed: 7,
+        },
         ..Default::default()
     };
     let report = snapshot_attack(&back, &outcome.key, &cfg).expect("localities");
@@ -80,7 +88,10 @@ fn instance_emission_round_trips_unflattened() {
     let design = parse_design(SOC).expect("parse");
     let lane = design.module("lane").expect("lane exists");
     let text = emit::emit_verilog(lane).expect("emit");
-    assert!(text.contains("mac m0 (.a(x0), .b(x1), .c(x0), .y(s0));"), "{text}");
+    assert!(
+        text.contains("mac m0 (.a(x0), .b(x1), .c(x0), .y(s0));"),
+        "{text}"
+    );
     let back = parser::parse_verilog(&text).expect("reparse");
     assert_eq!(back.instances().len(), 2);
     assert_eq!(back.instances()[0].module_name, "mac");

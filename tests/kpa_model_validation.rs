@@ -17,17 +17,28 @@ fn measured_and_predicted(bench: &str, scheme: &str, seed: u64) -> (f64, f64) {
     let total = visit::binary_ops(&module).len();
     let budget = total * 3 / 4;
     let key = match scheme {
-        "assure" => lock_operations(&mut module, &AssureConfig::serial(budget, seed))
-            .expect("lockable"),
-        "era" => era_lock(&mut module, &EraConfig::new(budget, seed)).expect("lockable").key,
+        "assure" => {
+            lock_operations(&mut module, &AssureConfig::serial(budget, seed)).expect("lockable")
+        }
+        "era" => {
+            era_lock(&mut module, &EraConfig::new(budget, seed))
+                .expect("lockable")
+                .key
+        }
         other => panic!("unknown scheme {other}"),
     };
     let predicted = predict_kpa(&module, &key, &PairTable::fixed()).expected_kpa;
     let cfg = AttackConfig {
-        relock: RelockConfig { rounds: 40, budget_fraction: 0.75, seed: seed ^ 0xBEEF },
+        relock: RelockConfig {
+            rounds: 40,
+            budget_fraction: 0.75,
+            seed: seed ^ 0xBEEF,
+        },
         ..Default::default()
     };
-    let measured = snapshot_attack(&module, &key, &cfg).expect("localities").kpa;
+    let measured = snapshot_attack(&module, &key, &cfg)
+        .expect("localities")
+        .kpa;
     (measured, predicted)
 }
 
@@ -68,8 +79,7 @@ fn model_predicts_the_era_floor_exactly() {
         let spec = benchmark_by_name(bench).expect("benchmark");
         let mut module = mlrl::rtl::bench_designs::generate(&spec, 70 + i as u64);
         let total = visit::binary_ops(&module).len();
-        let outcome =
-            era_lock(&mut module, &EraConfig::new(total * 3 / 4, 71)).expect("lockable");
+        let outcome = era_lock(&mut module, &EraConfig::new(total * 3 / 4, 71)).expect("lockable");
         let predicted = predict_kpa(&module, &outcome.key, &PairTable::fixed()).expected_kpa;
         assert!(
             (predicted - 50.0).abs() < 1e-9,

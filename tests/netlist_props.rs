@@ -106,8 +106,8 @@ proptest! {
             (av.wrapping_add(bv), builder.add(la, lb)),
             (av.wrapping_sub(bv), builder.sub(la, lb)),
             (av.wrapping_mul(bv), builder.mul(la, lb)),
-            (if bv == 0 { 0 } else { av / bv }, builder.divmod(la, lb).0),
-            (if bv == 0 { 0 } else { av % bv }, builder.divmod(la, lb).1),
+            (av.checked_div(bv).unwrap_or(0), builder.divmod(la, lb).0),
+            (av.checked_rem(bv).unwrap_or(0), builder.divmod(la, lb).1),
             (if bv >= 64 { 0 } else { av << bv }, builder.shl(la, lb)),
             (if bv >= 64 { 0 } else { av >> bv }, builder.shr(la, lb)),
             ((av < bv) as u64, {

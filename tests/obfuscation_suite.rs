@@ -10,10 +10,7 @@ use mlrl::rtl::stats::DesignStats;
 use mlrl::rtl::visit;
 
 /// Applies all three obfuscations and returns (locked, concatenated key).
-fn lock_everything(
-    module: &mut mlrl::rtl::Module,
-    seed: u64,
-) -> (Vec<bool>, usize, usize, usize) {
+fn lock_everything(module: &mut mlrl::rtl::Module, seed: u64) -> (Vec<bool>, usize, usize, usize) {
     let ops = visit::binary_ops(module).len();
     let k_op = lock_operations(module, &AssureConfig::serial(ops / 2, seed)).expect("ops");
     let k_br = lock_branches(module, seed ^ 1).expect("branches");
@@ -41,7 +38,11 @@ fn combined_obfuscation_preserves_sequential_behaviour() {
         assert!(n_con > 0, "{bench}: constants present");
         assert_eq!(key.len(), locked.key_width() as usize);
 
-        let cfg = EquivConfig { patterns: 24, ticks: 4, seed: 3 };
+        let cfg = EquivConfig {
+            patterns: 24,
+            ticks: 4,
+            seed: 3,
+        };
         let result = check_equiv(&original, &locked, &[], &key, &cfg).expect("simulatable");
         assert!(result.is_equivalent(), "{bench}: {result:?}");
     }
@@ -53,7 +54,11 @@ fn combined_obfuscation_corrupts_under_bit_flips() {
     let original = generate(&spec, 101);
     let mut locked = original.clone();
     let (key, ..) = lock_everything(&mut locked, 11);
-    let cfg = EquivConfig { patterns: 48, ticks: 4, seed: 5 };
+    let cfg = EquivConfig {
+        patterns: 48,
+        ticks: 4,
+        seed: 5,
+    };
     let mut corrupting = 0usize;
     for bit in 0..key.len() {
         let mut wrong = key.clone();

@@ -32,7 +32,10 @@ enum ETree {
 
 fn etree_strategy() -> impl Strategy<Value = ETree> {
     let leaf = prop_oneof![
-        (any::<u64>(), prop_oneof![Just(None), (1u32..=32).prop_map(Some)])
+        (
+            any::<u64>(),
+            prop_oneof![Just(None), (1u32..=32).prop_map(Some)]
+        )
             .prop_map(|(v, w)| ETree::Const(v & 0xFFFF, w)),
         (0u8..3).prop_map(ETree::Var),
     ];
@@ -41,10 +44,16 @@ fn etree_strategy() -> impl Strategy<Value = ETree> {
         let un = prop_oneof![Just(UnaryOp::Not), Just(UnaryOp::Neg), Just(UnaryOp::LNot)];
         prop_oneof![
             (un, inner.clone()).prop_map(|(u, a)| ETree::Un(u, Box::new(a))),
-            (op, inner.clone(), inner.clone())
-                .prop_map(|(o, a, b)| ETree::Bin(o, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| ETree::Tern(Box::new(c), Box::new(t), Box::new(e))),
+            (op, inner.clone(), inner.clone()).prop_map(|(o, a, b)| ETree::Bin(
+                o,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| ETree::Tern(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }
@@ -56,7 +65,10 @@ fn build(tree: &ETree, m: &mut Module) -> ExprId {
                 Some(w) if *w < 64 => v & ((1u64 << w) - 1),
                 _ => *v,
             };
-            m.alloc_expr(Expr::Const { value: masked, width: *w })
+            m.alloc_expr(Expr::Const {
+                value: masked,
+                width: *w,
+            })
         }
         ETree::Var(i) => m.alloc_expr(Expr::Ident(format!("v{i}"))),
         ETree::Un(op, a) => {
@@ -66,13 +78,21 @@ fn build(tree: &ETree, m: &mut Module) -> ExprId {
         ETree::Bin(op, a, b) => {
             let a = build(a, m);
             let b = build(b, m);
-            m.alloc_expr(Expr::Binary { op: *op, lhs: a, rhs: b })
+            m.alloc_expr(Expr::Binary {
+                op: *op,
+                lhs: a,
+                rhs: b,
+            })
         }
         ETree::Tern(c, t, e) => {
             let c = build(c, m);
             let t = build(t, m);
             let e = build(e, m);
-            m.alloc_expr(Expr::Ternary { cond: c, then_expr: t, else_expr: e })
+            m.alloc_expr(Expr::Ternary {
+                cond: c,
+                then_expr: t,
+                else_expr: e,
+            })
         }
     }
 }

@@ -94,7 +94,10 @@ fn dip_counts_stay_far_below_brute_force() {
         sat_attack_with_sim_oracle(&netlist, &key, &SatAttackConfig { max_dips: 1024 })
             .expect("attack converges");
     let input_bits: usize = netlist.inputs().iter().map(|p| p.width()).sum();
-    assert!(input_bits >= 20, "test design has a non-trivial input space");
+    assert!(
+        input_bits >= 20,
+        "test design has a non-trivial input space"
+    );
     assert!(
         (report.dips as f64) < 2f64.powi(input_bits as i32) / 1e3,
         "{} DIPs is not far below 2^{input_bits}",

@@ -34,7 +34,10 @@ fn folding_a_locked_design_preserves_function() {
             &EquivConfig::default(),
         )
         .expect("equiv");
-        assert!(r.is_equivalent(), "{bench}: folding broke the locked design");
+        assert!(
+            r.is_equivalent(),
+            "{bench}: folding broke the locked design"
+        );
     }
 }
 
@@ -89,7 +92,11 @@ fn attack_on_folded_era_design_stays_at_chance() {
         let mut folded = locked.clone();
         constant_fold(&mut folded).expect("fold");
         let cfg = AttackConfig {
-            relock: RelockConfig { rounds: 25, budget_fraction: 0.75, seed: i ^ 0x33 },
+            relock: RelockConfig {
+                rounds: 25,
+                budget_fraction: 0.75,
+                seed: i ^ 0x33,
+            },
             ..Default::default()
         };
         let report = snapshot_attack(&folded, &outcome.key, &cfg).expect("localities");

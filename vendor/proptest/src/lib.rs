@@ -1,0 +1,948 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the API subset the mlrl test suite uses: the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, [`strategy::Just`],
+//! `any::<T>()`, ranges and tuples as strategies, `prop_oneof!`,
+//! [`collection::vec`], [`sample::select`], [`array::uniform3`],
+//! [`string::string_regex`] (a small regex *generator* subset), and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`] macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed and panics as-is), generation is driven by a xoshiro-based RNG
+//! seeded from the test name (deterministic across runs), and regex
+//! generation supports only `atom{m,n}` / `atom*` / `atom+` / `atom?`
+//! sequences where `atom` is a literal, `.`, or a `[...]` class.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Config and failure plumbing for generated test fns.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs out; try another case.
+        Reject(String),
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failing variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejecting variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod rng {
+    //! Self-contained deterministic generator (xoshiro256++), so the shim
+    //! has no dependency on the workspace's `rand` stand-in.
+
+    /// Deterministic test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds from a 64-bit value via SplitMix64.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a over a string — used to derive per-test seeds from names.
+    pub fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        hash
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::rng::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into branches, up to `depth`
+        /// levels. (`desired_size` and `expected_branch_size` only shape
+        /// the branch probability here.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let make: Rc<RecurseFn<Self::Value>> =
+                Rc::new(move |inner: BoxedStrategy<Self::Value>| recurse(inner).boxed());
+            Recursive {
+                base: self.boxed(),
+                make,
+                depth,
+            }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    type RecurseFn<T> = dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>;
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        make: Rc<RecurseFn<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                make: Rc::clone(&self.make),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            if self.depth == 0 || rng.unit_f64() < 0.25 {
+                return self.base.generate(rng);
+            }
+            let inner = Recursive {
+                base: self.base.clone(),
+                make: Rc::clone(&self.make),
+                depth: self.depth - 1,
+            }
+            .boxed();
+            (self.make)(inner).generate(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(61) as i32 - 30) as f64;
+            mantissa * exp.exp2()
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`]; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end.wrapping_sub(start) as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        /// A string literal is a generation *regex* (proptest semantics).
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_regex(self, rng)
+                .unwrap_or_else(|e| panic!("invalid regex strategy `{self}`: {e}"))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Generates `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Uniformly selects one element of `items` per case.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty collection");
+        Select { items }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Generates `[T; N]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// Generic constructor behind the `uniformN` helpers.
+    pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+        UniformArray { element }
+    }
+
+    macro_rules! uniform_n {
+        ($($fn_name:ident => $n:literal),*) => {$(
+            /// Generates a fixed-size array from one element strategy.
+            pub fn $fn_name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                uniform(element)
+            }
+        )*};
+    }
+
+    uniform_n!(uniform2 => 2, uniform3 => 3, uniform4 => 4);
+}
+
+pub mod string {
+    //! Regex-shaped string *generation* (subset).
+
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Strategy generating strings matching a regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexStrategy {
+        pattern: String,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_regex(&self.pattern, rng)
+                .unwrap_or_else(|e| panic!("invalid regex strategy `{}`: {e}", self.pattern))
+        }
+    }
+
+    /// Compiles `pattern` into a generation strategy.
+    ///
+    /// Supported: sequences of atoms with optional quantifiers, where an
+    /// atom is a literal character, an escape, `.` (printable ASCII), or a
+    /// `[...]` class of characters/ranges, and a quantifier is `{m,n}`,
+    /// `{n}`, `*`, `+` or `?`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        // Validate once so errors surface at construction.
+        parse(pattern)?;
+        Ok(RegexStrategy {
+            pattern: pattern.to_owned(),
+        })
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges.
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_escape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Result<Vec<Piece>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Class(vec![(' ', '~')])
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            parse_escape(*chars.get(i).ok_or("dangling escape")?)
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = if chars[i] == '\\' {
+                                i += 1;
+                                parse_escape(*chars.get(i).ok_or("dangling escape")?)
+                            } else {
+                                chars[i]
+                            };
+                            i += 1;
+                            if hi < lo {
+                                return Err(format!("inverted class range {lo:?}-{hi:?}"));
+                            }
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated character class".to_owned());
+                    }
+                    i += 1; // consume ']'
+                    if ranges.is_empty() {
+                        return Err("empty character class".to_owned());
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or("dangling escape")?;
+                    i += 1;
+                    Atom::Literal(parse_escape(c))
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    i += 1;
+                    let mut body = String::new();
+                    while i < chars.len() && chars[i] != '}' {
+                        body.push(chars[i]);
+                        i += 1;
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated {..} quantifier".to_owned());
+                    }
+                    i += 1; // consume '}'
+                    let parts: Vec<&str> = body.split(',').collect();
+                    match parts.as_slice() {
+                        [n] => {
+                            let n: usize =
+                                n.trim().parse().map_err(|e| format!("bad {{n}}: {e}"))?;
+                            (n, n)
+                        }
+                        [m, n] => {
+                            let m: usize =
+                                m.trim().parse().map_err(|e| format!("bad {{m,n}}: {e}"))?;
+                            let n: usize =
+                                n.trim().parse().map_err(|e| format!("bad {{m,n}}: {e}"))?;
+                            if n < m {
+                                return Err(format!("inverted quantifier {{{m},{n}}}"));
+                            }
+                            (m, n)
+                        }
+                        _ => return Err(format!("unsupported quantifier {{{body}}}")),
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(pieces)
+    }
+
+    pub(crate) fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> Result<String, String> {
+        let pieces = parse(pattern)?;
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u64 - *lo as u64 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (does not count towards `cases`) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over freshly
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                let mut rng = $crate::rng::TestRng::seed_from_u64(
+                    $crate::rng::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut passed = 0u32;
+                let mut rejected = 0u32;
+                while passed < config.cases {
+                    let case = (|rng: &mut $crate::rng::TestRng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strategy), rng);
+                        )+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok::<(), $crate::test_runner::TestCaseError>(())
+                    })(&mut rng);
+                    match case {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "{}: too many prop_assume! rejections ({rejected})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "{} failed after {passed} passing case(s): {msg}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..=6), c in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            let _ = c;
+        }
+
+        #[test]
+        fn recursive_depth_is_bounded(
+            t in Just(Tree::Leaf(0)).prop_map(|t| t).boxed().prop_recursive(
+                3, 8, 2,
+                |inner| (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b))),
+            ),
+        ) {
+            prop_assert!(depth(&t) <= 3, "depth {} too deep", depth(&t));
+        }
+
+        #[test]
+        fn oneof_vec_select_cover(
+            v in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..4),
+            s in crate::sample::select(vec!["x", "y"]),
+            arr in crate::array::uniform3(any::<u64>()),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|x| *x == 1 || *x == 2));
+            prop_assert!(s == "x" || s == "y");
+            let _ = arr;
+        }
+
+        #[test]
+        fn assume_rejects_dont_count(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching(src in "[ -~\\n]{0,20}") {
+            prop_assert!(src.len() <= 20);
+            prop_assert!(src.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_garbage() {
+        assert!(crate::string::string_regex("[unterminated").is_err());
+        assert!(crate::string::string_regex(".{0,120}").is_ok());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The mlrl workspace only uses serde as a *marker* — result structs in
+//! `mlrl-bench` derive `Serialize` so a future exporter can stream them —
+//! and the build environment has no crates.io access. This shim keeps the
+//! derive compiling: [`Serialize`] is a blanket-implemented marker trait,
+//! and the re-exported derive macro emits no code. All actual JSON output
+//! in the workspace is hand-rolled (see `mlrl-engine`'s report module).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented so the
+/// no-op derive is always satisfied.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}

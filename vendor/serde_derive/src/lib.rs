@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! The workspace builds offline; the result structs in `mlrl-bench` carry
+//! `#[derive(Serialize)]` as documentation of intent, and the vendored
+//! `serde` crate's blanket impl makes every type `Serialize`. This derive
+//! therefore only needs to accept the input and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts any item and emits no code (the shim's blanket impl covers it).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts any item and emits no code, mirroring `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
