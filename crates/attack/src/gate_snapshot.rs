@@ -22,6 +22,8 @@ use mlrl_ml::dataset::{Dataset, OneHotEncoder};
 use mlrl_netlist::ir::{NetId, Netlist};
 use mlrl_netlist::lock::{lock_netlist, GateKey, GateLockScheme};
 
+use crate::relock::TrainingSet;
+
 /// Number of categorical features in a gate-level locality vector.
 pub const GATE_LOCALITY_WIDTH: usize = 5;
 
@@ -151,27 +153,14 @@ pub struct GateAttackReport {
     pub predictions: Vec<(usize, bool)>,
 }
 
-/// Runs gate-level SnapShot against a locked netlist.
+/// Assembles a self-referencing gate-level training set: relock the locked
+/// target with fresh keys the attacker chooses, extract the localities of
+/// the new bits, label them with the chosen key values.
 ///
-/// `true_key` scores the prediction only — the oracle-less attacker sees
-/// nothing but the locked netlist. Returns `None` if the target exposes no
-/// key-gate localities or training fails to produce samples.
-pub fn gate_snapshot_attack(
-    target: &Netlist,
-    true_key: &GateKey,
-    cfg: &GateAttackConfig,
-) -> Option<GateAttackReport> {
-    let target_bits = true_key.len();
-    let target_localities: Vec<GateLocality> = extract_gate_localities(target)
-        .into_iter()
-        .filter(|l| l.key_bit < target_bits)
-        .collect();
-    if target_localities.is_empty() {
-        return None;
-    }
-
-    // Self-referencing training set: relock the locked target with fresh
-    // keys the attacker chooses, extract the localities of the new bits.
+/// Rows are [`GATE_LOCALITY_WIDTH`]-wide categorical vectors in a
+/// [`TrainingSet`], so campaign caches can share one set between the
+/// frequency-table and auto-ml attacks on the same locked instance.
+pub fn build_gate_training_set(target: &Netlist, cfg: &GateAttackConfig) -> TrainingSet {
     let mut features: Vec<Vec<u32>> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
     for round in 0..cfg.rounds {
@@ -193,30 +182,48 @@ pub fn gate_snapshot_attack(
             }
         }
     }
-    if features.is_empty() {
+    TrainingSet { features, labels }
+}
+
+/// Runs gate-level SnapShot against a locked netlist.
+///
+/// `true_key` scores the prediction only — the oracle-less attacker sees
+/// nothing but the locked netlist. Returns `None` if the target exposes no
+/// key-gate localities or training fails to produce samples.
+pub fn gate_snapshot_attack(
+    target: &Netlist,
+    true_key: &GateKey,
+    cfg: &GateAttackConfig,
+) -> Option<GateAttackReport> {
+    let training = build_gate_training_set(target, cfg);
+    gate_snapshot_attack_with_training(target, true_key, cfg, &training)
+}
+
+/// [`gate_snapshot_attack`] over a pre-built (typically cached) training
+/// set.
+pub fn gate_snapshot_attack_with_training(
+    target: &Netlist,
+    true_key: &GateKey,
+    cfg: &GateAttackConfig,
+    training: &TrainingSet,
+) -> Option<GateAttackReport> {
+    let target_localities = scoreable_localities(target, true_key)?;
+    if training.is_empty() {
         return None;
     }
 
-    let mut vocab = features.clone();
+    let mut vocab = training.features.clone();
     vocab.extend(target_localities.iter().map(|l| l.features.clone()));
     let encoder = OneHotEncoder::fit(&vocab);
-    let x = encoder.transform_all(&features);
-    let train = Dataset::from_rows(x, labels).expect("training set is consistent");
+    let x = encoder.transform_all(&training.features);
+    let train = Dataset::from_rows(x, training.labels.clone()).expect("training set is consistent");
     let training_samples = train.len();
     let outcome = auto_fit(&train, &cfg.automl);
 
-    let mut predictions = Vec::with_capacity(target_localities.len());
-    let mut correct = 0usize;
-    for loc in &target_localities {
-        let row = encoder.transform(&loc.features);
-        let predicted = outcome.model.predict(&row) == 1;
-        predictions.push((loc.key_bit, predicted));
-        if predicted == true_key.bits()[loc.key_bit] {
-            correct += 1;
-        }
-    }
+    let predict =
+        |loc: &GateLocality| outcome.model.predict(&encoder.transform(&loc.features)) == 1;
+    let (predictions, kpa) = score_predictions(&target_localities, true_key, predict);
     let attacked_bits = predictions.len();
-    let kpa = 100.0 * correct as f64 / attacked_bits as f64;
 
     Some(GateAttackReport {
         kpa,
@@ -229,6 +236,95 @@ pub fn gate_snapshot_attack(
             .unwrap_or_else(|| "unknown".to_owned()),
         predictions,
     })
+}
+
+/// Runs the Bayes-optimal frequency-table attack at gate level: count
+/// `locality → key bit` frequencies in the training set and predict the
+/// majority label per target locality (ties and unseen localities fall
+/// back to 0, mirroring [`crate::freq_table`]).
+///
+/// Returns `None` under the same conditions as [`gate_snapshot_attack`].
+pub fn gate_freq_table_attack(
+    target: &Netlist,
+    true_key: &GateKey,
+    cfg: &GateAttackConfig,
+) -> Option<GateAttackReport> {
+    let training = build_gate_training_set(target, cfg);
+    gate_freq_table_attack_with_training(target, true_key, &training)
+}
+
+/// [`gate_freq_table_attack`] over a pre-built (typically cached) training
+/// set.
+pub fn gate_freq_table_attack_with_training(
+    target: &Netlist,
+    true_key: &GateKey,
+    training: &TrainingSet,
+) -> Option<GateAttackReport> {
+    let target_localities = scoreable_localities(target, true_key)?;
+    if training.is_empty() {
+        return None;
+    }
+
+    let mut table: std::collections::HashMap<&[u32], (usize, usize)> =
+        std::collections::HashMap::new();
+    for (f, &label) in training.features.iter().zip(&training.labels) {
+        let slot = table.entry(f.as_slice()).or_insert((0, 0));
+        if label == 1 {
+            slot.1 += 1;
+        } else {
+            slot.0 += 1;
+        }
+    }
+
+    let predict = |loc: &GateLocality| {
+        table
+            .get(loc.features.as_slice())
+            .map(|&(zeros, ones)| ones > zeros)
+            .unwrap_or(false)
+    };
+    let (predictions, kpa) = score_predictions(&target_localities, true_key, predict);
+    let attacked_bits = predictions.len();
+
+    Some(GateAttackReport {
+        kpa,
+        attacked_bits,
+        training_samples: training.len(),
+        model_name: "freq-table".to_owned(),
+        predictions,
+    })
+}
+
+/// Target localities whose key bits the true key can score; `None` when
+/// the target exposes none.
+fn scoreable_localities(target: &Netlist, true_key: &GateKey) -> Option<Vec<GateLocality>> {
+    let localities: Vec<GateLocality> = extract_gate_localities(target)
+        .into_iter()
+        .filter(|l| l.key_bit < true_key.len())
+        .collect();
+    if localities.is_empty() {
+        None
+    } else {
+        Some(localities)
+    }
+}
+
+/// Applies `predict` to every locality and scores against the true key.
+fn score_predictions(
+    localities: &[GateLocality],
+    true_key: &GateKey,
+    predict: impl Fn(&GateLocality) -> bool,
+) -> (Vec<(usize, bool)>, f64) {
+    let mut predictions = Vec::with_capacity(localities.len());
+    let mut correct = 0usize;
+    for loc in localities {
+        let predicted = predict(loc);
+        predictions.push((loc.key_bit, predicted));
+        if predicted == true_key.bits()[loc.key_bit] {
+            correct += 1;
+        }
+    }
+    let kpa = 100.0 * correct as f64 / predictions.len() as f64;
+    (predictions, kpa)
 }
 
 #[cfg(test)]
@@ -315,9 +411,44 @@ mod tests {
     }
 
     #[test]
+    fn freq_table_breaks_xor_xnor_and_matches_snapshot_shape() {
+        // The cell type fully determines the key bit, so even the plain
+        // frequency table reaches ≈ 100 % on XOR/XNOR locking.
+        let mut n = sample_netlist(0);
+        let key = xor_xnor_lock(&mut n, 24, 7).unwrap();
+        let cfg = fast_cfg(GateLockScheme::XorXnor);
+        let report = gate_freq_table_attack(&n, &key, &cfg).unwrap();
+        assert_eq!(report.attacked_bits, 24);
+        assert_eq!(report.model_name, "freq-table");
+        assert!(
+            report.kpa >= 95.0,
+            "expected near-total break, got {}",
+            report.kpa
+        );
+    }
+
+    #[test]
+    fn cached_training_sets_reproduce_direct_runs() {
+        let mut n = sample_netlist(0);
+        let key = xor_xnor_lock(&mut n, 16, 3).unwrap();
+        let cfg = fast_cfg(GateLockScheme::XorXnor);
+        let training = build_gate_training_set(&n, &cfg);
+        assert!(!training.is_empty());
+        assert!(training
+            .features
+            .iter()
+            .all(|f| f.len() == GATE_LOCALITY_WIDTH));
+        let direct = gate_freq_table_attack(&n, &key, &cfg).unwrap();
+        let shared = gate_freq_table_attack_with_training(&n, &key, &training).unwrap();
+        assert_eq!(direct.predictions, shared.predictions);
+        assert_eq!(direct.kpa, shared.kpa);
+    }
+
+    #[test]
     fn unlocked_netlist_yields_none() {
         let n = sample_netlist(2);
         let key = GateKey::new();
         assert!(gate_snapshot_attack(&n, &key, &fast_cfg(GateLockScheme::XorXnor)).is_none());
+        assert!(gate_freq_table_attack(&n, &key, &fast_cfg(GateLockScheme::XorXnor)).is_none());
     }
 }

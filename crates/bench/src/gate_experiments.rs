@@ -1,327 +1,22 @@
-//! Gate-level experiments: the Fig. 1 motivation and the §5 oracle-guided
-//! open question.
+//! Gate-level experiments: the §5.1 multi-objective evaluation.
 //!
-//! - [`run_fig1`] quantifies the paper's premise that ML-driven structural
-//!   attacks break *gate-level* locking while RTL locking can resist:
-//!   the same designs, the same key-bit counts, attacked with the same
-//!   auto-ml stack at both abstraction levels.
-//! - [`run_sat_eval`] answers "are the locking algorithms resilient to
-//!   oracle-guided attacks?" by running the classic SAT attack against
-//!   RTL-locked designs lowered to gates and against gate-locked netlists.
+//! The Fig. 1 gate-vs-RTL comparison and the §5 SAT-attack evaluation
+//! used to live here as hand-rolled loops; they now run as gate-level
+//! campaigns on `mlrl_engine` (see `mlrl_engine::drivers::fig1_campaigns`
+//! / `sat_eval_campaign`), and their binaries are thin printers over
+//! `Engine` output. [`run_multi_objective`] remains: it crosses three
+//! orthogonal metrics per instance (learning resilience, output
+//! corruptibility, SAT resistance), a shape the per-cell campaign grid
+//! does not express.
 
-use mlrl_attack::gate_snapshot::{gate_snapshot_attack, GateAttackConfig};
-use mlrl_ml::automl::AutoMlConfig;
-use mlrl_netlist::ir::Netlist;
-use mlrl_netlist::lock::{lock_netlist, GateLockScheme};
 use mlrl_netlist::lower::lower_module;
-use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width, DesignSpec};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width};
 use mlrl_rtl::visit;
 use mlrl_sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
 use serde::Serialize;
 
-use crate::experiments::{attack_instance, lock_benchmark, Scheme};
-
-// ---------------------------------------------------------------------------
-// Fig. 1 — gate-level vs RTL locking under structural ML attacks
-// ---------------------------------------------------------------------------
-
-/// Configuration of the Fig. 1 experiment.
-#[derive(Debug, Clone)]
-pub struct Fig1Config {
-    /// Benchmarks to evaluate (must be lowerable: everything except RSA,
-    /// whose locked form contains variable-exponent `**` dummies).
-    pub benchmarks: Vec<String>,
-    /// Independently locked instances per cell (results are averaged).
-    pub instances: usize,
-    /// Relock rounds for the gate-level training sets.
-    pub gate_rounds: usize,
-    /// Relock rounds for the RTL training sets.
-    pub rtl_rounds: usize,
-    /// Base RNG seed.
-    pub seed: u64,
-}
-
-impl Default for Fig1Config {
-    fn default() -> Self {
-        Self {
-            benchmarks: vec![
-                "DES3".into(),
-                "MD5".into(),
-                "SASC".into(),
-                "SIM_SPI".into(),
-                "USB_PHY".into(),
-                "I2C_SL".into(),
-            ],
-            instances: 3,
-            gate_rounds: 30,
-            rtl_rounds: 60,
-            seed: 2022,
-        }
-    }
-}
-
-/// One benchmark row of the Fig. 1 experiment.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig1Row {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Key bits used at both levels (75 % of the benchmark's operations).
-    pub key_bits: usize,
-    /// Gates in the lowered (unlocked) netlist.
-    pub gates: usize,
-    /// Mean KPA of gate-level SnapShot on XOR/XNOR locking.
-    pub kpa_gate_xor: f64,
-    /// Mean KPA of gate-level SnapShot on MUX locking.
-    pub kpa_gate_mux: f64,
-    /// Mean KPA of SnapShot-RTL on serial ASSURE.
-    pub kpa_rtl_assure: f64,
-    /// Mean KPA of SnapShot-RTL on ERA.
-    pub kpa_rtl_era: f64,
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        f64::NAN
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-/// Runs the Fig. 1 experiment.
-///
-/// # Panics
-///
-/// Panics on unknown benchmark names or unlowerable designs.
-pub fn run_fig1(cfg: &Fig1Config) -> Vec<Fig1Row> {
-    let mut rows = Vec::new();
-    for name in &cfg.benchmarks {
-        let spec: DesignSpec =
-            benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
-        let mut gate_xor = Vec::new();
-        let mut gate_mux = Vec::new();
-        let mut rtl_assure = Vec::new();
-        let mut rtl_era = Vec::new();
-        let mut gates = 0usize;
-
-        for i in 0..cfg.instances {
-            let seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
-            let module = generate_with_width(&spec, seed, 32);
-            let mut netlist = lower_module(&module).expect("benchmark lowers");
-            netlist.sweep();
-            gates = netlist.gates().len();
-
-            for (scheme, sink) in [
-                (GateLockScheme::XorXnor, &mut gate_xor),
-                (GateLockScheme::Mux, &mut gate_mux),
-            ] {
-                let mut locked = netlist.clone();
-                let key = lock_netlist(&mut locked, scheme, key_bits, seed ^ 0x10c)
-                    .expect("enough lockable wires");
-                let gcfg = GateAttackConfig {
-                    scheme,
-                    rounds: cfg.gate_rounds,
-                    bits_per_round: key_bits.min(64),
-                    seed: seed ^ 0xa77,
-                    automl: AutoMlConfig {
-                        seed,
-                        ..Default::default()
-                    },
-                };
-                if let Some(report) = gate_snapshot_attack(&locked, &key, &gcfg) {
-                    sink.push(report.kpa);
-                }
-            }
-
-            for (scheme, sink) in [
-                (Scheme::Assure, &mut rtl_assure),
-                (Scheme::Era, &mut rtl_era),
-            ] {
-                let (locked, key) = lock_benchmark(&spec, scheme, seed);
-                if let Some(kpa) = attack_instance(&locked, &key, cfg.rtl_rounds, seed ^ 0xbee) {
-                    sink.push(kpa);
-                }
-            }
-        }
-
-        rows.push(Fig1Row {
-            benchmark: name.clone(),
-            key_bits,
-            gates,
-            kpa_gate_xor: mean(&gate_xor),
-            kpa_gate_mux: mean(&gate_mux),
-            kpa_rtl_assure: mean(&rtl_assure),
-            kpa_rtl_era: mean(&rtl_era),
-        });
-    }
-    rows
-}
-
-// ---------------------------------------------------------------------------
-// §5 open question — the oracle-guided SAT attack
-// ---------------------------------------------------------------------------
-
-/// Configuration of the SAT-attack evaluation.
-#[derive(Debug, Clone)]
-pub struct SatEvalConfig {
-    /// Benchmarks to evaluate (kept small and Mod-free so the bit-blasted
-    /// locked designs stay within SAT reach).
-    pub benchmarks: Vec<String>,
-    /// Signal width for design generation (narrow keeps CNFs small).
-    pub width: u32,
-    /// Upper bound on DIP iterations.
-    pub max_dips: usize,
-    /// Base RNG seed.
-    pub seed: u64,
-}
-
-impl Default for SatEvalConfig {
-    fn default() -> Self {
-        Self {
-            benchmarks: vec![
-                "SASC".into(),
-                "SIM_SPI".into(),
-                "USB_PHY".into(),
-                "I2C_SL".into(),
-            ],
-            width: 8,
-            max_dips: 512,
-            seed: 2022,
-        }
-    }
-}
-
-/// One benchmark × scheme row of the SAT evaluation.
-#[derive(Debug, Clone, Serialize)]
-pub struct SatEvalRow {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Locking scheme label.
-    pub scheme: String,
-    /// Key bits in the locked design.
-    pub key_bits: usize,
-    /// Gates in the attacked netlist.
-    pub gates: usize,
-    /// DIP iterations (oracle queries) the attack needed.
-    pub dips: usize,
-    /// Whether the attack proved functional correctness (UNSAT miter).
-    pub proved: bool,
-    /// Whether the recovered key was verified functionally correct by
-    /// random simulation.
-    pub key_correct: bool,
-}
-
-/// Lowers an RTL-locked benchmark instance, returning the locked netlist
-/// and the correct key bits.
-fn lowered_locked(
-    spec: &DesignSpec,
-    scheme: Scheme,
-    width: u32,
-    seed: u64,
-) -> (Netlist, Vec<bool>) {
-    let mut module = generate_with_width(spec, seed, width);
-    let total = visit::binary_ops(&module).len();
-    let budget = (total as f64 * 0.75).round() as usize;
-    let key = crate::experiments::lock_scheme_on(&mut module, scheme, budget, seed ^ 0x5eed);
-    // Scan view: oracle-guided attacks assume scan-chain access to state.
-    let mut netlist = lower_module(&module)
-        .expect("locked benchmark lowers")
-        .to_scan_view();
-    netlist.sweep();
-    let bits: Vec<bool> = (0..module.key_width())
-        .map(|i| key.bit(i).unwrap_or(false))
-        .collect();
-    (netlist, bits)
-}
-
-/// Runs the SAT-attack evaluation over RTL schemes (lowered to gates) and
-/// gate-level schemes.
-///
-/// # Panics
-///
-/// Panics on unknown benchmark names or unlowerable designs.
-pub fn run_sat_eval(cfg: &SatEvalConfig) -> Vec<SatEvalRow> {
-    let sat_cfg = SatAttackConfig {
-        max_dips: cfg.max_dips,
-    };
-    let mut rows = Vec::new();
-    for name in &cfg.benchmarks {
-        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        let seed = cfg.seed ^ (name.len() as u64) << 7;
-
-        // RTL-locked, then lowered: ASSURE / HRA / ERA.
-        for scheme in Scheme::ALL {
-            let (netlist, key) = lowered_locked(&spec, scheme, cfg.width, seed);
-            let (report, key_correct) = match sat_attack_with_sim_oracle(&netlist, &key, &sat_cfg) {
-                Ok(r) => r,
-                Err(_) => {
-                    rows.push(SatEvalRow {
-                        benchmark: name.clone(),
-                        scheme: scheme.name().to_owned(),
-                        key_bits: key.len(),
-                        gates: netlist.gates().len(),
-                        dips: cfg.max_dips,
-                        proved: false,
-                        key_correct: false,
-                    });
-                    continue;
-                }
-            };
-            rows.push(SatEvalRow {
-                benchmark: name.clone(),
-                scheme: scheme.name().to_owned(),
-                key_bits: key.len(),
-                gates: netlist.gates().len(),
-                dips: report.dips,
-                proved: report.proved,
-                key_correct,
-            });
-        }
-
-        // Gate-level locking on the lowered (unlocked) design, attacked
-        // through the scan view.
-        let module = generate_with_width(&spec, seed, cfg.width);
-        let mut base = lower_module(&module)
-            .expect("benchmark lowers")
-            .to_scan_view();
-        base.sweep();
-        let key_bits = (spec.total_ops() as f64 * 0.75).round() as usize;
-        for (scheme, label) in [
-            (GateLockScheme::XorXnor, "XOR/XNOR"),
-            (GateLockScheme::Mux, "MUX"),
-        ] {
-            let mut locked = base.clone();
-            let key = lock_netlist(&mut locked, scheme, key_bits, seed ^ 0x10c)
-                .expect("enough lockable wires");
-            let (report, key_correct) =
-                match sat_attack_with_sim_oracle(&locked, key.bits(), &sat_cfg) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        rows.push(SatEvalRow {
-                            benchmark: name.clone(),
-                            scheme: label.to_owned(),
-                            key_bits: key.len(),
-                            gates: locked.gates().len(),
-                            dips: cfg.max_dips,
-                            proved: false,
-                            key_correct: false,
-                        });
-                        continue;
-                    }
-                };
-            rows.push(SatEvalRow {
-                benchmark: name.clone(),
-                scheme: label.to_owned(),
-                key_bits: key.len(),
-                gates: locked.gates().len(),
-                dips: report.dips,
-                proved: report.proved,
-                key_correct,
-            });
-        }
-    }
-    rows
-}
+use crate::experiments::attack_instance;
+use crate::experiments::Scheme;
 
 // ---------------------------------------------------------------------------
 // §5.1 — the three security objectives side by side
@@ -429,6 +124,7 @@ pub fn run_multi_objective(cfg: &MultiObjectiveConfig) -> Vec<MultiObjectiveRow>
             netlist.sweep();
             let sat_cfg = SatAttackConfig {
                 max_dips: cfg.max_dips,
+                ..Default::default()
             };
             let sat_dips = sat_attack_with_sim_oracle(&netlist, &bits, &sat_cfg)
                 .map(|(r, _)| r.dips)
@@ -472,44 +168,5 @@ mod tests {
         // ERA resists learning better than ASSURE on this seed.
         let kpa_of = |s: &str| rows.iter().find(|r| r.scheme == s).unwrap().kpa;
         assert!(kpa_of("ERA") <= kpa_of("ASSURE") + 10.0);
-    }
-
-    #[test]
-    fn fig1_runs_on_a_small_benchmark() {
-        let cfg = Fig1Config {
-            benchmarks: vec!["SIM_SPI".into()],
-            instances: 1,
-            gate_rounds: 10,
-            rtl_rounds: 15,
-            seed: 7,
-        };
-        let rows = run_fig1(&cfg);
-        assert_eq!(rows.len(), 1);
-        let r = &rows[0];
-        assert!(r.gates > 0);
-        // The Fig. 1 shape: XOR/XNOR gate locking is (nearly) fully broken,
-        // ERA holds near chance.
-        assert!(
-            r.kpa_gate_xor >= 90.0,
-            "gate XOR/XNOR KPA {}",
-            r.kpa_gate_xor
-        );
-        assert!(r.kpa_rtl_era <= 75.0, "ERA KPA {}", r.kpa_rtl_era);
-    }
-
-    #[test]
-    fn sat_eval_breaks_every_scheme_on_a_small_benchmark() {
-        let cfg = SatEvalConfig {
-            benchmarks: vec!["SIM_SPI".into()],
-            width: 6,
-            max_dips: 512,
-            seed: 3,
-        };
-        let rows = run_sat_eval(&cfg);
-        assert_eq!(rows.len(), 5);
-        for row in &rows {
-            assert!(row.proved, "{} should be SAT-broken", row.scheme);
-            assert!(row.key_correct, "{} key must unlock", row.scheme);
-        }
     }
 }

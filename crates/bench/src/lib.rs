@@ -1,12 +1,13 @@
 //! # mlrl-bench — experiment harness for the DAC'22 reproduction
 //!
 //! [`experiments`] hosts one runner per paper artifact (Fig. 4, Fig. 5a/5b,
-//! Fig. 6a/6b, §3.2); [`gate_experiments`] adds the Fig. 1 gate-vs-RTL
-//! comparison and the §5 oracle-guided SAT evaluation. The
-//! `fig4_observations`, `fig5_metric`, `fig6_kpa`, `sec32_pair_leakage`,
-//! `fig1_gate_vs_rtl` and `sat_attack_eval` binaries print the regenerated
-//! tables/series; Criterion benches under `benches/` measure the building
-//! blocks.
+//! Fig. 6a/6b, §3.2); [`gate_experiments`] adds the §5.1 multi-objective
+//! evaluation. The Fig. 1 gate-vs-RTL comparison and the §5 oracle-guided
+//! SAT evaluation run as gate-level campaigns on `mlrl_engine`, with the
+//! `fig1_gate_vs_rtl` and `sat_attack_eval` binaries as thin printers over
+//! `Engine` output. The `fig4_observations`, `fig5_metric`, `fig6_kpa` and
+//! `sec32_pair_leakage` binaries print the regenerated tables/series;
+//! Criterion benches under `benches/` measure the building blocks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -10,11 +10,15 @@
 //! - **locked modules** (+ key + metric trace) — keyed by the emitted
 //!   Verilog of the base design plus the locking config,
 //! - **relock training sets** — keyed by the emitted Verilog of the
-//!   locked design plus the relock config.
+//!   locked design plus the relock config,
+//! - **lowered netlists** (+ gate key, when gate-locked) — keyed by the
+//!   emitted Verilog of the source module plus the lowering / gate-lock
+//!   config, so one synthesis serves every gate-level cell that shares
+//!   the source.
 //!
-//! With a spill directory configured, locked modules and training sets
-//! also persist as files named by their content hash, so separate CLI
-//! invocations of the same spec warm-start from disk.
+//! With a spill directory configured, locked modules, training sets, and
+//! lowered netlists also persist as files named by their content hash, so
+//! separate CLI invocations of the same spec warm-start from disk.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -23,6 +27,8 @@ use std::sync::{Arc, Mutex};
 
 use mlrl_attack::relock::TrainingSet;
 use mlrl_locking::key::{Key, KeyBitKind};
+use mlrl_netlist::serdes::{emit_netlist, parse_netlist};
+use mlrl_netlist::Netlist;
 use mlrl_rtl::parser::parse_verilog;
 use mlrl_rtl::Module;
 
@@ -39,13 +45,29 @@ pub struct LockedArtifact {
     pub trace: Option<Vec<(usize, f64)>>,
 }
 
+/// A lowered (synthesized) netlist, optionally gate-locked.
+#[derive(Debug, Clone)]
+pub struct LoweredArtifact {
+    /// The netlist (scan view, dead logic swept).
+    pub netlist: Netlist,
+    /// The correct key bits (`K[0]` first); empty when the artifact is a
+    /// plain synthesis of an unlocked module.
+    pub key: Vec<bool>,
+}
+
 /// Cache hit/miss counters at one point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups served from memory or disk.
+    /// Lookups served from memory or disk, all shards.
     pub hits: usize,
-    /// Lookups that had to compute.
+    /// Lookups that had to compute, all shards.
     pub misses: usize,
+    /// Lowered-netlist shard lookups served from memory or disk (also
+    /// counted in `hits`).
+    pub lowered_hits: usize,
+    /// Lowered-netlist shard lookups that had to synthesize (also counted
+    /// in `misses`).
+    pub lowered_misses: usize,
 }
 
 impl CacheStats {
@@ -64,6 +86,8 @@ impl CacheStats {
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            lowered_hits: self.lowered_hits.saturating_sub(earlier.lowered_hits),
+            lowered_misses: self.lowered_misses.saturating_sub(earlier.lowered_misses),
         }
     }
 }
@@ -128,11 +152,14 @@ pub struct ArtifactCache {
     designs: Shard<Module>,
     locked: Shard<LockedArtifact>,
     training: Shard<TrainingSet>,
+    lowered: Shard<LoweredArtifact>,
     /// Emitted-Verilog memo (internal: content-address inputs, not
     /// artifacts; excluded from hit/miss stats).
     texts: Shard<String>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    lowered_hits: AtomicUsize,
+    lowered_misses: AtomicUsize,
     spill_dir: Option<PathBuf>,
 }
 
@@ -143,9 +170,12 @@ impl ArtifactCache {
             designs: Shard::new(),
             locked: Shard::new(),
             training: Shard::new(),
+            lowered: Shard::new(),
             texts: Shard::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            lowered_hits: AtomicUsize::new(0),
+            lowered_misses: AtomicUsize::new(0),
             spill_dir: None,
         }
     }
@@ -164,12 +194,14 @@ impl ArtifactCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            lowered_hits: self.lowered_hits.load(Ordering::Relaxed),
+            lowered_misses: self.lowered_misses.load(Ordering::Relaxed),
         }
     }
 
     /// Number of distinct artifacts held in memory.
     pub fn len(&self) -> usize {
-        self.designs.len() + self.locked.len() + self.training.len()
+        self.designs.len() + self.locked.len() + self.training.len() + self.lowered.len()
     }
 
     /// Whether the cache holds nothing.
@@ -258,6 +290,40 @@ impl ArtifactCache {
             .expect("training build is infallible");
         self.record(mem_hit || from_disk);
         value
+    }
+
+    /// Fetches or builds a lowered (and possibly gate-locked) netlist,
+    /// consulting the spill directory between memory and `build`. Also
+    /// tracked by the dedicated `lowered_*` counters in [`CacheStats`],
+    /// so reports can show how many synthesis runs the shard saved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors (a corrupt spill file is treated as a
+    /// miss).
+    pub fn lowered(
+        &self,
+        content_key: u64,
+        build: impl FnOnce() -> Result<LoweredArtifact, String>,
+    ) -> Result<Arc<LoweredArtifact>, String> {
+        let mut from_disk = false;
+        let (value, mem_hit) = self.lowered.get_or_build(content_key, || {
+            if let Some(found) = self.load_lowered(content_key) {
+                from_disk = true;
+                return Ok(found);
+            }
+            let built = build()?;
+            self.store_lowered(content_key, &built);
+            Ok(built)
+        })?;
+        let hit = mem_hit || from_disk;
+        self.record(hit);
+        if hit {
+            self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.lowered_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(value)
     }
 
     // -- disk spill ----------------------------------------------------
@@ -366,6 +432,44 @@ impl ArtifactCache {
         self.write_spill(&path, &text);
     }
 
+    fn load_lowered(&self, content_key: u64) -> Option<LoweredArtifact> {
+        let text = std::fs::read_to_string(self.spill_path(content_key, "net")?).ok()?;
+        // First line: `gatekey <bits>` sidecar (or `gatekey -` when the
+        // netlist is a plain synthesis); the rest is the serdes format.
+        let (head, body) = text.split_once('\n')?;
+        let bits = head.strip_prefix("gatekey ")?;
+        let key: Vec<bool> = if bits == "-" {
+            Vec::new()
+        } else {
+            bits.chars()
+                .map(|c| match c {
+                    '0' => Some(false),
+                    '1' => Some(true),
+                    _ => None,
+                })
+                .collect::<Option<_>>()?
+        };
+        let netlist = parse_netlist(body).ok()?;
+        Some(LoweredArtifact { netlist, key })
+    }
+
+    fn store_lowered(&self, content_key: u64, artifact: &LoweredArtifact) {
+        let Some(path) = self.spill_path(content_key, "net") else {
+            return;
+        };
+        let mut text = String::from("gatekey ");
+        if artifact.key.is_empty() {
+            text.push('-');
+        } else {
+            for &b in &artifact.key {
+                text.push(if b { '1' } else { '0' });
+            }
+        }
+        text.push('\n');
+        text.push_str(&emit_netlist(&artifact.netlist));
+        self.write_spill(&path, &text);
+    }
+
     fn write_spill(&self, path: &Path, content: &str) {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
@@ -399,7 +503,14 @@ mod tests {
             assert_eq!(m.name(), "fir");
         }
         assert_eq!(builds, 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -431,7 +542,14 @@ mod tests {
             1,
             "in-flight dedup must hold"
         );
-        assert_eq!(cache.stats(), CacheStats { hits: 7, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 7,
+                misses: 1,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -463,13 +581,72 @@ mod tests {
         let b = second
             .locked(7, || Err("must not rebuild".to_owned()))
             .expect("loads from spill");
-        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(
+            second.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                ..Default::default()
+            }
+        );
         assert_eq!(a.key, b.key);
         assert_eq!(a.trace, b.trace);
         assert_eq!(
             mlrl_rtl::emit::emit_verilog(&a.module).expect("emit a"),
             mlrl_rtl::emit::emit_verilog(&b.module).expect("emit b"),
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lowered_netlists_round_trip_through_spill_dir() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-low-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = benchmark_by_name("SIM_SPI").expect("benchmark");
+
+        let build = || {
+            let module = mlrl_rtl::bench_designs::generate_with_width(&spec, 3, 6);
+            let mut netlist = mlrl_netlist::lower::lower_module(&module)
+                .map_err(|e| e.to_string())?
+                .to_scan_view();
+            netlist.sweep();
+            let key =
+                mlrl_netlist::lock::xor_xnor_lock(&mut netlist, 5, 9).map_err(|e| e.to_string())?;
+            Ok(LoweredArtifact {
+                netlist,
+                key: key.bits().to_vec(),
+            })
+        };
+
+        let first = ArtifactCache::with_spill_dir(&dir);
+        let a = first.lowered(13, build).expect("builds");
+        assert_eq!(
+            first.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                lowered_hits: 0,
+                lowered_misses: 1
+            }
+        );
+
+        // A fresh cache over the same dir warm-starts from disk, and the
+        // loaded artifact is structurally identical.
+        let second = ArtifactCache::with_spill_dir(&dir);
+        let b = second
+            .lowered(13, || Err("must not re-synthesize".to_owned()))
+            .expect("loads from spill");
+        assert_eq!(
+            second.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                lowered_hits: 1,
+                lowered_misses: 0
+            }
+        );
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.key, b.key);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -488,7 +665,14 @@ mod tests {
         let second = ArtifactCache::with_spill_dir(&dir);
         let loaded = second.training(9, || panic!("must not rebuild"));
         assert_eq!(*loaded, training);
-        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(
+            second.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                ..Default::default()
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

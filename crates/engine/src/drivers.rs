@@ -6,7 +6,7 @@
 //! so the binaries become thin printers over [`crate::run::Engine`]
 //! output — parallel, cached, and reproducible from a spec file.
 
-use crate::spec::{AttackKind, CampaignSpec, SchemeKind};
+use crate::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 
 /// Fig. 5b as a campaign: ERA / HRA / Greedy on the §4.4 working example
 /// (`FIG5`: `|ODT[(+,-)]| = 25`, `|ODT[(<<,>>)]| = 10`).
@@ -60,6 +60,73 @@ pub fn attack_baselines_campaign(benchmark: &str, relocks: usize, seed: u64) -> 
     }
 }
 
+/// `fig1_gate_vs_rtl` as a pair of campaigns sharing one engine: the
+/// gate half runs SnapShot on XOR/XNOR and MUX gate locking; the RTL
+/// half runs SnapShot-RTL on serial ASSURE and ERA. Same benchmarks,
+/// same 75 % key budget, `instances` independently locked instances per
+/// cell expressed as consecutive base seeds.
+pub fn fig1_campaigns(
+    benchmarks: &[String],
+    instances: usize,
+    seed: u64,
+) -> (CampaignSpec, CampaignSpec) {
+    let seeds: Vec<u64> = (0..instances.max(1) as u64)
+        .map(|i| seed.wrapping_add(i))
+        .collect();
+    let gate = CampaignSpec {
+        name: "fig1-gate".to_owned(),
+        benchmarks: benchmarks.to_vec(),
+        levels: vec![Level::Gate],
+        schemes: vec![SchemeKind::XorXnor, SchemeKind::Mux],
+        budgets: vec![0.75],
+        seeds: seeds.clone(),
+        attacks: vec![AttackKind::Snapshot],
+        relock_rounds: 30,
+        ..CampaignSpec::default()
+    };
+    let rtl = CampaignSpec {
+        name: "fig1-rtl".to_owned(),
+        benchmarks: benchmarks.to_vec(),
+        levels: vec![Level::Rtl],
+        schemes: vec![SchemeKind::Assure, SchemeKind::Era],
+        budgets: vec![0.75],
+        seeds,
+        attacks: vec![AttackKind::Snapshot],
+        relock_rounds: 60,
+        ..CampaignSpec::default()
+    };
+    (gate, rtl)
+}
+
+/// `sat_attack_eval` as a campaign: the oracle-guided SAT attack against
+/// every scheme at gate level — ASSURE/HRA/ERA locked at RTL and lowered,
+/// plus XOR/XNOR and MUX gate locking — at the §5 budget.
+pub fn sat_eval_campaign(
+    benchmarks: &[String],
+    width: u32,
+    max_dips: usize,
+    seed: u64,
+) -> CampaignSpec {
+    CampaignSpec {
+        name: "sat-attack-eval".to_owned(),
+        benchmarks: benchmarks.to_vec(),
+        levels: vec![Level::Gate],
+        schemes: vec![
+            SchemeKind::Assure,
+            SchemeKind::Hra,
+            SchemeKind::Era,
+            SchemeKind::XorXnor,
+            SchemeKind::Mux,
+        ],
+        budgets: vec![0.75],
+        seeds: vec![seed],
+        attacks: vec![AttackKind::Sat],
+        width,
+        sat_max_dips: max_dips,
+        ..CampaignSpec::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +138,18 @@ mod tests {
         let ab = attack_baselines_campaign("SHA256", 50, 2022);
         ab.validate().expect("baselines valid");
         assert_eq!(ab.cells(), 3 * 4);
+    }
+
+    #[test]
+    fn gate_driver_campaigns_validate() {
+        let names = vec!["SIM_SPI".to_owned(), "SASC".to_owned()];
+        let (gate, rtl) = fig1_campaigns(&names, 3, 2022);
+        gate.validate().expect("fig1 gate valid");
+        rtl.validate().expect("fig1 rtl valid");
+        assert_eq!(gate.cells(), 2 * 2 * 3);
+        assert_eq!(rtl.cells(), 2 * 2 * 3);
+        let sat = sat_eval_campaign(&names, 8, 512, 2022);
+        sat.validate().expect("sat eval valid");
+        assert_eq!(sat.cells(), 2 * 5);
     }
 }

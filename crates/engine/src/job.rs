@@ -8,7 +8,7 @@
 //! re-run reproduces the same per-cell randomness.
 
 use crate::fnv::Fnv64;
-use crate::spec::{AttackKind, CampaignSpec, SchemeKind};
+use crate::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 
 /// One grid cell, ready to execute.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +17,8 @@ pub struct Job {
     pub index: usize,
     /// Benchmark name as written in the spec.
     pub benchmark: String,
+    /// Abstraction level this cell locks and attacks at.
+    pub level: Level,
     /// Locking scheme.
     pub scheme: SchemeKind,
     /// Key budget as a fraction of lockable operations.
@@ -58,6 +60,9 @@ impl Job {
 /// cannot perturb the hash. The attack axis is *excluded*: cells that
 /// differ only in attack share the locked instance (and its cache
 /// entries), mirroring how the paper attacks one locked design many ways.
+/// The level axis is excluded for the same reason: an RTL scheme's gate
+/// cell lowers the *same* locked instance its RTL cell uses, so one lock
+/// (and one cache entry) serves both levels.
 pub fn derive_seed(benchmark: &str, scheme: SchemeKind, budget: f64, base_seed: u64) -> u64 {
     let mut h = Fnv64::new();
     h.write_str("cell|")
@@ -76,28 +81,41 @@ pub fn budget_bps(budget: f64) -> u64 {
 
 impl CampaignSpec {
     /// Expands the grid into jobs, row-major over
-    /// benchmarks × schemes × budgets × seeds × attacks.
+    /// benchmarks × levels × schemes × budgets × seeds × attacks, skipping
+    /// scheme/attack combinations the cell's level does not support (gate
+    /// schemes at RTL, the SAT attack at RTL, the closed-form attacks at
+    /// gate level).
     pub fn expand(&self) -> Vec<Job> {
         let mut jobs = Vec::with_capacity(self.cells());
         for benchmark in &self.benchmarks {
-            for &scheme in &self.schemes {
-                for &budget in &self.budgets {
-                    for &base_seed in &self.seeds {
-                        for &attack in &self.attacks {
-                            jobs.push(Job {
-                                index: jobs.len(),
-                                benchmark: benchmark.clone(),
-                                scheme,
-                                budget,
-                                base_seed,
-                                attack,
-                                derived_seed: derive_seed(benchmark, scheme, budget, base_seed),
-                            });
+            for &level in &self.levels {
+                for &scheme in &self.schemes {
+                    if !level.supports_scheme(scheme) {
+                        continue;
+                    }
+                    for &budget in &self.budgets {
+                        for &base_seed in &self.seeds {
+                            for &attack in &self.attacks {
+                                if !level.supports_attack(attack) {
+                                    continue;
+                                }
+                                jobs.push(Job {
+                                    index: jobs.len(),
+                                    benchmark: benchmark.clone(),
+                                    level,
+                                    scheme,
+                                    budget,
+                                    base_seed,
+                                    attack,
+                                    derived_seed: derive_seed(benchmark, scheme, budget, base_seed),
+                                });
+                            }
                         }
                     }
                 }
             }
         }
+        debug_assert_eq!(jobs.len(), self.cells());
         jobs
     }
 }
@@ -145,5 +163,32 @@ mod tests {
         let b = derive_seed("FIR", SchemeKind::Era, 0.75, 2022);
         assert_eq!(a, b);
         assert_ne!(a, derive_seed("FIR", SchemeKind::Era, 0.7501, 2022));
+    }
+
+    #[test]
+    fn mixed_level_expansion_skips_incompatible_cells_and_shares_seeds() {
+        let mut spec = demo_spec();
+        spec.levels = vec![Level::Rtl, Level::Gate];
+        spec.schemes = vec![SchemeKind::Era, SchemeKind::XorXnor];
+        spec.attacks = vec![AttackKind::FreqTable, AttackKind::Sat];
+        spec.benchmarks = vec!["FIR".into()];
+        spec.budgets = vec![0.5];
+        spec.seeds = vec![1];
+        let jobs = spec.expand();
+        // rtl: era × freq-table = 1; gate: {era, xor-xnor} × {freq-table,
+        // sat} = 4.
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs.len(), spec.cells());
+        assert!(jobs
+            .iter()
+            .all(|j| j.level.supports_scheme(j.scheme) && j.level.supports_attack(j.attack)));
+        // The era cells at both levels share one derived seed (one locked
+        // RTL instance serves the RTL cell and its lowering).
+        let era: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| j.scheme == SchemeKind::Era)
+            .collect();
+        assert!(era.len() > 1);
+        assert!(era.iter().all(|j| j.derived_seed == era[0].derived_seed));
     }
 }

@@ -1,24 +1,30 @@
 //! # mlrl-engine — parallel experiment campaigns with artifact caching
 //!
-//! The DAC'22 evaluation is a family of sweeps: benchmarks × locking
-//! schemes × key budgets × seeds × attacks. This crate turns such a
-//! sweep from a hand-rolled single-threaded loop into a declarative
-//! [`spec::CampaignSpec`] executed by [`run::Engine`]:
+//! The DAC'22 evaluation is a family of sweeps: benchmarks × abstraction
+//! levels × locking schemes × key budgets × seeds × attacks. This crate
+//! turns such a sweep from a hand-rolled single-threaded loop into a
+//! declarative [`spec::CampaignSpec`] executed by [`run::Engine`]:
 //!
 //! - [`spec`] — the campaign grid and its `key = value` file format,
+//!   including the RTL/gate [`spec::Level`] axis, gate-lock schemes
+//!   (`xor-xnor` / `mux`), and the SAT attack with per-cell budgets,
 //! - [`job`] — grid expansion with FNV-derived per-cell seeds, so
 //!   results are independent of execution order and thread count,
 //! - [`pool`] — a std-only work-stealing worker pool
-//!   (`std::thread::scope`, per-worker deques, per-job panic isolation),
+//!   (`std::thread::scope`, per-worker deques, per-job panic isolation)
+//!   with chunked dealing that preserves cache-aware job grouping,
 //! - [`cache`] — a content-addressed artifact cache (base designs,
-//!   locked modules, relock training sets) keyed by FNV-1a over emitted
-//!   Verilog + configuration, with optional on-disk spill,
+//!   locked modules, relock training sets, lowered netlists) keyed by
+//!   FNV-1a over emitted Verilog + configuration, with optional on-disk
+//!   spill; the lowered-netlist shard makes one synthesis serve every
+//!   gate-level cell sharing the source module,
 //! - [`report`] — per-job records with JSON-lines and table emitters;
 //!   the *canonical* serialization is byte-identical across thread
 //!   counts and cache states,
 //! - [`run`] — the engine wiring the above together,
-//! - [`drivers`] — the `fig5_metric` / `attack_baselines` sweeps from
-//!   `mlrl-bench`, re-expressed as campaigns,
+//! - [`drivers`] — the `fig5_metric` / `attack_baselines` /
+//!   `fig1_gate_vs_rtl` / `sat_attack_eval` sweeps from `mlrl-bench`,
+//!   re-expressed as campaigns,
 //! - [`fnv`] — the 64-bit FNV-1a content-address function.
 //!
 //! ## Example
@@ -56,4 +62,4 @@ pub mod spec;
 pub use cache::{ArtifactCache, CacheStats};
 pub use report::{CampaignReport, JobRecord, JobStatus};
 pub use run::Engine;
-pub use spec::{AttackKind, CampaignSpec, SchemeKind};
+pub use spec::{AttackKind, CampaignSpec, Level, SchemeKind};

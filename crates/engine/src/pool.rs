@@ -1,11 +1,16 @@
 //! Std-only work-stealing worker pool with panic isolation.
 //!
-//! Jobs are dealt round-robin onto per-worker deques; each worker drains
-//! its own deque LIFO and, when empty, steals FIFO from its neighbours —
-//! the classic work-stealing topology, built from `std::thread::scope`
-//! and mutex-guarded `VecDeque`s (no external crates, no unsafe). A
-//! panicking job is caught per-job ([`std::panic::catch_unwind`]) and
-//! reported as that job's failure; the campaign keeps running.
+//! Jobs are dealt in *contiguous chunks* onto per-worker deques — the
+//! injector (see `Engine::run`) orders jobs so neighbours share cache
+//! artifacts, and chunked dealing keeps such neighbours on one worker:
+//! the second job of a group runs after its group's artifacts are built
+//! instead of blocking another worker on the in-flight build. Each worker
+//! drains its own deque LIFO and, when empty, steals FIFO from its
+//! neighbours — the classic work-stealing topology, built from
+//! `std::thread::scope` and mutex-guarded `VecDeque`s (no external
+//! crates, no unsafe). A panicking job is caught per-job
+//! ([`std::panic::catch_unwind`]) and reported as that job's failure; the
+//! campaign keeps running.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,10 +34,18 @@ where
     }
     let threads = threads.max(1).min(n);
 
-    // Deal items round-robin onto per-worker deques.
+    // Deal items in contiguous chunks onto per-worker deques (preserving
+    // the injector's cache-aware grouping); the first `n % threads`
+    // workers take one extra item.
     let mut deques: Vec<VecDeque<(usize, I)>> = (0..threads).map(|_| VecDeque::new()).collect();
+    let (chunk, extra) = (n / threads, n % threads);
     for (index, item) in items.into_iter().enumerate() {
-        deques[index % threads].push_back((index, item));
+        let worker = if index < (chunk + 1) * extra {
+            index / (chunk + 1)
+        } else {
+            (index - extra) / chunk
+        };
+        deques[worker].push_back((index, item));
     }
     let deques: Vec<Mutex<VecDeque<(usize, I)>>> = deques.into_iter().map(Mutex::new).collect();
 

@@ -34,6 +34,8 @@ pub struct JobRecord {
     pub index: usize,
     /// Benchmark name.
     pub benchmark: String,
+    /// Abstraction-level name (`rtl` / `gate`).
+    pub level: String,
     /// Scheme name.
     pub scheme: String,
     /// Budget fraction.
@@ -60,11 +62,25 @@ pub struct JobRecord {
     pub attacked_bits: Option<usize>,
     /// Training samples consumed (training-set attacks only).
     pub training_samples: Option<usize>,
+    /// Gates in the attacked netlist (gate-level cells only).
+    pub gates: Option<usize>,
+    /// Locked area relative to the lowered base design
+    /// (`locked gates / base gates`; gate-level cells only).
+    pub area_overhead: Option<f64>,
+    /// DIP iterations (oracle queries) the SAT attack used.
+    pub sat_dips: Option<usize>,
+    /// Whether the SAT attack reached an UNSAT miter (functional
+    /// correctness proof) within its budgets.
+    pub sat_proved: Option<bool>,
     /// Terminal state.
     pub status: JobStatus,
     /// Wall-clock of this job in milliseconds (excluded from the
     /// canonical serialization).
     pub wall_ms: u128,
+    /// Wall-clock the SAT solver spent on this job in milliseconds
+    /// (excluded from the canonical serialization, like `wall_ms`:
+    /// timing is not science).
+    pub solver_ms: Option<u128>,
 }
 
 impl JobRecord {
@@ -73,6 +89,7 @@ impl JobRecord {
         Self {
             index,
             benchmark: String::new(),
+            level: String::new(),
             scheme: String::new(),
             budget: 0.0,
             seed: 0,
@@ -85,8 +102,13 @@ impl JobRecord {
             kpa: None,
             attacked_bits: None,
             training_samples: None,
+            gates: None,
+            area_overhead: None,
+            sat_dips: None,
+            sat_proved: None,
             status: JobStatus::Ok,
             wall_ms: 0,
+            solver_ms: None,
         }
     }
 
@@ -95,6 +117,7 @@ impl JobRecord {
         out.push('{');
         push_field(&mut out, "index", JsonValue::Int(self.index as i64));
         push_field(&mut out, "benchmark", JsonValue::Str(&self.benchmark));
+        push_field(&mut out, "level", JsonValue::Str(&self.level));
         push_field(&mut out, "scheme", JsonValue::Str(&self.scheme));
         push_field(&mut out, "budget", JsonValue::Float(Some(self.budget)));
         push_field(&mut out, "seed", JsonValue::Int(self.seed as i64));
@@ -127,6 +150,22 @@ impl JobRecord {
             "training_samples",
             JsonValue::OptInt(self.training_samples.map(|v| v as i64)),
         );
+        push_field(
+            &mut out,
+            "gates",
+            JsonValue::OptInt(self.gates.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "area_overhead",
+            JsonValue::Float(self.area_overhead),
+        );
+        push_field(
+            &mut out,
+            "sat_dips",
+            JsonValue::OptInt(self.sat_dips.map(|v| v as i64)),
+        );
+        push_field(&mut out, "sat_proved", JsonValue::OptBool(self.sat_proved));
         match &self.status {
             JobStatus::Ok => push_field(&mut out, "status", JsonValue::Str("ok")),
             JobStatus::Failed(msg) => {
@@ -136,6 +175,11 @@ impl JobRecord {
         }
         if include_timing {
             push_field(&mut out, "wall_ms", JsonValue::Int(self.wall_ms as i64));
+            push_field(
+                &mut out,
+                "solver_ms",
+                JsonValue::OptInt(self.solver_ms.map(|v| v as i64)),
+            );
         }
         out.pop(); // trailing comma
         out.push('}');
@@ -254,8 +298,9 @@ impl CampaignReport {
     pub fn human_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<12} {:<13} {:>7} {:>6} {:<13} {:>9} {:>8} {:>8} {:>7} {:>8}\n",
+            "{:<12} {:<5} {:<13} {:>7} {:>6} {:<13} {:>9} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8}\n",
             "benchmark",
+            "level",
             "scheme",
             "budget",
             "seed",
@@ -263,6 +308,8 @@ impl CampaignReport {
             "key bits",
             "metric",
             "kpa%",
+            "gates",
+            "dips",
             "status",
             "ms"
         ));
@@ -276,8 +323,9 @@ impl CampaignReport {
                 None => "-".to_owned(),
             };
             out.push_str(&format!(
-                "{:<12} {:<13} {:>7.2} {:>6} {:<13} {:>9} {:>8} {:>8} {:>7} {:>8}\n",
+                "{:<12} {:<5} {:<13} {:>7.2} {:>6} {:<13} {:>9} {:>8} {:>8} {:>6} {:>6} {:>7} {:>8}\n",
                 r.benchmark,
+                r.level,
                 r.scheme,
                 r.budget,
                 r.seed,
@@ -285,6 +333,8 @@ impl CampaignReport {
                 fmt_opt_u(r.key_bits),
                 fmt_opt_f(r.metric),
                 fmt_opt_f(r.kpa),
+                fmt_opt_u(r.gates),
+                fmt_opt_u(r.sat_dips),
                 if r.status.is_ok() { "ok" } else { "FAILED" },
                 r.wall_ms,
             ));
@@ -294,7 +344,7 @@ impl CampaignReport {
 
     /// One-paragraph run summary (threads, wall-clock, cache hit rate).
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "campaign `{}`: {} jobs ({} ok, {} failed) on {} thread(s) in {} ms; \
              cache: {} hits / {} misses ({:.0}% hit rate)",
             self.name,
@@ -306,7 +356,14 @@ impl CampaignReport {
             self.cache.hits,
             self.cache.misses,
             100.0 * self.cache.hit_rate(),
-        )
+        );
+        if self.cache.lowered_hits + self.cache.lowered_misses > 0 {
+            out.push_str(&format!(
+                "; netlist shard: {} hits / {} syntheses",
+                self.cache.lowered_hits, self.cache.lowered_misses
+            ));
+        }
+        out
     }
 }
 
@@ -326,6 +383,7 @@ pub fn record_from_job(job: &crate::job::Job) -> JobRecord {
     JobRecord {
         index: job.index,
         benchmark: job.benchmark.clone(),
+        level: job.level.name().to_owned(),
         scheme: job.scheme.name().to_owned(),
         budget: job.budget,
         seed: job.base_seed,
@@ -342,6 +400,7 @@ mod tests {
     fn record() -> JobRecord {
         JobRecord {
             benchmark: "FIR".into(),
+            level: "rtl".into(),
             scheme: "era".into(),
             budget: 0.75,
             seed: 2022,
@@ -359,23 +418,53 @@ mod tests {
         }
     }
 
+    fn gate_record() -> JobRecord {
+        JobRecord {
+            benchmark: "SIM_SPI".into(),
+            level: "gate".into(),
+            scheme: "xor-xnor".into(),
+            attack: "sat".into(),
+            key_bits: Some(12),
+            kpa: Some(100.0),
+            attacked_bits: Some(12),
+            gates: Some(740),
+            area_overhead: Some(1.0162),
+            sat_dips: Some(9),
+            sat_proved: Some(true),
+            solver_ms: Some(35),
+            wall_ms: 41,
+            ..JobRecord::empty(1)
+        }
+    }
+
     #[test]
     fn canonical_jsonl_excludes_timing_and_cache() {
         let mut report = CampaignReport {
             name: "t".into(),
-            records: vec![record()],
+            records: vec![record(), gate_record()],
             threads: 4,
             wall_ms: 99,
-            cache: CacheStats { hits: 5, misses: 2 },
+            cache: CacheStats {
+                hits: 5,
+                misses: 2,
+                ..Default::default()
+            },
         };
         let canonical = report.canonical_jsonl();
         assert!(!canonical.contains("wall_ms"));
+        assert!(!canonical.contains("solver_ms"));
         assert!(!canonical.contains("cache"));
         assert!(canonical.contains("\"kpa\":51.2500"));
+        // Gate-level science is canonical: SAT iterations, proof, area.
+        assert!(canonical.contains("\"level\":\"gate\""));
+        assert!(canonical.contains("\"sat_dips\":9"));
+        assert!(canonical.contains("\"sat_proved\":true"));
+        assert!(canonical.contains("\"area_overhead\":1.0162"));
         // Perturbing non-canonical dimensions must not change it.
         report.threads = 1;
         report.wall_ms = 1234;
         report.records[0].wall_ms = 5000;
+        report.records[1].solver_ms = Some(9000);
         report.cache = CacheStats::default();
         assert_eq!(canonical, report.canonical_jsonl());
     }
@@ -387,7 +476,11 @@ mod tests {
             records: vec![record()],
             threads: 2,
             wall_ms: 10,
-            cache: CacheStats { hits: 1, misses: 3 },
+            cache: CacheStats {
+                hits: 1,
+                misses: 3,
+                ..Default::default()
+            },
         };
         let jsonl = report.jsonl();
         assert!(jsonl.contains("\"wall_ms\""));

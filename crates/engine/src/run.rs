@@ -5,6 +5,9 @@
 //! under the cell's derived seed (or cache-hit the locked artifact),
 //! score the security metric, then run the cell's attack — reusing the
 //! relock training set across every attack on the same locked instance.
+//! Gate-level cells additionally lower ("synthesize") through the
+//! lowered-netlist cache shard, so one synthesis serves every gate
+//! scheme × seed × attack cell sharing the source module.
 //! Determinism contract: the canonical report is a pure function of the
 //! spec, whatever the thread count and whatever the cache already holds.
 
@@ -12,6 +15,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mlrl_attack::freq_table::freq_table_attack_with_training;
+use mlrl_attack::gate_snapshot::{
+    build_gate_training_set, gate_freq_table_attack_with_training,
+    gate_snapshot_attack_with_training, GateAttackConfig,
+};
 use mlrl_attack::kpa_model::predict_kpa;
 use mlrl_attack::oracle_guided::{oracle_guided_attack, OracleAttackConfig};
 use mlrl_attack::relock::{build_training_set, RelockConfig};
@@ -23,16 +30,19 @@ use mlrl_locking::metric::SecurityMetric;
 use mlrl_locking::odt::Odt;
 use mlrl_locking::pairs::PairTable;
 use mlrl_ml::automl::AutoMlConfig;
+use mlrl_netlist::lock::{lock_netlist, GateKey, GateLockScheme};
+use mlrl_netlist::lower::lower_module;
 use mlrl_rtl::bench_designs::generate_with_width;
 use mlrl_rtl::emit::emit_verilog;
 use mlrl_rtl::{visit, Module};
+use mlrl_sat::attack::{sat_attack, SatAttackConfig, SimOracle};
 
-use crate::cache::{ArtifactCache, LockedArtifact};
+use crate::cache::{ArtifactCache, LockedArtifact, LoweredArtifact};
 use crate::fnv::Fnv64;
 use crate::job::{budget_bps, Job};
 use crate::pool::run_jobs;
 use crate::report::{record_from_job, CampaignReport, JobRecord, JobStatus};
-use crate::spec::{resolve_benchmark, AttackKind, CampaignSpec, SchemeKind};
+use crate::spec::{resolve_benchmark, AttackKind, CampaignSpec, Level, SchemeKind};
 
 /// Campaign executor: a worker pool wired to a shared artifact cache.
 ///
@@ -73,7 +83,7 @@ impl Engine {
 
     /// Runs every job of `spec` and collects the report.
     pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
-        let jobs = spec.expand();
+        let jobs = schedule(spec.expand());
         let meta: Vec<Job> = jobs.clone();
         let threads = if spec.threads > 0 {
             spec.threads
@@ -90,7 +100,7 @@ impl Engine {
         let outcomes = run_jobs(threads, jobs, |_, job| run_job(&self.cache, spec, job));
         let wall_ms = started.elapsed().as_millis();
 
-        let records = outcomes
+        let mut records: Vec<JobRecord> = outcomes
             .into_iter()
             .zip(&meta)
             .map(|(outcome, job)| match outcome {
@@ -101,6 +111,9 @@ impl Engine {
                 },
             })
             .collect();
+        // The schedule reordered for cache locality; reports stay in grid
+        // (row-major) order.
+        records.sort_by_key(|r| r.index);
 
         CampaignReport {
             name: spec.name.clone(),
@@ -110,6 +123,33 @@ impl Engine {
             cache: self.cache.stats().since(cache_before),
         }
     }
+}
+
+/// Cache-aware job ordering: groups cells that share artifacts so the
+/// chunked pool dealing (see [`crate::pool`]) lands them on one worker.
+/// Sort keys, most-shared first: base design (benchmark × base seed),
+/// locked instance (`derived_seed`), level, then grid order for
+/// determinism. Without this, two cells sharing a locked instance are
+/// dealt to different workers and the second blocks on the first's
+/// in-flight build instead of doing useful work.
+fn schedule(mut jobs: Vec<Job>) -> Vec<Job> {
+    jobs.sort_by(|a, b| {
+        (
+            &a.benchmark,
+            a.base_seed,
+            a.derived_seed,
+            a.level.name(),
+            a.index,
+        )
+            .cmp(&(
+                &b.benchmark,
+                b.base_seed,
+                b.derived_seed,
+                b.level.name(),
+                b.index,
+            ))
+    });
+    jobs
 }
 
 impl Default for Engine {
@@ -153,7 +193,12 @@ fn execute(
         emit_verilog(&base).map_err(|e| e.to_string())
     })?;
 
+    if job.level == Level::Gate && job.scheme.is_gate_scheme() {
+        return execute_gate_locked(cache, spec, job, &base, &base_verilog, record);
+    }
+
     // Locked instance: content-addressed by base Verilog + lock config.
+    // Shared between a scheme's RTL cell and its gate (lowered) cell.
     let locked_key = Fnv64::new()
         .write_str("lock|")
         .write_str(job.scheme.name())
@@ -176,7 +221,145 @@ fn execute(
         .as_ref()
         .and_then(|t| t.iter().find(|(_, g)| *g >= 100.0 - 1e-9).map(|(n, _)| *n));
 
+    if job.level == Level::Gate {
+        // RTL scheme attacked at gate level: lower the locked module (the
+        // paper's Fig. 1 flow — lock at RTL, synthesize, hand the netlist
+        // to the attacker).
+        let locked_verilog = cache.text(
+            Fnv64::new()
+                .write_str("ltext|")
+                .write_u64(locked_key)
+                .finish(),
+            || emit_verilog(&locked.module).map_err(|e| e.to_string()),
+        )?;
+        let lowered_key = lowered_content_key(&locked_verilog);
+        let lowered = cache.lowered(lowered_key, || {
+            let netlist = synthesize(&locked.module)?;
+            let key: Vec<bool> = (0..locked.module.key_width())
+                .map(|i| locked.key.bit(i).unwrap_or(false))
+                .collect();
+            Ok(LoweredArtifact { netlist, key })
+        })?;
+        let base_lowered = lowered_base(cache, &base, &base_verilog)?;
+        record_gate_shape(record, &lowered, &base_lowered);
+        return run_gate_attack(cache, spec, job, &lowered, lowered_key, record);
+    }
+
     run_attack(cache, spec, job, &locked, locked_key, &base, record)
+}
+
+/// Gate-scheme cell: lower the *base* module once (cached), then insert
+/// key gates into the netlist under the cell's derived seed.
+fn execute_gate_locked(
+    cache: &ArtifactCache,
+    spec: &CampaignSpec,
+    job: &Job,
+    base: &Module,
+    base_verilog: &str,
+    record: &mut JobRecord,
+) -> Result<(), String> {
+    let base_lowered_key = lowered_content_key(base_verilog);
+    let base_lowered = lowered_base(cache, base, base_verilog)?;
+
+    // Key length matches the RTL budget accounting (fraction of lockable
+    // operations), so gate and RTL cells of one sweep spend comparable
+    // key bits — the Fig. 1 apples-to-apples requirement.
+    let lockable = visit::binary_ops(base).len();
+    if lockable == 0 {
+        return Err(format!(
+            "benchmark `{}` has no lockable operations",
+            job.benchmark
+        ));
+    }
+    let key_len = ((lockable as f64) * job.budget).round().max(1.0) as usize;
+    let gate_scheme = match job.scheme {
+        SchemeKind::XorXnor => GateLockScheme::XorXnor,
+        SchemeKind::Mux => GateLockScheme::Mux,
+        other => return Err(format!("scheme `{}` is not a gate scheme", other.name())),
+    };
+
+    // Locked netlist: chained off the lowered base's content key, so
+    // cells differing only in attack share it.
+    let locked_lowered_key = Fnv64::new()
+        .write_str("gatelock|")
+        .write_str(job.scheme.name())
+        .write_u64(key_len as u64)
+        .write_u64(job.lock_seed())
+        .write_u64(base_lowered_key)
+        .finish();
+    let lowered = cache.lowered(locked_lowered_key, || {
+        let mut netlist = base_lowered.netlist.clone();
+        let key = lock_netlist(&mut netlist, gate_scheme, key_len, job.lock_seed())
+            .map_err(|e| e.to_string())?;
+        Ok(LoweredArtifact {
+            netlist,
+            key: key.bits().to_vec(),
+        })
+    })?;
+
+    record.key_bits = Some(lowered.key.len());
+    record_gate_shape(record, &lowered, &base_lowered);
+    run_gate_attack(cache, spec, job, &lowered, locked_lowered_key, record)
+}
+
+/// Lowers a module to its attack surface: bit-blast, expose state through
+/// the scan view, sweep dead logic as synthesis would.
+///
+/// The scan view is required by the SAT attack's oracle (the standard
+/// assumption for production chips with test scan chains) and is used
+/// for *every* gate-level cell so one synthesis serves both attack
+/// families. For the structural ML attacks this is immaterial — they
+/// never simulate, and the key-gate localities of the scan view match
+/// the plain lowering — but it does mean the Fig. 1 printer reports
+/// scan-view gate counts.
+fn synthesize(module: &Module) -> Result<mlrl_netlist::Netlist, String> {
+    let mut netlist = lower_module(module)
+        .map_err(|e| e.to_string())?
+        .to_scan_view();
+    netlist.sweep();
+    Ok(netlist)
+}
+
+/// Cached synthesis of the unlocked base module (shared by every
+/// gate-level cell on the same base, whatever its scheme).
+fn lowered_base(
+    cache: &ArtifactCache,
+    base: &Module,
+    base_verilog: &str,
+) -> Result<Arc<LoweredArtifact>, String> {
+    cache.lowered(lowered_content_key(base_verilog), || {
+        Ok(LoweredArtifact {
+            netlist: synthesize(base)?,
+            key: Vec::new(),
+        })
+    })
+}
+
+/// Content key of a lowered netlist: source Verilog plus the lowering
+/// configuration (scan view + sweep, the only mode the engine uses).
+fn lowered_content_key(source_verilog: &str) -> u64 {
+    Fnv64::new()
+        .write_str("lower|scan-sweep|")
+        .write_str(source_verilog)
+        .finish()
+}
+
+/// Fills the gate-count / area-overhead columns of a gate-level cell
+/// (locked netlist vs the lowered unlocked base) — the single definition
+/// of the area measure, used by RTL-scheme and gate-scheme cells alike.
+fn record_gate_shape(
+    record: &mut JobRecord,
+    lowered: &LoweredArtifact,
+    base_lowered: &LoweredArtifact,
+) {
+    let locked_gates = lowered.netlist.gates().len();
+    let base_gates = base_lowered.netlist.gates().len();
+    record.gates = Some(locked_gates);
+    record.area_overhead = Some(if base_gates == 0 {
+        1.0
+    } else {
+        locked_gates as f64 / base_gates as f64
+    });
 }
 
 fn lock_design(base: &Module, job: &Job) -> Result<LockedArtifact, String> {
@@ -218,6 +401,14 @@ fn lock_design(base: &Module, job: &Job) -> Result<LockedArtifact, String> {
                 era_lock(&mut module, &EraConfig::new(budget, seed)).map_err(|e| e.to_string())?;
             let trace = outcome.trace.iter().map(|(n, g, _)| (*n, *g)).collect();
             (outcome.key, Some(trace))
+        }
+        SchemeKind::XorXnor | SchemeKind::Mux => {
+            // Unreachable by construction: expansion routes gate schemes
+            // through `execute_gate_locked`.
+            return Err(format!(
+                "gate scheme `{}` cannot lock an RTL module",
+                job.scheme.name()
+            ));
         }
     };
     Ok(LockedArtifact { module, key, trace })
@@ -302,6 +493,120 @@ fn run_attack(
             record.kpa = Some(100.0 * report.agreement);
             record.attacked_bits = Some(report.recovered.len());
         }
+        AttackKind::Sat => {
+            // Unreachable by construction: expansion keeps the SAT attack
+            // at gate level.
+            return Err("SAT attack requires a gate-level cell".to_owned());
+        }
+        AttackKind::None => {}
+    }
+    Ok(())
+}
+
+/// Runs a gate-level cell's attack against its lowered locked netlist.
+///
+/// Structural attacks (frequency table / SnapShot) train on relocked
+/// key-gate localities; the training set is cached per locked instance so
+/// both attacks (and re-runs) share it. The SAT attack plays the oracle
+/// with a simulator holding the correct key and reports DIP count, proof
+/// status, bit-exact key recovery, and solver wall-clock.
+fn run_gate_attack(
+    cache: &ArtifactCache,
+    spec: &CampaignSpec,
+    job: &Job,
+    lowered: &LoweredArtifact,
+    lowered_key: u64,
+    record: &mut JobRecord,
+) -> Result<(), String> {
+    match job.attack {
+        AttackKind::FreqTable | AttackKind::Snapshot => {
+            let gate_key = GateKey::from(lowered.key.clone());
+            // The attacker relocks with the scheme they face (threat-model
+            // assumption 2); RTL schemes lower to MUX trees, so their
+            // gate-level analogue is MUX insertion.
+            let relock_scheme = match job.scheme {
+                SchemeKind::XorXnor => GateLockScheme::XorXnor,
+                _ => GateLockScheme::Mux,
+            };
+            let gcfg = GateAttackConfig {
+                scheme: relock_scheme,
+                rounds: spec.relock_rounds,
+                bits_per_round: lowered.key.len().clamp(1, 64),
+                seed: job.relock_seed(),
+                automl: AutoMlConfig {
+                    seed: job.attack_seed(),
+                    ..Default::default()
+                },
+            };
+            // Chained off the lowered artifact's content key, mirroring
+            // the RTL training shard.
+            let training_key = Fnv64::new()
+                .write_str("gtrain|")
+                .write_u64(gcfg.rounds as u64)
+                .write_u64(gcfg.bits_per_round as u64)
+                .write_u64(gcfg.seed)
+                .write_u64(relock_scheme as u64)
+                .write_u64(lowered_key)
+                .finish();
+            let training = cache.training(training_key, || {
+                build_gate_training_set(&lowered.netlist, &gcfg)
+            });
+            let report = match job.attack {
+                AttackKind::FreqTable => {
+                    gate_freq_table_attack_with_training(&lowered.netlist, &gate_key, &training)
+                }
+                _ => gate_snapshot_attack_with_training(
+                    &lowered.netlist,
+                    &gate_key,
+                    &gcfg,
+                    &training,
+                ),
+            }
+            .ok_or("target exposes no key-gate localities")?;
+            record.kpa = Some(report.kpa);
+            record.attacked_bits = Some(report.attacked_bits);
+            record.training_samples = Some(report.training_samples);
+        }
+        AttackKind::Sat => {
+            if lowered.key.is_empty() {
+                return Err("locked netlist consumes no key bits".to_owned());
+            }
+            let cfg = SatAttackConfig {
+                max_dips: spec.sat_max_dips,
+                max_clauses: if spec.sat_max_clauses == 0 {
+                    usize::MAX
+                } else {
+                    spec.sat_max_clauses
+                },
+            };
+            let mut oracle =
+                SimOracle::new(&lowered.netlist, &lowered.key).map_err(|e| e.to_string())?;
+            let started = Instant::now();
+            let report =
+                sat_attack(&lowered.netlist, &mut oracle, &cfg).map_err(|e| e.to_string())?;
+            record.solver_ms = Some(started.elapsed().as_millis());
+            record.sat_dips = Some(report.dips);
+            record.sat_proved = Some(report.proved);
+            // Key-recovery %: bit-exact agreement with the inserted key.
+            // Can sit below 100 even under a proof when wrong bits cancel
+            // along parity paths (the functional key class is not a
+            // singleton); `sat_proved` carries functional correctness.
+            let exact = report
+                .key
+                .iter()
+                .zip(&lowered.key)
+                .filter(|(a, b)| a == b)
+                .count();
+            record.kpa = Some(100.0 * exact as f64 / lowered.key.len() as f64);
+            record.attacked_bits = Some(lowered.key.len());
+        }
+        AttackKind::KpaModel | AttackKind::OracleGuided => {
+            // Unreachable by construction: expansion keeps these at RTL.
+            return Err(format!(
+                "attack `{}` cannot run at gate level",
+                job.attack.name()
+            ));
+        }
         AttackKind::None => {}
     }
     Ok(())
@@ -352,6 +657,104 @@ mod tests {
         // 2 schemes × 2 attacks: the second attack of each scheme reuses
         // the base design and the locked artifact from the first.
         assert!(report.cache.hits >= 2, "cache: {:?}", report.cache);
+    }
+
+    fn tiny_gate_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::grid(
+            &["SIM_SPI"],
+            &[SchemeKind::Era, SchemeKind::XorXnor, SchemeKind::Mux],
+            &[0.75],
+        );
+        spec.name = "tiny-gate".into();
+        spec.levels = vec![Level::Gate];
+        spec.seeds = vec![3];
+        spec.attacks = vec![AttackKind::Sat, AttackKind::FreqTable, AttackKind::None];
+        spec.relock_rounds = 8;
+        spec.width = 6;
+        spec.threads = 2;
+        spec
+    }
+
+    #[test]
+    fn runs_a_gate_level_campaign_end_to_end() {
+        let engine = Engine::new();
+        let report = engine.run(&tiny_gate_spec());
+        assert_eq!(report.records.len(), 9);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        for r in &report.records {
+            assert_eq!(r.level, "gate");
+            assert!(r.key_bits.expect("locked") > 0);
+            let gates = r.gates.expect("gate cells report size");
+            assert!(gates > 0);
+            let overhead = r.area_overhead.expect("gate cells report area");
+            assert!(overhead >= 1.0, "locking cannot shrink the design");
+        }
+        // Every SAT cell converges to a proof and recovers the key class
+        // (§5: learning resilience does not buy SAT resistance).
+        for r in report.records.iter().filter(|r| r.attack == "sat") {
+            assert_eq!(r.sat_proved, Some(true), "{:?}", r);
+            assert!(r.sat_dips.expect("dips recorded") > 0);
+            assert!(r.solver_ms.is_some());
+        }
+        // The Fig. 1 leak: XOR/XNOR cell types give the frequency table
+        // ≈ 100 % KPA, while MUX decoys deny the structural signal.
+        let freq = |scheme: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.scheme == scheme && r.attack == "freq-table")
+                .and_then(|r| r.kpa)
+                .expect("cell present")
+        };
+        assert!(freq("xor-xnor") >= 95.0, "got {}", freq("xor-xnor"));
+        assert!(freq("mux") <= 90.0, "got {}", freq("mux"));
+        // One synthesis of the base + one per locked instance; all other
+        // gate cells hit the lowered shard.
+        assert!(report.cache.lowered_hits > 0, "cache: {:?}", report.cache);
+    }
+
+    #[test]
+    fn rtl_and_gate_cells_share_the_locked_rtl_instance() {
+        let mut spec = tiny_gate_spec();
+        spec.levels = vec![Level::Rtl, Level::Gate];
+        spec.schemes = vec![SchemeKind::Era];
+        spec.attacks = vec![AttackKind::None];
+        let engine = Engine::new();
+        let report = engine.run(&spec);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        // Same benchmark × scheme × budget × seed: the gate cell lowers
+        // the very locked module the RTL cell scored, so the locked shard
+        // sees one miss and one hit.
+        assert!(report.cache.hits >= 2, "cache: {:?}", report.cache);
+        let key_bits: Vec<_> = report.records.iter().map(|r| r.key_bits).collect();
+        assert_eq!(key_bits[0], key_bits[1]);
+    }
+
+    #[test]
+    fn cache_aware_ordering_yields_exact_hit_counts() {
+        // 1 benchmark × era × 1 budget × 1 seed × 3 attacks on 4 threads:
+        // the grouped schedule runs the three attack cells back to back on
+        // one worker, so the shared artifacts are 1 design (3 lookups),
+        // 1 locked instance (3 lookups), 1 training set (1 lookup,
+        // freq-table only) — 3 misses, 4 hits, deterministically.
+        let mut spec = tiny_spec();
+        spec.schemes = vec![SchemeKind::Era];
+        spec.attacks = vec![
+            AttackKind::FreqTable,
+            AttackKind::KpaModel,
+            AttackKind::None,
+        ];
+        spec.threads = 4;
+        let engine = Engine::new();
+        let report = engine.run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        assert_eq!(
+            (report.cache.misses, report.cache.hits),
+            (3, 4),
+            "cache: {:?}",
+            report.cache
+        );
     }
 
     #[test]

@@ -9,6 +9,65 @@
 use mlrl_rtl::bench_designs::{benchmark_by_name, DesignSpec};
 use mlrl_rtl::op::{BinaryOp, ALL_BINARY_OPS};
 
+/// Abstraction-level axis of a campaign grid.
+///
+/// `Rtl` cells lock and attack the RTL module directly (the paper's main
+/// flow); `Gate` cells work on the bit-blasted netlist — RTL schemes are
+/// locked at RTL and then *lowered* ("synthesis" in Fig. 1), gate schemes
+/// lock the lowered base netlist. Not every scheme/attack exists at every
+/// level; incompatible cells are skipped during grid expansion (see
+/// [`Level::supports_scheme`] / [`Level::supports_attack`]), so one spec
+/// can sweep both levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Register-transfer level: the paper's native flow.
+    Rtl,
+    /// Gate level: lowered netlists, attacked through the scan view.
+    Gate,
+}
+
+impl Level {
+    /// Every level, in spec-file order.
+    pub const ALL: [Level; 2] = [Level::Rtl, Level::Gate];
+
+    /// Spec-file / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Rtl => "rtl",
+            Level::Gate => "gate",
+        }
+    }
+
+    /// Parses a spec-file token.
+    pub fn parse(token: &str) -> Result<Self, SpecError> {
+        Self::ALL
+            .into_iter()
+            .find(|l| l.name() == token)
+            .ok_or_else(|| unknown_token("level", token, Self::ALL.map(Self::name)))
+    }
+
+    /// Whether a scheme can produce a locked design at this level. Gate
+    /// schemes have no RTL form; RTL schemes survive lowering (their key
+    /// ternaries become MUX trees), so the gate level supports all.
+    pub fn supports_scheme(self, scheme: SchemeKind) -> bool {
+        match self {
+            Level::Rtl => !scheme.is_gate_scheme(),
+            Level::Gate => true,
+        }
+    }
+
+    /// Whether an attack can run at this level. The SAT attack needs a
+    /// netlist; the closed-form KPA model and the oracle-guided hill
+    /// climber are RTL-only. Structural attacks (frequency table,
+    /// SnapShot) have implementations at both levels.
+    pub fn supports_attack(self, attack: AttackKind) -> bool {
+        match self {
+            Level::Rtl => attack != AttackKind::Sat,
+            Level::Gate => !matches!(attack, AttackKind::KpaModel | AttackKind::OracleGuided),
+        }
+    }
+}
+
 /// Locking scheme axis of a campaign grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -22,16 +81,23 @@ pub enum SchemeKind {
     HraGreedy,
     /// Exact ML-resilient algorithm.
     Era,
+    /// EPIC-style gate-level XOR/XNOR key gates (gate level only).
+    XorXnor,
+    /// Gate-level key-controlled MUXes with random decoys (gate level
+    /// only).
+    Mux,
 }
 
 impl SchemeKind {
     /// Every scheme, in spec-file order.
-    pub const ALL: [SchemeKind; 5] = [
+    pub const ALL: [SchemeKind; 7] = [
         SchemeKind::Assure,
         SchemeKind::AssureRandom,
         SchemeKind::Hra,
         SchemeKind::HraGreedy,
         SchemeKind::Era,
+        SchemeKind::XorXnor,
+        SchemeKind::Mux,
     ];
 
     /// Spec-file / report name.
@@ -42,7 +108,15 @@ impl SchemeKind {
             SchemeKind::Hra => "hra",
             SchemeKind::HraGreedy => "hra-greedy",
             SchemeKind::Era => "era",
+            SchemeKind::XorXnor => "xor-xnor",
+            SchemeKind::Mux => "mux",
         }
+    }
+
+    /// Whether this scheme locks the lowered netlist rather than the RTL
+    /// module.
+    pub fn is_gate_scheme(self) -> bool {
+        matches!(self, SchemeKind::XorXnor | SchemeKind::Mux)
     }
 
     /// Parses a spec-file token.
@@ -50,34 +124,37 @@ impl SchemeKind {
         Self::ALL
             .into_iter()
             .find(|s| s.name() == token)
-            .ok_or_else(|| SpecError::new(format!(
-                "unknown scheme `{token}` (expected one of: assure, assure-random, hra, hra-greedy, era)"
-            )))
+            .ok_or_else(|| unknown_token("scheme", token, Self::ALL.map(Self::name)))
     }
 }
 
 /// Attack axis of a campaign grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackKind {
-    /// Bayes-optimal frequency table over the relock training set.
+    /// Bayes-optimal frequency table over the relock training set (both
+    /// levels; gate level uses key-gate localities).
     FreqTable,
-    /// Closed-form expected-KPA model (no training set).
+    /// Closed-form expected-KPA model (RTL only; no training set).
     KpaModel,
-    /// Full SnapShot-RTL auto-ml pipeline.
+    /// Full SnapShot auto-ml pipeline (both levels).
     Snapshot,
-    /// Oracle-guided hill climber (reports output agreement, not KPA).
+    /// Oracle-guided hill climber (RTL only; reports output agreement,
+    /// not KPA).
     OracleGuided,
+    /// Oracle-guided SAT attack on the lowered netlist (gate level only).
+    Sat,
     /// Lock and score the metric only; run no attack.
     None,
 }
 
 impl AttackKind {
     /// Every attack, in spec-file order.
-    pub const ALL: [AttackKind; 5] = [
+    pub const ALL: [AttackKind; 6] = [
         AttackKind::FreqTable,
         AttackKind::KpaModel,
         AttackKind::Snapshot,
         AttackKind::OracleGuided,
+        AttackKind::Sat,
         AttackKind::None,
     ];
 
@@ -88,6 +165,7 @@ impl AttackKind {
             AttackKind::KpaModel => "kpa-model",
             AttackKind::Snapshot => "snapshot",
             AttackKind::OracleGuided => "oracle-guided",
+            AttackKind::Sat => "sat",
             AttackKind::None => "none",
         }
     }
@@ -97,10 +175,18 @@ impl AttackKind {
         Self::ALL
             .into_iter()
             .find(|a| a.name() == token)
-            .ok_or_else(|| SpecError::new(format!(
-                "unknown attack `{token}` (expected one of: freq-table, kpa-model, snapshot, oracle-guided, none)"
-            )))
+            .ok_or_else(|| unknown_token("attack", token, Self::ALL.map(Self::name)))
     }
+}
+
+/// Builds the "unknown X" error with the accepted-token list derived from
+/// the axis' `ALL` table, so the message can never drift from the enum as
+/// variants are added.
+fn unknown_token<const N: usize>(axis: &str, token: &str, names: [&'static str; N]) -> SpecError {
+    SpecError::new(format!(
+        "unknown {axis} `{token}` (expected one of: {})",
+        names.join(", ")
+    ))
 }
 
 /// Error from spec parsing or validation.
@@ -132,6 +218,9 @@ pub struct CampaignSpec {
     pub name: String,
     /// Benchmark axis; see [`resolve_benchmark`] for accepted names.
     pub benchmarks: Vec<String>,
+    /// Abstraction-level axis; cells whose level does not support the
+    /// cell's scheme or attack are skipped during expansion.
+    pub levels: Vec<Level>,
     /// Locking scheme axis.
     pub schemes: Vec<SchemeKind>,
     /// Key budgets as fractions of the design's lockable operations.
@@ -148,6 +237,11 @@ pub struct CampaignSpec {
     pub width: u32,
     /// Worker threads; 0 means "all available cores".
     pub threads: usize,
+    /// Per-cell DIP-iteration budget of the SAT attack.
+    pub sat_max_dips: usize,
+    /// Per-cell clause budget of the SAT attack's miter solver; 0 means
+    /// unlimited.
+    pub sat_max_clauses: usize,
 }
 
 impl Default for CampaignSpec {
@@ -155,6 +249,7 @@ impl Default for CampaignSpec {
         Self {
             name: "campaign".to_owned(),
             benchmarks: Vec::new(),
+            levels: vec![Level::Rtl],
             schemes: Vec::new(),
             budgets: Vec::new(),
             seeds: vec![2022],
@@ -162,6 +257,8 @@ impl Default for CampaignSpec {
             relock_rounds: 60,
             width: 32,
             threads: 0,
+            sat_max_dips: 512,
+            sat_max_clauses: 0,
         }
     }
 }
@@ -177,13 +274,30 @@ impl CampaignSpec {
         }
     }
 
-    /// Number of grid cells (jobs) the spec expands into.
+    /// Number of grid cells (jobs) the spec expands into, counting only
+    /// level-compatible scheme × attack combinations.
     pub fn cells(&self) -> usize {
-        self.benchmarks.len()
-            * self.schemes.len()
-            * self.budgets.len()
-            * self.seeds.len()
-            * self.attacks.len()
+        self.benchmarks.len() * self.budgets.len() * self.seeds.len() * self.compatible_cells()
+    }
+
+    /// Level × scheme × attack combinations the levels axis admits.
+    pub(crate) fn compatible_cells(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|&level| {
+                let schemes = self
+                    .schemes
+                    .iter()
+                    .filter(|&&s| level.supports_scheme(s))
+                    .count();
+                let attacks = self
+                    .attacks
+                    .iter()
+                    .filter(|&&a| level.supports_attack(a))
+                    .count();
+                schemes * attacks
+            })
+            .sum()
     }
 
     /// Parses the spec-file format:
@@ -192,13 +306,16 @@ impl CampaignSpec {
     /// # comment
     /// name       = fig6-sweep
     /// benchmarks = FIR SHA256 mix:add=25,shl=10
-    /// schemes    = assure hra era
+    /// levels     = rtl gate
+    /// schemes    = assure hra era xor-xnor mux
     /// budgets    = 0.25 0.5 0.75
     /// seeds      = 2022 2023
-    /// attacks    = freq-table kpa-model
+    /// attacks    = freq-table kpa-model sat
     /// relock_rounds = 60
     /// width      = 32
     /// threads    = 4
+    /// sat_max_dips    = 512
+    /// sat_max_clauses = 2000000
     /// ```
     ///
     /// Lists are whitespace- or comma-separated, except `benchmarks`,
@@ -244,6 +361,12 @@ impl CampaignSpec {
                         .map(|t| t.trim_matches(',').to_owned())
                         .filter(|t| !t.is_empty())
                         .collect();
+                }
+                "levels" => {
+                    spec.levels = tokens
+                        .iter()
+                        .map(|t| Level::parse(t))
+                        .collect::<Result<_, _>>()?;
                 }
                 "schemes" => {
                     spec.schemes = tokens
@@ -295,6 +418,16 @@ impl CampaignSpec {
                         SpecError::new(format!("line {}: bad threads: {e}", lineno + 1))
                     })?;
                 }
+                "sat_max_dips" => {
+                    spec.sat_max_dips = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad sat_max_dips: {e}", lineno + 1))
+                    })?;
+                }
+                "sat_max_clauses" => {
+                    spec.sat_max_clauses = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad sat_max_clauses: {e}", lineno + 1))
+                    })?;
+                }
                 other => {
                     return Err(SpecError::new(format!(
                         "line {}: unknown key `{other}`",
@@ -312,11 +445,15 @@ impl CampaignSpec {
     /// # Errors
     ///
     /// Returns [`SpecError`] on an empty grid axis, unresolvable
-    /// benchmark names, budgets outside `(0, 8]`, or width outside
-    /// `1..=64`.
+    /// benchmark names, budgets outside `(0, 8]`, width outside `1..=64`,
+    /// or a level axis that filters every scheme × attack combination out
+    /// (e.g. gate schemes on an RTL-only grid).
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.benchmarks.is_empty() {
             return Err(SpecError::new("spec lists no benchmarks"));
+        }
+        if self.levels.is_empty() {
+            return Err(SpecError::new("spec lists no levels"));
         }
         if self.schemes.is_empty() {
             return Err(SpecError::new("spec lists no schemes"));
@@ -350,6 +487,14 @@ impl CampaignSpec {
         }
         if self.relock_rounds == 0 {
             return Err(SpecError::new("relock_rounds must be at least 1"));
+        }
+        if self.attacks.contains(&AttackKind::Sat) && self.sat_max_dips == 0 {
+            return Err(SpecError::new("sat_max_dips must be at least 1"));
+        }
+        if self.compatible_cells() == 0 {
+            return Err(SpecError::new(
+                "grid is empty: no scheme × attack combination is supported at any listed level",
+            ));
         }
         Ok(())
     }
@@ -459,6 +604,50 @@ mod tests {
         assert!(CampaignSpec::parse("benchmarks = FIR\nschemes = rsa\nbudgets = 0.5").is_err());
         assert!(CampaignSpec::parse("benchmarks = NOPE\nschemes = era\nbudgets = 0.5").is_err());
         assert!(CampaignSpec::parse("benchmarks = FIR\nschemes = era\nbudgets = 9.5").is_err());
+    }
+
+    #[test]
+    fn parse_errors_list_every_variant() {
+        // The accepted-token lists are derived from the `ALL` tables, so a
+        // new variant shows up in the message without manual edits.
+        for scheme in SchemeKind::ALL {
+            let msg = SchemeKind::parse("nope").expect_err("rejects").to_string();
+            assert!(msg.contains(scheme.name()), "{msg} lacks {}", scheme.name());
+        }
+        for attack in AttackKind::ALL {
+            let msg = AttackKind::parse("nope").expect_err("rejects").to_string();
+            assert!(msg.contains(attack.name()), "{msg} lacks {}", attack.name());
+        }
+        for level in Level::ALL {
+            let msg = Level::parse("nope").expect_err("rejects").to_string();
+            assert!(msg.contains(level.name()), "{msg} lacks {}", level.name());
+        }
+    }
+
+    #[test]
+    fn levels_filter_incompatible_scheme_attack_combos() {
+        let text = "
+            benchmarks = FIR
+            levels     = rtl gate
+            schemes    = era xor-xnor
+            budgets    = 0.5
+            attacks    = freq-table sat none
+        ";
+        let spec = CampaignSpec::parse(text).expect("parses");
+        // rtl: era × {freq-table, none} = 2 (sat and xor-xnor are skipped);
+        // gate: {era, xor-xnor} × {freq-table, sat, none} = 6.
+        assert_eq!(spec.cells(), 8);
+
+        // A grid whose level axis filters everything out is rejected.
+        assert!(CampaignSpec::parse(
+            "benchmarks = FIR\nlevels = rtl\nschemes = xor-xnor\nbudgets = 0.5"
+        )
+        .is_err());
+        // SAT cells need a non-zero DIP budget.
+        assert!(CampaignSpec::parse(
+            "benchmarks = FIR\nlevels = gate\nschemes = mux\nbudgets = 0.5\nattacks = sat\nsat_max_dips = 0"
+        )
+        .is_err());
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub enum NetlistError {
     Sequential,
     /// A locking operation failed (no lockable wire left, bad target, ...).
     Lock(String),
+    /// The text serialization could not be parsed back into a netlist.
+    Serdes(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -63,6 +65,7 @@ impl fmt::Display for NetlistError {
                 )
             }
             NetlistError::Lock(msg) => write!(f, "locking error: {msg}"),
+            NetlistError::Serdes(msg) => write!(f, "netlist serdes error: {msg}"),
         }
     }
 }

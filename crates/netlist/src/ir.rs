@@ -212,15 +212,15 @@ impl PortBits {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Netlist {
-    name: String,
+    pub(crate) name: String,
     /// Total number of nets ever allocated (constants included).
-    net_count: u32,
-    gates: Vec<Gate>,
-    dffs: Vec<Dff>,
-    inputs: Vec<PortBits>,
-    outputs: Vec<PortBits>,
+    pub(crate) net_count: u32,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) inputs: Vec<PortBits>,
+    pub(crate) outputs: Vec<PortBits>,
     /// Key input nets; index i carries `K[i]`.
-    key_bits: Vec<NetId>,
+    pub(crate) key_bits: Vec<NetId>,
 }
 
 impl Netlist {

@@ -52,6 +52,7 @@ pub mod error;
 pub mod ir;
 pub mod lock;
 pub mod lower;
+pub mod serdes;
 pub mod sim;
 pub mod stats;
 

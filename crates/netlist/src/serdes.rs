@@ -1,0 +1,269 @@
+//! Line-oriented text serialization of [`Netlist`]s.
+//!
+//! The structural Verilog emitter ([`crate::emit`]) targets external
+//! tools and has no parser; this codec is the *round-trippable* form used
+//! by caches that spill lowered netlists to disk (the campaign engine's
+//! lowered-netlist shard). The format preserves net ids exactly, so
+//! [`parse_netlist`] ∘ [`emit_netlist`] is the identity on valid netlists
+//! (checked with `PartialEq` in the tests).
+//!
+//! Format, one record per line:
+//!
+//! ```text
+//! netlist <name>
+//! nets <count>
+//! key <net> ...          # in K[i] order; omitted when unlocked
+//! in <name> <net> ...    # bit nets, LSB first
+//! out <name> <net> ...
+//! dff <d> <q>
+//! gate <kind> <in> ... <out>
+//! ```
+//!
+//! Net ids are bare decimal indices. Unknown directives are errors, so
+//! format drift fails loudly instead of loading a half-read netlist.
+
+use crate::error::{NetlistError, Result};
+use crate::ir::{Dff, Gate, NetId, Netlist, PortBits, ALL_GATE_KINDS};
+
+/// Serializes `netlist` into the line-oriented text format.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_netlist::ir::{GateKind, Netlist};
+/// use mlrl_netlist::serdes::{emit_netlist, parse_netlist};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input_port("a", 2);
+/// let y = n.add_gate(GateKind::And, vec![a[0], a[1]]);
+/// n.add_output_port("y", vec![y]);
+/// let text = emit_netlist(&n);
+/// assert_eq!(parse_netlist(&text)?, n);
+/// # Ok::<(), mlrl_netlist::NetlistError>(())
+/// ```
+pub fn emit_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("netlist {}\n", netlist.name()));
+    out.push_str(&format!("nets {}\n", netlist.net_count()));
+    if !netlist.key_bits().is_empty() {
+        out.push_str("key");
+        for k in netlist.key_bits() {
+            out.push_str(&format!(" {}", k.index()));
+        }
+        out.push('\n');
+    }
+    for p in netlist.inputs() {
+        push_port(&mut out, "in", p);
+    }
+    for p in netlist.outputs() {
+        push_port(&mut out, "out", p);
+    }
+    for f in netlist.dffs() {
+        out.push_str(&format!("dff {} {}\n", f.d.index(), f.q.index()));
+    }
+    for g in netlist.gates() {
+        out.push_str(&format!("gate {}", g.kind.token()));
+        for i in &g.inputs {
+            out.push_str(&format!(" {}", i.index()));
+        }
+        out.push_str(&format!(" {}\n", g.output.index()));
+    }
+    out
+}
+
+fn push_port(out: &mut String, dir: &str, port: &PortBits) {
+    out.push_str(&format!("{dir} {}", port.name));
+    for b in &port.bits {
+        out.push_str(&format!(" {}", b.index()));
+    }
+    out.push('\n');
+}
+
+/// Parses the text format back into a [`Netlist`] and validates it.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Serdes`] on malformed lines, out-of-range net
+/// ids, or unknown gate kinds, and propagates [`Netlist::validate`]
+/// failures (multiple drivers, undriven nets).
+pub fn parse_netlist(text: &str) -> Result<Netlist> {
+    let bad =
+        |lineno: usize, what: &str| NetlistError::Serdes(format!("line {}: {what}", lineno + 1));
+    let mut netlist: Option<Netlist> = None;
+    let mut nets_seen = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line has a token");
+        if directive == "netlist" {
+            let name = tokens.next().ok_or_else(|| bad(lineno, "missing name"))?;
+            if netlist.is_some() {
+                return Err(bad(lineno, "duplicate `netlist` header"));
+            }
+            netlist = Some(Netlist::new(name));
+            continue;
+        }
+        let n = netlist
+            .as_mut()
+            .ok_or_else(|| bad(lineno, "expected `netlist <name>` header first"))?;
+        let net = |token: Option<&str>, count: u32| -> Result<NetId> {
+            let id: u32 = token
+                .ok_or_else(|| bad(lineno, "missing net id"))?
+                .parse()
+                .map_err(|_| bad(lineno, "net id is not a number"))?;
+            if id >= count {
+                return Err(bad(lineno, "net id out of range"));
+            }
+            Ok(NetId(id))
+        };
+        match directive {
+            "nets" => {
+                // A second `nets` line could shrink the id space after
+                // higher ids were referenced, so it is rejected rather
+                // than letting validation index out of bounds.
+                if nets_seen {
+                    return Err(bad(lineno, "duplicate `nets` line"));
+                }
+                nets_seen = true;
+                let count: u32 = tokens
+                    .next()
+                    .ok_or_else(|| bad(lineno, "missing net count"))?
+                    .parse()
+                    .map_err(|_| bad(lineno, "net count is not a number"))?;
+                if count < 2 {
+                    return Err(bad(lineno, "net count below the 2 constants"));
+                }
+                n.net_count = count;
+            }
+            "key" => {
+                for t in tokens {
+                    let k = net(Some(t), n.net_count)?;
+                    n.key_bits.push(k);
+                }
+            }
+            "in" | "out" => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| bad(lineno, "missing port name"))?
+                    .to_owned();
+                let mut bits = Vec::new();
+                for t in tokens {
+                    bits.push(net(Some(t), n.net_count)?);
+                }
+                let port = PortBits { name, bits };
+                if directive == "in" {
+                    n.inputs.push(port);
+                } else {
+                    n.outputs.push(port);
+                }
+            }
+            "dff" => {
+                let d = net(tokens.next(), n.net_count)?;
+                let q = net(tokens.next(), n.net_count)?;
+                n.dffs.push(Dff { d, q });
+            }
+            "gate" => {
+                let token = tokens
+                    .next()
+                    .ok_or_else(|| bad(lineno, "missing gate kind"))?;
+                let kind = ALL_GATE_KINDS
+                    .into_iter()
+                    .find(|k| k.token() == token)
+                    .ok_or_else(|| bad(lineno, "unknown gate kind"))?;
+                let mut nets = Vec::new();
+                for t in tokens {
+                    nets.push(net(Some(t), n.net_count)?);
+                }
+                if nets.len() != kind.arity() + 1 {
+                    return Err(bad(lineno, "gate pin count does not match kind arity"));
+                }
+                let output = nets.pop().expect("checked non-empty");
+                n.gates.push(Gate {
+                    kind,
+                    inputs: nets,
+                    output,
+                });
+            }
+            other => return Err(bad(lineno, &format!("unknown directive `{other}`"))),
+        }
+    }
+    let netlist = netlist.ok_or_else(|| {
+        NetlistError::Serdes("empty input: expected `netlist <name>` header".to_owned())
+    })?;
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::NetlistBuilder;
+    use crate::lock::{mux_lock, xor_xnor_lock};
+    use crate::lower::lower_module;
+    use mlrl_rtl::parser::parse_verilog;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", 8);
+        let c = b.input_lane("b", 8);
+        let s = b.add(a, c);
+        let m = b.mul(s, a);
+        b.output_from_lane("y", m, 8);
+        let mut n = b.finish();
+        n.sweep();
+        n
+    }
+
+    #[test]
+    fn round_trips_a_combinational_netlist() {
+        let n = sample();
+        let parsed = parse_netlist(&emit_netlist(&n)).expect("parses");
+        assert_eq!(parsed, n);
+    }
+
+    #[test]
+    fn round_trips_locked_netlists_with_key_order() {
+        for seed in [1u64, 9] {
+            let mut xored = sample();
+            xor_xnor_lock(&mut xored, 6, seed).expect("locks");
+            assert_eq!(parse_netlist(&emit_netlist(&xored)).expect("parses"), xored);
+            let mut muxed = sample();
+            mux_lock(&mut muxed, 6, seed).expect("locks");
+            assert_eq!(parse_netlist(&emit_netlist(&muxed)).expect("parses"), muxed);
+        }
+    }
+
+    #[test]
+    fn round_trips_sequential_netlists_and_scan_views() {
+        let m = parse_verilog(
+            "module t(clk, en, q);\n input clk;\n input en;\n output [7:0] q;\n reg [7:0] cnt;\n assign q = cnt;\n always @(posedge clk) begin\n if (en) begin\n cnt <= cnt + 1;\n end\n end\nendmodule",
+        )
+        .expect("parses");
+        let n = lower_module(&m).expect("lowers");
+        assert_eq!(parse_netlist(&emit_netlist(&n)).expect("parses"), n);
+        let scan = n.to_scan_view();
+        assert_eq!(parse_netlist(&emit_netlist(&scan)).expect("parses"), scan);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_netlist("").is_err());
+        assert!(parse_netlist("nets 5").is_err(), "header must come first");
+        assert!(parse_netlist("netlist t\nnets 1").is_err(), "constants");
+        assert!(parse_netlist("netlist t\nnets 4\ngate and 2 3 9").is_err());
+        assert!(parse_netlist("netlist t\nnets 4\ngate frob 2 3").is_err());
+        assert!(parse_netlist("netlist t\nnets 4\ngate and 2 3").is_err());
+        assert!(parse_netlist("netlist t\nbogus 1").is_err());
+        // A late duplicate `nets` line must not shrink the id space under
+        // already-parsed references (would panic in validation).
+        assert!(parse_netlist("netlist t\nnets 5\ngate and 2 3 4\nnets 3\nout y 4").is_err());
+        // Structural violations are caught by validation, not just syntax.
+        assert!(
+            parse_netlist("netlist t\nnets 3\nout y 2").is_err(),
+            "undriven output"
+        );
+    }
+}

@@ -125,6 +125,11 @@ impl Solver {
         self.num_vars
     }
 
+    /// Number of clauses in the database, learned clauses included.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
     /// Lifetime conflict count (diagnostic).
     pub fn conflicts(&self) -> u64 {
         self.conflicts

@@ -409,6 +409,7 @@ fn cmd_sat_attack(args: &Args) -> Result<(), String> {
     );
     let cfg = SatAttackConfig {
         max_dips: args.num("max-dips", 512usize),
+        ..Default::default()
     };
     let (report, correct) =
         sat_attack_with_sim_oracle(&netlist, &key, &cfg).map_err(|e| e.to_string())?;
@@ -433,10 +434,11 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         engine = engine.with_cache_dir(dir);
     }
     eprintln!(
-        "campaign `{}`: {} cells ({} benchmarks x {} schemes x {} budgets x {} seeds x {} attacks)",
+        "campaign `{}`: {} cells ({} benchmarks x {} levels x {} schemes x {} budgets x {} seeds x {} attacks, level-incompatible combos skipped)",
         spec.name,
         spec.cells(),
         spec.benchmarks.len(),
+        spec.levels.len(),
         spec.schemes.len(),
         spec.budgets.len(),
         spec.seeds.len(),

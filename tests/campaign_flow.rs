@@ -7,7 +7,7 @@
 //!    a non-zero cache hit rate with unchanged results.
 
 use mlrl::engine::run::Engine;
-use mlrl::engine::spec::{AttackKind, CampaignSpec, SchemeKind};
+use mlrl::engine::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 
 /// The acceptance grid: 2 benchmarks × 2 schemes × 3 budgets = 12 cells.
 fn twelve_cell_spec(threads: usize) -> CampaignSpec {
@@ -72,6 +72,82 @@ fn rerunning_a_spec_hits_the_cache_with_unchanged_results() {
         first.canonical_jsonl(),
         second.canonical_jsonl(),
         "cache hits must not change results"
+    );
+}
+
+/// The gate-level acceptance grid: 1 benchmark × {rtl, gate} ×
+/// {era, xor-xnor} × 1 budget × {freq-table, sat, none} = 8 cells
+/// (rtl skips the gate scheme and the SAT attack).
+fn mixed_level_spec(threads: usize) -> CampaignSpec {
+    let mut spec = CampaignSpec::grid(
+        &["SIM_SPI"],
+        &[SchemeKind::Era, SchemeKind::XorXnor],
+        &[0.5],
+    );
+    spec.name = "mixed-level-flow".into();
+    spec.levels = vec![Level::Rtl, Level::Gate];
+    spec.seeds = vec![7];
+    spec.attacks = vec![AttackKind::FreqTable, AttackKind::Sat, AttackKind::None];
+    spec.relock_rounds = 6;
+    spec.width = 6;
+    spec.threads = threads;
+    spec
+}
+
+#[test]
+fn mixed_level_campaigns_are_byte_identical_across_thread_counts() {
+    let serial = Engine::new().run(&mixed_level_spec(1));
+    let parallel = Engine::new().run(&mixed_level_spec(4));
+
+    assert_eq!(serial.records.len(), 8);
+    assert_eq!(serial.failed_count(), 0, "{:?}", serial.records);
+    assert_eq!(parallel.failed_count(), 0);
+    assert_eq!(
+        serial.canonical_jsonl(),
+        parallel.canonical_jsonl(),
+        "gate-level cells must be as deterministic as RTL cells"
+    );
+    // The canonical report carries the gate-level science.
+    let canonical = serial.canonical_jsonl();
+    assert!(canonical.contains("\"level\":\"gate\""));
+    assert!(canonical.contains("\"sat_proved\":true"));
+    assert!(canonical.contains("\"attack\":\"sat\""));
+    // SAT-attacked cells record their iteration counts and area overhead.
+    for r in serial.records.iter().filter(|r| r.attack == "sat") {
+        assert!(r.sat_dips.expect("dips") > 0);
+        assert!(r.area_overhead.expect("area") >= 1.0);
+    }
+}
+
+#[test]
+fn warm_reruns_hit_the_lowered_netlist_shard() {
+    let engine = Engine::new();
+    let spec = mixed_level_spec(2);
+
+    let cold = engine.run(&spec);
+    assert_eq!(cold.failed_count(), 0, "{:?}", cold.records);
+    assert!(
+        cold.cache.lowered_misses > 0,
+        "cold run must synthesize (stats: {:?})",
+        cold.cache
+    );
+
+    let warm = engine.run(&spec);
+    assert_eq!(warm.failed_count(), 0);
+    assert!(
+        warm.cache.lowered_hits > 0,
+        "warm re-run must hit the lowered-netlist shard (stats: {:?})",
+        warm.cache
+    );
+    assert_eq!(
+        warm.cache.lowered_misses, 0,
+        "warm re-run must not re-synthesize (stats: {:?})",
+        warm.cache
+    );
+    assert_eq!(
+        cold.canonical_jsonl(),
+        warm.canonical_jsonl(),
+        "netlist-shard hits must not change results"
     );
 }
 

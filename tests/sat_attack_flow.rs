@@ -35,9 +35,15 @@ fn sat_attack_breaks_era_locked_designs() {
     // ERA is provably learning-resilient — and still falls to the oracle-
     // guided SAT attack, confirming the orthogonality the paper points at.
     let (netlist, key) = era_locked_netlist("SIM_SPI", 6, 3);
-    let (report, correct) =
-        sat_attack_with_sim_oracle(&netlist, &key, &SatAttackConfig { max_dips: 1024 })
-            .expect("attack converges");
+    let (report, correct) = sat_attack_with_sim_oracle(
+        &netlist,
+        &key,
+        &SatAttackConfig {
+            max_dips: 1024,
+            ..Default::default()
+        },
+    )
+    .expect("attack converges");
     assert!(report.proved, "miter must reach UNSAT");
     assert!(correct, "recovered key must unlock the design");
     assert!(
@@ -58,9 +64,15 @@ fn sat_attack_breaks_hra_locked_designs() {
         .collect();
     let mut netlist = lower_module(&locked).expect("lowers").to_scan_view();
     netlist.sweep();
-    let (report, correct) =
-        sat_attack_with_sim_oracle(&netlist, &key, &SatAttackConfig { max_dips: 1024 })
-            .expect("attack converges");
+    let (report, correct) = sat_attack_with_sim_oracle(
+        &netlist,
+        &key,
+        &SatAttackConfig {
+            max_dips: 1024,
+            ..Default::default()
+        },
+    )
+    .expect("attack converges");
     assert!(report.proved && correct);
 }
 
@@ -90,9 +102,15 @@ fn sat_attack_breaks_gate_level_schemes() {
 fn dip_counts_stay_far_below_brute_force() {
     // The whole point of the SAT attack: DIP count ≪ 2^inputs and ≪ 2^key.
     let (netlist, key) = era_locked_netlist("SIM_SPI", 6, 17);
-    let (report, _) =
-        sat_attack_with_sim_oracle(&netlist, &key, &SatAttackConfig { max_dips: 1024 })
-            .expect("attack converges");
+    let (report, _) = sat_attack_with_sim_oracle(
+        &netlist,
+        &key,
+        &SatAttackConfig {
+            max_dips: 1024,
+            ..Default::default()
+        },
+    )
+    .expect("attack converges");
     let input_bits: usize = netlist.inputs().iter().map(|p| p.width()).sum();
     assert!(
         input_bits >= 20,
