@@ -2,52 +2,39 @@
 //! lesson that "half measures are not effective": HRA only reaches the 50%
 //! floor once the budget covers the total imbalance; ERA is always on it.
 //!
+//! A thin printer over `mlrl_engine`: the fractions × schemes × instances
+//! grid runs as one campaign (`mlrl_engine::drivers::ablation_campaign`)
+//! whose budget axis *is* the ablation, with locked instances and relock
+//! training sets shared through the artifact cache.
+//!
 //! Usage: `cargo run --release -p mlrl-bench --bin ablation_budget
-//!         [benchmark] [--instances N] [--relocks N] [--seed N]`
+//!         [benchmark] [--instances N] [--relocks N] [--seed N]
+//!         [--threads N] [--canonical] [--shard I/N]`
 
-use mlrl_bench::ablation::budget_sweep;
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_engine::drivers::ablation_campaign;
+use mlrl_engine::{kpa_cell_means, Engine};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    // The benchmark is the first token that is neither a flag nor the
-    // value of the preceding flag.
-    let benchmark = {
-        let mut found = None;
-        let mut skip_next = false;
-        for a in &args {
-            if skip_next {
-                skip_next = false;
-                continue;
-            }
-            if a.starts_with("--") {
-                skip_next = true;
-                continue;
-            }
-            found = Some(a.clone());
-            break;
-        }
-        found.unwrap_or_else(|| "MD5".to_owned())
-    };
-    let instances: usize = value("--instances")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-    let relocks: usize = value("--relocks")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30);
-    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let benchmark = args.positional(0).unwrap_or("MD5").to_owned();
+    let instances: usize = args.num("instances", 2);
+    let relocks: usize = args.num("relocks", 30);
+    let seed: u64 = args.num("seed", 2022);
 
     let fractions = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5];
     eprintln!(
         "budget ablation on {benchmark}: {} fractions x 3 schemes x {instances} instances",
         fractions.len()
     );
-    let points = budget_sweep(&benchmark, &fractions, instances, relocks, seed);
+    let spec = ablation_campaign(&benchmark, &fractions, instances, relocks, seed);
+    let engine = Engine::new();
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+    let cells = kpa_cell_means(&reports[0].records, "snapshot");
 
     println!();
     println!("KPA (%) vs key-budget fraction on {benchmark} (random guess = 50)");
@@ -56,13 +43,13 @@ fn main() {
         print!("{f:>8.2}");
     }
     println!();
-    for scheme in ["ASSURE", "HRA", "ERA"] {
-        print!("{scheme:<10}");
+    for scheme in ["assure", "hra", "era"] {
+        print!("{:<10}", scheme.to_ascii_uppercase());
         for f in &fractions {
-            let kpa = points
+            let kpa = cells
                 .iter()
-                .find(|p| p.scheme == scheme && (p.budget_fraction - f).abs() < 1e-9)
-                .map(|p| p.kpa)
+                .find(|c| c.scheme == scheme && (c.budget - f).abs() < 1e-9)
+                .map(|c| c.kpa)
                 .unwrap_or(f64::NAN);
             print!("{kpa:>8.1}");
         }

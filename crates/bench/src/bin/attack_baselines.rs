@@ -11,49 +11,32 @@
 //! content-addressed artifact cache instead of relocking twice.
 //!
 //! Usage: `cargo run --release -p mlrl-bench --bin attack_baselines
-//!         [benchmark] [--relocks N] [--seed N] [--threads N]`
+//!         [benchmark] [--relocks N] [--seed N] [--threads N]
+//!         [--canonical] [--shard I/N]`
 
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::attack_baselines_campaign;
 use mlrl_engine::run::Engine;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    // First token that is neither a flag nor a flag's value.
-    let benchmark = {
-        let mut found = None;
-        let mut skip_next = false;
-        for a in &args {
-            if skip_next {
-                skip_next = false;
-                continue;
-            }
-            if a.starts_with("--") {
-                skip_next = true;
-                continue;
-            }
-            found = Some(a.clone());
-            break;
-        }
-        found.unwrap_or_else(|| "SHA256".to_owned())
-    };
-    let relocks: usize = value("--relocks")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50);
-    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
-    let threads: usize = value("--threads").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let benchmark = args.positional(0).unwrap_or("SHA256").to_owned();
+    let relocks: usize = args.num("relocks", 50);
+    let seed: u64 = args.num("seed", 2022);
 
-    let mut spec = attack_baselines_campaign(&benchmark, relocks, seed);
-    spec.threads = threads;
-    println!("attack baselines on {benchmark} (seed {seed}, {relocks} relocks)");
-    println!();
-
-    let report = Engine::new().run(&spec);
+    let spec = attack_baselines_campaign(&benchmark, relocks, seed);
+    let engine = Engine::new();
+    let canonical = args.has("canonical") || args.has("shard");
+    if !canonical {
+        println!("attack baselines on {benchmark} (seed {seed}, {relocks} relocks)");
+        println!();
+    }
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+    let report = &reports[0];
 
     let cell = |scheme: &str, attack: &str| -> String {
         report

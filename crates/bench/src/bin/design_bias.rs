@@ -3,26 +3,52 @@
 //! imbalance and its distance from the optimal (balanced) distribution —
 //! the metric denominator `d_e(v_i, v_o)`.
 //!
-//! Usage: `cargo run --release -p mlrl-bench --bin design_bias [seed]`
+//! A thin printer over `mlrl_engine`: one lock-free profile cell per
+//! benchmark (`mlrl_engine::drivers::design_bias_campaign`).
+//!
+//! Usage: `cargo run --release -p mlrl-bench --bin design_bias [seed]
+//!         [--benchmarks a,b,c] [--threads N] [--canonical] [--shard I/N]`
 
-use mlrl_bench::ablation::design_bias;
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_engine::drivers::design_bias_campaign;
+use mlrl_engine::{Engine, JobRecord};
+use mlrl_rtl::bench_designs::paper_benchmarks;
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2022);
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let seed: u64 = args.positional_num(0, 2022);
+    let benchmarks: Vec<String> = args.list("benchmarks").unwrap_or_else(|| {
+        paper_benchmarks()
+            .iter()
+            .map(|s| s.name.to_owned())
+            .collect()
+    });
+
+    let spec = design_bias_campaign(&benchmarks, seed);
+    let engine = Engine::new();
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+
+    let bias = |r: &JobRecord| r.imbalance.unwrap_or(0) as f64 / r.ops.unwrap_or(1).max(1) as f64;
+    let mut rows: Vec<&JobRecord> = reports[0].records.iter().collect();
+    rows.sort_by(|a, b| bias(b).partial_cmp(&bias(a)).expect("finite"));
+
     println!("initial distribution bias per benchmark (seed {seed})");
     println!(
         "{:<10} {:>8} {:>12} {:>8} {:>16}",
         "benchmark", "ops", "imbalance", "bias", "d_e(v_i, v_o)"
     );
-    let mut rows = design_bias(seed);
-    rows.sort_by(|a, b| b.bias.partial_cmp(&a.bias).expect("finite"));
     for r in &rows {
         println!(
             "{:<10} {:>8} {:>12} {:>8.2} {:>16.2}",
-            r.benchmark, r.ops, r.imbalance, r.bias, r.initial_distance
+            r.benchmark,
+            r.ops.unwrap_or(0),
+            r.imbalance.unwrap_or(0),
+            bias(r),
+            r.initial_distance.unwrap_or(f64::NAN)
         );
     }
     println!();

@@ -12,8 +12,10 @@
 //! never simulates, but the `gates` column counts the scan-view netlist.
 //!
 //! Usage: `cargo run --release -p mlrl-bench --bin fig1_gate_vs_rtl
-//!         [--benchmarks a,b,c] [--instances N] [--seed N] [--csv]`
+//!         [--benchmarks a,b,c] [--instances N] [--seed N] [--threads N]
+//!         [--csv] [--canonical] [--shard I/N]`
 
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::fig1_campaigns;
 use mlrl_engine::{Engine, JobRecord};
 
@@ -36,39 +38,29 @@ fn kpa_of(records: &[JobRecord], benchmark: &str, scheme: &str) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let mut benchmarks: Vec<String> = vec![
-        "DES3".into(),
-        "MD5".into(),
-        "SASC".into(),
-        "SIM_SPI".into(),
-        "USB_PHY".into(),
-        "I2C_SL".into(),
-    ];
-    if let Some(b) = value("--benchmarks") {
-        benchmarks = b.split(',').map(|s| s.trim().to_owned()).collect();
-    }
-    let instances: usize = value("--instances")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
-    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
-    let csv = args.iter().any(|a| a == "--csv");
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let benchmarks: Vec<String> = args.list("benchmarks").unwrap_or_else(|| {
+        vec![
+            "DES3".into(),
+            "MD5".into(),
+            "SASC".into(),
+            "SIM_SPI".into(),
+            "USB_PHY".into(),
+            "I2C_SL".into(),
+        ]
+    });
+    let instances: usize = args.num("instances", 3);
+    let seed: u64 = args.num("seed", 2022);
+    let csv = args.has("csv");
 
     let (gate_spec, rtl_spec) = fig1_campaigns(&benchmarks, instances, seed);
     let engine = Engine::new();
-    let gate = engine.run(&gate_spec);
-    let rtl = engine.run(&rtl_spec);
-    for report in [&gate, &rtl] {
-        if report.failed_count() > 0 {
-            eprintln!("warning: {}", report.summary());
-        }
-    }
+    let Some(reports) =
+        run_campaigns(&engine, &[gate_spec, rtl_spec], &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+    let (gate, rtl) = (&reports[0], &reports[1]);
 
     println!("Fig. 1 — structural ML attacks: gate level vs RTL (seed {seed})");
     println!("Key budget: 75% of operations at both levels; {instances} instance(s) per cell.");

@@ -1,29 +1,68 @@
 //! Regenerates Fig. 4: the impact of operation selection on learning
 //! resilience, as observation pools over the all-`+` network.
 //!
+//! A thin printer over `mlrl_engine`: the three scenarios run as one
+//! campaign of observation cells
+//! (`mlrl_engine::drivers::fig4_campaign`), one selection scheme per
+//! scenario.
+//!
 //! Usage: `cargo run --release -p mlrl-bench --bin fig4_observations
-//!         [n_ops] [rounds] [seed]`
+//!         [n_ops] [rounds] [seed] [--threads N] [--canonical]
+//!         [--shard I/N]`
 
-use mlrl_bench::experiments::run_fig4;
+use mlrl_attack::observations::ObservationPool;
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_engine::drivers::fig4_campaign;
+use mlrl_engine::Engine;
+
+/// The Fig. 4 sub-figure each selection scheme reproduces.
+fn scenario_label(scheme: &str) -> &'static str {
+    match scheme {
+        "assure" => "serial locking (Fig 4b)",
+        "assure-random" => "random locking (Fig 4c)",
+        "assure-disjoint" => "random locking, no overlap (Fig 4d)",
+        _ => "?",
+    }
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n_ops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
-    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2022);
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let n_ops: usize = args.positional_num(0, 128);
+    let rounds: usize = args.positional_num(1, 20);
+    let seed: u64 = args.positional_num(2, 2022);
 
-    println!("Fig. 4 — operation selection vs. learning resilience");
+    let spec = fig4_campaign(n_ops, rounds, seed);
+    let engine = Engine::new();
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+    let report = &reports[0];
+
+    println!("Fig. 4 — operation selection vs. learning resilience (via mlrl-engine)");
     println!("+-network of {n_ops} ops, 50% key budget, {rounds} training relocks, seed {seed}");
     println!();
     println!(
         "{:<38} {:>10} {:>10} {:>10}  inference",
         "scenario", "+ real", "- real", "P(+ real)"
     );
-    let result = run_fig4(n_ops, rounds, seed);
-    for row in &result.rows {
+    for r in &report.records {
+        let (Some(plus_real), Some(minus_real)) = (r.obs_plus, r.obs_minus) else {
+            continue;
+        };
+        // Rebuilt only for `p_plus_real`/`inference`, which ignore the
+        // scenario tag — the row's real scenario is in `r.scheme`.
+        let pool = ObservationPool {
+            scenario: mlrl_attack::observations::Scenario::SerialSerial,
+            plus_real,
+            minus_real,
+        };
         println!(
-            "{:<38} {:>10} {:>10} {:>10.3}  {}",
-            row.scenario, row.plus_real, row.minus_real, row.p_plus_real, row.inference
+            "{:<38} {plus_real:>10} {minus_real:>10} {:>10.3}  {}",
+            scenario_label(&r.scheme),
+            pool.p_plus_real(),
+            pool.inference()
         );
     }
     println!();

@@ -7,32 +7,41 @@
 //! pool, sharing base designs through the artifact cache; the surface
 //! (5a) stays a direct metric evaluation — it locks nothing.
 //!
-//! Usage: `cargo run --release -p mlrl-bench --bin fig5_metric [seed]`
-//! Pass `--csv` to dump the raw surface grid as CSV instead of the summary.
+//! Usage: `cargo run --release -p mlrl-bench --bin fig5_metric [seed]
+//!         [--csv] [--threads N] [--canonical] [--shard I/N]`
+//! Pass `--csv` to dump the raw surface grid as CSV instead of the
+//! summary; `--canonical`/`--shard` emit the 5b campaigns' canonical
+//! stream only (the surface is not campaign-shaped).
 
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_bench::experiments::run_fig5;
 use mlrl_engine::drivers::{fig5_campaign, fig5_hra_campaign};
 use mlrl_engine::run::Engine;
 use mlrl_engine::JobRecord;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let seed: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2022);
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let seed: u64 = args.positional_num(0, 2022);
 
-    let result = run_fig5(seed);
-
-    if csv {
+    if args.has("csv") {
+        // Surface dump only: locks nothing, so skip the 5b campaigns.
+        let result = run_fig5(seed);
         println!("x_add_sub,y_shl_shr,m_g_sec");
         for (x, y, m) in &result.surface {
             println!("{x},{y},{m:.4}");
         }
         return;
     }
+
+    // Fig. 5b through the engine: one campaign per budget regime.
+    let engine = Engine::new();
+    let specs = [fig5_campaign(seed), fig5_hra_campaign(seed)];
+    let Some(reports) = run_campaigns(&engine, &specs, &args).unwrap_or_else(|e| fail(&e)) else {
+        return; // canonical / shard output already printed
+    };
+    let records: Vec<JobRecord> = reports.into_iter().flat_map(|r| r.records).collect();
+
+    let result = run_fig5(seed);
 
     println!("Fig. 5a — M_g_sec surface, |ODT[(+,-)]|=25, |ODT[(<<,>>)]|=10 (seed {seed})");
     println!("(rows: (<<,>>) imbalance 10..0; cols: (+,-) imbalance 25..0, step 5)");
@@ -54,17 +63,6 @@ fn main() {
             print!("{m:>8.1}");
         }
         println!();
-    }
-
-    // Fig. 5b through the engine: one campaign per budget regime.
-    let engine = Engine::new();
-    let mut records: Vec<JobRecord> = Vec::new();
-    for spec in [fig5_campaign(seed), fig5_hra_campaign(seed)] {
-        let report = engine.run(&spec);
-        if report.failed_count() > 0 {
-            eprintln!("warning: {} fig5 cell(s) failed", report.failed_count());
-        }
-        records.extend(report.records);
     }
 
     println!();

@@ -1,6 +1,15 @@
 //! Regenerates Fig. 6: KPA of the SnapShot-RTL attack per benchmark (6a)
 //! and averaged per locking scheme (6b).
 //!
+//! A thin printer over `mlrl_engine`: the sweep runs as campaigns
+//! (`mlrl_engine::drivers::fig6_campaigns` — one grid for ASSURE/HRA,
+//! one for ERA, plus the paper's ERA-on-N_2046 100%-budget exception) on
+//! the work-stealing pool, sharing base designs, locked instances, and
+//! relock training sets through the artifact cache. This is the engine's
+//! natural heavy workload: 14 benchmarks × 3 schemes × N instances,
+//! each relocked up to 1000 times — cacheable, parallel, and linearly
+//! partitionable across machines with `--shard`.
+//!
 //! Usage:
 //!   `cargo run --release -p mlrl-bench --bin fig6_kpa [-- options]`
 //!
@@ -11,58 +20,68 @@
 //!   `--instances N`      locked instances per benchmark (default 3)
 //!   `--relocks N`        relock rounds per instance (default 60)
 //!   `--seed N`           base seed (default 2022)
+//!   `--threads N`        worker threads (default: all cores)
 //!   `--csv`              emit CSV rows instead of the table
+//!   `--canonical`        emit the canonical JSON-lines stream
+//!   `--shard I/N`        run one shard (implies `--canonical`)
 
-use mlrl_bench::experiments::{run_fig6, Fig6Config};
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_engine::drivers::fig6_campaigns;
+use mlrl_engine::{kpa_cell_means, scheme_averages, Engine, JobRecord};
+use mlrl_rtl::bench_designs::paper_benchmarks;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
+    let mut boolean_flags = vec!["quick", "full"];
+    boolean_flags.extend_from_slice(CAMPAIGN_BOOLEAN_FLAGS);
+    let args = BenchArgs::from_env(&boolean_flags);
 
-    let mut cfg = Fig6Config::default();
-    if flag("--quick") {
-        cfg.benchmarks = vec!["FIR".into(), "SASC".into(), "N_1023".into()];
-        cfg.test_locks = 1;
-        cfg.relock_rounds = 20;
+    let mut benchmarks: Vec<String> = paper_benchmarks()
+        .iter()
+        .map(|s| s.name.to_owned())
+        .collect();
+    let mut instances = 3usize;
+    let mut relocks = 60usize;
+    if args.has("quick") {
+        benchmarks = vec!["FIR".into(), "SASC".into(), "N_1023".into()];
+        instances = 1;
+        relocks = 20;
     }
-    if flag("--full") {
-        cfg.test_locks = 10;
-        cfg.relock_rounds = 200;
+    if args.has("full") {
+        instances = 10;
+        relocks = 200;
     }
-    if let Some(b) = value("--benchmarks") {
-        cfg.benchmarks = b.split(',').map(|s| s.trim().to_owned()).collect();
+    if let Some(b) = args.list("benchmarks") {
+        benchmarks = b;
     }
-    if let Some(n) = value("--instances").and_then(|v| v.parse().ok()) {
-        cfg.test_locks = n;
-    }
-    if let Some(n) = value("--relocks").and_then(|v| v.parse().ok()) {
-        cfg.relock_rounds = n;
-    }
-    if let Some(n) = value("--seed").and_then(|v| v.parse().ok()) {
-        cfg.seed = n;
-    }
+    instances = args.num("instances", instances);
+    relocks = args.num("relocks", relocks);
+    let seed: u64 = args.num("seed", 2022);
 
+    let specs = fig6_campaigns(&benchmarks, instances, relocks, seed);
     eprintln!(
-        "Fig. 6 sweep: {} benchmarks x 3 schemes x {} instances, {} relocks each",
-        cfg.benchmarks.len(),
-        cfg.test_locks,
-        cfg.relock_rounds
+        "Fig. 6 sweep: {} benchmarks x 3 schemes x {instances} instance(s), {relocks} relocks each",
+        benchmarks.len()
     );
-    let result = run_fig6(&cfg);
+    let engine = Engine::new();
+    let Some(reports) = run_campaigns(&engine, &specs, &args).unwrap_or_else(|e| fail(&e)) else {
+        return; // canonical / shard output already printed
+    };
+    let records: Vec<JobRecord> = reports.into_iter().flat_map(|r| r.records).collect();
+    let cells = kpa_cell_means(&records, "snapshot");
+    let averages = scheme_averages(&cells);
 
-    if flag("--csv") {
+    if args.has("csv") {
         println!("benchmark,scheme,kpa");
-        for cell in &result.cells {
-            println!("{},{},{:.2}", cell.benchmark, cell.scheme, cell.kpa);
+        for cell in &cells {
+            println!(
+                "{},{},{:.2}",
+                cell.benchmark,
+                cell.scheme.to_ascii_uppercase(),
+                cell.kpa
+            );
         }
-        for (scheme, avg) in &result.averages {
-            println!("AVERAGE,{scheme},{avg:.2}");
+        for (scheme, avg) in &averages {
+            println!("AVERAGE,{},{avg:.2}", scheme.to_ascii_uppercase());
         }
         return;
     }
@@ -73,10 +92,9 @@ fn main() {
         "{:<10} {:>10} {:>10} {:>10}",
         "benchmark", "ASSURE", "HRA", "ERA"
     );
-    for name in &cfg.benchmarks {
+    for name in &benchmarks {
         let get = |scheme: &str| {
-            result
-                .cells
+            cells
                 .iter()
                 .find(|c| &c.benchmark == name && c.scheme == scheme)
                 .map(|c| c.kpa)
@@ -84,14 +102,14 @@ fn main() {
         };
         println!(
             "{name:<10} {:>10.2} {:>10.2} {:>10.2}",
-            get("ASSURE"),
-            get("HRA"),
-            get("ERA")
+            get("assure"),
+            get("hra"),
+            get("era")
         );
     }
     println!();
     println!("Fig. 6b — average KPA (%) (paper: ASSURE 74.78, HRA 74.26, ERA 47.92)");
-    for (scheme, avg) in &result.averages {
-        println!("{scheme:<8} {avg:>8.2}");
+    for (scheme, avg) in &averages {
+        println!("{:<8} {avg:>8.2}", scheme.to_ascii_uppercase());
     }
 }

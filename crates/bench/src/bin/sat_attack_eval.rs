@@ -9,37 +9,36 @@
 //! cache shard, and the canonical report reproduces byte-identically.
 //!
 //! Usage: `cargo run --release -p mlrl-bench --bin sat_attack_eval
-//!         [--benchmarks a,b,c] [--width N] [--max-dips N] [--seed N] [--csv]`
+//!         [--benchmarks a,b,c] [--width N] [--max-dips N] [--seed N]
+//!         [--threads N] [--csv] [--canonical] [--shard I/N]`
 
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::sat_eval_campaign;
 use mlrl_engine::Engine;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let mut benchmarks: Vec<String> = vec![
-        "SASC".into(),
-        "SIM_SPI".into(),
-        "USB_PHY".into(),
-        "I2C_SL".into(),
-    ];
-    if let Some(b) = value("--benchmarks") {
-        benchmarks = b.split(',').map(|s| s.trim().to_owned()).collect();
-    }
-    let width: u32 = value("--width").and_then(|v| v.parse().ok()).unwrap_or(8);
-    let max_dips: usize = value("--max-dips")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(512);
-    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
-    let csv = args.iter().any(|a| a == "--csv");
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let benchmarks: Vec<String> = args.list("benchmarks").unwrap_or_else(|| {
+        vec![
+            "SASC".into(),
+            "SIM_SPI".into(),
+            "USB_PHY".into(),
+            "I2C_SL".into(),
+        ]
+    });
+    let width: u32 = args.num("width", 8);
+    let max_dips: usize = args.num("max-dips", 512);
+    let seed: u64 = args.num("seed", 2022);
+    let csv = args.has("csv");
 
     let spec = sat_eval_campaign(&benchmarks, width, max_dips, seed);
-    let report = Engine::new().run(&spec);
+    let engine = Engine::new();
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
+    };
+    let report = &reports[0];
 
     println!(
         "§5 open question — oracle-guided SAT attack (width {width}, seed {seed}, cap {max_dips} DIPs)"

@@ -1,33 +1,42 @@
 //! Regenerates the §3.2 result: the original ASSURE operation pairing leaks
 //! key bits to simple pair analysis; the involutive fix closes the channel.
 //!
+//! A thin printer over `mlrl_engine`: each benchmark × pairing-table cell
+//! (`assure-original` vs `assure`) runs as a pair-analysis campaign cell
+//! (`mlrl_engine::drivers::sec32_campaign`), sharing base designs through
+//! the artifact cache.
+//!
 //! Usage: `cargo run --release -p mlrl-bench --bin sec32_pair_leakage
-//!         [--benchmarks a,b,c] [--seed N]`
+//!         [--benchmarks a,b,c] [--seed N] [--threads N] [--canonical]
+//!         [--shard I/N]`
 
-use mlrl_bench::experiments::run_sec32;
+use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_engine::drivers::sec32_campaign;
+use mlrl_engine::Engine;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
+    let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
+    let benchmarks: Vec<String> = args.list("benchmarks").unwrap_or_else(|| {
+        // The leak needs the §3.2-named ops (*, /, %, ^, **): use the
+        // arithmetic- and xor-heavy benchmarks.
+        vec![
+            "RSA".into(),
+            "FIR".into(),
+            "DES3".into(),
+            "DFT".into(),
+            "SHA256".into(),
+        ]
+    });
+    let seed: u64 = args.num("seed", 2022);
+
+    let spec = sec32_campaign(&benchmarks, seed);
+    let engine = Engine::new();
+    let Some(reports) =
+        run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
+    else {
+        return; // canonical / shard output already printed
     };
-    let benchmarks: Vec<String> = value("--benchmarks")
-        .map(|b| b.split(',').map(|s| s.trim().to_owned()).collect())
-        .unwrap_or_else(|| {
-            // The leak needs the §3.2-named ops (*, /, %, ^, **): use the
-            // arithmetic- and xor-heavy benchmarks.
-            vec![
-                "RSA".into(),
-                "FIR".into(),
-                "DES3".into(),
-                "DFT".into(),
-                "SHA256".into(),
-            ]
-        });
-    let seed: u64 = value("--seed").and_then(|v| v.parse().ok()).unwrap_or(2022);
+    let report = &reports[0];
 
     println!("§3.2 — pair-analysis leakage of ASSURE operation pairings (seed {seed})");
     println!("75% serial operation locking; attacker knows the pairing table.");
@@ -36,16 +45,24 @@ fn main() {
         "{:<10} {:<18} {:>10} {:>12} {:>14} {:>10}",
         "benchmark", "pair table", "localities", "inferred", "KPA(inferred)", "coverage"
     );
-    for row in run_sec32(&benchmarks, seed) {
-        println!(
-            "{:<10} {:<18} {:>10} {:>12} {:>13.1}% {:>9.1}%",
-            row.benchmark,
-            row.table,
-            row.localities,
-            row.inferred_bits,
-            row.kpa_on_inferred,
-            row.coverage
-        );
+    for name in &benchmarks {
+        for (scheme, table) in [("assure-original", "original-assure"), ("assure", "fixed")] {
+            let Some(r) = report
+                .records
+                .iter()
+                .find(|r| &r.benchmark == name && r.scheme == scheme)
+            else {
+                continue;
+            };
+            println!(
+                "{:<10} {table:<18} {:>10} {:>12} {:>13.1}% {:>9.1}%",
+                r.benchmark,
+                r.localities.unwrap_or(0),
+                r.attacked_bits.unwrap_or(0),
+                r.kpa.unwrap_or(f64::NAN),
+                r.coverage.unwrap_or(f64::NAN),
+            );
+        }
     }
     println!();
     println!("Paper: 'currently ASSURE can be broken by analyzing operation pairs';");

@@ -1,144 +1,21 @@
-//! Experiment runners regenerating every figure of the paper's evaluation.
+//! Direct experiment runners that are not campaign-shaped.
 //!
-//! Each function returns a serializable result struct; the `fig*` binaries
-//! print them as aligned tables and CSV. See EXPERIMENTS.md for the
-//! paper-vs-measured record.
+//! Only Fig. 5 remains here: the metric *surface* (5a) evaluates
+//! `M_g_sec` over a synthetic grid of ODT states without locking
+//! anything, and the 5b *trajectories* are the per-bit metric traces the
+//! engine summarizes but does not serialize. Every sweep that locks and
+//! attacks — Fig. 1, Fig. 4, Fig. 6, §3.2, §5, the budget ablation, the
+//! design-bias survey, and the multi-objective table — runs as a
+//! campaign on `mlrl_engine` (see `mlrl_engine::drivers`), with the
+//! binaries as thin printers over `Engine` output.
 
-use mlrl_attack::observations::{run_scenario, ObservationPool, Scenario};
-use mlrl_attack::pair_analysis::pair_analysis_attack;
-use mlrl_attack::relock::RelockConfig;
-use mlrl_attack::snapshot::{snapshot_attack, AttackConfig};
-use mlrl_locking::assure::{lock_operations, AssureConfig, Selection};
 use mlrl_locking::era::{era_lock, EraConfig};
 use mlrl_locking::hra::{hra_lock, HraConfig};
-use mlrl_locking::key::Key;
 use mlrl_locking::metric::SecurityMetric;
 use mlrl_locking::odt::Odt;
 use mlrl_locking::pairs::PairTable;
-use mlrl_ml::automl::AutoMlConfig;
-use mlrl_rtl::bench_designs::{benchmark_by_name, paper_benchmarks, DesignSpec};
-use mlrl_rtl::{visit, Module};
+use mlrl_rtl::bench_designs::DesignSpec;
 use serde::Serialize;
-
-/// Locking scheme under evaluation (the three bars of Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
-pub enum Scheme {
-    /// Original ASSURE with serial selection.
-    Assure,
-    /// Heuristic ML-resilient algorithm.
-    Hra,
-    /// Exact ML-resilient algorithm.
-    Era,
-}
-
-impl Scheme {
-    /// All schemes in paper order.
-    pub const ALL: [Scheme; 3] = [Scheme::Assure, Scheme::Hra, Scheme::Era];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Scheme::Assure => "ASSURE",
-            Scheme::Hra => "HRA",
-            Scheme::Era => "ERA",
-        }
-    }
-}
-
-/// Locks a fresh copy of `spec` with `scheme` and returns `(module, key)`.
-///
-/// Budgets follow §5: 75% of the operations, except ERA on N_2046 where the
-/// perfect imbalance requires 100%.
-pub fn lock_benchmark(spec: &DesignSpec, scheme: Scheme, seed: u64) -> (Module, Key) {
-    let mut module = mlrl_rtl::bench_designs::generate(spec, seed);
-    let total = visit::binary_ops(&module).len();
-    let budget = if scheme == Scheme::Era && spec.name == "N_2046" {
-        total // paper: 100% for N_2046 under ERA
-    } else {
-        (total as f64 * 0.75).round() as usize
-    };
-    let key = lock_scheme_on(&mut module, scheme, budget, seed ^ 0x5eed);
-    (module, key)
-}
-
-/// Locks `module` in place with `scheme` under the given key budget and
-/// returns the correct key.
-///
-/// # Panics
-///
-/// Panics if the module has no lockable operations.
-pub fn lock_scheme_on(module: &mut Module, scheme: Scheme, budget: usize, seed: u64) -> Key {
-    match scheme {
-        Scheme::Assure => lock_operations(module, &AssureConfig::serial(budget, seed))
-            .expect("benchmarks are lockable"),
-        Scheme::Hra => {
-            hra_lock(module, &HraConfig::new(budget, seed))
-                .expect("benchmarks are lockable")
-                .key
-        }
-        Scheme::Era => {
-            era_lock(module, &EraConfig::new(budget, seed))
-                .expect("benchmarks are lockable")
-                .key
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Fig. 4 — observation pools per selection strategy
-// ---------------------------------------------------------------------------
-
-/// Result of the Fig. 4 experiment.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig4Result {
-    /// `(scenario name, plus_real, minus_real, P(+ real), inference)`.
-    pub rows: Vec<Fig4Row>,
-}
-
-/// One scenario row of Fig. 4.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig4Row {
-    /// Scenario label.
-    pub scenario: String,
-    /// Observations with `+` real.
-    pub plus_real: usize,
-    /// Observations with `-` real.
-    pub minus_real: usize,
-    /// Fraction of observations with `+` real.
-    pub p_plus_real: f64,
-    /// The paper's qualitative conclusion.
-    pub inference: String,
-}
-
-/// Runs the three Fig. 4 scenarios on an `n_ops` `+` network.
-pub fn run_fig4(n_ops: usize, rounds: usize, seed: u64) -> Fig4Result {
-    let scenarios = [
-        ("serial locking (Fig 4b)", Scenario::SerialSerial),
-        ("random locking (Fig 4c)", Scenario::RandomRandom),
-        (
-            "random locking, no overlap (Fig 4d)",
-            Scenario::RandomDisjoint,
-        ),
-    ];
-    let rows = scenarios
-        .into_iter()
-        .map(|(label, s)| {
-            let pool: ObservationPool = run_scenario(s, n_ops, 0.5, rounds, seed);
-            Fig4Row {
-                scenario: label.to_owned(),
-                plus_real: pool.plus_real,
-                minus_real: pool.minus_real,
-                p_plus_real: pool.p_plus_real(),
-                inference: pool.inference().to_owned(),
-            }
-        })
-        .collect();
-    Fig4Result { rows }
-}
-
-// ---------------------------------------------------------------------------
-// Fig. 5 — metric search space and evolution
-// ---------------------------------------------------------------------------
 
 /// Result of the Fig. 5 experiment.
 #[derive(Debug, Clone, Serialize)]
@@ -230,195 +107,9 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Fig. 6 — KPA per benchmark and scheme
-// ---------------------------------------------------------------------------
-
-/// Configuration of the Fig. 6 sweep.
-#[derive(Debug, Clone)]
-pub struct Fig6Config {
-    /// Benchmark names (defaults to all fourteen).
-    pub benchmarks: Vec<String>,
-    /// Locked instances per benchmark (the paper uses 10).
-    pub test_locks: usize,
-    /// Relock rounds per instance (the paper uses 1 000).
-    pub relock_rounds: usize,
-    /// Base seed.
-    pub seed: u64,
-}
-
-impl Default for Fig6Config {
-    fn default() -> Self {
-        Self {
-            benchmarks: paper_benchmarks()
-                .iter()
-                .map(|s| s.name.to_owned())
-                .collect(),
-            test_locks: 3,
-            relock_rounds: 60,
-            seed: 2022,
-        }
-    }
-}
-
-/// One cell of Fig. 6a.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig6Cell {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Locking scheme.
-    pub scheme: String,
-    /// Mean KPA over the locked instances, in percent.
-    pub kpa: f64,
-    /// Per-instance KPA values.
-    pub instances: Vec<f64>,
-}
-
-/// Result of the Fig. 6 sweep.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig6Result {
-    /// All benchmark × scheme cells (Fig. 6a).
-    pub cells: Vec<Fig6Cell>,
-    /// `(scheme, average KPA)` across benchmarks (Fig. 6b).
-    pub averages: Vec<(String, f64)>,
-}
-
-/// Attacks one locked instance and returns its KPA.
-pub fn attack_instance(module: &Module, key: &Key, relock_rounds: usize, seed: u64) -> Option<f64> {
-    let cfg = AttackConfig {
-        relock: RelockConfig {
-            rounds: relock_rounds,
-            budget_fraction: 0.75,
-            seed,
-        },
-        automl: AutoMlConfig {
-            seed,
-            ..Default::default()
-        },
-        context_features: false,
-    };
-    snapshot_attack(module, key, &cfg).map(|r| r.kpa)
-}
-
-/// Runs the Fig. 6 sweep.
-///
-/// # Panics
-///
-/// Panics on unknown benchmark names.
-pub fn run_fig6(cfg: &Fig6Config) -> Fig6Result {
-    let mut cells = Vec::new();
-    for name in &cfg.benchmarks {
-        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        for scheme in Scheme::ALL {
-            let mut instances = Vec::with_capacity(cfg.test_locks);
-            for i in 0..cfg.test_locks {
-                let seed = cfg
-                    .seed
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0x100_0000_01b3)
-                    ^ (scheme as u64);
-                let (module, key) = lock_benchmark(&spec, scheme, seed);
-                if let Some(kpa) = attack_instance(&module, &key, cfg.relock_rounds, seed ^ 0xA77) {
-                    instances.push(kpa);
-                }
-            }
-            let kpa = if instances.is_empty() {
-                50.0
-            } else {
-                instances.iter().sum::<f64>() / instances.len() as f64
-            };
-            cells.push(Fig6Cell {
-                benchmark: spec.name.to_owned(),
-                scheme: scheme.name().to_owned(),
-                kpa,
-                instances,
-            });
-        }
-    }
-    let averages = Scheme::ALL
-        .iter()
-        .map(|s| {
-            let vals: Vec<f64> = cells
-                .iter()
-                .filter(|c| c.scheme == s.name())
-                .map(|c| c.kpa)
-                .collect();
-            let avg = if vals.is_empty() {
-                0.0
-            } else {
-                vals.iter().sum::<f64>() / vals.len() as f64
-            };
-            (s.name().to_owned(), avg)
-        })
-        .collect();
-    Fig6Result { cells, averages }
-}
-
-// ---------------------------------------------------------------------------
-// §3.2 — pair-analysis leakage
-// ---------------------------------------------------------------------------
-
-/// One row of the §3.2 leakage experiment.
-#[derive(Debug, Clone, Serialize)]
-pub struct Sec32Row {
-    /// Benchmark name.
-    pub benchmark: String,
-    /// Pair table used.
-    pub table: String,
-    /// Key bits provably inferred.
-    pub inferred_bits: usize,
-    /// Total localities.
-    pub localities: usize,
-    /// KPA over inferred bits (always 100 when any are inferred).
-    pub kpa_on_inferred: f64,
-    /// Leakage coverage in percent.
-    pub coverage: f64,
-}
-
-/// Locks each benchmark with the original and the fixed pairing and runs
-/// pair analysis on both.
-pub fn run_sec32(benchmarks: &[String], seed: u64) -> Vec<Sec32Row> {
-    let mut rows = Vec::new();
-    for name in benchmarks {
-        let spec = benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
-        for table in [PairTable::original_assure(), PairTable::fixed()] {
-            let mut module = mlrl_rtl::bench_designs::generate(&spec, seed);
-            let total = visit::binary_ops(&module).len();
-            let cfg = AssureConfig {
-                selection: Selection::Serial,
-                pair_table: table.clone(),
-                budget: (total as f64 * 0.75).round() as usize,
-                seed,
-            };
-            let key = lock_operations(&mut module, &cfg).expect("lockable");
-            let report = pair_analysis_attack(&module, &key, &table);
-            let localities = mlrl_attack::extract_localities(&module).len();
-            rows.push(Sec32Row {
-                benchmark: spec.name.to_owned(),
-                table: table.name().to_owned(),
-                inferred_bits: report.inferred.len(),
-                localities,
-                kpa_on_inferred: report.kpa_on_inferred,
-                coverage: report.coverage,
-            });
-        }
-    }
-    rows
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn lock_benchmark_produces_consistent_key() {
-        let spec = benchmark_by_name("FIR").unwrap();
-        for scheme in Scheme::ALL {
-            let (module, key) = lock_benchmark(&spec, scheme, 1);
-            assert_eq!(module.key_width() as usize, key.len(), "{scheme:?}");
-            assert!(!key.is_empty());
-        }
-    }
 
     #[test]
     fn fig5_surface_has_corners() {
@@ -436,39 +127,5 @@ mod tests {
         assert!((at(0, 0) - 100.0).abs() < 1e-9);
         assert!(at(10, 5) > 0.0 && at(10, 5) < 100.0);
         assert_eq!(r.trajectories.len(), 3);
-    }
-
-    #[test]
-    fn fig4_rows_reproduce_paper_inferences() {
-        let r = run_fig4(48, 4, 3);
-        assert_eq!(r.rows.len(), 3);
-        assert_eq!(r.rows[0].inference, "+ and - are equally likely to appear");
-        assert_eq!(r.rows[2].inference, "+ is always the correct operator");
-    }
-
-    #[test]
-    fn sec32_leaks_only_under_original_table() {
-        let rows = run_sec32(&["RSA".to_owned()], 5);
-        let original = rows.iter().find(|r| r.table == "original-assure").unwrap();
-        let fixed = rows.iter().find(|r| r.table == "fixed").unwrap();
-        assert!(original.inferred_bits > 0);
-        assert_eq!(original.kpa_on_inferred, 100.0);
-        assert_eq!(fixed.inferred_bits, 0);
-    }
-
-    #[test]
-    fn fig6_smoke_on_small_benchmarks() {
-        let cfg = Fig6Config {
-            benchmarks: vec!["SIM_SPI".to_owned()],
-            test_locks: 1,
-            relock_rounds: 10,
-            seed: 1,
-        };
-        let r = run_fig6(&cfg);
-        assert_eq!(r.cells.len(), 3);
-        assert_eq!(r.averages.len(), 3);
-        for cell in &r.cells {
-            assert!(cell.kpa >= 0.0 && cell.kpa <= 100.0);
-        }
     }
 }

@@ -1,17 +1,18 @@
 //! # mlrl-bench — experiment harness for the DAC'22 reproduction
 //!
-//! [`experiments`] hosts one runner per paper artifact (Fig. 4, Fig. 5a/5b,
-//! Fig. 6a/6b, §3.2); [`gate_experiments`] adds the §5.1 multi-objective
-//! evaluation. The Fig. 1 gate-vs-RTL comparison and the §5 oracle-guided
-//! SAT evaluation run as gate-level campaigns on `mlrl_engine`, with the
-//! `fig1_gate_vs_rtl` and `sat_attack_eval` binaries as thin printers over
-//! `Engine` output. The `fig4_observations`, `fig5_metric`, `fig6_kpa` and
-//! `sec32_pair_leakage` binaries print the regenerated tables/series;
-//! Criterion benches under `benches/` measure the building blocks.
+//! Every paper sweep runs as a campaign on `mlrl_engine` (built by
+//! `mlrl_engine::drivers`), and the ten `src/bin` binaries are thin
+//! printers over `Engine` output: they parse flags through [`args`],
+//! run the grid in parallel through the content-addressed artifact
+//! cache, and format the records. All of them accept `--canonical` (the
+//! deterministic JSON-lines stream) and `--shard I/N` (run one
+//! deterministic partition; merge the outputs with `mlrl merge`).
+//! [`experiments`] keeps the one non-campaign-shaped runner — the
+//! Fig. 5a metric surface and the 5b per-bit trajectories. Criterion
+//! benches under `benches/` measure the building blocks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod ablation;
+pub mod args;
 pub mod experiments;
-pub mod gate_experiments;

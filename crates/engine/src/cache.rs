@@ -401,33 +401,56 @@ impl ArtifactCache {
         self.write_spill(&k_path, &sidecar);
     }
 
+    /// Reads a spilled training set. Two formats: v2 starts with a
+    /// `width <k>` header and carries `k` feature columns plus the label
+    /// per row (any uniform width — 2-wide RTL localities, 5-wide gate
+    /// localities, 3-wide context rows); v1 has no header and is always
+    /// 2-wide. v1 files from older cache dirs keep loading.
     fn load_training(&self, content_key: u64) -> Option<TrainingSet> {
         let text = std::fs::read_to_string(self.spill_path(content_key, "train")?).ok()?;
+        let mut lines = text.lines().peekable();
+        let width: usize = match lines.peek().and_then(|l| l.strip_prefix("width ")) {
+            Some(w) => {
+                lines.next();
+                w.parse().ok()?
+            }
+            None => 2,
+        };
         let mut features = Vec::new();
         let mut labels = Vec::new();
-        for line in text.lines() {
+        for line in lines {
             let mut parts = line.split(' ');
-            let c1: u32 = parts.next()?.parse().ok()?;
-            let c2: u32 = parts.next()?.parse().ok()?;
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(parts.next()?.parse().ok()?);
+            }
             let label: usize = parts.next()?.parse().ok()?;
-            features.push(vec![c1, c2]);
+            if parts.next().is_some() {
+                return None; // corrupt: more columns than the header says
+            }
+            features.push(row);
             labels.push(label);
         }
         Some(TrainingSet { features, labels })
     }
 
+    /// Writes spill-format v2: a `width <k>` header, then one row of `k`
+    /// feature columns plus the label. Mixed-width sets (no single
+    /// header can describe them) stay memory-only.
     fn store_training(&self, content_key: u64, training: &TrainingSet) {
         let Some(path) = self.spill_path(content_key, "train") else {
             return;
         };
-        // Context-feature rows (3 columns) are not spill-format v1; keep
-        // them memory-only rather than silently truncating.
-        if training.features.iter().any(|f| f.len() != 2) {
+        let width = training.features.first().map_or(2, Vec::len);
+        if training.features.iter().any(|f| f.len() != width) {
             return;
         }
-        let mut text = String::new();
+        let mut text = format!("width {width}\n");
         for (f, label) in training.features.iter().zip(&training.labels) {
-            text.push_str(&format!("{} {} {label}\n", f[0], f[1]));
+            for c in f {
+                text.push_str(&format!("{c} "));
+            }
+            text.push_str(&format!("{label}\n"));
         }
         self.write_spill(&path, &text);
     }
@@ -673,6 +696,42 @@ mod tests {
                 ..Default::default()
             }
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wide_training_sets_round_trip_and_v1_spills_keep_loading() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-train-v2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // 5-wide gate-level locality rows survive the disk round-trip
+        // (spill-format v2 carries the feature width).
+        let gate = TrainingSet {
+            features: vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9, 10]],
+            labels: vec![0, 1],
+        };
+        let first = ArtifactCache::with_spill_dir(&dir);
+        first.training(21, || gate.clone());
+        let second = ArtifactCache::with_spill_dir(&dir);
+        let loaded = second.training(21, || panic!("must not rebuild"));
+        assert_eq!(*loaded, gate);
+
+        // A v1 file (no `width` header, 2-wide rows) from an older cache
+        // dir still loads.
+        std::fs::write(dir.join(format!("{:016x}.train", 22u64)), "3 4 1\n5 6 0\n")
+            .expect("write v1 spill");
+        let v1 = second.training(22, || panic!("must not rebuild v1"));
+        assert_eq!(v1.features, vec![vec![3, 4], vec![5, 6]]);
+        assert_eq!(v1.labels, vec![1, 0]);
+
+        // Mixed-width sets cannot be described by one header: memory-only.
+        let mixed = TrainingSet {
+            features: vec![vec![1, 2], vec![1, 2, 3]],
+            labels: vec![0, 1],
+        };
+        second.training(23, || mixed.clone());
+        assert!(!dir.join(format!("{:016x}.train", 23u64)).exists());
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -127,6 +127,180 @@ pub fn sat_eval_campaign(
     }
 }
 
+/// Fig. 6 as campaigns: the three paper schemes on every benchmark at
+/// the §5 budget (75% of operations), `instances` independently locked
+/// instances per cell as consecutive base seeds, attacked by the full
+/// SnapShot auto-ml pipeline.
+///
+/// Returns up to three specs because the paper carves one exception: ERA
+/// on `N_2046` runs at 100% (the fully imbalanced design needs every
+/// operation for Def. 1 security). Run them all on one engine and
+/// concatenate the records; `report::kpa_cell_means` /
+/// `report::scheme_averages` rebuild the 6a cells and the 6b averages.
+pub fn fig6_campaigns(
+    benchmarks: &[String],
+    instances: usize,
+    relocks: usize,
+    seed: u64,
+) -> Vec<CampaignSpec> {
+    let seeds: Vec<u64> = (0..instances.max(1) as u64)
+        .map(|i| seed.wrapping_add(i))
+        .collect();
+    let base = CampaignSpec {
+        benchmarks: benchmarks.to_vec(),
+        budgets: vec![0.75],
+        seeds,
+        attacks: vec![AttackKind::Snapshot],
+        relock_rounds: relocks,
+        ..CampaignSpec::default()
+    };
+    let mut specs = vec![CampaignSpec {
+        name: "fig6-kpa".to_owned(),
+        schemes: vec![SchemeKind::Assure, SchemeKind::Hra],
+        ..base.clone()
+    }];
+    let era_regular: Vec<String> = benchmarks
+        .iter()
+        .filter(|b| !b.eq_ignore_ascii_case("N_2046"))
+        .cloned()
+        .collect();
+    if !era_regular.is_empty() {
+        specs.push(CampaignSpec {
+            name: "fig6-kpa-era".to_owned(),
+            benchmarks: era_regular,
+            schemes: vec![SchemeKind::Era],
+            ..base.clone()
+        });
+    }
+    if let Some(n2046) = benchmarks.iter().find(|b| b.eq_ignore_ascii_case("N_2046")) {
+        specs.push(CampaignSpec {
+            name: "fig6-kpa-era-n2046".to_owned(),
+            // The caller's spelling, so records key consistently with the
+            // other specs' (benchmark resolution is case-insensitive).
+            benchmarks: vec![n2046.clone()],
+            schemes: vec![SchemeKind::Era],
+            budgets: vec![1.0],
+            ..base
+        });
+    }
+    specs
+}
+
+/// Fig. 4 as a campaign: the three selection scenarios (serial, random,
+/// random-without-overlap) as observation cells over an all-`+` network
+/// of `n_ops` operations at a 50% key budget, `rounds` training relocks
+/// each.
+pub fn fig4_campaign(n_ops: usize, rounds: usize, seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "fig4-observations".to_owned(),
+        benchmarks: vec![format!("mix:add={}", n_ops.max(1))],
+        schemes: vec![
+            SchemeKind::Assure,
+            SchemeKind::AssureRandom,
+            SchemeKind::AssureDisjoint,
+        ],
+        budgets: vec![0.5],
+        seeds: vec![seed],
+        attacks: vec![AttackKind::Observations],
+        relock_rounds: rounds,
+        ..CampaignSpec::default()
+    }
+}
+
+/// §3.2 as a campaign: serial ASSURE under the original (leaky) and the
+/// fixed (involutive) pairing tables at the §5 budget, attacked by pair
+/// analysis.
+pub fn sec32_campaign(benchmarks: &[String], seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "sec32-pair-leakage".to_owned(),
+        benchmarks: benchmarks.to_vec(),
+        schemes: vec![SchemeKind::AssureOriginal, SchemeKind::Assure],
+        budgets: vec![0.75],
+        seeds: vec![seed],
+        attacks: vec![AttackKind::PairAnalysis],
+        ..CampaignSpec::default()
+    }
+}
+
+/// The budget ablation as a campaign: every fraction × the three paper
+/// schemes × `instances` base seeds on one benchmark, attacked by
+/// SnapShot — quantifying §5.1's "half measures are not effective".
+pub fn ablation_campaign(
+    benchmark: &str,
+    fractions: &[f64],
+    instances: usize,
+    relocks: usize,
+    seed: u64,
+) -> CampaignSpec {
+    CampaignSpec {
+        name: format!("ablation-budget-{}", benchmark.to_ascii_lowercase()),
+        benchmarks: vec![benchmark.to_owned()],
+        schemes: vec![SchemeKind::Assure, SchemeKind::Hra, SchemeKind::Era],
+        budgets: fractions.to_vec(),
+        seeds: (0..instances.max(1) as u64)
+            .map(|i| seed.wrapping_add(i))
+            .collect(),
+        attacks: vec![AttackKind::Snapshot],
+        relock_rounds: relocks,
+        ..CampaignSpec::default()
+    }
+}
+
+/// The §5 design-bias survey as a campaign: one lock-free profile cell
+/// per benchmark, reporting operation count, total pair imbalance, and
+/// the metric denominator `d_e(v_i, v_o)`.
+pub fn design_bias_campaign(benchmarks: &[String], seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "design-bias".to_owned(),
+        benchmarks: benchmarks.to_vec(),
+        schemes: vec![SchemeKind::None],
+        budgets: vec![1.0],
+        seeds: vec![seed],
+        attacks: vec![AttackKind::None],
+        ..CampaignSpec::default()
+    }
+}
+
+/// The §5.1 multi-objective evaluation as a pair of campaigns sharing
+/// one engine: the RTL half measures learning resilience (SnapShot KPA)
+/// and output corruptibility per locked instance; the gate half lowers
+/// the *same* locked instances (shared derived seeds, shared cache
+/// entries) and measures SAT resistance. Joining the records by
+/// benchmark × scheme yields the three-objective trade-off rows.
+pub fn multi_objective_campaigns(
+    benchmarks: &[String],
+    width: u32,
+    relocks: usize,
+    wrong_keys: usize,
+    max_dips: usize,
+    seed: u64,
+) -> (CampaignSpec, CampaignSpec) {
+    let base = CampaignSpec {
+        benchmarks: benchmarks.to_vec(),
+        schemes: vec![SchemeKind::Assure, SchemeKind::Hra, SchemeKind::Era],
+        budgets: vec![0.75],
+        seeds: vec![seed],
+        relock_rounds: relocks,
+        width,
+        ..CampaignSpec::default()
+    };
+    let rtl = CampaignSpec {
+        name: "multi-objective-rtl".to_owned(),
+        levels: vec![Level::Rtl],
+        attacks: vec![AttackKind::Snapshot, AttackKind::Corruptibility],
+        wrong_keys,
+        ..base.clone()
+    };
+    let gate = CampaignSpec {
+        name: "multi-objective-sat".to_owned(),
+        levels: vec![Level::Gate],
+        attacks: vec![AttackKind::Sat],
+        sat_max_dips: max_dips,
+        ..base
+    };
+    (rtl, gate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +325,62 @@ mod tests {
         let sat = sat_eval_campaign(&names, 8, 512, 2022);
         sat.validate().expect("sat eval valid");
         assert_eq!(sat.cells(), 2 * 5);
+    }
+
+    #[test]
+    fn fig6_campaigns_carve_the_era_n2046_exception() {
+        let names: Vec<String> = ["FIR", "N_2046"].iter().map(|s| (*s).to_string()).collect();
+        let specs = fig6_campaigns(&names, 2, 30, 2022);
+        assert_eq!(specs.len(), 3);
+        for spec in &specs {
+            spec.validate().expect("fig6 spec valid");
+        }
+        // assure + hra on both benchmarks, 2 instances each.
+        assert_eq!(specs[0].cells(), 2 * 2 * 2);
+        // era at 75% skips N_2046…
+        assert_eq!(specs[1].benchmarks, vec!["FIR"]);
+        assert_eq!(specs[1].cells(), 2);
+        // …which gets its own 100%-budget spec.
+        assert_eq!(specs[2].budgets, vec![1.0]);
+        assert_eq!(specs[2].cells(), 2);
+
+        // Without N_2046 the exception spec disappears.
+        let plain = fig6_campaigns(&["FIR".to_owned()], 1, 30, 2022);
+        assert_eq!(plain.len(), 2);
+    }
+
+    #[test]
+    fn analysis_driver_campaigns_validate() {
+        let fig4 = fig4_campaign(128, 20, 2022);
+        fig4.validate().expect("fig4 valid");
+        assert_eq!(fig4.cells(), 3, "one observation cell per scenario");
+
+        let sec32 = sec32_campaign(&["RSA".to_owned(), "FIR".to_owned()], 2022);
+        sec32.validate().expect("sec32 valid");
+        assert_eq!(sec32.cells(), 2 * 2);
+
+        let ablation = ablation_campaign("MD5", &[0.25, 0.75], 2, 30, 2022);
+        ablation.validate().expect("ablation valid");
+        assert_eq!(ablation.cells(), 2 * 3 * 2);
+
+        let bias = design_bias_campaign(&["FIR".to_owned(), "N_1023".to_owned()], 2022);
+        bias.validate().expect("bias valid");
+        assert_eq!(bias.cells(), 2, "one profile cell per benchmark");
+    }
+
+    #[test]
+    fn multi_objective_campaigns_share_cell_coordinates() {
+        let names = vec!["SIM_SPI".to_owned()];
+        let (rtl, gate) = multi_objective_campaigns(&names, 8, 30, 16, 512, 2022);
+        rtl.validate().expect("rtl valid");
+        gate.validate().expect("gate valid");
+        assert_eq!(rtl.cells(), 3 * 2);
+        assert_eq!(gate.cells(), 3);
+        // Same benchmark × scheme × budget × seed coordinates, so the
+        // gate half lowers the instances the RTL half locked (shared
+        // derived seeds → shared cache entries).
+        let rtl_seeds: Vec<u64> = rtl.expand().iter().map(|j| j.derived_seed).collect();
+        let gate_seeds: Vec<u64> = gate.expand().iter().map(|j| j.derived_seed).collect();
+        assert!(gate_seeds.iter().all(|s| rtl_seeds.contains(s)));
     }
 }

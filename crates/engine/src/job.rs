@@ -52,6 +52,64 @@ impl Job {
     pub fn attack_seed(&self) -> u64 {
         self.derived_seed ^ 0x17AC
     }
+
+    /// Relative execution cost of this cell (see
+    /// [`AttackKind::cost_weight`]): the unit both the pool's chunked
+    /// dealing and shard partitioning balance on, so one SAT-heavy chunk
+    /// cannot serialize a worker or a shard.
+    pub fn cost(&self) -> u64 {
+        self.attack.cost_weight()
+    }
+}
+
+/// One shard of a campaign: `index` of `count` deterministic partitions
+/// of the expanded job list. The partition is taken over the cache-aware
+/// schedule (so cells sharing artifacts stay in one shard) and balanced
+/// by [`Job::cost`]; records keep their grid index, so concatenated
+/// shard reports merge back into the canonical single-process stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parses the CLI form `i/n` (e.g. `0/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the syntax is not `i/n`, `n` is zero, or
+    /// `i >= n`.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        let (index, count) = token
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard `{token}` (expected `i/n`, e.g. `0/3`)"))?;
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad shard index in `{token}`: {e}"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad shard count in `{token}`: {e}"))?;
+        if count == 0 {
+            return Err(format!("bad shard `{token}`: count must be at least 1"));
+        }
+        if index >= count {
+            return Err(format!(
+                "bad shard `{token}`: index {index} out of range for {count} shard(s)"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
 }
 
 /// Derives the cell-unique seed from the cell's canonical descriptor.
@@ -82,9 +140,10 @@ pub fn budget_bps(budget: f64) -> u64 {
 impl CampaignSpec {
     /// Expands the grid into jobs, row-major over
     /// benchmarks × levels × schemes × budgets × seeds × attacks, skipping
-    /// scheme/attack combinations the cell's level does not support (gate
-    /// schemes at RTL, the SAT attack at RTL, the closed-form attacks at
-    /// gate level).
+    /// combinations the cell's level does not support (gate schemes at
+    /// RTL, the SAT attack at RTL, the closed-form attacks at gate level)
+    /// and scheme × attack pairings the scheme does not support (see
+    /// [`SchemeKind::supports_attack`]).
     pub fn expand(&self) -> Vec<Job> {
         let mut jobs = Vec::with_capacity(self.cells());
         for benchmark in &self.benchmarks {
@@ -96,7 +155,8 @@ impl CampaignSpec {
                     for &budget in &self.budgets {
                         for &base_seed in &self.seeds {
                             for &attack in &self.attacks {
-                                if !level.supports_attack(attack) {
+                                if !level.supports_attack(attack) || !scheme.supports_attack(attack)
+                                {
                                     continue;
                                 }
                                 jobs.push(Job {

@@ -20,11 +20,17 @@
 //!   gate-level cell sharing the source module,
 //! - [`report`] — per-job records with JSON-lines and table emitters;
 //!   the *canonical* serialization is byte-identical across thread
-//!   counts and cache states,
-//! - [`run`] — the engine wiring the above together,
-//! - [`drivers`] — the `fig5_metric` / `attack_baselines` /
-//!   `fig1_gate_vs_rtl` / `sat_attack_eval` sweeps from `mlrl-bench`,
-//!   re-expressed as campaigns,
+//!   counts and cache states, and concatenated shard reports merge back
+//!   into it ([`report::merge_canonical_streams`]),
+//! - [`run`] — the engine wiring the above together, including sharded
+//!   multi-process execution ([`run::Engine::run_shard`]: deterministic
+//!   cost-balanced partitions of the job list, so a campaign splits
+//!   across processes or machines and merges byte-exactly),
+//! - [`drivers`] — every `mlrl-bench` sweep re-expressed as campaigns:
+//!   `fig4_observations`, `fig5_metric`, `fig6_kpa`,
+//!   `sec32_pair_leakage`, `attack_baselines`, `fig1_gate_vs_rtl`,
+//!   `sat_attack_eval`, `ablation_budget`, `design_bias`, and
+//!   `multi_objective`,
 //! - [`fnv`] — the 64-bit FNV-1a content-address function.
 //!
 //! ## Example
@@ -60,6 +66,10 @@ pub mod run;
 pub mod spec;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use report::{CampaignReport, JobRecord, JobStatus};
+pub use job::ShardSpec;
+pub use report::{
+    kpa_cell_means, merge_canonical_streams, scheme_averages, CampaignReport, CellSummary,
+    JobRecord, JobStatus,
+};
 pub use run::Engine;
 pub use spec::{AttackKind, CampaignSpec, Level, SchemeKind};

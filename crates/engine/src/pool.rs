@@ -4,25 +4,74 @@
 //! injector (see `Engine::run`) orders jobs so neighbours share cache
 //! artifacts, and chunked dealing keeps such neighbours on one worker:
 //! the second job of a group runs after its group's artifacts are built
-//! instead of blocking another worker on the in-flight build. Each worker
-//! drains its own deque LIFO and, when empty, steals FIFO from its
-//! neighbours — the classic work-stealing topology, built from
-//! `std::thread::scope` and mutex-guarded `VecDeque`s (no external
-//! crates, no unsafe). A panicking job is caught per-job
-//! ([`std::panic::catch_unwind`]) and reported as that job's failure; the
-//! campaign keeps running.
+//! instead of blocking another worker on the in-flight build. Chunk
+//! boundaries balance *cost* rather than item count
+//! ([`partition_by_cost`]; SAT cells weigh ~10× an attack-free cell), so
+//! one SAT-heavy chunk cannot serialize a worker. Each worker drains its
+//! own deque LIFO and, when empty, steals FIFO from its neighbours — the
+//! classic work-stealing topology, built from `std::thread::scope` and
+//! mutex-guarded `VecDeque`s (no external crates, no unsafe). A
+//! panicking job is caught per-job ([`std::panic::catch_unwind`]) and
+//! reported as that job's failure; the campaign keeps running.
 
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
+/// Splits `0..costs.len()` into `parts` contiguous ranges whose summed
+/// costs are as even as integer boundaries allow: part `k` ends at the
+/// first index whose cumulative cost reaches `⌈total·(k+1)/parts⌉`.
+/// Deterministic, order-preserving, and total — every index lands in
+/// exactly one range; with more parts than items the trailing ranges are
+/// empty. Used by the pool's chunked dealing and by shard partitioning,
+/// so an in-process worker chunk and a cross-process shard cut the same
+/// way.
+pub fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let total: u64 = costs.iter().map(|&c| c.max(1)).sum();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut cum = 0u64;
+    let mut next = 0usize;
+    for k in 0..parts {
+        let start = next;
+        let target = (total * (k as u64 + 1)).div_ceil(parts as u64);
+        while next < costs.len() && cum < target {
+            cum += costs[next].max(1);
+            next += 1;
+        }
+        ranges.push(start..next);
+    }
+    debug_assert_eq!(next, costs.len());
+    ranges
+}
+
 /// Runs `work` over `items` on `threads` workers, returning one result
-/// slot per item, in item order.
+/// slot per item, in item order. Items are dealt in contiguous chunks of
+/// equal item count; use [`run_jobs_weighted`] when items have known
+/// uneven costs.
 ///
 /// `Err(message)` marks an item whose `work` call panicked; the message
 /// is the panic payload when it was a string.
 pub fn run_jobs<I, T, F>(threads: usize, items: Vec<I>, work: F) -> Vec<Result<T, String>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    run_jobs_weighted(threads, items, |_| 1, work)
+}
+
+/// [`run_jobs`] with cost-balanced chunk boundaries: contiguous chunks
+/// are cut by [`partition_by_cost`] over `cost`, so a worker dealt
+/// expensive items gets fewer of them.
+pub fn run_jobs_weighted<I, T, F>(
+    threads: usize,
+    items: Vec<I>,
+    cost: impl Fn(&I) -> u64,
+    work: F,
+) -> Vec<Result<T, String>>
 where
     I: Send,
     T: Send,
@@ -34,17 +83,16 @@ where
     }
     let threads = threads.max(1).min(n);
 
-    // Deal items in contiguous chunks onto per-worker deques (preserving
-    // the injector's cache-aware grouping); the first `n % threads`
-    // workers take one extra item.
+    // Deal items in cost-balanced contiguous chunks onto per-worker
+    // deques (preserving the injector's cache-aware grouping).
+    let costs: Vec<u64> = items.iter().map(&cost).collect();
+    let chunks = partition_by_cost(&costs, threads);
     let mut deques: Vec<VecDeque<(usize, I)>> = (0..threads).map(|_| VecDeque::new()).collect();
-    let (chunk, extra) = (n / threads, n % threads);
     for (index, item) in items.into_iter().enumerate() {
-        let worker = if index < (chunk + 1) * extra {
-            index / (chunk + 1)
-        } else {
-            (index - extra) / chunk
-        };
+        let worker = chunks
+            .iter()
+            .position(|r| r.contains(&index))
+            .expect("partition covers every index");
         deques[worker].push_back((index, item));
     }
     let deques: Vec<Mutex<VecDeque<(usize, I)>>> = deques.into_iter().map(Mutex::new).collect();
@@ -150,6 +198,41 @@ mod tests {
         });
         assert_eq!(results.len(), 40);
         assert_eq!(busy.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn partition_by_cost_is_total_and_balances_heavy_items() {
+        // Uniform costs reproduce the classic even deal (first chunks
+        // take the extra items).
+        let even = partition_by_cost(&[1; 5], 3);
+        assert_eq!(even, vec![0..2, 2..4, 4..5]);
+
+        // A 10× item fills its chunk alone.
+        let heavy = partition_by_cost(&[10, 1, 1, 1, 1, 1, 1, 1, 1, 1], 2);
+        assert_eq!(heavy, vec![0..1, 1..10]);
+
+        // More parts than items: trailing parts are empty, all items
+        // covered exactly once.
+        let sparse = partition_by_cost(&[1, 1], 5);
+        assert_eq!(sparse.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(sparse.len(), 5);
+        let mut seen = Vec::new();
+        for r in &sparse {
+            seen.extend(r.clone());
+        }
+        assert_eq!(seen, vec![0, 1]);
+
+        // Empty input: every part empty.
+        assert!(partition_by_cost(&[], 3).iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn weighted_dealing_matches_unweighted_results() {
+        let items: Vec<u64> = (0..31).collect();
+        let flat = run_jobs(4, items.clone(), |_, x| x * 3);
+        let weighted =
+            run_jobs_weighted(4, items, |&x| if x % 7 == 0 { 10 } else { 1 }, |_, x| x * 3);
+        assert_eq!(flat, weighted);
     }
 
     #[test]

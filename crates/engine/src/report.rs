@@ -72,6 +72,33 @@ pub struct JobRecord {
     /// Whether the SAT attack reached an UNSAT miter (functional
     /// correctness proof) within its budgets.
     pub sat_proved: Option<bool>,
+    /// Key-controlled localities the pair analysis inspected
+    /// (pair-analysis cells only).
+    pub localities: Option<usize>,
+    /// Fraction of localities that provably leaked, in percent
+    /// (pair-analysis cells only).
+    pub coverage: Option<f64>,
+    /// Training observations whose real operator was `+` (observation
+    /// cells only).
+    pub obs_plus: Option<usize>,
+    /// Training observations whose real operator was `-` (observation
+    /// cells only).
+    pub obs_minus: Option<usize>,
+    /// Fraction of sampled near-miss keys that corrupted at least one
+    /// output (corruptibility cells only).
+    pub corruption_rate: Option<f64>,
+    /// Mean fraction of output reads that differed under near-miss keys
+    /// (corruptibility cells only).
+    pub error_rate: Option<f64>,
+    /// Lockable operations of the base design (profile cells only).
+    pub ops: Option<usize>,
+    /// Total absolute pair imbalance of the base design — the minimum
+    /// balancing key bits (profile cells only).
+    pub imbalance: Option<u64>,
+    /// Euclidean distance of the initial operation distribution from the
+    /// optimum — the metric denominator `d_e(v_i, v_o)` (profile cells
+    /// only).
+    pub initial_distance: Option<f64>,
     /// Terminal state.
     pub status: JobStatus,
     /// Wall-clock of this job in milliseconds (excluded from the
@@ -106,6 +133,15 @@ impl JobRecord {
             area_overhead: None,
             sat_dips: None,
             sat_proved: None,
+            localities: None,
+            coverage: None,
+            obs_plus: None,
+            obs_minus: None,
+            corruption_rate: None,
+            error_rate: None,
+            ops: None,
+            imbalance: None,
+            initial_distance: None,
             status: JobStatus::Ok,
             wall_ms: 0,
             solver_ms: None,
@@ -166,6 +202,43 @@ impl JobRecord {
             JsonValue::OptInt(self.sat_dips.map(|v| v as i64)),
         );
         push_field(&mut out, "sat_proved", JsonValue::OptBool(self.sat_proved));
+        push_field(
+            &mut out,
+            "localities",
+            JsonValue::OptInt(self.localities.map(|v| v as i64)),
+        );
+        push_field(&mut out, "coverage", JsonValue::Float(self.coverage));
+        push_field(
+            &mut out,
+            "obs_plus",
+            JsonValue::OptInt(self.obs_plus.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "obs_minus",
+            JsonValue::OptInt(self.obs_minus.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "corruption_rate",
+            JsonValue::Float(self.corruption_rate),
+        );
+        push_field(&mut out, "error_rate", JsonValue::Float(self.error_rate));
+        push_field(
+            &mut out,
+            "ops",
+            JsonValue::OptInt(self.ops.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "imbalance",
+            JsonValue::OptInt(self.imbalance.map(|v| v as i64)),
+        );
+        push_field(
+            &mut out,
+            "initial_distance",
+            JsonValue::Float(self.initial_distance),
+        );
         match &self.status {
             JobStatus::Ok => push_field(&mut out, "status", JsonValue::Str("ok")),
             JobStatus::Failed(msg) => {
@@ -377,6 +450,213 @@ fn escape_for_header(name: &str) -> String {
         .collect()
 }
 
+/// Mean-KPA summary of one benchmark × scheme × budget cell, averaged
+/// over its base seeds (instances) — the unit Fig. 6a plots and the
+/// budget ablation tabulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Budget fraction.
+    pub budget: f64,
+    /// Mean KPA over the instances that produced one, in percent.
+    pub kpa: f64,
+    /// Instances that produced a KPA.
+    pub instances: usize,
+}
+
+/// Groups records by benchmark × scheme × budget (first-seen order,
+/// `attack` rows only) and averages each group's KPA over its seeds —
+/// the Fig. 6a per-benchmark aggregation. Groups where no instance
+/// produced a KPA report the 50% random-guess floor, mirroring the
+/// historical driver.
+pub fn kpa_cell_means<'a>(
+    records: impl IntoIterator<Item = &'a JobRecord>,
+    attack: &str,
+) -> Vec<CellSummary> {
+    let mut cells: Vec<(CellSummary, f64)> = Vec::new();
+    for r in records {
+        if r.attack != attack {
+            continue;
+        }
+        let found = cells.iter_mut().find(|(c, _)| {
+            c.benchmark == r.benchmark && c.scheme == r.scheme && c.budget == r.budget
+        });
+        let (cell, sum) = match found {
+            Some(entry) => entry,
+            None => {
+                cells.push((
+                    CellSummary {
+                        benchmark: r.benchmark.clone(),
+                        scheme: r.scheme.clone(),
+                        budget: r.budget,
+                        kpa: 50.0,
+                        instances: 0,
+                    },
+                    0.0,
+                ));
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(kpa) = r.kpa {
+            *sum += kpa;
+            cell.instances += 1;
+            cell.kpa = *sum / cell.instances as f64;
+        }
+    }
+    cells.into_iter().map(|(c, _)| c).collect()
+}
+
+/// `(scheme, mean KPA)` across cell means, first-seen order — the
+/// Fig. 6b per-scheme averaged view (a mean of per-benchmark means, not
+/// of raw instances, exactly as the paper averages).
+pub fn scheme_averages(cells: &[CellSummary]) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64, usize)> = Vec::new();
+    for c in cells {
+        match out.iter_mut().find(|(s, _, _)| *s == c.scheme) {
+            Some((_, sum, n)) => {
+                *sum += c.kpa;
+                *n += 1;
+            }
+            None => out.push((c.scheme.clone(), c.kpa, 1)),
+        }
+    }
+    out.into_iter()
+        .map(|(s, sum, n)| (s, sum / n as f64))
+        .collect()
+}
+
+/// Merges canonical shard streams back into the canonical single-process
+/// byte stream.
+///
+/// Each input is the `canonical_jsonl` output of one shard — or a
+/// concatenation of several campaigns' outputs, as the multi-campaign
+/// drivers print; every input must then carry the same campaign sequence.
+/// Record lines are reassembled in grid order per campaign; because every
+/// record line is a pure function of the spec and the cell result, the
+/// merged stream is byte-identical to an unsharded run.
+///
+/// # Errors
+///
+/// Returns a message on malformed headers/records, campaign sequences
+/// that differ between inputs, duplicate grid indices (overlapping
+/// shards), or a job count that does not match the collected records
+/// (missing shards).
+pub fn merge_canonical_streams(inputs: &[String]) -> Result<String, String> {
+    struct Segment {
+        header_name: String,
+        jobs: usize,
+        records: Vec<(usize, String)>,
+    }
+
+    fn parse_stream(input: &str) -> Result<Vec<Segment>, String> {
+        let mut segments: Vec<Segment> = Vec::new();
+        for line in input.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("{\"campaign\":\"") {
+                let (name, rest) = rest
+                    .split_once('"')
+                    .ok_or_else(|| format!("malformed header line `{line}`"))?;
+                let jobs: usize = rest
+                    .strip_prefix(",\"jobs\":")
+                    .and_then(|r| r.strip_suffix('}'))
+                    .and_then(|r| r.parse().ok())
+                    .ok_or_else(|| format!("malformed header line `{line}`"))?;
+                segments.push(Segment {
+                    header_name: name.to_owned(),
+                    jobs,
+                    records: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("{\"index\":") {
+                let index: usize = rest
+                    .split_once(',')
+                    .and_then(|(i, _)| i.parse().ok())
+                    .ok_or_else(|| format!("malformed record line `{line}`"))?;
+                segments
+                    .last_mut()
+                    .ok_or_else(|| format!("record line `{line}` before any campaign header"))?
+                    .records
+                    .push((index, line.to_owned()));
+            } else {
+                return Err(format!("unrecognized line `{line}`"));
+            }
+        }
+        Ok(segments)
+    }
+
+    if inputs.is_empty() {
+        return Err("nothing to merge".to_owned());
+    }
+    let streams: Vec<Vec<Segment>> = inputs
+        .iter()
+        .map(|i| parse_stream(i))
+        .collect::<Result<_, _>>()?;
+    let campaigns = streams[0].len();
+    for s in &streams {
+        if s.len() != campaigns {
+            return Err(format!(
+                "shard streams disagree on campaign count ({} vs {campaigns})",
+                s.len()
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    for c in 0..campaigns {
+        let name = &streams[0][c].header_name;
+        let mut records: Vec<(usize, String)> = Vec::new();
+        let mut jobs = 0usize;
+        for s in &streams {
+            let seg = &s[c];
+            if seg.header_name != *name {
+                return Err(format!(
+                    "shard streams disagree on campaign {c}: `{}` vs `{name}`",
+                    seg.header_name
+                ));
+            }
+            if seg.jobs != seg.records.len() {
+                return Err(format!(
+                    "campaign `{}`: header counts {} job(s) but carries {} record(s)",
+                    seg.header_name,
+                    seg.jobs,
+                    seg.records.len()
+                ));
+            }
+            jobs += seg.jobs;
+            records.extend(seg.records.iter().cloned());
+        }
+        records.sort_by_key(|(index, _)| *index);
+        for (position, (index, _)) in records.iter().enumerate() {
+            match index.cmp(&position) {
+                std::cmp::Ordering::Less => {
+                    return Err(format!(
+                        "campaign `{name}`: duplicate record index {index} (overlapping shards?)"
+                    ))
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(format!(
+                        "campaign `{name}`: missing record index {position} (missing shard?)"
+                    ))
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        out.push_str(&format!(
+            "{{\"campaign\":\"{}\",\"jobs\":{jobs}}}\n",
+            escape_for_header(name)
+        ));
+        for (_, line) in &records {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
 /// Rebuilds the skeleton of a record from spec + job coordinates (used
 /// for jobs that panicked before producing anything).
 pub fn record_from_job(job: &crate::job::Job) -> JobRecord {
@@ -498,5 +778,98 @@ mod tests {
         let line = r.json_fields(false);
         assert!(line.contains("\"status\":\"failed\""));
         assert!(line.contains("\\\"quoted\\\""));
+    }
+
+    fn report_with(records: Vec<JobRecord>) -> CampaignReport {
+        CampaignReport {
+            name: "t".into(),
+            records,
+            threads: 1,
+            wall_ms: 0,
+            cache: CacheStats::default(),
+        }
+    }
+
+    #[test]
+    fn merging_shard_streams_reassembles_the_canonical_stream() {
+        let mut records: Vec<JobRecord> = (0..5)
+            .map(|i| JobRecord {
+                index: i,
+                kpa: Some(10.0 * i as f64),
+                ..record()
+            })
+            .collect();
+        let full = report_with(records.clone()).canonical_jsonl();
+
+        // Uneven shards in scrambled internal order still merge exactly.
+        let tail = records.split_off(2);
+        let shard_a = report_with(vec![tail[2].clone(), tail[0].clone(), tail[1].clone()]);
+        let shard_b = report_with(records);
+        let merged =
+            merge_canonical_streams(&[shard_a.canonical_jsonl(), shard_b.canonical_jsonl()])
+                .expect("merges");
+        assert_eq!(merged, full);
+
+        // An empty shard (more shards than cells) contributes nothing.
+        let empty = report_with(Vec::new());
+        let merged = merge_canonical_streams(&[
+            shard_a.canonical_jsonl(),
+            empty.canonical_jsonl(),
+            shard_b.canonical_jsonl(),
+        ])
+        .expect("merges with empty shard");
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn merge_rejects_overlaps_gaps_and_mismatched_campaigns() {
+        let shard = report_with(vec![record()]).canonical_jsonl();
+        // Overlap: the same index twice.
+        let err = merge_canonical_streams(&[shard.clone(), shard.clone()]).expect_err("overlap");
+        assert!(err.contains("duplicate"), "{err}");
+        // Gap: index 1 without index 0.
+        let gap = report_with(vec![JobRecord {
+            index: 1,
+            ..record()
+        }])
+        .canonical_jsonl();
+        let err = merge_canonical_streams(&[gap]).expect_err("gap");
+        assert!(err.contains("missing"), "{err}");
+        // Campaign name mismatch.
+        let mut other = report_with(vec![record()]);
+        other.name = "u".into();
+        let err =
+            merge_canonical_streams(&[shard, other.canonical_jsonl()]).expect_err("name mismatch");
+        assert!(err.contains("disagree"), "{err}");
+    }
+
+    #[test]
+    fn cell_means_average_instances_then_schemes_average_cells() {
+        let mk = |benchmark: &str, scheme: &str, seed: u64, kpa: Option<f64>| JobRecord {
+            benchmark: benchmark.into(),
+            scheme: scheme.into(),
+            seed,
+            kpa,
+            ..record()
+        };
+        let records = vec![
+            mk("FIR", "era", 1, Some(40.0)),
+            mk("FIR", "era", 2, Some(60.0)),
+            mk("MD5", "era", 1, Some(80.0)),
+            mk("FIR", "assure", 1, Some(100.0)),
+            mk("MD5", "assure", 1, None), // failed instance: floor
+        ];
+        let cells = kpa_cell_means(&records, "freq-table");
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].kpa, 50.0); // (40 + 60) / 2
+        assert_eq!(cells[0].instances, 2);
+        assert_eq!(cells[3].kpa, 50.0); // no instance: random-guess floor
+        assert_eq!(cells[3].instances, 0);
+        let averages = scheme_averages(&cells);
+        assert_eq!(averages[0], ("era".to_owned(), 65.0)); // (50 + 80) / 2
+        assert_eq!(averages[1], ("assure".to_owned(), 75.0)); // (100 + 50) / 2
+
+        // Rows of a different attack are excluded.
+        assert!(kpa_cell_means(&records, "sat").is_empty());
     }
 }

@@ -20,10 +20,13 @@ use mlrl_attack::gate_snapshot::{
     gate_snapshot_attack_with_training, GateAttackConfig,
 };
 use mlrl_attack::kpa_model::predict_kpa;
+use mlrl_attack::observations::{run_scenario, Scenario};
 use mlrl_attack::oracle_guided::{oracle_guided_attack, OracleAttackConfig};
+use mlrl_attack::pair_analysis::pair_analysis_attack;
 use mlrl_attack::relock::{build_training_set, RelockConfig};
 use mlrl_attack::snapshot::{snapshot_attack_with_training, AttackConfig};
-use mlrl_locking::assure::{lock_operations, AssureConfig};
+use mlrl_locking::assure::{lock_operations, AssureConfig, Selection};
+use mlrl_locking::corruptibility::{measure_corruptibility, CorruptibilityConfig};
 use mlrl_locking::era::{era_lock, EraConfig};
 use mlrl_locking::hra::{hra_lock, HraConfig};
 use mlrl_locking::metric::SecurityMetric;
@@ -39,8 +42,8 @@ use mlrl_sat::attack::{sat_attack, SatAttackConfig, SimOracle};
 
 use crate::cache::{ArtifactCache, LockedArtifact, LoweredArtifact};
 use crate::fnv::Fnv64;
-use crate::job::{budget_bps, Job};
-use crate::pool::run_jobs;
+use crate::job::{budget_bps, Job, ShardSpec};
+use crate::pool::{partition_by_cost, run_jobs_weighted};
 use crate::report::{record_from_job, CampaignReport, JobRecord, JobStatus};
 use crate::spec::{resolve_benchmark, AttackKind, CampaignSpec, Level, SchemeKind};
 
@@ -83,7 +86,29 @@ impl Engine {
 
     /// Runs every job of `spec` and collects the report.
     pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
-        let jobs = schedule(spec.expand());
+        self.run_shard(spec, None)
+    }
+
+    /// Runs one shard of `spec` — or everything, with `None` — and
+    /// collects the report.
+    ///
+    /// The expanded job list is partitioned deterministically: contiguous
+    /// cost-balanced chunks of the cache-aware schedule, so cells sharing
+    /// artifacts stay in one shard and a SAT-heavy stretch cannot
+    /// serialize one. Records keep their grid indices; concatenating the
+    /// shards' canonical reports through
+    /// [`crate::report::merge_canonical_streams`] reproduces the
+    /// unsharded canonical byte stream exactly.
+    pub fn run_shard(&self, spec: &CampaignSpec, shard: Option<ShardSpec>) -> CampaignReport {
+        let mut jobs = schedule(spec.expand());
+        if let Some(shard) = shard {
+            let costs: Vec<u64> = jobs.iter().map(Job::cost).collect();
+            let range = partition_by_cost(&costs, shard.count)
+                .into_iter()
+                .nth(shard.index)
+                .unwrap_or(0..0);
+            jobs = jobs.drain(range).collect();
+        }
         let meta: Vec<Job> = jobs.clone();
         let threads = if spec.threads > 0 {
             spec.threads
@@ -97,7 +122,9 @@ impl Engine {
 
         let cache_before = self.cache.stats();
         let started = Instant::now();
-        let outcomes = run_jobs(threads, jobs, |_, job| run_job(&self.cache, spec, job));
+        let outcomes = run_jobs_weighted(threads, jobs, Job::cost, |_, job| {
+            run_job(&self.cache, spec, job)
+        });
         let wall_ms = started.elapsed().as_millis();
 
         let mut records: Vec<JobRecord> = outcomes
@@ -188,6 +215,14 @@ fn execute(
     let base = cache.design(design_key, || {
         generate_with_width(&design_spec, job.generate_seed(), spec.width)
     });
+
+    if job.scheme == SchemeKind::None {
+        return execute_profile(&base, record);
+    }
+    if job.attack == AttackKind::Observations {
+        return execute_observations(spec, job, design_spec.total_ops(), record);
+    }
+
     // Memoized per distinct design: jobs sharing a base pay for one emit.
     let base_verilog = cache.text(design_key, || {
         emit_verilog(&base).map_err(|e| e.to_string())
@@ -235,10 +270,10 @@ fn execute(
         let lowered_key = lowered_content_key(&locked_verilog);
         let lowered = cache.lowered(lowered_key, || {
             let netlist = synthesize(&locked.module)?;
-            let key: Vec<bool> = (0..locked.module.key_width())
-                .map(|i| locked.key.bit(i).unwrap_or(false))
-                .collect();
-            Ok(LoweredArtifact { netlist, key })
+            Ok(LoweredArtifact {
+                netlist,
+                key: key_bits(&locked),
+            })
         })?;
         let base_lowered = lowered_base(cache, &base, &base_verilog)?;
         record_gate_shape(record, &lowered, &base_lowered);
@@ -246,6 +281,60 @@ fn execute(
     }
 
     run_attack(cache, spec, job, &locked, locked_key, &base, record)
+}
+
+/// Profile cell (`schemes = none`): no locking, no attack — reports the
+/// base design's operation count, total pair imbalance (the minimum
+/// balancing key bits), and the metric denominator `d_e(v_i, v_o)`; the
+/// §5 "is there a global bias among designs?" analysis.
+fn execute_profile(base: &Module, record: &mut JobRecord) -> Result<(), String> {
+    let odt = Odt::load(base, PairTable::fixed());
+    let v = odt.abs_vector();
+    record.ops = Some(visit::binary_ops(base).len());
+    record.imbalance = Some(odt.total_imbalance());
+    record.initial_distance = Some(v.iter().map(|x| x * x).sum::<f64>().sqrt());
+    record.balanced = Some(odt.is_balanced());
+    Ok(())
+}
+
+/// Observation-pool cell (Fig. 4): builds an all-`+` network of the
+/// benchmark's operation count, locks it with the scheme's selection
+/// strategy at the cell's budget, relocks it `relock_rounds` times under
+/// the scheme's training regime, and tallies which branch operator was
+/// real. The cell generates its own network (the analysis is about
+/// selection strategies, not a shared locked instance), so it bypasses
+/// the artifact cache.
+fn execute_observations(
+    spec: &CampaignSpec,
+    job: &Job,
+    n_ops: usize,
+    record: &mut JobRecord,
+) -> Result<(), String> {
+    let scenario = match job.scheme {
+        SchemeKind::Assure => Scenario::SerialSerial,
+        SchemeKind::AssureRandom => Scenario::RandomRandom,
+        SchemeKind::AssureDisjoint => Scenario::RandomDisjoint,
+        other => {
+            // Unreachable by construction: expansion pairs the
+            // observations attack with the ASSURE selection schemes only.
+            return Err(format!(
+                "scheme `{}` has no observation scenario",
+                other.name()
+            ));
+        }
+    };
+    let pool = run_scenario(
+        scenario,
+        n_ops,
+        job.budget,
+        spec.relock_rounds,
+        job.attack_seed(),
+    );
+    record.obs_plus = Some(pool.plus_real);
+    record.obs_minus = Some(pool.minus_real);
+    // Headline %: P(+ real) — 50 means the pool is uninformative.
+    record.kpa = Some(100.0 * pool.p_plus_real());
+    Ok(())
 }
 
 /// Gate-scheme cell: lower the *base* module once (cached), then insert
@@ -384,6 +473,29 @@ fn lock_design(base: &Module, job: &Job) -> Result<LockedArtifact, String> {
                 .map_err(|e| e.to_string())?,
             None,
         ),
+        SchemeKind::AssureOriginal => (
+            // Serial ASSURE under the *original* (non-involutive) pair
+            // table — the §3.2 leaky configuration pair analysis reads.
+            lock_operations(
+                &mut module,
+                &AssureConfig {
+                    selection: Selection::Serial,
+                    pair_table: PairTable::original_assure(),
+                    budget,
+                    seed,
+                },
+            )
+            .map_err(|e| e.to_string())?,
+            None,
+        ),
+        SchemeKind::AssureDisjoint => (
+            // The Fig. 4d test lock is plain random selection; the
+            // disjointness constrains only the observation analysis'
+            // training relocks.
+            lock_operations(&mut module, &AssureConfig::random(budget, seed))
+                .map_err(|e| e.to_string())?,
+            None,
+        ),
         SchemeKind::Hra => {
             let outcome =
                 hra_lock(&mut module, &HraConfig::new(budget, seed)).map_err(|e| e.to_string())?;
@@ -409,6 +521,11 @@ fn lock_design(base: &Module, job: &Job) -> Result<LockedArtifact, String> {
                 "gate scheme `{}` cannot lock an RTL module",
                 job.scheme.name()
             ));
+        }
+        SchemeKind::None => {
+            // Unreachable by construction: expansion routes profile
+            // cells through `execute_profile`.
+            return Err("profile cells lock nothing".to_owned());
         }
     };
     Ok(LockedArtifact { module, key, trace })
@@ -493,14 +610,55 @@ fn run_attack(
             record.kpa = Some(100.0 * report.agreement);
             record.attacked_bits = Some(report.recovered.len());
         }
+        AttackKind::PairAnalysis => {
+            // The attacker knows the pairing table they face
+            // (threat-model assumption 2): the original table for the
+            // §3.2 leaky configuration, the involutive fix otherwise.
+            let table = match job.scheme {
+                SchemeKind::AssureOriginal => PairTable::original_assure(),
+                _ => PairTable::fixed(),
+            };
+            let report = pair_analysis_attack(&locked.module, &locked.key, &table);
+            record.kpa = Some(report.kpa_on_inferred);
+            record.attacked_bits = Some(report.inferred.len());
+            record.coverage = Some(report.coverage);
+            record.localities = Some(mlrl_attack::extract_localities(&locked.module).len());
+        }
+        AttackKind::Corruptibility => {
+            let report = measure_corruptibility(
+                base,
+                &locked.module,
+                &key_bits(locked),
+                &CorruptibilityConfig {
+                    wrong_keys: spec.wrong_keys,
+                    seed: job.attack_seed(),
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            record.corruption_rate = Some(report.corruption_rate);
+            record.error_rate = Some(report.error_rate);
+        }
         AttackKind::Sat => {
             // Unreachable by construction: expansion keeps the SAT attack
             // at gate level.
             return Err("SAT attack requires a gate-level cell".to_owned());
         }
+        AttackKind::Observations => {
+            // Unreachable by construction: `execute` routes observation
+            // cells before locking.
+            return Err("observation cells do not lock".to_owned());
+        }
         AttackKind::None => {}
     }
     Ok(())
+}
+
+/// The locked module's correct key as plain bits, `K[0]` first.
+fn key_bits(locked: &LockedArtifact) -> Vec<bool> {
+    (0..locked.module.key_width())
+        .map(|i| locked.key.bit(i).unwrap_or(false))
+        .collect()
 }
 
 /// Runs a gate-level cell's attack against its lowered locked netlist.
@@ -600,7 +758,11 @@ fn run_gate_attack(
             record.kpa = Some(100.0 * exact as f64 / lowered.key.len() as f64);
             record.attacked_bits = Some(lowered.key.len());
         }
-        AttackKind::KpaModel | AttackKind::OracleGuided => {
+        AttackKind::KpaModel
+        | AttackKind::OracleGuided
+        | AttackKind::PairAnalysis
+        | AttackKind::Observations
+        | AttackKind::Corruptibility => {
             // Unreachable by construction: expansion keeps these at RTL.
             return Err(format!(
                 "attack `{}` cannot run at gate level",
@@ -755,6 +917,113 @@ mod tests {
             "cache: {:?}",
             report.cache
         );
+    }
+
+    #[test]
+    fn analysis_cells_fill_their_columns() {
+        // §3.2 pair-analysis cells: the original table leaks, the fixed
+        // table doesn't.
+        let mut spec = CampaignSpec::grid(
+            &["RSA"],
+            &[SchemeKind::AssureOriginal, SchemeKind::Assure],
+            &[0.75],
+        );
+        spec.attacks = vec![AttackKind::PairAnalysis];
+        spec.seeds = vec![5];
+        spec.threads = 2;
+        let report = Engine::new().run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        let by_scheme = |s: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.scheme == s)
+                .expect("cell present")
+                .clone()
+        };
+        let leaky = by_scheme("assure-original");
+        assert!(leaky.attacked_bits.expect("inferred") > 0);
+        assert_eq!(leaky.kpa, Some(100.0));
+        assert!(leaky.coverage.expect("coverage") > 0.0);
+        assert!(leaky.localities.expect("localities") > 0);
+        let fixed = by_scheme("assure");
+        assert_eq!(fixed.attacked_bits, Some(0));
+
+        // Fig. 4 observation cells: the disjoint scenario reads the key
+        // off directly, the serial one learns nothing.
+        let mut obs = CampaignSpec::grid(
+            &["mix:add=64"],
+            &[
+                SchemeKind::Assure,
+                SchemeKind::AssureRandom,
+                SchemeKind::AssureDisjoint,
+            ],
+            &[0.5],
+        );
+        obs.attacks = vec![AttackKind::Observations];
+        obs.seeds = vec![3];
+        obs.relock_rounds = 6;
+        obs.threads = 2;
+        let report = Engine::new().run(&obs);
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        let p_plus = |s: &str| {
+            let r = report
+                .records
+                .iter()
+                .find(|r| r.scheme == s)
+                .expect("cell present");
+            assert!(r.obs_plus.is_some() && r.obs_minus.is_some());
+            r.kpa.expect("p(+ real) recorded")
+        };
+        assert!((p_plus("assure") - 50.0).abs() < 10.0);
+        assert_eq!(p_plus("assure-disjoint"), 100.0);
+
+        // Profile cells: the synthetic extremes report their bias.
+        let mut bias = CampaignSpec::grid(&["N_2046", "N_1023"], &[SchemeKind::None], &[1.0]);
+        bias.attacks = vec![AttackKind::None];
+        let report = Engine::new().run(&bias);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        let cell = |b: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.benchmark == b)
+                .expect("cell present")
+                .clone()
+        };
+        let biased = cell("N_2046");
+        let ops = biased.ops.expect("ops") as f64;
+        let imbalance = biased.imbalance.expect("imbalance") as f64;
+        assert!(
+            (imbalance / ops - 1.0).abs() < 1e-9,
+            "N_2046 is fully biased"
+        );
+        assert!(biased.initial_distance.expect("distance") > 0.0);
+        let balanced = cell("N_1023");
+        assert_eq!(balanced.imbalance, Some(0));
+        assert_eq!(balanced.balanced, Some(true));
+    }
+
+    #[test]
+    fn corruptibility_cells_share_the_locked_instance() {
+        let mut spec = CampaignSpec::grid(&["SIM_SPI"], &[SchemeKind::Era], &[0.75]);
+        spec.attacks = vec![AttackKind::Corruptibility, AttackKind::None];
+        spec.seeds = vec![3];
+        spec.width = 6;
+        spec.wrong_keys = 8;
+        let engine = Engine::new();
+        let report = engine.run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        let corr = report
+            .records
+            .iter()
+            .find(|r| r.attack == "corruptibility")
+            .expect("cell present");
+        assert!(corr.corruption_rate.expect("corruption") > 0.0);
+        assert!(corr.error_rate.expect("error rate") >= 0.0);
+        // The `none` cell reuses the locked artifact.
+        assert!(report.cache.hits >= 2, "cache: {:?}", report.cache);
     }
 
     #[test]

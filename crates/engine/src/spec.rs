@@ -48,22 +48,31 @@ impl Level {
 
     /// Whether a scheme can produce a locked design at this level. Gate
     /// schemes have no RTL form; RTL schemes survive lowering (their key
-    /// ternaries become MUX trees), so the gate level supports all.
+    /// ternaries become MUX trees), so the gate level supports all of
+    /// them. The lock-free profile "scheme" is an RTL-only analysis.
     pub fn supports_scheme(self, scheme: SchemeKind) -> bool {
         match self {
             Level::Rtl => !scheme.is_gate_scheme(),
-            Level::Gate => true,
+            Level::Gate => !matches!(scheme, SchemeKind::None),
         }
     }
 
     /// Whether an attack can run at this level. The SAT attack needs a
-    /// netlist; the closed-form KPA model and the oracle-guided hill
-    /// climber are RTL-only. Structural attacks (frequency table,
-    /// SnapShot) have implementations at both levels.
+    /// netlist; the closed-form KPA model, the oracle-guided hill
+    /// climber, pair analysis, the Fig. 4 observation-pool analysis, and
+    /// the corruptibility measurement are RTL-only. Structural attacks
+    /// (frequency table, SnapShot) have implementations at both levels.
     pub fn supports_attack(self, attack: AttackKind) -> bool {
         match self {
             Level::Rtl => attack != AttackKind::Sat,
-            Level::Gate => !matches!(attack, AttackKind::KpaModel | AttackKind::OracleGuided),
+            Level::Gate => !matches!(
+                attack,
+                AttackKind::KpaModel
+                    | AttackKind::OracleGuided
+                    | AttackKind::PairAnalysis
+                    | AttackKind::Observations
+                    | AttackKind::Corruptibility
+            ),
         }
     }
 }
@@ -75,6 +84,13 @@ pub enum SchemeKind {
     Assure,
     /// ASSURE with random selection.
     AssureRandom,
+    /// Serial ASSURE with the *original* (non-involutive) pair table —
+    /// the §3.2 leaky configuration.
+    AssureOriginal,
+    /// Random ASSURE whose training relocks touch only untouched
+    /// operations (the Fig. 4d no-overlap scenario; locks like
+    /// `assure-random` outside the observations analysis).
+    AssureDisjoint,
     /// Heuristic ML-resilient algorithm.
     Hra,
     /// HRA in greedy (steepest-ascent) mode.
@@ -86,18 +102,25 @@ pub enum SchemeKind {
     /// Gate-level key-controlled MUXes with random decoys (gate level
     /// only).
     Mux,
+    /// No locking: the cell profiles the *base* design (operation count,
+    /// pair imbalance, initial metric distance — the §5 design-bias
+    /// analysis). Only meaningful with the `none` attack.
+    None,
 }
 
 impl SchemeKind {
     /// Every scheme, in spec-file order.
-    pub const ALL: [SchemeKind; 7] = [
+    pub const ALL: [SchemeKind; 10] = [
         SchemeKind::Assure,
         SchemeKind::AssureRandom,
+        SchemeKind::AssureOriginal,
+        SchemeKind::AssureDisjoint,
         SchemeKind::Hra,
         SchemeKind::HraGreedy,
         SchemeKind::Era,
         SchemeKind::XorXnor,
         SchemeKind::Mux,
+        SchemeKind::None,
     ];
 
     /// Spec-file / report name.
@@ -105,11 +128,14 @@ impl SchemeKind {
         match self {
             SchemeKind::Assure => "assure",
             SchemeKind::AssureRandom => "assure-random",
+            SchemeKind::AssureOriginal => "assure-original",
+            SchemeKind::AssureDisjoint => "assure-disjoint",
             SchemeKind::Hra => "hra",
             SchemeKind::HraGreedy => "hra-greedy",
             SchemeKind::Era => "era",
             SchemeKind::XorXnor => "xor-xnor",
             SchemeKind::Mux => "mux",
+            SchemeKind::None => "none",
         }
     }
 
@@ -117,6 +143,21 @@ impl SchemeKind {
     /// module.
     pub fn is_gate_scheme(self) -> bool {
         matches!(self, SchemeKind::XorXnor | SchemeKind::Mux)
+    }
+
+    /// Whether an attack is meaningful against this scheme. Profile
+    /// cells (`none`) lock nothing, so only the `none` attack applies;
+    /// the Fig. 4 observation-pool analysis is defined for the ASSURE
+    /// selection strategies it compares.
+    pub fn supports_attack(self, attack: AttackKind) -> bool {
+        match self {
+            SchemeKind::None => attack == AttackKind::None,
+            _ if attack == AttackKind::Observations => matches!(
+                self,
+                SchemeKind::Assure | SchemeKind::AssureRandom | SchemeKind::AssureDisjoint
+            ),
+            _ => true,
+        }
     }
 
     /// Parses a spec-file token.
@@ -143,18 +184,32 @@ pub enum AttackKind {
     OracleGuided,
     /// Oracle-guided SAT attack on the lowered netlist (gate level only).
     Sat,
+    /// §3.2 pair analysis: provable key-bit inference from the pairing
+    /// table alone (RTL only; no training set, no oracle).
+    PairAnalysis,
+    /// Fig. 4 observation-pool analysis: tallies which branch operator is
+    /// real across training relocks of an all-`+` network whose size is
+    /// the cell benchmark's operation count (RTL only; pairs with the
+    /// ASSURE selection schemes).
+    Observations,
+    /// §5.1 output-corruptibility measurement under near-miss wrong keys
+    /// (RTL only; needs the unlocked base as reference).
+    Corruptibility,
     /// Lock and score the metric only; run no attack.
     None,
 }
 
 impl AttackKind {
     /// Every attack, in spec-file order.
-    pub const ALL: [AttackKind; 6] = [
+    pub const ALL: [AttackKind; 9] = [
         AttackKind::FreqTable,
         AttackKind::KpaModel,
         AttackKind::Snapshot,
         AttackKind::OracleGuided,
         AttackKind::Sat,
+        AttackKind::PairAnalysis,
+        AttackKind::Observations,
+        AttackKind::Corruptibility,
         AttackKind::None,
     ];
 
@@ -166,7 +221,22 @@ impl AttackKind {
             AttackKind::Snapshot => "snapshot",
             AttackKind::OracleGuided => "oracle-guided",
             AttackKind::Sat => "sat",
+            AttackKind::PairAnalysis => "pair-analysis",
+            AttackKind::Observations => "observations",
+            AttackKind::Corruptibility => "corruptibility",
             AttackKind::None => "none",
+        }
+    }
+
+    /// Relative execution cost of a cell running this attack, used to
+    /// balance contiguous chunk boundaries (pool dealing and shard
+    /// partitioning). The SAT attack is ~10× an attack-free cell; the
+    /// training-set and relock-loop attacks sit in between.
+    pub fn cost_weight(self) -> u64 {
+        match self {
+            AttackKind::Sat => 10,
+            AttackKind::FreqTable | AttackKind::Snapshot | AttackKind::Observations => 3,
+            _ => 1,
         }
     }
 
@@ -242,6 +312,8 @@ pub struct CampaignSpec {
     /// Per-cell clause budget of the SAT attack's miter solver; 0 means
     /// unlimited.
     pub sat_max_clauses: usize,
+    /// Wrong keys sampled per cell by the corruptibility measurement.
+    pub wrong_keys: usize,
 }
 
 impl Default for CampaignSpec {
@@ -259,6 +331,7 @@ impl Default for CampaignSpec {
             threads: 0,
             sat_max_dips: 512,
             sat_max_clauses: 0,
+            wrong_keys: 32,
         }
     }
 }
@@ -275,27 +348,29 @@ impl CampaignSpec {
     }
 
     /// Number of grid cells (jobs) the spec expands into, counting only
-    /// level-compatible scheme × attack combinations.
+    /// level-compatible and scheme-compatible scheme × attack
+    /// combinations.
     pub fn cells(&self) -> usize {
         self.benchmarks.len() * self.budgets.len() * self.seeds.len() * self.compatible_cells()
     }
 
-    /// Level × scheme × attack combinations the levels axis admits.
+    /// Level × scheme × attack combinations the axes admit (level
+    /// compatibility on both scheme and attack, plus the scheme × attack
+    /// pairing rules of [`SchemeKind::supports_attack`]).
     pub(crate) fn compatible_cells(&self) -> usize {
         self.levels
             .iter()
             .map(|&level| {
-                let schemes = self
-                    .schemes
+                self.schemes
                     .iter()
                     .filter(|&&s| level.supports_scheme(s))
-                    .count();
-                let attacks = self
-                    .attacks
-                    .iter()
-                    .filter(|&&a| level.supports_attack(a))
-                    .count();
-                schemes * attacks
+                    .map(|&s| {
+                        self.attacks
+                            .iter()
+                            .filter(|&&a| level.supports_attack(a) && s.supports_attack(a))
+                            .count()
+                    })
+                    .sum::<usize>()
             })
             .sum()
     }
@@ -316,6 +391,7 @@ impl CampaignSpec {
     /// threads    = 4
     /// sat_max_dips    = 512
     /// sat_max_clauses = 2000000
+    /// wrong_keys      = 32
     /// ```
     ///
     /// Lists are whitespace- or comma-separated, except `benchmarks`,
@@ -428,6 +504,11 @@ impl CampaignSpec {
                         SpecError::new(format!("line {}: bad sat_max_clauses: {e}", lineno + 1))
                     })?;
                 }
+                "wrong_keys" => {
+                    spec.wrong_keys = scalar()?.parse().map_err(|e| {
+                        SpecError::new(format!("line {}: bad wrong_keys: {e}", lineno + 1))
+                    })?;
+                }
                 other => {
                     return Err(SpecError::new(format!(
                         "line {}: unknown key `{other}`",
@@ -490,6 +571,9 @@ impl CampaignSpec {
         }
         if self.attacks.contains(&AttackKind::Sat) && self.sat_max_dips == 0 {
             return Err(SpecError::new("sat_max_dips must be at least 1"));
+        }
+        if self.attacks.contains(&AttackKind::Corruptibility) && self.wrong_keys == 0 {
+            return Err(SpecError::new("wrong_keys must be at least 1"));
         }
         if self.compatible_cells() == 0 {
             return Err(SpecError::new(

@@ -13,18 +13,25 @@
 //!             [-o locked.v] [--key-out key.txt]
 //! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
 //! mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl]
-//!             [--cache-dir DIR] [--canonical]
+//!             [--cache-dir DIR] [--canonical] [--shard I/N]
+//! mlrl merge  <shard.jsonl>... [-o merged.jsonl]
 //! ```
 //!
 //! Keys are stored as plain bit strings, `K[0]` first. Campaign spec
 //! files use the `key = value` format of `mlrl_engine::spec` (see
-//! `examples/campaign.spec`).
+//! `examples/campaign.spec`). `--shard I/N` runs the I-th of N
+//! deterministic partitions of the job list (run every shard — on as
+//! many processes or machines as you like — then `mlrl merge` their
+//! `--canonical` outputs back into the byte stream an unsharded run
+//! would print).
 
 use std::fs;
 use std::process::ExitCode;
 
 use mlrl::attack::freq_table::freq_table_attack;
 use mlrl::attack::relock::RelockConfig;
+use mlrl::engine::job::ShardSpec;
+use mlrl::engine::report::merge_canonical_streams;
 use mlrl::engine::run::Engine;
 use mlrl::engine::spec::CampaignSpec;
 use mlrl::locking::assure::{lock_operations, AssureConfig};
@@ -422,19 +429,20 @@ fn cmd_sat_attack(args: &Args) -> Result<(), String> {
 
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--canonical]",
+        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--canonical] [--shard I/N]",
     )?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some(threads) = args.flag("threads") {
         spec.threads = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
     }
+    let shard = args.flag("shard").map(ShardSpec::parse).transpose()?;
     let mut engine = Engine::new();
     if let Some(dir) = args.flag("cache-dir") {
         engine = engine.with_cache_dir(dir);
     }
     eprintln!(
-        "campaign `{}`: {} cells ({} benchmarks x {} levels x {} schemes x {} budgets x {} seeds x {} attacks, level-incompatible combos skipped)",
+        "campaign `{}`: {} cells ({} benchmarks x {} levels x {} schemes x {} budgets x {} seeds x {} attacks, level-incompatible combos skipped){}",
         spec.name,
         spec.cells(),
         spec.benchmarks.len(),
@@ -443,8 +451,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         spec.budgets.len(),
         spec.seeds.len(),
         spec.attacks.len(),
+        match shard {
+            Some(s) => format!("; running shard {s}"),
+            None => String::new(),
+        },
     );
-    let report = engine.run(&spec);
+    let report = engine.run_shard(&spec, shard);
     if args.has("canonical") {
         print!("{}", report.canonical_jsonl());
     } else {
@@ -457,6 +469,26 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     }
     if report.failed_count() > 0 {
         return Err(format!("{} job(s) failed", report.failed_count()));
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    let paths = &args.positional[1..];
+    if paths.is_empty() {
+        return Err("usage: mlrl merge <shard.jsonl>... [-o merged.jsonl]".to_owned());
+    }
+    let streams: Vec<String> = paths
+        .iter()
+        .map(|p| fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let merged = merge_canonical_streams(&streams)?;
+    match args.flag("o") {
+        Some(out) => {
+            fs::write(out, &merged).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out} ({} shard file(s) merged)", paths.len());
+        }
+        None => print!("{merged}"),
     }
     Ok(())
 }
@@ -475,8 +507,9 @@ fn run() -> Result<(), String> {
         Some("gatelock") => cmd_gatelock(&args),
         Some("sat-attack") => cmd_sat_attack(&args),
         Some("campaign") => cmd_campaign(&args),
+        Some("merge") => cmd_merge(&args),
         _ => Err(
-            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign> ...\nsee `src/bin/mlrl.rs` docs"
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge> ...\nsee `src/bin/mlrl.rs` docs"
                 .to_owned(),
         ),
     }

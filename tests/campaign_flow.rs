@@ -1,11 +1,17 @@
-//! Integration tests of the campaign engine's two core guarantees:
+//! Integration tests of the campaign engine's three core guarantees:
 //!
 //! 1. **Determinism** — the same spec produces a byte-identical canonical
 //!    report on one thread and on many (derived seeds make results
 //!    independent of scheduling).
 //! 2. **Caching** — re-running the same spec on the same engine reports
 //!    a non-zero cache hit rate with unchanged results.
+//! 3. **Sharding** — merging every shard's canonical report reproduces
+//!    the unsharded canonical byte stream, whatever the shard count and
+//!    cache temperature (so a campaign partitions across processes or
+//!    machines without changing its science).
 
+use mlrl::engine::job::ShardSpec;
+use mlrl::engine::report::merge_canonical_streams;
 use mlrl::engine::run::Engine;
 use mlrl::engine::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 
@@ -149,6 +155,94 @@ fn warm_reruns_hit_the_lowered_netlist_shard() {
         warm.canonical_jsonl(),
         "netlist-shard hits must not change results"
     );
+}
+
+/// Splits `spec` into `count` shards on independent engines (cold
+/// caches, like separate processes) and returns the canonical streams.
+fn run_shards(spec: &CampaignSpec, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|index| {
+            Engine::new()
+                .run_shard(spec, Some(ShardSpec { index, count }))
+                .canonical_jsonl()
+        })
+        .collect()
+}
+
+#[test]
+fn merged_shard_reports_are_byte_identical_to_the_unsharded_run() {
+    let spec = twelve_cell_spec(2);
+    let full = Engine::new().run(&spec).canonical_jsonl();
+
+    let shards = run_shards(&spec, 3);
+    // Shards partition, not duplicate: 12 cells across 3 shards.
+    let cells: usize = shards
+        .iter()
+        .map(|s| s.lines().count().saturating_sub(1))
+        .sum();
+    assert_eq!(cells, 12);
+    let merged = merge_canonical_streams(&shards).expect("shards merge");
+    assert_eq!(
+        merged, full,
+        "merged shard reports must be byte-identical to the unsharded canonical report"
+    );
+}
+
+#[test]
+fn uneven_shards_with_more_shards_than_cells_still_merge_exactly() {
+    // The mixed-level grid has 8 cells; 11 shards forces empty shards
+    // and single-cell shards, and its SAT cells exercise the cost model
+    // (a 10× cell must not unbalance the partition's correctness).
+    let spec = mixed_level_spec(1);
+    let full = Engine::new().run(&spec).canonical_jsonl();
+    let shards = run_shards(&spec, 11);
+    assert!(
+        shards.iter().any(|s| s.lines().count() == 1),
+        "11 shards over 8 cells must leave some shard empty"
+    );
+    let merged = merge_canonical_streams(&shards).expect("shards merge");
+    assert_eq!(merged, full);
+}
+
+#[test]
+fn warm_caches_do_not_perturb_sharded_reports() {
+    let spec = twelve_cell_spec(2);
+    let full = Engine::new().run(&spec).canonical_jsonl();
+
+    // Each shard runs twice on its own engine; the second (warm) pass
+    // must hit the cache and still merge byte-exactly.
+    let shards: Vec<String> = (0..3)
+        .map(|index| {
+            let shard = Some(ShardSpec { index, count: 3 });
+            let engine = Engine::new();
+            let cold = engine.run_shard(&spec, shard);
+            let warm = engine.run_shard(&spec, shard);
+            if !cold.records.is_empty() {
+                assert!(
+                    warm.cache.hits > 0,
+                    "warm shard {index} must hit the cache (stats: {:?})",
+                    warm.cache
+                );
+            }
+            assert_eq!(cold.canonical_jsonl(), warm.canonical_jsonl());
+            warm.canonical_jsonl()
+        })
+        .collect();
+    let merged = merge_canonical_streams(&shards).expect("shards merge");
+    assert_eq!(merged, full);
+}
+
+#[test]
+fn overlapping_or_incomplete_shard_sets_are_rejected() {
+    let spec = twelve_cell_spec(2);
+    let shards = run_shards(&spec, 3);
+    // Dropping a shard is a missing-index error, not silent data loss.
+    let err = merge_canonical_streams(&shards[..2]).expect_err("incomplete set");
+    assert!(err.contains("missing"), "{err}");
+    // Feeding one shard twice is an overlap error.
+    let doubled = vec![shards[0].clone(), shards[0].clone(), shards[1].clone()];
+    let err = merge_canonical_streams(&doubled).expect_err("overlap");
+    assert!(err.contains("duplicate"), "{err}");
 }
 
 // Panic *isolation* (a panicking job yielding Err while the campaign

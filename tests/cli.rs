@@ -292,3 +292,51 @@ fn campaign_runs_spec_files_end_to_end() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("no benchmarks"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn sharded_campaigns_merge_to_the_unsharded_bytes() {
+    let dir = tmpdir("shard");
+    let spec = dir.join("c.spec");
+    std::fs::write(
+        &spec,
+        "benchmarks = FIR\nschemes = assure era\nbudgets = 0.25 0.5\nseeds = 3\n\
+         attacks = kpa-model none\nrelock_rounds = 4\nthreads = 2\n",
+    )
+    .expect("write spec");
+
+    let canonical = |extra: &[&str]| {
+        let mut args = vec!["campaign", spec.to_str().unwrap(), "--canonical"];
+        args.extend_from_slice(extra);
+        let out = mlrl().args(&args).output().expect("run campaign");
+        assert_success(&out, "campaign");
+        out.stdout
+    };
+    let full = canonical(&[]);
+    let shard_files: Vec<std::path::PathBuf> = (0..3)
+        .map(|i| {
+            let bytes = canonical(&["--shard", &format!("{i}/3")]);
+            let path = dir.join(format!("s{i}.jsonl"));
+            std::fs::write(&path, bytes).expect("write shard");
+            path
+        })
+        .collect();
+
+    let mut args = vec!["merge".to_owned()];
+    args.extend(shard_files.iter().map(|p| p.to_str().unwrap().to_owned()));
+    let out = mlrl().args(&args).output().expect("run merge");
+    assert_success(&out, "merge");
+    assert_eq!(
+        out.stdout, full,
+        "merged shard output must be byte-identical to the unsharded run"
+    );
+
+    // A bad shard selector fails loudly.
+    let out = mlrl()
+        .args(["campaign", spec.to_str().unwrap(), "--shard", "3/3"])
+        .output()
+        .expect("run campaign with bad shard");
+    assert!(!out.status.success(), "out-of-range shard must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
