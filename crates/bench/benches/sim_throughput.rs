@@ -1,0 +1,176 @@
+//! Criterion bench: simulation-core throughput in vectors/second.
+//!
+//! Tracks the cost of the two hot simulators across PRs: the RTL
+//! `Simulator` (compiled slot-indexed tape) and the gate-level
+//! `NetlistSimulator` (64-wide bit-parallel words). Each benchmark drives
+//! `VECTORS` random input vectors through a full settle and folds every
+//! output digest, so the measured time is per *training-set generation*
+//! unit of work, directly comparable between the scalar (1-lane) and
+//! batched (64-lane) paths.
+//!
+//! Run with `--quick` (or `MLRL_BENCH_QUICK=1`) for the CI smoke mode:
+//! fewer vectors, one sample.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlrl_netlist::lower::lower_module;
+use mlrl_netlist::sim::{NetlistSimulator, LANES};
+use mlrl_rtl::bench_designs::{benchmark_by_name, generate_with_width};
+use mlrl_rtl::sim::Simulator;
+
+/// Vectors per measured iteration (full mode).
+const VECTORS: usize = 256;
+
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("MLRL_BENCH_QUICK").is_some()
+}
+
+fn vector_count() -> usize {
+    if quick() {
+        64
+    } else {
+        VECTORS
+    }
+}
+
+fn sample_size() -> usize {
+    if quick() {
+        1
+    } else {
+        5
+    }
+}
+
+/// Deterministic stimulus stream shared by every benchmark.
+fn stimulus(n: usize) -> Vec<u64> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        })
+        .collect()
+}
+
+fn bench_rtl_settle(c: &mut Criterion) {
+    let n = vector_count();
+    let vectors = stimulus(n);
+    let mut group = c.benchmark_group("sim_throughput/rtl");
+    group.sample_size(sample_size());
+    for name in ["FIR", "DES3"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 16);
+        let inputs: Vec<String> = module
+            .ports()
+            .iter()
+            .filter(|p| p.dir == mlrl_rtl::ast::PortDir::Input)
+            .map(|p| p.name.clone())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("settle", format!("{name}/{n}vec")),
+            &module,
+            |b, m| {
+                let mut sim = Simulator::new(m).expect("acyclic");
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (i, v) in vectors.iter().enumerate() {
+                        for name in &inputs {
+                            sim.set_input(name, v.wrapping_add(i as u64))
+                                .expect("input");
+                        }
+                        sim.settle().expect("settles");
+                        acc ^= sim.outputs_digest().expect("digest");
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gate_settle_scalar(c: &mut Criterion) {
+    let n = vector_count();
+    let vectors = stimulus(n);
+    let mut group = c.benchmark_group("sim_throughput/gate_1lane");
+    group.sample_size(sample_size());
+    for name in ["FIR", "DES3"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 16);
+        let mut netlist = lower_module(&module).expect("lowers");
+        netlist.sweep();
+        let inputs: Vec<String> = netlist.inputs().iter().map(|p| p.name.clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("settle", format!("{name}/{n}vec")),
+            &netlist,
+            |b, nl| {
+                let mut sim = NetlistSimulator::new(nl).expect("acyclic");
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (i, v) in vectors.iter().enumerate() {
+                        for name in &inputs {
+                            sim.set_input(name, v.wrapping_add(i as u64))
+                                .expect("input");
+                        }
+                        sim.settle().expect("settles");
+                        acc ^= sim.outputs_digest().expect("digest");
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gate_settle_batched(c: &mut Criterion) {
+    let n = vector_count();
+    let vectors = stimulus(n);
+    let mut group = c.benchmark_group("sim_throughput/gate_64lane");
+    group.sample_size(sample_size());
+    for name in ["FIR", "DES3"] {
+        let spec = benchmark_by_name(name).expect("known benchmark");
+        let module = generate_with_width(&spec, 42, 16);
+        let mut netlist = lower_module(&module).expect("lowers");
+        netlist.sweep();
+        let inputs: Vec<String> = netlist.inputs().iter().map(|p| p.name.clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("settle", format!("{name}/{n}vec")),
+            &netlist,
+            |b, nl| {
+                let mut sim = NetlistSimulator::new(nl).expect("acyclic");
+                b.iter(|| {
+                    // Same per-vector stimulus as the 1-lane bench, 64
+                    // vectors per levelized walk.
+                    let mut acc = 0u64;
+                    let mut done = 0usize;
+                    while done < n {
+                        let lanes = (n - done).min(LANES);
+                        for name in &inputs {
+                            let batch: Vec<u64> = (0..lanes)
+                                .map(|l| vectors[done + l].wrapping_add((done + l) as u64))
+                                .collect();
+                            sim.set_input_batch(name, &batch).expect("input");
+                        }
+                        sim.settle_batch().expect("settles");
+                        for lane in 0..lanes {
+                            acc ^= sim.outputs_digest_lane(lane).expect("digest");
+                        }
+                        done += lanes;
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtl_settle,
+    bench_gate_settle_scalar,
+    bench_gate_settle_batched
+);
+criterion_main!(benches);

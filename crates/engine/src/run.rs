@@ -26,7 +26,9 @@ use mlrl_attack::pair_analysis::pair_analysis_attack;
 use mlrl_attack::relock::{build_training_set, RelockConfig};
 use mlrl_attack::snapshot::{snapshot_attack_with_training, AttackConfig};
 use mlrl_locking::assure::{lock_operations, AssureConfig, Selection};
-use mlrl_locking::corruptibility::{measure_corruptibility, CorruptibilityConfig};
+use mlrl_locking::corruptibility::{
+    measure_corruptibility, measure_gate_corruptibility, CorruptibilityConfig,
+};
 use mlrl_locking::era::{era_lock, EraConfig};
 use mlrl_locking::hra::{hra_lock, HraConfig};
 use mlrl_locking::metric::SecurityMetric;
@@ -758,11 +760,31 @@ fn run_gate_attack(
             record.kpa = Some(100.0 * exact as f64 / lowered.key.len() as f64);
             record.attacked_bits = Some(lowered.key.len());
         }
+        AttackKind::Corruptibility => {
+            if lowered.key.is_empty() {
+                return Err("locked netlist consumes no key bits".to_owned());
+            }
+            // The reference is the locked netlist under the *correct* key
+            // (equivalent to the unlocked design for a sound locking
+            // pass); each chunk of wrong keys rides the 64-lane sweep.
+            let report = measure_gate_corruptibility(
+                &lowered.netlist,
+                &lowered.netlist,
+                &lowered.key,
+                &CorruptibilityConfig {
+                    wrong_keys: spec.wrong_keys,
+                    seed: job.attack_seed(),
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            record.corruption_rate = Some(report.corruption_rate);
+            record.error_rate = Some(report.error_rate);
+        }
         AttackKind::KpaModel
         | AttackKind::OracleGuided
         | AttackKind::PairAnalysis
-        | AttackKind::Observations
-        | AttackKind::Corruptibility => {
+        | AttackKind::Observations => {
             // Unreachable by construction: expansion keeps these at RTL.
             return Err(format!(
                 "attack `{}` cannot run at gate level",
@@ -1024,6 +1046,38 @@ mod tests {
         assert!(corr.error_rate.expect("error rate") >= 0.0);
         // The `none` cell reuses the locked artifact.
         assert!(report.cache.hits >= 2, "cache: {:?}", report.cache);
+    }
+
+    #[test]
+    fn gate_corruptibility_cells_sweep_wrong_keys_on_the_lanes() {
+        // Gate-level corruptibility rides the 64-lane key sweep; both a
+        // lowered RTL scheme and a native gate scheme must report it, and
+        // the cells must stay canonically deterministic across threads.
+        let mut spec = CampaignSpec::grid(
+            &["SIM_SPI"],
+            &[SchemeKind::Era, SchemeKind::XorXnor],
+            &[0.5],
+        );
+        spec.levels = vec![Level::Gate];
+        spec.attacks = vec![AttackKind::Corruptibility];
+        spec.seeds = vec![3];
+        spec.width = 6;
+        spec.wrong_keys = 8;
+        spec.threads = 2;
+        let report = Engine::new().run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        assert_eq!(report.records.len(), 2);
+        for r in &report.records {
+            assert_eq!(r.level, "gate");
+            assert!(
+                r.corruption_rate.expect("corruption") > 0.0,
+                "near-miss keys must corrupt: {r:?}"
+            );
+            assert!(r.error_rate.expect("error rate") > 0.0, "{r:?}");
+        }
+        spec.threads = 1;
+        let serial = Engine::new().run(&spec);
+        assert_eq!(serial.canonical_jsonl(), report.canonical_jsonl());
     }
 
     #[test]

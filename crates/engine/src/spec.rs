@@ -59,9 +59,10 @@ impl Level {
 
     /// Whether an attack can run at this level. The SAT attack needs a
     /// netlist; the closed-form KPA model, the oracle-guided hill
-    /// climber, pair analysis, the Fig. 4 observation-pool analysis, and
-    /// the corruptibility measurement are RTL-only. Structural attacks
-    /// (frequency table, SnapShot) have implementations at both levels.
+    /// climber, pair analysis, and the Fig. 4 observation-pool analysis
+    /// are RTL-only. Structural attacks (frequency table, SnapShot) and
+    /// the corruptibility measurement (64-lane key sweep at gate level)
+    /// have implementations at both levels.
     pub fn supports_attack(self, attack: AttackKind) -> bool {
         match self {
             Level::Rtl => attack != AttackKind::Sat,
@@ -71,7 +72,6 @@ impl Level {
                     | AttackKind::OracleGuided
                     | AttackKind::PairAnalysis
                     | AttackKind::Observations
-                    | AttackKind::Corruptibility
             ),
         }
     }

@@ -130,6 +130,12 @@ pub fn measure_corruptibility(
     let mut error_sum = 0.0f64;
     let mut hamming_sum = 0.0f64;
 
+    // Compile both designs once; each trial resets state instead of
+    // reconstructing (and recompiling) the simulators.
+    let mut ref_sim = Simulator::new(original).map_err(sim_err)?;
+    ref_sim.set_key(correct_key).map_err(sim_err)?;
+    let mut bad_sim = Simulator::new(locked).map_err(sim_err)?;
+
     for _ in 0..cfg.wrong_keys {
         // A near-miss key: the correct key with `flips` random bits flipped.
         let mut wrong = correct_key.to_vec();
@@ -139,9 +145,8 @@ pub fn measure_corruptibility(
             wrong[i] = !wrong[i];
         }
 
-        let mut ref_sim = Simulator::new(original).map_err(sim_err)?;
-        ref_sim.set_key(correct_key).map_err(sim_err)?;
-        let mut bad_sim = Simulator::new(locked).map_err(sim_err)?;
+        ref_sim.reset();
+        bad_sim.reset();
         bad_sim.set_key(&wrong).map_err(sim_err)?;
 
         let mut reads = 0u64;
@@ -185,6 +190,137 @@ pub fn measure_corruptibility(
         error_sum += errors as f64 / reads.max(1) as f64;
         hamming_sum += bit_flips as f64 / bits_seen.max(1) as f64;
         let _ = total_out_bits;
+    }
+
+    let n = cfg.wrong_keys.max(1) as f64;
+    Ok(CorruptibilityReport {
+        wrong_keys: cfg.wrong_keys,
+        corruption_rate: corrupted_keys as f64 / n,
+        error_rate: error_sum / n,
+        hamming_fraction: hamming_sum / n,
+    })
+}
+
+/// Gate-level corruptibility over the 64-lane key sweep: how badly a wrong
+/// key damages a *lowered* (gate-locked) design.
+///
+/// The same three measures as [`measure_corruptibility`], but each chunk of
+/// up to [`mlrl_netlist::sim::LANES`] near-miss keys rides one word
+/// simulator — a single levelized walk per stimulus pattern evaluates all
+/// of them, instead of one full netlist walk per key per pattern. Unlike
+/// the RTL variant (which draws fresh patterns per wrong key), all keys in
+/// a chunk share the chunk's random patterns; with ≥ 16 patterns the
+/// chunk-shared stimulus changes nothing qualitatively.
+///
+/// # Errors
+///
+/// Returns [`LockError::Netlist`] wrapping simulator construction errors,
+/// a too-short `correct_key`, or a netlist that consumes no key bits.
+pub fn measure_gate_corruptibility(
+    original: &mlrl_netlist::Netlist,
+    locked: &mlrl_netlist::Netlist,
+    correct_key: &[bool],
+    cfg: &CorruptibilityConfig,
+) -> Result<CorruptibilityReport> {
+    use mlrl_netlist::sim::{NetlistSimulator, LANES};
+    use mlrl_netlist::NetlistError;
+
+    let width = locked.key_width();
+    if width == 0 {
+        return Err(LockError::Netlist(NetlistError::Lock(
+            "netlist consumes no key bits".to_owned(),
+        )));
+    }
+    if correct_key.len() < width {
+        return Err(LockError::Netlist(NetlistError::KeyTooShort {
+            required: width,
+            provided: correct_key.len(),
+        }));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let inputs: Vec<(String, usize)> = original
+        .inputs()
+        .iter()
+        .map(|p| (p.name.clone(), p.width()))
+        .collect();
+    let outputs: Vec<(String, usize)> = original
+        .outputs()
+        .iter()
+        .map(|p| (p.name.clone(), p.width()))
+        .collect();
+
+    let mut ref_sim = NetlistSimulator::new(original)?;
+    ref_sim.set_key(correct_key)?;
+    let mut bad_sim = NetlistSimulator::new(locked)?;
+
+    let mut corrupted_keys = 0usize;
+    let mut error_sum = 0.0f64;
+    let mut hamming_sum = 0.0f64;
+
+    let mut remaining = cfg.wrong_keys;
+    while remaining > 0 {
+        let lanes = remaining.min(LANES);
+        // Near-miss keys: the correct key with `flips` random bits flipped.
+        let wrong: Vec<Vec<bool>> = (0..lanes)
+            .map(|_| {
+                let mut key = correct_key[..width].to_vec();
+                for _ in 0..cfg.flips.max(1) {
+                    let i = rng.gen_range(0..width);
+                    key[i] = !key[i];
+                }
+                key
+            })
+            .collect();
+        let refs: Vec<&[bool]> = wrong.iter().map(|k| k.as_slice()).collect();
+        ref_sim.reset();
+        bad_sim.reset();
+        bad_sim.set_key_batch(&refs)?;
+
+        let mut errors = vec![0u64; lanes];
+        let mut bit_flips = vec![0u64; lanes];
+        let mut reads = 0u64;
+        let mut bits_seen = 0u64;
+        for _ in 0..cfg.patterns {
+            for (name, width) in &inputs {
+                let v: u64 = rng.gen();
+                let v = if *width >= 64 {
+                    v
+                } else {
+                    v & ((1u64 << width) - 1)
+                };
+                ref_sim.set_input(name, v)?;
+                bad_sim.set_input(name, v)?;
+            }
+            if cfg.ticks == 0 {
+                ref_sim.settle_batch()?;
+                bad_sim.settle_batch()?;
+            } else {
+                for _ in 0..cfg.ticks {
+                    ref_sim.tick()?;
+                    bad_sim.tick()?;
+                }
+            }
+            for (name, width) in &outputs {
+                let golden = ref_sim.output(name)?;
+                reads += 1;
+                bits_seen += *width as u64;
+                for (lane, (err, flips)) in errors.iter_mut().zip(&mut bit_flips).enumerate() {
+                    let b = bad_sim.output_lane(name, lane)?;
+                    if golden != b {
+                        *err += 1;
+                    }
+                    *flips += (golden ^ b).count_ones() as u64;
+                }
+            }
+        }
+        for lane in 0..lanes {
+            if errors[lane] > 0 {
+                corrupted_keys += 1;
+            }
+            error_sum += errors[lane] as f64 / reads.max(1) as f64;
+            hamming_sum += bit_flips[lane] as f64 / bits_seen.max(1) as f64;
+        }
+        remaining -= lanes;
     }
 
     let n = cfg.wrong_keys.max(1) as f64;
@@ -329,5 +465,86 @@ mod tests {
             &CorruptibilityConfig::default(),
         );
         assert!(err.is_err());
+    }
+
+    fn gate_pair() -> (mlrl_netlist::Netlist, mlrl_netlist::Netlist, Vec<bool>) {
+        use mlrl_netlist::build::NetlistBuilder;
+        let mut b = NetlistBuilder::new(mlrl_netlist::Netlist::new("t"));
+        let a = b.input_lane("a", 16);
+        let c = b.input_lane("b", 16);
+        let s = b.add(a, c);
+        let x = b.xor_lane(s, a);
+        b.output_from_lane("y", x, 16);
+        let mut original = b.finish();
+        original.sweep();
+        let mut locked = original.clone();
+        let key = mlrl_netlist::lock::xor_xnor_lock(&mut locked, 12, 5).unwrap();
+        (original, locked, key.bits().to_vec())
+    }
+
+    #[test]
+    fn gate_near_miss_keys_corrupt_xor_locked_netlists() {
+        // An XOR/XNOR key gate with a flipped bit inverts a live wire, so
+        // every near-miss key must corrupt (a 0.5-ish Hamming fraction on
+        // the cone it feeds).
+        let (original, locked, key) = gate_pair();
+        let report = measure_gate_corruptibility(
+            &original,
+            &locked,
+            &key,
+            &CorruptibilityConfig {
+                wrong_keys: 100, // exercises the >64-lane chunking path
+                patterns: 16,
+                ticks: 0,
+                flips: 1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.wrong_keys, 100);
+        assert!(report.corruption_rate > 0.95, "{report:?}");
+        assert!(report.error_rate > 0.1, "{report:?}");
+        assert!(report.hamming_fraction > 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn gate_correct_key_sweep_never_corrupts() {
+        // flips is clamped to ≥ 1, so emulate the correct-key sanity check
+        // by sweeping the correct key itself against the reference.
+        let (original, locked, key) = gate_pair();
+        use mlrl_netlist::sim::NetlistSimulator;
+        let mut reference = NetlistSimulator::new(&original).unwrap();
+        let mut sweep = NetlistSimulator::new(&locked).unwrap();
+        let keys: Vec<&[bool]> = vec![key.as_slice(); 64];
+        for pattern in 0..8u64 {
+            for p in original.inputs() {
+                let v = pattern.wrapping_mul(0x9e37_79b9) & 0xffff;
+                reference.set_input(&p.name, v).unwrap();
+                sweep.set_input(&p.name, v).unwrap();
+            }
+            reference.settle().unwrap();
+            let golden = reference.outputs_digest().unwrap();
+            let digests = sweep.key_sweep_digests(&keys).unwrap();
+            assert!(digests.iter().all(|&d| d == golden));
+        }
+    }
+
+    #[test]
+    fn gate_corruptibility_rejects_keyless_and_short_keys() {
+        let (original, locked, key) = gate_pair();
+        assert!(measure_gate_corruptibility(
+            &original,
+            &original,
+            &[],
+            &CorruptibilityConfig::default()
+        )
+        .is_err());
+        assert!(measure_gate_corruptibility(
+            &original,
+            &locked,
+            &key[..4],
+            &CorruptibilityConfig::default()
+        )
+        .is_err());
     }
 }

@@ -11,6 +11,9 @@ use mlrl_rtl::RtlError;
 pub enum LockError {
     /// An underlying RTL mutation failed.
     Rtl(RtlError),
+    /// An underlying gate-level operation failed (gate-level
+    /// corruptibility measurement).
+    Netlist(mlrl_netlist::NetlistError),
     /// No operation of the required type exists to pair a dummy onto.
     NoOpsOfType(BinaryOp),
     /// The operator does not participate in any locking pair.
@@ -23,6 +26,7 @@ impl fmt::Display for LockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LockError::Rtl(e) => write!(f, "rtl error during locking: {e}"),
+            LockError::Netlist(e) => write!(f, "netlist error during locking: {e}"),
             LockError::NoOpsOfType(op) => {
                 write!(f, "no operations of type `{op}` available for locking")
             }
@@ -38,6 +42,7 @@ impl std::error::Error for LockError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LockError::Rtl(e) => Some(e),
+            LockError::Netlist(e) => Some(e),
             _ => None,
         }
     }
@@ -46,6 +51,12 @@ impl std::error::Error for LockError {
 impl From<RtlError> for LockError {
     fn from(e: RtlError) -> Self {
         LockError::Rtl(e)
+    }
+}
+
+impl From<mlrl_netlist::NetlistError> for LockError {
+    fn from(e: mlrl_netlist::NetlistError) -> Self {
+        LockError::Netlist(e)
     }
 }
 

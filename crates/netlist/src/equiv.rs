@@ -16,7 +16,7 @@ use mlrl_rtl::sim::Simulator;
 
 use crate::error::{NetlistError, Result};
 use crate::ir::Netlist;
-use crate::sim::NetlistSimulator;
+use crate::sim::{NetlistSimulator, LANES};
 
 /// Outcome of a random-simulation cross-level check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,43 +83,94 @@ pub fn check_module_vs_netlist(
 
     let mut mismatches = 0;
     let mut first_mismatch = None;
-    for _ in 0..samples {
-        for (name, width) in &inputs {
-            let v: u64 = rng.gen();
-            let v = if *width >= 64 {
-                v
-            } else {
-                v & ((1 << width) - 1)
-            };
-            rtl.set_input(name, v)
-                .map_err(|e| NetlistError::Lower(e.to_string()))?;
-            gate.set_input(name, v)?;
+    if ticks == 0 {
+        // Combinational probe: the gate side batches up to 64 vectors per
+        // levelized walk; the RTL side replays the same vectors one by one.
+        // The RNG draw order (sample-major, then port) matches the scalar
+        // path exactly, so results are identical vector for vector.
+        let mut done = 0usize;
+        while done < samples {
+            let lanes = (samples - done).min(LANES);
+            let mut vectors: Vec<Vec<u64>> = (0..inputs.len())
+                .map(|_| Vec::with_capacity(lanes))
+                .collect();
+            for _ in 0..lanes {
+                for (pi, (_, width)) in inputs.iter().enumerate() {
+                    let v: u64 = rng.gen();
+                    let v = if *width >= 64 {
+                        v
+                    } else {
+                        v & ((1 << width) - 1)
+                    };
+                    vectors[pi].push(v);
+                }
+            }
+            for (pi, (name, _)) in inputs.iter().enumerate() {
+                gate.set_input_batch(name, &vectors[pi])?;
+            }
+            gate.settle_batch()?;
+            #[allow(clippy::needless_range_loop)] // `lane` indexes the inner dim
+            for lane in 0..lanes {
+                for (pi, (name, _)) in inputs.iter().enumerate() {
+                    rtl.set_input(name, vectors[pi][lane])
+                        .map_err(|e| NetlistError::Lower(e.to_string()))?;
+                }
+                rtl.settle()
+                    .map_err(|e| NetlistError::Lower(e.to_string()))?;
+                let mut bad = false;
+                for name in &outputs {
+                    let rv = rtl
+                        .get(name)
+                        .map_err(|e| NetlistError::Lower(e.to_string()))?;
+                    let gv = gate.output_lane(name, lane)?;
+                    if rv != gv {
+                        bad = true;
+                        if first_mismatch.is_none() {
+                            first_mismatch = Some(name.clone());
+                        }
+                    }
+                }
+                if bad {
+                    mismatches += 1;
+                }
+            }
+            done += lanes;
         }
-        if ticks == 0 {
-            rtl.settle()
-                .map_err(|e| NetlistError::Lower(e.to_string()))?;
-            gate.settle()?;
-        } else {
+    } else {
+        // Sequential probe: state carries over from sample to sample, so
+        // vectors cannot ride independent lanes; stay scalar.
+        for _ in 0..samples {
+            for (name, width) in &inputs {
+                let v: u64 = rng.gen();
+                let v = if *width >= 64 {
+                    v
+                } else {
+                    v & ((1 << width) - 1)
+                };
+                rtl.set_input(name, v)
+                    .map_err(|e| NetlistError::Lower(e.to_string()))?;
+                gate.set_input(name, v)?;
+            }
             for _ in 0..ticks {
                 rtl.tick().map_err(|e| NetlistError::Lower(e.to_string()))?;
                 gate.tick()?;
             }
-        }
-        let mut bad = false;
-        for name in &outputs {
-            let rv = rtl
-                .get(name)
-                .map_err(|e| NetlistError::Lower(e.to_string()))?;
-            let gv = gate.output(name)?;
-            if rv != gv {
-                bad = true;
-                if first_mismatch.is_none() {
-                    first_mismatch = Some(name.clone());
+            let mut bad = false;
+            for name in &outputs {
+                let rv = rtl
+                    .get(name)
+                    .map_err(|e| NetlistError::Lower(e.to_string()))?;
+                let gv = gate.output(name)?;
+                if rv != gv {
+                    bad = true;
+                    if first_mismatch.is_none() {
+                        first_mismatch = Some(name.clone());
+                    }
                 }
             }
-        }
-        if bad {
-            mismatches += 1;
+            if bad {
+                mismatches += 1;
+            }
         }
     }
     Ok(CrossCheck {
@@ -161,31 +212,48 @@ pub fn check_netlists(
     sb.set_key(key_b)?;
     let mut mismatches = 0;
     let mut first_mismatch = None;
-    for _ in 0..samples {
-        for p in a.inputs() {
-            let v: u64 = rng.gen();
-            let v = if p.width() >= 64 {
-                v
-            } else {
-                v & ((1 << p.width()) - 1)
-            };
-            sa.set_input(&p.name, v)?;
-            sb.set_input(&p.name, v)?;
-        }
-        sa.settle()?;
-        sb.settle()?;
-        let mut bad = false;
-        for p in a.outputs() {
-            if sa.output(&p.name)? != sb.output(&p.name)? {
-                bad = true;
-                if first_mismatch.is_none() {
-                    first_mismatch = Some(p.name.clone());
-                }
+    // Both sides ride the 64-lane words: one levelized walk per side per
+    // 64 vectors. The RNG draw order matches the scalar loop exactly.
+    let mut done = 0usize;
+    while done < samples {
+        let lanes = (samples - done).min(LANES);
+        // Draw sample-major (all ports of a sample before the next sample)
+        // to keep the vector stream identical to the scalar loop's.
+        let mut vectors: Vec<Vec<u64>> = (0..a.inputs().len())
+            .map(|_| Vec::with_capacity(lanes))
+            .collect();
+        for _ in 0..lanes {
+            for (pi, p) in a.inputs().iter().enumerate() {
+                let v: u64 = rng.gen();
+                let v = if p.width() >= 64 {
+                    v
+                } else {
+                    v & ((1 << p.width()) - 1)
+                };
+                vectors[pi].push(v);
             }
         }
-        if bad {
-            mismatches += 1;
+        for (pi, p) in a.inputs().iter().enumerate() {
+            sa.set_input_batch(&p.name, &vectors[pi])?;
+            sb.set_input_batch(&p.name, &vectors[pi])?;
         }
+        sa.settle_batch()?;
+        sb.settle_batch()?;
+        for lane in 0..lanes {
+            let mut bad = false;
+            for p in a.outputs() {
+                if sa.output_lane(&p.name, lane)? != sb.output_lane(&p.name, lane)? {
+                    bad = true;
+                    if first_mismatch.is_none() {
+                        first_mismatch = Some(p.name.clone());
+                    }
+                }
+            }
+            if bad {
+                mismatches += 1;
+            }
+        }
+        done += lanes;
     }
     Ok(CrossCheck {
         samples,

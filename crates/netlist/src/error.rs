@@ -23,6 +23,13 @@ pub enum NetlistError {
     /// `**` was applied to a non-constant exponent. Bit-blasting a variable
     /// exponent is unbounded; real synthesis flows reject it too.
     VariableExponent,
+    /// A simulator lane index or batch width exceeded the 64-lane word.
+    LaneOutOfRange {
+        /// Lane index or batch width requested.
+        requested: usize,
+        /// Number of lanes a word carries.
+        lanes: usize,
+    },
     /// The key vector handed to the simulator is shorter than the netlist's
     /// key width.
     KeyTooShort {
@@ -54,6 +61,12 @@ impl fmt::Display for NetlistError {
             NetlistError::Lower(msg) => write!(f, "lowering error: {msg}"),
             NetlistError::VariableExponent => {
                 write!(f, "cannot bit-blast `**` with a non-constant exponent")
+            }
+            NetlistError::LaneOutOfRange { requested, lanes } => {
+                write!(
+                    f,
+                    "lane index/batch width {requested} exceeds the {lanes}-lane word"
+                )
             }
             NetlistError::KeyTooShort { required, provided } => {
                 write!(f, "key has {provided} bits but netlist requires {required}")

@@ -134,6 +134,29 @@ impl GateKind {
         }
     }
 
+    /// Evaluates the gate bitwise on 64-lane words: lane `i` of every
+    /// operand is an independent boolean, so one call evaluates 64 input
+    /// vectors at once. [`GateKind::eval`] is the 1-lane special case.
+    /// Entries beyond [`GateKind::arity`] are ignored, so a fixed 3-wide
+    /// operand array serves every kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has fewer than `self.arity()` entries.
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs[0] & inputs[1],
+            GateKind::Or => inputs[0] | inputs[1],
+            GateKind::Nand => !(inputs[0] & inputs[1]),
+            GateKind::Nor => !(inputs[0] | inputs[1]),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux => (inputs[0] & inputs[1]) | (!inputs[0] & inputs[2]),
+        }
+    }
+
     /// Verilog expression template name used by the structural emitter.
     pub fn token(self) -> &'static str {
         match self {
@@ -618,6 +641,27 @@ mod tests {
         assert!(Buf.eval(&[true]));
         assert!(Mux.eval(&[true, true, false]));
         assert!(Mux.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn eval_word_lanes_match_scalar_eval() {
+        let words = [
+            0x0123_4567_89ab_cdefu64,
+            0xfeed_face_dead_beef,
+            0x5555_5555_5555_5555,
+        ];
+        for kind in ALL_GATE_KINDS {
+            let ins = &words[..kind.arity()];
+            let word = kind.eval_word(ins);
+            for lane in 0..64 {
+                let bits: Vec<bool> = ins.iter().map(|w| w >> lane & 1 == 1).collect();
+                assert_eq!(
+                    word >> lane & 1 == 1,
+                    kind.eval(&bits),
+                    "{kind:?} lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,13 +1,42 @@
-//! Gate-level netlist simulator.
+//! Gate-level netlist simulator — 64-wide bit-parallel.
 //!
 //! Mirrors the RTL simulator's interface (`set_input` / `set_key` /
 //! `settle` / `tick` / output reads) so the lowering can be validated by
 //! running both levels side by side on the same stimulus.
+//!
+//! Every net holds a `u64` *word* of [`LANES`] independent boolean lanes,
+//! and gates evaluate bitwise ([`GateKind::eval_word`]), so one levelized
+//! walk propagates up to 64 input vectors — or 64 candidate keys — at
+//! once. The scalar API is the 1-lane special case: `set_input`/`set_key`
+//! broadcast a value into every lane and `output`/`net` read lane 0, which
+//! keeps single-vector semantics bit-identical to the old one-`bool`-per-
+//! net interpreter. The batch entry points (`set_input_batch`,
+//! `set_key_batch`, `settle_batch`, `output_lane`, `key_sweep_digests`)
+//! expose the other 63 lanes to training-set generation, random-stimulus
+//! equivalence proofs, and wrong-key sweeps.
+//!
+//! At construction the netlist is compiled once into a flat, topologically
+//! ordered gate tape over dense net indices (no per-gate `Vec` chasing in
+//! the hot loop).
 
 use std::collections::HashMap;
 
 use crate::error::{NetlistError, Result};
-use crate::ir::{NetId, Netlist};
+use crate::ir::{GateKind, NetId, Netlist};
+
+/// Number of independent boolean lanes per net word.
+pub const LANES: usize = 64;
+
+/// One compiled gate: kind plus dense net indices (unused inputs are 0,
+/// which is the constant-0 net and never read for the kind's arity).
+#[derive(Debug, Clone, Copy)]
+struct GateOp {
+    kind: GateKind,
+    a: u32,
+    b: u32,
+    c: u32,
+    out: u32,
+}
 
 /// A running simulation of one netlist.
 ///
@@ -35,14 +64,21 @@ use crate::ir::{NetId, Netlist};
 #[derive(Debug, Clone)]
 pub struct NetlistSimulator<'n> {
     netlist: &'n Netlist,
-    values: Vec<bool>,
-    key: Vec<bool>,
-    /// Gate indices in topological evaluation order.
-    order: Vec<usize>,
+    /// One 64-lane word per net.
+    values: Vec<u64>,
+    /// One 64-lane word per key bit.
+    key: Vec<u64>,
+    /// Gates compiled into topological evaluation order.
+    tape: Vec<GateOp>,
+    /// Flip-flop `(d, q)` net indices.
+    dffs: Vec<(u32, u32)>,
+    /// Reusable per-tick buffer of captured flip-flop data words.
+    dff_next: Vec<u64>,
 }
 
 impl<'n> NetlistSimulator<'n> {
-    /// Prepares a simulator: validates the netlist and levelizes its gates.
+    /// Prepares a simulator: validates the netlist, levelizes its gates,
+    /// and compiles the dense gate tape.
     ///
     /// # Errors
     ///
@@ -51,17 +87,45 @@ impl<'n> NetlistSimulator<'n> {
     pub fn new(netlist: &'n Netlist) -> Result<Self> {
         netlist.validate()?;
         let order = levelize(netlist)?;
-        let mut values = vec![false; netlist.net_count()];
-        values[NetId::CONST1.index()] = true;
+        let tape = order
+            .into_iter()
+            .map(|gi| {
+                let g = &netlist.gates()[gi];
+                GateOp {
+                    kind: g.kind,
+                    a: g.inputs[0].index() as u32,
+                    b: g.inputs.get(1).map_or(0, |n| n.index() as u32),
+                    c: g.inputs.get(2).map_or(0, |n| n.index() as u32),
+                    out: g.output.index() as u32,
+                }
+            })
+            .collect();
+        let dffs = netlist
+            .dffs()
+            .iter()
+            .map(|f| (f.d.index() as u32, f.q.index() as u32))
+            .collect();
+        let mut values = vec![0u64; netlist.net_count()];
+        values[NetId::CONST1.index()] = u64::MAX;
         Ok(Self {
             netlist,
             values,
-            key: vec![false; netlist.key_width()],
-            order,
+            key: vec![0; netlist.key_width()],
+            tape,
+            dffs,
+            dff_next: vec![0; netlist.dffs().len()],
         })
     }
 
-    /// Sets an input port value (masked to the port width).
+    /// Resets every net (all lanes) to 0, as if freshly constructed. The
+    /// installed key and the compiled gate tape are kept — the cheap way to
+    /// reuse one simulator across independent trials.
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        self.values[NetId::CONST1.index()] = u64::MAX;
+    }
+
+    /// Sets an input port value in *every* lane (masked to the port width).
     ///
     /// # Errors
     ///
@@ -74,12 +138,40 @@ impl<'n> NetlistSimulator<'n> {
             .find(|p| p.name == name)
             .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))?;
         for (i, &bit) in port.bits.iter().enumerate() {
-            self.values[bit.index()] = value >> i & 1 == 1;
+            self.values[bit.index()] = broadcast(value >> i & 1 == 1);
         }
         Ok(())
     }
 
-    /// Installs the key bit vector (index 0 = `K[0]`).
+    /// Sets an input port to a different value per lane: lane `l` carries
+    /// `values[l]`. Lanes beyond `values.len()` replicate the last entry,
+    /// so every lane always holds a well-defined vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if `name` is not an input port
+    /// and [`NetlistError::LaneOutOfRange`] if `values` is empty or wider
+    /// than [`LANES`].
+    pub fn set_input_batch(&mut self, name: &str, values: &[u64]) -> Result<()> {
+        check_lanes(values.len())?;
+        let port = self
+            .netlist
+            .inputs()
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))?;
+        for (i, &bit) in port.bits.iter().enumerate() {
+            let mut word = 0u64;
+            for lane in 0..LANES {
+                let v = values[lane.min(values.len() - 1)];
+                word |= (v >> i & 1) << lane;
+            }
+            self.values[bit.index()] = word;
+        }
+        Ok(())
+    }
+
+    /// Installs the key bit vector (index 0 = `K[0]`) in every lane.
     ///
     /// # Errors
     ///
@@ -92,11 +184,49 @@ impl<'n> NetlistSimulator<'n> {
                 provided: key.len(),
             });
         }
-        self.key = key[..self.netlist.key_width()].to_vec();
+        self.key.clear();
+        self.key.extend(
+            key[..self.netlist.key_width()]
+                .iter()
+                .map(|&b| broadcast(b)),
+        );
         Ok(())
     }
 
-    /// Propagates all combinational logic once (levelized pass).
+    /// Installs a different key per lane — the key-sweep entry point: lane
+    /// `l` simulates under `keys[l]`, so one settle evaluates up to 64
+    /// candidate keys. Lanes beyond `keys.len()` replicate the last key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::KeyTooShort`] if any key is shorter than the
+    /// netlist's key width and [`NetlistError::LaneOutOfRange`] if `keys`
+    /// is empty or wider than [`LANES`].
+    pub fn set_key_batch(&mut self, keys: &[&[bool]]) -> Result<()> {
+        check_lanes(keys.len())?;
+        let width = self.netlist.key_width();
+        for key in keys {
+            if key.len() < width {
+                return Err(NetlistError::KeyTooShort {
+                    required: width,
+                    provided: key.len(),
+                });
+            }
+        }
+        self.key.clear();
+        for i in 0..width {
+            let mut word = 0u64;
+            for lane in 0..LANES {
+                let key = keys[lane.min(keys.len() - 1)];
+                word |= (key[i] as u64) << lane;
+            }
+            self.key.push(word);
+        }
+        Ok(())
+    }
+
+    /// Propagates all combinational logic once (one levelized pass over the
+    /// compiled gate tape, all 64 lanes in parallel).
     ///
     /// # Errors
     ///
@@ -104,50 +234,80 @@ impl<'n> NetlistSimulator<'n> {
     /// symmetry with the RTL simulator.
     pub fn settle(&mut self) -> Result<()> {
         for (i, &k) in self.netlist.key_bits().iter().enumerate() {
-            self.values[k.index()] = self.key.get(i).copied().unwrap_or(false);
+            self.values[k.index()] = self.key.get(i).copied().unwrap_or(0);
         }
-        for &gi in &self.order {
-            let gate = &self.netlist.gates()[gi];
-            let mut ins = [false; 3];
-            for (j, &net) in gate.inputs.iter().enumerate() {
-                ins[j] = self.values[net.index()];
-            }
-            self.values[gate.output.index()] = gate.kind.eval(&ins[..gate.inputs.len()]);
+        for op in &self.tape {
+            let v = &mut self.values;
+            // Unused operand slots index the constant-0 net: loading them
+            // is free and keeps a single shared eval_word semantics.
+            let ins = [v[op.a as usize], v[op.b as usize], v[op.c as usize]];
+            v[op.out as usize] = op.kind.eval_word(&ins);
         }
         Ok(())
     }
 
+    /// Synonym of [`NetlistSimulator::settle`] emphasizing the batch
+    /// semantics at call sites whose lanes carry independent vectors: one
+    /// topological walk evaluates all of them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetlistSimulator::settle`].
+    pub fn settle_batch(&mut self) -> Result<()> {
+        self.settle()
+    }
+
     /// Applies one clock edge: settles, captures every flip-flop's data
-    /// input, commits all state atomically, then settles again.
+    /// input, commits all state atomically, then settles again. Each lane's
+    /// state advances independently.
     ///
     /// # Errors
     ///
     /// Propagates [`NetlistSimulator::settle`] errors.
     pub fn tick(&mut self) -> Result<()> {
         self.settle()?;
-        let next: Vec<(NetId, bool)> = self
-            .netlist
-            .dffs()
-            .iter()
-            .map(|f| (f.q, self.values[f.d.index()]))
-            .collect();
-        for (q, v) in next {
-            self.values[q.index()] = v;
+        for (i, &(d, _)) in self.dffs.iter().enumerate() {
+            self.dff_next[i] = self.values[d as usize];
+        }
+        for (i, &(_, q)) in self.dffs.iter().enumerate() {
+            self.values[q as usize] = self.dff_next[i];
         }
         self.settle()
     }
 
-    /// Current boolean value of a single net.
+    /// Current boolean value of a single net in lane 0.
     pub fn net(&self, net: NetId) -> bool {
+        self.values[net.index()] & 1 == 1
+    }
+
+    /// Current 64-lane word of a single net.
+    pub fn net_word(&self, net: NetId) -> u64 {
         self.values[net.index()]
     }
 
-    /// Current value of an output port as an integer (LSB-first bits).
+    /// Current value of an output port in lane 0 as an integer (LSB-first
+    /// bits).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownPort`] if `name` is not an output port.
     pub fn output(&self, name: &str) -> Result<u64> {
+        self.output_lane(name, 0)
+    }
+
+    /// Current value of an output port in the given lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] if `name` is not an output
+    /// port and [`NetlistError::LaneOutOfRange`] if `lane >= LANES`.
+    pub fn output_lane(&self, name: &str, lane: usize) -> Result<u64> {
+        if lane >= LANES {
+            return Err(NetlistError::LaneOutOfRange {
+                requested: lane,
+                lanes: LANES,
+            });
+        }
         let port = self
             .netlist
             .outputs()
@@ -156,29 +316,74 @@ impl<'n> NetlistSimulator<'n> {
             .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))?;
         let mut v = 0u64;
         for (i, &bit) in port.bits.iter().enumerate() {
-            if self.values[bit.index()] {
-                v |= 1 << i;
-            }
+            v |= (self.values[bit.index()] >> lane & 1) << i;
         }
         Ok(v)
     }
 
-    /// Order-independent digest of every output-port value, comparable with
-    /// the RTL simulator's `outputs_digest` when ports match.
+    /// Order-independent digest of every output-port value in lane 0,
+    /// comparable with the RTL simulator's `outputs_digest` when ports
+    /// match.
     pub fn outputs_digest(&self) -> Result<u64> {
+        self.outputs_digest_lane(0)
+    }
+
+    /// Order-independent digest of every output-port value in one lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::LaneOutOfRange`] if `lane >= LANES`.
+    pub fn outputs_digest_lane(&self, lane: usize) -> Result<u64> {
         let mut digest = 0xcbf2_9ce4_8422_2325u64;
         for p in self.netlist.outputs() {
-            digest ^= self.output(&p.name)?;
+            digest ^= self.output_lane(&p.name, lane)?;
             digest = digest.wrapping_mul(0x100_0000_01b3);
         }
         Ok(digest)
     }
 
-    /// Forces a flip-flop state value by port-of-origin name lookup is not
-    /// possible at gate level; sets the state net directly instead.
-    pub fn set_state_net(&mut self, q: NetId, value: bool) {
-        self.values[q.index()] = value;
+    /// Key-sweep convenience: installs `keys` across the lanes, settles
+    /// once, and returns one output digest per key — up to 64 candidate
+    /// keys evaluated in a single topological walk. Inputs keep whatever
+    /// per-lane values were last installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistSimulator::set_key_batch`] errors.
+    pub fn key_sweep_digests(&mut self, keys: &[&[bool]]) -> Result<Vec<u64>> {
+        self.set_key_batch(keys)?;
+        self.settle_batch()?;
+        (0..keys.len())
+            .map(|lane| self.outputs_digest_lane(lane))
+            .collect()
     }
+
+    /// Forces a flip-flop state value by port-of-origin name lookup is not
+    /// possible at gate level; sets the state net directly instead (every
+    /// lane).
+    pub fn set_state_net(&mut self, q: NetId, value: bool) {
+        self.values[q.index()] = broadcast(value);
+    }
+}
+
+/// Expands one boolean into all 64 lanes.
+fn broadcast(b: bool) -> u64 {
+    if b {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Rejects empty or over-wide batch slices.
+fn check_lanes(n: usize) -> Result<()> {
+    if n == 0 || n > LANES {
+        return Err(NetlistError::LaneOutOfRange {
+            requested: n,
+            lanes: LANES,
+        });
+    }
+    Ok(())
 }
 
 /// Topologically orders gate indices so every gate is evaluated after its
@@ -337,5 +542,110 @@ mod tests {
         sim.settle().unwrap();
         let d2 = sim.outputs_digest().unwrap();
         assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn batched_inputs_evaluate_one_vector_per_lane() {
+        // y = a + b over 8 bits; 64 different (a, b) pairs in one settle.
+        let mut b = crate::build::NetlistBuilder::new(Netlist::new("t"));
+        let a = b.input_lane("a", 8);
+        let c = b.input_lane("b", 8);
+        let s = b.add(a, c);
+        b.output_from_lane("y", s, 8);
+        let n = b.finish();
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        let avs: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(37) & 0xff).collect();
+        let bvs: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(91) & 0xff).collect();
+        sim.set_input_batch("a", &avs).unwrap();
+        sim.set_input_batch("b", &bvs).unwrap();
+        sim.settle_batch().unwrap();
+        for lane in 0..64 {
+            assert_eq!(
+                sim.output_lane("y", lane).unwrap(),
+                (avs[lane] + bvs[lane]) & 0xff,
+                "lane {lane}"
+            );
+        }
+        // Lane 0 of the batch is exactly the scalar read.
+        assert_eq!(sim.output("y").unwrap(), (avs[0] + bvs[0]) & 0xff);
+    }
+
+    #[test]
+    fn short_batches_replicate_the_last_lane() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 2);
+        n.add_output_port("y", a.clone());
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input_batch("a", &[1, 2]).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.output_lane("y", 0).unwrap(), 1);
+        for lane in 1..LANES {
+            assert_eq!(sim.output_lane("y", lane).unwrap(), 2, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn key_sweep_evaluates_one_key_per_lane() {
+        // y = a ^ k0, z = a ^ !k1: four candidate keys in one walk.
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let (_, k0) = n.add_key_bit();
+        let (_, k1) = n.add_key_bit();
+        let y = n.add_gate(GateKind::Xor, vec![a, k0]);
+        let nk1 = n.add_gate(GateKind::Not, vec![k1]);
+        let z = n.add_gate(GateKind::Xor, vec![a, nk1]);
+        n.add_output_port("y", vec![y]);
+        n.add_output_port("z", vec![z]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        sim.set_input("a", 1).unwrap();
+        let keys: Vec<Vec<bool>> = (0..4).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+        let refs: Vec<&[bool]> = keys.iter().map(|k| k.as_slice()).collect();
+        let digests = sim.key_sweep_digests(&refs).unwrap();
+        assert_eq!(digests.len(), 4);
+        // Sweep digests must equal per-key scalar digests.
+        for (key, digest) in keys.iter().zip(&digests) {
+            let mut scalar = NetlistSimulator::new(&n).unwrap();
+            scalar.set_input("a", 1).unwrap();
+            scalar.set_key(key).unwrap();
+            scalar.settle().unwrap();
+            assert_eq!(scalar.outputs_digest().unwrap(), *digest, "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn batched_lanes_tick_independently() {
+        // A 1-bit accumulator q ^= a: lanes with a=1 toggle, lanes with
+        // a=0 hold.
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let q = n.add_dff();
+        let d = n.add_gate(GateKind::Xor, vec![a, q]);
+        n.set_dff_data(q, d).unwrap();
+        n.add_output_port("y", vec![q]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        let avs: Vec<u64> = (0..64u64).map(|i| i & 1).collect();
+        sim.set_input_batch("a", &avs).unwrap();
+        sim.tick().unwrap();
+        sim.tick().unwrap();
+        sim.tick().unwrap();
+        for (lane, av) in avs.iter().enumerate() {
+            assert_eq!(
+                sim.output_lane("y", lane).unwrap(),
+                *av, // 3 toggles = 1 for a=1, 0 for a=0
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_batches_are_rejected() {
+        let mut n = Netlist::new("t");
+        n.add_input_port("a", 1);
+        let c = NetId::CONST1;
+        n.add_output_port("y", vec![c]);
+        let mut sim = NetlistSimulator::new(&n).unwrap();
+        assert!(sim.set_input_batch("a", &[]).is_err());
+        assert!(sim.set_input_batch("a", &vec![0; LANES + 1]).is_err());
+        assert!(sim.output_lane("y", LANES).is_err());
     }
 }

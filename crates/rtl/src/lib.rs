@@ -45,6 +45,7 @@ pub mod op;
 pub mod parser;
 pub mod sim;
 pub mod stats;
+pub mod tape;
 pub mod transform;
 pub mod visit;
 

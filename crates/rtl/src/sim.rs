@@ -1,28 +1,24 @@
-//! RTL simulator.
+//! RTL simulator over a compiled, slot-indexed instruction tape.
 //!
-//! Evaluates a [`Module`] on concrete input and key values. Continuous
-//! assignments are levelized (topologically sorted) and evaluated once per
-//! step; clocked processes use two-phase non-blocking semantics (all
-//! right-hand sides read pre-edge state, registers commit together).
+//! Evaluates a [`Module`] on concrete input and key values. At
+//! construction the module is compiled once by [`crate::tape::Program`]:
+//! signal names are interned to dense slots, continuous assignments are
+//! levelized and lowered to a flat stack-machine tape, and clocked
+//! processes are lowered to a predicated tape with two-phase non-blocking
+//! commit semantics. `settle()`/`tick()` then run over a `Vec<u64>` state
+//! with zero allocation and zero string hashing — the interpretive
+//! walk (and its per-`settle` `order.clone()`) is gone, with identical
+//! observable semantics.
 //!
 //! The simulator is what makes locking *testable*: with the correct key a
 //! locked module must be functionally equivalent to the original, and with a
 //! wrong key it should corrupt outputs. Division and modulo by zero evaluate
 //! to 0 (a deterministic stand-in for Verilog's `x`).
 
-use std::collections::HashMap;
-
-use crate::ast::{Expr, ExprId, Module, NetKind, PortDir, SeqStmt};
+use crate::ast::{Expr, ExprId, Module, PortDir};
 use crate::error::{Result, RtlError};
 use crate::op::{BinaryOp, UnaryOp};
-
-fn mask(width: u32) -> u64 {
-    if width >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    }
-}
+use crate::tape::{mask, Instr, Program};
 
 /// A running simulation of one module.
 ///
@@ -48,15 +44,19 @@ fn mask(width: u32) -> u64 {
 #[derive(Debug, Clone)]
 pub struct Simulator<'m> {
     module: &'m Module,
-    values: HashMap<String, u64>,
+    program: Program,
+    /// Current value of every slot.
+    state: Vec<u64>,
+    /// Pending non-blocking values, one per sequential target.
+    shadow: Vec<u64>,
+    /// Reusable operand stack (preallocated to the compiled max depth).
+    stack: Vec<u64>,
     key: Vec<bool>,
-    /// assign indices in evaluation order
-    order: Vec<usize>,
 }
 
 impl<'m> Simulator<'m> {
-    /// Prepares a simulator: checks drivers and levelizes the combinational
-    /// assignments.
+    /// Prepares a simulator: checks drivers, levelizes the combinational
+    /// assignments, and compiles both instruction tapes.
     ///
     /// # Errors
     ///
@@ -69,20 +69,27 @@ impl<'m> Simulator<'m> {
                 module.name()
             )));
         }
-        let order = levelize(module)?;
-        let mut values = HashMap::new();
-        for p in module.ports() {
-            values.insert(p.name.clone(), 0);
-        }
-        for n in module.nets() {
-            values.insert(n.name.clone(), 0);
-        }
+        let program = Program::compile(module)?;
+        let state = vec![0; program.slots.len()];
+        let shadow = vec![0; program.seq_targets.len()];
+        let stack = Vec::with_capacity(program.max_stack);
         Ok(Self {
             module,
-            values,
+            program,
+            state,
+            shadow,
+            stack,
             key: vec![false; module.key_width() as usize],
-            order,
         })
+    }
+
+    /// Resets every signal (and pending register value) to 0, as if freshly
+    /// constructed. The installed key and the compiled program are kept —
+    /// this is the cheap way to reuse one simulator across independent
+    /// trials instead of recompiling the module each time.
+    pub fn reset(&mut self) {
+        self.state.fill(0);
+        self.shadow.fill(0);
     }
 
     /// Sets an input port value (masked to the port width).
@@ -91,14 +98,12 @@ impl<'m> Simulator<'m> {
     ///
     /// Returns [`RtlError::UnknownSignal`] if `name` is not an input port.
     pub fn set_input(&mut self, name: &str, value: u64) -> Result<()> {
-        let port = self
-            .module
-            .ports()
-            .iter()
-            .find(|p| p.name == name && p.dir == PortDir::Input)
+        let slot = self
+            .program
+            .slot(name)
+            .filter(|&s| self.program.slots[s as usize].is_input)
             .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
-        self.values
-            .insert(name.to_owned(), value & mask(port.width));
+        self.state[slot as usize] = value & mask(self.program.slots[slot as usize].width);
         Ok(())
     }
 
@@ -125,9 +130,9 @@ impl<'m> Simulator<'m> {
     ///
     /// Returns [`RtlError::UnknownSignal`] for undeclared names.
     pub fn get(&self, name: &str) -> Result<u64> {
-        self.values
-            .get(name)
-            .copied()
+        self.program
+            .slot(name)
+            .map(|s| self.state[s as usize])
             .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
     }
 
@@ -155,30 +160,32 @@ impl<'m> Simulator<'m> {
     ///
     /// Returns [`RtlError::UnknownSignal`] for undeclared names.
     pub fn set_state(&mut self, name: &str, value: u64) -> Result<()> {
-        let width = self
-            .module
-            .signal_width(name)
+        let slot = self
+            .program
+            .slot(name)
             .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
-        self.values.insert(name.to_owned(), value & mask(width));
+        self.state[slot as usize] = value & mask(self.program.slots[slot as usize].width);
         Ok(())
     }
 
-    /// Propagates combinational logic until stable (one levelized pass).
+    /// Propagates combinational logic until stable (one levelized pass over
+    /// the compiled tape).
     ///
     /// # Errors
     ///
-    /// Propagates expression-evaluation errors (dangling ids, unknown
-    /// signals).
+    /// Infallible for a compiled module; kept fallible for interface
+    /// stability.
     pub fn settle(&mut self) -> Result<()> {
-        for &i in &self.order.clone() {
-            let assign = &self.module.assigns()[i];
-            let v = self.eval(assign.rhs)?;
-            let width = self
-                .module
-                .signal_width(&assign.lhs)
-                .ok_or_else(|| RtlError::UnknownSignal(assign.lhs.clone()))?;
-            self.values.insert(assign.lhs.clone(), v & mask(width));
-        }
+        // Split borrows so the tape can be walked while state mutates.
+        let Self {
+            program,
+            state,
+            shadow,
+            stack,
+            key,
+            ..
+        } = self;
+        run_tape(&program.comb, state, shadow, stack, key);
         Ok(())
     }
 
@@ -188,47 +195,33 @@ impl<'m> Simulator<'m> {
     ///
     /// # Errors
     ///
-    /// Propagates expression-evaluation errors.
+    /// Propagates [`Simulator::settle`] errors.
     pub fn tick(&mut self) -> Result<()> {
         self.settle()?;
-        let mut updates: Vec<(String, u64)> = Vec::new();
-        for blk in self.module.always_blocks() {
-            self.exec_stmts(&blk.body, &mut updates)?;
+        let Self {
+            program,
+            state,
+            shadow,
+            stack,
+            key,
+            ..
+        } = self;
+        // Pending values start at the pre-edge state: registers the tape
+        // leaves unassigned keep their value at commit.
+        for (idx, &slot) in program.seq_targets.iter().enumerate() {
+            shadow[idx] = state[slot as usize];
         }
-        for (name, v) in updates {
-            let width = self
-                .module
-                .signal_width(&name)
-                .ok_or_else(|| RtlError::UnknownSignal(name.clone()))?;
-            self.values.insert(name, v & mask(width));
+        run_tape(&program.seq, state, shadow, stack, key);
+        for (idx, &slot) in program.seq_targets.iter().enumerate() {
+            state[slot as usize] = shadow[idx];
         }
         self.settle()
     }
 
-    fn exec_stmts(&self, stmts: &[SeqStmt], updates: &mut Vec<(String, u64)>) -> Result<()> {
-        for s in stmts {
-            match s {
-                SeqStmt::NonBlocking { lhs, rhs } => {
-                    let v = self.eval(*rhs)?;
-                    updates.push((lhs.clone(), v));
-                }
-                SeqStmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                } => {
-                    if self.eval(*cond)? != 0 {
-                        self.exec_stmts(then_body, updates)?;
-                    } else {
-                        self.exec_stmts(else_body, updates)?;
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Evaluates the expression rooted at `id` with current signal values.
+    ///
+    /// This is the cold-path companion of the compiled tapes (used for
+    /// ad-hoc probing, not by `settle`/`tick`).
     ///
     /// # Errors
     ///
@@ -282,6 +275,62 @@ impl<'m> Simulator<'m> {
     }
 }
 
+/// Executes one compiled tape over the dense state.
+fn run_tape(
+    tape: &[Instr],
+    state: &mut [u64],
+    shadow: &mut [u64],
+    stack: &mut Vec<u64>,
+    key: &[bool],
+) {
+    stack.clear();
+    for instr in tape {
+        match *instr {
+            Instr::Const(v) => stack.push(v),
+            Instr::Load(slot) => stack.push(state[slot as usize]),
+            Instr::LoadBit { slot, bit } => stack.push(state[slot as usize] >> bit & 1),
+            Instr::KeyBit(i) => {
+                stack.push(key.get(i as usize).copied().unwrap_or(false) as u64);
+            }
+            Instr::KeySlice { lsb, width } => {
+                let mut v = 0u64;
+                for b in 0..width {
+                    if key.get((lsb + b) as usize).copied().unwrap_or(false) {
+                        v |= 1 << b;
+                    }
+                }
+                stack.push(v);
+            }
+            Instr::LoadShadow(idx) => stack.push(shadow[idx as usize]),
+            Instr::Unary(op) => {
+                let v = stack.last_mut().expect("tape underflow");
+                *v = match op {
+                    UnaryOp::Not => !*v,
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::LNot => (*v == 0) as u64,
+                };
+            }
+            Instr::Binary(op) => {
+                let b = stack.pop().expect("tape underflow");
+                let a = stack.last_mut().expect("tape underflow");
+                *a = eval_binary(op, *a, b);
+            }
+            Instr::Select => {
+                let else_v = stack.pop().expect("tape underflow");
+                let then_v = stack.pop().expect("tape underflow");
+                let cond = stack.last_mut().expect("tape underflow");
+                *cond = if *cond != 0 { then_v } else { else_v };
+            }
+            Instr::Store { slot, mask } => {
+                state[slot as usize] = stack.pop().expect("tape underflow") & mask;
+            }
+            Instr::StoreShadow { idx, mask } => {
+                shadow[idx as usize] = stack.pop().expect("tape underflow") & mask;
+            }
+        }
+    }
+}
+
 /// Evaluates one binary operation on 64-bit values with Verilog-ish
 /// semantics: wrapping arithmetic, `/0` and `%0` yield 0, shifts ≥ 64 yield
 /// 0, predicates yield 0/1.
@@ -320,82 +369,6 @@ pub fn eval_binary(op: BinaryOp, a: u64, b: u64) -> u64 {
         BinaryOp::LAnd => (a != 0 && b != 0) as u64,
         BinaryOp::LOr => (a != 0 || b != 0) as u64,
     }
-}
-
-/// Topologically orders continuous assignments so every wire is computed
-/// after its combinational inputs.
-fn levelize(module: &Module) -> Result<Vec<usize>> {
-    // driver: signal name -> assign index
-    let mut driver: HashMap<&str, usize> = HashMap::new();
-    for (i, a) in module.assigns().iter().enumerate() {
-        driver.insert(a.lhs.as_str(), i);
-    }
-    // regs are state: not combinational dependencies
-    let regs: std::collections::HashSet<&str> = module
-        .nets()
-        .iter()
-        .filter(|n| n.kind == NetKind::Reg)
-        .map(|n| n.name.as_str())
-        .collect();
-
-    fn deps(module: &Module, id: ExprId, out: &mut Vec<String>) {
-        if let Ok(expr) = module.expr(id) {
-            match expr {
-                Expr::Ident(name) => out.push(name.clone()),
-                Expr::Index { base, .. } => out.push(base.clone()),
-                _ => {}
-            }
-            for c in expr.children() {
-                deps(module, c, out);
-            }
-        }
-    }
-
-    let n = module.assigns().len();
-    let mut order = Vec::with_capacity(n);
-    // 0 = unvisited, 1 = in progress, 2 = done
-    let mut state = vec![0u8; n];
-    // iterative DFS with explicit stack
-    for start in 0..n {
-        if state[start] != 0 {
-            continue;
-        }
-        let mut stack: Vec<(usize, bool)> = vec![(start, false)];
-        while let Some((i, children_done)) = stack.pop() {
-            if children_done {
-                state[i] = 2;
-                order.push(i);
-                continue;
-            }
-            if state[i] == 2 {
-                continue;
-            }
-            if state[i] == 1 {
-                return Err(RtlError::CombinationalCycle(
-                    module.assigns()[i].lhs.clone(),
-                ));
-            }
-            state[i] = 1;
-            stack.push((i, true));
-            let mut d = Vec::new();
-            deps(module, module.assigns()[i].rhs, &mut d);
-            for name in d {
-                if regs.contains(name.as_str()) {
-                    continue;
-                }
-                if let Some(&j) = driver.get(name.as_str()) {
-                    match state[j] {
-                        0 => stack.push((j, false)),
-                        1 => {
-                            return Err(RtlError::CombinationalCycle(name));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-    }
-    Ok(order)
 }
 
 #[cfg(test)]
@@ -517,6 +490,48 @@ mod tests {
         s.tick().unwrap();
         assert_eq!(s.get("a").unwrap(), 2);
         assert_eq!(s.get("b").unwrap(), 1);
+    }
+
+    #[test]
+    fn last_nonblocking_assignment_wins() {
+        let m = sim_src(
+            "module t(clk, q);\n input clk;\n output [7:0] q;\n reg [7:0] r;\n assign q = r;\n always @(posedge clk) begin\n r <= 1;\n r <= 2;\n end\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 2);
+    }
+
+    #[test]
+    fn else_branches_predicate_with_inverted_condition() {
+        let m = sim_src(
+            "module t(clk, sel, q);\n input clk;\n input sel;\n output [7:0] q;\n reg [7:0] r;\n assign q = r;\n always @(posedge clk) begin\n if (sel) begin\n r <= 10;\n end else begin\n r <= 20;\n end\n end\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("sel", 1).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 10);
+        s.set_input("sel", 0).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 20);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state_without_recompiling() {
+        let m = sim_src(
+            "module t(clk, d, q);\n input clk;\n input [7:0] d;\n output [7:0] q;\n reg [7:0] r;\n assign q = r;\n always @(posedge clk) begin\n r <= r + d;\n end\nendmodule",
+        );
+        let mut s = Simulator::new(&m).unwrap();
+        s.set_input("d", 3).unwrap();
+        s.tick().unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 6);
+        s.reset();
+        assert_eq!(s.get("q").unwrap(), 0);
+        assert_eq!(s.get("d").unwrap(), 0, "reset clears inputs too");
+        s.set_input("d", 3).unwrap();
+        s.tick().unwrap();
+        assert_eq!(s.get("q").unwrap(), 3);
     }
 
     #[test]

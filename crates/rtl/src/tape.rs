@@ -1,0 +1,530 @@
+//! Compilation of a [`Module`] into a flat, slot-indexed instruction tape.
+//!
+//! The interpretive simulator resolved every signal through a
+//! `HashMap<String, u64>` lookup *inside* the expression-eval inner loop and
+//! re-cloned its levelized assign order on every `settle()`. This module
+//! performs all of that work once, at construction: signal names are
+//! interned to dense [`SlotId`]s, continuous assignments are levelized and
+//! lowered to a stack-machine program over a `Vec<u64>` state, and clocked
+//! processes are lowered to a predicated tape with two-phase (non-blocking)
+//! commit semantics. The simulator's hot loop then touches only dense
+//! vectors — no string hashing, no per-step allocation.
+//!
+//! Lowering notes:
+//!
+//! - `cond ? a : b` compiles to eager evaluation of all three operands plus
+//!   [`Instr::Select`]. Every operator is total (`/0` and `%0` yield 0, shifts
+//!   saturate), so eager evaluation is observationally identical to the
+//!   interpreter's lazy branch choice.
+//! - `if (c) r <= x; else r <= y;` compiles to a predicated update per
+//!   non-blocking assignment: `next r = P ? rhs : next r`, where `P` is the
+//!   conjunction of the branch conditions on the path and `next` is a shadow
+//!   slot initialized from the pre-edge value. Assignments are lowered in
+//!   statement order, so a later assignment to the same register wins —
+//!   exactly the interpreter's update-list semantics.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, ExprId, Module, NetKind, PortDir, SeqStmt};
+use crate::error::{Result, RtlError};
+use crate::op::{BinaryOp, UnaryOp};
+
+/// Value mask for a signal width (widths are 1..=64).
+pub(crate) fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Dense index of an interned signal (port or net) in the state vector.
+pub type SlotId = u32;
+
+/// One stack-machine instruction of the compiled tape.
+///
+/// The machine operates on `u64` values with Verilog-ish semantics (see
+/// [`crate::sim::eval_binary`]); `Store*` pops the stack into a state slot,
+/// masked to the signal width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    Const(u64),
+    /// Push `state[slot]`.
+    Load(SlotId),
+    /// Push bit `bit` of `state[slot]` (bit positions ≥ 64 read bit 63,
+    /// matching the interpreter).
+    LoadBit {
+        /// Source slot.
+        slot: SlotId,
+        /// Bit position (pre-clamped to 0..=63).
+        bit: u32,
+    },
+    /// Push key bit `i` as 0/1 (missing bits read as 0).
+    KeyBit(u32),
+    /// Push `width` key bits starting at `lsb`, LSB first.
+    KeySlice {
+        /// Least-significant key bit.
+        lsb: u32,
+        /// Number of bits.
+        width: u32,
+    },
+    /// Push the pending (shadow) value of sequential target `idx`.
+    LoadShadow(u32),
+    /// Pop one operand, push the result.
+    Unary(UnaryOp),
+    /// Pop two operands (rhs on top), push the result.
+    Binary(BinaryOp),
+    /// Pop `else`, `then`, `cond` (in that order), push
+    /// `cond != 0 ? then : else`.
+    Select,
+    /// Pop the stack into `state[slot] & mask`.
+    Store {
+        /// Destination slot.
+        slot: SlotId,
+        /// Width mask of the destination signal.
+        mask: u64,
+    },
+    /// Pop the stack into `shadow[idx] & mask` (non-blocking update).
+    StoreShadow {
+        /// Dense index into the sequential-target table.
+        idx: u32,
+        /// Width mask of the destination register.
+        mask: u64,
+    },
+}
+
+/// Interned metadata of one signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Declared signal name.
+    pub name: String,
+    /// Declared width in bits.
+    pub width: u32,
+    /// Whether the signal is an input port (settable via `set_input`).
+    pub is_input: bool,
+}
+
+/// A module compiled to dense tapes: the product of name interning,
+/// levelization, and expression lowering, all performed once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Slot metadata, indexed by [`SlotId`].
+    pub slots: Vec<SlotInfo>,
+    /// Name → slot map (used only at the `set_input`/`get` API boundary).
+    pub slot_of: HashMap<String, SlotId>,
+    /// Combinational tape: every continuous assignment in levelized order.
+    pub comb: Vec<Instr>,
+    /// Sequential tape: every clocked process, predicated, in declaration
+    /// order.
+    pub seq: Vec<Instr>,
+    /// State slots written by the sequential tape, in first-write order;
+    /// `seq_targets[idx]` is the commit destination of shadow slot `idx`.
+    pub seq_targets: Vec<SlotId>,
+    /// Maximum operand-stack depth of either tape.
+    pub max_stack: usize,
+}
+
+impl Program {
+    /// Compiles `module`: interns signals, levelizes assigns, lowers both
+    /// tapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CombinationalCycle`] if continuous assignments
+    /// form a cycle, [`RtlError::UnknownSignal`] for undeclared references
+    /// (in assigns or clocked processes), and [`RtlError::InvalidExprId`]
+    /// for dangling expression ids.
+    pub fn compile(module: &Module) -> Result<Self> {
+        let mut slots = Vec::new();
+        let mut slot_of = HashMap::new();
+        let mut intern = |name: &str, width: u32, is_input: bool| {
+            let id = slots.len() as SlotId;
+            slots.push(SlotInfo {
+                name: name.to_owned(),
+                width,
+                is_input,
+            });
+            slot_of.insert(name.to_owned(), id);
+        };
+        for p in module.ports() {
+            intern(&p.name, p.width, p.dir == PortDir::Input);
+        }
+        for n in module.nets() {
+            intern(&n.name, n.width, false);
+        }
+
+        let mut c = Compiler {
+            module,
+            slot_of: &slot_of,
+            slots: &slots,
+            tape: Vec::new(),
+            depth: 0,
+            max_stack: 0,
+        };
+
+        // Combinational tape: levelized assigns.
+        let order = levelize(module)?;
+        for i in order {
+            let assign = &module.assigns()[i];
+            let slot = c.slot(&assign.lhs)?;
+            let width = c.slots[slot as usize].width;
+            c.expr(assign.rhs)?;
+            c.emit(Instr::Store {
+                slot,
+                mask: mask(width),
+            });
+        }
+        let comb = std::mem::take(&mut c.tape);
+
+        // Sequential tape: predicated non-blocking updates.
+        let mut seq_targets: Vec<SlotId> = Vec::new();
+        let mut shadow_of: HashMap<SlotId, u32> = HashMap::new();
+        for blk in module.always_blocks() {
+            c.stmts(&blk.body, &mut Vec::new(), &mut seq_targets, &mut shadow_of)?;
+        }
+        let seq = std::mem::take(&mut c.tape);
+        let max_stack = c.max_stack;
+
+        Ok(Self {
+            slots,
+            slot_of,
+            comb,
+            seq,
+            seq_targets,
+            max_stack,
+        })
+    }
+
+    /// Slot of a declared signal, if any.
+    pub fn slot(&self, name: &str) -> Option<SlotId> {
+        self.slot_of.get(name).copied()
+    }
+}
+
+/// Expression-lowering state: tracks the operand-stack depth so the
+/// simulator can preallocate its evaluation stack exactly.
+struct Compiler<'m> {
+    module: &'m Module,
+    slot_of: &'m HashMap<String, SlotId>,
+    slots: &'m [SlotInfo],
+    tape: Vec<Instr>,
+    depth: usize,
+    max_stack: usize,
+}
+
+impl Compiler<'_> {
+    fn slot(&self, name: &str) -> Result<SlotId> {
+        self.slot_of
+            .get(name)
+            .copied()
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        match instr {
+            Instr::Const(_)
+            | Instr::Load(_)
+            | Instr::LoadBit { .. }
+            | Instr::KeyBit(_)
+            | Instr::KeySlice { .. }
+            | Instr::LoadShadow(_) => {
+                self.depth += 1;
+                self.max_stack = self.max_stack.max(self.depth);
+            }
+            Instr::Unary(_) => {}
+            Instr::Binary(_) => self.depth -= 1,
+            Instr::Select => self.depth -= 2,
+            Instr::Store { .. } | Instr::StoreShadow { .. } => self.depth -= 1,
+        }
+        self.tape.push(instr);
+    }
+
+    /// Lowers the expression rooted at `id` (iteratively, to keep deeply
+    /// nested locked designs off the call stack).
+    fn expr(&mut self, id: ExprId) -> Result<()> {
+        enum Work {
+            Visit(ExprId),
+            Emit(Instr),
+        }
+        let mut stack = vec![Work::Visit(id)];
+        while let Some(w) = stack.pop() {
+            match w {
+                Work::Emit(i) => self.emit(i),
+                Work::Visit(id) => match self.module.expr(id)? {
+                    Expr::Const { value, width } => {
+                        let v = match width {
+                            Some(w) => value & mask(*w),
+                            None => *value,
+                        };
+                        self.emit(Instr::Const(v));
+                    }
+                    Expr::Ident(name) => {
+                        let slot = self.slot(name)?;
+                        self.emit(Instr::Load(slot));
+                    }
+                    Expr::KeyBit(i) => self.emit(Instr::KeyBit(*i)),
+                    Expr::KeySlice { lsb, width } => self.emit(Instr::KeySlice {
+                        lsb: *lsb,
+                        width: *width,
+                    }),
+                    Expr::Index { base, bit } => {
+                        let slot = self.slot(base)?;
+                        self.emit(Instr::LoadBit {
+                            slot,
+                            bit: (*bit).min(63),
+                        });
+                    }
+                    Expr::Unary { op, arg } => {
+                        stack.push(Work::Emit(Instr::Unary(*op)));
+                        stack.push(Work::Visit(*arg));
+                    }
+                    Expr::Binary { op, lhs, rhs } => {
+                        stack.push(Work::Emit(Instr::Binary(*op)));
+                        stack.push(Work::Visit(*rhs));
+                        stack.push(Work::Visit(*lhs));
+                    }
+                    Expr::Ternary {
+                        cond,
+                        then_expr,
+                        else_expr,
+                    } => {
+                        stack.push(Work::Emit(Instr::Select));
+                        stack.push(Work::Visit(*else_expr));
+                        stack.push(Work::Visit(*then_expr));
+                        stack.push(Work::Visit(*cond));
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers a statement list under the path predicate `path` (condition
+    /// roots with polarity; `true` = taken branch).
+    fn stmts(
+        &mut self,
+        stmts: &[SeqStmt],
+        path: &mut Vec<(ExprId, bool)>,
+        seq_targets: &mut Vec<SlotId>,
+        shadow_of: &mut HashMap<SlotId, u32>,
+    ) -> Result<()> {
+        for s in stmts {
+            match s {
+                SeqStmt::NonBlocking { lhs, rhs } => {
+                    let slot = self.slot(lhs)?;
+                    let width = self.slots[slot as usize].width;
+                    let idx = *shadow_of.entry(slot).or_insert_with(|| {
+                        seq_targets.push(slot);
+                        (seq_targets.len() - 1) as u32
+                    });
+                    if path.is_empty() {
+                        // Unconditional: plain store.
+                        self.expr(*rhs)?;
+                    } else {
+                        // Predicated: P ? rhs : pending.
+                        let mut first = true;
+                        for &(cond, polarity) in path.iter() {
+                            self.expr(cond)?;
+                            // Normalize to 0/1 with the polarity folded in:
+                            // !!c for taken branches, !c for else branches.
+                            self.emit(Instr::Unary(UnaryOp::LNot));
+                            if polarity {
+                                self.emit(Instr::Unary(UnaryOp::LNot));
+                            }
+                            if !first {
+                                self.emit(Instr::Binary(BinaryOp::And));
+                            }
+                            first = false;
+                        }
+                        self.expr(*rhs)?;
+                        self.emit(Instr::LoadShadow(idx));
+                        self.emit(Instr::Select);
+                    }
+                    self.emit(Instr::StoreShadow {
+                        idx,
+                        mask: mask(width),
+                    });
+                }
+                SeqStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    path.push((*cond, true));
+                    self.stmts(then_body, path, seq_targets, shadow_of)?;
+                    path.pop();
+                    path.push((*cond, false));
+                    self.stmts(else_body, path, seq_targets, shadow_of)?;
+                    path.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Topologically orders continuous assignments so every wire is computed
+/// after its combinational inputs (registers are state, not dependencies).
+///
+/// # Errors
+///
+/// Returns [`RtlError::CombinationalCycle`] if assignments form a cycle.
+pub fn levelize(module: &Module) -> Result<Vec<usize>> {
+    // driver: signal name -> assign index
+    let mut driver: HashMap<&str, usize> = HashMap::new();
+    for (i, a) in module.assigns().iter().enumerate() {
+        driver.insert(a.lhs.as_str(), i);
+    }
+    // regs are state: not combinational dependencies
+    let regs: std::collections::HashSet<&str> = module
+        .nets()
+        .iter()
+        .filter(|n| n.kind == NetKind::Reg)
+        .map(|n| n.name.as_str())
+        .collect();
+
+    fn deps(module: &Module, id: ExprId, out: &mut Vec<String>) {
+        if let Ok(expr) = module.expr(id) {
+            match expr {
+                Expr::Ident(name) => out.push(name.clone()),
+                Expr::Index { base, .. } => out.push(base.clone()),
+                _ => {}
+            }
+            for c in expr.children() {
+                deps(module, c, out);
+            }
+        }
+    }
+
+    let n = module.assigns().len();
+    let mut order = Vec::with_capacity(n);
+    // 0 = unvisited, 1 = in progress, 2 = done
+    let mut state = vec![0u8; n];
+    // iterative DFS with explicit stack
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, bool)> = vec![(start, false)];
+        while let Some((i, children_done)) = stack.pop() {
+            if children_done {
+                state[i] = 2;
+                order.push(i);
+                continue;
+            }
+            if state[i] == 2 {
+                continue;
+            }
+            if state[i] == 1 {
+                return Err(RtlError::CombinationalCycle(
+                    module.assigns()[i].lhs.clone(),
+                ));
+            }
+            state[i] = 1;
+            stack.push((i, true));
+            let mut d = Vec::new();
+            deps(module, module.assigns()[i].rhs, &mut d);
+            for name in d {
+                if regs.contains(name.as_str()) {
+                    continue;
+                }
+                if let Some(&j) = driver.get(name.as_str()) {
+                    match state[j] {
+                        0 => stack.push((j, false)),
+                        1 => {
+                            return Err(RtlError::CombinationalCycle(name));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_verilog;
+
+    #[test]
+    fn interning_is_dense_and_complete() {
+        let m = parse_verilog(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n wire [3:0] w;\n assign w = a;\n assign y = w + 1;\nendmodule",
+        )
+        .unwrap();
+        let p = Program::compile(&m).unwrap();
+        assert_eq!(p.slots.len(), 3);
+        assert!(p.slot("a").is_some());
+        assert!(p.slot("w").is_some());
+        assert!(p.slot("zz").is_none());
+        assert!(p.slots[p.slot("a").unwrap() as usize].is_input);
+        assert!(!p.slots[p.slot("y").unwrap() as usize].is_input);
+        assert_eq!(p.slots[p.slot("w").unwrap() as usize].width, 4);
+    }
+
+    #[test]
+    fn comb_tape_orders_assigns_by_dependency() {
+        let m = parse_verilog(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n wire [7:0] w;\n assign y = w + 1;\n assign w = a + 3;\nendmodule",
+        )
+        .unwrap();
+        let p = Program::compile(&m).unwrap();
+        // The store to `w` must precede the store to `y`.
+        let pos = |name: &str| {
+            let slot = p.slot(name).unwrap();
+            p.comb
+                .iter()
+                .position(|i| matches!(i, Instr::Store { slot: s, .. } if *s == slot))
+                .unwrap()
+        };
+        assert!(pos("w") < pos("y"));
+    }
+
+    #[test]
+    fn unconditional_nonblocking_skips_predication() {
+        let m = parse_verilog(
+            "module t(clk, d, q);\n input clk;\n input [7:0] d;\n output [7:0] q;\n reg [7:0] r;\n assign q = r;\n always @(posedge clk) begin\n r <= d;\n end\nendmodule",
+        )
+        .unwrap();
+        let p = Program::compile(&m).unwrap();
+        assert_eq!(p.seq_targets.len(), 1);
+        assert!(!p.seq.iter().any(|i| matches!(i, Instr::Select)));
+        assert!(p.seq.iter().any(|i| matches!(i, Instr::StoreShadow { .. })));
+    }
+
+    #[test]
+    fn conditional_nonblocking_predicates_on_the_branch() {
+        let m = parse_verilog(
+            "module t(clk, en, q);\n input clk;\n input en;\n output [7:0] q;\n reg [7:0] cnt;\n assign q = cnt;\n always @(posedge clk) begin\n if (en) begin\n cnt <= cnt + 1;\n end\n end\nendmodule",
+        )
+        .unwrap();
+        let p = Program::compile(&m).unwrap();
+        assert!(p.seq.iter().any(|i| matches!(i, Instr::Select)));
+        assert!(p.seq.iter().any(|i| matches!(i, Instr::LoadShadow(0))));
+    }
+
+    #[test]
+    fn max_stack_covers_nested_expressions() {
+        let m = parse_verilog(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n assign y = ((a + 1) * (a + 2)) ^ ((a + 3) & (a + 4));\nendmodule",
+        )
+        .unwrap();
+        let p = Program::compile(&m).unwrap();
+        assert!(p.max_stack >= 3, "max_stack = {}", p.max_stack);
+    }
+
+    #[test]
+    fn unknown_signals_fail_at_compile_time() {
+        let mut m = crate::ast::Module::new("t");
+        m.add_output("y", 8).unwrap();
+        let ghost = m.alloc_expr(Expr::Ident("ghost".into()));
+        m.add_assign("y", ghost).unwrap();
+        assert!(matches!(
+            Program::compile(&m),
+            Err(RtlError::UnknownSignal(_))
+        ));
+    }
+}

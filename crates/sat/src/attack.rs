@@ -24,7 +24,7 @@ use std::collections::HashMap;
 
 use mlrl_netlist::equiv::check_netlists;
 use mlrl_netlist::ir::{NetId, Netlist};
-use mlrl_netlist::sim::NetlistSimulator;
+use mlrl_netlist::sim::{NetlistSimulator, LANES};
 use mlrl_netlist::NetlistError;
 
 use crate::cnf::{CnfBuilder, Lit};
@@ -38,6 +38,14 @@ pub type PortValues = Vec<(String, u64)>;
 pub trait Oracle {
     /// Returns the named output values for the given input assignment.
     fn query(&mut self, inputs: &[(String, u64)]) -> PortValues;
+
+    /// Answers up to 64 input assignments in one call. The default maps
+    /// [`Oracle::query`] over the batch; simulator-backed oracles override
+    /// it to ride the 64-lane word simulator (one topological walk for the
+    /// whole batch).
+    fn query_batch(&mut self, batch: &[&[(String, u64)]]) -> Vec<PortValues> {
+        batch.iter().map(|inputs| self.query(inputs)).collect()
+    }
 }
 
 /// Oracle backed by a netlist simulator holding the correct key — the
@@ -80,6 +88,60 @@ impl Oracle for SimOracle<'_> {
         self.output_names
             .iter()
             .map(|p| (p.clone(), self.sim.output(p).expect("oracle output")))
+            .collect()
+    }
+
+    /// One levelized walk answers up to 64 assignments: assignment `i`
+    /// rides lane `i` of the word simulator. Larger batches are chunked,
+    /// preserving the trait default's any-size contract.
+    fn query_batch(&mut self, batch: &[&[(String, u64)]]) -> Vec<PortValues> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if batch.len() > LANES {
+            return batch
+                .chunks(LANES)
+                .flat_map(|chunk| self.query_batch(chunk))
+                .collect();
+        }
+        self.queries += batch.len();
+        // Regroup per port: lane l of port `name` carries batch[l]'s value
+        // for that name. Assignments are matched by name, not position, so
+        // reordered batches answer correctly.
+        for (pi, (name, _)) in batch[0].iter().enumerate() {
+            let lanes: Vec<u64> = batch
+                .iter()
+                .map(|assignment| {
+                    // Fast path: uniform port order across the batch.
+                    match assignment.get(pi) {
+                        Some((n, v)) if n == name => *v,
+                        _ => {
+                            assignment
+                                .iter()
+                                .find(|(n, _)| n == name)
+                                .unwrap_or_else(|| panic!("oracle batch missing port `{name}`"))
+                                .1
+                        }
+                    }
+                })
+                .collect();
+            self.sim
+                .set_input_batch(name, &lanes)
+                .expect("oracle knows its ports");
+        }
+        self.sim.settle_batch().expect("oracle settles");
+        (0..batch.len())
+            .map(|lane| {
+                self.output_names
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.clone(),
+                            self.sim.output_lane(p, lane).expect("oracle output"),
+                        )
+                    })
+                    .collect()
+            })
             .collect()
     }
 }
@@ -480,6 +542,50 @@ mod tests {
         };
         let report = sat_attack(&locked, &mut oracle, &cfg).unwrap();
         assert!(!report.proved, "1-clause budget cannot prove anything");
+    }
+
+    #[test]
+    fn batched_oracle_queries_match_scalar_queries() {
+        let mut locked = sample_netlist();
+        let key = xor_xnor_lock(&mut locked, 6, 17).unwrap();
+        // 70 assignments also exercises the >64-lane chunking path.
+        let assignments: Vec<Vec<(String, u64)>> = (0..70u64)
+            .map(|i| {
+                vec![
+                    ("a".to_owned(), i.wrapping_mul(37) & 0xff),
+                    ("b".to_owned(), i.wrapping_mul(91) & 0xff),
+                ]
+            })
+            .collect();
+        let refs: Vec<&[(String, u64)]> = assignments.iter().map(|a| a.as_slice()).collect();
+
+        let mut batched = SimOracle::new(&locked, key.bits()).unwrap();
+        let batch_answers = batched.query_batch(&refs);
+        assert_eq!(batched.queries, 70);
+        assert_eq!(batch_answers.len(), 70);
+
+        let mut scalar = SimOracle::new(&locked, key.bits()).unwrap();
+        for (assignment, batch_answer) in assignments.iter().zip(&batch_answers) {
+            assert_eq!(&scalar.query(assignment), batch_answer);
+        }
+        assert!(batched.query_batch(&[]).is_empty());
+
+        // Assignments are matched by name: a batch whose later entries
+        // list ports in a different order answers identically.
+        let reordered: Vec<Vec<(String, u64)>> = assignments
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i % 2 == 1 {
+                    a.iter().rev().cloned().collect()
+                } else {
+                    a.clone()
+                }
+            })
+            .collect();
+        let refs: Vec<&[(String, u64)]> = reordered.iter().map(|a| a.as_slice()).collect();
+        let mut shuffled = SimOracle::new(&locked, key.bits()).unwrap();
+        assert_eq!(shuffled.query_batch(&refs), batch_answers);
     }
 
     #[test]

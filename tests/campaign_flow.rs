@@ -15,6 +15,75 @@ use mlrl::engine::report::merge_canonical_streams;
 use mlrl::engine::run::Engine;
 use mlrl::engine::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 
+/// Two grids pinning every simulator-derived number the canonical report
+/// can carry. The first drives the RTL simulator hard (corruptibility
+/// near-miss sweeps, oracle-guided hill-climbing agreement) on two
+/// benchmarks; the second drives the gate simulator (SAT-attack oracle +
+/// recovered-key equivalence check) on the small SoC only — SAT solving
+/// is solver-bound, not simulator-bound, so multiplier-heavy designs
+/// would dominate the test's runtime without pinning anything extra.
+fn simulation_heavy_specs() -> [CampaignSpec; 2] {
+    let mut rtl = CampaignSpec::grid(&["SIM_SPI", "FIR"], &[SchemeKind::Era], &[0.5]);
+    rtl.name = "sim-golden-rtl".into();
+    rtl.seeds = vec![7];
+    rtl.attacks = vec![
+        AttackKind::FreqTable,
+        AttackKind::Corruptibility,
+        AttackKind::OracleGuided,
+    ];
+    rtl.relock_rounds = 6;
+    rtl.width = 6;
+    rtl.wrong_keys = 8;
+    rtl.threads = 2;
+
+    let mut gate = CampaignSpec::grid(
+        &["SIM_SPI"],
+        &[SchemeKind::Era, SchemeKind::XorXnor],
+        &[0.5],
+    );
+    gate.name = "sim-golden-gate".into();
+    gate.levels = vec![Level::Rtl, Level::Gate];
+    gate.seeds = vec![7];
+    gate.attacks = vec![AttackKind::FreqTable, AttackKind::Sat];
+    gate.relock_rounds = 6;
+    gate.width = 6;
+    gate.threads = 2;
+    [rtl, gate]
+}
+
+/// The compiled-simulation-core refactor must be observationally
+/// invisible: canonical campaign bytes match a golden snapshot taken
+/// from the interpretive simulators (pre-refactor seed code).
+///
+/// Regenerate (only for a change that legitimately alters campaign
+/// *science*, never for a simulator change) with:
+/// `MLRL_BLESS=1 cargo test -q --test campaign_flow golden`.
+#[test]
+fn canonical_reports_match_pre_refactor_golden_snapshot() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/golden_campaign.jsonl"
+    );
+    let mut canonical = String::new();
+    for spec in simulation_heavy_specs() {
+        let report = Engine::new().run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        canonical.push_str(&report.canonical_jsonl());
+    }
+    if std::env::var_os("MLRL_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap())
+            .expect("create tests/data");
+        std::fs::write(golden_path, &canonical).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden snapshot exists (MLRL_BLESS=1 to regenerate)");
+    assert_eq!(
+        canonical, golden,
+        "canonical campaign bytes diverged from the pre-refactor golden snapshot"
+    );
+}
+
 /// The acceptance grid: 2 benchmarks × 2 schemes × 3 budgets = 12 cells.
 fn twelve_cell_spec(threads: usize) -> CampaignSpec {
     let mut spec = CampaignSpec::grid(
@@ -230,6 +299,61 @@ fn warm_caches_do_not_perturb_sharded_reports() {
         .collect();
     let merged = merge_canonical_streams(&shards).expect("shards merge");
     assert_eq!(merged, full);
+}
+
+#[test]
+fn co_located_shards_share_one_cache_dir() {
+    // The ROADMAP's sound-but-untested path: two shard processes pointed
+    // at the same --cache-dir. Artifacts are content-addressed, so shard 1
+    // may freely consume what shard 0 spilled, results must merge to the
+    // exact unsharded bytes, and a later run over the warm directory must
+    // hit without re-synthesizing anything.
+    let dir = std::env::temp_dir().join(format!(
+        "mlrl-shared-cache-{}-{}",
+        std::process::id(),
+        line!()
+    ));
+    let spec = mixed_level_spec(2);
+    let full = Engine::new().run(&spec).canonical_jsonl();
+
+    let shards: Vec<String> = (0..2)
+        .map(|index| {
+            // A fresh engine per shard = a separate process's cold memory,
+            // warm shared disk.
+            Engine::new()
+                .with_cache_dir(dir.clone())
+                .run_shard(&spec, Some(ShardSpec { index, count: 2 }))
+                .canonical_jsonl()
+        })
+        .collect();
+    let merged = merge_canonical_streams(&shards).expect("shards merge");
+    assert_eq!(
+        merged, full,
+        "shards sharing one cache dir must merge to the unsharded bytes"
+    );
+
+    // The two shards spilled every artifact; a third co-located engine
+    // must serve the whole campaign from the shared directory without a
+    // single synthesis run.
+    let warm_engine = Engine::new().with_cache_dir(dir.clone());
+    let warm = warm_engine.run(&spec);
+    assert_eq!(warm.canonical_jsonl(), full);
+    assert!(
+        warm.cache.hits > 0,
+        "warm run must hit the shared artifacts (stats: {:?})",
+        warm.cache
+    );
+    assert_eq!(
+        warm.cache.lowered_misses, 0,
+        "warm run must not re-synthesize (stats: {:?})",
+        warm.cache
+    );
+    assert!(
+        warm.cache.lowered_hits > 0,
+        "warm run must reuse the spilled netlists (stats: {:?})",
+        warm.cache
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
