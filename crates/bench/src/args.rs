@@ -112,6 +112,20 @@ impl BenchArgs {
     }
 }
 
+/// Builds a driver's engine from the shared cache flags: `--cache-dir
+/// DIR` persists artifacts across invocations, `--cache-cap BYTES`
+/// (plain bytes or `64k`/`64m`/`2g`) additionally bounds the directory
+/// with least-recently-used eviction — the knob long-lived shared cache
+/// dirs (orchestrated or cross-invocation sweeps) need.
+///
+/// # Errors
+///
+/// Returns a message on a malformed `--cache-cap` value or a cap
+/// without a directory.
+pub fn build_engine(args: &BenchArgs) -> Result<Engine, String> {
+    Engine::from_cache_flags(args.flag("cache-dir"), args.flag("cache-cap"))
+}
+
 /// Runs a driver's campaigns, honouring the shared campaign flags.
 ///
 /// - `--threads N` overrides every spec's worker count;
@@ -220,6 +234,26 @@ mod tests {
             .shard()
             .expect("ok")
             .is_none());
+    }
+
+    #[test]
+    fn cache_flags_build_the_right_engine() {
+        let dir = std::env::temp_dir().join(format!("mlrl-bench-args-{}", std::process::id()));
+        let plain = BenchArgs::parse(argv(&[]), &[]);
+        build_engine(&plain).expect("in-memory engine");
+        let capped = BenchArgs::parse(
+            argv(&["--cache-dir", dir.to_str().unwrap(), "--cache-cap", "64k"]),
+            &[],
+        );
+        build_engine(&capped).expect("capped engine");
+        let orphan_cap = BenchArgs::parse(argv(&["--cache-cap", "64k"]), &[]);
+        assert!(build_engine(&orphan_cap).is_err());
+        let bad_cap = BenchArgs::parse(
+            argv(&["--cache-dir", dir.to_str().unwrap(), "--cache-cap", "lots"]),
+            &[],
+        );
+        assert!(build_engine(&bad_cap).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

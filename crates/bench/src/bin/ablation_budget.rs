@@ -11,9 +11,9 @@
 //!         [benchmark] [--instances N] [--relocks N] [--seed N]
 //!         [--threads N] [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::ablation_campaign;
-use mlrl_engine::{kpa_cell_means, Engine};
+use mlrl_engine::kpa_cell_means;
 
 fn main() {
     let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
@@ -28,7 +28,7 @@ fn main() {
         fractions.len()
     );
     let spec = ablation_campaign(&benchmark, &fractions, instances, relocks, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
     else {

@@ -14,9 +14,8 @@
 //!         [benchmark] [--relocks N] [--seed N] [--threads N]
 //!         [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::attack_baselines_campaign;
-use mlrl_engine::run::Engine;
 
 fn main() {
     let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
@@ -25,7 +24,7 @@ fn main() {
     let seed: u64 = args.num("seed", 2022);
 
     let spec = attack_baselines_campaign(&benchmark, relocks, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let canonical = args.has("canonical") || args.has("shard");
     if !canonical {
         println!("attack baselines on {benchmark} (seed {seed}, {relocks} relocks)");

@@ -9,9 +9,9 @@
 //! Usage: `cargo run --release -p mlrl-bench --bin design_bias [seed]
 //!         [--benchmarks a,b,c] [--threads N] [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::design_bias_campaign;
-use mlrl_engine::{Engine, JobRecord};
+use mlrl_engine::JobRecord;
 use mlrl_rtl::bench_designs::paper_benchmarks;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     });
 
     let spec = design_bias_campaign(&benchmarks, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
     else {

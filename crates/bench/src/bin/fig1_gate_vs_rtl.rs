@@ -15,9 +15,9 @@
 //!         [--benchmarks a,b,c] [--instances N] [--seed N] [--threads N]
 //!         [--csv] [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::fig1_campaigns;
-use mlrl_engine::{Engine, JobRecord};
+use mlrl_engine::JobRecord;
 
 fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -54,7 +54,7 @@ fn main() {
     let csv = args.has("csv");
 
     let (gate_spec, rtl_spec) = fig1_campaigns(&benchmarks, instances, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, &[gate_spec, rtl_spec], &args).unwrap_or_else(|e| fail(&e))
     else {

@@ -11,9 +11,8 @@
 //!         [--shard I/N]`
 
 use mlrl_attack::observations::ObservationPool;
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::fig4_campaign;
-use mlrl_engine::Engine;
 
 /// The Fig. 4 sub-figure each selection scheme reproduces.
 fn scenario_label(scheme: &str) -> &'static str {
@@ -32,7 +31,7 @@ fn main() {
     let seed: u64 = args.positional_num(2, 2022);
 
     let spec = fig4_campaign(n_ops, rounds, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
     else {

@@ -2,21 +2,23 @@
 //! working example (`|ODT[(+,-)]| = 25`, `|ODT[(<<,>>)]| = 10`) and (b) the
 //! metric evolution of ERA, HRA and Greedy across key bits.
 //!
-//! Ported onto `mlrl-engine`: the Fig. 5b lock runs execute as two
-//! campaigns (`fig5_campaign` / `fig5_hra_campaign`) on the work-stealing
-//! pool, sharing base designs through the artifact cache; the surface
-//! (5a) stays a direct metric evaluation — it locks nothing.
+//! Fully on `mlrl-engine`: the Fig. 5b lock runs execute as two campaigns
+//! (`fig5_campaign` / `fig5_hra_campaign`, `trace = true`) whose cells
+//! serialize the per-bit metric trajectory into their canonical records —
+//! the curves below are read straight off `JobRecord::trace`, with no
+//! direct lock runs left in this binary. The surface (5a) stays a direct
+//! metric evaluation — it locks nothing.
 //!
 //! Usage: `cargo run --release -p mlrl-bench --bin fig5_metric [seed]
-//!         [--csv] [--threads N] [--canonical] [--shard I/N]`
+//!         [--csv] [--threads N] [--canonical] [--shard I/N]
+//!         [--cache-dir DIR] [--cache-cap BYTES]`
 //! Pass `--csv` to dump the raw surface grid as CSV instead of the
 //! summary; `--canonical`/`--shard` emit the 5b campaigns' canonical
 //! stream only (the surface is not campaign-shaped).
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
-use mlrl_bench::experiments::run_fig5;
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::experiments::fig5_surface;
 use mlrl_engine::drivers::{fig5_campaign, fig5_hra_campaign};
-use mlrl_engine::run::Engine;
 use mlrl_engine::JobRecord;
 
 fn main() {
@@ -25,23 +27,22 @@ fn main() {
 
     if args.has("csv") {
         // Surface dump only: locks nothing, so skip the 5b campaigns.
-        let result = run_fig5(seed);
         println!("x_add_sub,y_shl_shr,m_g_sec");
-        for (x, y, m) in &result.surface {
+        for (x, y, m) in &fig5_surface(seed) {
             println!("{x},{y},{m:.4}");
         }
         return;
     }
 
     // Fig. 5b through the engine: one campaign per budget regime.
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let specs = [fig5_campaign(seed), fig5_hra_campaign(seed)];
     let Some(reports) = run_campaigns(&engine, &specs, &args).unwrap_or_else(|e| fail(&e)) else {
         return; // canonical / shard output already printed
     };
     let records: Vec<JobRecord> = reports.into_iter().flat_map(|r| r.records).collect();
 
-    let result = run_fig5(seed);
+    let surface = fig5_surface(seed);
 
     println!("Fig. 5a — M_g_sec surface, |ODT[(+,-)]|=25, |ODT[(<<,>>)]|=10 (seed {seed})");
     println!("(rows: (<<,>>) imbalance 10..0; cols: (+,-) imbalance 25..0, step 5)");
@@ -54,8 +55,7 @@ fn main() {
     for y in (0..=10u64).rev().step_by(2) {
         print!("{y:>6}");
         for x in (0..=25u64).rev().step_by(5) {
-            let m = result
-                .surface
+            let m = surface
                 .iter()
                 .find(|(sx, sy, _)| *sx == x && *sy == y)
                 .map(|(_, _, m)| *m)
@@ -66,7 +66,7 @@ fn main() {
     }
 
     println!();
-    println!("Fig. 5b — metric evolution per key bit (via mlrl-engine)");
+    println!("Fig. 5b — metric evolution per key bit (campaign cells, trace = true)");
     println!(
         "{:<12} {:>10} {:>14} {:>16}",
         "algo", "key bits", "bits to 100", "final M_g_sec"
@@ -86,17 +86,18 @@ fn main() {
             r.scheme
         );
     }
-    // The curves themselves (what Fig. 5b actually plots), from the
-    // direct runners — the engine rows above are their endpoints.
+    // The curves themselves (what Fig. 5b actually plots), deserialized
+    // from the very records the table above summarizes.
     println!();
     println!("Trajectory samples (bits: M_g_sec):");
-    for (name, trace) in &result.trajectories {
+    for r in &records {
+        let Some(trace) = &r.trace else { continue };
         let samples: Vec<String> = trace
             .iter()
             .step_by((trace.len() / 10).max(1))
             .map(|(n, m)| format!("{n}:{m:.0}"))
             .collect();
-        println!("  {name:<7} {}", samples.join("  "));
+        println!("  {:<10} {}", r.scheme, samples.join("  "));
     }
     println!();
     println!("Paper: ERA jumps along the surface edges; Greedy takes the steepest");

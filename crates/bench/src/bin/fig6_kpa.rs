@@ -25,9 +25,9 @@
 //!   `--canonical`        emit the canonical JSON-lines stream
 //!   `--shard I/N`        run one shard (implies `--canonical`)
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::fig6_campaigns;
-use mlrl_engine::{kpa_cell_means, scheme_averages, Engine, JobRecord};
+use mlrl_engine::{kpa_cell_means, scheme_averages, JobRecord};
 use mlrl_rtl::bench_designs::paper_benchmarks;
 
 fn main() {
@@ -62,7 +62,7 @@ fn main() {
         "Fig. 6 sweep: {} benchmarks x 3 schemes x {instances} instance(s), {relocks} relocks each",
         benchmarks.len()
     );
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) = run_campaigns(&engine, &specs, &args).unwrap_or_else(|e| fail(&e)) else {
         return; // canonical / shard output already printed
     };

@@ -13,9 +13,9 @@
 //!         [--benchmarks a,b,c] [--width N] [--seed N] [--threads N]
 //!         [--csv] [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::multi_objective_campaigns;
-use mlrl_engine::{Engine, JobRecord};
+use mlrl_engine::JobRecord;
 
 fn main() {
     let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
@@ -36,7 +36,7 @@ fn main() {
 
     let (rtl, gate) =
         multi_objective_campaigns(&benchmarks, width, relocks, wrong_keys, max_dips, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) = run_campaigns(&engine, &[rtl, gate], &args).unwrap_or_else(|e| fail(&e))
     else {
         return; // canonical / shard output already printed

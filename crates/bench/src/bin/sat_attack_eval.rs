@@ -12,9 +12,8 @@
 //!         [--benchmarks a,b,c] [--width N] [--max-dips N] [--seed N]
 //!         [--threads N] [--csv] [--canonical] [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::sat_eval_campaign;
-use mlrl_engine::Engine;
 
 fn main() {
     let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
@@ -32,7 +31,7 @@ fn main() {
     let csv = args.has("csv");
 
     let spec = sat_eval_campaign(&benchmarks, width, max_dips, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
     else {

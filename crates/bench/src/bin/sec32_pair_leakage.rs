@@ -10,9 +10,8 @@
 //!         [--benchmarks a,b,c] [--seed N] [--threads N] [--canonical]
 //!         [--shard I/N]`
 
-use mlrl_bench::args::{fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
+use mlrl_bench::args::{build_engine, fail, run_campaigns, BenchArgs, CAMPAIGN_BOOLEAN_FLAGS};
 use mlrl_engine::drivers::sec32_campaign;
-use mlrl_engine::Engine;
 
 fn main() {
     let args = BenchArgs::from_env(CAMPAIGN_BOOLEAN_FLAGS);
@@ -30,7 +29,7 @@ fn main() {
     let seed: u64 = args.num("seed", 2022);
 
     let spec = sec32_campaign(&benchmarks, seed);
-    let engine = Engine::new();
+    let engine = build_engine(&args).unwrap_or_else(|e| fail(&e));
     let Some(reports) =
         run_campaigns(&engine, std::slice::from_ref(&spec), &args).unwrap_or_else(|e| fail(&e))
     else {

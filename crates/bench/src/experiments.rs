@@ -1,37 +1,23 @@
 //! Direct experiment runners that are not campaign-shaped.
 //!
-//! Only Fig. 5 remains here: the metric *surface* (5a) evaluates
+//! Only the Fig. 5a metric *surface* remains here: it evaluates
 //! `M_g_sec` over a synthetic grid of ODT states without locking
-//! anything, and the 5b *trajectories* are the per-bit metric traces the
-//! engine summarizes but does not serialize. Every sweep that locks and
-//! attacks — Fig. 1, Fig. 4, Fig. 6, §3.2, §5, the budget ablation, the
-//! design-bias survey, and the multi-objective table — runs as a
+//! anything, so there is no cell for the engine to run. Everything else
+//! — including the Fig. 5b trajectories, which campaign cells now
+//! serialize through the spec's `trace = true` knob — runs as a
 //! campaign on `mlrl_engine` (see `mlrl_engine::drivers`), with the
 //! binaries as thin printers over `Engine` output.
 
-use mlrl_locking::era::{era_lock, EraConfig};
-use mlrl_locking::hra::{hra_lock, HraConfig};
 use mlrl_locking::metric::SecurityMetric;
 use mlrl_locking::odt::Odt;
 use mlrl_locking::pairs::PairTable;
 use mlrl_rtl::bench_designs::DesignSpec;
-use serde::Serialize;
-
-/// Result of the Fig. 5 experiment.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig5Result {
-    /// Surface samples `(x = |ODT[(+,-)]|, y = |ODT[(<<,>>)]|, M_g_sec)`
-    /// (Fig. 5a).
-    pub surface: Vec<(u64, u64, f64)>,
-    /// Metric trajectories per algorithm (Fig. 5b):
-    /// `(algorithm, [(key bits, M_g_sec)])`.
-    pub trajectories: Vec<(String, Vec<(usize, f64)>)>,
-}
 
 /// Builds the §4.4 working example — `|ODT[(+,-)]| = 25`,
-/// `|ODT[(<<,>>)]| = 10` — and samples the metric surface plus the
-/// ERA/HRA/Greedy trajectories over it.
-pub fn run_fig5(seed: u64) -> Fig5Result {
+/// `|ODT[(<<,>>)]| = 10` — and samples the Fig. 5a metric surface over
+/// every reachable `(x = |ODT[(+,-)]|, y = |ODT[(<<,>>)]|)` grid point,
+/// returning `(x, y, M_g_sec)` triples.
+pub fn fig5_surface(seed: u64) -> Vec<(u64, u64, f64)> {
     let spec = DesignSpec {
         name: "FIG5",
         op_mix: vec![
@@ -42,7 +28,6 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
         description: "metric working example of §4.4",
     };
 
-    // Surface: evaluate M_g over every reachable (x, y) grid point.
     let module = mlrl_rtl::bench_designs::generate(&spec, seed);
     let odt = Odt::load(&module, PairTable::fixed());
     let metric = SecurityMetric::new(&odt);
@@ -73,38 +58,7 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
             surface.push((x, y, m));
         }
     }
-
-    // Trajectories.
-    let budget = 160; // HRA needs ~3x the 35-bit imbalance for its detours
-    let mut trajectories = Vec::new();
-    {
-        let mut m = mlrl_rtl::bench_designs::generate(&spec, seed);
-        let outcome = era_lock(&mut m, &EraConfig::new(35, seed)).expect("lockable");
-        trajectories.push((
-            "ERA".to_owned(),
-            outcome.trace.iter().map(|(n, g, _)| (*n, *g)).collect(),
-        ));
-    }
-    {
-        let mut m = mlrl_rtl::bench_designs::generate(&spec, seed);
-        let outcome = hra_lock(&mut m, &HraConfig::new(budget, seed)).expect("lockable");
-        trajectories.push((
-            "HRA".to_owned(),
-            outcome.trace.iter().map(|(n, g, _)| (*n, *g)).collect(),
-        ));
-    }
-    {
-        let mut m = mlrl_rtl::bench_designs::generate(&spec, seed);
-        let outcome = hra_lock(&mut m, &HraConfig::greedy(budget, seed)).expect("lockable");
-        trajectories.push((
-            "Greedy".to_owned(),
-            outcome.trace.iter().map(|(n, g, _)| (*n, *g)).collect(),
-        ));
-    }
-    Fig5Result {
-        surface,
-        trajectories,
-    }
+    surface
 }
 
 #[cfg(test)]
@@ -113,11 +67,11 @@ mod tests {
 
     #[test]
     fn fig5_surface_has_corners() {
-        let r = run_fig5(1);
-        assert_eq!(r.surface.len(), 26 * 11);
+        let surface = fig5_surface(1);
+        assert_eq!(surface.len(), 26 * 11);
         // Initial point (25, 10) scores 0; optimum (0, 0) scores 100.
         let at = |x: u64, y: u64| {
-            r.surface
+            surface
                 .iter()
                 .find(|(sx, sy, _)| *sx == x && *sy == y)
                 .map(|(_, _, m)| *m)
@@ -126,6 +80,5 @@ mod tests {
         assert!((at(25, 10) - 0.0).abs() < 1e-9);
         assert!((at(0, 0) - 100.0).abs() < 1e-9);
         assert!(at(10, 5) > 0.0 && at(10, 5) < 100.0);
-        assert_eq!(r.trajectories.len(), 3);
     }
 }

@@ -18,12 +18,19 @@
 //!
 //! With a spill directory configured, locked modules, training sets, and
 //! lowered netlists also persist as files named by their content hash, so
-//! separate CLI invocations of the same spec warm-start from disk.
+//! separate CLI invocations of the same spec warm-start from disk. A
+//! long-lived spill directory (an orchestrated multi-day sweep, a shared
+//! `--cache-dir` across campaigns) can additionally be *capped*
+//! ([`ArtifactCache::with_spill_dir_capped`]): when the on-disk bytes
+//! exceed the cap, the least-recently-used spill files are evicted.
+//! Eviction is always safe — a evicted artifact degrades to a cache miss
+//! and is rebuilt (and re-spilled) on next use.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use mlrl_attack::relock::TrainingSet;
 use mlrl_locking::key::{Key, KeyBitKind};
@@ -68,6 +75,8 @@ pub struct CacheStats {
     /// Lowered-netlist shard lookups that had to synthesize (also counted
     /// in `misses`).
     pub lowered_misses: usize,
+    /// Spill files deleted by the LRU cap (capped spill dirs only).
+    pub evictions: usize,
 }
 
 impl CacheStats {
@@ -88,8 +97,36 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             lowered_hits: self.lowered_hits.saturating_sub(earlier.lowered_hits),
             lowered_misses: self.lowered_misses.saturating_sub(earlier.lowered_misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
+}
+
+/// Parses a human byte-size token: a plain byte count, or a number with a
+/// `k`/`m`/`g` suffix (binary units, case-insensitive) — `64m` = 64 MiB.
+/// The `--cache-cap` flags of `mlrl campaign` / `mlrl orchestrate` and
+/// the bench binaries all parse through here.
+///
+/// # Errors
+///
+/// Returns a message on an empty, malformed, or zero value.
+pub fn parse_byte_size(token: &str) -> Result<u64, String> {
+    let token = token.trim();
+    let (digits, multiplier) = match token.char_indices().last() {
+        Some((i, c)) if c.eq_ignore_ascii_case(&'k') => (&token[..i], 1u64 << 10),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'m') => (&token[..i], 1u64 << 20),
+        Some((i, c)) if c.eq_ignore_ascii_case(&'g') => (&token[..i], 1u64 << 30),
+        _ => (token, 1),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad byte size `{token}`: {e}"))?;
+    if n == 0 {
+        return Err(format!("bad byte size `{token}`: must be positive"));
+    }
+    n.checked_mul(multiplier)
+        .ok_or_else(|| format!("bad byte size `{token}`: overflows u64"))
 }
 
 /// A build slot: `None` until the first requester populates it; the
@@ -147,6 +184,79 @@ impl<T> Shard<T> {
     }
 }
 
+/// Recency bookkeeping of one spilled file.
+struct SpillEntry {
+    size: u64,
+    /// Monotonic access sequence number; smallest = least recently used.
+    last_use: u64,
+}
+
+/// LRU index over a spill directory. Only consulted when a cap is set;
+/// shared spill dirs (co-located shards) may race deletions, which
+/// degrades to a miss on the loser's side — never an error.
+struct SpillIndex {
+    seq: u64,
+    /// Running sum of `entries` sizes, maintained incrementally so the
+    /// per-write cap check costs O(1) instead of re-summing the map.
+    total: u64,
+    entries: HashMap<PathBuf, SpillEntry>,
+}
+
+impl SpillIndex {
+    /// Seeds the index from an existing directory, oldest-modified files
+    /// first, so a resumed run evicts stale artifacts before fresh ones.
+    fn scan(dir: &Path) -> Self {
+        let mut files: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        if let Ok(read) = std::fs::read_dir(dir) {
+            for entry in read.flatten() {
+                let path = entry.path();
+                if let Ok(meta) = entry.metadata() {
+                    if meta.is_file() {
+                        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                        files.push((path, meta.len(), mtime));
+                    }
+                }
+            }
+        }
+        files.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        let mut index = SpillIndex {
+            seq: 0,
+            total: 0,
+            entries: HashMap::new(),
+        };
+        for (path, size, _) in files {
+            index.touch(&path, size);
+        }
+        index
+    }
+
+    fn touch(&mut self, path: &Path, size: u64) {
+        self.seq += 1;
+        let last_use = self.seq;
+        if let Some(old) = self
+            .entries
+            .insert(path.to_path_buf(), SpillEntry { size, last_use })
+        {
+            self.total -= old.size;
+        }
+        self.total += size;
+    }
+
+    fn remove(&mut self, path: &Path) {
+        if let Some(old) = self.entries.remove(path) {
+            self.total -= old.size;
+        }
+    }
+}
+
+/// On-disk spill configuration: the directory plus an optional byte cap
+/// with its LRU index.
+struct Spill {
+    dir: PathBuf,
+    cap: Option<u64>,
+    index: Mutex<SpillIndex>,
+}
+
 /// Thread-safe content-addressed store for campaign artifacts.
 pub struct ArtifactCache {
     designs: Shard<Module>,
@@ -160,7 +270,8 @@ pub struct ArtifactCache {
     misses: AtomicUsize,
     lowered_hits: AtomicUsize,
     lowered_misses: AtomicUsize,
-    spill_dir: Option<PathBuf>,
+    evictions: AtomicUsize,
+    spill: Option<Spill>,
 }
 
 impl ArtifactCache {
@@ -176,7 +287,8 @@ impl ArtifactCache {
             misses: AtomicUsize::new(0),
             lowered_hits: AtomicUsize::new(0),
             lowered_misses: AtomicUsize::new(0),
-            spill_dir: None,
+            evictions: AtomicUsize::new(0),
+            spill: None,
         }
     }
 
@@ -184,7 +296,36 @@ impl ArtifactCache {
     /// under `dir` (created on first write).
     pub fn with_spill_dir(dir: impl Into<PathBuf>) -> Self {
         Self {
-            spill_dir: Some(dir.into()),
+            spill: Some(Spill {
+                dir: dir.into(),
+                cap: None,
+                index: Mutex::new(SpillIndex {
+                    seq: 0,
+                    total: 0,
+                    entries: HashMap::new(),
+                }),
+            }),
+            ..Self::new()
+        }
+    }
+
+    /// [`ArtifactCache::with_spill_dir`] with a byte cap: whenever the
+    /// spilled files exceed `cap_bytes`, the least-recently-used ones are
+    /// deleted until the directory fits again. Pre-existing files are
+    /// indexed oldest-modified-first, so a long-lived shared cache dir
+    /// sheds its stalest artifacts first. Evicting one file of a
+    /// multi-file artifact (a locked module's `.v`/`.key` pair) turns the
+    /// whole artifact into a miss; the orphan is reclaimed by a later
+    /// eviction round.
+    pub fn with_spill_dir_capped(dir: impl Into<PathBuf>, cap_bytes: u64) -> Self {
+        let dir = dir.into();
+        let index = Mutex::new(SpillIndex::scan(&dir));
+        Self {
+            spill: Some(Spill {
+                dir,
+                cap: Some(cap_bytes.max(1)),
+                index,
+            }),
             ..Self::new()
         }
     }
@@ -196,6 +337,7 @@ impl ArtifactCache {
             misses: self.misses.load(Ordering::Relaxed),
             lowered_hits: self.lowered_hits.load(Ordering::Relaxed),
             lowered_misses: self.lowered_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -329,14 +471,28 @@ impl ArtifactCache {
     // -- disk spill ----------------------------------------------------
 
     fn spill_path(&self, content_key: u64, ext: &str) -> Option<PathBuf> {
-        self.spill_dir
+        self.spill
             .as_ref()
-            .map(|d| d.join(format!("{content_key:016x}.{ext}")))
+            .map(|s| s.dir.join(format!("{content_key:016x}.{ext}")))
+    }
+
+    /// Reads one spill file, refreshing its recency in the LRU index so a
+    /// hot artifact in a capped directory outlives cold ones.
+    fn read_spill(&self, path: &Path) -> Option<String> {
+        let content = std::fs::read_to_string(path).ok()?;
+        if let Some(spill) = self.spill.as_ref().filter(|s| s.cap.is_some()) {
+            spill
+                .index
+                .lock()
+                .expect("spill index poisoned")
+                .touch(path, content.len() as u64);
+        }
+        Some(content)
     }
 
     fn load_locked(&self, content_key: u64) -> Option<LockedArtifact> {
-        let verilog = std::fs::read_to_string(self.spill_path(content_key, "v")?).ok()?;
-        let sidecar = std::fs::read_to_string(self.spill_path(content_key, "key")?).ok()?;
+        let verilog = self.read_spill(&self.spill_path(content_key, "v")?)?;
+        let sidecar = self.read_spill(&self.spill_path(content_key, "key")?)?;
         let module = parse_verilog(&verilog).ok()?;
         let mut lines = sidecar.lines();
         let bits = lines.next()?;
@@ -407,7 +563,7 @@ impl ArtifactCache {
     /// localities, 3-wide context rows); v1 has no header and is always
     /// 2-wide. v1 files from older cache dirs keep loading.
     fn load_training(&self, content_key: u64) -> Option<TrainingSet> {
-        let text = std::fs::read_to_string(self.spill_path(content_key, "train")?).ok()?;
+        let text = self.read_spill(&self.spill_path(content_key, "train")?)?;
         let mut lines = text.lines().peekable();
         let width: usize = match lines.peek().and_then(|l| l.strip_prefix("width ")) {
             Some(w) => {
@@ -456,7 +612,7 @@ impl ArtifactCache {
     }
 
     fn load_lowered(&self, content_key: u64) -> Option<LoweredArtifact> {
-        let text = std::fs::read_to_string(self.spill_path(content_key, "net")?).ok()?;
+        let text = self.read_spill(&self.spill_path(content_key, "net")?)?;
         // First line: `gatekey <bits>` sidecar (or `gatekey -` when the
         // netlist is a plain synthesis); the rest is the serdes format.
         let (head, body) = text.split_once('\n')?;
@@ -498,7 +654,40 @@ impl ArtifactCache {
             let _ = std::fs::create_dir_all(dir);
         }
         // Spill failures degrade to cache misses next run; never fatal.
-        let _ = std::fs::write(path, content);
+        if std::fs::write(path, content).is_ok() {
+            self.enforce_spill_cap(path, content.len() as u64);
+        }
+    }
+
+    /// Records a fresh spill write in the LRU index and deletes the
+    /// least-recently-used files until the directory fits the cap again.
+    /// The file just written is never evicted in its own round (even when
+    /// it alone exceeds the cap, so spilling stays monotonic).
+    fn enforce_spill_cap(&self, written: &Path, size: u64) {
+        let Some(spill) = self.spill.as_ref() else {
+            return;
+        };
+        let Some(cap) = spill.cap else {
+            return;
+        };
+        let mut index = spill.index.lock().expect("spill index poisoned");
+        index.touch(written, size);
+        while index.total > cap {
+            let victim = index
+                .entries
+                .iter()
+                .filter(|(path, _)| path.as_path() != written)
+                .min_by(|a, b| (a.1.last_use, a.0).cmp(&(b.1.last_use, b.0)))
+                .map(|(path, _)| path.clone());
+            let Some(victim) = victim else {
+                break; // only the fresh file remains
+            };
+            // A racing co-located process may have deleted it already;
+            // dropping it from the index is what reclaims the budget.
+            let _ = std::fs::remove_file(&victim);
+            index.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -649,7 +838,8 @@ mod tests {
                 hits: 0,
                 misses: 1,
                 lowered_hits: 0,
-                lowered_misses: 1
+                lowered_misses: 1,
+                ..Default::default()
             }
         );
 
@@ -665,7 +855,8 @@ mod tests {
                 hits: 1,
                 misses: 0,
                 lowered_hits: 1,
-                lowered_misses: 0
+                lowered_misses: 0,
+                ..Default::default()
             }
         );
         assert_eq!(a.netlist, b.netlist);
@@ -733,5 +924,64 @@ mod tests {
         assert!(!dir.join(format!("{:016x}.train", 23u64)).exists());
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn wide_set(tag: u32) -> TrainingSet {
+        TrainingSet {
+            features: (0..32).map(|i| vec![tag, i]).collect(),
+            labels: vec![1; 32],
+        }
+    }
+
+    #[test]
+    fn capped_spill_dirs_evict_least_recently_used_files() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Each spilled set is ~200 bytes; a 500-byte cap holds two.
+        let cache = ArtifactCache::with_spill_dir_capped(&dir, 500);
+        for key in 0..4u64 {
+            cache.training(key, || wide_set(key as u32));
+        }
+        assert!(
+            cache.stats().evictions >= 2,
+            "cap must evict (stats: {:?})",
+            cache.stats()
+        );
+        let spilled = |key: u64| dir.join(format!("{key:016x}.train")).exists();
+        assert!(!spilled(0), "oldest spill must be the first eviction");
+        assert!(spilled(3), "the freshest spill always survives its round");
+
+        // Eviction degrades to a rebuild, never an error: a fresh cache
+        // over the same dir misses the evicted key and rebuilds it.
+        let second = ArtifactCache::with_spill_dir_capped(&dir, 500);
+        let rebuilt = second.training(0, || wide_set(0));
+        assert_eq!(*rebuilt, wide_set(0));
+        assert_eq!(second.stats().misses, 1);
+
+        // A *read* refreshes recency: touch key 3, then spill one more;
+        // the untouched survivor goes first while 3 stays resident.
+        let survivors: Vec<u64> = (0..4).filter(|&k| spilled(k)).collect();
+        let touched = 3u64;
+        second.training(touched, || panic!("resident key must load from disk"));
+        second.training(10, || wide_set(10));
+        assert!(
+            spilled(touched),
+            "recently read spill must outlive colder ones (resident before: {survivors:?})"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("4096"), Ok(4096));
+        assert_eq!(parse_byte_size("64k"), Ok(64 << 10));
+        assert_eq!(parse_byte_size("64M"), Ok(64 << 20));
+        assert_eq!(parse_byte_size("2G"), Ok(2 << 30));
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("0").is_err());
+        assert!(parse_byte_size("12q").is_err());
+        assert!(parse_byte_size("999999999999G").is_err());
     }
 }

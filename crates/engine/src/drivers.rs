@@ -13,7 +13,10 @@ use crate::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
 ///
 /// ERA runs at 100% of the 35 operations (its minimum for Def. 1 is the
 /// 35-bit total imbalance); the HRA variants get the historical 160-bit
-/// budget (≈ 4.6×) their random/greedy detours need.
+/// budget (≈ 4.6×) their random/greedy detours need. `trace = true`:
+/// the 5b *curves* are the per-bit metric trajectories, so these cells
+/// serialize them into their canonical records — the figure needs no
+/// direct lock runs outside the engine.
 pub fn fig5_campaign(seed: u64) -> CampaignSpec {
     CampaignSpec {
         name: "fig5-metric".to_owned(),
@@ -22,6 +25,7 @@ pub fn fig5_campaign(seed: u64) -> CampaignSpec {
         budgets: vec![1.0],
         seeds: vec![seed],
         attacks: vec![AttackKind::None],
+        trace: true,
         ..CampaignSpec::default()
     }
 }
@@ -36,6 +40,7 @@ pub fn fig5_hra_campaign(seed: u64) -> CampaignSpec {
         budgets: vec![160.0 / 35.0],
         seeds: vec![seed],
         attacks: vec![AttackKind::None],
+        trace: true,
         ..CampaignSpec::default()
     }
 }

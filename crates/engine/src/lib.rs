@@ -65,11 +65,11 @@ pub mod report;
 pub mod run;
 pub mod spec;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{parse_byte_size, ArtifactCache, CacheStats};
 pub use job::ShardSpec;
 pub use report::{
     kpa_cell_means, merge_canonical_streams, scheme_averages, CampaignReport, CellSummary,
     JobRecord, JobStatus,
 };
-pub use run::Engine;
+pub use run::{scheduled_jobs, Engine, JobEvent, JobObserver};
 pub use spec::{AttackKind, CampaignSpec, Level, SchemeKind};

@@ -55,6 +55,12 @@ pub struct JobRecord {
     /// Key bits after which the metric first reached 100 (traced
     /// schemes only).
     pub bits_to_balance: Option<usize>,
+    /// Full per-bit metric trajectory `(key bits, M_g_sec)` — the Fig. 5b
+    /// curve. Populated only when the spec sets `trace = true` and the
+    /// scheme reports one (ERA/HRA); serialized as a trailing canonical
+    /// column that is *omitted* (not null) when absent, so untraced
+    /// campaigns keep their historical byte streams.
+    pub trace: Option<Vec<(usize, f64)>>,
     /// Attack headline, in percent: KPA for learning attacks, output
     /// agreement for the oracle-guided attack.
     pub kpa: Option<f64>,
@@ -126,6 +132,7 @@ impl JobRecord {
             metric: None,
             balanced: None,
             bits_to_balance: None,
+            trace: None,
             kpa: None,
             attacked_bits: None,
             training_samples: None,
@@ -175,6 +182,22 @@ impl JobRecord {
             "bits_to_balance",
             JsonValue::OptInt(self.bits_to_balance.map(|v| v as i64)),
         );
+        if let Some(trace) = &self.trace {
+            // Trailing optional column: present only when the spec traced
+            // (`trace = true`), so untraced streams are byte-stable.
+            out.push_str("\"trace\":[");
+            for (i, (bits, metric)) in trace.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if metric.is_finite() {
+                    out.push_str(&format!("[{bits},{metric:.4}]"));
+                } else {
+                    out.push_str(&format!("[{bits},null]"));
+                }
+            }
+            out.push_str("],");
+        }
         push_field(&mut out, "kpa", JsonValue::Float(self.kpa));
         push_field(
             &mut out,
@@ -258,6 +281,29 @@ impl JobRecord {
         out.push('}');
         out
     }
+
+    /// This record's line of the canonical JSON-lines stream — exactly
+    /// what [`CampaignReport::canonical_jsonl`] emits for it (no timing,
+    /// no cache state). Worker processes stream these lines to the
+    /// orchestrator, whose journal replays them byte-for-byte into the
+    /// merged report.
+    pub fn canonical_line(&self) -> String {
+        self.json_fields(false)
+    }
+}
+
+/// Sanitizes a campaign name for the canonical header line (quotes,
+/// backslashes and control characters become `_`). Public so the
+/// orchestrator's journal writes headers byte-identical to
+/// [`CampaignReport::canonical_jsonl`]'s.
+pub fn escape_for_header(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '"' | '\\' => '_',
+            c if (c as u32) < 0x20 => '_',
+            c => c,
+        })
+        .collect()
 }
 
 enum JsonValue<'a> {
@@ -438,16 +484,6 @@ impl CampaignReport {
         }
         out
     }
-}
-
-fn escape_for_header(name: &str) -> String {
-    name.chars()
-        .map(|c| match c {
-            '"' | '\\' => '_',
-            c if (c as u32) < 0x20 => '_',
-            c => c,
-        })
-        .collect()
 }
 
 /// Mean-KPA summary of one benchmark × scheme × budget cell, averaged
@@ -769,6 +805,22 @@ mod tests {
             .last()
             .expect("summary")
             .contains("\"cache_hit_rate\":0.2500"));
+    }
+
+    #[test]
+    fn traced_records_serialize_the_trajectory_as_a_trailing_column() {
+        let mut r = record();
+        // Untraced records omit the column entirely (byte-stability of
+        // historical canonical streams).
+        assert!(!r.canonical_line().contains("\"trace\""));
+        r.trace = Some(vec![(1, 12.5), (2, 100.0)]);
+        let line = r.canonical_line();
+        assert!(
+            line.contains("\"trace\":[[1,12.5000],[2,100.0000]],\"kpa\""),
+            "{line}"
+        );
+        // The trace is science, not timing: both serializations carry it.
+        assert!(r.json_fields(true).contains("\"trace\""));
     }
 
     #[test]

@@ -49,6 +49,32 @@ use crate::pool::{partition_by_cost, run_jobs_weighted};
 use crate::report::{record_from_job, CampaignReport, JobRecord, JobStatus};
 use crate::spec::{resolve_benchmark, AttackKind, CampaignSpec, Level, SchemeKind};
 
+/// One job-lifecycle notification delivered to an [`Engine`] observer.
+///
+/// Observers exist for *worker-mode* processes: an orchestrated shard
+/// streams one protocol line per event to its supervisor, which
+/// journals completions as they happen instead of waiting for the full
+/// report. Events fire on pool worker threads; observers must be cheap
+/// and thread-safe.
+#[derive(Debug)]
+pub enum JobEvent<'a> {
+    /// The job is about to execute.
+    Started {
+        /// Grid (row-major) index of the cell.
+        index: usize,
+    },
+    /// The job produced its record (including failures caught inside the
+    /// job). Cells that *panic* escape this event — their `Failed`
+    /// records materialize only in the final report.
+    Finished {
+        /// The completed record.
+        record: &'a JobRecord,
+    },
+}
+
+/// Shared per-job observer callback (see [`JobEvent`]).
+pub type JobObserver = Arc<dyn Fn(JobEvent<'_>) + Send + Sync>;
+
 /// Campaign executor: a worker pool wired to a shared artifact cache.
 ///
 /// One engine can run many campaigns; artifacts persist across runs, so
@@ -56,6 +82,7 @@ use crate::spec::{resolve_benchmark, AttackKind, CampaignSpec, Level, SchemeKind
 pub struct Engine {
     cache: Arc<ArtifactCache>,
     threads: usize,
+    observer: Option<JobObserver>,
 }
 
 impl Engine {
@@ -64,6 +91,7 @@ impl Engine {
         Self {
             cache: Arc::new(ArtifactCache::new()),
             threads: 0,
+            observer: None,
         }
     }
 
@@ -81,6 +109,47 @@ impl Engine {
         self
     }
 
+    /// Like [`Engine::with_cache_dir`], but caps the spill directory at
+    /// `cap_bytes` with least-recently-used eviction — the knob behind
+    /// `--cache-cap` for long-lived shared cache dirs.
+    pub fn with_cache_dir_capped(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        cap_bytes: u64,
+    ) -> Self {
+        self.cache = Arc::new(ArtifactCache::with_spill_dir_capped(dir, cap_bytes));
+        self
+    }
+
+    /// Registers a per-job lifecycle observer (worker-mode event
+    /// emission; see [`JobEvent`]).
+    pub fn with_observer(mut self, observer: JobObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds an engine from the CLI-style cache flags every front end
+    /// shares (`--cache-dir DIR` / `--cache-cap BYTES`) — one
+    /// definition of the flag semantics for `mlrl`, the orchestrator's
+    /// workers, and the bench binaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed cap value
+    /// ([`crate::cache::parse_byte_size`]) or a cap without a directory.
+    pub fn from_cache_flags(dir: Option<&str>, cap: Option<&str>) -> Result<Self, String> {
+        let cap = cap
+            .map(crate::cache::parse_byte_size)
+            .transpose()
+            .map_err(|e| format!("bad --cache-cap: {e}"))?;
+        match (dir, cap) {
+            (Some(dir), Some(cap)) => Ok(Engine::new().with_cache_dir_capped(dir, cap)),
+            (Some(dir), None) => Ok(Engine::new().with_cache_dir(dir)),
+            (None, Some(_)) => Err("--cache-cap needs --cache-dir".to_owned()),
+            (None, None) => Ok(Engine::new()),
+        }
+    }
+
     /// The engine's artifact cache.
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
@@ -89,6 +158,20 @@ impl Engine {
     /// Runs every job of `spec` and collects the report.
     pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
         self.run_shard(spec, None)
+    }
+
+    /// Runs exactly the grid cells whose (row-major) indices appear in
+    /// `cells`, preserving the cache-aware schedule order among them —
+    /// the worker-mode entry point: an orchestrator hands each worker
+    /// process an explicit cell list (journal-aware, cost-balanced)
+    /// instead of a blind `i/n` shard. Unknown indices are ignored.
+    pub fn run_cells(&self, spec: &CampaignSpec, cells: &[usize]) -> CampaignReport {
+        let wanted: std::collections::HashSet<usize> = cells.iter().copied().collect();
+        let jobs = schedule(spec.expand())
+            .into_iter()
+            .filter(|job| wanted.contains(&job.index))
+            .collect();
+        self.run_selected(spec, jobs)
     }
 
     /// Runs one shard of `spec` — or everything, with `None` — and
@@ -111,6 +194,11 @@ impl Engine {
                 .unwrap_or(0..0);
             jobs = jobs.drain(range).collect();
         }
+        self.run_selected(spec, jobs)
+    }
+
+    /// Runs an explicit (already scheduled) job list.
+    fn run_selected(&self, spec: &CampaignSpec, jobs: Vec<Job>) -> CampaignReport {
         let meta: Vec<Job> = jobs.clone();
         let threads = if spec.threads > 0 {
             spec.threads
@@ -125,7 +213,14 @@ impl Engine {
         let cache_before = self.cache.stats();
         let started = Instant::now();
         let outcomes = run_jobs_weighted(threads, jobs, Job::cost, |_, job| {
-            run_job(&self.cache, spec, job)
+            if let Some(observer) = &self.observer {
+                observer(JobEvent::Started { index: job.index });
+            }
+            let record = run_job(&self.cache, spec, job);
+            if let Some(observer) = &self.observer {
+                observer(JobEvent::Finished { record: &record });
+            }
+            record
         });
         let wall_ms = started.elapsed().as_millis();
 
@@ -152,6 +247,15 @@ impl Engine {
             cache: self.cache.stats().since(cache_before),
         }
     }
+}
+
+/// The spec's expanded job list in the engine's cache-aware schedule
+/// order — the exact sequence [`Engine::run`] executes and shard
+/// partitioning cuts. Orchestrators plan worker assignments over this
+/// list (contiguous cost-balanced chunks keep artifact-sharing cells on
+/// one worker process).
+pub fn scheduled_jobs(spec: &CampaignSpec) -> Vec<Job> {
+    schedule(spec.expand())
 }
 
 /// Cache-aware job ordering: groups cells that share artifacts so the
@@ -257,6 +361,9 @@ fn execute(
         .trace
         .as_ref()
         .and_then(|t| t.iter().find(|(_, g)| *g >= 100.0 - 1e-9).map(|(n, _)| *n));
+    if spec.trace {
+        record.trace = locked.trace.clone();
+    }
 
     if job.level == Level::Gate {
         // RTL scheme attacked at gate level: lower the locked module (the
@@ -738,6 +845,7 @@ fn run_gate_attack(
                 } else {
                     spec.sat_max_clauses
                 },
+                ..Default::default()
             };
             let mut oracle =
                 SimOracle::new(&lowered.netlist, &lowered.key).map_err(|e| e.to_string())?;
@@ -1078,6 +1186,63 @@ mod tests {
         spec.threads = 1;
         let serial = Engine::new().run(&spec);
         assert_eq!(serial.canonical_jsonl(), report.canonical_jsonl());
+    }
+
+    #[test]
+    fn observers_see_lifecycles_and_run_cells_runs_exactly_the_requested_cells() {
+        use std::sync::Mutex;
+        let spec = tiny_spec();
+        let events: Arc<Mutex<Vec<(&'static str, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let engine = Engine::new().with_observer(Arc::new(move |event| {
+            let mut log = sink.lock().expect("event log");
+            match event {
+                JobEvent::Started { index } => log.push(("start", index)),
+                JobEvent::Finished { record } => log.push(("done", record.index)),
+            }
+        }));
+        let partial = engine.run_cells(&spec, &[1, 3]);
+        assert_eq!(partial.failed_count(), 0, "{:?}", partial.records);
+        let indices: Vec<usize> = partial.records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![1, 3], "only the requested cells run");
+
+        let log = events.lock().expect("event log");
+        for index in [1usize, 3] {
+            assert!(log.contains(&("start", index)), "{log:?}");
+            assert!(log.contains(&("done", index)), "{log:?}");
+        }
+        assert_eq!(log.len(), 4, "no other cell may emit events: {log:?}");
+        drop(log);
+
+        // Worker-subset records are byte-identical to the full run's —
+        // the property the orchestrator's journal replay relies on.
+        let full = Engine::new().run(&spec);
+        for r in &partial.records {
+            assert_eq!(r.canonical_line(), full.records[r.index].canonical_line());
+        }
+
+        // Unknown indices are ignored, not errors.
+        assert!(engine.run_cells(&spec, &[999]).records.is_empty());
+    }
+
+    #[test]
+    fn traced_specs_serialize_per_bit_trajectories() {
+        let mut spec = CampaignSpec::grid(&["FIG5"], &[SchemeKind::Era], &[1.0]);
+        spec.attacks = vec![AttackKind::None];
+        spec.trace = true;
+        let report = Engine::new().run(&spec);
+        assert_eq!(report.failed_count(), 0, "{:?}", report.records);
+        let record = &report.records[0];
+        let trace = record.trace.as_ref().expect("ERA reports a trace");
+        assert_eq!(trace.len(), record.key_bits.expect("locked"));
+        let (_, final_metric) = trace.last().expect("non-empty");
+        assert!((final_metric - 100.0).abs() < 1e-9, "ERA balances fully");
+        assert!(report.canonical_jsonl().contains("\"trace\":[["));
+
+        // The knob defaults off, and off means byte-stable old streams.
+        spec.trace = false;
+        let untraced = Engine::new().run(&spec);
+        assert!(!untraced.canonical_jsonl().contains("\"trace\""));
     }
 
     #[test]

@@ -314,6 +314,12 @@ pub struct CampaignSpec {
     pub sat_max_clauses: usize,
     /// Wrong keys sampled per cell by the corruptibility measurement.
     pub wrong_keys: usize,
+    /// Whether cells of metric-traced schemes (ERA/HRA) serialize the
+    /// full per-bit `(key bits, M_g_sec)` trajectory into their canonical
+    /// records (the Fig. 5b curves). Off by default: traces repeat per
+    /// attack cell sharing a locked instance, so large sweeps would bloat
+    /// their reports for data only the trajectory figures consume.
+    pub trace: bool,
 }
 
 impl Default for CampaignSpec {
@@ -332,6 +338,7 @@ impl Default for CampaignSpec {
             sat_max_dips: 512,
             sat_max_clauses: 0,
             wrong_keys: 32,
+            trace: false,
         }
     }
 }
@@ -392,6 +399,7 @@ impl CampaignSpec {
     /// sat_max_dips    = 512
     /// sat_max_clauses = 2000000
     /// wrong_keys      = 32
+    /// trace           = false
     /// ```
     ///
     /// Lists are whitespace- or comma-separated, except `benchmarks`,
@@ -508,6 +516,18 @@ impl CampaignSpec {
                     spec.wrong_keys = scalar()?.parse().map_err(|e| {
                         SpecError::new(format!("line {}: bad wrong_keys: {e}", lineno + 1))
                     })?;
+                }
+                "trace" => {
+                    spec.trace = match scalar()? {
+                        "true" | "on" | "1" => true,
+                        "false" | "off" | "0" => false,
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "line {}: bad trace `{other}` (true/false)",
+                                lineno + 1
+                            )))
+                        }
+                    };
                 }
                 other => {
                     return Err(SpecError::new(format!(

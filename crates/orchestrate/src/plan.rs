@@ -1,0 +1,108 @@
+//! Journal-aware worker planning.
+//!
+//! The engine's cache-aware schedule (cells sharing artifacts adjacent,
+//! see `mlrl_engine::run::scheduled_jobs`) minus the journal's completed
+//! cells, cut into `workers` cost-balanced *contiguous* chunks with the
+//! very `partition_by_cost` that in-process chunk dealing and `--shard
+//! i/n` use — so a worker process inherits the same locality guarantees
+//! as an in-process pool worker, and a SAT-heavy stretch cannot
+//! serialize one process. Re-planning after a crash or on resume is the
+//! same function over the shrunken remainder.
+
+use std::collections::BTreeMap;
+
+use mlrl_engine::fnv::Fnv64;
+use mlrl_engine::job::Job;
+use mlrl_engine::pool::partition_by_cost;
+
+/// Splits the not-yet-completed cells of `scheduled` (the engine's
+/// schedule order) into up to `workers` cost-balanced contiguous
+/// assignments of grid indices. Empty assignments are dropped — with
+/// more workers than remaining cells, fewer processes spawn.
+pub fn plan_assignments(
+    scheduled: &[Job],
+    completed: &BTreeMap<usize, String>,
+    workers: usize,
+) -> Vec<Vec<usize>> {
+    let remaining: Vec<&Job> = scheduled
+        .iter()
+        .filter(|job| !completed.contains_key(&job.index))
+        .collect();
+    let costs: Vec<u64> = remaining.iter().map(|job| job.cost()).collect();
+    partition_by_cost(&costs, workers.max(1))
+        .into_iter()
+        .map(|range| remaining[range].iter().map(|job| job.index).collect())
+        .filter(|cells: &Vec<usize>| !cells.is_empty())
+        .collect()
+}
+
+/// Content digest binding a journal to its spec: FNV-1a over the spec
+/// file text.
+pub fn spec_digest(spec_text: &str) -> u64 {
+    Fnv64::new()
+        .write_str("spec|")
+        .write_str(spec_text)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlrl_engine::run::scheduled_jobs;
+    use mlrl_engine::spec::{AttackKind, CampaignSpec, SchemeKind};
+
+    fn spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::grid(
+            &["FIR", "IIR"],
+            &[SchemeKind::Assure, SchemeKind::Era],
+            &[0.5],
+        );
+        spec.seeds = vec![1];
+        spec.attacks = vec![AttackKind::FreqTable, AttackKind::None];
+        spec
+    }
+
+    #[test]
+    fn assignments_cover_remaining_cells_exactly_once() {
+        let jobs = scheduled_jobs(&spec());
+        let mut completed = BTreeMap::new();
+        completed.insert(jobs[1].index, String::new());
+        completed.insert(jobs[4].index, String::new());
+
+        let assignments = plan_assignments(&jobs, &completed, 3);
+        let mut seen: Vec<usize> = assignments.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let mut expected: Vec<usize> = jobs
+            .iter()
+            .map(|j| j.index)
+            .filter(|i| !completed.contains_key(i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        assert!(assignments.len() <= 3);
+        assert!(assignments.iter().all(|a| !a.is_empty()));
+    }
+
+    #[test]
+    fn more_workers_than_cells_drops_empty_assignments() {
+        let jobs = scheduled_jobs(&spec());
+        let completed: BTreeMap<usize, String> = jobs
+            .iter()
+            .skip(2)
+            .map(|j| (j.index, String::new()))
+            .collect();
+        let assignments = plan_assignments(&jobs, &completed, 8);
+        assert_eq!(assignments.iter().flatten().count(), 2);
+        assert!(assignments.len() <= 2);
+
+        // Everything done: nothing to spawn.
+        let all: BTreeMap<usize, String> = jobs.iter().map(|j| (j.index, String::new())).collect();
+        assert!(plan_assignments(&jobs, &all, 4).is_empty());
+    }
+
+    #[test]
+    fn spec_digests_separate_different_texts() {
+        assert_eq!(spec_digest("a = 1"), spec_digest("a = 1"));
+        assert_ne!(spec_digest("a = 1"), spec_digest("a = 2"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The live progress line.
+//!
+//! One stderr line — `\r`-rewritten on a terminal, printed as discrete
+//! throttled lines when stderr is a pipe (CI logs) — showing cells
+//! done/total, each worker's state, and an ETA extrapolated from the
+//! cost model: completed *cost* (SAT cells ~10× an attack-free cell)
+//! over elapsed wall-clock predicts the remaining cost's duration far
+//! better than a cell count would.
+
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+/// Display state of one worker process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Spawned, no cell started yet.
+    Idle,
+    /// Executing the cell with this grid index.
+    Running(usize),
+    /// Finished its whole assignment.
+    Done,
+    /// Crashed or wedged (its remainder moves to a restarted worker).
+    Crashed,
+}
+
+impl WorkerState {
+    fn glyph(self) -> String {
+        match self {
+            WorkerState::Idle => "idle".to_owned(),
+            WorkerState::Running(index) => format!("#{index}"),
+            WorkerState::Done => "done".to_owned(),
+            WorkerState::Crashed => "crashed".to_owned(),
+        }
+    }
+}
+
+/// Tracker + renderer of the orchestration progress line.
+pub struct Progress {
+    total_cells: usize,
+    total_cost: u64,
+    done_cells: usize,
+    done_cost: u64,
+    resumed_cost: u64,
+    workers: Vec<WorkerState>,
+    started: Instant,
+    last_emit: Option<Instant>,
+    live: bool,
+    enabled: bool,
+    min_interval: Duration,
+}
+
+impl Progress {
+    /// New tracker over `total_cells` with summed `total_cost`;
+    /// `already_done` covers journal-resumed cells (their cost counts as
+    /// instantaneous, so the ETA reflects only real remaining work).
+    pub fn new(
+        total_cells: usize,
+        total_cost: u64,
+        already_done_cells: usize,
+        already_done_cost: u64,
+        enabled: bool,
+    ) -> Self {
+        Self {
+            total_cells,
+            total_cost,
+            done_cells: already_done_cells,
+            done_cost: already_done_cost,
+            resumed_cost: already_done_cost,
+            workers: Vec::new(),
+            started: Instant::now(),
+            last_emit: None,
+            live: std::io::stderr().is_terminal(),
+            enabled,
+            min_interval: Duration::from_millis(500),
+        }
+    }
+
+    /// Registers worker slot `id` (slots appear as workers spawn,
+    /// including restarts).
+    pub fn set_state(&mut self, id: usize, state: WorkerState) {
+        if self.workers.len() <= id {
+            self.workers.resize(id + 1, WorkerState::Idle);
+        }
+        self.workers[id] = state;
+    }
+
+    /// Accounts one freshly completed cell of the given cost.
+    pub fn note_done(&mut self, cost: u64) {
+        self.done_cells += 1;
+        self.done_cost += cost;
+    }
+
+    /// Cells completed so far (including resumed ones).
+    pub fn done_cells(&self) -> usize {
+        self.done_cells
+    }
+
+    /// The rendered progress line (without trailing newline).
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "[mlrl orchestrate] {}/{} cells",
+            self.done_cells, self.total_cells
+        );
+        if !self.workers.is_empty() {
+            let states: Vec<String> = self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(id, s)| format!("w{id}:{}", s.glyph()))
+                .collect();
+            line.push_str(&format!(" · {}", states.join(" ")));
+        }
+        match self.eta() {
+            Some(eta) => line.push_str(&format!(" · ETA {}s", eta.as_secs())),
+            None => line.push_str(" · ETA -"),
+        }
+        line
+    }
+
+    /// Cost-model ETA: remaining cost scaled by the observed
+    /// cost-per-second of this run. `None` until something completes
+    /// live (resumed cells carry no timing signal).
+    fn eta(&self) -> Option<Duration> {
+        let live_cost = self.done_cost.saturating_sub(self.resumed_cost);
+        if live_cost == 0 {
+            return None;
+        }
+        let remaining = self.total_cost.saturating_sub(self.done_cost);
+        let elapsed = self.started.elapsed();
+        Some(Duration::from_secs_f64(
+            elapsed.as_secs_f64() * remaining as f64 / live_cost as f64,
+        ))
+    }
+
+    /// Emits the line to stderr, throttled unless `force`. On a terminal
+    /// the line rewrites itself (`\r`); on a pipe it prints discrete
+    /// newline-terminated lines so CI logs stay readable.
+    pub fn emit(&mut self, force: bool) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if !force {
+            if let Some(last) = self.last_emit {
+                if now.duration_since(last) < self.min_interval {
+                    return;
+                }
+            }
+        }
+        self.last_emit = Some(now);
+        let mut err = std::io::stderr().lock();
+        let _ = if self.live {
+            write!(err, "\r\x1b[2K{}", self.render())
+        } else {
+            writeln!(err, "{}", self.render())
+        };
+        let _ = err.flush();
+    }
+
+    /// Terminates a live (`\r`) progress line so following stderr output
+    /// starts on a fresh line.
+    pub fn finish(&mut self) {
+        if self.enabled && self.live && self.last_emit.is_some() {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_cells_workers_and_eta() {
+        let mut p = Progress::new(10, 19, 2, 2, false);
+        p.set_state(0, WorkerState::Running(7));
+        p.set_state(1, WorkerState::Idle);
+        let line = p.render();
+        assert!(line.contains("2/10 cells"), "{line}");
+        assert!(line.contains("w0:#7"), "{line}");
+        assert!(line.contains("w1:idle"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+
+        p.note_done(10);
+        p.set_state(0, WorkerState::Done);
+        let line = p.render();
+        assert!(line.contains("3/10 cells"), "{line}");
+        assert!(line.contains("w0:done"), "{line}");
+        // 12 of 19 cost units done: a numeric ETA exists now.
+        assert!(!line.contains("ETA -"), "{line}");
+        assert_eq!(p.done_cells(), 3);
+    }
+}

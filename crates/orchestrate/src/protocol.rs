@@ -1,0 +1,154 @@
+//! The line-delimited worker protocol.
+//!
+//! A worker process (`mlrl worker <spec> --cells ...`) speaks to its
+//! supervisor exclusively through newline-terminated stdout lines:
+//!
+//! ```text
+//! mlrl-worker v1 cells=3
+//! start 7
+//! done 7 {"index":7,"benchmark":...}
+//! heartbeat
+//! bye 3
+//! ```
+//!
+//! `done` carries the cell's *canonical record line* verbatim — the
+//! supervisor journals it byte-for-byte, which is what makes the merged
+//! orchestrated report identical to a single-process run. `heartbeat`
+//! lines flow on an interval so the supervisor can tell a wedged worker
+//! (no lines at all) from one grinding through an expensive SAT cell.
+//! Unknown lines are ignored (forward compatibility; stray prints must
+//! not kill a campaign), and every emitter flushes per line.
+
+/// Protocol revision spoken by [`hello_line`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One parsed worker line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// The worker came up and accepted its cell list.
+    Hello {
+        /// Protocol revision the worker speaks.
+        version: u32,
+        /// Number of cells it was assigned.
+        cells: usize,
+    },
+    /// A cell is about to execute.
+    Started {
+        /// Grid (row-major) index of the cell.
+        index: usize,
+    },
+    /// A cell completed (ok or failed) and this is its canonical record.
+    Done {
+        /// Grid (row-major) index of the cell.
+        index: usize,
+        /// The canonical record line, verbatim.
+        record: String,
+    },
+    /// Liveness signal between cell events.
+    Heartbeat,
+    /// The worker finished its whole assignment.
+    Bye {
+        /// Cells it completed this run.
+        completed: usize,
+    },
+}
+
+/// Formats the `hello` line.
+pub fn hello_line(cells: usize) -> String {
+    format!("mlrl-worker v{PROTOCOL_VERSION} cells={cells}")
+}
+
+/// Formats a `start` line.
+pub fn started_line(index: usize) -> String {
+    format!("start {index}")
+}
+
+/// Formats a `done` line around the cell's canonical record.
+pub fn done_line(index: usize, record: &str) -> String {
+    format!("done {index} {record}")
+}
+
+/// Formats the `heartbeat` line.
+pub fn heartbeat_line() -> String {
+    "heartbeat".to_owned()
+}
+
+/// Formats the `bye` line.
+pub fn bye_line(completed: usize) -> String {
+    format!("bye {completed}")
+}
+
+/// Parses one worker stdout line; `None` for anything that is not a
+/// protocol line (ignored by the supervisor).
+pub fn parse_line(line: &str) -> Option<WorkerEvent> {
+    let line = line.trim_end();
+    if line == "heartbeat" {
+        return Some(WorkerEvent::Heartbeat);
+    }
+    if let Some(rest) = line.strip_prefix("mlrl-worker v") {
+        let (version, cells) = rest.split_once(" cells=")?;
+        return Some(WorkerEvent::Hello {
+            version: version.parse().ok()?,
+            cells: cells.parse().ok()?,
+        });
+    }
+    if let Some(rest) = line.strip_prefix("start ") {
+        return Some(WorkerEvent::Started {
+            index: rest.parse().ok()?,
+        });
+    }
+    if let Some(rest) = line.strip_prefix("done ") {
+        let (index, record) = rest.split_once(' ')?;
+        return Some(WorkerEvent::Done {
+            index: index.parse().ok()?,
+            record: record.to_owned(),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("bye ") {
+        return Some(WorkerEvent::Bye {
+            completed: rest.parse().ok()?,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_round_trip_through_the_parser() {
+        assert_eq!(
+            parse_line(&hello_line(12)),
+            Some(WorkerEvent::Hello {
+                version: PROTOCOL_VERSION,
+                cells: 12
+            })
+        );
+        assert_eq!(
+            parse_line(&started_line(7)),
+            Some(WorkerEvent::Started { index: 7 })
+        );
+        let record = r#"{"index":7,"benchmark":"FIR"}"#;
+        assert_eq!(
+            parse_line(&done_line(7, record)),
+            Some(WorkerEvent::Done {
+                index: 7,
+                record: record.to_owned()
+            })
+        );
+        assert_eq!(parse_line(&heartbeat_line()), Some(WorkerEvent::Heartbeat));
+        assert_eq!(
+            parse_line(&bye_line(3)),
+            Some(WorkerEvent::Bye { completed: 3 })
+        );
+    }
+
+    #[test]
+    fn non_protocol_lines_are_ignored_not_errors() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("warning: something"), None);
+        assert_eq!(parse_line("done notanumber {}"), None);
+        assert_eq!(parse_line("start"), None);
+    }
+}

@@ -1,0 +1,408 @@
+//! The supervisor: process lifecycle, failure recovery, merge.
+//!
+//! [`orchestrate`] is the one call behind `mlrl orchestrate`: it plans
+//! the journal-aware cost-balanced assignments, spawns one worker
+//! process per non-empty assignment (all pointed at one shared
+//! content-addressed cache dir), supervises them over the
+//! [`crate::protocol`] line stream, journals every completed cell,
+//! restarts a crashed or wedged worker with its remaining cells, and on
+//! completion merges the canonical unsharded byte stream in-process.
+//!
+//! Failure model:
+//!
+//! - a worker *crash* (process exit with unfinished cells, for any
+//!   reason — OOM kill, panic outside a cell, fault injection) loses
+//!   only its in-flight cells: everything journaled stays done, and a
+//!   replacement worker takes over the remainder;
+//! - a worker *wedge* (no protocol lines — not even heartbeats — for
+//!   `wedge_timeout`) is killed and treated as a crash;
+//! - more than `max_restarts` replacements aborts the orchestration
+//!   with the journal intact, so `--resume` continues where it stopped;
+//! - killing the *orchestrator* itself at any instant is recoverable
+//!   the same way: the journal is flushed per cell.
+
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use mlrl_engine::report::{escape_for_header, merge_canonical_streams};
+use mlrl_engine::run::scheduled_jobs;
+use mlrl_engine::spec::CampaignSpec;
+
+use crate::journal::Journal;
+use crate::plan::{plan_assignments, spec_digest};
+use crate::progress::{Progress, WorkerState};
+use crate::protocol::{parse_line, WorkerEvent};
+
+/// Everything `mlrl orchestrate` decides before handing off to
+/// [`orchestrate`].
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Campaign spec file the workers (re-)read.
+    pub spec_path: PathBuf,
+    /// Run directory holding the journal (and the default cache dir).
+    pub run_dir: PathBuf,
+    /// Continue a previous orchestration's journal instead of starting
+    /// fresh.
+    pub resume: bool,
+    /// Worker processes to spawn.
+    pub workers: usize,
+    /// Worker command prefix (e.g. `[<mlrl binary>, "worker"]`); the
+    /// spec path and per-worker flags are appended.
+    pub worker_cmd: Vec<String>,
+    /// Shared content-addressed artifact cache dir; defaults to
+    /// `<run_dir>/cache` (sound to share: artifacts are
+    /// content-addressed, so co-located workers warm each other).
+    pub cache_dir: Option<PathBuf>,
+    /// Total spill budget in bytes for the shared cache dir
+    /// (`--cache-cap`; LRU eviction). Split evenly across the `workers`
+    /// processes — each worker's LRU index tracks only its own writes,
+    /// so handing every process the full budget would bound the shared
+    /// directory at `workers × cap` instead of `cap`. The resulting
+    /// bound is approximate (a worker cannot evict a sibling's files),
+    /// but the budget, not a multiple of it, is the growth target.
+    pub cache_cap: Option<u64>,
+    /// In-process threads per worker (process-level parallelism is the
+    /// point, so the default is 1).
+    pub worker_threads: usize,
+    /// Worker heartbeat interval in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Silence window after which a worker counts as wedged.
+    pub wedge_timeout: Duration,
+    /// Replacement workers allowed before the orchestration aborts.
+    pub max_restarts: usize,
+    /// Whether to render the live progress line.
+    pub progress: bool,
+}
+
+impl OrchestratorConfig {
+    /// Defaults for a local orchestration of `spec_path` under
+    /// `run_dir`; the caller must still fill in `worker_cmd`.
+    pub fn new(spec_path: impl Into<PathBuf>, run_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spec_path: spec_path.into(),
+            run_dir: run_dir.into(),
+            resume: false,
+            workers: 2,
+            worker_cmd: Vec::new(),
+            cache_dir: None,
+            cache_cap: None,
+            worker_threads: 1,
+            heartbeat_ms: 1000,
+            wedge_timeout: Duration::from_secs(30),
+            max_restarts: 3,
+            progress: true,
+        }
+    }
+}
+
+/// What an orchestration accomplished.
+#[derive(Debug, Clone)]
+pub struct OrchestrationOutcome {
+    /// The merged canonical JSON-lines stream — byte-identical to
+    /// `mlrl campaign <spec> --canonical` on one process.
+    pub canonical: String,
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// Total grid cells.
+    pub cells: usize,
+    /// Cells replayed from the journal (resume).
+    pub resumed_cells: usize,
+    /// Cells executed by workers this orchestration.
+    pub executed_cells: usize,
+    /// Cells whose record carries a failed status.
+    pub failed_cells: usize,
+    /// Replacement workers spawned after crashes/wedges.
+    pub restarts: usize,
+    /// Worker processes spawned in total.
+    pub workers_spawned: usize,
+    /// End-to-end wall-clock.
+    pub wall: Duration,
+}
+
+/// One supervised worker process.
+struct Slot {
+    child: Child,
+    pending: BTreeSet<usize>,
+    last_seen: Instant,
+    alive: bool,
+    /// Kill already sent (wedge); suppresses double-kills.
+    killing: bool,
+}
+
+enum Msg {
+    Event(usize, WorkerEvent),
+    Eof(usize),
+    Tick,
+}
+
+/// Runs a full orchestration; see the module docs for the failure model.
+///
+/// # Errors
+///
+/// Returns a message on spec/journal/spawn errors, on exceeding the
+/// restart budget, or on a final record set that does not merge into a
+/// complete canonical stream. The journal survives every error path, so
+/// a failed orchestration is resumable.
+pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, String> {
+    let started = Instant::now();
+    let spec_text = std::fs::read_to_string(&cfg.spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", cfg.spec_path.display()))?;
+    let spec =
+        CampaignSpec::parse(&spec_text).map_err(|e| format!("{}: {e}", cfg.spec_path.display()))?;
+    let jobs = scheduled_jobs(&spec);
+    let cost_of = {
+        let mut costs = vec![1u64; jobs.len()];
+        for job in &jobs {
+            costs[job.index] = job.cost();
+        }
+        costs
+    };
+
+    let mut journal = Journal::open(
+        &cfg.run_dir,
+        &spec.name,
+        jobs.len(),
+        spec_digest(&spec_text),
+        cfg.resume,
+    )?;
+    let resumed_cells = journal.len();
+    let resumed_cost: u64 = journal.completed().keys().map(|&i| cost_of[i]).sum();
+    let mut progress = Progress::new(
+        jobs.len(),
+        cost_of.iter().sum(),
+        resumed_cells,
+        resumed_cost,
+        cfg.progress,
+    );
+
+    let assignments = plan_assignments(&jobs, journal.completed(), cfg.workers);
+    let mut restarts = 0usize;
+    let mut workers_spawned = 0usize;
+
+    if !assignments.is_empty() {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let mut slots: Vec<Slot> = Vec::new();
+        for cells in &assignments {
+            let slot = spawn_worker(cfg, cells, slots.len(), &tx).inspect_err(|_| {
+                kill_all(&mut slots);
+            })?;
+            progress.set_state(slots.len(), WorkerState::Idle);
+            slots.push(slot);
+            workers_spawned += 1;
+        }
+        // Ticker: drives wedge detection and progress refresh; exits when
+        // the supervisor drops the receiver.
+        {
+            let tx = tx.clone();
+            std::thread::spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(200));
+                if tx.send(Msg::Tick).is_err() {
+                    break;
+                }
+            });
+        }
+
+        while journal.len() < jobs.len() {
+            let msg = rx
+                .recv()
+                .map_err(|_| "supervisor channel closed unexpectedly".to_owned())?;
+            match msg {
+                Msg::Event(id, event) => {
+                    slots[id].last_seen = Instant::now();
+                    match event {
+                        WorkerEvent::Hello { .. } => {}
+                        WorkerEvent::Started { index } => {
+                            progress.set_state(id, WorkerState::Running(index));
+                        }
+                        WorkerEvent::Done { index, record } => {
+                            if let Err(e) = journal.record(index, &record) {
+                                kill_all(&mut slots);
+                                return Err(e);
+                            }
+                            slots[id].pending.remove(&index);
+                            progress.note_done(cost_of.get(index).copied().unwrap_or(1));
+                            progress.emit(false);
+                        }
+                        WorkerEvent::Heartbeat => {}
+                        WorkerEvent::Bye { .. } => {
+                            progress.set_state(id, WorkerState::Done);
+                        }
+                    }
+                }
+                Msg::Eof(id) => {
+                    let _ = slots[id].child.wait();
+                    slots[id].alive = false;
+                    if slots[id].pending.is_empty() {
+                        progress.set_state(id, WorkerState::Done);
+                        continue;
+                    }
+                    // Crash or wedge-kill with work left: restart on the
+                    // remainder.
+                    progress.set_state(id, WorkerState::Crashed);
+                    restarts += 1;
+                    if restarts > cfg.max_restarts {
+                        kill_all(&mut slots);
+                        progress.finish();
+                        return Err(format!(
+                            "worker crashed and the restart budget ({}) is exhausted; \
+                             journal retained — continue with --resume {}",
+                            cfg.max_restarts,
+                            cfg.run_dir.display()
+                        ));
+                    }
+                    let remainder: Vec<usize> = slots[id].pending.iter().copied().collect();
+                    eprintln!(
+                        "\n[mlrl orchestrate] worker {id} lost with {} cell(s) left; \
+                         restarting as worker {} (restart {restarts}/{})",
+                        remainder.len(),
+                        slots.len(),
+                        cfg.max_restarts
+                    );
+                    let slot =
+                        spawn_worker(cfg, &remainder, slots.len(), &tx).inspect_err(|_| {
+                            kill_all(&mut slots);
+                        })?;
+                    progress.set_state(slots.len(), WorkerState::Idle);
+                    slots.push(slot);
+                    workers_spawned += 1;
+                }
+                Msg::Tick => {
+                    for (id, slot) in slots.iter_mut().enumerate() {
+                        if slot.alive
+                            && !slot.killing
+                            && slot.last_seen.elapsed() > cfg.wedge_timeout
+                        {
+                            eprintln!(
+                                "\n[mlrl orchestrate] worker {id} silent for {:?}; killing as wedged",
+                                cfg.wedge_timeout
+                            );
+                            slot.killing = true;
+                            let _ = slot.child.kill(); // EOF follows; crash path restarts
+                        }
+                    }
+                    progress.emit(false);
+                }
+            }
+        }
+        // Every cell is journaled; the workers are at (or past) `bye`.
+        for slot in &mut slots {
+            if slot.alive {
+                let _ = slot.child.wait();
+            }
+        }
+        progress.emit(true);
+        progress.finish();
+    }
+
+    // The in-process merge: replay the journal through the same
+    // validator shard merging uses, proving the record set is complete
+    // and gap-free, and emitting the exact canonical unsharded bytes.
+    let mut stream = format!(
+        "{{\"campaign\":\"{}\",\"jobs\":{}}}\n",
+        escape_for_header(&spec.name),
+        journal.len()
+    );
+    for line in journal.completed().values() {
+        stream.push_str(line);
+        stream.push('\n');
+    }
+    let canonical = merge_canonical_streams(&[stream])?;
+    let failed_cells = journal
+        .completed()
+        .values()
+        .filter(|line| line.contains("\"status\":\"failed\""))
+        .count();
+
+    Ok(OrchestrationOutcome {
+        canonical,
+        campaign: spec.name.clone(),
+        cells: jobs.len(),
+        resumed_cells,
+        executed_cells: journal.len() - resumed_cells,
+        failed_cells,
+        restarts,
+        workers_spawned,
+        wall: started.elapsed(),
+    })
+}
+
+/// Spawns one worker process over `cells` and its stdout reader thread.
+fn spawn_worker(
+    cfg: &OrchestratorConfig,
+    cells: &[usize],
+    id: usize,
+    tx: &mpsc::Sender<Msg>,
+) -> Result<Slot, String> {
+    let (program, prefix) = cfg
+        .worker_cmd
+        .split_first()
+        .ok_or("orchestrator config lists no worker command")?;
+    let cache_dir = cfg
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| cfg.run_dir.join("cache"));
+    let csv: Vec<String> = cells.iter().map(usize::to_string).collect();
+    let mut command = Command::new(program);
+    command
+        .args(prefix)
+        .arg(&cfg.spec_path)
+        .arg("--cells")
+        .arg(csv.join(","))
+        .arg("--threads")
+        .arg(cfg.worker_threads.max(1).to_string())
+        .arg("--heartbeat-ms")
+        .arg(cfg.heartbeat_ms.to_string())
+        .arg("--cache-dir")
+        .arg(&cache_dir);
+    if let Some(cap) = cfg.cache_cap {
+        // Each worker polices only its own writes: share out the budget
+        // so the directory's growth target is `cap`, not `workers × cap`.
+        let share = (cap / cfg.workers.max(1) as u64).max(1);
+        command.arg("--cache-cap").arg(share.to_string());
+    }
+    let mut child = command
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker `{program}`: {e}"))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or("worker stdout was not captured")?;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(stdout);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if let Some(event) = parse_line(&line) {
+                if tx.send(Msg::Event(id, event)).is_err() {
+                    return;
+                }
+            }
+        }
+        let _ = tx.send(Msg::Eof(id));
+    });
+    Ok(Slot {
+        child,
+        pending: cells.iter().copied().collect(),
+        last_seen: Instant::now(),
+        alive: true,
+        killing: false,
+    })
+}
+
+/// Best-effort kill of every live worker (error paths).
+fn kill_all(slots: &mut [Slot]) {
+    for slot in slots {
+        if slot.alive {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+            slot.alive = false;
+        }
+    }
+}

@@ -150,8 +150,8 @@ impl Oracle for SimOracle<'_> {
 #[derive(Debug, Clone)]
 pub struct SatAttackReport {
     /// The recovered key. Functionally correct when `proved` is true;
-    /// best-effort (consistent with every collected DIP, but unproven)
-    /// when a budget ran out first.
+    /// best-effort (consistent with every collected DIP, validated
+    /// against the oracle on random probes) when a budget ran out first.
     pub key: Vec<bool>,
     /// Number of distinguishing input patterns (oracle queries) needed.
     pub dips: usize,
@@ -159,6 +159,14 @@ pub struct SatAttackReport {
     /// correctness proof) rather than an exhausted iteration or clause
     /// budget.
     pub proved: bool,
+    /// DIP-consistent candidate keys the post-budget validation sweep
+    /// enumerated and ranked (1 when the attack proved, or when the
+    /// constraint system admits a single key).
+    pub candidates: usize,
+    /// Fraction of validation probes the returned key agreed with the
+    /// oracle on; `None` when no validation sweep ran (proof reached,
+    /// single candidate, or `validation_probes = 0`).
+    pub validation_agreement: Option<f64>,
 }
 
 /// Configuration of a SAT attack run.
@@ -171,6 +179,14 @@ pub struct SatAttackConfig {
     /// cap; campaign specs use this to bound worst-case solver memory per
     /// cell.
     pub max_clauses: usize,
+    /// Random probe vectors used by the post-budget validation sweep:
+    /// when a budget exhausts before a proof, up to 64 DIP-consistent
+    /// candidate keys ride the lanes of *one* key-sweep simulation per
+    /// probe and the best-agreeing key is returned (see
+    /// [`SatAttackReport::validation_agreement`]). `0` disables the
+    /// sweep and returns the solver's first candidate, the historical
+    /// behaviour.
+    pub validation_probes: usize,
 }
 
 impl Default for SatAttackConfig {
@@ -178,6 +194,7 @@ impl Default for SatAttackConfig {
         Self {
             max_dips: 256,
             max_clauses: usize::MAX,
+            validation_probes: 16,
         }
     }
 }
@@ -348,24 +365,151 @@ pub fn sat_attack(
         }
     }
     let mut key_solver = Solver::from_builder(&kb);
-    let model = match key_solver.solve() {
-        SolveResult::Sat(m) => m,
+    let key_nets: Vec<NetId> = locked.key_bits().to_vec();
+    let extract_key = |model: &[bool]| -> Vec<bool> {
+        key_nets
+            .iter()
+            .map(|k| {
+                let l = key_vars[k];
+                l.value_under(model[l.var().index()])
+            })
+            .collect()
+    };
+    let first = match key_solver.solve() {
+        SolveResult::Sat(m) => extract_key(&m),
         SolveResult::Unsat => {
             return Err(NetlistError::Lock(
                 "no key consistent with oracle responses (inconsistent oracle?)".to_owned(),
             ))
         }
     };
-    let key: Vec<bool> = locked
-        .key_bits()
-        .iter()
-        .map(|k| {
-            let l = key_vars[k];
-            l.value_under(model[l.var().index()])
+
+    // Post-budget validation: an unproved key is only one member of the
+    // DIP-consistent class, and the extraction solver's first model has no
+    // reason to be its best member. Enumerate up to 64 class members by
+    // blocking solved models, then rank them against the oracle on random
+    // probes — every candidate rides one lane of the word simulator, so
+    // each probe costs a single topological walk (`key_sweep_digests`).
+    let mut candidates = vec![first];
+    let mut validation_agreement = None;
+    if !proved && cfg.validation_probes > 0 {
+        while candidates.len() < LANES {
+            let last = candidates.last().expect("at least the first key");
+            let block: Vec<Lit> = key_nets
+                .iter()
+                .zip(last)
+                .map(|(k, &bit)| {
+                    let l = key_vars[k];
+                    if bit {
+                        l.inverted()
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            key_solver.add_clause(&block);
+            match key_solver.solve() {
+                SolveResult::Sat(m) => candidates.push(extract_key(&m)),
+                SolveResult::Unsat => break,
+            }
+        }
+        if candidates.len() > 1 {
+            let (best, agreement) =
+                rank_candidates(locked, oracle, &candidates, cfg.validation_probes)?;
+            validation_agreement = Some(agreement);
+            candidates.swap(0, best);
+        }
+    }
+
+    let enumerated = candidates.len();
+    let key = candidates.swap_remove(0);
+    Ok(SatAttackReport {
+        key,
+        dips,
+        proved,
+        candidates: enumerated,
+        validation_agreement,
+    })
+}
+
+/// Ranks DIP-consistent candidate keys by output agreement with the
+/// oracle over deterministic random probe vectors. Candidate `i` rides
+/// lane `i` of the 64-wide simulator, so each probe settles *once* for
+/// the whole candidate set; the oracle answers the probe batch through
+/// its own lane-batched entry point. Returns the winning candidate's
+/// index (ties break toward the earliest enumerated, keeping the attack
+/// deterministic) and its agreement fraction.
+fn rank_candidates(
+    locked: &Netlist,
+    oracle: &mut dyn Oracle,
+    candidates: &[Vec<bool>],
+    probes: usize,
+) -> Result<(usize, f64), NetlistError> {
+    // splitmix64 over a fixed constant: deterministic probes with no RNG
+    // dependency (the attack's only randomness requirement is coverage).
+    let mut state = 0x5EED_DA7A_0F5A_7A11u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let stimuli: Vec<Vec<(String, u64)>> = (0..probes)
+        .map(|_| {
+            locked
+                .inputs()
+                .iter()
+                .map(|p| {
+                    let mask = if p.width() >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << p.width()) - 1
+                    };
+                    (p.name.clone(), next() & mask)
+                })
+                .collect()
         })
         .collect();
+    let refs: Vec<&[(String, u64)]> = stimuli.iter().map(Vec::as_slice).collect();
+    let responses = oracle.query_batch(&refs);
 
-    Ok(SatAttackReport { key, dips, proved })
+    let mut sim = NetlistSimulator::new(locked)?;
+    let keys: Vec<&[bool]> = candidates.iter().map(Vec::as_slice).collect();
+    let mut scores = vec![0usize; candidates.len()];
+    for (stimulus, response) in stimuli.iter().zip(&responses) {
+        for (name, v) in stimulus {
+            sim.set_input(name, *v)?;
+        }
+        let digests = sim.key_sweep_digests(&keys)?;
+        let oracle_digest = digest_response(locked, response);
+        for (score, digest) in scores.iter_mut().zip(&digests) {
+            if *digest == oracle_digest {
+                *score += 1;
+            }
+        }
+    }
+    let best = (0..candidates.len())
+        .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+        .expect("at least one candidate");
+    Ok((best, scores[best] as f64 / probes.max(1) as f64))
+}
+
+/// The oracle response's output digest, computed exactly as
+/// [`NetlistSimulator::outputs_digest_lane`] computes a lane's — ports
+/// walked in netlist output order, matched by name.
+fn digest_response(locked: &Netlist, response: &[(String, u64)]) -> u64 {
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for p in locked.outputs() {
+        let value = response
+            .iter()
+            .find(|(name, _)| *name == p.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        digest ^= value;
+        digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+    digest
 }
 
 /// Appends one I/O constraint to the incremental solver: a fresh copy of the
@@ -539,9 +683,72 @@ mod tests {
         let cfg = SatAttackConfig {
             max_dips: 256,
             max_clauses: 1,
+            ..Default::default()
         };
         let report = sat_attack(&locked, &mut oracle, &cfg).unwrap();
         assert!(!report.proved, "1-clause budget cannot prove anything");
+    }
+
+    #[test]
+    fn post_budget_validation_sweeps_candidates_on_the_lanes() {
+        // An inversion-sensitive cone (no parity paths): every wrong key
+        // bit corrupts some output, so ranking DIP-consistent candidates
+        // by oracle agreement pulls the functionally correct key out of
+        // the class. A 0-DIP budget makes *every* key DIP-consistent —
+        // the hardest case for the validation sweep.
+        let mut nb = NetlistBuilder::new(Netlist::new("t"));
+        let a = nb.input_lane("a", 8);
+        let b = nb.input_lane("b", 8);
+        let x = nb.and_lane(a, b);
+        let o = nb.or_lane(x, b);
+        nb.output_from_lane("y", o, 8);
+        let mut locked = nb.finish();
+        locked.sweep();
+        let key = xor_xnor_lock(&mut locked, 5, 31).unwrap();
+
+        let cfg = SatAttackConfig {
+            max_dips: 0,
+            validation_probes: 24,
+            ..Default::default()
+        };
+        let (report, correct) = sat_attack_with_sim_oracle(&locked, key.bits(), &cfg).unwrap();
+        assert!(!report.proved);
+        assert!(
+            report.candidates > 1,
+            "a 0-DIP budget must leave multiple candidates"
+        );
+        let agreement = report
+            .validation_agreement
+            .expect("sweep ran: budget exhausted with probes configured");
+        assert!(
+            (agreement - 1.0).abs() < 1e-9,
+            "best candidate must match the oracle on every probe (got {agreement})"
+        );
+        assert!(correct, "validated key must unlock the design");
+        assert_eq!(report.key, key.bits());
+
+        // Disabling the sweep restores the historical first-model pick.
+        let cfg = SatAttackConfig {
+            max_dips: 0,
+            validation_probes: 0,
+            ..Default::default()
+        };
+        let mut oracle = SimOracle::new(&locked, key.bits()).unwrap();
+        let report = sat_attack(&locked, &mut oracle, &cfg).unwrap();
+        assert_eq!(report.candidates, 1);
+        assert!(report.validation_agreement.is_none());
+    }
+
+    #[test]
+    fn proved_attacks_skip_the_validation_sweep() {
+        let mut locked = sample_netlist();
+        let key = xor_xnor_lock(&mut locked, 6, 4).unwrap();
+        let (report, correct) =
+            sat_attack_with_sim_oracle(&locked, key.bits(), &SatAttackConfig::default()).unwrap();
+        assert!(report.proved);
+        assert!(correct);
+        assert_eq!(report.candidates, 1);
+        assert!(report.validation_agreement.is_none());
     }
 
     #[test]

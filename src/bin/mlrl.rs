@@ -13,8 +13,15 @@
 //!             [-o locked.v] [--key-out key.txt]
 //! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
 //! mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl]
-//!             [--cache-dir DIR] [--canonical] [--shard I/N]
+//!             [--cache-dir DIR] [--cache-cap BYTES] [--canonical]
+//!             [--shard I/N]
 //! mlrl merge  <shard.jsonl>... [-o merged.jsonl]
+//! mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR]
+//!             [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N]
+//!             [--wedge-timeout SECS] [--max-restarts N] [--canonical]
+//!             [--jsonl out.jsonl] [--quick]
+//! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR]
+//!             [--cache-cap BYTES] [--heartbeat-ms MS]
 //! ```
 //!
 //! Keys are stored as plain bit strings, `K[0]` first. Campaign spec
@@ -23,16 +30,28 @@
 //! deterministic partitions of the job list (run every shard — on as
 //! many processes or machines as you like — then `mlrl merge` their
 //! `--canonical` outputs back into the byte stream an unsharded run
-//! would print).
+//! would print). `orchestrate` drives that whole flow on one machine:
+//! it spawns `--workers` worker processes over cost-balanced cell
+//! assignments, shares one content-addressed cache dir, journals every
+//! completed cell under the run dir (so a killed orchestration resumes
+//! with `--resume <dir>`), restarts crashed or wedged workers, and
+//! merges the canonical unsharded bytes in-process. `worker` is the
+//! internal per-process mode `orchestrate` spawns; it streams the
+//! line protocol of `mlrl_orchestrate::protocol` on stdout.
 
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use mlrl::attack::freq_table::freq_table_attack;
 use mlrl::attack::relock::RelockConfig;
+use mlrl::engine::cache::parse_byte_size;
 use mlrl::engine::job::ShardSpec;
 use mlrl::engine::report::merge_canonical_streams;
-use mlrl::engine::run::Engine;
+use mlrl::engine::run::{Engine, JobEvent};
 use mlrl::engine::spec::CampaignSpec;
 use mlrl::locking::assure::{lock_operations, AssureConfig};
 use mlrl::locking::era::{era_lock, EraConfig};
@@ -44,6 +63,8 @@ use mlrl::netlist::emit::emit_structural_verilog;
 use mlrl::netlist::lock::{lock_netlist, GateLockScheme};
 use mlrl::netlist::lower::lower_module;
 use mlrl::netlist::stats::NetlistStats;
+use mlrl::orchestrate::protocol;
+use mlrl::orchestrate::supervise::{orchestrate, OrchestratorConfig};
 use mlrl::rtl::bench_designs::{benchmark_by_name, generate, paper_benchmarks};
 use mlrl::rtl::emit::emit_verilog;
 use mlrl::rtl::equiv::{check_equiv, EquivConfig, EquivResult};
@@ -54,7 +75,7 @@ use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
 
 /// Flags that take no value; the parser must not consume the next token
 /// as their argument (`mlrl campaign --canonical spec.txt`).
-const BOOLEAN_FLAGS: &[&str] = &["canonical"];
+const BOOLEAN_FLAGS: &[&str] = &["canonical", "quick"];
 
 struct Args {
     positional: Vec<String>,
@@ -427,9 +448,15 @@ fn cmd_sat_attack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds an engine honouring the shared `--cache-dir` / `--cache-cap`
+/// flags (`--cache-cap` without a dir is meaningless and rejected).
+fn engine_from_cache_flags(args: &Args) -> Result<Engine, String> {
+    Engine::from_cache_flags(args.flag("cache-dir"), args.flag("cache-cap"))
+}
+
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--canonical] [--shard I/N]",
+        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N]",
     )?;
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -437,10 +464,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         spec.threads = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
     }
     let shard = args.flag("shard").map(ShardSpec::parse).transpose()?;
-    let mut engine = Engine::new();
-    if let Some(dir) = args.flag("cache-dir") {
-        engine = engine.with_cache_dir(dir);
-    }
+    let engine = engine_from_cache_flags(args)?;
     eprintln!(
         "campaign `{}`: {} cells ({} benchmarks x {} levels x {} schemes x {} budgets x {} seeds x {} attacks, level-incompatible combos skipped){}",
         spec.name,
@@ -493,6 +517,183 @@ fn cmd_merge(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes one worker-protocol line to stdout, flushed immediately so the
+/// supervisor (and the crash journal behind it) sees every completion
+/// the instant it happens.
+fn emit_protocol_line(line: &str) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Internal worker mode spawned by `mlrl orchestrate`: runs exactly the
+/// grid cells listed in `--cells`, streaming the line protocol of
+/// `mlrl_orchestrate::protocol` on stdout.
+///
+/// Fault injection for crash-recovery tests: with `MLRL_FAULT_CELL=<i>`
+/// in the environment, the worker aborts right before executing cell
+/// `i`. When `MLRL_FAULT_FLAG=<path>` is also set, the abort is
+/// one-shot — the flag file is created first, and a worker that finds
+/// it existing runs normally (so the restarted/resumed worker gets
+/// through).
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or(
+        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS]",
+    )?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.threads = args.num("threads", 1usize);
+    let cells: Vec<usize> = args
+        .flag("cells")
+        .ok_or("missing --cells <i,j,...>")?
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|e| format!("bad cell index `{t}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let total = spec.cells();
+    if let Some(bad) = cells.iter().find(|&&i| i >= total) {
+        return Err(format!("cell index {bad} out of range ({total} cells)"));
+    }
+
+    emit_protocol_line(&protocol::hello_line(cells.len()));
+
+    // Heartbeats flow between cell events so the supervisor can tell a
+    // wedged worker from one grinding through an expensive cell.
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let finished = Arc::clone(&finished);
+        let interval = Duration::from_millis(args.num("heartbeat-ms", 1000u64).max(10));
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if finished.load(Ordering::Relaxed) {
+                break;
+            }
+            emit_protocol_line(&protocol::heartbeat_line());
+        });
+    }
+
+    let fault_cell: Option<usize> = std::env::var("MLRL_FAULT_CELL")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let fault_flag: Option<PathBuf> = std::env::var("MLRL_FAULT_FLAG").ok().map(PathBuf::from);
+
+    let emitted = Arc::new(Mutex::new(std::collections::HashSet::new()));
+    let emitted_by_observer = Arc::clone(&emitted);
+    let engine = engine_from_cache_flags(args)?.with_observer(Arc::new(move |event| {
+        match event {
+            JobEvent::Started { index } => {
+                if Some(index) == fault_cell {
+                    let fire = match &fault_flag {
+                        Some(flag) if flag.exists() => false, // already fired once
+                        Some(flag) => {
+                            let _ = fs::write(flag, "fault");
+                            true
+                        }
+                        None => true,
+                    };
+                    if fire {
+                        // Simulated hard crash: no unwinding, no events.
+                        std::process::abort();
+                    }
+                }
+                emit_protocol_line(&protocol::started_line(index));
+            }
+            JobEvent::Finished { record } => {
+                emit_protocol_line(&protocol::done_line(record.index, &record.canonical_line()));
+                emitted_by_observer
+                    .lock()
+                    .expect("emitted set poisoned")
+                    .insert(record.index);
+            }
+        }
+    }));
+
+    let report = engine.run_cells(&spec, &cells);
+    finished.store(true, Ordering::Relaxed);
+    // Cells that panicked escape the observer; their Failed records only
+    // materialize in the report, so stream the stragglers now.
+    let emitted = emitted.lock().expect("emitted set poisoned");
+    for record in &report.records {
+        if !emitted.contains(&record.index) {
+            emit_protocol_line(&protocol::done_line(record.index, &record.canonical_line()));
+        }
+    }
+    emit_protocol_line(&protocol::bye_line(report.records.len()));
+    Ok(())
+}
+
+fn cmd_orchestrate(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or(
+        "usage: mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR] \
+         [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N] [--wedge-timeout SECS] \
+         [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick]",
+    )?;
+    let (run_dir, resume) = match args.flag("resume") {
+        Some(dir) => (PathBuf::from(dir), true),
+        None => (
+            PathBuf::from(args.flag("run-dir").unwrap_or("mlrl-run")),
+            false,
+        ),
+    };
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+
+    let mut cfg = OrchestratorConfig::new(path, &run_dir);
+    cfg.resume = resume;
+    cfg.workers = args.num("workers", 2usize).max(1);
+    cfg.worker_cmd = vec![exe.to_string_lossy().into_owned(), "worker".to_owned()];
+    cfg.cache_dir = args.flag("cache-dir").map(PathBuf::from);
+    cfg.cache_cap = args
+        .flag("cache-cap")
+        .map(parse_byte_size)
+        .transpose()
+        .map_err(|e| format!("bad --cache-cap: {e}"))?;
+    cfg.worker_threads = args.num("worker-threads", 1usize).max(1);
+    cfg.wedge_timeout = Duration::from_secs(args.num("wedge-timeout", 30u64).max(1));
+    cfg.max_restarts = args.num("max-restarts", 3usize);
+    if args.has("quick") {
+        // Smoke-test timing: tight heartbeats and wedge detection so a
+        // small campaign's supervision overhead stays negligible. Never
+        // touches the science — output bytes are unaffected. An explicit
+        // --wedge-timeout still wins.
+        cfg.heartbeat_ms = 200;
+        if args.flag("wedge-timeout").is_none() {
+            cfg.wedge_timeout = Duration::from_secs(10);
+        }
+    }
+
+    let outcome = orchestrate(&cfg)?;
+
+    let merged_path = run_dir.join("merged.jsonl");
+    fs::write(&merged_path, &outcome.canonical)
+        .map_err(|e| format!("cannot write {}: {e}", merged_path.display()))?;
+    if let Some(out) = args.flag("jsonl") {
+        fs::write(out, &outcome.canonical).map_err(|e| e.to_string())?;
+    }
+    if args.has("canonical") {
+        print!("{}", outcome.canonical);
+    }
+    eprintln!(
+        "orchestrated `{}`: {} cells ({} resumed, {} executed, {} failed) on {} worker process(es), {} restart(s), {} ms; merged -> {}",
+        outcome.campaign,
+        outcome.cells,
+        outcome.resumed_cells,
+        outcome.executed_cells,
+        outcome.failed_cells,
+        outcome.workers_spawned,
+        outcome.restarts,
+        outcome.wall.as_millis(),
+        merged_path.display(),
+    );
+    if outcome.failed_cells > 0 {
+        return Err(format!("{} cell(s) failed", outcome.failed_cells));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&argv);
@@ -508,8 +709,10 @@ fn run() -> Result<(), String> {
         Some("sat-attack") => cmd_sat_attack(&args),
         Some("campaign") => cmd_campaign(&args),
         Some("merge") => cmd_merge(&args),
+        Some("orchestrate") => cmd_orchestrate(&args),
+        Some("worker") => cmd_worker(&args),
         _ => Err(
-            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge> ...\nsee `src/bin/mlrl.rs` docs"
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge|orchestrate|worker> ...\nsee `src/bin/mlrl.rs` docs"
                 .to_owned(),
         ),
     }

@@ -15,7 +15,12 @@
 //!   SAT attack,
 //! - [`engine`] — the parallel experiment-campaign engine with
 //!   content-addressed artifact caching (`mlrl campaign` runs its spec
-//!   files end to end).
+//!   files end to end),
+//! - [`orchestrate`] — the multi-process campaign orchestrator: plans
+//!   cost-balanced worker assignments, spawns and supervises worker
+//!   processes over a line protocol, journals completed cells for
+//!   checkpoint/resume, and merges the canonical report in-process
+//!   (`mlrl orchestrate`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end lock → attack → score
 //! walkthrough, and the `mlrl-bench` binaries for the paper's figures.
@@ -39,5 +44,6 @@ pub use mlrl_engine as engine;
 pub use mlrl_locking as locking;
 pub use mlrl_ml as ml;
 pub use mlrl_netlist as netlist;
+pub use mlrl_orchestrate as orchestrate;
 pub use mlrl_rtl as rtl;
 pub use mlrl_sat as sat;

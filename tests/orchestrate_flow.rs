@@ -1,0 +1,293 @@
+//! Integration tests of `mlrl orchestrate`, driven through the real CLI
+//! binary: worker processes, supervision, crash restart, checkpoint
+//! resume — all proven against the one invariant that matters, byte
+//! identity with the unsharded single-process run.
+//!
+//! Worker crashes are injected with the `MLRL_FAULT_CELL` env var (the
+//! worker aborts right before executing that grid cell); adding
+//! `MLRL_FAULT_FLAG=<path>` makes the fault one-shot so restarted or
+//! resumed workers get through.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mlrl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlrl"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlrl-orch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Writes the acceptance spec (4 cells: 2 schemes × {freq-table, none})
+/// and returns its path.
+fn write_spec(dir: &Path) -> PathBuf {
+    let path = dir.join("campaign.spec");
+    std::fs::write(
+        &path,
+        "name       = orch-flow\n\
+         benchmarks = FIR\n\
+         schemes    = assure era\n\
+         budgets    = 0.5\n\
+         seeds      = 11\n\
+         attacks    = freq-table none\n\
+         relock_rounds = 6\n\
+         threads    = 1\n",
+    )
+    .expect("write spec");
+    path
+}
+
+fn stdout_of(out: &Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The single-process canonical reference stream.
+fn unsharded_reference(spec: &Path) -> String {
+    let out = mlrl()
+        .args(["campaign", spec.to_str().unwrap(), "--canonical"])
+        .output()
+        .expect("run campaign");
+    stdout_of(&out, "single-process campaign")
+}
+
+#[test]
+fn orchestrated_runs_are_byte_identical_to_the_single_process_run() {
+    let dir = tmpdir("basic");
+    let spec = write_spec(&dir);
+    let full = unsharded_reference(&spec);
+
+    let run_dir = dir.join("run");
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--canonical",
+        ])
+        .output()
+        .expect("run orchestrate");
+    let orchestrated = stdout_of(&out, "orchestrate");
+    assert_eq!(
+        orchestrated, full,
+        "orchestrated canonical bytes must equal the unsharded run's"
+    );
+
+    // The run dir holds the journal and the merged stream.
+    assert!(run_dir.join("journal.jsonl").exists());
+    assert_eq!(
+        std::fs::read_to_string(run_dir.join("merged.jsonl")).expect("merged written"),
+        full
+    );
+    // Workers shared the run dir's content-addressed cache.
+    assert!(
+        std::fs::read_dir(run_dir.join("cache"))
+            .map(|entries| entries.count() > 0)
+            .unwrap_or(false),
+        "workers must spill into the shared cache dir"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crashed_workers_are_restarted_without_perturbing_the_bytes() {
+    let dir = tmpdir("crash");
+    let spec = write_spec(&dir);
+    let full = unsharded_reference(&spec);
+
+    let run_dir = dir.join("run");
+    let flag = dir.join("fault-fired");
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--canonical",
+        ])
+        .env("MLRL_FAULT_CELL", "2")
+        .env("MLRL_FAULT_FLAG", &flag)
+        .output()
+        .expect("run orchestrate");
+    let orchestrated = stdout_of(&out, "orchestrate with injected crash");
+    assert!(flag.exists(), "the injected fault must actually fire");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("restarting"),
+        "supervisor must report the restart: {stderr}"
+    );
+    assert_eq!(
+        orchestrated, full,
+        "a crash-restarted orchestration must still emit the exact unsharded bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_orchestrations_resume_from_the_journal_to_the_exact_bytes() {
+    let dir = tmpdir("resume");
+    let spec = write_spec(&dir);
+    let full = unsharded_reference(&spec);
+    let run_dir = dir.join("run");
+
+    // Phase 1: a worker dies mid-campaign and the restart budget is 0,
+    // so the whole orchestration aborts — the "killed" scenario, with
+    // the journal left behind.
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--max-restarts",
+            "0",
+        ])
+        .env("MLRL_FAULT_CELL", "2")
+        .output()
+        .expect("run orchestrate");
+    assert!(
+        !out.status.success(),
+        "restart budget 0 must abort on the injected crash"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume"),
+        "abort must point at resume: {stderr}"
+    );
+    let journal = std::fs::read_to_string(run_dir.join("journal.jsonl")).expect("journal retained");
+    let checkpointed = journal.lines().count().saturating_sub(1);
+    assert!(
+        checkpointed >= 1,
+        "cells completed before the crash must be checkpointed:\n{journal}"
+    );
+    assert!(
+        checkpointed < 4,
+        "the faulted cell must not be checkpointed:\n{journal}"
+    );
+
+    // Phase 2: resume (fault cleared) recomputes only the remainder and
+    // lands on the exact unsharded bytes.
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--resume",
+            run_dir.to_str().unwrap(),
+            "--canonical",
+        ])
+        .output()
+        .expect("resume orchestrate");
+    let resumed = stdout_of(&out, "resumed orchestrate");
+    assert_eq!(
+        resumed, full,
+        "killed-and-resumed orchestration must emit the exact unsharded bytes"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("{checkpointed} resumed")),
+        "resume must replay the checkpointed cells: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_runs_refuse_to_clobber_an_existing_journal() {
+    let dir = tmpdir("guard");
+    let spec = write_spec(&dir);
+    let run_dir = dir.join("run");
+    let first = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run orchestrate");
+    stdout_of(&first, "first orchestrate");
+
+    let second = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("rerun orchestrate");
+    assert!(!second.status.success(), "must refuse to clobber");
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("--resume"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workers_speak_the_line_protocol() {
+    let dir = tmpdir("worker");
+    let spec = write_spec(&dir);
+    let out = mlrl()
+        .args([
+            "worker",
+            spec.to_str().unwrap(),
+            "--cells",
+            "0,3",
+            "--threads",
+            "1",
+            "--cache-dir",
+            dir.join("cache").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run worker");
+    let stdout = stdout_of(&out, "worker");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.first(), Some(&"mlrl-worker v1 cells=2"), "{stdout}");
+    assert_eq!(lines.last(), Some(&"bye 2"), "{stdout}");
+    for index in [0usize, 3] {
+        assert!(
+            lines.iter().any(|l| *l == format!("start {index}")),
+            "{stdout}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with(&format!("done {index} {{\"index\":{index},"))),
+            "{stdout}"
+        );
+    }
+
+    // Out-of-range cells are rejected up front.
+    let out = mlrl()
+        .args(["worker", spec.to_str().unwrap(), "--cells", "99"])
+        .output()
+        .expect("run worker");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
