@@ -133,7 +133,10 @@ pub fn build_engine(args: &BenchArgs) -> Result<Engine, String> {
 ///   stdout instead of returning reports;
 /// - `--shard I/N` runs only that deterministic partition of each
 ///   campaign and implies canonical output (concatenate one such stream
-///   per shard with `mlrl merge` to rebuild the unsharded bytes).
+///   per shard with `mlrl merge` to rebuild the unsharded bytes);
+/// - `--trace-out FILE` / `--metrics-out FILE` enable run telemetry and
+///   export a Chrome trace / metrics rollup after the campaigns finish.
+///   Telemetry is a pure side channel: canonical bytes never change.
 ///
 /// Returns `Ok(None)` when canonical/shard output was printed (the
 /// binary is done), or `Ok(Some(reports))` — one per spec, failures
@@ -141,13 +144,17 @@ pub fn build_engine(args: &BenchArgs) -> Result<Engine, String> {
 ///
 /// # Errors
 ///
-/// Returns a message on a malformed `--shard` value.
+/// Returns a message on a malformed `--shard` value or an unwritable
+/// telemetry output path.
 pub fn run_campaigns(
     engine: &Engine,
     specs: &[CampaignSpec],
     args: &BenchArgs,
 ) -> Result<Option<Vec<CampaignReport>>, String> {
     let shard = args.shard()?;
+    if args.flag("trace-out").is_some() || args.flag("metrics-out").is_some() {
+        mlrl_obs::enable();
+    }
     let threads: Option<usize> = args.flag("threads").and_then(|v| v.parse().ok());
     let specs: Vec<CampaignSpec> = specs
         .iter()
@@ -163,6 +170,7 @@ pub fn run_campaigns(
         for spec in &specs {
             print!("{}", engine.run_shard(spec, shard).canonical_jsonl());
         }
+        write_telemetry_artifacts(args)?;
         return Ok(None);
     }
     let reports: Vec<CampaignReport> = specs
@@ -175,7 +183,24 @@ pub fn run_campaigns(
             report
         })
         .collect();
+    write_telemetry_artifacts(args)?;
     Ok(Some(reports))
+}
+
+/// Exports the telemetry artifacts requested by `--trace-out` /
+/// `--metrics-out`, a no-op when neither flag was passed.
+fn write_telemetry_artifacts(args: &BenchArgs) -> Result<(), String> {
+    if let Some(path) = args.flag("trace-out") {
+        mlrl_obs::write_trace_json(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.flag("metrics-out") {
+        let json = mlrl_obs::snapshot().to_json();
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 /// Prints `error: <message>` and exits non-zero — the uniform failure

@@ -974,6 +974,57 @@ mod tests {
     }
 
     #[test]
+    fn scripted_access_sequence_yields_exact_stats_deltas() {
+        let dir = std::env::temp_dir().join(format!("mlrl-cache-script-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = |key: u64| dir.join(format!("{key:016x}.train")).exists();
+        let exactly = |hits: usize, misses: usize, evictions: usize| CacheStats {
+            hits,
+            misses,
+            evictions,
+            ..Default::default()
+        };
+
+        // Each spilled set is ~200 bytes; a 500-byte cap holds two.
+        // Step 1+2: two inserts into a fresh capped cache — two misses,
+        // both resident on disk, nothing evicted.
+        let writer = ArtifactCache::with_spill_dir_capped(&dir, 500);
+        let before = writer.stats();
+        writer.training(100, || wide_set(1));
+        writer.training(101, || wide_set(2));
+        assert_eq!(writer.stats().since(before), exactly(0, 2, 0));
+        assert!(spilled(100) && spilled(101));
+
+        // Step 3: read A through a *fresh* cache over the same dir (the
+        // writer's memory shard would satisfy the lookup without touching
+        // the spill): one hit, and A's recency refreshes on the read.
+        let reader = ArtifactCache::with_spill_dir_capped(&dir, 500);
+        let before = reader.stats();
+        reader.training(100, || panic!("resident key must load from disk"));
+        assert_eq!(reader.stats().since(before), exactly(1, 0, 0));
+
+        // Step 4: insert C through the same cache. The cap forces exactly
+        // one eviction, and LRU order after the refresh says B goes — not
+        // A, which was written earlier but read later.
+        let before = reader.stats();
+        reader.training(102, || wide_set(3));
+        assert_eq!(reader.stats().since(before), exactly(0, 1, 1));
+        assert!(spilled(100), "recency-refreshed spill must survive");
+        assert!(!spilled(101), "least-recently-used spill must be evicted");
+        assert!(spilled(102), "the just-written spill is never the victim");
+
+        // `since` is saturating, never panicking, when counters moved
+        // backwards (e.g. a baseline captured from a different cache).
+        let inflated = CacheStats {
+            hits: usize::MAX,
+            ..Default::default()
+        };
+        assert_eq!(reader.stats().since(inflated).hits, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn byte_sizes_parse_with_binary_suffixes() {
         assert_eq!(parse_byte_size("4096"), Ok(4096));
         assert_eq!(parse_byte_size("64k"), Ok(64 << 10));

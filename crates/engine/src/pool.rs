@@ -19,6 +19,7 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Splits `0..costs.len()` into `parts` contiguous ranges whose summed
 /// costs are as even as integer boundaries allow: part `k` ends at the
@@ -104,31 +105,60 @@ where
     std::thread::scope(|scope| {
         for worker in 0..threads {
             let sender = sender.clone();
-            scope.spawn(move || loop {
-                // Own deque first (LIFO), then steal round-robin (FIFO).
-                let mut claimed = deques[worker]
-                    .lock()
-                    .expect("pool deque poisoned")
-                    .pop_back();
-                if claimed.is_none() {
-                    for offset in 1..threads {
-                        let victim = (worker + offset) % threads;
-                        claimed = deques[victim]
-                            .lock()
-                            .expect("pool deque poisoned")
-                            .pop_front();
-                        if claimed.is_some() {
-                            break;
+            scope.spawn(move || {
+                // Telemetry: this worker's lane in the trace, plus
+                // busy/total accounting for the utilization gauge. All
+                // no-ops (one atomic load) when the sink is disabled.
+                let traced = mlrl_obs::enabled();
+                if traced {
+                    mlrl_obs::set_thread_lane(&format!("pool-worker-{worker}"));
+                }
+                let spawned = Instant::now();
+                let mut busy = Duration::ZERO;
+                loop {
+                    // Own deque first (LIFO), then steal round-robin (FIFO).
+                    let mut claimed = deques[worker]
+                        .lock()
+                        .expect("pool deque poisoned")
+                        .pop_back();
+                    if claimed.is_none() {
+                        for offset in 1..threads {
+                            let victim = (worker + offset) % threads;
+                            claimed = deques[victim]
+                                .lock()
+                                .expect("pool deque poisoned")
+                                .pop_front();
+                            if claimed.is_some() {
+                                break;
+                            }
                         }
                     }
+                    let Some((index, item)) = claimed else {
+                        break;
+                    };
+                    let job_started = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(index, item)))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    if traced {
+                        busy += job_started.elapsed();
+                    }
+                    if sender.send((index, outcome)).is_err() {
+                        break;
+                    }
                 }
-                let Some((index, item)) = claimed else {
-                    break;
-                };
-                let outcome = catch_unwind(AssertUnwindSafe(|| work(index, item)))
-                    .map_err(|payload| panic_message(payload.as_ref()));
-                if sender.send((index, outcome)).is_err() {
-                    break;
+                if traced {
+                    let total = spawned.elapsed();
+                    mlrl_obs::counter_add("pool.busy_us", busy.as_micros() as u64);
+                    mlrl_obs::counter_add(
+                        "pool.idle_us",
+                        total.saturating_sub(busy).as_micros() as u64,
+                    );
+                    if !total.is_zero() {
+                        mlrl_obs::gauge_set(
+                            &format!("pool.worker{worker}.utilization"),
+                            busy.as_secs_f64() / total.as_secs_f64(),
+                        );
+                    }
                 }
             });
         }

@@ -213,16 +213,28 @@ impl Engine {
         let cache_before = self.cache.stats();
         let started = Instant::now();
         let outcomes = run_jobs_weighted(threads, jobs, Job::cost, |_, job| {
+            let cell_span = mlrl_obs::span_with("cell", || format!("cell {}", job.index));
             if let Some(observer) = &self.observer {
                 observer(JobEvent::Started { index: job.index });
             }
             let record = run_job(&self.cache, spec, job);
+            drop(cell_span);
+            // Counted per job (not once at the end), and *before* the
+            // Finished observer fires, so a worker process snapshotting
+            // metrics from its observer accounts for this cell — even if
+            // a later cell crashes the process.
+            if record.status.is_ok() {
+                mlrl_obs::counter_add("cells.completed", 1);
+            } else {
+                mlrl_obs::counter_add("cells.failed", 1);
+            }
             if let Some(observer) = &self.observer {
                 observer(JobEvent::Finished { record: &record });
             }
             record
         });
         let wall_ms = started.elapsed().as_millis();
+        bridge_cache_stats(&self.cache.stats().since(cache_before));
 
         let mut records: Vec<JobRecord> = outcomes
             .into_iter()
@@ -247,6 +259,19 @@ impl Engine {
             cache: self.cache.stats().since(cache_before),
         }
     }
+}
+
+/// Mirror an [`ArtifactCache`] stats delta into telemetry counters so
+/// `metrics.json` carries cache behavior alongside span timings.
+fn bridge_cache_stats(delta: &crate::cache::CacheStats) {
+    if !mlrl_obs::enabled() {
+        return;
+    }
+    mlrl_obs::counter_add("cache.hits", delta.hits as u64);
+    mlrl_obs::counter_add("cache.misses", delta.misses as u64);
+    mlrl_obs::counter_add("cache.lowered_hits", delta.lowered_hits as u64);
+    mlrl_obs::counter_add("cache.lowered_misses", delta.lowered_misses as u64);
+    mlrl_obs::counter_add("cache.evictions", delta.evictions as u64);
 }
 
 /// The spec's expanded job list in the engine's cache-aware schedule
@@ -318,9 +343,12 @@ fn execute(
         .write_u64(job.generate_seed())
         .write_u64(spec.width as u64)
         .finish();
-    let base = cache.design(design_key, || {
-        generate_with_width(&design_spec, job.generate_seed(), spec.width)
-    });
+    let base = {
+        let _s = mlrl_obs::span("phase.design");
+        cache.design(design_key, || {
+            generate_with_width(&design_spec, job.generate_seed(), spec.width)
+        })
+    };
 
     if job.scheme == SchemeKind::None {
         return execute_profile(&base, record);
@@ -330,9 +358,12 @@ fn execute(
     }
 
     // Memoized per distinct design: jobs sharing a base pay for one emit.
-    let base_verilog = cache.text(design_key, || {
-        emit_verilog(&base).map_err(|e| e.to_string())
-    })?;
+    let base_verilog = {
+        let _s = mlrl_obs::span("phase.emit");
+        cache.text(design_key, || {
+            emit_verilog(&base).map_err(|e| e.to_string())
+        })?
+    };
 
     if job.level == Level::Gate && job.scheme.is_gate_scheme() {
         return execute_gate_locked(cache, spec, job, &base, &base_verilog, record);
@@ -348,7 +379,10 @@ fn execute(
         .write_str("|")
         .write_str(&base_verilog)
         .finish();
-    let locked = cache.locked(locked_key, || lock_design(&base, job))?;
+    let locked = {
+        let _s = mlrl_obs::span("phase.lock");
+        cache.locked(locked_key, || lock_design(&base, job))?
+    };
     record.key_bits = Some(locked.key.len());
 
     // Security metric of the final design, against the base ODT.
@@ -369,6 +403,7 @@ fn execute(
         // RTL scheme attacked at gate level: lower the locked module (the
         // paper's Fig. 1 flow — lock at RTL, synthesize, hand the netlist
         // to the attacker).
+        let lower_span = mlrl_obs::span("phase.lower");
         let locked_verilog = cache.text(
             Fnv64::new()
                 .write_str("ltext|")
@@ -385,6 +420,7 @@ fn execute(
             })
         })?;
         let base_lowered = lowered_base(cache, &base, &base_verilog)?;
+        drop(lower_span);
         record_gate_shape(record, &lowered, &base_lowered);
         return run_gate_attack(cache, spec, job, &lowered, lowered_key, record);
     }
@@ -667,11 +703,13 @@ fn run_attack(
             .write_u64(relock.seed)
             .write_u64(locked_key)
             .finish();
+        let _s = mlrl_obs::span("phase.train");
         Some(cache.training(training_key, || build_training_set(&locked.module, &relock)))
     } else {
         None
     };
 
+    let _attack_span = mlrl_obs::span("phase.attack");
     match job.attack {
         AttackKind::FreqTable => {
             let training = training.expect("training built above");
@@ -785,6 +823,7 @@ fn run_gate_attack(
     lowered_key: u64,
     record: &mut JobRecord,
 ) -> Result<(), String> {
+    let _attack_span = mlrl_obs::span("phase.attack");
     match job.attack {
         AttackKind::FreqTable | AttackKind::Snapshot => {
             let gate_key = GateKey::from(lowered.key.clone());
@@ -815,9 +854,12 @@ fn run_gate_attack(
                 .write_u64(relock_scheme as u64)
                 .write_u64(lowered_key)
                 .finish();
-            let training = cache.training(training_key, || {
-                build_gate_training_set(&lowered.netlist, &gcfg)
-            });
+            let training = {
+                let _s = mlrl_obs::span("phase.train");
+                cache.training(training_key, || {
+                    build_gate_training_set(&lowered.netlist, &gcfg)
+                })
+            };
             let report = match job.attack {
                 AttackKind::FreqTable => {
                     gate_freq_table_attack_with_training(&lowered.netlist, &gate_key, &training)

@@ -46,10 +46,19 @@ pub enum WorkerEvent {
     },
     /// Liveness signal between cell events.
     Heartbeat,
+    /// A cumulative telemetry rollup (emitted after each `done` when the
+    /// worker runs with `--telemetry`, so a crashed worker's last
+    /// payload still accounts for the cells it finished).
+    Metrics {
+        /// The worker's metrics snapshot as one-line JSON.
+        payload: String,
+    },
     /// The worker finished its whole assignment.
     Bye {
         /// Cells it completed this run.
         completed: usize,
+        /// Final telemetry rollup (present under `--telemetry`).
+        metrics: Option<String>,
     },
 }
 
@@ -73,9 +82,21 @@ pub fn heartbeat_line() -> String {
     "heartbeat".to_owned()
 }
 
+/// Formats a `metrics` line around a one-line JSON telemetry rollup.
+pub fn metrics_line(payload: &str) -> String {
+    format!("metrics {payload}")
+}
+
 /// Formats the `bye` line.
 pub fn bye_line(completed: usize) -> String {
     format!("bye {completed}")
+}
+
+/// Formats a `bye` line carrying a final telemetry rollup. Readers
+/// predating the payload parse the line as non-protocol and ignore it,
+/// which is why workers only emit this form under `--telemetry`.
+pub fn bye_line_with_metrics(completed: usize, payload: &str) -> String {
+    format!("bye {completed} {payload}")
 }
 
 /// Parses one worker stdout line; `None` for anything that is not a
@@ -104,9 +125,19 @@ pub fn parse_line(line: &str) -> Option<WorkerEvent> {
             record: record.to_owned(),
         });
     }
+    if let Some(rest) = line.strip_prefix("metrics ") {
+        return Some(WorkerEvent::Metrics {
+            payload: rest.to_owned(),
+        });
+    }
     if let Some(rest) = line.strip_prefix("bye ") {
+        let (completed, metrics) = match rest.split_once(' ') {
+            Some((n, payload)) => (n, Some(payload.to_owned())),
+            None => (rest, None),
+        };
         return Some(WorkerEvent::Bye {
-            completed: rest.parse().ok()?,
+            completed: completed.parse().ok()?,
+            metrics,
         });
     }
     None
@@ -140,7 +171,36 @@ mod tests {
         assert_eq!(parse_line(&heartbeat_line()), Some(WorkerEvent::Heartbeat));
         assert_eq!(
             parse_line(&bye_line(3)),
-            Some(WorkerEvent::Bye { completed: 3 })
+            Some(WorkerEvent::Bye {
+                completed: 3,
+                metrics: None
+            })
+        );
+    }
+
+    #[test]
+    fn telemetry_lines_round_trip_and_degrade_safely() {
+        let payload = r#"{"counters":{"cells.completed":2},"gauges":{},"spans":{}}"#;
+        assert_eq!(
+            parse_line(&metrics_line(payload)),
+            Some(WorkerEvent::Metrics {
+                payload: payload.to_owned()
+            })
+        );
+        assert_eq!(
+            parse_line(&bye_line_with_metrics(2, payload)),
+            Some(WorkerEvent::Bye {
+                completed: 2,
+                metrics: Some(payload.to_owned())
+            })
+        );
+        // A payload-free bye still parses (old workers, telemetry off).
+        assert_eq!(
+            parse_line("bye 5"),
+            Some(WorkerEvent::Bye {
+                completed: 5,
+                metrics: None
+            })
         );
     }
 

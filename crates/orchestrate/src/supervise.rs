@@ -76,6 +76,10 @@ pub struct OrchestratorConfig {
     pub max_restarts: usize,
     /// Whether to render the live progress line.
     pub progress: bool,
+    /// Run workers with `--telemetry` and aggregate their streamed
+    /// metrics payloads into `<run_dir>/metrics.json`. Requires the
+    /// supervisor's own `mlrl_obs` sink to be enabled for trace lanes.
+    pub telemetry: bool,
 }
 
 impl OrchestratorConfig {
@@ -95,6 +99,7 @@ impl OrchestratorConfig {
             wedge_timeout: Duration::from_secs(30),
             max_restarts: 3,
             progress: true,
+            telemetry: false,
         }
     }
 }
@@ -121,6 +126,11 @@ pub struct OrchestrationOutcome {
     pub workers_spawned: usize,
     /// End-to-end wall-clock.
     pub wall: Duration,
+    /// Fleet-wide metrics rollup as one-line JSON (workers' streamed
+    /// payloads folded with the supervisor's own counters); `Some` only
+    /// when the config asked for telemetry. Also written to
+    /// `<run_dir>/metrics.json`.
+    pub metrics_json: Option<String>,
 }
 
 /// One supervised worker process.
@@ -131,10 +141,21 @@ struct Slot {
     alive: bool,
     /// Kill already sent (wedge); suppresses double-kills.
     killing: bool,
+    /// Trace lane for this process (0 when telemetry is off).
+    lane: u64,
+    /// Spawn time — the worker's lifecycle span start.
+    spawned: Instant,
+    /// The in-flight cell and when its `start` line arrived.
+    running: Option<(usize, Instant)>,
+    /// Latest cumulative metrics payload streamed by this process.
+    metrics: Option<mlrl_obs::Metrics>,
 }
 
 enum Msg {
     Event(usize, WorkerEvent),
+    /// One line of a worker's stderr (piped so the renderer can keep
+    /// the live progress line intact around it).
+    Stderr(String),
     Eof(usize),
     Tick,
 }
@@ -179,9 +200,15 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
         cfg.progress,
     );
 
+    mlrl_obs::counter_add("orch.cells.total", jobs.len() as u64);
+    mlrl_obs::counter_add("orch.cells.resumed", resumed_cells as u64);
+
     let assignments = plan_assignments(&jobs, journal.completed(), cfg.workers);
     let mut restarts = 0usize;
     let mut workers_spawned = 0usize;
+    // Fleet-wide rollup: every slot's latest streamed payload (restarted
+    // slots keep contributing the cells they finished before crashing).
+    let mut fleet_metrics = mlrl_obs::Metrics::default();
 
     if !assignments.is_empty() {
         let (tx, rx) = mpsc::channel::<Msg>();
@@ -212,10 +239,14 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                 .map_err(|_| "supervisor channel closed unexpectedly".to_owned())?;
             match msg {
                 Msg::Event(id, event) => {
+                    // Heartbeat latency is the silence window this line
+                    // just ended — measured before refreshing liveness.
+                    let gap = slots[id].last_seen.elapsed();
                     slots[id].last_seen = Instant::now();
                     match event {
                         WorkerEvent::Hello { .. } => {}
                         WorkerEvent::Started { index } => {
+                            slots[id].running = Some((index, Instant::now()));
                             progress.set_state(id, WorkerState::Running(index));
                         }
                         WorkerEvent::Done { index, record } => {
@@ -224,18 +255,56 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                                 return Err(e);
                             }
                             slots[id].pending.remove(&index);
-                            progress.note_done(cost_of.get(index).copied().unwrap_or(1));
+                            let cost = cost_of.get(index).copied().unwrap_or(1);
+                            // The start→done window is the cell's wall
+                            // time: a trace span on the worker's lane and
+                            // the ETA's measured-throughput signal.
+                            if let Some((started_index, started_at)) = slots[id].running.take() {
+                                if started_index == index {
+                                    let wall = started_at.elapsed();
+                                    mlrl_obs::record_complete(
+                                        format!("cell {index}"),
+                                        slots[id].lane,
+                                        started_at,
+                                        wall,
+                                    );
+                                    progress.note_cell_timing(cost, wall);
+                                }
+                            }
+                            progress.note_done(cost);
                             progress.emit(false);
                         }
-                        WorkerEvent::Heartbeat => {}
-                        WorkerEvent::Bye { .. } => {
+                        WorkerEvent::Heartbeat => {
+                            mlrl_obs::counter_add("orch.heartbeats", 1);
+                            mlrl_obs::gauge_set("orch.heartbeat.gap_ms", gap.as_secs_f64() * 1e3);
+                        }
+                        WorkerEvent::Metrics { payload } => {
+                            if let Some(m) = mlrl_obs::Metrics::parse(&payload) {
+                                slots[id].metrics = Some(m);
+                            }
+                        }
+                        WorkerEvent::Bye { metrics, .. } => {
+                            if let Some(m) = metrics.as_deref().and_then(mlrl_obs::Metrics::parse) {
+                                slots[id].metrics = Some(m);
+                            }
                             progress.set_state(id, WorkerState::Done);
                         }
                     }
                 }
+                Msg::Stderr(line) => {
+                    // Worker stderr rides the renderer so it cannot
+                    // splice into a live `\r`-rewritten progress line.
+                    progress.passthrough(&line);
+                }
                 Msg::Eof(id) => {
                     let _ = slots[id].child.wait();
                     slots[id].alive = false;
+                    mlrl_obs::record_complete(
+                        format!("worker {id}"),
+                        slots[id].lane,
+                        slots[id].spawned,
+                        slots[id].spawned.elapsed(),
+                    );
                     if slots[id].pending.is_empty() {
                         progress.set_state(id, WorkerState::Done);
                         continue;
@@ -243,6 +312,8 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                     // Crash or wedge-kill with work left: restart on the
                     // remainder.
                     progress.set_state(id, WorkerState::Crashed);
+                    mlrl_obs::counter_add("orch.restarts", 1);
+                    mlrl_obs::instant("restart", slots[id].lane);
                     restarts += 1;
                     if restarts > cfg.max_restarts {
                         kill_all(&mut slots);
@@ -255,13 +326,13 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                         ));
                     }
                     let remainder: Vec<usize> = slots[id].pending.iter().copied().collect();
-                    eprintln!(
-                        "\n[mlrl orchestrate] worker {id} lost with {} cell(s) left; \
+                    progress.passthrough(&format!(
+                        "[mlrl orchestrate] worker {id} lost with {} cell(s) left; \
                          restarting as worker {} (restart {restarts}/{})",
                         remainder.len(),
                         slots.len(),
                         cfg.max_restarts
-                    );
+                    ));
                     let slot =
                         spawn_worker(cfg, &remainder, slots.len(), &tx).inspect_err(|_| {
                             kill_all(&mut slots);
@@ -271,32 +342,94 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                     workers_spawned += 1;
                 }
                 Msg::Tick => {
+                    let mut wedged: Vec<usize> = Vec::new();
                     for (id, slot) in slots.iter_mut().enumerate() {
                         if slot.alive
                             && !slot.killing
                             && slot.last_seen.elapsed() > cfg.wedge_timeout
                         {
-                            eprintln!(
-                                "\n[mlrl orchestrate] worker {id} silent for {:?}; killing as wedged",
-                                cfg.wedge_timeout
-                            );
                             slot.killing = true;
+                            mlrl_obs::counter_add("orch.wedges", 1);
+                            mlrl_obs::instant("wedge", slot.lane);
                             let _ = slot.child.kill(); // EOF follows; crash path restarts
+                            wedged.push(id);
                         }
+                    }
+                    for id in wedged {
+                        progress.passthrough(&format!(
+                            "[mlrl orchestrate] worker {id} silent for {:?}; killing as wedged",
+                            cfg.wedge_timeout
+                        ));
                     }
                     progress.emit(false);
                 }
             }
         }
-        // Every cell is journaled; the workers are at (or past) `bye`.
-        for slot in &mut slots {
-            if slot.alive {
-                let _ = slot.child.wait();
+        // Every cell is journaled, but the last-finishing worker's
+        // trailing `metrics`/`bye` lines land *after* its final `done`:
+        // keep draining until each live worker's reader signals EOF, so
+        // the fleet rollup and worker lifecycle spans stay complete.
+        let mut open = slots.iter().filter(|s| s.alive).count();
+        while open > 0 {
+            match rx.recv() {
+                Ok(Msg::Event(id, WorkerEvent::Metrics { payload })) => {
+                    if let Some(m) = mlrl_obs::Metrics::parse(&payload) {
+                        slots[id].metrics = Some(m);
+                    }
+                }
+                Ok(Msg::Event(id, WorkerEvent::Bye { metrics, .. })) => {
+                    if let Some(m) = metrics.as_deref().and_then(mlrl_obs::Metrics::parse) {
+                        slots[id].metrics = Some(m);
+                    }
+                    progress.set_state(id, WorkerState::Done);
+                }
+                Ok(Msg::Stderr(line)) => progress.passthrough(&line),
+                Ok(Msg::Eof(id)) => {
+                    let _ = slots[id].child.wait();
+                    slots[id].alive = false;
+                    mlrl_obs::record_complete(
+                        format!("worker {id}"),
+                        slots[id].lane,
+                        slots[id].spawned,
+                        slots[id].spawned.elapsed(),
+                    );
+                    progress.set_state(id, WorkerState::Done);
+                    open -= 1;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        // Flush any worker stderr that arrived after the last EOF
+        // (inherited stderr used to reach the terminal directly).
+        for msg in rx.try_iter() {
+            if let Msg::Stderr(line) = msg {
+                progress.passthrough(&line);
+            }
+        }
+        for slot in &slots {
+            if let Some(m) = &slot.metrics {
+                fleet_metrics.merge(m);
             }
         }
         progress.emit(true);
         progress.finish();
     }
+
+    mlrl_obs::counter_add("orch.workers.spawned", workers_spawned as u64);
+
+    // The fleet rollup: workers' streamed payloads folded with the
+    // supervisor's own counters/gauges, persisted beside the journal.
+    let metrics_json = if cfg.telemetry {
+        fleet_metrics.merge(&mlrl_obs::snapshot());
+        let json = fleet_metrics.to_json();
+        let path = cfg.run_dir.join("metrics.json");
+        std::fs::write(&path, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Some(json)
+    } else {
+        None
+    };
 
     // The in-process merge: replay the journal through the same
     // validator shard merging uses, proving the record set is complete
@@ -327,6 +460,7 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
         restarts,
         workers_spawned,
         wall: started.elapsed(),
+        metrics_json,
     })
 }
 
@@ -364,16 +498,38 @@ fn spawn_worker(
         let share = (cap / cfg.workers.max(1) as u64).max(1);
         command.arg("--cache-cap").arg(share.to_string());
     }
+    if cfg.telemetry {
+        command.arg("--telemetry");
+    }
+    // Worker stderr is piped, not inherited: the reader thread feeds it
+    // through the supervisor's renderer line-by-line so passthrough
+    // cannot splice into the live `\r`-rewritten progress line.
     let mut child = command
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
-        .stderr(Stdio::inherit())
+        .stderr(Stdio::piped())
         .spawn()
         .map_err(|e| format!("cannot spawn worker `{program}`: {e}"))?;
     let stdout = child
         .stdout
         .take()
         .ok_or("worker stdout was not captured")?;
+    let stderr = child
+        .stderr
+        .take()
+        .ok_or("worker stderr was not captured")?;
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(stderr);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if tx.send(Msg::Stderr(line)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
     let tx = tx.clone();
     std::thread::spawn(move || {
         let reader = std::io::BufReader::new(stdout);
@@ -387,12 +543,21 @@ fn spawn_worker(
         }
         let _ = tx.send(Msg::Eof(id));
     });
+    let lane = if mlrl_obs::enabled() {
+        mlrl_obs::lane(&format!("worker-{id}"))
+    } else {
+        0
+    };
     Ok(Slot {
         child,
         pending: cells.iter().copied().collect(),
         last_seen: Instant::now(),
         alive: true,
         killing: false,
+        lane,
+        spawned: Instant::now(),
+        running: None,
+        metrics: None,
     })
 }
 

@@ -79,6 +79,8 @@ impl<'n> SimOracle<'n> {
 impl Oracle for SimOracle<'_> {
     fn query(&mut self, inputs: &[(String, u64)]) -> PortValues {
         self.queries += 1;
+        mlrl_obs::counter_add("oracle.queries", 1);
+        mlrl_obs::counter_add("oracle.settles", 1);
         for (name, v) in inputs {
             self.sim
                 .set_input(name, *v)
@@ -105,6 +107,8 @@ impl Oracle for SimOracle<'_> {
                 .collect();
         }
         self.queries += batch.len();
+        mlrl_obs::counter_add("oracle.queries", batch.len() as u64);
+        mlrl_obs::counter_add("oracle.batch_settles", 1);
         // Regroup per port: lane l of port `name` carries batch[l]'s value
         // for that name. Assignments are matched by name, not position, so
         // reordered batches answer correctly.
@@ -309,13 +313,28 @@ pub fn sat_attack(
     let mut proved = false;
 
     while dips < cfg.max_dips && solver.num_clauses() <= cfg.max_clauses {
-        match solver.solve() {
+        // Per-DIP solver effort: snapshot lifetime counters around each
+        // miter solve so the telemetry deltas attribute work to this
+        // iteration (final UNSAT round included).
+        let (c0, d0, p0) = (
+            solver.conflicts(),
+            solver.decisions(),
+            solver.propagations(),
+        );
+        let dip_span = mlrl_obs::span("sat.dip");
+        let result = solver.solve();
+        drop(dip_span);
+        mlrl_obs::counter_add("sat.conflicts", solver.conflicts() - c0);
+        mlrl_obs::counter_add("sat.decisions", solver.decisions() - d0);
+        mlrl_obs::counter_add("sat.propagations", solver.propagations() - p0);
+        match result {
             SolveResult::Unsat => {
                 proved = true;
                 break;
             }
             SolveResult::Sat(model) => {
                 dips += 1;
+                mlrl_obs::counter_add("sat.dips", 1);
                 // Decode the DIP from the shared input variables.
                 let stimulus: Vec<(String, u64)> = input_ports
                     .iter()

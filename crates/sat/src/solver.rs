@@ -87,6 +87,8 @@ pub struct Solver {
     conflicts: u64,
     /// Statistics: decisions made over the solver lifetime.
     decisions: u64,
+    /// Statistics: literals propagated over the solver lifetime.
+    propagations: u64,
 }
 
 impl Solver {
@@ -108,6 +110,7 @@ impl Solver {
             proven_unsat: false,
             conflicts: 0,
             decisions: 0,
+            propagations: 0,
         }
     }
 
@@ -138,6 +141,11 @@ impl Solver {
     /// Lifetime decision count (diagnostic).
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Lifetime propagated-literal count (diagnostic).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
     }
 
     /// Grows the variable space to at least `num_vars` variables.
@@ -226,6 +234,7 @@ impl Solver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
+            self.propagations += 1;
             let falsified = p.inverted();
             let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
             let mut i = 0;

@@ -14,14 +14,15 @@
 //! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
 //! mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--canonical]
-//!             [--shard I/N]
+//!             [--shard I/N] [--trace-out FILE] [--metrics-out FILE]
 //! mlrl merge  <shard.jsonl>... [-o merged.jsonl]
 //! mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N]
 //!             [--wedge-timeout SECS] [--max-restarts N] [--canonical]
 //!             [--jsonl out.jsonl] [--quick]
+//!             [--trace-out FILE] [--metrics-out FILE]
 //! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR]
-//!             [--cache-cap BYTES] [--heartbeat-ms MS]
+//!             [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]
 //! ```
 //!
 //! Keys are stored as plain bit strings, `K[0]` first. Campaign spec
@@ -38,6 +39,15 @@
 //! merges the canonical unsharded bytes in-process. `worker` is the
 //! internal per-process mode `orchestrate` spawns; it streams the
 //! line protocol of `mlrl_orchestrate::protocol` on stdout.
+//!
+//! `--trace-out FILE` / `--metrics-out FILE` (on `campaign` and
+//! `orchestrate`) arm the `mlrl_obs` telemetry sink and export a Chrome
+//! trace-event JSON (load in Perfetto or `chrome://tracing`) and a
+//! metrics rollup after the run. Telemetry is a pure side channel:
+//! canonical output bytes are identical with it on or off. Under
+//! `orchestrate`, workers run with `--telemetry` and stream cumulative
+//! rollups over the line protocol; the supervisor aggregates the fleet
+//! into `<run-dir>/metrics.json` (and `--metrics-out`, if given).
 
 use std::fs;
 use std::path::PathBuf;
@@ -75,7 +85,7 @@ use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
 
 /// Flags that take no value; the parser must not consume the next token
 /// as their argument (`mlrl campaign --canonical spec.txt`).
-const BOOLEAN_FLAGS: &[&str] = &["canonical", "quick"];
+const BOOLEAN_FLAGS: &[&str] = &["canonical", "quick", "telemetry"];
 
 struct Args {
     positional: Vec<String>,
@@ -454,10 +464,43 @@ fn engine_from_cache_flags(args: &Args) -> Result<Engine, String> {
     Engine::from_cache_flags(args.flag("cache-dir"), args.flag("cache-cap"))
 }
 
+/// Arms the telemetry sink when `--trace-out` or `--metrics-out` was
+/// passed; returns whether it did. Telemetry is a pure side channel —
+/// canonical output bytes are identical either way.
+fn arm_telemetry(args: &Args) -> bool {
+    let wanted = args.flag("trace-out").is_some() || args.flag("metrics-out").is_some();
+    if wanted {
+        mlrl::obs::enable();
+    }
+    wanted
+}
+
+/// Writes the telemetry artifacts the run asked for: a Chrome
+/// trace-event JSON (`--trace-out`, Perfetto-loadable) and a metrics
+/// rollup (`--metrics-out`). `metrics_json` overrides the local sink's
+/// snapshot (the orchestrator passes its fleet-wide aggregate).
+fn write_telemetry_artifacts(args: &Args, metrics_json: Option<&str>) -> Result<(), String> {
+    if let Some(path) = args.flag("trace-out") {
+        mlrl::obs::write_trace_json(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.flag("metrics-out") {
+        let json = match metrics_json {
+            Some(json) => json.to_owned(),
+            None => mlrl::obs::snapshot().to_json(),
+        };
+        fs::write(path, format!("{json}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N]",
+        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N] [--trace-out FILE] [--metrics-out FILE]",
     )?;
+    arm_telemetry(args);
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some(threads) = args.flag("threads") {
@@ -491,6 +534,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         fs::write(out, report.jsonl()).map_err(|e| e.to_string())?;
         eprintln!("wrote {out}");
     }
+    write_telemetry_artifacts(args, None)?;
     if report.failed_count() > 0 {
         return Err(format!("{} job(s) failed", report.failed_count()));
     }
@@ -539,8 +583,12 @@ fn emit_protocol_line(line: &str) {
 /// through).
 fn cmd_worker(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS]",
+        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]",
     )?;
+    let telemetry = args.has("telemetry");
+    if telemetry {
+        mlrl::obs::enable();
+    }
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     spec.threads = args.num("threads", 1usize);
@@ -604,6 +652,11 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
             }
             JobEvent::Finished { record } => {
                 emit_protocol_line(&protocol::done_line(record.index, &record.canonical_line()));
+                // Stream the cumulative rollup after every completion so
+                // a crash loses at most the in-flight cell's telemetry.
+                if telemetry {
+                    emit_protocol_line(&protocol::metrics_line(&mlrl::obs::snapshot().to_json()));
+                }
                 emitted_by_observer
                     .lock()
                     .expect("emitted set poisoned")
@@ -622,7 +675,16 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
             emit_protocol_line(&protocol::done_line(record.index, &record.canonical_line()));
         }
     }
-    emit_protocol_line(&protocol::bye_line(report.records.len()));
+    // The payload-carrying bye only flows under --telemetry: readers
+    // predating the payload would drop the whole line otherwise.
+    if telemetry {
+        emit_protocol_line(&protocol::bye_line_with_metrics(
+            report.records.len(),
+            &mlrl::obs::snapshot().to_json(),
+        ));
+    } else {
+        emit_protocol_line(&protocol::bye_line(report.records.len()));
+    }
     Ok(())
 }
 
@@ -630,8 +692,10 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
         "usage: mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR] \
          [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N] [--wedge-timeout SECS] \
-         [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick]",
+         [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick] \
+         [--trace-out FILE] [--metrics-out FILE]",
     )?;
+    let telemetry = arm_telemetry(args);
     let (run_dir, resume) = match args.flag("resume") {
         Some(dir) => (PathBuf::from(dir), true),
         None => (
@@ -654,6 +718,7 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     cfg.worker_threads = args.num("worker-threads", 1usize).max(1);
     cfg.wedge_timeout = Duration::from_secs(args.num("wedge-timeout", 30u64).max(1));
     cfg.max_restarts = args.num("max-restarts", 3usize);
+    cfg.telemetry = telemetry;
     if args.has("quick") {
         // Smoke-test timing: tight heartbeats and wedge detection so a
         // small campaign's supervision overhead stays negligible. Never
@@ -676,6 +741,7 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     if args.has("canonical") {
         print!("{}", outcome.canonical);
     }
+    write_telemetry_artifacts(args, outcome.metrics_json.as_deref())?;
     eprintln!(
         "orchestrated `{}`: {} cells ({} resumed, {} executed, {} failed) on {} worker process(es), {} restart(s), {} ms; merged -> {}",
         outcome.campaign,

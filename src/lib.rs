@@ -20,7 +20,10 @@
 //!   cost-balanced worker assignments, spawns and supervises worker
 //!   processes over a line protocol, journals completed cells for
 //!   checkpoint/resume, and merges the canonical report in-process
-//!   (`mlrl orchestrate`).
+//!   (`mlrl orchestrate`),
+//! - [`obs`] — run telemetry: span timers, counters, gauges, and the
+//!   Chrome trace / `metrics.json` exporters behind `--trace-out` and
+//!   `--metrics-out` (a pure side channel; canonical bytes never change).
 //!
 //! See `examples/quickstart.rs` for an end-to-end lock → attack → score
 //! walkthrough, and the `mlrl-bench` binaries for the paper's figures.
@@ -44,6 +47,7 @@ pub use mlrl_engine as engine;
 pub use mlrl_locking as locking;
 pub use mlrl_ml as ml;
 pub use mlrl_netlist as netlist;
+pub use mlrl_obs as obs;
 pub use mlrl_orchestrate as orchestrate;
 pub use mlrl_rtl as rtl;
 pub use mlrl_sat as sat;

@@ -386,6 +386,82 @@ fn healthy_campaigns_have_no_failures_and_bad_specs_are_rejected() {
     assert!(bad.validate().is_err());
 }
 
+/// Telemetry is a pure side channel: enabling span tracing and metrics
+/// must leave the canonical bytes untouched, while the exported Chrome
+/// trace and metrics rollup are well-formed and account for the run.
+///
+/// Counter assertions use `>=` (never `==`): the telemetry sink is
+/// process-global and other tests in this binary run concurrently, so
+/// their cells may also land in the snapshot.
+#[test]
+fn telemetry_is_a_pure_side_channel_with_wellformed_artifacts() {
+    let spec = twelve_cell_spec(2);
+    let baseline = Engine::new().run(&spec).canonical_jsonl();
+
+    mlrl::obs::enable();
+    let traced = Engine::new().run(&spec).canonical_jsonl();
+    let metrics = mlrl::obs::snapshot();
+    let trace = mlrl::obs::trace_json();
+    mlrl::obs::disable();
+
+    assert_eq!(
+        traced, baseline,
+        "telemetry must never perturb the canonical bytes"
+    );
+
+    // The rollup accounts for the traced run's cells and cache traffic.
+    let completed = metrics.counters.get("cells.completed").copied();
+    assert!(
+        completed.is_some_and(|n| n >= 12),
+        "12-cell run must count its cells (counters: {:?})",
+        metrics.counters
+    );
+    assert!(
+        metrics.counters.contains_key("cache.misses"),
+        "cold run must count cache misses (counters: {:?})",
+        metrics.counters
+    );
+    let cell_stat = metrics.spans.get("cell").expect("cell span stat");
+    assert!(cell_stat.count >= 12, "cell spans: {cell_stat:?}");
+    assert!(
+        metrics.spans.contains_key("phase.design"),
+        "phase spans must aggregate (spans: {:?})",
+        metrics.spans.keys().collect::<Vec<_>>()
+    );
+
+    // The rollup JSON round-trips through its own parser.
+    let reparsed = mlrl::obs::Metrics::parse(&metrics.to_json()).expect("metrics JSON reparses");
+    assert_eq!(reparsed.counters, metrics.counters);
+    assert_eq!(reparsed.spans, metrics.spans);
+
+    // The Chrome trace is valid JSON with named spans on named lanes.
+    let doc = mlrl::obs::json::parse(&trace).expect("trace is valid JSON");
+    let events = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let name_of = |e: &mlrl::obs::json::Value| {
+        e.as_object()
+            .and_then(|o| o.get("name"))
+            .and_then(|n| n.as_str())
+            .map(str::to_owned)
+    };
+    assert!(
+        events
+            .iter()
+            .any(|e| name_of(e).is_some_and(|n| n.starts_with("cell "))),
+        "trace must carry per-cell spans"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| name_of(e).is_some_and(|n| n == "thread_name")),
+        "trace must label its lanes"
+    );
+}
+
 #[test]
 fn spec_files_round_trip_through_the_parser() {
     let text = "\

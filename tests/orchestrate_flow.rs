@@ -249,6 +249,125 @@ fn fresh_runs_refuse_to_clobber_an_existing_journal() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Telemetry across process boundaries: a traced orchestration must
+/// emit the exact unsharded bytes, export a valid Chrome trace, and
+/// aggregate worker metrics into a fleet rollup that accounts for every
+/// cell — both at `--metrics-out` and in `<run-dir>/metrics.json`.
+#[test]
+fn traced_orchestrations_aggregate_worker_metrics_without_perturbing_bytes() {
+    let dir = tmpdir("telemetry");
+    let spec = write_spec(&dir);
+    let full = unsharded_reference(&spec);
+
+    // The traced single-process campaign is also byte-identical.
+    let campaign_trace = dir.join("campaign-trace.json");
+    let campaign_metrics = dir.join("campaign-metrics.json");
+    let out = mlrl()
+        .args([
+            "campaign",
+            spec.to_str().unwrap(),
+            "--canonical",
+            "--trace-out",
+            campaign_trace.to_str().unwrap(),
+            "--metrics-out",
+            campaign_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run traced campaign");
+    assert_eq!(
+        stdout_of(&out, "traced campaign"),
+        full,
+        "traced campaign bytes must equal the untraced run's"
+    );
+    assert!(campaign_trace.exists() && campaign_metrics.exists());
+
+    let run_dir = dir.join("run");
+    let trace = dir.join("trace.json");
+    let metrics_out = dir.join("metrics.json");
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--canonical",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run traced orchestrate");
+    let orchestrated = stdout_of(&out, "traced orchestrate");
+    assert_eq!(
+        orchestrated, full,
+        "traced orchestration bytes must equal the unsharded run's"
+    );
+
+    // The fleet rollup accounts for every cell, exactly: worker
+    // processes are isolated sinks, so unlike in-process tests the
+    // counters admit `==` assertions.
+    let rollup = std::fs::read_to_string(&metrics_out).expect("metrics rollup written");
+    let metrics = mlrl::obs::Metrics::parse(&rollup).expect("metrics rollup parses");
+    assert_eq!(
+        metrics.counters.get("cells.completed"),
+        Some(&4),
+        "fleet rollup must account for all 4 cells (counters: {:?})",
+        metrics.counters
+    );
+    assert_eq!(metrics.counters.get("cells.failed"), None);
+    assert_eq!(metrics.counters.get("orch.cells.total"), Some(&4));
+    assert!(
+        metrics
+            .counters
+            .get("orch.workers.spawned")
+            .is_some_and(|&n| n >= 2),
+        "two workers must be spawned (counters: {:?})",
+        metrics.counters
+    );
+    assert!(
+        metrics.spans.get("cell").is_some_and(|s| s.count == 4),
+        "worker cell spans must aggregate (spans: {:?})",
+        metrics.spans
+    );
+
+    // The supervisor drops the same rollup next to the journal.
+    let in_run_dir = std::fs::read_to_string(run_dir.join("metrics.json"))
+        .expect("run dir holds the fleet rollup");
+    assert_eq!(in_run_dir, rollup);
+
+    // The trace is valid JSON carrying supervisor-synthesized worker
+    // lanes and per-cell spans.
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = mlrl::obs::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let names: Vec<String> = events
+        .iter()
+        .filter_map(|e| {
+            e.as_object()
+                .and_then(|o| o.get("name"))
+                .and_then(|n| n.as_str())
+                .map(str::to_owned)
+        })
+        .collect();
+    assert!(
+        (0..4).all(|i| names.iter().any(|n| n == &format!("cell {i}"))),
+        "trace must span every cell: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("worker ")),
+        "trace must span worker lifecycles: {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn workers_speak_the_line_protocol() {
     let dir = tmpdir("worker");
