@@ -479,6 +479,7 @@ impl ArtifactCache {
     /// Reads one spill file, refreshing its recency in the LRU index so a
     /// hot artifact in a capped directory outlives cold ones.
     fn read_spill(&self, path: &Path) -> Option<String> {
+        let _span = mlrl_obs::span("cache.spill.read");
         let content = std::fs::read_to_string(path).ok()?;
         if let Some(spill) = self.spill.as_ref().filter(|s| s.cap.is_some()) {
             spill
@@ -650,6 +651,7 @@ impl ArtifactCache {
     }
 
     fn write_spill(&self, path: &Path, content: &str) {
+        let _span = mlrl_obs::span("cache.spill.write");
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }

@@ -1,0 +1,385 @@
+//! Bench baselines: the `BENCH.json` format and the regression diff.
+//!
+//! A [`BenchBaseline`] is what every bench bin emits under
+//! `--bench-json`: per-benchmark timing summaries plus an optional
+//! [`Metrics`] snapshot (so histogram percentiles of the instrumented
+//! hot paths ride along with the wall-clock numbers). [`diff`] compares
+//! two baselines under a noise threshold and classifies every shared
+//! benchmark as regressed, improved, or unchanged — the engine behind
+//! `mlrl bench-diff` and the advisory CI gate.
+//!
+//! The serialized form is a single JSON line, parsed back with
+//! [`crate::json`]; a baseline without a `"metrics"` section (as the
+//! vendored criterion shim writes) parses fine.
+
+use std::collections::BTreeMap;
+
+use crate::{json, json_string, Metrics};
+
+/// Timing summary for one benchmark, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BenchTiming {
+    /// Median sample.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Number of timed samples behind the summary.
+    pub samples: u64,
+}
+
+impl BenchTiming {
+    /// Summarizes raw per-sample durations (need not be sorted).
+    pub fn from_samples_ns(samples_ns: &[u64]) -> Option<BenchTiming> {
+        if samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        Some(BenchTiming {
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            samples: sorted.len() as u64,
+        })
+    }
+}
+
+/// A machine-readable bench run: timings plus an optional metrics
+/// rollup. See the module docs for the role it plays.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchBaseline {
+    /// Per-benchmark timing summaries, keyed by `group/label`.
+    pub benches: BTreeMap<String, BenchTiming>,
+    /// Telemetry rollup captured during the run; empty when the
+    /// producer records no metrics.
+    pub metrics: Metrics,
+}
+
+impl BenchBaseline {
+    /// Records one benchmark's samples under `name` (silently skipped
+    /// when `samples_ns` is empty).
+    pub fn record(&mut self, name: &str, samples_ns: &[u64]) {
+        if let Some(t) = BenchTiming::from_samples_ns(samples_ns) {
+            self.benches.insert(name.to_owned(), t);
+        }
+    }
+
+    /// Serialize as a single JSON line. The `"metrics"` section is
+    /// omitted when empty so shim-produced baselines stay minimal.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"benches\":{");
+        for (i, (name, t)) in self.benches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                json_string(name),
+                t.median_ns,
+                t.min_ns,
+                t.max_ns,
+                t.samples
+            ));
+        }
+        out.push('}');
+        if !self.metrics.is_empty() {
+            out.push_str(",\"metrics\":");
+            out.push_str(&self.metrics.to_json());
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a payload produced by [`BenchBaseline::to_json`]. `None`
+    /// on malformed input; a missing `"metrics"` section yields empty
+    /// metrics.
+    pub fn parse(text: &str) -> Option<BenchBaseline> {
+        let value = json::parse(text.trim())?;
+        let obj = value.as_object()?;
+        let mut baseline = BenchBaseline::default();
+        for (name, v) in obj.get("benches")?.as_object()? {
+            let t = v.as_object()?;
+            let field = |key: &str| t.get(key)?.as_f64().map(|n| n as u64);
+            baseline.benches.insert(
+                name.clone(),
+                BenchTiming {
+                    median_ns: field("median_ns")?,
+                    min_ns: field("min_ns")?,
+                    max_ns: field("max_ns")?,
+                    samples: field("samples")?,
+                },
+            );
+        }
+        if let Some(metrics) = obj.get("metrics") {
+            // Re-serialize the subtree for Metrics::parse; the rollup
+            // grammar is a subset of what `json` accepts.
+            baseline.metrics = Metrics::parse(&render(metrics))?;
+        }
+        Some(baseline)
+    }
+}
+
+/// Minimal JSON renderer for re-serializing a parsed subtree (only the
+/// shapes [`Metrics::parse`] consumes).
+fn render(value: &json::Value) -> String {
+    match value {
+        json::Value::Null => "null".to_owned(),
+        json::Value::Bool(b) => b.to_string(),
+        json::Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        json::Value::String(s) => json_string(s),
+        json::Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        json::Value::Object(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// One benchmark whose median moved past the noise threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Benchmark name (`group/label`).
+    pub name: String,
+    /// Old median, nanoseconds.
+    pub old_ns: u64,
+    /// New median, nanoseconds.
+    pub new_ns: u64,
+    /// Signed percent change of the median (positive = slower).
+    pub pct: f64,
+}
+
+/// The outcome of comparing two baselines; see [`diff`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineDiff {
+    /// Benchmarks slower by more than the threshold, worst first.
+    pub regressions: Vec<DiffEntry>,
+    /// Benchmarks faster by more than the threshold, best first.
+    pub improvements: Vec<DiffEntry>,
+    /// Shared benchmarks within the threshold either way.
+    pub unchanged: usize,
+    /// Present only in the new baseline.
+    pub added: Vec<String>,
+    /// Present only in the old baseline.
+    pub removed: Vec<String>,
+    /// The noise threshold the classification used, percent.
+    pub threshold_pct: f64,
+}
+
+impl BaselineDiff {
+    /// True when at least one benchmark regressed past the threshold —
+    /// the condition under which `mlrl bench-diff` exits nonzero.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Render a human-readable report (deterministic for fixed inputs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-diff: threshold ±{:.1}%\n",
+            self.threshold_pct
+        ));
+        for e in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSED  {}: {} ns -> {} ns (+{:.1}%)\n",
+                e.name, e.old_ns, e.new_ns, e.pct
+            ));
+        }
+        for e in &self.improvements {
+            out.push_str(&format!(
+                "  improved   {}: {} ns -> {} ns ({:.1}%)\n",
+                e.name, e.old_ns, e.new_ns, e.pct
+            ));
+        }
+        for name in &self.added {
+            out.push_str(&format!("  added      {name}\n"));
+        }
+        for name in &self.removed {
+            out.push_str(&format!("  removed    {name}\n"));
+        }
+        out.push_str(&format!(
+            "  {} regressed, {} improved, {} unchanged\n",
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged
+        ));
+        out
+    }
+}
+
+/// Compare two baselines. A shared benchmark counts as regressed (or
+/// improved) only when its median moved *strictly* more than
+/// `threshold_pct` percent — at the threshold exactly it is noise. A
+/// zero old median with a nonzero new one is treated as a 100% move so
+/// a dead benchmark coming alive cannot divide by zero.
+pub fn diff(old: &BenchBaseline, new: &BenchBaseline, threshold_pct: f64) -> BaselineDiff {
+    let threshold_pct = threshold_pct.max(0.0);
+    let mut out = BaselineDiff {
+        threshold_pct,
+        ..BaselineDiff::default()
+    };
+    for (name, old_t) in &old.benches {
+        let Some(new_t) = new.benches.get(name) else {
+            out.removed.push(name.clone());
+            continue;
+        };
+        let (o, n) = (old_t.median_ns, new_t.median_ns);
+        let pct = if o == 0 && n == 0 {
+            0.0
+        } else if o == 0 {
+            100.0
+        } else {
+            (n as f64 - o as f64) / o as f64 * 100.0
+        };
+        let entry = DiffEntry {
+            name: name.clone(),
+            old_ns: o,
+            new_ns: n,
+            pct,
+        };
+        if pct > threshold_pct {
+            out.regressions.push(entry);
+        } else if pct < -threshold_pct {
+            out.improvements.push(entry);
+        } else {
+            out.unchanged += 1;
+        }
+    }
+    for name in new.benches.keys() {
+        if !old.benches.contains_key(name) {
+            out.added.push(name.clone());
+        }
+    }
+    // Worst regression first; best improvement first. Ties break by
+    // name so the report is deterministic.
+    out.regressions
+        .sort_by(|a, b| b.pct.total_cmp(&a.pct).then_with(|| a.name.cmp(&b.name)));
+    out.improvements
+        .sort_by(|a, b| a.pct.total_cmp(&b.pct).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(median: u64) -> BenchTiming {
+        BenchTiming {
+            median_ns: median,
+            min_ns: median.saturating_sub(1),
+            max_ns: median + 1,
+            samples: 5,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_with_and_without_metrics() {
+        let mut b = BenchBaseline::default();
+        b.record("sim/64-lane", &[30, 10, 20]);
+        assert_eq!(
+            b.benches["sim/64-lane"],
+            BenchTiming {
+                median_ns: 20,
+                min_ns: 10,
+                max_ns: 30,
+                samples: 3
+            }
+        );
+        let parsed = BenchBaseline::parse(&b.to_json()).expect("parses");
+        assert_eq!(parsed, b);
+
+        b.metrics.counters.insert("cache.hits".into(), 7);
+        b.metrics.gauges.insert("u".into(), 0.5);
+        b.metrics
+            .hists
+            .entry("sat.dip".into())
+            .or_default()
+            .record(120);
+        let parsed = BenchBaseline::parse(&b.to_json()).expect("parses with metrics");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_samples_record_nothing() {
+        let mut b = BenchBaseline::default();
+        b.record("noop", &[]);
+        assert!(b.benches.is_empty());
+    }
+
+    #[test]
+    fn diff_classifies_pass_regress_and_threshold_edge() {
+        let mut old = BenchBaseline::default();
+        old.benches.insert("a".into(), timing(1_000));
+        old.benches.insert("b".into(), timing(1_000));
+        old.benches.insert("edge".into(), timing(1_000));
+        old.benches.insert("gone".into(), timing(50));
+        let mut new = BenchBaseline::default();
+        new.benches.insert("a".into(), timing(1_200)); // +20% → regressed
+        new.benches.insert("b".into(), timing(850)); // −15% → improved
+        new.benches.insert("edge".into(), timing(1_100)); // exactly +10% → noise
+        new.benches.insert("fresh".into(), timing(10));
+
+        let d = diff(&old, &new, 10.0);
+        assert!(d.has_regressions());
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].name, "a");
+        assert!((d.regressions[0].pct - 20.0).abs() < 1e-9);
+        assert_eq!(d.improvements.len(), 1);
+        assert_eq!(d.improvements[0].name, "b");
+        assert_eq!(d.unchanged, 1, "threshold-edge move counts as noise");
+        assert_eq!(d.added, vec!["fresh".to_owned()]);
+        assert_eq!(d.removed, vec!["gone".to_owned()]);
+
+        // A tighter threshold flips the edge case into a regression.
+        let tight = diff(&old, &new, 9.0);
+        assert_eq!(tight.regressions.len(), 2);
+        assert_eq!(tight.regressions[0].name, "a", "worst first");
+        assert_eq!(tight.regressions[1].name, "edge");
+
+        // Identical baselines never regress.
+        let same = diff(&old, &old, 0.0);
+        assert!(!same.has_regressions());
+        assert_eq!(same.unchanged, old.benches.len());
+    }
+
+    #[test]
+    fn diff_handles_zero_medians_without_dividing() {
+        let mut old = BenchBaseline::default();
+        old.benches.insert("z".into(), timing(0));
+        let mut new = BenchBaseline::default();
+        new.benches.insert("z".into(), timing(500));
+        let d = diff(&old, &new, 10.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!((d.regressions[0].pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_every_class() {
+        let mut old = BenchBaseline::default();
+        old.benches.insert("slow".into(), timing(100));
+        old.benches.insert("fast".into(), timing(100));
+        let mut new = BenchBaseline::default();
+        new.benches.insert("slow".into(), timing(200));
+        new.benches.insert("fast".into(), timing(40));
+        let d = diff(&old, &new, 10.0);
+        let text = d.render();
+        assert_eq!(text, d.render());
+        assert!(text.contains("REGRESSED  slow: 100 ns -> 200 ns (+100.0%)"));
+        assert!(text.contains("improved   fast: 100 ns -> 40 ns (-60.0%)"));
+        assert!(text.contains("1 regressed, 1 improved, 0 unchanged"));
+    }
+}

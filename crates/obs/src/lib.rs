@@ -7,7 +7,10 @@
 //! - **spans** — RAII wall-clock timers ([`span`] / [`span_with`]) that
 //!   aggregate per-name statistics *and* append Chrome trace events,
 //! - **counters** — monotonic `u64` event counts ([`counter_add`]),
-//! - **gauges** — last-written `f64` levels ([`gauge_set`]).
+//! - **gauges** — last-written `f64` levels ([`gauge_set`]),
+//! - **histograms** — log-bucketed duration distributions
+//!   ([`hist::Histogram`]), recorded automatically per span name and
+//!   on demand via [`hist_record`], with p50/p90/p99 accessors.
 //!
 //! The sink is process-global (like the `log` facade) so deep call
 //! chains — engine → attack → solver — need no handle threading. It is
@@ -25,6 +28,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod hist;
+
+pub use hist::Histogram;
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -87,6 +95,8 @@ struct State {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     spans: BTreeMap<String, SpanStat>,
+    /// Duration distributions, recorded alongside the sum-only `spans`.
+    hists: BTreeMap<String, Histogram>,
     /// Lane labels; the lane id (Chrome `tid`) is the index.
     lanes: Vec<String>,
 }
@@ -214,6 +224,10 @@ impl Drop for SpanGuard {
             let st = s.spans.entry(inner.stat.to_owned()).or_default();
             st.count += 1;
             st.total_us += dur_us;
+            s.hists
+                .entry(inner.stat.to_owned())
+                .or_default()
+                .record(dur_us);
         });
     }
 }
@@ -302,6 +316,19 @@ pub fn gauge_set(name: &str, value: f64) {
     });
 }
 
+/// Record one sample into the histogram `name` — for values that are
+/// not span durations (the supervisor's protocol-observed cell wall
+/// times, batch sizes, queue depths). Span durations are recorded
+/// automatically under the span's stat name.
+pub fn hist_record(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_state(|s| {
+        s.hists.entry(name.to_owned()).or_default().record(value);
+    });
+}
+
 /// A mergeable rollup of counters, gauges, and span statistics — the
 /// `metrics.json` payload, and the unit workers stream to the
 /// supervisor over the line protocol.
@@ -313,17 +340,23 @@ pub struct Metrics {
     pub gauges: BTreeMap<String, f64>,
     /// Wall-clock statistics per span name.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Duration distributions per span/histogram name.
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.hists.is_empty()
     }
 
-    /// Fold `other` into `self`: counters and span stats add, gauges
-    /// keep the maximum (the conservative fleet-wide reading for
-    /// levels like utilization or heartbeat gaps).
+    /// Fold `other` into `self`: counters and span stats add, histograms
+    /// add bucket-wise, gauges keep the maximum (the conservative
+    /// fleet-wide reading for levels like utilization or heartbeat
+    /// gaps).
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -339,10 +372,13 @@ impl Metrics {
             slot.count += v.count;
             slot.total_us += v.total_us;
         }
+        for (k, v) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(v);
+        }
     }
 
     /// Serialize as a single-line JSON object with sorted keys:
-    /// `{"counters":{..},"gauges":{..},"spans":{..}}`.
+    /// `{"counters":{..},"gauges":{..},"spans":{..},"hists":{..}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -374,6 +410,13 @@ impl Metrics {
                 v.count,
                 v.total_us
             ));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (k, v)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(k), v.to_json()));
         }
         out.push_str("}}");
         out
@@ -410,16 +453,24 @@ impl Metrics {
                     .insert(k.clone(), SpanStat { count, total_us });
             }
         }
+        // Absent in payloads from pre-histogram writers; tolerated.
+        if let Some(hists) = obj.get("hists").and_then(json::Value::as_object) {
+            for (k, v) in hists {
+                metrics.hists.insert(k.clone(), Histogram::from_json(v)?);
+            }
+        }
         Some(metrics)
     }
 }
 
-/// Snapshot the sink's current counters, gauges, and span statistics.
+/// Snapshot the sink's current counters, gauges, span statistics, and
+/// histograms.
 pub fn snapshot() -> Metrics {
     with_state(|s| Metrics {
         counters: s.counters.clone(),
         gauges: s.gauges.clone(),
         spans: s.spans.clone(),
+        hists: s.hists.clone(),
     })
 }
 
@@ -488,7 +539,7 @@ pub fn write_trace_json(path: &Path) -> std::io::Result<()> {
 }
 
 /// Escape `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -863,6 +914,143 @@ mod tests {
         assert_eq!(inner["d"], json::Value::Bool(true));
         assert!(json::parse("{\"a\":}").is_none());
         assert!(json::parse("[1,2,]").is_none());
+    }
+
+    #[test]
+    fn spans_record_duration_histograms_alongside_stats() {
+        let _g = lock();
+        reset();
+        enable();
+        for _ in 0..3 {
+            let _s = span("h.span");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        hist_record("h.manual", 42);
+        let snap = snapshot();
+        disable();
+
+        let h = snap.hists.get("h.span").expect("span histogram");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.count(), snap.spans["h.span"].count);
+        assert!(h.min().unwrap() >= 1_000, "slept ≥1ms: {:?}", h.min());
+        assert!(h.p50().unwrap() <= h.max().unwrap());
+        assert_eq!(snap.hists["h.manual"].sum(), 42);
+
+        let parsed = Metrics::parse(&snap.to_json()).expect("reparses");
+        assert_eq!(parsed, snap, "histograms round-trip in the rollup");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let mut parts = Vec::new();
+        for seed in 1u64..=3 {
+            let mut h = Histogram::default();
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for _ in 0..50 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                h.record(x % 1_000_000);
+            }
+            parts.push(h);
+        }
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(b);
+        let mut ba = b.clone();
+        ba.merge(a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        // Empty is the identity on both sides.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::default());
+        assert_eq!(&with_empty, a);
+        let mut from_empty = Histogram::default();
+        from_empty.merge(a);
+        assert_eq!(&from_empty, a);
+    }
+
+    #[test]
+    fn percentiles_stay_within_recorded_extremes() {
+        let mut h = Histogram::default();
+        let mut x = 0xdead_beefu64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 10_000_000);
+        }
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        for p in [0u8, 1, 50, 90, 99, 100] {
+            let v = h.percentile(p).unwrap();
+            assert!(v >= min && v <= max, "p{p}={v} outside [{min},{max}]");
+        }
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "percentiles must be monotone");
+    }
+
+    #[test]
+    fn empty_histogram_rollup_is_stable() {
+        let mut m = Metrics::default();
+        m.hists
+            .insert("never.recorded".into(), Histogram::default());
+        let json = m.to_json();
+        let parsed = Metrics::parse(&json).expect("parses");
+        assert_eq!(parsed, m);
+        // Serialization is a fixed point: parse ∘ to_json = id implies
+        // to_json(parse(to_json(m))) == to_json(m).
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn hostile_labels_and_keys_survive_json_round_trips() {
+        let _g = lock();
+        reset();
+        enable();
+        // Quotes, backslashes, newlines, and raw control characters —
+        // the shapes cell names and file paths can smuggle in.
+        let hostile = "cell \"N_2046\"\\path\nwith\tctrl\u{1}";
+        drop(span_with("stat \"with\\quotes\"", || hostile.to_owned()));
+        counter_add("count \"q\"\\k", 2);
+        gauge_set("gauge \"q\"\\k", 1.5);
+        hist_record("hist \"q\"\\k", 7);
+        let trace = trace_json();
+        let snap = snapshot();
+        disable();
+
+        // The trace parses and carries the label byte-for-byte.
+        let doc = json::parse(&trace).expect("escaped trace parses");
+        let names: Vec<String> = doc
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(json::Value::as_array)
+            .expect("traceEvents")
+            .iter()
+            .filter_map(|e| Some(e.as_object()?.get("name")?.as_str()?.to_owned()))
+            .collect();
+        assert!(
+            names.iter().any(|n| n == hostile),
+            "label intact: {names:?}"
+        );
+
+        // The rollup parses and every hostile key round-trips.
+        let parsed = Metrics::parse(&snap.to_json()).expect("escaped rollup parses");
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.counters["count \"q\"\\k"], 2);
+        assert_eq!(parsed.spans["stat \"with\\quotes\""].count, 1);
+        assert_eq!(parsed.hists["hist \"q\"\\k"].sum(), 7);
     }
 
     #[test]

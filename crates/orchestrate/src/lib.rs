@@ -16,6 +16,10 @@
 //!   make the rest near-free),
 //! - [`progress`] — the live terminal progress line (cells done/total,
 //!   per-worker state, cost-model ETA),
+//! - [`report`] — the offline analyzer behind `mlrl report`: renders
+//!   phase breakdowns, latency percentiles, cache rates, worker
+//!   straggler rankings, and folded stacks from a run directory's
+//!   artifacts,
 //! - [`supervise`] — the supervisor: spawns `--workers N` processes
 //!   pointed at one shared content-addressed cache dir, restarts a
 //!   crashed or wedged worker with its remaining cells, journals every
@@ -34,9 +38,11 @@ pub mod journal;
 pub mod plan;
 pub mod progress;
 pub mod protocol;
+pub mod report;
 pub mod supervise;
 
 pub use journal::Journal;
 pub use plan::{plan_assignments, spec_digest};
 pub use protocol::WorkerEvent;
+pub use report::{render_report, ReportOptions};
 pub use supervise::{orchestrate, OrchestrationOutcome, OrchestratorConfig};

@@ -268,6 +268,10 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                                         started_at,
                                         wall,
                                     );
+                                    mlrl_obs::hist_record(
+                                        "orch.cell_wall_us",
+                                        wall.as_micros() as u64,
+                                    );
                                     progress.note_cell_timing(cost, wall);
                                 }
                             }
@@ -407,9 +411,20 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                 progress.passthrough(&line);
             }
         }
-        for slot in &slots {
+        // Gauges are max-merged, so same-named per-worker gauges (every
+        // worker process reports `pool.worker0.utilization`) would
+        // collapse to a single fleet-wide value. Namespace each slot's
+        // gauges by worker id before folding; counters, span stats, and
+        // histograms merge additively and need no prefix.
+        for (id, slot) in slots.iter().enumerate() {
             if let Some(m) = &slot.metrics {
-                fleet_metrics.merge(m);
+                let mut namespaced = m.clone();
+                namespaced.gauges = m
+                    .gauges
+                    .iter()
+                    .map(|(k, v)| (format!("w{id}.{k}"), *v))
+                    .collect();
+                fleet_metrics.merge(&namespaced);
             }
         }
         progress.emit(true);

@@ -23,6 +23,8 @@
 //!             [--trace-out FILE] [--metrics-out FILE]
 //! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR]
 //!             [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]
+//! mlrl report <run-dir> [--trace FILE] [--top N] [--folded-out FILE]
+//! mlrl bench-diff <old.json> <new.json> [--threshold PCT]
 //! ```
 //!
 //! Keys are stored as plain bit strings, `K[0]` first. Campaign spec
@@ -48,6 +50,15 @@
 //! `orchestrate`, workers run with `--telemetry` and stream cumulative
 //! rollups over the line protocol; the supervisor aggregates the fleet
 //! into `<run-dir>/metrics.json` (and `--metrics-out`, if given).
+//!
+//! `report` analyzes those artifacts offline: phase-time breakdown,
+//! latency percentiles from the histogram rollup, cache hit rates,
+//! per-worker utilization with straggler ranking, the top-N slowest
+//! cells, and (with `--folded-out`) folded stacks for flamegraph
+//! tooling. `bench-diff` compares two `BENCH.json` baselines (emitted
+//! by the bench bins' `--bench-json` flag) under a noise threshold
+//! (default 10%) and exits nonzero when any benchmark regressed past
+//! it — the regression gate CI runs advisorily.
 
 use std::fs;
 use std::path::PathBuf;
@@ -760,6 +771,43 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let run_dir = args
+        .positional
+        .get(1)
+        .ok_or("usage: mlrl report <run-dir> [--trace FILE] [--top N] [--folded-out FILE]")?;
+    let opts = mlrl::orchestrate::ReportOptions {
+        top: args.num("top", 10usize),
+        trace: args.flag("trace").map(PathBuf::from),
+        folded_out: args.flag("folded-out").map(PathBuf::from),
+    };
+    let text = mlrl::orchestrate::render_report(std::path::Path::new(run_dir), &opts)?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_bench_diff(args: &Args) -> Result<(), String> {
+    let usage = "usage: mlrl bench-diff <old.json> <new.json> [--threshold PCT]";
+    let old_path = args.positional.get(1).ok_or(usage)?;
+    let new_path = args.positional.get(2).ok_or(usage)?;
+    let load = |path: &str| -> Result<mlrl::obs::baseline::BenchBaseline, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        mlrl::obs::baseline::BenchBaseline::parse(&text)
+            .ok_or_else(|| format!("{path} is not a BENCH.json baseline"))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let diff = mlrl::obs::baseline::diff(&old, &new, args.num("threshold", 10.0f64));
+    print!("{}", diff.render());
+    if diff.has_regressions() {
+        return Err(format!(
+            "{} benchmark(s) regressed past the threshold",
+            diff.regressions.len()
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&argv);
@@ -777,8 +825,10 @@ fn run() -> Result<(), String> {
         Some("merge") => cmd_merge(&args),
         Some("orchestrate") => cmd_orchestrate(&args),
         Some("worker") => cmd_worker(&args),
+        Some("report") => cmd_report(&args),
+        Some("bench-diff") => cmd_bench_diff(&args),
         _ => Err(
-            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge|orchestrate|worker> ...\nsee `src/bin/mlrl.rs` docs"
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge|orchestrate|worker|report|bench-diff> ...\nsee `src/bin/mlrl.rs` docs"
                 .to_owned(),
         ),
     }

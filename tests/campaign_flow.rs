@@ -429,10 +429,26 @@ fn telemetry_is_a_pure_side_channel_with_wellformed_artifacts() {
         metrics.spans.keys().collect::<Vec<_>>()
     );
 
-    // The rollup JSON round-trips through its own parser.
+    // Every span name also accumulates a duration histogram, in
+    // lockstep with its sum-only stat (both are recorded under the same
+    // sink lock, so their counts agree within one snapshot).
+    let cell_hist = metrics.hists.get("cell").expect("cell histogram");
+    assert_eq!(cell_hist.count(), cell_stat.count);
+    assert_eq!(cell_hist.sum(), cell_stat.total_us);
+    let p50 = cell_hist.p50().expect("non-empty percentile");
+    assert!(
+        cell_hist.min().unwrap() <= p50 && p50 <= cell_hist.max().unwrap(),
+        "p50 {p50} outside [{:?}, {:?}]",
+        cell_hist.min(),
+        cell_hist.max()
+    );
+
+    // The rollup JSON round-trips through its own parser, histograms
+    // included.
     let reparsed = mlrl::obs::Metrics::parse(&metrics.to_json()).expect("metrics JSON reparses");
     assert_eq!(reparsed.counters, metrics.counters);
     assert_eq!(reparsed.spans, metrics.spans);
+    assert_eq!(reparsed.hists, metrics.hists);
 
     // The Chrome trace is valid JSON with named spans on named lanes.
     let doc = mlrl::obs::json::parse(&trace).expect("trace is valid JSON");

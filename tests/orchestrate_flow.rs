@@ -334,6 +334,37 @@ fn traced_orchestrations_aggregate_worker_metrics_without_perturbing_bytes() {
         metrics.spans
     );
 
+    // Histograms fold across the fleet bucket-wise: the workers' cell
+    // spans and the supervisor's protocol-observed wall times both
+    // account for all 4 cells.
+    assert!(
+        metrics.hists.get("cell").is_some_and(|h| h.count() == 4),
+        "worker cell histograms must merge (hists: {:?})",
+        metrics.hists.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        metrics
+            .hists
+            .get("orch.cell_wall_us")
+            .is_some_and(|h| h.count() == 4 && h.p99() <= h.max()),
+        "supervisor must histogram per-cell wall time (hists: {:?})",
+        metrics.hists.keys().collect::<Vec<_>>()
+    );
+
+    // Per-worker gauges must not collapse under the fleet's max-merge:
+    // the supervisor namespaces each slot's gauges (`w<id>.`), so both
+    // workers' pool utilization readings survive side by side.
+    let namespaced: Vec<&String> = metrics
+        .gauges
+        .keys()
+        .filter(|k| k.starts_with("w0.pool.") || k.starts_with("w1.pool."))
+        .collect();
+    assert!(
+        namespaced.len() >= 2,
+        "both workers' gauges must survive the fold (gauges: {:?})",
+        metrics.gauges.keys().collect::<Vec<_>>()
+    );
+
     // The supervisor drops the same rollup next to the journal.
     let in_run_dir = std::fs::read_to_string(run_dir.join("metrics.json"))
         .expect("run dir holds the fleet rollup");

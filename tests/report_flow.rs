@@ -1,0 +1,134 @@
+//! Integration coverage for the performance-intelligence tooling:
+//! `mlrl report` against a frozen run-dir fixture (golden snapshot, so
+//! the renderer stays byte-stable) and `mlrl bench-diff` exit-code
+//! semantics over `BENCH.json` baselines.
+//!
+//! The fixture under `tests/data/report_fixture/` is a real (quick)
+//! 2-worker orchestration's `journal.jsonl` + `metrics.json` +
+//! `trace.json`, frozen at capture time; every number in the golden
+//! report derives from those bytes, so the comparison is exact.
+
+use std::path::Path;
+use std::process::Command;
+
+fn mlrl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlrl"))
+}
+
+fn fixture() -> &'static Path {
+    Path::new("tests/data/report_fixture")
+}
+
+#[test]
+fn report_reproduces_the_golden_snapshot_byte_for_byte() {
+    let golden = std::fs::read_to_string("tests/data/report_golden.txt").expect("golden report");
+    let rendered =
+        mlrl::orchestrate::render_report(fixture(), &mlrl::orchestrate::ReportOptions::default())
+            .expect("report renders");
+    assert_eq!(
+        rendered, golden,
+        "report output drifted from tests/data/report_golden.txt; \
+         regenerate it with `mlrl report tests/data/report_fixture` if the change is intended"
+    );
+}
+
+#[test]
+fn folded_stack_export_matches_its_golden() {
+    let golden =
+        std::fs::read_to_string("tests/data/report_golden.folded").expect("golden folded stacks");
+    let out = std::env::temp_dir().join(format!("mlrl-folded-{}.txt", std::process::id()));
+    let opts = mlrl::orchestrate::ReportOptions {
+        folded_out: Some(out.clone()),
+        ..Default::default()
+    };
+    let rendered = mlrl::orchestrate::render_report(fixture(), &opts).expect("report renders");
+    assert!(rendered.contains("folded stacks written to"));
+    let folded = std::fs::read_to_string(&out).expect("folded file written");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(folded, golden, "folded-stack export drifted");
+    // Shape sanity: every line is `lane;frame[;frame...] <self_us>`.
+    for line in folded.lines() {
+        let (stack, self_us) = line.rsplit_once(' ').expect("space-separated");
+        assert!(
+            stack.contains(';'),
+            "stack must carry a lane prefix: {line}"
+        );
+        self_us.parse::<u64>().expect("numeric self time");
+    }
+}
+
+#[test]
+fn report_subcommand_prints_the_report() {
+    let out = mlrl()
+        .args(["report", fixture().to_str().unwrap(), "--top", "3"])
+        .output()
+        .expect("run mlrl report");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(text.contains("campaign \"gate-vs-rtl-sweep\": 16 of 16 cells journaled"));
+    assert!(text.contains("slowest cells (top 3)"));
+    assert!(!text.contains(" 4. cell"), "--top 3 must truncate the list");
+}
+
+#[test]
+fn bench_diff_exits_nonzero_only_on_regressions_past_the_threshold() {
+    let dir = std::env::temp_dir().join(format!("mlrl-bench-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(
+        &old,
+        r#"{"benches":{"a":{"median_ns":1000,"min_ns":900,"max_ns":1100,"samples":5}}}"#,
+    )
+    .expect("old baseline");
+    std::fs::write(
+        &new,
+        r#"{"benches":{"a":{"median_ns":1300,"min_ns":1200,"max_ns":1400,"samples":5}}}"#,
+    )
+    .expect("new baseline");
+
+    // +30% against a 10% threshold: regression, nonzero exit.
+    let out = mlrl()
+        .args([
+            "bench-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--threshold",
+            "10",
+        ])
+        .output()
+        .expect("run bench-diff");
+    assert!(!out.status.success(), "a >threshold regression must fail");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("REGRESSED  a: 1000 ns -> 1300 ns (+30.0%)"),
+        "{text}"
+    );
+
+    // The same move under a 50% threshold is noise: clean exit.
+    let out = mlrl()
+        .args([
+            "bench-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--threshold",
+            "50",
+        ])
+        .output()
+        .expect("run bench-diff");
+    assert!(out.status.success(), "within-threshold moves must pass");
+
+    // The committed CI baseline parses and diffs cleanly against itself.
+    let baseline = "tests/data/bench_baseline.json";
+    let out = mlrl()
+        .args(["bench-diff", baseline, baseline])
+        .output()
+        .expect("run bench-diff on the committed baseline");
+    assert!(out.status.success(), "self-diff must never regress");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,10 +6,19 @@
 //! — backed by a small wall-clock harness: per benchmark it warms up once,
 //! takes `sample_size` timed samples, and prints min/median/max. No
 //! statistics beyond that, no plots, no CLI filtering.
+//!
+//! One extension over upstream: `--bench-json <path>` on the bench
+//! binary's command line writes a machine-readable `BENCH.json`
+//! (`{"benches":{"group/label":{"median_ns":..,...}}}`) summarizing
+//! every benchmark the run executed — the baseline format `mlrl
+//! bench-diff` consumes. The flag is handled inside [`criterion_main!`]
+//! so individual benches need no changes.
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -60,6 +69,13 @@ impl Bencher {
     }
 }
 
+/// Sorted per-benchmark samples collected over the whole process, keyed
+/// by `group/label` — the source [`write_bench_json`] summarizes.
+fn results() -> &'static Mutex<BTreeMap<String, Vec<Duration>>> {
+    static RESULTS: OnceLock<Mutex<BTreeMap<String, Vec<Duration>>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
 fn report(group: &str, label: &str, samples: &mut [Duration]) {
     if samples.is_empty() {
         return;
@@ -72,6 +88,65 @@ fn report(group: &str, label: &str, samples: &mut [Duration]) {
         samples.last().expect("non-empty"),
         samples.len()
     );
+    let key = if label.is_empty() {
+        group.to_owned()
+    } else {
+        format!("{group}/{label}")
+    };
+    if let Ok(mut map) = results().lock() {
+        map.entry(key).or_default().extend_from_slice(samples);
+    }
+}
+
+/// Render every benchmark this process has run as a `BENCH.json`
+/// baseline line: `{"benches":{"name":{"median_ns":N,"min_ns":N,
+/// "max_ns":N,"samples":N},...}}`. Keys are escaped minimally (quotes
+/// and backslashes); bench names are code-controlled identifiers.
+pub fn bench_json() -> String {
+    let map = match results().lock() {
+        Ok(m) => m,
+        Err(p) => p.into_inner(),
+    };
+    let mut out = String::from("{\"benches\":{");
+    for (i, (name, samples)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let ns = |d: &Duration| d.as_nanos() as u64;
+        out.push_str(&format!(
+            "\"{}\":{{\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            ns(&sorted[sorted.len() / 2]),
+            ns(&sorted[0]),
+            ns(&sorted[sorted.len() - 1]),
+            sorted.len()
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Write [`bench_json`] to `path`. Called by [`criterion_main!`] when
+/// the bench binary's argv carries `--bench-json <path>`.
+pub fn write_bench_json(path: &str) {
+    let payload = format!("{}\n", bench_json());
+    if let Err(e) = std::fs::write(path, payload) {
+        eprintln!("bench-json: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench-json: wrote {path}");
+}
+
+/// The `--bench-json` operand from `args`, if present.
+pub fn bench_json_path(mut args: impl Iterator<Item = String>) -> Option<String> {
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// A named set of related benchmarks sharing configuration.
@@ -163,12 +238,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running each `criterion_group!`.
+/// Declares `main` running each `criterion_group!`, then honouring
+/// `--bench-json <path>` from the command line.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            if let Some(path) = $crate::bench_json_path(std::env::args()) {
+                $crate::write_bench_json(&path);
+            }
         }
     };
 }
@@ -192,5 +271,27 @@ mod tests {
         group.finish();
         // 1 warm-up + 2 samples.
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bench_json_summarizes_recorded_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsonshim");
+        group.sample_size(3);
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let text = bench_json();
+        assert!(text.starts_with("{\"benches\":{"));
+        assert!(text.contains("\"jsonshim/fast\":{\"median_ns\":"));
+        assert!(text.contains("\"samples\":3"));
+    }
+
+    #[test]
+    fn bench_json_path_parses_argv() {
+        let args = ["bin", "--quick", "--bench-json", "out.json"];
+        let found = bench_json_path(args.iter().map(|s| s.to_string()));
+        assert_eq!(found.as_deref(), Some("out.json"));
+        let none = bench_json_path(["bin", "--quick"].iter().map(|s| s.to_string()));
+        assert_eq!(none, None);
     }
 }
