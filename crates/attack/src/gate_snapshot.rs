@@ -19,7 +19,7 @@
 
 use mlrl_ml::automl::{auto_fit, AutoMlConfig};
 use mlrl_ml::dataset::{Dataset, OneHotEncoder};
-use mlrl_netlist::ir::{NetId, Netlist};
+use mlrl_netlist::ir::{FanoutIndex, NetId, Netlist};
 use mlrl_netlist::lock::{lock_netlist, GateKey, GateLockScheme};
 
 use crate::relock::TrainingSet;
@@ -65,23 +65,20 @@ pub struct GateLocality {
 /// # Ok::<(), mlrl_netlist::error::NetlistError>(())
 /// ```
 pub fn extract_gate_localities(netlist: &Netlist) -> Vec<GateLocality> {
-    let driver = netlist.driver_map();
-    let fanout = netlist.fanout_map();
+    let driver = netlist.driver_index();
+    let fanout = FanoutIndex::of(netlist);
     let kind_of = |net: NetId| -> u32 {
-        driver
-            .get(&net)
-            .map(|&gi| netlist.gates()[gi].kind.code())
-            .unwrap_or(0)
+        match driver[net.index()] {
+            mlrl_netlist::ir::NO_DRIVER => 0,
+            gi => netlist.gates()[gi as usize].kind.code(),
+        }
     };
     let mut out = Vec::new();
     for (key_bit, &knet) in netlist.key_bits().iter().enumerate() {
-        let Some(consumers) = fanout.get(&knet) else {
+        let Some(&gi) = fanout.fanout(knet).first() else {
             continue;
         };
-        let Some(&gi) = consumers.first() else {
-            continue;
-        };
-        let gate = &netlist.gates()[gi];
+        let gate = &netlist.gates()[gi as usize];
         let mut features = vec![gate.kind.code()];
         // Drivers of the non-key inputs, in pin order.
         let mut drivers: Vec<u32> = gate
@@ -94,14 +91,11 @@ pub fn extract_gate_localities(netlist: &Netlist) -> Vec<GateLocality> {
         features.extend(drivers);
         // First two fanout consumers of the key gate's output.
         let mut fans: Vec<u32> = fanout
-            .get(&gate.output)
-            .map(|gs| {
-                gs.iter()
-                    .take(2)
-                    .map(|&g| netlist.gates()[g].kind.code())
-                    .collect()
-            })
-            .unwrap_or_default();
+            .fanout(gate.output)
+            .iter()
+            .take(2)
+            .map(|&g| netlist.gates()[g as usize].kind.code())
+            .collect();
         fans.resize(2, 0);
         features.extend(fans);
         debug_assert_eq!(features.len(), GATE_LOCALITY_WIDTH);

@@ -19,10 +19,16 @@
 
 use mlrl_locking::key::Key;
 use mlrl_rtl::ast::PortDir;
-use mlrl_rtl::sim::Simulator;
+use mlrl_rtl::sim::BatchSimulator;
 use mlrl_rtl::{Module, RtlError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Test-bench patterns per batched tape walk: the agreement bench is pure
+/// combinational stimulus, so the whole test bench rides simulator lanes
+/// eight patterns at a time. `queries` still counts *vector evaluations*
+/// (one per pattern), not settles, so reports are batch-invariant.
+const BATCH: usize = 8;
 
 /// Configuration of the hill-climbing attack.
 #[derive(Debug, Clone)]
@@ -96,16 +102,24 @@ pub fn oracle_guided_attack(
         .filter(|p| p.dir == PortDir::Output)
         .map(|p| p.name.clone())
         .collect();
-    let mut oracle_sim = Simulator::new(oracle)?;
+    let mut oracle_sim = BatchSimulator::<BATCH>::new(oracle)?;
     let mut golden: Vec<Vec<u64>> = Vec::with_capacity(patterns.len());
-    for pat in &patterns {
-        for (name, v) in input_names.iter().zip(pat) {
-            oracle_sim.set_input(name, *v)?;
+    let mut done = 0usize;
+    while done < patterns.len() {
+        let lanes = (patterns.len() - done).min(BATCH);
+        for (i, name) in input_names.iter().enumerate() {
+            let vals: Vec<u64> = (0..lanes).map(|l| patterns[done + l][i]).collect();
+            oracle_sim.set_input_batch(name, &vals)?;
         }
         oracle_sim.settle()?;
-        let row: Result<Vec<u64>, RtlError> =
-            output_names.iter().map(|n| oracle_sim.get(n)).collect();
-        golden.push(row?);
+        for lane in 0..lanes {
+            let row: Result<Vec<u64>, RtlError> = output_names
+                .iter()
+                .map(|n| oracle_sim.get_lane(n, lane))
+                .collect();
+            golden.push(row?);
+        }
+        done += lanes;
     }
 
     // Bit-level Hamming agreement over every output port: partial credit
@@ -113,23 +127,31 @@ pub fn oracle_guided_attack(
     // almost every bit is correct).
     let total_bits = (patterns.len() * output_names.len() * 64).max(1);
     let mut queries = 0usize;
-    let mut locked_sim = Simulator::new(locked)?;
-    let agreement_of =
-        |key: &[bool], locked_sim: &mut Simulator, queries: &mut usize| -> Result<f64, RtlError> {
-            let mut matching_bits = 0u64;
-            locked_sim.set_key(key)?;
-            for (pat, gold) in patterns.iter().zip(&golden) {
-                for (name, v) in input_names.iter().zip(pat) {
-                    locked_sim.set_input(name, *v)?;
-                }
-                locked_sim.settle()?;
-                *queries += 1;
-                for (name, g) in output_names.iter().zip(gold) {
-                    matching_bits += (!(locked_sim.get(name)? ^ g)).count_ones() as u64;
+    let mut locked_sim = BatchSimulator::<BATCH>::new(locked)?;
+    let agreement_of = |key: &[bool],
+                        locked_sim: &mut BatchSimulator<BATCH>,
+                        queries: &mut usize|
+     -> Result<f64, RtlError> {
+        let mut matching_bits = 0u64;
+        locked_sim.set_key(key)?;
+        let mut done = 0usize;
+        while done < patterns.len() {
+            let lanes = (patterns.len() - done).min(BATCH);
+            for (i, name) in input_names.iter().enumerate() {
+                let vals: Vec<u64> = (0..lanes).map(|l| patterns[done + l][i]).collect();
+                locked_sim.set_input_batch(name, &vals)?;
+            }
+            locked_sim.settle()?;
+            *queries += lanes;
+            for lane in 0..lanes {
+                for (name, g) in output_names.iter().zip(&golden[done + lane]) {
+                    matching_bits += (!(locked_sim.get_lane(name, lane)? ^ g)).count_ones() as u64;
                 }
             }
-            Ok(matching_bits as f64 / total_bits as f64)
-        };
+            done += lanes;
+        }
+        Ok(matching_bits as f64 / total_bits as f64)
+    };
 
     let mut best_key = vec![false; width];
     let mut best_score = -1.0f64;

@@ -23,10 +23,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mlrl_rtl::ast::PortDir;
-use mlrl_rtl::sim::Simulator;
+use mlrl_rtl::sim::{BatchSimulator, Simulator};
 use mlrl_rtl::Module;
 
 use crate::error::{LockError, Result};
+
+/// RTL patterns per batched settle in the combinational path: each lane of
+/// one tape walk carries an independent stimulus vector.
+const RTL_BATCH: usize = 8;
 
 /// Configuration for [`measure_corruptibility`].
 #[derive(Debug, Clone)]
@@ -110,8 +114,6 @@ pub fn measure_corruptibility(
             provided: correct_key.len(),
         }));
     }
-    let sim_err = LockError::Rtl;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let inputs: Vec<(String, u32)> = original
         .ports()
         .iter()
@@ -124,27 +126,144 @@ pub fn measure_corruptibility(
         .filter(|p| p.dir == PortDir::Output)
         .map(|p| (p.name.clone(), p.width))
         .collect();
-    let total_out_bits: u64 = outputs.iter().map(|(_, w)| *w as u64).sum();
+
+    if cfg.ticks == 0 {
+        measure_rtl_combinational(original, locked, correct_key, cfg, &inputs, &outputs)
+    } else {
+        measure_rtl_sequential(original, locked, correct_key, cfg, &inputs, &outputs)
+    }
+}
+
+/// Draws one near-miss key: the correct key with `flips` random bits
+/// flipped (the RNG draw order every measurement path shares).
+fn near_miss_key(correct_key: &[bool], width: usize, flips: usize, rng: &mut StdRng) -> Vec<bool> {
+    let mut wrong = correct_key.to_vec();
+    for _ in 0..flips.max(1) {
+        let i = rng.gen_range(0..width.max(1));
+        wrong[i] = !wrong[i];
+    }
+    wrong
+}
+
+/// Masks a full random draw down to a port width (widths are ≤ 64).
+fn mask_draw(v: u64, width: u32) -> u64 {
+    if width >= 64 {
+        v
+    } else {
+        v & ((1 << width) - 1)
+    }
+}
+
+/// Combinational corruptibility: every pattern is an independent settle, so
+/// up to [`RTL_BATCH`] of them ride the lanes of one batched tape walk.
+/// Patterns are pre-drawn in the exact order the pattern-at-a-time loop
+/// consumed them, so the RNG stream (and every tally) is batch-invariant.
+fn measure_rtl_combinational(
+    original: &Module,
+    locked: &Module,
+    correct_key: &[bool],
+    cfg: &CorruptibilityConfig,
+    inputs: &[(String, u32)],
+    outputs: &[(String, u32)],
+) -> Result<CorruptibilityReport> {
+    let sim_err = LockError::Rtl;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let width = locked.key_width() as usize;
+
+    // Compile both designs once; each trial resets state instead of
+    // reconstructing (and recompiling) the simulators.
+    let mut ref_sim = BatchSimulator::<RTL_BATCH>::new(original).map_err(sim_err)?;
+    ref_sim.set_key(correct_key).map_err(sim_err)?;
+    let mut bad_sim = BatchSimulator::<RTL_BATCH>::new(locked).map_err(sim_err)?;
 
     let mut corrupted_keys = 0usize;
     let mut error_sum = 0.0f64;
     let mut hamming_sum = 0.0f64;
 
-    // Compile both designs once; each trial resets state instead of
-    // reconstructing (and recompiling) the simulators.
+    for _ in 0..cfg.wrong_keys {
+        let wrong = near_miss_key(correct_key, width, cfg.flips, &mut rng);
+        ref_sim.reset();
+        bad_sim.reset();
+        bad_sim.set_key(&wrong).map_err(sim_err)?;
+
+        // Pattern-major, port-minor: the order the scalar loop drew.
+        let mut stim = Vec::with_capacity(cfg.patterns * inputs.len());
+        for _ in 0..cfg.patterns {
+            for (_, width) in inputs {
+                stim.push(mask_draw(rng.gen(), *width));
+            }
+        }
+
+        let mut reads = 0u64;
+        let mut errors = 0u64;
+        let mut bit_flips = 0u64;
+        let mut bits_seen = 0u64;
+        let mut done = 0usize;
+        while done < cfg.patterns {
+            let lanes = (cfg.patterns - done).min(RTL_BATCH);
+            for (i, (name, _)) in inputs.iter().enumerate() {
+                let vals: Vec<u64> = (0..lanes)
+                    .map(|l| stim[(done + l) * inputs.len() + i])
+                    .collect();
+                ref_sim.set_input_batch(name, &vals).map_err(sim_err)?;
+                bad_sim.set_input_batch(name, &vals).map_err(sim_err)?;
+            }
+            ref_sim.settle().map_err(sim_err)?;
+            bad_sim.settle().map_err(sim_err)?;
+            for lane in 0..lanes {
+                for (name, width) in outputs {
+                    let a = ref_sim.get_lane(name, lane).map_err(sim_err)?;
+                    let b = bad_sim.get_lane(name, lane).map_err(sim_err)?;
+                    reads += 1;
+                    if a != b {
+                        errors += 1;
+                    }
+                    bit_flips += (a ^ b).count_ones() as u64;
+                    bits_seen += *width as u64;
+                }
+            }
+            done += lanes;
+        }
+        if errors > 0 {
+            corrupted_keys += 1;
+        }
+        error_sum += errors as f64 / reads.max(1) as f64;
+        hamming_sum += bit_flips as f64 / bits_seen.max(1) as f64;
+    }
+
+    let n = cfg.wrong_keys.max(1) as f64;
+    Ok(CorruptibilityReport {
+        wrong_keys: cfg.wrong_keys,
+        corruption_rate: corrupted_keys as f64 / n,
+        error_rate: error_sum / n,
+        hamming_fraction: hamming_sum / n,
+    })
+}
+
+/// Sequential corruptibility: each pattern's ticks advance register state
+/// carried over from the previous pattern, so trials stay scalar.
+fn measure_rtl_sequential(
+    original: &Module,
+    locked: &Module,
+    correct_key: &[bool],
+    cfg: &CorruptibilityConfig,
+    inputs: &[(String, u32)],
+    outputs: &[(String, u32)],
+) -> Result<CorruptibilityReport> {
+    let sim_err = LockError::Rtl;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let width = locked.key_width() as usize;
+
     let mut ref_sim = Simulator::new(original).map_err(sim_err)?;
     ref_sim.set_key(correct_key).map_err(sim_err)?;
     let mut bad_sim = Simulator::new(locked).map_err(sim_err)?;
 
-    for _ in 0..cfg.wrong_keys {
-        // A near-miss key: the correct key with `flips` random bits flipped.
-        let mut wrong = correct_key.to_vec();
-        let width = locked.key_width() as usize;
-        for _ in 0..cfg.flips.max(1) {
-            let i = rng.gen_range(0..width.max(1));
-            wrong[i] = !wrong[i];
-        }
+    let mut corrupted_keys = 0usize;
+    let mut error_sum = 0.0f64;
+    let mut hamming_sum = 0.0f64;
 
+    for _ in 0..cfg.wrong_keys {
+        let wrong = near_miss_key(correct_key, width, cfg.flips, &mut rng);
         ref_sim.reset();
         bad_sim.reset();
         bad_sim.set_key(&wrong).map_err(sim_err)?;
@@ -154,26 +273,16 @@ pub fn measure_corruptibility(
         let mut bit_flips = 0u64;
         let mut bits_seen = 0u64;
         for _ in 0..cfg.patterns {
-            for (name, width) in &inputs {
-                let v: u64 = rng.gen();
-                let v = if *width >= 64 {
-                    v
-                } else {
-                    v & ((1 << width) - 1)
-                };
+            for (name, width) in inputs {
+                let v = mask_draw(rng.gen(), *width);
                 ref_sim.set_input(name, v).map_err(sim_err)?;
                 bad_sim.set_input(name, v).map_err(sim_err)?;
             }
-            if cfg.ticks == 0 {
-                ref_sim.settle().map_err(sim_err)?;
-                bad_sim.settle().map_err(sim_err)?;
-            } else {
-                for _ in 0..cfg.ticks {
-                    ref_sim.tick().map_err(sim_err)?;
-                    bad_sim.tick().map_err(sim_err)?;
-                }
+            for _ in 0..cfg.ticks {
+                ref_sim.tick().map_err(sim_err)?;
+                bad_sim.tick().map_err(sim_err)?;
             }
-            for (name, width) in &outputs {
+            for (name, width) in outputs {
                 let a = ref_sim.get(name).map_err(sim_err)?;
                 let b = bad_sim.get(name).map_err(sim_err)?;
                 reads += 1;
@@ -189,7 +298,6 @@ pub fn measure_corruptibility(
         }
         error_sum += errors as f64 / reads.max(1) as f64;
         hamming_sum += bit_flips as f64 / bits_seen.max(1) as f64;
-        let _ = total_out_bits;
     }
 
     let n = cfg.wrong_keys.max(1) as f64;
@@ -201,15 +309,20 @@ pub fn measure_corruptibility(
     })
 }
 
-/// Gate-level corruptibility over the 64-lane key sweep: how badly a wrong
-/// key damages a *lowered* (gate-locked) design.
+/// Gate-level corruptibility over the multi-word key sweep: how badly a
+/// wrong key damages a *lowered* (gate-locked) design.
 ///
-/// The same three measures as [`measure_corruptibility`], but each chunk of
-/// up to [`mlrl_netlist::sim::LANES`] near-miss keys rides one word
-/// simulator — a single levelized walk per stimulus pattern evaluates all
-/// of them, instead of one full netlist walk per key per pattern. Unlike
-/// the RTL variant (which draws fresh patterns per wrong key), all keys in
-/// a chunk share the chunk's random patterns; with ≥ 16 patterns the
+/// The same three measures as [`measure_corruptibility`], but near-miss
+/// keys ride the lanes of a wide word simulator — a single levelized walk
+/// per stimulus pattern evaluates up to `64 * W` of them, instead of one
+/// full netlist walk per key per pattern. The width is picked by
+/// [`mlrl_netlist::sim::pick_width`] (widest configured width the key
+/// sample can fill), and every width produces bit-identical tallies: keys
+/// and stimulus are drawn per 64-key chunk in the exact order the
+/// chunk-at-a-time walk consumed them, and each chunk keeps its own random
+/// patterns (lanes `64g..64g+63` carry chunk `g`'s stimulus). Unlike the
+/// RTL variant (which draws fresh patterns per wrong key), all keys in a
+/// chunk share the chunk's random patterns; with ≥ 16 patterns the
 /// chunk-shared stimulus changes nothing qualitatively.
 ///
 /// # Errors
@@ -222,7 +335,6 @@ pub fn measure_gate_corruptibility(
     correct_key: &[bool],
     cfg: &CorruptibilityConfig,
 ) -> Result<CorruptibilityReport> {
-    use mlrl_netlist::sim::{NetlistSimulator, LANES};
     use mlrl_netlist::NetlistError;
 
     let width = locked.key_width();
@@ -237,6 +349,26 @@ pub fn measure_gate_corruptibility(
             provided: correct_key.len(),
         }));
     }
+    match mlrl_netlist::sim::pick_width(cfg.wrong_keys) {
+        8 => measure_gate_corruptibility_w::<8>(original, locked, correct_key, cfg),
+        4 => measure_gate_corruptibility_w::<4>(original, locked, correct_key, cfg),
+        _ => measure_gate_corruptibility_w::<1>(original, locked, correct_key, cfg),
+    }
+}
+
+/// Width-pinned body of [`measure_gate_corruptibility`]; public so tests
+/// can prove tallies are width-invariant without touching the process-wide
+/// configured width.
+#[doc(hidden)]
+pub fn measure_gate_corruptibility_w<const W: usize>(
+    original: &mlrl_netlist::Netlist,
+    locked: &mlrl_netlist::Netlist,
+    correct_key: &[bool],
+    cfg: &CorruptibilityConfig,
+) -> Result<CorruptibilityReport> {
+    use mlrl_netlist::sim::NetlistSimulator;
+
+    let width = locked.key_width();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let inputs: Vec<(String, usize)> = original
         .inputs()
@@ -249,47 +381,69 @@ pub fn measure_gate_corruptibility(
         .map(|p| (p.name.clone(), p.width()))
         .collect();
 
-    let mut ref_sim = NetlistSimulator::new(original)?;
+    let mut ref_sim = NetlistSimulator::<W>::with_width(original)?;
     ref_sim.set_key(correct_key)?;
-    let mut bad_sim = NetlistSimulator::new(locked)?;
+    let mut bad_sim = NetlistSimulator::<W>::with_width(locked)?;
 
     let mut corrupted_keys = 0usize;
     let mut error_sum = 0.0f64;
     let mut hamming_sum = 0.0f64;
 
+    // Per-chunk totals: every chunk sees the same pattern count, so the
+    // (pattern, output) read count and output-bit count are constants.
+    let reads: u64 = cfg.patterns as u64 * outputs.len() as u64;
+    let bits_seen: u64 = cfg.patterns as u64 * outputs.iter().map(|(_, w)| *w as u64).sum::<u64>();
+
     let mut remaining = cfg.wrong_keys;
     while remaining > 0 {
-        let lanes = remaining.min(LANES);
-        // Near-miss keys: the correct key with `flips` random bits flipped.
-        let wrong: Vec<Vec<bool>> = (0..lanes)
-            .map(|_| {
+        // Gather up to W chunks of ≤ 64 near-miss keys for one wide sweep.
+        // All chunks before the last are full, so chunk g's key k lands on
+        // lane 64g + k by plain concatenation. Keys first, then that
+        // chunk's stimulus — the order the 64-lane walk drew them.
+        let mut chunk_sizes: Vec<usize> = Vec::new();
+        let mut wrong: Vec<Vec<bool>> = Vec::new();
+        let mut stimulus: Vec<Vec<u64>> = Vec::new();
+        while remaining > 0 && chunk_sizes.len() < W {
+            let lanes = remaining.min(64);
+            for _ in 0..lanes {
                 let mut key = correct_key[..width].to_vec();
                 for _ in 0..cfg.flips.max(1) {
                     let i = rng.gen_range(0..width);
                     key[i] = !key[i];
                 }
-                key
-            })
-            .collect();
+                wrong.push(key);
+            }
+            // Pattern-major, port-minor, masked to the port width.
+            let mut stim = Vec::with_capacity(cfg.patterns * inputs.len());
+            for _ in 0..cfg.patterns {
+                for (_, width) in &inputs {
+                    let v: u64 = rng.gen();
+                    stim.push(if *width >= 64 {
+                        v
+                    } else {
+                        v & ((1u64 << width) - 1)
+                    });
+                }
+            }
+            stimulus.push(stim);
+            chunk_sizes.push(lanes);
+            remaining -= lanes;
+        }
+        let total = wrong.len();
         let refs: Vec<&[bool]> = wrong.iter().map(|k| k.as_slice()).collect();
         ref_sim.reset();
         bad_sim.reset();
         bad_sim.set_key_batch(&refs)?;
 
-        let mut errors = vec![0u64; lanes];
-        let mut bit_flips = vec![0u64; lanes];
-        let mut reads = 0u64;
-        let mut bits_seen = 0u64;
-        for _ in 0..cfg.patterns {
-            for (name, width) in &inputs {
-                let v: u64 = rng.gen();
-                let v = if *width >= 64 {
-                    v
-                } else {
-                    v & ((1u64 << width) - 1)
-                };
-                ref_sim.set_input(name, v)?;
-                bad_sim.set_input(name, v)?;
+        let mut errors = vec![0u64; total];
+        let mut bit_flips = vec![0u64; total];
+        for p in 0..cfg.patterns {
+            for (i, (name, _)) in inputs.iter().enumerate() {
+                let vals: Vec<u64> = (0..total)
+                    .map(|lane| stimulus[lane / 64][p * inputs.len() + i])
+                    .collect();
+                ref_sim.set_input_batch(name, &vals)?;
+                bad_sim.set_input_batch(name, &vals)?;
             }
             if cfg.ticks == 0 {
                 ref_sim.settle_batch()?;
@@ -300,11 +454,9 @@ pub fn measure_gate_corruptibility(
                     bad_sim.tick()?;
                 }
             }
-            for (name, width) in &outputs {
-                let golden = ref_sim.output(name)?;
-                reads += 1;
-                bits_seen += *width as u64;
+            for (name, _) in &outputs {
                 for (lane, (err, flips)) in errors.iter_mut().zip(&mut bit_flips).enumerate() {
+                    let golden = ref_sim.output_lane(name, lane)?;
                     let b = bad_sim.output_lane(name, lane)?;
                     if golden != b {
                         *err += 1;
@@ -313,14 +465,13 @@ pub fn measure_gate_corruptibility(
                 }
             }
         }
-        for lane in 0..lanes {
+        for lane in 0..total {
             if errors[lane] > 0 {
                 corrupted_keys += 1;
             }
             error_sum += errors[lane] as f64 / reads.max(1) as f64;
             hamming_sum += bit_flips[lane] as f64 / bits_seen.max(1) as f64;
         }
-        remaining -= lanes;
     }
 
     let n = cfg.wrong_keys.max(1) as f64;
@@ -527,6 +678,25 @@ mod tests {
             let digests = sweep.key_sweep_digests(&keys).unwrap();
             assert!(digests.iter().all(|&d| d == golden));
         }
+    }
+
+    #[test]
+    fn gate_corruptibility_is_width_invariant() {
+        // 520 wrong keys = 8 full 64-key chunks + one partial chunk of 8:
+        // exercises full packing at W=8 plus a ragged trailing super-chunk.
+        let (original, locked, key) = gate_pair();
+        let cfg = CorruptibilityConfig {
+            wrong_keys: 520,
+            patterns: 8,
+            ticks: 0,
+            flips: 1,
+            seed: 7,
+        };
+        let w1 = measure_gate_corruptibility_w::<1>(&original, &locked, &key, &cfg).unwrap();
+        let w4 = measure_gate_corruptibility_w::<4>(&original, &locked, &key, &cfg).unwrap();
+        let w8 = measure_gate_corruptibility_w::<8>(&original, &locked, &key, &cfg).unwrap();
+        assert_eq!(w1, w4, "W=4 must be bit-identical to W=1");
+        assert_eq!(w1, w8, "W=8 must be bit-identical to W=1");
     }
 
     #[test]

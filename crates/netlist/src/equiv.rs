@@ -7,6 +7,14 @@
 //! equivalence, but across hundreds of 64-bit samples a lowering bug has
 //! vanishing odds of hiding; the SAT substrate (`mlrl-sat`) offers the
 //! complete decision procedure.
+//!
+//! The gate side batches vectors onto simulator lanes. The simulator width
+//! is picked per call from [`configured_width`] clamped to the sample
+//! count (a walk costs `W` word-ops per gate whether or not the lanes are
+//! full, so small probes stay narrow). The stimulus stream is drawn
+//! sample-major — all ports of a sample before the next sample — so the
+//! RNG sequence, and therefore every canonical result, is identical at
+//! every width.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,7 +24,7 @@ use mlrl_rtl::sim::Simulator;
 
 use crate::error::{NetlistError, Result};
 use crate::ir::Netlist;
-use crate::sim::{NetlistSimulator, LANES};
+use crate::sim::{pick_width, NetlistSimulator};
 
 /// Outcome of a random-simulation cross-level check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +61,24 @@ pub fn check_module_vs_netlist(
     ticks: usize,
     seed: u64,
 ) -> Result<CrossCheck> {
+    match pick_width(if ticks == 0 { samples } else { 0 }) {
+        8 => check_module_vs_netlist_w::<8>(module, netlist, key, samples, ticks, seed),
+        4 => check_module_vs_netlist_w::<4>(module, netlist, key, samples, ticks, seed),
+        _ => check_module_vs_netlist_w::<1>(module, netlist, key, samples, ticks, seed),
+    }
+}
+
+/// Width-pinned body of [`check_module_vs_netlist`]. Public so integration
+/// tests can exercise explicit widths; results are width-independent.
+#[doc(hidden)]
+pub fn check_module_vs_netlist_w<const W: usize>(
+    module: &Module,
+    netlist: &Netlist,
+    key: &[bool],
+    samples: usize,
+    ticks: usize,
+    seed: u64,
+) -> Result<CrossCheck> {
     for p in module.ports() {
         if netlist.port(&p.name).is_none() {
             return Err(NetlistError::Lower(format!(
@@ -63,7 +89,7 @@ pub fn check_module_vs_netlist(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rtl = Simulator::new(module).map_err(|e| NetlistError::Lower(e.to_string()))?;
-    let mut gate = NetlistSimulator::new(netlist)?;
+    let mut gate = NetlistSimulator::<W>::with_width(netlist)?;
     rtl.set_key(key)
         .map_err(|e| NetlistError::Lower(e.to_string()))?;
     gate.set_key(key)?;
@@ -84,13 +110,13 @@ pub fn check_module_vs_netlist(
     let mut mismatches = 0;
     let mut first_mismatch = None;
     if ticks == 0 {
-        // Combinational probe: the gate side batches up to 64 vectors per
+        // Combinational probe: the gate side batches up to 64*W vectors per
         // levelized walk; the RTL side replays the same vectors one by one.
         // The RNG draw order (sample-major, then port) matches the scalar
         // path exactly, so results are identical vector for vector.
         let mut done = 0usize;
         while done < samples {
-            let lanes = (samples - done).min(LANES);
+            let lanes = (samples - done).min(NetlistSimulator::<W>::LANES);
             let mut vectors: Vec<Vec<u64>> = (0..inputs.len())
                 .map(|_| Vec::with_capacity(lanes))
                 .collect();
@@ -197,6 +223,24 @@ pub fn check_netlists(
     samples: usize,
     seed: u64,
 ) -> Result<CrossCheck> {
+    match pick_width(samples) {
+        8 => check_netlists_w::<8>(a, b, key_a, key_b, samples, seed),
+        4 => check_netlists_w::<4>(a, b, key_a, key_b, samples, seed),
+        _ => check_netlists_w::<1>(a, b, key_a, key_b, samples, seed),
+    }
+}
+
+/// Width-pinned body of [`check_netlists`]. Public so integration tests can
+/// exercise explicit widths; results are width-independent.
+#[doc(hidden)]
+pub fn check_netlists_w<const W: usize>(
+    a: &Netlist,
+    b: &Netlist,
+    key_a: &[bool],
+    key_b: &[bool],
+    samples: usize,
+    seed: u64,
+) -> Result<CrossCheck> {
     for p in a.outputs() {
         if b.port(&p.name).is_none() {
             return Err(NetlistError::Lower(format!(
@@ -206,17 +250,17 @@ pub fn check_netlists(
         }
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sa = NetlistSimulator::new(a)?;
-    let mut sb = NetlistSimulator::new(b)?;
+    let mut sa = NetlistSimulator::<W>::with_width(a)?;
+    let mut sb = NetlistSimulator::<W>::with_width(b)?;
     sa.set_key(key_a)?;
     sb.set_key(key_b)?;
     let mut mismatches = 0;
     let mut first_mismatch = None;
-    // Both sides ride the 64-lane words: one levelized walk per side per
-    // 64 vectors. The RNG draw order matches the scalar loop exactly.
+    // Both sides ride the lane words: one levelized walk per side per
+    // 64*W vectors. The RNG draw order matches the scalar loop exactly.
     let mut done = 0usize;
     while done < samples {
-        let lanes = (samples - done).min(LANES);
+        let lanes = (samples - done).min(NetlistSimulator::<W>::LANES);
         // Draw sample-major (all ports of a sample before the next sample)
         // to keep the vector stream identical to the scalar loop's.
         let mut vectors: Vec<Vec<u64>> = (0..a.inputs().len())
@@ -306,5 +350,33 @@ mod tests {
         assert!(!r.is_equivalent());
         assert_eq!(r.first_mismatch.as_deref(), Some("y"));
         assert_eq!(r.mismatches, 50);
+    }
+
+    #[test]
+    fn widths_agree_on_results_and_rng_stream() {
+        // Same seed, same samples, every width: identical CrossCheck — the
+        // sample-major draw makes the chunk width invisible to the RNG.
+        let m = parse_verilog(
+            "module t(a, b, y);\n input [15:0] a, b;\n output [15:0] y;\n assign y = (a * b) ^ (a >> 3);\nendmodule",
+        )
+        .unwrap();
+        let n = lower_module(&m).unwrap();
+        let w1 = check_module_vs_netlist_w::<1>(&m, &n, &[], 300, 0, 7).unwrap();
+        let w4 = check_module_vs_netlist_w::<4>(&m, &n, &[], 300, 0, 7).unwrap();
+        let w8 = check_module_vs_netlist_w::<8>(&m, &n, &[], 300, 0, 7).unwrap();
+        assert_eq!(w1, w4);
+        assert_eq!(w1, w8);
+
+        let wrong = parse_verilog(
+            "module t(a, b, y);\n input [15:0] a, b;\n output [15:0] y;\n assign y = (a * b) ^ (a >> 2);\nendmodule",
+        )
+        .unwrap();
+        let nw = lower_module(&wrong).unwrap();
+        let c1 = check_netlists_w::<1>(&n, &nw, &[], &[], 300, 13).unwrap();
+        let c4 = check_netlists_w::<4>(&n, &nw, &[], &[], 300, 13).unwrap();
+        let c8 = check_netlists_w::<8>(&n, &nw, &[], &[], 300, 13).unwrap();
+        assert_eq!(c1, c4);
+        assert_eq!(c1, c8);
+        assert!(!c1.is_equivalent());
     }
 }

@@ -9,7 +9,6 @@
 //!
 //! Nets `n0` and `n1` are reserved for constant 0 and constant 1.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::{NetlistError, Result};
@@ -111,32 +110,29 @@ impl GateKind {
 
     /// Evaluates the gate on boolean inputs.
     ///
+    /// This is a convenience wrapper over [`GateKind::eval_words`], the one
+    /// evaluation kernel: each boolean becomes lane 0 of a 1-word operand.
+    ///
     /// # Panics
     ///
     /// Panics if `inputs.len() != self.arity()`.
     pub fn eval(self, inputs: &[bool]) -> bool {
-        match self {
-            GateKind::Buf => inputs[0],
-            GateKind::Not => !inputs[0],
-            GateKind::And => inputs[0] & inputs[1],
-            GateKind::Or => inputs[0] | inputs[1],
-            GateKind::Nand => !(inputs[0] & inputs[1]),
-            GateKind::Nor => !(inputs[0] | inputs[1]),
-            GateKind::Xor => inputs[0] ^ inputs[1],
-            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
-            GateKind::Mux => {
-                if inputs[0] {
-                    inputs[1]
-                } else {
-                    inputs[2]
-                }
-            }
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self} expects {} inputs",
+            self.arity()
+        );
+        let mut words = [[0u64; 1]; 3];
+        for (w, &b) in words.iter_mut().zip(inputs) {
+            w[0] = b as u64;
         }
+        self.eval_words(&words)[0] & 1 == 1
     }
 
     /// Evaluates the gate bitwise on 64-lane words: lane `i` of every
     /// operand is an independent boolean, so one call evaluates 64 input
-    /// vectors at once. [`GateKind::eval`] is the 1-lane special case.
+    /// vectors at once. Wrapper over [`GateKind::eval_words`] at width 1.
     /// Entries beyond [`GateKind::arity`] are ignored, so a fixed 3-wide
     /// operand array serves every kind.
     ///
@@ -144,17 +140,72 @@ impl GateKind {
     ///
     /// Panics if `inputs` has fewer than `self.arity()` entries.
     pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        let arity = self.arity();
+        let ins = [
+            [inputs[0]],
+            [if arity > 1 { inputs[1] } else { 0 }],
+            [if arity > 2 { inputs[2] } else { 0 }],
+        ];
+        self.eval_words(&ins)[0]
+    }
+
+    /// The evaluation kernel: `W` words of 64 lanes each, evaluated in one
+    /// call, so one invocation covers `64 * W` independent input vectors.
+    /// The kind dispatch happens once, outside the per-word loop, which lets
+    /// the loop body autovectorize (`[u64; 4]` ops lower to AVX2,
+    /// `[u64; 8]` to AVX-512 where available). Operand slots beyond
+    /// [`GateKind::arity`] are ignored; callers pass a fixed 3-wide array.
+    // `always`: the walk's `#[target_feature]` wrappers only upgrade this
+    // kernel to AVX2/AVX-512 if it inlines into them — as a standalone
+    // function it would compile (and be called) at the x86-64 baseline.
+    #[inline(always)]
+    pub fn eval_words<const W: usize>(self, inputs: &[[u64; W]; 3]) -> [u64; W] {
+        let [a, b, c] = inputs;
+        let mut out = [0u64; W];
         match self {
-            GateKind::Buf => inputs[0],
-            GateKind::Not => !inputs[0],
-            GateKind::And => inputs[0] & inputs[1],
-            GateKind::Or => inputs[0] | inputs[1],
-            GateKind::Nand => !(inputs[0] & inputs[1]),
-            GateKind::Nor => !(inputs[0] | inputs[1]),
-            GateKind::Xor => inputs[0] ^ inputs[1],
-            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
-            GateKind::Mux => (inputs[0] & inputs[1]) | (!inputs[0] & inputs[2]),
+            GateKind::Buf => out.copy_from_slice(a),
+            GateKind::Not => {
+                for i in 0..W {
+                    out[i] = !a[i];
+                }
+            }
+            GateKind::And => {
+                for i in 0..W {
+                    out[i] = a[i] & b[i];
+                }
+            }
+            GateKind::Or => {
+                for i in 0..W {
+                    out[i] = a[i] | b[i];
+                }
+            }
+            GateKind::Nand => {
+                for i in 0..W {
+                    out[i] = !(a[i] & b[i]);
+                }
+            }
+            GateKind::Nor => {
+                for i in 0..W {
+                    out[i] = !(a[i] | b[i]);
+                }
+            }
+            GateKind::Xor => {
+                for i in 0..W {
+                    out[i] = a[i] ^ b[i];
+                }
+            }
+            GateKind::Xnor => {
+                for i in 0..W {
+                    out[i] = !(a[i] ^ b[i]);
+                }
+            }
+            GateKind::Mux => {
+                for i in 0..W {
+                    out[i] = (a[i] & b[i]) | (!a[i] & c[i]);
+                }
+            }
         }
+        out
     }
 
     /// Verilog expression template name used by the structural emitter.
@@ -179,13 +230,95 @@ impl fmt::Display for GateKind {
     }
 }
 
+/// Inline operand storage for a gate: at most 3 input nets (the maximum
+/// arity in the cell library) held in a fixed array with a length tag.
+///
+/// This replaces the old per-gate `Vec<NetId>` heap allocation — a netlist
+/// with a million gates used to carry a million three-element vectors; now
+/// the operands live inside the [`Gate`] itself and the whole gate array is
+/// one contiguous allocation. Dereferences to `[NetId]`, so slice-style
+/// consumers (`gate.inputs.iter()`, `gate.inputs[0]`, `&gate.inputs`)
+/// compile unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateInputs {
+    nets: [NetId; 3],
+    len: u8,
+}
+
+impl GateInputs {
+    /// Builds from a slice of at most 3 nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets.len() > 3`.
+    pub fn new(nets: &[NetId]) -> Self {
+        assert!(nets.len() <= 3, "gates have at most 3 inputs");
+        let mut arr = [NetId::CONST0; 3];
+        arr[..nets.len()].copy_from_slice(nets);
+        Self {
+            nets: arr,
+            len: nets.len() as u8,
+        }
+    }
+}
+
+impl std::ops::Deref for GateInputs {
+    type Target = [NetId];
+
+    fn deref(&self) -> &[NetId] {
+        &self.nets[..self.len as usize]
+    }
+}
+
+impl std::ops::DerefMut for GateInputs {
+    fn deref_mut(&mut self) -> &mut [NetId] {
+        &mut self.nets[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a GateInputs {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut GateInputs {
+    type Item = &'a mut NetId;
+    type IntoIter = std::slice::IterMut<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+impl From<Vec<NetId>> for GateInputs {
+    fn from(v: Vec<NetId>) -> Self {
+        Self::new(&v)
+    }
+}
+
+impl From<&[NetId]> for GateInputs {
+    fn from(v: &[NetId]) -> Self {
+        Self::new(v)
+    }
+}
+
+impl<const N: usize> From<[NetId; N]> for GateInputs {
+    fn from(v: [NetId; N]) -> Self {
+        Self::new(&v)
+    }
+}
+
 /// One gate instance: a kind, its input nets, and its single output net.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Gate {
     /// Cell type.
     pub kind: GateKind,
     /// Input nets, in [`GateKind`]-defined order.
-    pub inputs: Vec<NetId>,
+    pub inputs: GateInputs,
     /// Output net (exactly one driver per net).
     pub output: NetId,
 }
@@ -321,7 +454,7 @@ impl Netlist {
     ///
     /// Panics if `inputs.len()` does not match the gate kind's arity or an
     /// input net is out of range.
-    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
+    pub fn add_gate(&mut self, kind: GateKind, inputs: impl Into<GateInputs>) -> NetId {
         let output = self.add_net();
         self.add_gate_to(kind, inputs, output);
         output
@@ -336,7 +469,8 @@ impl Netlist {
     ///
     /// Panics if the input count does not match the kind's arity or a net id
     /// is out of range.
-    pub fn add_gate_to(&mut self, kind: GateKind, inputs: Vec<NetId>, output: NetId) {
+    pub fn add_gate_to(&mut self, kind: GateKind, inputs: impl Into<GateInputs>, output: NetId) {
+        let inputs = inputs.into();
         assert_eq!(
             inputs.len(),
             kind.arity(),
@@ -503,7 +637,7 @@ impl Netlist {
     /// Nets that can influence an output port or a flip-flop — the
     /// transitive fan-in cone of all observation points.
     pub fn observable_cone(&self) -> std::collections::HashSet<NetId> {
-        let driver = self.driver_map();
+        let driver = self.driver_index();
         let mut seen = std::collections::HashSet::new();
         let mut stack: Vec<NetId> = Vec::new();
         for p in &self.outputs {
@@ -516,8 +650,9 @@ impl Netlist {
             if !seen.insert(net) {
                 continue;
             }
-            if let Some(&gi) = driver.get(&net) {
-                stack.extend(self.gates[gi].inputs.iter().copied());
+            let gi = driver[net.index()];
+            if gi != NO_DRIVER {
+                stack.extend(self.gates[gi as usize].inputs.iter().copied());
             }
         }
         seen
@@ -534,22 +669,17 @@ impl Netlist {
         before - self.gates.len()
     }
 
-    /// Map from net to the index of the gate driving it.
-    pub fn driver_map(&self) -> HashMap<NetId, usize> {
-        let mut m = HashMap::with_capacity(self.gates.len());
+    /// Dense net-indexed driver table: entry `n` holds the index of the gate
+    /// driving net `n`, or [`NO_DRIVER`] for nets driven by something other
+    /// than a gate (inputs, constants, key bits, dff state) or nothing.
+    ///
+    /// This replaces the old `HashMap<NetId, usize>` driver map — one
+    /// `Vec<u32>` lookup per net instead of a hash probe on every hop of
+    /// every traversal.
+    pub fn driver_index(&self) -> Vec<u32> {
+        let mut m = vec![NO_DRIVER; self.net_count as usize];
         for (i, g) in self.gates.iter().enumerate() {
-            m.insert(g.output, i);
-        }
-        m
-    }
-
-    /// Map from net to the indices of the gates reading it.
-    pub fn fanout_map(&self) -> HashMap<NetId, Vec<usize>> {
-        let mut m: HashMap<NetId, Vec<usize>> = HashMap::new();
-        for (i, g) in self.gates.iter().enumerate() {
-            for inp in &g.inputs {
-                m.entry(*inp).or_default().push(i);
-            }
+            m[g.output.index()] = i as u32;
         }
         m
     }
@@ -607,6 +737,57 @@ impl Netlist {
             }
         }
         Ok(())
+    }
+}
+
+/// Sentinel in [`Netlist::driver_index`] for "no gate drives this net".
+pub const NO_DRIVER: u32 = u32::MAX;
+
+/// CSR-style fanout index: for every net, the indices of the gates reading
+/// it, stored as one contiguous `gates` array partitioned by `offsets`.
+///
+/// Replaces the old `HashMap<NetId, Vec<usize>>` fanout map (one heap
+/// allocation per net with fanout plus hashing on every lookup) with two
+/// flat arrays and O(1) slicing. Gate indices within a net's slice appear
+/// in ascending gate order, matching the insertion order the hash-map
+/// version produced.
+#[derive(Debug, Clone)]
+pub struct FanoutIndex {
+    offsets: Vec<u32>,
+    gates: Vec<u32>,
+}
+
+impl FanoutIndex {
+    /// Builds the index with a counting sort over all gate input pins.
+    pub fn of(netlist: &Netlist) -> Self {
+        let nets = netlist.net_count as usize;
+        let mut counts = vec![0u32; nets + 1];
+        for g in &netlist.gates {
+            for inp in &g.inputs {
+                counts[inp.index() + 1] += 1;
+            }
+        }
+        for i in 1..=nets {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut gates = vec![0u32; offsets[nets] as usize];
+        for (i, g) in netlist.gates.iter().enumerate() {
+            for inp in &g.inputs {
+                let at = &mut cursor[inp.index()];
+                gates[*at as usize] = i as u32;
+                *at += 1;
+            }
+        }
+        Self { offsets, gates }
+    }
+
+    /// Indices of the gates reading `net`, in ascending gate order.
+    pub fn fanout(&self, net: NetId) -> &[u32] {
+        let lo = self.offsets[net.index()] as usize;
+        let hi = self.offsets[net.index() + 1] as usize;
+        &self.gates[lo..hi]
     }
 }
 

@@ -170,8 +170,15 @@ pub fn mux_lock(netlist: &mut Netlist, key_len: usize, seed: u64) -> Result<Gate
     wires.shuffle(&mut rng);
     let mut key = GateKey::new();
     // Maintained incrementally across insertions: each mux adds new paths
-    // through its decoy, and a stale map could admit a combinational cycle.
-    let mut fanout = netlist.fanout_map();
+    // through its decoy, and a stale view could admit a combinational cycle.
+    // Net-indexed dense adjacency (net -> reading gates); insertions below
+    // grow the net space, so reads go through `fanout.get(..)`.
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); netlist.net_count()];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        for inp in &g.inputs {
+            fanout[inp.index()].push(i as u32);
+        }
+    }
     for &wire in wires.iter().take(key_len) {
         let forbidden = transitive_fanout(netlist, &fanout, wire);
         let decoy = match wires
@@ -191,13 +198,14 @@ pub fn mux_lock(netlist: &mut Netlist, key_len: usize, seed: u64) -> Result<Gate
         // Mux inputs are [sel, a, b] -> sel ? a : b.
         let (a, b) = if bit { (wire, decoy) } else { (decoy, wire) };
         netlist.add_gate_to(GateKind::Mux, vec![k, a, b], fresh);
-        // Update the fanout map: the old consumers of `wire` now hang off
+        // Update the fanout view: the old consumers of `wire` now hang off
         // `fresh`, and the new mux reads `wire`, `decoy`, and `k`.
-        let gi = netlist.gates().len() - 1;
-        let moved = fanout.remove(&wire).unwrap_or_default();
-        fanout.insert(fresh, moved);
+        let gi = (netlist.gates().len() - 1) as u32;
+        fanout.resize(netlist.net_count(), Vec::new());
+        let moved = std::mem::take(&mut fanout[wire.index()]);
+        fanout[fresh.index()] = moved;
         for input in [wire, decoy, k] {
-            fanout.entry(input).or_default().push(gi);
+            fanout[input.index()].push(gi);
         }
         key.push(bit);
     }
@@ -225,7 +233,7 @@ pub fn lock_netlist(
 /// All nets reachable forward from `from` through gates (including `from`).
 fn transitive_fanout(
     netlist: &Netlist,
-    fanout: &std::collections::HashMap<NetId, Vec<usize>>,
+    fanout: &[Vec<u32>],
     from: NetId,
 ) -> std::collections::HashSet<NetId> {
     let mut seen = std::collections::HashSet::new();
@@ -234,9 +242,9 @@ fn transitive_fanout(
         if !seen.insert(net) {
             continue;
         }
-        if let Some(gates) = fanout.get(&net) {
+        if let Some(gates) = fanout.get(net.index()) {
             for &gi in gates {
-                stack.push(netlist.gates()[gi].output);
+                stack.push(netlist.gates()[gi as usize].output);
             }
         }
     }

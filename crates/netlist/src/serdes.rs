@@ -183,7 +183,7 @@ pub fn parse_netlist(text: &str) -> Result<Netlist> {
                 let output = nets.pop().expect("checked non-empty");
                 n.gates.push(Gate {
                     kind,
-                    inputs: nets,
+                    inputs: nets.into(),
                     output,
                 });
             }

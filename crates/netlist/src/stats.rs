@@ -118,13 +118,13 @@ impl GateOverhead {
 /// Longest combinational path in gates (flip-flop outputs and primary
 /// inputs are depth 0).
 pub fn logic_depth(netlist: &Netlist) -> usize {
-    let driver: HashMap<NetId, usize> = netlist.driver_map();
+    let driver = netlist.driver_index();
     let mut depth: HashMap<NetId, usize> = HashMap::new();
 
     fn net_depth(
         net: NetId,
         netlist: &Netlist,
-        driver: &HashMap<NetId, usize>,
+        driver: &[u32],
         depth: &mut HashMap<NetId, usize>,
     ) -> usize {
         if let Some(&d) = depth.get(&net) {
@@ -136,10 +136,12 @@ pub fn logic_depth(netlist: &Netlist) -> usize {
             if depth.contains_key(&n) {
                 continue;
             }
-            let Some(&gi) = driver.get(&n) else {
+            let gi = driver[n.index()];
+            if gi == crate::ir::NO_DRIVER {
                 depth.insert(n, 0);
                 continue;
-            };
+            }
+            let gi = gi as usize;
             if ready {
                 let d = netlist.gates()[gi]
                     .inputs

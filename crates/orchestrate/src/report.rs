@@ -262,6 +262,20 @@ fn render_phases(out: &mut String, metrics: &Metrics) {
             pct(total, whole)
         ));
     }
+    // Settle throughput from the simulator lane counters: every settle
+    // reports how many boolean lanes (vectors/keys) its walk carried, so
+    // lanes-per-second over the summed phase time is the regression
+    // signal for the multi-word SIMD paths.
+    let settles = metrics.counters.get("sim.settles").copied().unwrap_or(0);
+    let lanes = metrics.counters.get("sim.lanes").copied().unwrap_or(0);
+    if settles > 0 && whole > 0 {
+        let per_sec = lanes as f64 * 1e6 / whole as f64;
+        out.push_str(&format!(
+            "  settle throughput: {lanes} vectors in {settles} settles ({:.0} lanes/settle, ~{:.0} vectors/sec of phase time)\n",
+            lanes as f64 / settles as f64,
+            per_sec
+        ));
+    }
 }
 
 /// Latency distributions: percentiles for every histogram in the rollup.
@@ -511,6 +525,41 @@ mod tests {
         assert_eq!(j.cells.len(), 2);
         assert_eq!(j.cells[&0], "FIR/rtl/sat");
         assert_eq!(j.cells[&2], "SPI/gate/kpa");
+    }
+
+    #[test]
+    fn phase_breakdown_reports_settle_throughput_from_lane_counters() {
+        let mut m = Metrics::default();
+        m.spans.insert(
+            "phase.attack".to_owned(),
+            mlrl_obs::SpanStat {
+                count: 2,
+                total_us: 2_000_000,
+            },
+        );
+        m.counters.insert("sim.settles".to_owned(), 100);
+        m.counters.insert("sim.lanes".to_owned(), 25_600);
+        let mut out = String::new();
+        render_phases(&mut out, &m);
+        assert!(
+            out.contains(
+                "settle throughput: 25600 vectors in 100 settles \
+                 (256 lanes/settle, ~12800 vectors/sec of phase time)"
+            ),
+            "{out}"
+        );
+        // Without settle counters the line is omitted entirely.
+        let mut bare = Metrics::default();
+        bare.spans.insert(
+            "phase.attack".to_owned(),
+            mlrl_obs::SpanStat {
+                count: 1,
+                total_us: 10,
+            },
+        );
+        let mut out = String::new();
+        render_phases(&mut out, &bare);
+        assert!(!out.contains("settle throughput"), "{out}");
     }
 
     #[test]

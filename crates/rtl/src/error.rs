@@ -58,6 +58,13 @@ pub enum RtlError {
         /// Bits provided.
         provided: usize,
     },
+    /// A lane index or batch width exceeded the simulator's lane count.
+    LaneOutOfRange {
+        /// Offending lane index or batch width.
+        requested: usize,
+        /// Lanes the simulator carries.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for RtlError {
@@ -91,6 +98,12 @@ impl fmt::Display for RtlError {
             RtlError::Hierarchy(msg) => write!(f, "hierarchy error: {msg}"),
             RtlError::KeyTooShort { required, provided } => {
                 write!(f, "key has {provided} bits but design requires {required}")
+            }
+            RtlError::LaneOutOfRange { requested, lanes } => {
+                write!(
+                    f,
+                    "lane {requested} out of range for a {lanes}-lane simulator"
+                )
             }
         }
     }

@@ -5,10 +5,18 @@
 //! signal names are interned to dense slots, continuous assignments are
 //! levelized and lowered to a flat stack-machine tape, and clocked
 //! processes are lowered to a predicated tape with two-phase non-blocking
-//! commit semantics. `settle()`/`tick()` then run over a `Vec<u64>` state
-//! with zero allocation and zero string hashing — the interpretive
-//! walk (and its per-`settle` `order.clone()`) is gone, with identical
-//! observable semantics.
+//! commit semantics. `settle()`/`tick()` then run over dense state with
+//! zero allocation and zero string hashing — the interpretive walk (and
+//! its per-`settle` `order.clone()`) is gone, with identical observable
+//! semantics.
+//!
+//! State is vector-batched: every slot holds `[u64; V]` — `V` independent
+//! 64-bit *vectors* (not bits), walked by one tape pass. [`Simulator`] is
+//! the `V = 1` scalar instantiation of [`BatchSimulator`]; wider batches
+//! amortize the tape fetch and instruction dispatch over `V` lanes and let
+//! the per-lane `[u64; V]` arithmetic autovectorize. There is exactly one
+//! tape kernel (`run_tape`) and one scalar arithmetic kernel
+//! ([`eval_binary`]), shared by every width.
 //!
 //! The simulator is what makes locking *testable*: with the correct key a
 //! locked module must be functionally equivalent to the original, and with a
@@ -20,13 +28,15 @@ use crate::error::{Result, RtlError};
 use crate::op::{BinaryOp, UnaryOp};
 use crate::tape::{mask, Instr, Program};
 
-/// A running simulation of one module.
+/// A running batched simulation of one module: each of the `V` lanes
+/// carries an independent full-width vector through the same compiled
+/// tape, under one shared key.
 ///
 /// # Examples
 ///
 /// ```
 /// use mlrl_rtl::parser::parse_verilog;
-/// use mlrl_rtl::sim::Simulator;
+/// use mlrl_rtl::sim::BatchSimulator;
 ///
 /// let m = parse_verilog("
 /// module t(a, b, y);
@@ -34,27 +44,27 @@ use crate::tape::{mask, Instr, Program};
 ///   output [7:0] y;
 ///   assign y = a + b;
 /// endmodule")?;
-/// let mut sim = Simulator::new(&m)?;
-/// sim.set_input("a", 3)?;
-/// sim.set_input("b", 4)?;
+/// let mut sim = BatchSimulator::<4>::new(&m)?;
+/// sim.set_input_batch("a", &[1, 2, 3, 4])?;
+/// sim.set_input_batch("b", &[10, 20, 30, 40])?;
 /// sim.settle()?;
-/// assert_eq!(sim.get("y")?, 7);
+/// assert_eq!(sim.get_lane("y", 2)?, 33);
 /// # Ok::<(), mlrl_rtl::error::RtlError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct Simulator<'m> {
+pub struct BatchSimulator<'m, const V: usize> {
     module: &'m Module,
     program: Program,
-    /// Current value of every slot.
-    state: Vec<u64>,
+    /// Current value of every slot, `V` vectors wide.
+    state: Vec<[u64; V]>,
     /// Pending non-blocking values, one per sequential target.
-    shadow: Vec<u64>,
+    shadow: Vec<[u64; V]>,
     /// Reusable operand stack (preallocated to the compiled max depth).
-    stack: Vec<u64>,
+    stack: Vec<[u64; V]>,
     key: Vec<bool>,
 }
 
-impl<'m> Simulator<'m> {
+impl<'m, const V: usize> BatchSimulator<'m, V> {
     /// Prepares a simulator: checks drivers, levelizes the combinational
     /// assignments, and compiles both instruction tapes.
     ///
@@ -70,8 +80,8 @@ impl<'m> Simulator<'m> {
             )));
         }
         let program = Program::compile(module)?;
-        let state = vec![0; program.slots.len()];
-        let shadow = vec![0; program.seq_targets.len()];
+        let state = vec![[0; V]; program.slots.len()];
+        let shadow = vec![[0; V]; program.seq_targets.len()];
         let stack = Vec::with_capacity(program.max_stack);
         Ok(Self {
             module,
@@ -83,31 +93,52 @@ impl<'m> Simulator<'m> {
         })
     }
 
-    /// Resets every signal (and pending register value) to 0, as if freshly
-    /// constructed. The installed key and the compiled program are kept —
-    /// this is the cheap way to reuse one simulator across independent
-    /// trials instead of recompiling the module each time.
+    /// Resets every signal in every lane (and pending register values) to
+    /// 0, as if freshly constructed. The installed key and the compiled
+    /// program are kept.
     pub fn reset(&mut self) {
-        self.state.fill(0);
-        self.shadow.fill(0);
+        self.state.fill([0; V]);
+        self.shadow.fill([0; V]);
     }
 
-    /// Sets an input port value (masked to the port width).
+    /// Sets an input port value in *every* lane (masked to the port width).
     ///
     /// # Errors
     ///
     /// Returns [`RtlError::UnknownSignal`] if `name` is not an input port.
     pub fn set_input(&mut self, name: &str, value: u64) -> Result<()> {
-        let slot = self
-            .program
-            .slot(name)
-            .filter(|&s| self.program.slots[s as usize].is_input)
-            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
-        self.state[slot as usize] = value & mask(self.program.slots[slot as usize].width);
+        let slot = self.input_slot(name)?;
+        let masked = value & mask(self.program.slots[slot as usize].width);
+        self.state[slot as usize] = [masked; V];
         Ok(())
     }
 
-    /// Installs the key bit vector (index 0 = `K[0]`).
+    /// Sets an input port to a different value per lane: lane `l` carries
+    /// `values[l]` (masked to the port width). Lanes beyond `values.len()`
+    /// replicate the last entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] if `name` is not an input port
+    /// and [`RtlError::LaneOutOfRange`] if `values` is empty or longer
+    /// than `V`.
+    pub fn set_input_batch(&mut self, name: &str, values: &[u64]) -> Result<()> {
+        if values.is_empty() || values.len() > V {
+            return Err(RtlError::LaneOutOfRange {
+                requested: values.len(),
+                lanes: V,
+            });
+        }
+        let slot = self.input_slot(name)?;
+        let m = mask(self.program.slots[slot as usize].width);
+        let word = &mut self.state[slot as usize];
+        for (lane, w) in word.iter_mut().enumerate() {
+            *w = values[lane.min(values.len() - 1)] & m;
+        }
+        Ok(())
+    }
+
+    /// Installs the key bit vector (index 0 = `K[0]`), shared by all lanes.
     ///
     /// # Errors
     ///
@@ -124,37 +155,52 @@ impl<'m> Simulator<'m> {
         Ok(())
     }
 
-    /// Current value of any signal.
+    /// Current value of any signal in lane 0.
     ///
     /// # Errors
     ///
     /// Returns [`RtlError::UnknownSignal`] for undeclared names.
     pub fn get(&self, name: &str) -> Result<u64> {
-        self.program
-            .slot(name)
-            .map(|s| self.state[s as usize])
-            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
+        self.get_lane(name, 0)
     }
 
-    /// Order-independent digest of every output-port value — a cheap probe
-    /// for functional equivalence and key-corruption checks.
+    /// Current value of any signal in the given lane.
     ///
     /// # Errors
     ///
-    /// Propagates [`RtlError::UnknownSignal`] (cannot happen for a
-    /// well-formed module).
-    pub fn outputs_digest(&self) -> Result<u64> {
+    /// Returns [`RtlError::UnknownSignal`] for undeclared names and
+    /// [`RtlError::LaneOutOfRange`] if `lane >= V`.
+    pub fn get_lane(&self, name: &str, lane: usize) -> Result<u64> {
+        if lane >= V {
+            return Err(RtlError::LaneOutOfRange {
+                requested: lane,
+                lanes: V,
+            });
+        }
+        self.program
+            .slot(name)
+            .map(|s| self.state[s as usize][lane])
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
+    }
+
+    /// Order-independent digest of every output-port value in one lane — a
+    /// cheap probe for functional equivalence and key-corruption checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::LaneOutOfRange`] if `lane >= V`.
+    pub fn outputs_digest_lane(&self, lane: usize) -> Result<u64> {
         let mut digest = 0xcbf2_9ce4_8422_2325u64;
         for p in self.module.ports() {
             if p.dir == PortDir::Output {
-                digest ^= self.get(&p.name)?;
+                digest ^= self.get_lane(&p.name, lane)?;
                 digest = digest.wrapping_mul(0x100_0000_01b3);
             }
         }
         Ok(digest)
     }
 
-    /// Forces a register/state value (useful for test setup).
+    /// Forces a register/state value in every lane (useful for test setup).
     ///
     /// # Errors
     ///
@@ -164,18 +210,21 @@ impl<'m> Simulator<'m> {
             .program
             .slot(name)
             .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))?;
-        self.state[slot as usize] = value & mask(self.program.slots[slot as usize].width);
+        let masked = value & mask(self.program.slots[slot as usize].width);
+        self.state[slot as usize] = [masked; V];
         Ok(())
     }
 
     /// Propagates combinational logic until stable (one levelized pass over
-    /// the compiled tape).
+    /// the compiled tape, all `V` lanes in parallel).
     ///
     /// # Errors
     ///
     /// Infallible for a compiled module; kept fallible for interface
     /// stability.
     pub fn settle(&mut self) -> Result<()> {
+        mlrl_obs::counter_add("sim.settles", 1);
+        mlrl_obs::counter_add("sim.lanes", V as u64);
         // Split borrows so the tape can be walked while state mutates.
         let Self {
             program,
@@ -191,11 +240,12 @@ impl<'m> Simulator<'m> {
 
     /// Applies one positive clock edge: evaluates every clocked process with
     /// pre-edge values, commits all non-blocking updates atomically, then
-    /// re-settles combinational logic.
+    /// re-settles combinational logic. Each lane's state advances
+    /// independently.
     ///
     /// # Errors
     ///
-    /// Propagates [`Simulator::settle`] errors.
+    /// Propagates [`BatchSimulator::settle`] errors.
     pub fn tick(&mut self) -> Result<()> {
         self.settle()?;
         let Self {
@@ -218,6 +268,133 @@ impl<'m> Simulator<'m> {
         self.settle()
     }
 
+    fn input_slot(&self, name: &str) -> Result<u32> {
+        self.program
+            .slot(name)
+            .filter(|&s| self.program.slots[s as usize].is_input)
+            .ok_or_else(|| RtlError::UnknownSignal(name.to_owned()))
+    }
+}
+
+/// A running scalar simulation of one module — the `V = 1` instantiation
+/// of [`BatchSimulator`] behind the original single-vector interface.
+///
+/// # Examples
+///
+/// ```
+/// use mlrl_rtl::parser::parse_verilog;
+/// use mlrl_rtl::sim::Simulator;
+///
+/// let m = parse_verilog("
+/// module t(a, b, y);
+///   input [7:0] a, b;
+///   output [7:0] y;
+///   assign y = a + b;
+/// endmodule")?;
+/// let mut sim = Simulator::new(&m)?;
+/// sim.set_input("a", 3)?;
+/// sim.set_input("b", 4)?;
+/// sim.settle()?;
+/// assert_eq!(sim.get("y")?, 7);
+/// # Ok::<(), mlrl_rtl::error::RtlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'m> {
+    inner: BatchSimulator<'m, 1>,
+}
+
+impl<'m> Simulator<'m> {
+    /// Prepares a simulator: checks drivers, levelizes the combinational
+    /// assignments, and compiles both instruction tapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CombinationalCycle`] if continuous assignments
+    /// form a cycle, [`RtlError::UnknownSignal`] for undeclared references.
+    pub fn new(module: &'m Module) -> Result<Self> {
+        Ok(Self {
+            inner: BatchSimulator::new(module)?,
+        })
+    }
+
+    /// Resets every signal (and pending register value) to 0, as if freshly
+    /// constructed. The installed key and the compiled program are kept —
+    /// this is the cheap way to reuse one simulator across independent
+    /// trials instead of recompiling the module each time.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Sets an input port value (masked to the port width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] if `name` is not an input port.
+    pub fn set_input(&mut self, name: &str, value: u64) -> Result<()> {
+        self.inner.set_input(name, value)
+    }
+
+    /// Installs the key bit vector (index 0 = `K[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::KeyTooShort`] if fewer bits are provided than the
+    /// design consumes.
+    pub fn set_key(&mut self, key: &[bool]) -> Result<()> {
+        self.inner.set_key(key)
+    }
+
+    /// Current value of any signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] for undeclared names.
+    pub fn get(&self, name: &str) -> Result<u64> {
+        self.inner.get(name)
+    }
+
+    /// Order-independent digest of every output-port value — a cheap probe
+    /// for functional equivalence and key-corruption checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RtlError::UnknownSignal`] (cannot happen for a
+    /// well-formed module).
+    pub fn outputs_digest(&self) -> Result<u64> {
+        self.inner.outputs_digest_lane(0)
+    }
+
+    /// Forces a register/state value (useful for test setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::UnknownSignal`] for undeclared names.
+    pub fn set_state(&mut self, name: &str, value: u64) -> Result<()> {
+        self.inner.set_state(name, value)
+    }
+
+    /// Propagates combinational logic until stable (one levelized pass over
+    /// the compiled tape).
+    ///
+    /// # Errors
+    ///
+    /// Infallible for a compiled module; kept fallible for interface
+    /// stability.
+    pub fn settle(&mut self) -> Result<()> {
+        self.inner.settle()
+    }
+
+    /// Applies one positive clock edge: evaluates every clocked process with
+    /// pre-edge values, commits all non-blocking updates atomically, then
+    /// re-settles combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulator::settle`] errors.
+    pub fn tick(&mut self) -> Result<()> {
+        self.inner.tick()
+    }
+
     /// Evaluates the expression rooted at `id` with current signal values.
     ///
     /// This is the cold-path companion of the compiled tapes (used for
@@ -228,19 +405,19 @@ impl<'m> Simulator<'m> {
     /// Returns [`RtlError::UnknownSignal`] for undeclared identifiers and
     /// [`RtlError::InvalidExprId`] for dangling ids.
     pub fn eval(&self, id: ExprId) -> Result<u64> {
-        let expr = self.module.expr(id)?;
+        let expr = self.inner.module.expr(id)?;
         Ok(match expr {
             Expr::Const { value, width } => match width {
                 Some(w) => value & mask(*w),
                 None => *value,
             },
             Expr::Ident(name) => self.get(name)?,
-            Expr::KeyBit(i) => self.key.get(*i as usize).copied().unwrap_or(false) as u64,
+            Expr::KeyBit(i) => self.inner.key.get(*i as usize).copied().unwrap_or(false) as u64,
             Expr::KeySlice { lsb, width } => {
                 let mut v = 0u64;
                 for b in 0..*width {
                     let idx = (*lsb + b) as usize;
-                    if self.key.get(idx).copied().unwrap_or(false) {
+                    if self.inner.key.get(idx).copied().unwrap_or(false) {
                         v |= 1 << b;
                     }
                 }
@@ -275,22 +452,32 @@ impl<'m> Simulator<'m> {
     }
 }
 
-/// Executes one compiled tape over the dense state.
-fn run_tape(
+/// Executes one compiled tape over the dense state, all `V` lanes per
+/// instruction. The per-lane loops call [`eval_binary`] and friends — the
+/// same scalar kernels the `V = 1` path uses — so batch semantics are the
+/// scalar semantics by construction.
+fn run_tape<const V: usize>(
     tape: &[Instr],
-    state: &mut [u64],
-    shadow: &mut [u64],
-    stack: &mut Vec<u64>,
+    state: &mut [[u64; V]],
+    shadow: &mut [[u64; V]],
+    stack: &mut Vec<[u64; V]>,
     key: &[bool],
 ) {
     stack.clear();
     for instr in tape {
         match *instr {
-            Instr::Const(v) => stack.push(v),
+            Instr::Const(v) => stack.push([v; V]),
             Instr::Load(slot) => stack.push(state[slot as usize]),
-            Instr::LoadBit { slot, bit } => stack.push(state[slot as usize] >> bit & 1),
+            Instr::LoadBit { slot, bit } => {
+                let mut out = [0u64; V];
+                for (o, w) in out.iter_mut().zip(&state[slot as usize]) {
+                    *o = w >> bit & 1;
+                }
+                stack.push(out);
+            }
             Instr::KeyBit(i) => {
-                stack.push(key.get(i as usize).copied().unwrap_or(false) as u64);
+                let v = key.get(i as usize).copied().unwrap_or(false) as u64;
+                stack.push([v; V]);
             }
             Instr::KeySlice { lsb, width } => {
                 let mut v = 0u64;
@@ -299,33 +486,47 @@ fn run_tape(
                         v |= 1 << b;
                     }
                 }
-                stack.push(v);
+                stack.push([v; V]);
             }
             Instr::LoadShadow(idx) => stack.push(shadow[idx as usize]),
             Instr::Unary(op) => {
                 let v = stack.last_mut().expect("tape underflow");
-                *v = match op {
-                    UnaryOp::Not => !*v,
-                    UnaryOp::Neg => v.wrapping_neg(),
-                    UnaryOp::LNot => (*v == 0) as u64,
-                };
+                for w in v.iter_mut() {
+                    *w = match op {
+                        UnaryOp::Not => !*w,
+                        UnaryOp::Neg => w.wrapping_neg(),
+                        UnaryOp::LNot => (*w == 0) as u64,
+                    };
+                }
             }
             Instr::Binary(op) => {
                 let b = stack.pop().expect("tape underflow");
                 let a = stack.last_mut().expect("tape underflow");
-                *a = eval_binary(op, *a, b);
+                for (aw, bw) in a.iter_mut().zip(&b) {
+                    *aw = eval_binary(op, *aw, *bw);
+                }
             }
             Instr::Select => {
                 let else_v = stack.pop().expect("tape underflow");
                 let then_v = stack.pop().expect("tape underflow");
                 let cond = stack.last_mut().expect("tape underflow");
-                *cond = if *cond != 0 { then_v } else { else_v };
+                for i in 0..V {
+                    cond[i] = if cond[i] != 0 { then_v[i] } else { else_v[i] };
+                }
             }
             Instr::Store { slot, mask } => {
-                state[slot as usize] = stack.pop().expect("tape underflow") & mask;
+                let v = stack.pop().expect("tape underflow");
+                let out = &mut state[slot as usize];
+                for (o, w) in out.iter_mut().zip(&v) {
+                    *o = w & mask;
+                }
             }
             Instr::StoreShadow { idx, mask } => {
-                shadow[idx as usize] = stack.pop().expect("tape underflow") & mask;
+                let v = stack.pop().expect("tape underflow");
+                let out = &mut shadow[idx as usize];
+                for (o, w) in out.iter_mut().zip(&v) {
+                    *o = w & mask;
+                }
             }
         }
     }
@@ -543,5 +744,68 @@ mod tests {
             s.set_key(&[true]),
             Err(RtlError::KeyTooShort { .. })
         ));
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_settles() {
+        let m = sim_src(
+            "module t(a, b, y);\n input [7:0] a, b;\n output [9:0] y;\n wire [7:0] w;\n assign w = a * b;\n assign y = (w ^ a) + b;\nendmodule",
+        );
+        let avs: Vec<u64> = (0..8u64).map(|i| i.wrapping_mul(37) & 0xff).collect();
+        let bvs: Vec<u64> = (0..8u64).map(|i| i.wrapping_mul(91) & 0xff).collect();
+        let mut batch = BatchSimulator::<8>::new(&m).unwrap();
+        batch.set_input_batch("a", &avs).unwrap();
+        batch.set_input_batch("b", &bvs).unwrap();
+        batch.settle().unwrap();
+        for lane in 0..8 {
+            let mut scalar = Simulator::new(&m).unwrap();
+            scalar.set_input("a", avs[lane]).unwrap();
+            scalar.set_input("b", bvs[lane]).unwrap();
+            scalar.settle().unwrap();
+            assert_eq!(
+                batch.get_lane("y", lane).unwrap(),
+                scalar.get("y").unwrap(),
+                "lane {lane}"
+            );
+            assert_eq!(
+                batch.outputs_digest_lane(lane).unwrap(),
+                scalar.outputs_digest().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_lanes_tick_independently() {
+        let m = sim_src(
+            "module t(clk, d, q);\n input clk;\n input [7:0] d;\n output [7:0] q;\n reg [7:0] r;\n assign q = r;\n always @(posedge clk) begin\n r <= r + d;\n end\nendmodule",
+        );
+        let mut batch = BatchSimulator::<4>::new(&m).unwrap();
+        batch.set_input_batch("d", &[1, 2, 3, 4]).unwrap();
+        batch.tick().unwrap();
+        batch.tick().unwrap();
+        for lane in 0..4 {
+            assert_eq!(
+                batch.get_lane("q", lane).unwrap(),
+                2 * (lane as u64 + 1),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_short_inputs_replicate_and_bad_lanes_error() {
+        let m = sim_src(
+            "module t(a, y);\n input [7:0] a;\n output [7:0] y;\n assign y = a + 1;\nendmodule",
+        );
+        let mut batch = BatchSimulator::<4>::new(&m).unwrap();
+        batch.set_input_batch("a", &[5, 9]).unwrap();
+        batch.settle().unwrap();
+        assert_eq!(batch.get_lane("y", 0).unwrap(), 6);
+        for lane in 1..4 {
+            assert_eq!(batch.get_lane("y", lane).unwrap(), 10, "lane {lane}");
+        }
+        assert!(batch.set_input_batch("a", &[]).is_err());
+        assert!(batch.set_input_batch("a", &[0; 5]).is_err());
+        assert!(batch.get_lane("y", 4).is_err());
     }
 }

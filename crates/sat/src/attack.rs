@@ -50,22 +50,42 @@ pub trait Oracle {
 
 /// Oracle backed by a netlist simulator holding the correct key — the
 /// reproduction's stand-in for a functional chip bought on the market.
+///
+/// `W` is the simulator word width: a `SimOracle<'_, 8>` answers up to 512
+/// assignments per topological walk through [`Oracle::query_batch`]. The
+/// default `W = 1` (64 lanes) matches the DIP loop's single-assignment
+/// queries and the ≤ 64-candidate validation sweep, which cannot fill
+/// wider words.
 #[derive(Debug)]
-pub struct SimOracle<'n> {
-    sim: NetlistSimulator<'n>,
+pub struct SimOracle<'n, const W: usize = 1> {
+    sim: NetlistSimulator<'n, W>,
     output_names: Vec<String>,
     /// Number of queries served (the attack's main cost metric).
     pub queries: usize,
 }
 
 impl<'n> SimOracle<'n> {
-    /// Wraps `netlist` with the correct `key` installed.
+    /// Wraps `netlist` with the correct `key` installed at the default
+    /// width. Wider oracles come from [`SimOracle::with_width`].
     ///
     /// # Errors
     ///
     /// Propagates simulator construction / key installation errors.
     pub fn new(netlist: &'n Netlist, key: &[bool]) -> Result<Self, NetlistError> {
-        let mut sim = NetlistSimulator::new(netlist)?;
+        Self::with_width(netlist, key)
+    }
+}
+
+impl<'n, const W: usize> SimOracle<'n, W> {
+    /// Wraps `netlist` with the correct `key` installed over a `W`-word
+    /// (`64 * W`-lane) simulator: `SimOracle::<8>::with_width(&n, key)`
+    /// answers 512-assignment batches in one walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction / key installation errors.
+    pub fn with_width(netlist: &'n Netlist, key: &[bool]) -> Result<Self, NetlistError> {
+        let mut sim = NetlistSimulator::<W>::with_width(netlist)?;
         sim.set_key(key)?;
         let output_names = netlist.outputs().iter().map(|p| p.name.clone()).collect();
         Ok(Self {
@@ -76,7 +96,7 @@ impl<'n> SimOracle<'n> {
     }
 }
 
-impl Oracle for SimOracle<'_> {
+impl<const W: usize> Oracle for SimOracle<'_, W> {
     fn query(&mut self, inputs: &[(String, u64)]) -> PortValues {
         self.queries += 1;
         mlrl_obs::counter_add("oracle.queries", 1);
@@ -93,16 +113,17 @@ impl Oracle for SimOracle<'_> {
             .collect()
     }
 
-    /// One levelized walk answers up to 64 assignments: assignment `i`
-    /// rides lane `i` of the word simulator. Larger batches are chunked,
-    /// preserving the trait default's any-size contract.
+    /// One levelized walk answers up to `64 * W` assignments: assignment
+    /// `i` rides lane `i` of the word simulator. Larger batches are
+    /// chunked, preserving the trait default's any-size contract.
     fn query_batch(&mut self, batch: &[&[(String, u64)]]) -> Vec<PortValues> {
         if batch.is_empty() {
             return Vec::new();
         }
-        if batch.len() > LANES {
+        let cap = NetlistSimulator::<W>::LANES;
+        if batch.len() > cap {
             return batch
-                .chunks(LANES)
+                .chunks(cap)
                 .flat_map(|chunk| self.query_batch(chunk))
                 .collect();
         }
@@ -812,6 +833,28 @@ mod tests {
         let refs: Vec<&[(String, u64)]> = reordered.iter().map(|a| a.as_slice()).collect();
         let mut shuffled = SimOracle::new(&locked, key.bits()).unwrap();
         assert_eq!(shuffled.query_batch(&refs), batch_answers);
+    }
+
+    #[test]
+    fn wide_oracle_answers_past_64_in_one_walk() {
+        // A width-4 oracle carries 256 lanes: 70 assignments fit one
+        // settle and must answer exactly like the width-1 chunked path.
+        let mut locked = sample_netlist();
+        let key = xor_xnor_lock(&mut locked, 6, 17).unwrap();
+        let assignments: Vec<Vec<(String, u64)>> = (0..70u64)
+            .map(|i| {
+                vec![
+                    ("a".to_owned(), i.wrapping_mul(37) & 0xff),
+                    ("b".to_owned(), i.wrapping_mul(91) & 0xff),
+                ]
+            })
+            .collect();
+        let refs: Vec<&[(String, u64)]> = assignments.iter().map(|a| a.as_slice()).collect();
+
+        let mut narrow = SimOracle::new(&locked, key.bits()).unwrap();
+        let mut wide = SimOracle::<4>::with_width(&locked, key.bits()).unwrap();
+        assert_eq!(wide.query_batch(&refs), narrow.query_batch(&refs));
+        assert_eq!(wide.queries, 70);
     }
 
     #[test]

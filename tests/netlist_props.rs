@@ -55,6 +55,79 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = String> {
     })
 }
 
+/// Drives a random locked netlist at width `W` with per-lane input
+/// vectors and a per-lane key sweep — one walk for all lanes — then
+/// checks every lane (value, per-lane digest, and batch digest) against
+/// an independent scalar simulation of that lane's vector and key.
+fn lane_matches_scalar<const W: usize>(
+    expr: &str,
+    width: u32,
+    vectors: &[(u64, u64, u64)],
+    keys: &[u64],
+    bits: usize,
+    seed: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let src = format!(
+        "module t(a, b, c, y);\n input [{w}:0] a, b, c;\n output [{w}:0] y;\n assign y = {expr};\nendmodule",
+        w = width - 1
+    );
+    let module = parse_verilog(&src).expect("generated source parses");
+    let mut netlist = lower_module(&module).expect("expression lowers");
+    netlist.sweep();
+    // Constant-folded expressions may leave nothing lockable; the lane
+    // property must hold either way.
+    let key_len = xor_xnor_lock(&mut netlist, bits, seed).map_or(0, |k| k.len());
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
+
+    // Per-lane keys: lane l uses keys[l % keys.len()] as a bit source.
+    let lane_keys: Vec<Vec<bool>> = (0..vectors.len())
+        .map(|l| {
+            let word = keys[l % keys.len()];
+            (0..key_len).map(|i| word >> (i % 64) & 1 == 1).collect()
+        })
+        .collect();
+    let key_refs: Vec<&[bool]> = lane_keys.iter().map(|k| k.as_slice()).collect();
+
+    let mut word = NetlistSimulator::<W>::with_width(&netlist).expect("word sim");
+    for (port, idx) in [("a", 0usize), ("b", 1), ("c", 2)] {
+        let lanes: Vec<u64> = vectors
+            .iter()
+            .map(|v| [v.0, v.1, v.2][idx] & mask)
+            .collect();
+        word.set_input_batch(port, &lanes).expect("batch input");
+    }
+    word.set_key_batch(&key_refs).expect("batch key");
+    word.settle_batch().expect("settles");
+    let batch_digests = word
+        .outputs_digest_batch(vectors.len())
+        .expect("batch digests");
+
+    let mut scalar = NetlistSimulator::new(&netlist).expect("scalar sim");
+    for (lane, v) in vectors.iter().enumerate() {
+        scalar.set_input("a", v.0 & mask).expect("set");
+        scalar.set_input("b", v.1 & mask).expect("set");
+        scalar.set_input("c", v.2 & mask).expect("set");
+        scalar.set_key(&lane_keys[lane]).expect("key");
+        scalar.settle().expect("settle");
+        prop_assert_eq!(
+            word.output_lane("y", lane).expect("lane"),
+            scalar.output("y").expect("y"),
+            "W={} lane {} of expr {}",
+            W,
+            lane,
+            src
+        );
+        let digest = scalar.outputs_digest().expect("digest");
+        prop_assert_eq!(word.outputs_digest_lane(lane).expect("lane digest"), digest);
+        prop_assert_eq!(batch_digests[lane], digest);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -163,55 +236,7 @@ proptest! {
         // A random locked netlist driven with up to 64 input vectors (and a
         // per-lane key sweep) in one walk; every lane must equal an
         // independent scalar simulation of that vector and key.
-        let src = format!(
-            "module t(a, b, c, y);\n input [{w}:0] a, b, c;\n output [{w}:0] y;\n assign y = {expr};\nendmodule",
-            w = width - 1
-        );
-        let module = parse_verilog(&src).expect("generated source parses");
-        let mut netlist = lower_module(&module).expect("expression lowers");
-        netlist.sweep();
-        // Constant-folded expressions may leave nothing lockable; the lane
-        // property must hold either way.
-        let key_len = xor_xnor_lock(&mut netlist, bits, seed).map_or(0, |k| k.len());
-        let mask = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
-
-        // Per-lane keys: lane l uses keys[l % keys.len()] as a bit source.
-        let lane_keys: Vec<Vec<bool>> = (0..vectors.len())
-            .map(|l| {
-                let word = keys[l % keys.len()];
-                (0..key_len).map(|i| word >> (i % 64) & 1 == 1).collect()
-            })
-            .collect();
-        let key_refs: Vec<&[bool]> = lane_keys.iter().map(|k| k.as_slice()).collect();
-
-        let mut word = NetlistSimulator::new(&netlist).expect("word sim");
-        for (port, idx) in [("a", 0usize), ("b", 1), ("c", 2)] {
-            let lanes: Vec<u64> = vectors
-                .iter()
-                .map(|v| [v.0, v.1, v.2][idx] & mask)
-                .collect();
-            word.set_input_batch(port, &lanes).expect("batch input");
-        }
-        word.set_key_batch(&key_refs).expect("batch key");
-        word.settle_batch().expect("settles");
-
-        for (lane, v) in vectors.iter().enumerate() {
-            let mut scalar = NetlistSimulator::new(&netlist).expect("scalar sim");
-            scalar.set_input("a", v.0 & mask).expect("set");
-            scalar.set_input("b", v.1 & mask).expect("set");
-            scalar.set_input("c", v.2 & mask).expect("set");
-            scalar.set_key(&lane_keys[lane]).expect("key");
-            scalar.settle().expect("settle");
-            prop_assert_eq!(
-                word.output_lane("y", lane).expect("lane"),
-                scalar.output("y").expect("y"),
-                "lane {} of expr {}", lane, src
-            );
-            prop_assert_eq!(
-                word.outputs_digest_lane(lane).expect("lane digest"),
-                scalar.outputs_digest().expect("digest")
-            );
-        }
+        lane_matches_scalar::<1>(&expr, width, &vectors, &keys, bits, seed)?;
     }
 
     #[test]
@@ -265,5 +290,26 @@ proptest! {
         let check =
             check_module_vs_netlist(&module, &netlist, &bits, 25, 0, seed).expect("checks");
         prop_assert!(check.is_equivalent(), "{:?}", check);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one checks up to 256 lanes at two widths.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wide_sim_lane_i_matches_scalar_eval_past_64(
+        expr in arb_expr(2),
+        width in 1u32..=8,
+        vectors in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 65..257),
+        keys in proptest::collection::vec(any::<u64>(), 1..16),
+        bits in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        // The same lane property at W=4 (up to fully packed) and W=8
+        // (partially filled): always >64 vectors, so the words past the
+        // first — the ones the scalar-era simulator never had — are live.
+        lane_matches_scalar::<4>(&expr, width, &vectors, &keys, bits, seed)?;
+        lane_matches_scalar::<8>(&expr, width, &vectors, &keys, bits, seed)?;
     }
 }
