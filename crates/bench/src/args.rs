@@ -129,6 +129,8 @@ pub fn build_engine(args: &BenchArgs) -> Result<Engine, String> {
 /// Runs a driver's campaigns, honouring the shared campaign flags.
 ///
 /// - `--threads N` overrides every spec's worker count;
+/// - `--opt-level o0|o1|o2` overrides every spec's netlist optimizer
+///   level (gate-level cells only — RTL cells never lower);
 /// - `--canonical` prints each campaign's canonical JSON-lines report to
 ///   stdout instead of returning reports;
 /// - `--shard I/N` runs only that deterministic partition of each
@@ -164,12 +166,20 @@ pub fn run_campaigns(
         mlrl_obs::enable();
     }
     let threads: Option<usize> = args.flag("threads").and_then(|v| v.parse().ok());
+    let opt_level = args
+        .flag("opt-level")
+        .map(mlrl_engine::spec::OptLevel::parse)
+        .transpose()
+        .map_err(|e| format!("bad --opt-level: {e}"))?;
     let specs: Vec<CampaignSpec> = specs
         .iter()
         .map(|spec| {
             let mut spec = spec.clone();
             if let Some(threads) = threads {
                 spec.threads = threads;
+            }
+            if let Some(level) = opt_level {
+                spec.opt_level = level;
             }
             spec
         })

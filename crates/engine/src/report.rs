@@ -105,6 +105,10 @@ pub struct JobRecord {
     /// optimum — the metric denominator `d_e(v_i, v_o)` (profile cells
     /// only).
     pub initial_distance: Option<f64>,
+    /// Netlist optimizer level of the campaign (`"o1"`, `"o2"`), present
+    /// only when one was active — at the default `O0` the column is
+    /// omitted so historical canonical streams stay byte-identical.
+    pub opt_level: Option<String>,
     /// Terminal state.
     pub status: JobStatus,
     /// Wall-clock of this job in milliseconds (excluded from the
@@ -149,6 +153,7 @@ impl JobRecord {
             ops: None,
             imbalance: None,
             initial_distance: None,
+            opt_level: None,
             status: JobStatus::Ok,
             wall_ms: 0,
             solver_ms: None,
@@ -262,6 +267,12 @@ impl JobRecord {
             "initial_distance",
             JsonValue::Float(self.initial_distance),
         );
+        if let Some(opt_level) = &self.opt_level {
+            // Trailing optional column like `trace`: present only when
+            // the campaign ran the optimizer, so `O0` streams (and every
+            // pre-optimizer golden file) are byte-stable.
+            push_field(&mut out, "opt_level", JsonValue::Str(opt_level));
+        }
         match &self.status {
             JobStatus::Ok => push_field(&mut out, "status", JsonValue::Str("ok")),
             JobStatus::Failed(msg) => {
@@ -821,6 +832,20 @@ mod tests {
         );
         // The trace is science, not timing: both serializations carry it.
         assert!(r.json_fields(true).contains("\"trace\""));
+    }
+
+    #[test]
+    fn opt_level_serializes_as_a_trailing_column_only_when_active() {
+        let mut r = record();
+        // O0 campaigns omit the column entirely: pre-optimizer golden
+        // streams must stay byte-identical.
+        assert!(!r.canonical_line().contains("\"opt_level\""));
+        r.opt_level = Some("o2".to_owned());
+        let line = r.canonical_line();
+        assert!(
+            line.contains("\"opt_level\":\"o2\",\"status\""),
+            "sits just before status: {line}"
+        );
     }
 
     #[test]

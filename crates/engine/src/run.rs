@@ -37,6 +37,7 @@ use mlrl_locking::pairs::PairTable;
 use mlrl_ml::automl::AutoMlConfig;
 use mlrl_netlist::lock::{lock_netlist, GateKey, GateLockScheme};
 use mlrl_netlist::lower::lower_module;
+use mlrl_netlist::opt::{optimize, OptLevel};
 use mlrl_rtl::bench_designs::generate_with_width;
 use mlrl_rtl::emit::emit_verilog;
 use mlrl_rtl::{visit, Module};
@@ -243,7 +244,7 @@ impl Engine {
                 Ok(record) => record,
                 Err(panic_msg) => JobRecord {
                     status: JobStatus::Failed(panic_msg),
-                    ..record_from_job(job)
+                    ..record_for(spec, job)
                 },
             })
             .collect();
@@ -316,9 +317,19 @@ impl Default for Engine {
     }
 }
 
+/// Seeds a job's record with every spec-derived column (currently the
+/// optimizer level) so success and panic paths report identically.
+fn record_for(spec: &CampaignSpec, job: &Job) -> JobRecord {
+    let mut record = record_from_job(job);
+    if spec.opt_level != OptLevel::O0 {
+        record.opt_level = Some(spec.opt_level.name().to_owned());
+    }
+    record
+}
+
 fn run_job(cache: &ArtifactCache, spec: &CampaignSpec, job: Job) -> JobRecord {
     let started = Instant::now();
-    let mut record = record_from_job(&job);
+    let mut record = record_for(spec, &job);
     match execute(cache, spec, &job, &mut record) {
         Ok(()) => {}
         Err(message) => record.status = JobStatus::Failed(message),
@@ -411,15 +422,15 @@ fn execute(
                 .finish(),
             || emit_verilog(&locked.module).map_err(|e| e.to_string()),
         )?;
-        let lowered_key = lowered_content_key(&locked_verilog);
+        let lowered_key = lowered_content_key(&locked_verilog, spec.opt_level);
         let lowered = cache.lowered(lowered_key, || {
-            let netlist = synthesize(&locked.module)?;
+            let netlist = synthesize(&locked.module, spec.opt_level)?;
             Ok(LoweredArtifact {
                 netlist,
                 key: key_bits(&locked),
             })
         })?;
-        let base_lowered = lowered_base(cache, &base, &base_verilog)?;
+        let base_lowered = lowered_base(cache, &base, &base_verilog, spec.opt_level)?;
         drop(lower_span);
         record_gate_shape(record, &lowered, &base_lowered);
         return run_gate_attack(cache, spec, job, &lowered, lowered_key, record);
@@ -492,8 +503,8 @@ fn execute_gate_locked(
     base_verilog: &str,
     record: &mut JobRecord,
 ) -> Result<(), String> {
-    let base_lowered_key = lowered_content_key(base_verilog);
-    let base_lowered = lowered_base(cache, base, base_verilog)?;
+    let base_lowered_key = lowered_content_key(base_verilog, spec.opt_level);
+    let base_lowered = lowered_base(cache, base, base_verilog, spec.opt_level)?;
 
     // Key length matches the RTL budget accounting (fraction of lockable
     // operations), so gate and RTL cells of one sweep spend comparable
@@ -546,11 +557,15 @@ fn execute_gate_locked(
 /// never simulate, and the key-gate localities of the scan view match
 /// the plain lowering — but it does mean the Fig. 1 printer reports
 /// scan-view gate counts.
-fn synthesize(module: &Module) -> Result<mlrl_netlist::Netlist, String> {
+fn synthesize(module: &Module, opt_level: OptLevel) -> Result<mlrl_netlist::Netlist, String> {
     let mut netlist = lower_module(module)
         .map_err(|e| e.to_string())?
         .to_scan_view();
     netlist.sweep();
+    // The optimizer is function-preserving for every key assignment, so
+    // locked modules stay locked; at the default `O0` this is a no-op and
+    // the lowering is byte-identical to the historical one.
+    optimize(&mut netlist, opt_level);
     Ok(netlist)
 }
 
@@ -560,20 +575,31 @@ fn lowered_base(
     cache: &ArtifactCache,
     base: &Module,
     base_verilog: &str,
+    opt_level: OptLevel,
 ) -> Result<Arc<LoweredArtifact>, String> {
-    cache.lowered(lowered_content_key(base_verilog), || {
+    cache.lowered(lowered_content_key(base_verilog, opt_level), || {
         Ok(LoweredArtifact {
-            netlist: synthesize(base)?,
+            netlist: synthesize(base, opt_level)?,
             key: Vec::new(),
         })
     })
 }
 
 /// Content key of a lowered netlist: source Verilog plus the lowering
-/// configuration (scan view + sweep, the only mode the engine uses).
-fn lowered_content_key(source_verilog: &str) -> u64 {
+/// configuration (scan view + sweep, plus the optimizer level when one
+/// is active). `O0` keys are byte-identical to the historical ones, so
+/// warm caches stay warm across the optimizer's introduction; locked
+/// keys chain off this one, so the level propagates to every derived
+/// artifact automatically.
+fn lowered_content_key(source_verilog: &str, opt_level: OptLevel) -> u64 {
+    let opt_tag = match opt_level {
+        OptLevel::O0 => "",
+        OptLevel::O1 => "opt-o1|",
+        OptLevel::O2 => "opt-o2|",
+    };
     Fnv64::new()
         .write_str("lower|scan-sweep|")
+        .write_str(opt_tag)
         .write_str(source_verilog)
         .finish()
 }

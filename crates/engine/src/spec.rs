@@ -9,6 +9,8 @@
 use mlrl_rtl::bench_designs::{benchmark_by_name, DesignSpec};
 use mlrl_rtl::op::{BinaryOp, ALL_BINARY_OPS};
 
+pub use mlrl_netlist::opt::OptLevel;
+
 /// Abstraction-level axis of a campaign grid.
 ///
 /// `Rtl` cells lock and attack the RTL module directly (the paper's main
@@ -320,6 +322,12 @@ pub struct CampaignSpec {
     /// attack cell sharing a locked instance, so large sweeps would bloat
     /// their reports for data only the trajectory figures consume.
     pub trace: bool,
+    /// Netlist optimization level applied during "synthesis" (lowering)
+    /// of gate-level cells. `O0` (the default) keeps the historical
+    /// byte-identical lowering; higher levels run the
+    /// [`mlrl_netlist::opt`] pass pipeline over both the base and the
+    /// locked netlist, shrinking simulations and SAT instances.
+    pub opt_level: OptLevel,
 }
 
 impl Default for CampaignSpec {
@@ -339,6 +347,7 @@ impl Default for CampaignSpec {
             sat_max_clauses: 0,
             wrong_keys: 32,
             trace: false,
+            opt_level: OptLevel::O0,
         }
     }
 }
@@ -400,6 +409,7 @@ impl CampaignSpec {
     /// sat_max_clauses = 2000000
     /// wrong_keys      = 32
     /// trace           = false
+    /// opt_level       = o2
     /// ```
     ///
     /// Lists are whitespace- or comma-separated, except `benchmarks`,
@@ -516,6 +526,10 @@ impl CampaignSpec {
                     spec.wrong_keys = scalar()?.parse().map_err(|e| {
                         SpecError::new(format!("line {}: bad wrong_keys: {e}", lineno + 1))
                     })?;
+                }
+                "opt_level" => {
+                    spec.opt_level = OptLevel::parse(scalar()?)
+                        .map_err(|e| SpecError::new(format!("line {}: {e}", lineno + 1)))?;
                 }
                 "trace" => {
                     spec.trace = match scalar()? {
@@ -725,6 +739,27 @@ mod tests {
         for level in Level::ALL {
             let msg = Level::parse("nope").expect_err("rejects").to_string();
             assert!(msg.contains(level.name()), "{msg} lacks {}", level.name());
+        }
+        for opt in OptLevel::ALL {
+            let msg = OptLevel::parse("nope").expect_err("rejects");
+            assert!(msg.contains(opt.name()), "{msg} lacks {}", opt.name());
+        }
+    }
+
+    #[test]
+    fn opt_level_parses_and_defaults_to_o0() {
+        let base = "benchmarks = FIR\nschemes = era\nbudgets = 0.5\n";
+        assert_eq!(
+            CampaignSpec::parse(base).expect("parses").opt_level,
+            OptLevel::O0
+        );
+        let spec = CampaignSpec::parse(&format!("{base}opt_level = o2")).expect("parses");
+        assert_eq!(spec.opt_level, OptLevel::O2);
+        let err = CampaignSpec::parse(&format!("{base}opt_level = o9"))
+            .expect_err("rejects")
+            .to_string();
+        for opt in OptLevel::ALL {
+            assert!(err.contains(opt.name()), "{err} lacks {}", opt.name());
         }
     }
 

@@ -16,6 +16,9 @@
 //! - traditional [gate-level locking](lock) (EPIC-style XOR/XNOR key gates
 //!   and key-controlled MUXes) — the baseline family the paper contrasts
 //!   RTL locking against,
+//! - a binaryen-style [optimization pass pipeline](opt) (constant
+//!   folding, rewrite rules, structural hashing, dead-gate elimination)
+//!   driven to a fixed point at selectable [`opt::OptLevel`]s,
 //! - netlist [statistics](stats) and a [structural Verilog emitter](emit)
 //!   that round-trips through the RTL parser.
 //!
@@ -55,6 +58,7 @@ pub mod error;
 pub mod ir;
 pub mod lock;
 pub mod lower;
+pub mod opt;
 pub mod serdes;
 pub mod sim;
 pub mod stats;

@@ -1,0 +1,92 @@
+//! Constant folding: tied-0/1 nets propagate forward through the gate
+//! truth tables.
+//!
+//! A single topological walk evaluates every gate whose inputs are all
+//! known constants via [`GateKind::eval`] — the same kernel the
+//! simulators use, so folding can never disagree with simulation. Folded
+//! gates are deleted and their uses rewired to `CONST0`/`CONST1`;
+//! partially-constant gates (`a & 1`, `x ^ 0`, ...) are left for the
+//! rewrite pass's identity/annihilator rules.
+
+use crate::ir::{NetId, Netlist};
+
+use super::{const_net, retain_live, topo_gate_order, Replacer};
+
+/// Runs one folding sweep. Returns the number of gates folded away.
+pub(super) fn run(netlist: &mut Netlist) -> usize {
+    let order = topo_gate_order(netlist);
+    let mut value: Vec<Option<bool>> = vec![None; netlist.net_count()];
+    value[NetId::CONST0.index()] = Some(false);
+    value[NetId::CONST1.index()] = Some(true);
+
+    let mut repl = Replacer::identity(netlist.net_count());
+    let mut dead = vec![false; netlist.gates.len()];
+    let mut folded = 0usize;
+
+    for &gi in &order {
+        let g = netlist.gates[gi as usize];
+        let mut ins = [false; 3];
+        let mut known = true;
+        for (slot, inp) in ins.iter_mut().zip(g.inputs.iter()) {
+            match value[inp.index()] {
+                Some(v) => *slot = v,
+                None => {
+                    known = false;
+                    break;
+                }
+            }
+        }
+        if !known {
+            continue;
+        }
+        let out = g.kind.eval(&ins[..g.kind.arity()]);
+        value[g.output.index()] = Some(out);
+        repl.set(g.output, const_net(out));
+        dead[gi as usize] = true;
+        folded += 1;
+    }
+
+    if folded == 0 {
+        return 0;
+    }
+    repl.apply(netlist);
+    retain_live(netlist, &dead);
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateKind;
+
+    #[test]
+    fn folds_constant_cones_transitively() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let one = n.add_gate(GateKind::Or, [NetId::CONST1, NetId::CONST0]);
+        let zero = n.add_gate(GateKind::Not, [one]);
+        let keep = n.add_gate(GateKind::Xor, [a, zero]);
+        n.add_output_port("y", vec![keep]);
+        n.add_output_port("k", vec![one]);
+
+        let folded = run(&mut n);
+        assert_eq!(folded, 2);
+        assert!(n.validate().is_ok());
+        // The surviving XOR now reads CONST0 directly; the constant
+        // output port was rewired to CONST1.
+        assert_eq!(n.gates().len(), 1);
+        assert_eq!(n.gates()[0].inputs[1], NetId::CONST0);
+        assert_eq!(n.port("k").unwrap().bits[0], NetId::CONST1);
+    }
+
+    #[test]
+    fn folds_nothing_without_constants() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let x = n.add_gate(GateKind::Nand, [a, b]);
+        n.add_output_port("y", vec![x]);
+        assert_eq!(run(&mut n), 0);
+        assert_eq!(n.gates().len(), 1);
+    }
+}

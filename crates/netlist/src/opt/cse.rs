@@ -1,0 +1,96 @@
+//! Structural hashing (hash-consing / CSE): gates with the same kind
+//! and operands share one output.
+//!
+//! A topological walk interns every gate under `(kind, operands)` with
+//! commutative operands sorted; a gate whose key is already interned is
+//! deleted and its uses rewired to the first occurrence's output. The
+//! walk resolves operands through the replacements made earlier in the
+//! same pass, so chains of duplicates (duplicated subtrees, not just
+//! single gates) collapse in one run.
+
+use std::collections::HashMap;
+
+use crate::ir::{GateKind, NetId, Netlist};
+
+use super::{commutative, retain_live, topo_gate_order, Replacer};
+
+/// Runs one hash-consing sweep. Returns the number of gates merged away.
+pub(super) fn run(netlist: &mut Netlist) -> usize {
+    let order = topo_gate_order(netlist);
+    let mut repl = Replacer::identity(netlist.net_count());
+    let mut dead = vec![false; netlist.gates.len()];
+    let mut table: HashMap<(GateKind, [NetId; 3]), NetId> =
+        HashMap::with_capacity(netlist.gates.len());
+    let mut merged = 0usize;
+
+    for &gi in &order {
+        let g = netlist.gates[gi as usize];
+        let mut key = [NetId::CONST0; 3];
+        for (slot, &inp) in key.iter_mut().zip(g.inputs.iter()) {
+            *slot = repl.resolve(inp);
+        }
+        if commutative(g.kind) && key[1] < key[0] {
+            key.swap(0, 1);
+        }
+        match table.entry((g.kind, key)) {
+            std::collections::hash_map::Entry::Occupied(rep) => {
+                repl.set(g.output, *rep.get());
+                dead[gi as usize] = true;
+                merged += 1;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(g.output);
+            }
+        }
+    }
+
+    if merged == 0 {
+        return 0;
+    }
+    repl.apply(netlist);
+    retain_live(netlist, &dead);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicate_subtrees_in_one_run() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        // Two copies of NOT(AND(a, b)), built independently.
+        let and1 = n.add_gate(GateKind::And, [a, b]);
+        let not1 = n.add_gate(GateKind::Not, [and1]);
+        let and2 = n.add_gate(GateKind::And, [b, a]); // commuted operands
+        let not2 = n.add_gate(GateKind::Not, [and2]);
+        n.add_output_port("y", vec![not1]);
+        n.add_output_port("z", vec![not2]);
+
+        let merged = run(&mut n);
+        assert_eq!(merged, 2, "duplicate AND and duplicate NOT both merge");
+        assert!(n.validate().is_ok());
+        assert_eq!(n.gates().len(), 2);
+        assert_eq!(n.port("y").unwrap().bits[0], n.port("z").unwrap().bits[0]);
+    }
+
+    #[test]
+    fn mux_operand_order_is_significant() {
+        let mut n = Netlist::new("t");
+        let s = n.add_input_port("s", 1)[0];
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let m1 = n.add_gate(GateKind::Mux, [s, a, b]);
+        let m2 = n.add_gate(GateKind::Mux, [s, b, a]);
+        n.add_output_port("y", vec![m1]);
+        n.add_output_port("z", vec![m2]);
+        assert_eq!(
+            run(&mut n),
+            0,
+            "sel?a:b and sel?b:a are different functions"
+        );
+        assert_eq!(n.gates().len(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Dead-gate elimination over the CSR [`FanoutIndex`].
+//!
+//! Worklist formulation of [`Netlist::sweep`]: every gate starts with a
+//! read count — its fan-out pins (from the CSR index) plus its uses as
+//! an output-port bit or flip-flop data pin. Gates whose count is zero
+//! are dead; deleting one decrements the counts of its input drivers,
+//! cascading the sweep backward through the cone in O(pins) total
+//! without re-walking the netlist per round. Net ids are preserved,
+//! exactly like [`Netlist::sweep`].
+
+use crate::ir::{FanoutIndex, Netlist, NO_DRIVER};
+
+use super::retain_live;
+
+/// Runs one dead-gate sweep. Returns the number of gates removed.
+pub(super) fn run(netlist: &mut Netlist) -> usize {
+    let fanout = FanoutIndex::of(netlist);
+    let driver = netlist.driver_index();
+
+    // Reads of a net from the observation points the cone walk in
+    // `observable_cone` roots at: output ports and dff data pins.
+    let mut external = vec![0u32; netlist.net_count()];
+    for p in &netlist.outputs {
+        for &b in &p.bits {
+            external[b.index()] += 1;
+        }
+    }
+    for f in &netlist.dffs {
+        external[f.d.index()] += 1;
+    }
+
+    let mut reads: Vec<u32> = netlist
+        .gates
+        .iter()
+        .map(|g| fanout.fanout(g.output).len() as u32 + external[g.output.index()])
+        .collect();
+
+    let mut dead = vec![false; netlist.gates.len()];
+    let mut worklist: Vec<u32> = (0..netlist.gates.len() as u32)
+        .filter(|&gi| reads[gi as usize] == 0)
+        .collect();
+    let mut removed = 0usize;
+
+    while let Some(gi) = worklist.pop() {
+        if dead[gi as usize] {
+            continue;
+        }
+        dead[gi as usize] = true;
+        removed += 1;
+        for &inp in &netlist.gates[gi as usize].inputs {
+            let di = driver[inp.index()];
+            if di == NO_DRIVER || dead[di as usize] {
+                continue;
+            }
+            reads[di as usize] -= 1;
+            if reads[di as usize] == 0 {
+                worklist.push(di);
+            }
+        }
+    }
+
+    if removed == 0 {
+        return 0;
+    }
+    retain_live(netlist, &dead);
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::GateKind;
+
+    #[test]
+    fn removes_dead_cones_but_keeps_dff_feeders() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let live = n.add_gate(GateKind::And, [a, b]);
+        // Dead two-gate cone: the NOT feeds only the OR, which feeds
+        // nothing.
+        let d1 = n.add_gate(GateKind::Not, [a]);
+        let _d2 = n.add_gate(GateKind::Or, [d1, b]);
+        // A gate feeding only a flip-flop is live.
+        let fed = n.add_gate(GateKind::Xor, [a, b]);
+        let q = n.add_dff();
+        n.set_dff_data(q, fed).unwrap();
+        n.add_output_port("y", vec![live]);
+
+        let removed = run(&mut n);
+        assert_eq!(removed, 2);
+        assert!(n.validate().is_ok());
+        assert_eq!(n.gates().len(), 2);
+        assert!(n.gates().iter().any(|g| g.output == live));
+        assert!(n.gates().iter().any(|g| g.output == fed));
+    }
+
+    #[test]
+    fn agrees_with_the_cone_based_sweep() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 2);
+        let x = n.add_gate(GateKind::Xor, [a[0], a[1]]);
+        let _dead = n.add_gate(GateKind::Nor, [x, a[0]]);
+        n.add_output_port("y", vec![x]);
+        let mut clone = n.clone();
+        let by_worklist = run(&mut n);
+        let by_cone = clone.sweep();
+        assert_eq!(by_worklist, by_cone);
+        assert_eq!(n.gates(), clone.gates());
+    }
+}

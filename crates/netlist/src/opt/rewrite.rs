@@ -1,0 +1,441 @@
+//! Local rewrite rules: buffer forwarding, double-inverter collapse,
+//! identity/annihilator absorption, and (in the full set) inverter
+//! fusion and XOR-chain cancellation.
+//!
+//! Every rule is a peephole over one gate and, for the fusion rules, the
+//! driver of one of its operands. Rules either *forward* the gate's
+//! output to an existing net (the gate dies) or rewrite the gate in
+//! place to a cheaper kind; no rule ever allocates a net or a gate, so
+//! the pass strictly reduces the measure `(gate count, operand pins,
+//! inverter count)` and the fixed-point driver terminates.
+//!
+//! Basic set (`O1`):
+//! - `BUF(a) → a`; `NOT(NOT(a)) → a`; `NOT(0/1) → 1/0`
+//! - identity/annihilator absorption for every 2-input kind
+//!   (`a&0 → 0`, `a&1 → a`, `a|1 → 1`, `a^0 → a`, `a^1 → NOT(a)`, ...)
+//! - equal-operand collapse (`a&a → a`, `a^a → 0`, `NAND(a,a) → NOT(a)`, ...)
+//! - MUX shortcuts: constant select, equal branches, `MUX(s,1,0) → s`,
+//!   `MUX(s,0,1) → NOT(s)`, constant-branch strength reduction
+//!   (`MUX(s,a,0) → AND(s,a)`, `MUX(s,1,b) → OR(s,b)`)
+//!
+//! Full set (`O2`) adds driver-pattern rules:
+//! - complement detection: `a & NOT(a) → 0`, `a | NOT(a) → 1`,
+//!   `a ^ NOT(a) → 1`, and duals
+//! - inverter fusion into a single-use consumer: `NOT(AND(a,b)) →
+//!   NAND(a,b)` (and OR/XOR/NAND/NOR/XNOR duals), `XOR(NOT(a), b) →
+//!   XNOR(a,b)`, `XNOR(NOT(a), b) → XOR(a,b)`
+//! - MUX select inversion swap: `MUX(NOT(s), a, b) → MUX(s, b, a)`
+//! - XOR-chain cancellation: `XOR(a, XOR(a, b)) → b` (all operand
+//!   positions, XNOR variants fold to the inverted branch's complement
+//!   only when it already exists, so no gate is ever added)
+//!
+//! The single-use condition on fusion rules is a profitability check,
+//! not a soundness one: the producer gate is left in place and the DCE
+//! pass deletes it only if the fusion removed its last reader.
+
+use crate::ir::{GateKind, NetId, Netlist, NO_DRIVER};
+
+use super::{retain_live, topo_gate_order, Replacer};
+
+/// Basic rule set: folding-adjacent local rewrites (`O1`).
+pub(super) fn run_basic(netlist: &mut Netlist) -> usize {
+    run(netlist, false)
+}
+
+/// Full rule set: basic plus inverter fusion and chain cancellation
+/// (`O2`).
+pub(super) fn run_full(netlist: &mut Netlist) -> usize {
+    run(netlist, true)
+}
+
+/// What a rule decided for one gate.
+enum Action {
+    /// No rule matched.
+    Keep,
+    /// Forward the output to this net and delete the gate.
+    Forward(NetId),
+    /// Replace kind and operands in place (same output net).
+    Become(GateKind, [NetId; 3], usize),
+}
+
+fn run(netlist: &mut Netlist, full: bool) -> usize {
+    let order = topo_gate_order(netlist);
+    let driver = netlist.driver_index();
+    // Pin-read counts per net, for the single-use profitability check of
+    // the fusion rules. Approximate under in-pass rewiring, which only
+    // shifts *when* a fusion fires, never its soundness.
+    let mut reads = vec![0u32; netlist.net_count()];
+    for g in &netlist.gates {
+        for &inp in &g.inputs {
+            reads[inp.index()] += 1;
+        }
+    }
+    for p in &netlist.outputs {
+        for &b in &p.bits {
+            reads[b.index()] += 1;
+        }
+    }
+    for f in &netlist.dffs {
+        reads[f.d.index()] += 1;
+    }
+
+    let mut repl = Replacer::identity(netlist.net_count());
+    let mut dead = vec![false; netlist.gates.len()];
+    let mut changed = 0usize;
+
+    for &gi in &order {
+        // Resolve operands through this pass's replacements first, so
+        // rules see the post-rewrite structure.
+        let mut ins = [NetId::CONST0; 3];
+        let arity = netlist.gates[gi as usize].inputs.len();
+        for (slot, &inp) in ins.iter_mut().zip(netlist.gates[gi as usize].inputs.iter()) {
+            *slot = repl.resolve(inp);
+        }
+        let kind = netlist.gates[gi as usize].kind;
+
+        let ctx = Ctx {
+            netlist,
+            driver: &driver,
+            dead: &dead,
+            reads: &reads,
+            full,
+        };
+        let action = rewrite_gate(&ctx, kind, &ins[..arity]);
+
+        let g = &mut netlist.gates[gi as usize];
+        match action {
+            Action::Keep => {
+                // Still commit the operand resolution.
+                for (slot, &resolved) in g.inputs.iter_mut().zip(ins.iter()) {
+                    *slot = resolved;
+                }
+            }
+            Action::Forward(target) => {
+                repl.set(g.output, target);
+                dead[gi as usize] = true;
+                changed += 1;
+            }
+            Action::Become(new_kind, new_ins, new_arity) => {
+                g.kind = new_kind;
+                g.inputs = crate::ir::GateInputs::new(&new_ins[..new_arity]);
+                changed += 1;
+            }
+        }
+    }
+
+    if changed == 0 {
+        return 0;
+    }
+    repl.apply(netlist);
+    retain_live(netlist, &dead);
+    changed
+}
+
+/// Read-only context a rule can consult.
+struct Ctx<'a> {
+    netlist: &'a Netlist,
+    driver: &'a [u32],
+    dead: &'a [bool],
+    reads: &'a [u32],
+    full: bool,
+}
+
+impl Ctx<'_> {
+    /// The live gate driving `net`, if any.
+    fn driver_of(&self, net: NetId) -> Option<&crate::ir::Gate> {
+        let di = self.driver[net.index()];
+        if di == NO_DRIVER || self.dead[di as usize] {
+            return None;
+        }
+        Some(&self.netlist.gates[di as usize])
+    }
+
+    /// `Some(x)` when `net` is (or is driven by) the complement of `x`.
+    fn complement_of(&self, net: NetId) -> Option<NetId> {
+        match net {
+            NetId::CONST0 => Some(NetId::CONST1),
+            NetId::CONST1 => Some(NetId::CONST0),
+            _ => {
+                let g = self.driver_of(net)?;
+                (g.kind == GateKind::Not).then(|| g.inputs[0])
+            }
+        }
+    }
+
+    /// Whether `net` has exactly one reader (the gate being rewritten).
+    fn single_use(&self, net: NetId) -> bool {
+        self.reads[net.index()] <= 1
+    }
+}
+
+fn rewrite_gate(ctx: &Ctx<'_>, kind: GateKind, ins: &[NetId]) -> Action {
+    use GateKind::*;
+    let c0 = NetId::CONST0;
+    let c1 = NetId::CONST1;
+    match kind {
+        Buf => Action::Forward(ins[0]),
+        Not => {
+            let a = ins[0];
+            if a == c0 {
+                return Action::Forward(c1);
+            }
+            if a == c1 {
+                return Action::Forward(c0);
+            }
+            if let Some(g) = ctx.driver_of(a) {
+                match g.kind {
+                    // Double-inverter collapse.
+                    Not => return Action::Forward(g.inputs[0]),
+                    // Inverter fusion: NOT(AND) → NAND etc., when the
+                    // producer feeds only this inverter.
+                    And | Or | Xor | Nand | Nor | Xnor if ctx.full && ctx.single_use(a) => {
+                        let fused = match g.kind {
+                            And => Nand,
+                            Or => Nor,
+                            Xor => Xnor,
+                            Nand => And,
+                            Nor => Or,
+                            Xnor => Xor,
+                            _ => unreachable!(),
+                        };
+                        return Action::Become(fused, [g.inputs[0], g.inputs[1], c0], 2);
+                    }
+                    _ => {}
+                }
+            }
+            Action::Keep
+        }
+        And | Or | Nand | Nor | Xor | Xnor => rewrite_binary(ctx, kind, ins[0], ins[1]),
+        Mux => rewrite_mux(ctx, ins[0], ins[1], ins[2]),
+    }
+}
+
+fn rewrite_binary(ctx: &Ctx<'_>, kind: GateKind, a: NetId, b: NetId) -> Action {
+    use GateKind::*;
+    let c0 = NetId::CONST0;
+    let c1 = NetId::CONST1;
+    let not_of = |x: NetId| Action::Become(Not, [x, c0, c0], 1);
+
+    // Equal-operand collapse.
+    if a == b {
+        return match kind {
+            And | Or => Action::Forward(a),
+            Xor => Action::Forward(c0),
+            Xnor => Action::Forward(c1),
+            Nand | Nor => not_of(a),
+            _ => unreachable!(),
+        };
+    }
+    // Identity / annihilator absorption. Normalize "constant on one
+    // side" to (x, konst).
+    let (x, konst) = if a == c0 || a == c1 {
+        (b, a)
+    } else if b == c0 || b == c1 {
+        (a, b)
+    } else {
+        // Complement detection (full set): a op NOT(a).
+        if ctx.full {
+            let complementary = ctx.complement_of(a) == Some(b) || ctx.complement_of(b) == Some(a);
+            if complementary {
+                return match kind {
+                    And | Nor => Action::Forward(c0),
+                    Or | Nand | Xor => Action::Forward(c1),
+                    Xnor => Action::Forward(c0),
+                    _ => unreachable!(),
+                };
+            }
+            // Inverter absorption into XOR/XNOR: the parity chain
+            // absorbs a NOT by flipping kind.
+            if matches!(kind, Xor | Xnor) {
+                for (inv, other) in [(a, b), (b, a)] {
+                    if let Some(orig) = ctx.complement_of(inv) {
+                        if !inv.is_const() && ctx.single_use(inv) {
+                            let flipped = if kind == Xor { Xnor } else { Xor };
+                            return Action::Become(flipped, [orig, other, c0], 2);
+                        }
+                    }
+                }
+                // XOR-chain cancellation: XOR(a, XOR(a, b)) → b.
+                if kind == Xor {
+                    for (chain, other) in [(a, b), (b, a)] {
+                        if let Some(g) = ctx.driver_of(chain) {
+                            if g.kind == Xor {
+                                if g.inputs[0] == other {
+                                    return Action::Forward(g.inputs[1]);
+                                }
+                                if g.inputs[1] == other {
+                                    return Action::Forward(g.inputs[0]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return Action::Keep;
+    };
+    let konst_is_one = konst == c1;
+    match (kind, konst_is_one) {
+        (And, false) => Action::Forward(c0),
+        (And, true) => Action::Forward(x),
+        (Or, false) => Action::Forward(x),
+        (Or, true) => Action::Forward(c1),
+        (Nand, false) => Action::Forward(c1),
+        (Nand, true) => not_of(x),
+        (Nor, false) => not_of(x),
+        (Nor, true) => Action::Forward(c0),
+        (Xor, false) => Action::Forward(x),
+        (Xor, true) => not_of(x),
+        (Xnor, false) => not_of(x),
+        (Xnor, true) => Action::Forward(x),
+        _ => unreachable!(),
+    }
+}
+
+fn rewrite_mux(ctx: &Ctx<'_>, s: NetId, a: NetId, b: NetId) -> Action {
+    use GateKind::*;
+    let c0 = NetId::CONST0;
+    let c1 = NetId::CONST1;
+    if s == c1 {
+        return Action::Forward(a);
+    }
+    if s == c0 {
+        return Action::Forward(b);
+    }
+    if a == b {
+        return Action::Forward(a);
+    }
+    if a == c1 && b == c0 {
+        return Action::Forward(s);
+    }
+    if a == c0 && b == c1 {
+        return Action::Become(Not, [s, c0, c0], 1);
+    }
+    // Constant-branch strength reduction to a 2-input cell.
+    if b == c0 {
+        return Action::Become(And, [s, a, c0], 2);
+    }
+    if a == c1 {
+        return Action::Become(Or, [s, b, c0], 2);
+    }
+    // sel ? a : a-or-s shortcuts: MUX(s, a, s) = s AND a; MUX(s, s, b) =
+    // s OR b — `s` selects itself.
+    if b == s {
+        return Action::Become(And, [s, a, c0], 2);
+    }
+    if a == s {
+        return Action::Become(Or, [s, b, c0], 2);
+    }
+    // Select-inversion branch swap (full set): MUX(NOT(t), a, b) →
+    // MUX(t, b, a). Sound regardless of the inverter's other readers;
+    // DCE reaps it once unused.
+    if ctx.full {
+        if let Some(t) = ctx.complement_of(s) {
+            if !s.is_const() {
+                return Action::Become(Mux, [t, b, a], 3);
+            }
+        }
+    }
+    Action::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Netlist;
+
+    fn single_out(n: &Netlist) -> NetId {
+        n.port("y").unwrap().bits[0]
+    }
+
+    #[test]
+    fn buffers_forward_and_double_inverters_collapse() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let n1 = n.add_gate(GateKind::Not, [a]);
+        let n2 = n.add_gate(GateKind::Not, [n1]);
+        let b = n.add_gate(GateKind::Buf, [n2]);
+        n.add_output_port("y", vec![b]);
+        run_basic(&mut n);
+        assert!(n.validate().is_ok());
+        assert_eq!(single_out(&n), a);
+    }
+
+    #[test]
+    fn identity_and_annihilator_rules_fire() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let and1 = n.add_gate(GateKind::And, [a, NetId::CONST1]); // → a
+        let or0 = n.add_gate(GateKind::Or, [and1, NetId::CONST0]); // → a
+        let xor1 = n.add_gate(GateKind::Xor, [or0, NetId::CONST1]); // → NOT(a)
+        n.add_output_port("y", vec![xor1]);
+        let changed = run_basic(&mut n);
+        assert!(changed >= 3);
+        assert!(n.validate().is_ok());
+        // Everything reduced to a single NOT(a).
+        let live: Vec<_> = n
+            .gates()
+            .iter()
+            .filter(|g| g.output == single_out(&n))
+            .collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].kind, GateKind::Not);
+        assert_eq!(live[0].inputs[0], a);
+    }
+
+    #[test]
+    fn mux_shortcuts_reduce_to_two_input_cells() {
+        let mut n = Netlist::new("t");
+        let s = n.add_input_port("s", 1)[0];
+        let a = n.add_input_port("a", 1)[0];
+        let m = n.add_gate(GateKind::Mux, [s, a, NetId::CONST0]);
+        n.add_output_port("y", vec![m]);
+        run_basic(&mut n);
+        assert_eq!(n.gates()[0].kind, GateKind::And);
+        assert_eq!(&n.gates()[0].inputs[..], &[s, a]);
+    }
+
+    #[test]
+    fn full_set_fuses_single_use_inverters() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let and = n.add_gate(GateKind::And, [a, b]);
+        let not = n.add_gate(GateKind::Not, [and]);
+        n.add_output_port("y", vec![not]);
+        let changed = run_full(&mut n);
+        assert!(changed >= 1);
+        // The inverter became a NAND; the AND is now dead (DCE's job).
+        let g = n
+            .gates()
+            .iter()
+            .find(|g| g.output == single_out(&n))
+            .unwrap();
+        assert_eq!(g.kind, GateKind::Nand);
+        assert_eq!(&g.inputs[..], &[a, b]);
+    }
+
+    #[test]
+    fn full_set_cancels_xor_chains() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let x1 = n.add_gate(GateKind::Xor, [a, b]);
+        let x2 = n.add_gate(GateKind::Xor, [a, x1]); // a ^ (a ^ b) = b
+        n.add_output_port("y", vec![x2]);
+        run_full(&mut n);
+        assert_eq!(single_out(&n), b);
+    }
+
+    #[test]
+    fn basic_set_leaves_fusion_patterns_alone() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input_port("a", 1)[0];
+        let b = n.add_input_port("b", 1)[0];
+        let and = n.add_gate(GateKind::And, [a, b]);
+        let not = n.add_gate(GateKind::Not, [and]);
+        n.add_output_port("y", vec![not]);
+        run_basic(&mut n);
+        assert_eq!(n.gates().len(), 2, "fusion is an O2 rule");
+    }
+}

@@ -276,6 +276,37 @@ fn render_phases(out: &mut String, metrics: &Metrics) {
             per_sec
         ));
     }
+    // Optimizer effectiveness: the `phase.opt` row above says where the
+    // time went; this line says what it bought, per pass.
+    let removed = metrics
+        .counters
+        .get("opt.gates_removed")
+        .copied()
+        .unwrap_or(0);
+    let rounds = metrics.counters.get("opt.iterations").copied().unwrap_or(0);
+    if rounds > 0 {
+        let mut per_pass: Vec<(&str, u64)> = metrics
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let pass = k.strip_prefix("opt.pass.")?.strip_suffix(".removed")?;
+                (v > 0).then_some((pass, v))
+            })
+            .collect();
+        per_pass.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let detail: Vec<String> = per_pass
+            .iter()
+            .map(|(pass, v)| format!("{pass} {v}"))
+            .collect();
+        out.push_str(&format!(
+            "  optimizer: {removed} gates removed in {rounds} fixed-point rounds ({})\n",
+            if detail.is_empty() {
+                "no pass removed anything".to_owned()
+            } else {
+                detail.join(", ")
+            }
+        ));
+    }
 }
 
 /// Latency distributions: percentiles for every histogram in the rollup.
@@ -560,6 +591,47 @@ mod tests {
         let mut out = String::new();
         render_phases(&mut out, &bare);
         assert!(!out.contains("settle throughput"), "{out}");
+    }
+
+    #[test]
+    fn phase_breakdown_reports_optimizer_work_from_opt_counters() {
+        let mut m = Metrics::default();
+        m.spans.insert(
+            "phase.opt".to_owned(),
+            mlrl_obs::SpanStat {
+                count: 4,
+                total_us: 80_000,
+            },
+        );
+        m.counters.insert("opt.gates_removed".to_owned(), 230);
+        m.counters.insert("opt.iterations".to_owned(), 9);
+        m.counters.insert("opt.pass.dce.removed".to_owned(), 150);
+        m.counters
+            .insert("opt.pass.cut_sweep.removed".to_owned(), 60);
+        m.counters.insert("opt.pass.rewrite.removed".to_owned(), 20);
+        m.counters.insert("opt.pass.cse.removed".to_owned(), 0);
+        let mut out = String::new();
+        render_phases(&mut out, &m);
+        assert!(out.contains("phase.opt"), "{out}");
+        assert!(
+            out.contains(
+                "optimizer: 230 gates removed in 9 fixed-point rounds \
+                 (dce 150, cut_sweep 60, rewrite 20)"
+            ),
+            "{out}"
+        );
+        // O0 campaigns never run a round, so the line is omitted.
+        let mut bare = Metrics::default();
+        bare.spans.insert(
+            "phase.lower".to_owned(),
+            mlrl_obs::SpanStat {
+                count: 1,
+                total_us: 10,
+            },
+        );
+        let mut out = String::new();
+        render_phases(&mut out, &bare);
+        assert!(!out.contains("optimizer:"), "{out}");
     }
 
     #[test]

@@ -80,6 +80,12 @@ pub struct OrchestratorConfig {
     /// metrics payloads into `<run_dir>/metrics.json`. Requires the
     /// supervisor's own `mlrl_obs` sink to be enabled for trace lanes.
     pub telemetry: bool,
+    /// Optimizer-level token (`"o2"`) forwarded to every worker as
+    /// `--opt-level`, overriding the spec file's `opt_level` exactly as
+    /// the same flag does on `mlrl campaign` — so a sharded run stays
+    /// byte-identical to the unsharded one. `None` leaves the spec file
+    /// in charge.
+    pub opt_level: Option<String>,
 }
 
 impl OrchestratorConfig {
@@ -100,6 +106,7 @@ impl OrchestratorConfig {
             max_restarts: 3,
             progress: true,
             telemetry: false,
+            opt_level: None,
         }
     }
 }
@@ -515,6 +522,9 @@ fn spawn_worker(
     }
     if cfg.telemetry {
         command.arg("--telemetry");
+    }
+    if let Some(level) = &cfg.opt_level {
+        command.arg("--opt-level").arg(level);
     }
     // Worker stderr is piped, not inherited: the reader thread feeds it
     // through the supervisor's renderer line-by-line so passthrough

@@ -12,16 +12,19 @@
 //! mlrl gatelock <design.v> --scheme xor|mux --bits N [--seed N]
 //!             [-o locked.v] [--key-out key.txt]
 //! mlrl sat-attack <locked.v> --key key.txt [--max-dips N]
-//! mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl]
+//! mlrl campaign <spec.txt> [--threads N] [--opt-level o0|o1|o2]
+//!             [--jsonl out.jsonl]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--canonical]
 //!             [--shard I/N] [--trace-out FILE] [--metrics-out FILE]
 //! mlrl merge  <shard.jsonl>... [-o merged.jsonl]
 //! mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N]
-//!             [--wedge-timeout SECS] [--max-restarts N] [--canonical]
+//!             [--opt-level o0|o1|o2] [--wedge-timeout SECS]
+//!             [--max-restarts N] [--canonical]
 //!             [--jsonl out.jsonl] [--quick]
 //!             [--trace-out FILE] [--metrics-out FILE]
-//! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR]
+//! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--opt-level o0|o1|o2]
+//!             [--cache-dir DIR]
 //!             [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]
 //! mlrl report <run-dir> [--trace FILE] [--top N] [--folded-out FILE]
 //! mlrl bench-diff <old.json> <new.json> [--threshold PCT]
@@ -73,7 +76,7 @@ use mlrl::engine::cache::parse_byte_size;
 use mlrl::engine::job::ShardSpec;
 use mlrl::engine::report::merge_canonical_streams;
 use mlrl::engine::run::{Engine, JobEvent};
-use mlrl::engine::spec::CampaignSpec;
+use mlrl::engine::spec::{CampaignSpec, OptLevel};
 use mlrl::locking::assure::{lock_operations, AssureConfig};
 use mlrl::locking::era::{era_lock, EraConfig};
 use mlrl::locking::hra::{hra_lock, HraConfig};
@@ -509,13 +512,16 @@ fn write_telemetry_artifacts(args: &Args, metrics_json: Option<&str>) -> Result<
 
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl campaign <spec.txt> [--threads N] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N] [--trace-out FILE] [--metrics-out FILE]",
+        "usage: mlrl campaign <spec.txt> [--threads N] [--opt-level o0|o1|o2] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N] [--trace-out FILE] [--metrics-out FILE]",
     )?;
     arm_telemetry(args);
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some(threads) = args.flag("threads") {
         spec.threads = threads.parse().map_err(|e| format!("bad --threads: {e}"))?;
+    }
+    if let Some(level) = args.flag("opt-level") {
+        spec.opt_level = OptLevel::parse(level).map_err(|e| format!("bad --opt-level: {e}"))?;
     }
     let shard = args.flag("shard").map(ShardSpec::parse).transpose()?;
     let engine = engine_from_cache_flags(args)?;
@@ -594,7 +600,7 @@ fn emit_protocol_line(line: &str) {
 /// through).
 fn cmd_worker(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]",
+        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--opt-level o0|o1|o2] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]",
     )?;
     let telemetry = args.has("telemetry");
     if telemetry {
@@ -603,6 +609,9 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     spec.threads = args.num("threads", 1usize);
+    if let Some(level) = args.flag("opt-level") {
+        spec.opt_level = OptLevel::parse(level).map_err(|e| format!("bad --opt-level: {e}"))?;
+    }
     let cells: Vec<usize> = args
         .flag("cells")
         .ok_or("missing --cells <i,j,...>")?
@@ -702,8 +711,8 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
 fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
         "usage: mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR] \
-         [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N] [--wedge-timeout SECS] \
-         [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick] \
+         [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N] [--opt-level o0|o1|o2] \
+         [--wedge-timeout SECS] [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick] \
          [--trace-out FILE] [--metrics-out FILE]",
     )?;
     let telemetry = arm_telemetry(args);
@@ -727,6 +736,11 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
         .transpose()
         .map_err(|e| format!("bad --cache-cap: {e}"))?;
     cfg.worker_threads = args.num("worker-threads", 1usize).max(1);
+    if let Some(level) = args.flag("opt-level") {
+        // Validate here; workers receive the token verbatim.
+        OptLevel::parse(level).map_err(|e| format!("bad --opt-level: {e}"))?;
+        cfg.opt_level = Some(level.to_owned());
+    }
     cfg.wedge_timeout = Duration::from_secs(args.num("wedge-timeout", 30u64).max(1));
     cfg.max_restarts = args.num("max-restarts", 3usize);
     cfg.telemetry = telemetry;

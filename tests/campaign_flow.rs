@@ -13,7 +13,7 @@
 use mlrl::engine::job::ShardSpec;
 use mlrl::engine::report::merge_canonical_streams;
 use mlrl::engine::run::Engine;
-use mlrl::engine::spec::{AttackKind, CampaignSpec, Level, SchemeKind};
+use mlrl::engine::spec::{AttackKind, CampaignSpec, Level, OptLevel, SchemeKind};
 
 /// Two grids pinning every simulator-derived number the canonical report
 /// can carry. The first drives the RTL simulator hard (corruptibility
@@ -254,6 +254,47 @@ fn merged_shard_reports_are_byte_identical_to_the_unsharded_run() {
     assert_eq!(
         merged, full,
         "merged shard reports must be byte-identical to the unsharded canonical report"
+    );
+}
+
+/// The optimizer axis: an O2 gate campaign must shard and merge
+/// byte-exactly (the opt level is folded into the content-addressed
+/// lowering keys, so shards can never mix optimized and unoptimized
+/// artifacts), the canonical stream must carry the `opt_level` column
+/// on every record, and the default-O0 stream must never carry it —
+/// that omission is what keeps pre-optimizer golden bytes stable.
+#[test]
+fn o2_campaigns_shard_and_merge_byte_identically() {
+    let mut spec = mixed_level_spec(2);
+    spec.name = "o2-flow".into();
+    spec.opt_level = OptLevel::O2;
+
+    let full_report = Engine::new().run(&spec);
+    assert_eq!(full_report.failed_count(), 0, "{:?}", full_report.records);
+    let full = full_report.canonical_jsonl();
+    assert!(full.contains("\"opt_level\":\"o2\""));
+    // The optimized netlists still carry real gate-level science: SAT
+    // proofs converge and locking still adds area on the smaller base.
+    for r in full_report.records.iter().filter(|r| r.attack == "sat") {
+        assert!(r.sat_dips.expect("dips") > 0);
+        assert!(r.area_overhead.expect("area") >= 1.0);
+    }
+
+    let shards = run_shards(&spec, 3);
+    let merged = merge_canonical_streams(&shards).expect("shards merge");
+    assert_eq!(
+        merged, full,
+        "O2 shards must merge to the unsharded canonical bytes"
+    );
+
+    // Same grid at the default level: no opt_level column anywhere.
+    let mut o0 = spec.clone();
+    o0.name = "o0-flow".into();
+    o0.opt_level = OptLevel::O0;
+    let o0_bytes = Engine::new().run(&o0).canonical_jsonl();
+    assert!(
+        !o0_bytes.contains("opt_level"),
+        "O0 must omit the column to keep historical canonical bytes"
     );
 }
 
