@@ -142,8 +142,10 @@ pub fn build_engine(args: &BenchArgs) -> Result<Engine, String> {
 /// - `--bench-json FILE` also enables telemetry and writes a
 ///   `BENCH.json` baseline after the campaigns finish: per-campaign
 ///   wall time plus the full metrics rollup (histogram percentiles of
-///   the instrumented hot paths included) — the input of `mlrl
-///   bench-diff`.
+///   the instrumented hot paths included, and the `/proc` sampler's
+///   `proc.rss_bytes.peak` gauge) — the input of `mlrl bench-diff`;
+/// - `--trace-sample N` keeps 1-in-N hot-class trace spans (phase and
+///   cell spans always kept; aggregate stats stay exact).
 ///
 /// Returns `Ok(None)` when canonical/shard output was printed (the
 /// binary is done), or `Ok(Some(reports))` — one per spec, failures
@@ -164,6 +166,14 @@ pub fn run_campaigns(
         || args.flag("bench-json").is_some()
     {
         mlrl_obs::enable();
+        // `--trace-sample N` bounds trace volume on long sweeps (phase
+        // and cell spans always kept; stats stay exact); the /proc
+        // sampler puts `proc.rss_bytes.peak` into the baseline so
+        // `mlrl bench-diff` can flag memory regressions advisorily.
+        if let Some(n) = args.flag("trace-sample").and_then(|v| v.parse().ok()) {
+            mlrl_obs::set_span_sample(n);
+        }
+        mlrl_obs::proc::start_sampler(std::time::Duration::from_millis(200));
     }
     let threads: Option<usize> = args.flag("threads").and_then(|v| v.parse().ok());
     let opt_level = args

@@ -212,6 +212,9 @@ impl Engine {
         };
 
         let cache_before = self.cache.stats();
+        // Last cache-stat snapshot mirrored into telemetry counters;
+        // advanced per completion so streamed metrics carry live rates.
+        let cache_bridged = std::sync::Mutex::new(cache_before);
         let started = Instant::now();
         let outcomes = run_jobs_weighted(threads, jobs, Job::cost, |_, job| {
             let cell_span = mlrl_obs::span_with("cell", || format!("cell {}", job.index));
@@ -229,13 +232,25 @@ impl Engine {
             } else {
                 mlrl_obs::counter_add("cells.failed", 1);
             }
+            // Same reasoning for cache counters: bridge the delta since
+            // the previous completion so the observer's snapshot shows
+            // live hit rates, not only end-of-run totals.
+            if mlrl_obs::enabled() {
+                let now = self.cache.stats();
+                let mut last = cache_bridged.lock().expect("cache bridge poisoned");
+                bridge_cache_stats(&now.since(*last));
+                *last = now;
+            }
             if let Some(observer) = &self.observer {
                 observer(JobEvent::Finished { record: &record });
             }
             record
         });
         let wall_ms = started.elapsed().as_millis();
-        bridge_cache_stats(&self.cache.stats().since(cache_before));
+        // Only the tail since the last per-cell bridge — bridging from
+        // `cache_before` again would double-count every cell's traffic.
+        let bridged = *cache_bridged.lock().expect("cache bridge poisoned");
+        bridge_cache_stats(&self.cache.stats().since(bridged));
 
         let mut records: Vec<JobRecord> = outcomes
             .into_iter()

@@ -149,6 +149,17 @@ fn render(value: &json::Value) -> String {
     }
 }
 
+/// Human-scale byte formatting for the memory advisory line.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1 << 10 {
+        format!("{:.1}kB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
 /// One benchmark whose median moved past the noise threshold.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffEntry {
@@ -177,6 +188,10 @@ pub struct BaselineDiff {
     pub removed: Vec<String>,
     /// The noise threshold the classification used, percent.
     pub threshold_pct: f64,
+    /// Peak RSS comparison `(old_bytes, new_bytes)` when both baselines
+    /// carry the `/proc` sampler's `proc.rss_bytes.peak` gauge.
+    /// Advisory only — memory never trips [`Self::has_regressions`].
+    pub memory: Option<(u64, u64)>,
 }
 
 impl BaselineDiff {
@@ -210,6 +225,18 @@ impl BaselineDiff {
         }
         for name in &self.removed {
             out.push_str(&format!("  removed    {name}\n"));
+        }
+        if let Some((o, n)) = self.memory {
+            let pct = if o == 0 {
+                0.0
+            } else {
+                (n as f64 - o as f64) / o as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "  memory     peak rss {} -> {} ({pct:+.1}%, advisory — never gates)\n",
+                fmt_bytes(o),
+                fmt_bytes(n),
+            ));
         }
         out.push_str(&format!(
             "  {} regressed, {} improved, {} unchanged\n",
@@ -263,6 +290,17 @@ pub fn diff(old: &BenchBaseline, new: &BenchBaseline, threshold_pct: f64) -> Bas
         if !old.benches.contains_key(name) {
             out.added.push(name.clone());
         }
+    }
+    // Peak-RSS comparison when both runs sampled /proc: advisory
+    // context for the report, never part of the gate.
+    let peak = |b: &BenchBaseline| {
+        b.metrics
+            .gauges
+            .get("proc.rss_bytes.peak")
+            .map(|v| *v as u64)
+    };
+    if let (Some(o), Some(n)) = (peak(old), peak(new)) {
+        out.memory = Some((o, n));
     }
     // Worst regression first; best improvement first. Ties break by
     // name so the report is deterministic.
@@ -365,6 +403,39 @@ mod tests {
         let d = diff(&old, &new, 10.0);
         assert_eq!(d.regressions.len(), 1);
         assert!((d.regressions[0].pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_comparison_is_advisory_and_needs_both_sides() {
+        let mut old = BenchBaseline::default();
+        old.benches.insert("a".into(), timing(100));
+        let mut new = old.clone();
+        // Only one side sampled /proc → no memory line at all.
+        new.metrics
+            .gauges
+            .insert("proc.rss_bytes.peak".into(), 64.0 * 1024.0 * 1024.0);
+        let half = diff(&old, &new, 10.0);
+        assert_eq!(half.memory, None);
+        assert!(!half.render().contains("memory"));
+
+        // Both sides sampled → advisory line, but a 3x blow-up still
+        // does not count as a regression.
+        old.metrics
+            .gauges
+            .insert("proc.rss_bytes.peak".into(), 20.0 * 1024.0 * 1024.0);
+        let both = diff(&old, &new, 10.0);
+        assert_eq!(
+            both.memory,
+            Some((20 * 1024 * 1024, 64 * 1024 * 1024)),
+            "peak gauges compared bytewise"
+        );
+        assert!(!both.has_regressions(), "memory never gates");
+        let text = both.render();
+        assert!(
+            text.contains("memory     peak rss 20.0MB -> 64.0MB (+220.0%, advisory"),
+            "got: {text}"
+        );
+        assert!(text.contains("0 regressed"));
     }
 
     #[test]

@@ -31,33 +31,55 @@
 
 pub mod baseline;
 pub mod hist;
+pub mod proc;
 
 pub use hist::Histogram;
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-/// Hard cap on buffered trace events; beyond it events are counted in
-/// `obs.events.dropped` instead of stored, bounding memory on long runs.
+/// Default cap on the in-memory trace ring; see [`set_trace_cap`].
 const MAX_EVENTS: usize = 1 << 20;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Bumped by [`reset`] so threads drop stale cached lane ids.
 static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Ring capacity for buffered trace events; see [`set_trace_cap`].
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(MAX_EVENTS);
+/// Keep 1-in-N hot-class trace events; see [`set_span_sample`].
+static SPAN_SAMPLE: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     /// Cached `(generation, lane)` for the current thread.
     static THREAD_LANE: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
 }
 
+fn epoch_pair() -> (Instant, u64) {
+    static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+    *EPOCH.get_or_init(|| {
+        let wall = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros() as u64;
+        (Instant::now(), wall)
+    })
+}
+
 fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+    epoch_pair().0
+}
+
+/// Wall-clock UNIX time (microseconds) at which this process's
+/// telemetry epoch was fixed. Workers report it in their `hello`
+/// handshake so the supervisor can shift per-process trace timestamps
+/// onto one shared timeline.
+pub fn epoch_unix_micros() -> u64 {
+    epoch_pair().1
 }
 
 /// Microseconds between the process telemetry epoch and `t` (zero when
@@ -90,8 +112,10 @@ pub struct SpanStat {
 
 #[derive(Default)]
 struct State {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     dropped: u64,
+    /// Per-stat sequence numbers driving 1-in-N span sampling.
+    sample_seq: BTreeMap<String, u64>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     spans: BTreeMap<String, SpanStat>,
@@ -133,11 +157,39 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Drop all recorded events, counters, gauges, spans, and lanes.
+/// Drop all recorded events, counters, gauges, spans, and lanes, and
+/// restore the default trace-ring capacity and span sampling rate.
 /// Threads re-acquire lanes lazily on their next recording.
 pub fn reset() {
     GENERATION.fetch_add(1, Ordering::Relaxed);
+    TRACE_CAP.store(MAX_EVENTS, Ordering::Relaxed);
+    SPAN_SAMPLE.store(1, Ordering::Relaxed);
     with_state(|s| *s = State::default());
+}
+
+/// Bound the in-memory trace ring to `cap` events. When full, the
+/// *oldest* event is evicted and the `obs.trace.dropped` counter bumps
+/// — long runs keep their most recent window instead of growing
+/// without bound. Statistics, counters, gauges, and histograms are
+/// unaffected. `0` is clamped to `1`. [`reset`] restores the default.
+pub fn set_trace_cap(cap: usize) {
+    TRACE_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Keep only 1-in-`n` trace events for hot span classes (`sat.dip`,
+/// cache traffic, optimizer passes). Phase spans (`phase.*`) and cell
+/// spans always keep their events, and aggregate span statistics and
+/// histograms stay exact regardless of sampling — only the per-event
+/// trace stream thins. `0` and `1` both mean "keep everything".
+/// [`reset`] restores the default.
+pub fn set_span_sample(n: u64) {
+    SPAN_SAMPLE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Span classes whose trace events are never sampled away: campaign
+/// phases and per-cell spans, the backbone of the merged timeline.
+fn always_traced(stat: &str) -> bool {
+    stat.starts_with("phase.") || stat == "cell"
 }
 
 fn lane_in(s: &mut State, label: &str) -> u64 {
@@ -182,11 +234,15 @@ pub fn set_thread_lane(label: &str) {
 }
 
 fn push_event(s: &mut State, ev: TraceEvent) {
-    if s.events.len() >= MAX_EVENTS {
+    let cap = TRACE_CAP.load(Ordering::Relaxed).max(1);
+    while s.events.len() >= cap {
+        s.events.pop_front();
         s.dropped += 1;
-    } else {
-        s.events.push(ev);
+        *s.counters
+            .entry("obs.trace.dropped".to_owned())
+            .or_insert(0) += 1;
     }
+    s.events.push_back(ev);
 }
 
 /// RAII span timer: created by [`span`] / [`span_with`], records a
@@ -209,18 +265,28 @@ impl Drop for SpanGuard {
         }
         let dur_us = inner.start.elapsed().as_micros() as u64;
         let ts_us = micros_since_epoch(inner.start);
+        let sample = SPAN_SAMPLE.load(Ordering::Relaxed);
         with_state(|s| {
-            let tid = current_lane(s);
-            push_event(
-                s,
-                TraceEvent {
-                    name: inner.label,
-                    ph: 'X',
-                    ts_us,
-                    dur_us,
-                    tid,
-                },
-            );
+            let keep_event = if sample <= 1 || always_traced(inner.stat) {
+                true
+            } else {
+                let seq = s.sample_seq.entry(inner.stat.to_owned()).or_insert(0);
+                *seq += 1;
+                (*seq - 1) % sample == 0
+            };
+            if keep_event {
+                let tid = current_lane(s);
+                push_event(
+                    s,
+                    TraceEvent {
+                        name: inner.label,
+                        ph: 'X',
+                        ts_us,
+                        dur_us,
+                        tid,
+                    },
+                );
+            }
             let st = s.spans.entry(inner.stat.to_owned()).or_default();
             st.count += 1;
             st.total_us += dur_us;
@@ -282,14 +348,165 @@ pub fn instant(name: impl Into<String>, lane: u64) {
     if !enabled() {
         return;
     }
+    instant_at(name, lane, micros_since_epoch(Instant::now()));
+}
+
+/// Record a span with explicit trace-clock timestamps — used by the
+/// supervisor when injecting worker-streamed spans, already shifted
+/// onto its own timeline, into the merged trace.
+pub fn record_span_at(name: impl Into<String>, lane: u64, ts_us: u64, dur_us: u64) {
+    if !enabled() {
+        return;
+    }
+    let ev = TraceEvent {
+        name: name.into(),
+        ph: 'X',
+        ts_us,
+        dur_us,
+        tid: lane,
+    };
+    with_state(|s| push_event(s, ev));
+}
+
+/// Record an instant event with an explicit trace-clock timestamp.
+pub fn instant_at(name: impl Into<String>, lane: u64, ts_us: u64) {
+    if !enabled() {
+        return;
+    }
     let ev = TraceEvent {
         name: name.into(),
         ph: 'i',
-        ts_us: micros_since_epoch(Instant::now()),
+        ts_us,
         dur_us: 0,
         tid: lane,
     };
     with_state(|s| push_event(s, ev));
+}
+
+/// Drain the buffered trace events into a compact self-contained JSON
+/// chunk: `{"lanes":[..],"events":[[name,ph,ts_us,dur_us,tid],..]}`.
+/// The full lane table rides along (lanes only grow, and `tid` indexes
+/// it), so every chunk decodes without its predecessors. Returns
+/// `None` when nothing is buffered. Workers call this after each cell
+/// to stream their trace to the supervisor over the line protocol —
+/// which also keeps worker-side trace memory flat.
+pub fn drain_trace_chunk() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    with_state(|s| {
+        if s.events.is_empty() {
+            return None;
+        }
+        let mut out = String::from("{\"lanes\":[");
+        for (i, label) in s.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(label));
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in s.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "[{},\"{}\",{},{},{}]",
+                json_string(&ev.name),
+                ev.ph,
+                ev.ts_us,
+                ev.dur_us,
+                ev.tid
+            ));
+        }
+        out.push_str("]}");
+        s.events.clear();
+        Some(out)
+    })
+}
+
+/// Merge a worker-streamed [`drain_trace_chunk`] payload into this
+/// process's sink: every lane label gains `lane_prefix`, every
+/// timestamp shifts by `offset_us` (the worker's epoch offset on the
+/// receiving timeline; shifted timestamps clamp at zero). Returns
+/// `false` on a malformed chunk, leaving the sink untouched — a
+/// garbled or truncated flush from a dying worker must never corrupt
+/// the merged trace.
+pub fn merge_trace_chunk(chunk: &str, lane_prefix: &str, offset_us: i64) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let Some(doc) = json::parse(chunk) else {
+        return false;
+    };
+    let Some(obj) = doc.as_object() else {
+        return false;
+    };
+    let (Some(lanes), Some(events)) = (
+        obj.get("lanes").and_then(json::Value::as_array),
+        obj.get("events").and_then(json::Value::as_array),
+    ) else {
+        return false;
+    };
+    let mut labels = Vec::with_capacity(lanes.len());
+    for l in lanes {
+        let Some(label) = l.as_str() else {
+            return false;
+        };
+        labels.push(format!("{lane_prefix}{label}"));
+    }
+    // Decode fully before touching the sink so a bad trailing record
+    // cannot leave a half-merged chunk behind.
+    let mut decoded = Vec::with_capacity(events.len());
+    for ev in events {
+        let Some(fields) = ev.as_array() else {
+            return false;
+        };
+        if fields.len() != 5 {
+            return false;
+        }
+        let (Some(name), Some(ph), Some(ts), Some(dur), Some(tid)) = (
+            fields[0].as_str(),
+            fields[1].as_str(),
+            fields[2].as_f64(),
+            fields[3].as_f64(),
+            fields[4].as_f64(),
+        ) else {
+            return false;
+        };
+        let ph = match ph {
+            "X" => 'X',
+            "i" => 'i',
+            _ => return false,
+        };
+        let tid = tid as usize;
+        if tid >= labels.len() {
+            return false;
+        }
+        decoded.push((
+            name.to_owned(),
+            ph,
+            (ts as i64 + offset_us).max(0) as u64,
+            dur as u64,
+            tid,
+        ));
+    }
+    with_state(|s| {
+        let lane_ids: Vec<u64> = labels.iter().map(|l| lane_in(s, l)).collect();
+        for (name, ph, ts_us, dur_us, tid) in decoded {
+            push_event(
+                s,
+                TraceEvent {
+                    name,
+                    ph,
+                    ts_us,
+                    dur_us,
+                    tid: lane_ids[tid],
+                },
+            );
+        }
+    });
+    true
 }
 
 /// Add `n` to the monotonic counter `name`.
@@ -313,6 +530,20 @@ pub fn gauge_set(name: &str, value: f64) {
     }
     with_state(|s| {
         s.gauges.insert(name.to_owned(), value);
+    });
+}
+
+/// Raise the gauge `name` to `value` if `value` is larger (a no-op
+/// otherwise) — peak-tracking writes like `proc.rss_bytes.peak`.
+pub fn gauge_max(name: &str, value: f64) {
+    if !enabled() || !value.is_finite() {
+        return;
+    }
+    with_state(|s| {
+        let slot = s.gauges.entry(name.to_owned()).or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
     });
 }
 
@@ -1051,6 +1282,138 @@ mod tests {
         assert_eq!(parsed.counters["count \"q\"\\k"], 2);
         assert_eq!(parsed.spans["stat \"with\\quotes\""].count, 1);
         assert_eq!(parsed.hists["hist \"q\"\\k"].sum(), 7);
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest_and_counts_drops() {
+        let _g = lock();
+        reset();
+        enable();
+        set_trace_cap(3);
+        let l = lane("ring");
+        for i in 0..5 {
+            instant(format!("ev{i}"), l);
+        }
+        let text = trace_json();
+        let snap = snapshot();
+        set_trace_cap(MAX_EVENTS);
+        disable();
+
+        // Newest three survive; the two oldest were evicted.
+        assert!(!text.contains("\"ev0\"") && !text.contains("\"ev1\""));
+        for kept in ["\"ev2\"", "\"ev3\"", "\"ev4\""] {
+            assert!(text.contains(kept), "missing {kept} in {text}");
+        }
+        assert_eq!(snap.counters["obs.trace.dropped"], 2);
+    }
+
+    #[test]
+    fn sampling_thins_hot_spans_but_keeps_phases_and_exact_stats() {
+        let _g = lock();
+        reset();
+        enable();
+        set_span_sample(4);
+        for _ in 0..8 {
+            drop(span("sat.dip"));
+        }
+        drop(span("phase.attack"));
+        drop(span_with("cell", || "cell 0".to_owned()));
+        let text = trace_json();
+        let snap = snapshot();
+        set_span_sample(1);
+        disable();
+
+        // 1-in-4 of the hot spans kept; phases and cells always kept;
+        // the aggregate stats stay exact either way.
+        assert_eq!(text.matches("\"sat.dip\"").count(), 2, "{text}");
+        assert!(text.contains("\"phase.attack\""));
+        assert!(text.contains("\"cell 0\""));
+        assert_eq!(snap.spans["sat.dip"].count, 8);
+        assert_eq!(snap.hists["sat.dip"].count(), 8);
+    }
+
+    #[test]
+    fn drained_chunks_merge_back_with_prefix_and_offset() {
+        let _g = lock();
+        reset();
+        enable();
+        set_thread_lane("main");
+        drop(span("phase.lock"));
+        instant("marker", lane("aux"));
+        let chunk = drain_trace_chunk().expect("chunk with events");
+        // The drain emptied the ring …
+        assert!(drain_trace_chunk().is_none());
+
+        // … and the chunk re-injects under a slot prefix with a shift.
+        assert!(merge_trace_chunk(&chunk, "w3/", 1_000_000));
+        let text = trace_json();
+        let snap = snapshot();
+        disable();
+
+        assert!(text.contains("\"w3/main\""), "{text}");
+        assert!(text.contains("\"w3/aux\""), "{text}");
+        assert!(text.contains("\"phase.lock\""));
+        assert!(text.contains("\"marker\""));
+        let doc = json::parse(&text).expect("merged trace parses");
+        let min_ts = doc
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(json::Value::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|e| {
+                let o = e.as_object()?;
+                if o.get("ph")?.as_str()? == "M" {
+                    return None;
+                }
+                o.get("ts")?.as_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(min_ts >= 1_000_000.0, "offset applied: {min_ts}");
+        // Span stats were recorded at drain time and survive the merge.
+        assert_eq!(snap.spans["phase.lock"].count, 1);
+    }
+
+    #[test]
+    fn malformed_chunks_are_rejected_without_corrupting_the_sink() {
+        let _g = lock();
+        reset();
+        enable();
+        let before = trace_json();
+        for bad in [
+            "",
+            "not json",
+            "{\"lanes\":[\"a\"]}",
+            "{\"lanes\":[\"a\"],\"events\":[[\"x\",\"X\",0,0]]}",
+            "{\"lanes\":[\"a\"],\"events\":[[\"x\",\"X\",0,0,9]]}",
+            "{\"lanes\":[\"a\"],\"events\":[[\"x\",\"Q\",0,0,0]]}",
+            "{\"lanes\":[\"a\"],\"events\":[[\"x\",\"X\",0,0,0]",
+        ] {
+            assert!(!merge_trace_chunk(bad, "w0/", 0), "accepted: {bad}");
+        }
+        assert_eq!(trace_json(), before, "sink untouched by bad chunks");
+        disable();
+    }
+
+    #[test]
+    fn epoch_unix_micros_is_fixed_and_plausible() {
+        // 2020-01-01 in UNIX micros — any sane clock is past this.
+        let us = epoch_unix_micros();
+        assert!(us > 1_577_836_800_000_000, "epoch wall clock: {us}");
+        assert_eq!(us, epoch_unix_micros(), "stable across calls");
+    }
+
+    #[test]
+    fn gauge_max_only_raises() {
+        let _g = lock();
+        reset();
+        enable();
+        gauge_max("peak", 10.0);
+        gauge_max("peak", 4.0);
+        gauge_max("peak", 12.0);
+        let snap = snapshot();
+        disable();
+        assert!((snap.gauges["peak"] - 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //! - [`supervise`] — the supervisor: spawns `--workers N` processes
 //!   pointed at one shared content-addressed cache dir, restarts a
 //!   crashed or wedged worker with its remaining cells, journals every
-//!   completion, and on success merges the canonical unsharded byte
-//!   stream in-process.
+//!   completion, merges each worker's streamed trace chunks onto one
+//!   skew-corrected timeline, and on success merges the canonical
+//!   unsharded byte stream in-process,
+//! - [`top`] — the live fleet console behind `mlrl top`: tails the run
+//!   directory's journal, `fleet.json`, and `metrics.json` to render
+//!   per-worker state, latency percentiles, and memory while (or
+//!   after) the run executes.
 //!
 //! The determinism contract is inherited from the engine: every cell
 //! record is a pure function of the spec, so the orchestrated output is
@@ -40,9 +45,11 @@ pub mod progress;
 pub mod protocol;
 pub mod report;
 pub mod supervise;
+pub mod top;
 
 pub use journal::Journal;
 pub use plan::{plan_assignments, spec_digest};
 pub use protocol::WorkerEvent;
 pub use report::{render_report, ReportOptions};
 pub use supervise::{orchestrate, OrchestrationOutcome, OrchestratorConfig};
+pub use top::{render_top, run_top, TopOptions};

@@ -159,7 +159,7 @@ impl Progress {
     /// (divided across active workers) is blended in with weight
     /// `m / (m + k)`, so the estimate converges on real throughput as
     /// `m` grows. `None` until either signal exists.
-    fn eta(&self) -> Option<Duration> {
+    pub fn eta(&self) -> Option<Duration> {
         let remaining = self.total_cost.saturating_sub(self.done_cost);
         let live_cost = self.done_cost.saturating_sub(self.resumed_cost);
         let model =

@@ -31,6 +31,11 @@ pub enum WorkerEvent {
         version: u32,
         /// Number of cells it was assigned.
         cells: usize,
+        /// Wall-clock UNIX micros at which the worker fixed its
+        /// telemetry epoch (present under `--telemetry`). The
+        /// supervisor uses it to shift the worker's streamed trace
+        /// timestamps onto its own timeline.
+        epoch_us: Option<u64>,
     },
     /// A cell is about to execute.
     Started {
@@ -53,6 +58,16 @@ pub enum WorkerEvent {
         /// The worker's metrics snapshot as one-line JSON.
         payload: String,
     },
+    /// An incremental trace-event chunk (emitted after each `done` plus
+    /// a final flush before `bye` when the worker runs with
+    /// `--telemetry`). The payload is an
+    /// [`mlrl_obs::drain_trace_chunk`] JSON document; the supervisor
+    /// merges it onto its own timeline. Supervisors predating this verb
+    /// ignore the line.
+    Trace {
+        /// The drained trace chunk as one-line JSON.
+        payload: String,
+    },
     /// The worker finished its whole assignment.
     Bye {
         /// Cells it completed this run.
@@ -65,6 +80,14 @@ pub enum WorkerEvent {
 /// Formats the `hello` line.
 pub fn hello_line(cells: usize) -> String {
     format!("mlrl-worker v{PROTOCOL_VERSION} cells={cells}")
+}
+
+/// Formats a `hello` line carrying the worker's telemetry-epoch wall
+/// clock. Readers predating the field drop the whole hello — which is
+/// harmless (hello is a liveness nicety, not load-bearing) — so
+/// workers only emit this form under `--telemetry`.
+pub fn hello_line_with_epoch(cells: usize, epoch_us: u64) -> String {
+    format!("mlrl-worker v{PROTOCOL_VERSION} cells={cells} epoch_us={epoch_us}")
 }
 
 /// Formats a `start` line.
@@ -87,6 +110,11 @@ pub fn metrics_line(payload: &str) -> String {
     format!("metrics {payload}")
 }
 
+/// Formats a `trace` line around a one-line drained trace chunk.
+pub fn trace_line(payload: &str) -> String {
+    format!("trace {payload}")
+}
+
 /// Formats the `bye` line.
 pub fn bye_line(completed: usize) -> String {
     format!("bye {completed}")
@@ -107,10 +135,19 @@ pub fn parse_line(line: &str) -> Option<WorkerEvent> {
         return Some(WorkerEvent::Heartbeat);
     }
     if let Some(rest) = line.strip_prefix("mlrl-worker v") {
-        let (version, cells) = rest.split_once(" cells=")?;
+        let (version, rest) = rest.split_once(" cells=")?;
+        let (cells, epoch_us) = match rest.split_once(' ') {
+            Some((cells, tail)) => {
+                // The only extension field so far; other tails would be
+                // from a newer worker and drop the hello (harmless).
+                (cells, Some(tail.strip_prefix("epoch_us=")?.parse().ok()?))
+            }
+            None => (rest, None),
+        };
         return Some(WorkerEvent::Hello {
             version: version.parse().ok()?,
             cells: cells.parse().ok()?,
+            epoch_us,
         });
     }
     if let Some(rest) = line.strip_prefix("start ") {
@@ -127,6 +164,11 @@ pub fn parse_line(line: &str) -> Option<WorkerEvent> {
     }
     if let Some(rest) = line.strip_prefix("metrics ") {
         return Some(WorkerEvent::Metrics {
+            payload: rest.to_owned(),
+        });
+    }
+    if let Some(rest) = line.strip_prefix("trace ") {
+        return Some(WorkerEvent::Trace {
             payload: rest.to_owned(),
         });
     }
@@ -153,7 +195,16 @@ mod tests {
             parse_line(&hello_line(12)),
             Some(WorkerEvent::Hello {
                 version: PROTOCOL_VERSION,
-                cells: 12
+                cells: 12,
+                epoch_us: None
+            })
+        );
+        assert_eq!(
+            parse_line(&hello_line_with_epoch(12, 1_700_000_000_000_000)),
+            Some(WorkerEvent::Hello {
+                version: PROTOCOL_VERSION,
+                cells: 12,
+                epoch_us: Some(1_700_000_000_000_000)
             })
         );
         assert_eq!(
@@ -202,6 +253,21 @@ mod tests {
                 metrics: None
             })
         );
+    }
+
+    #[test]
+    fn trace_lines_round_trip_and_unknown_hello_tails_degrade() {
+        let chunk = r#"{"lanes":["main"],"events":[["phase.lock","X",5,9,0]]}"#;
+        assert_eq!(
+            parse_line(&trace_line(chunk)),
+            Some(WorkerEvent::Trace {
+                payload: chunk.to_owned()
+            })
+        );
+        // A hello tail from a yet-newer worker drops the hello rather
+        // than erroring — hello is liveness, not load-bearing.
+        assert_eq!(parse_line("mlrl-worker v1 cells=3 shiny=yes"), None);
+        assert_eq!(parse_line("mlrl-worker v1 cells=3 epoch_us=oops"), None);
     }
 
     #[test]

@@ -217,6 +217,7 @@ pub fn render_report(run_dir: &Path, opts: &ReportOptions) -> Result<String, Str
         )),
         Some(t) => {
             render_workers(&mut out, t);
+            render_worker_phases(&mut out, t, metrics.as_ref());
             render_slowest_cells(&mut out, t, &journal, opts.top);
         }
     }
@@ -404,6 +405,77 @@ fn render_workers(out: &mut String, trace: &Trace) {
             trace.lane_label(tid),
             fmt_us(busy_us),
             pct(busy_us, wall)
+        ));
+    }
+}
+
+/// Worker slot of a merged-trace lane label (`w<slot>/...`), if any.
+fn slot_of_lane(label: &str) -> Option<u64> {
+    let rest = label.strip_prefix('w')?;
+    let (digits, _) = rest.split_once('/')?;
+    digits.parse().ok()
+}
+
+/// Per-worker phase breakdown from the merged trace's `w<slot>/` lanes
+/// — the distributed-tracing view: real worker-side `phase.*` spans on
+/// each slot's namespaced lanes, not supervisor-synthesized timing.
+/// Traces without such lanes (single-process runs, or orchestrations
+/// predating worker trace streaming) get a note instead of an error.
+/// The supervisor's `orch.clock_skew_us` gauge, when present, records
+/// how far worker epoch claims had to be corrected against its own
+/// receive timestamps — worth a line, since it bounds the alignment
+/// error of every cross-worker comparison above.
+fn render_worker_phases(out: &mut String, trace: &Trace, metrics: Option<&Metrics>) {
+    let mut slots: BTreeMap<u64, BTreeMap<&str, u64>> = BTreeMap::new();
+    for s in &trace.spans {
+        if !s.name.starts_with("phase.") {
+            continue;
+        }
+        let Some(label) = trace.lanes.get(&s.tid) else {
+            continue;
+        };
+        let Some(slot) = slot_of_lane(label) else {
+            continue;
+        };
+        *slots
+            .entry(slot)
+            .or_default()
+            .entry(s.name.as_str())
+            .or_insert(0) += s.dur_us;
+    }
+    if slots.is_empty() {
+        out.push_str(
+            "\nper-worker phases: none (trace has no w<slot>/ worker lanes — \
+             single-process run or pre-streaming orchestration)\n",
+        );
+        return;
+    }
+    out.push_str("\nper-worker phases (worker-side spans from the merged trace)\n");
+    for (slot, phases) in slots {
+        let total: u64 = phases.values().sum();
+        let mut ranked: Vec<(&str, u64)> = phases.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let detail: Vec<String> = ranked
+            .iter()
+            .map(|(name, us)| {
+                format!(
+                    "{} {}",
+                    name.strip_prefix("phase.").unwrap_or(name),
+                    fmt_us(*us)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  w{slot:<3} {:>10} in phases  ({})\n",
+            fmt_us(total),
+            detail.join(", ")
+        ));
+    }
+    if let Some(skew) = metrics.and_then(|m| m.gauges.get("orch.clock_skew_us")) {
+        out.push_str(&format!(
+            "  clock skew: worker epochs corrected by up to {} against \
+             supervisor receive timestamps\n",
+            fmt_us(*skew as u64)
         ));
     }
 }
@@ -632,6 +704,40 @@ mod tests {
         let mut out = String::new();
         render_phases(&mut out, &bare);
         assert!(!out.contains("optimizer:"), "{out}");
+    }
+
+    #[test]
+    fn per_worker_phases_group_merged_trace_lanes_and_note_skew() {
+        let mut trace = Trace::default();
+        trace.lanes.insert(0, "w0/main".to_owned());
+        trace.lanes.insert(1, "w1/pool-worker-0".to_owned());
+        trace.lanes.insert(2, "orch/worker-0".to_owned());
+        trace.spans = vec![
+            span("phase.lock", 0, 100, 0),
+            span("phase.attack", 100, 300, 0),
+            span("phase.attack", 0, 250, 1),
+            span("cell 0", 0, 400, 2),
+        ];
+        let mut m = Metrics::default();
+        m.gauges.insert("orch.clock_skew_us".into(), 1500.0);
+        let mut out = String::new();
+        render_worker_phases(&mut out, &trace, Some(&m));
+        assert!(out.contains("per-worker phases"), "{out}");
+        assert!(out.contains("w0"), "{out}");
+        assert!(out.contains("w1"), "{out}");
+        assert!(out.contains("attack 300us"), "{out}");
+        assert!(out.contains("clock skew"), "{out}");
+        assert!(out.contains("1.50ms"), "{out}");
+
+        // A trace without `w<slot>/` lanes (pre-streaming run) gets the
+        // note, not an error — and no skew line without the gauge.
+        let mut old = Trace::default();
+        old.lanes.insert(0, "worker-0".to_owned());
+        old.spans = vec![span("cell 1", 0, 10, 0)];
+        let mut out = String::new();
+        render_worker_phases(&mut out, &old, None);
+        assert!(out.contains("no w<slot>/ worker lanes"), "{out}");
+        assert!(!out.contains("clock skew"), "{out}");
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct OrchestratorConfig {
     /// metrics payloads into `<run_dir>/metrics.json`. Requires the
     /// supervisor's own `mlrl_obs` sink to be enabled for trace lanes.
     pub telemetry: bool,
+    /// Keep 1-in-N hot-class trace events in every worker
+    /// (`--trace-sample`, forwarded verbatim); `None` keeps everything.
+    pub trace_sample: Option<u64>,
     /// Optimizer-level token (`"o2"`) forwarded to every worker as
     /// `--opt-level`, overriding the spec file's `opt_level` exactly as
     /// the same flag does on `mlrl campaign` — so a sharded run stays
@@ -106,6 +109,7 @@ impl OrchestratorConfig {
             max_restarts: 3,
             progress: true,
             telemetry: false,
+            trace_sample: None,
             opt_level: None,
         }
     }
@@ -156,6 +160,10 @@ struct Slot {
     running: Option<(usize, Instant)>,
     /// Latest cumulative metrics payload streamed by this process.
     metrics: Option<mlrl_obs::Metrics>,
+    /// Shift (supervisor trace micros) applied to this worker's
+    /// streamed trace timestamps, derived from the `hello` epoch
+    /// handshake; `None` until (unless) a telemetry hello arrives.
+    epoch_offset_us: Option<i64>,
 }
 
 enum Msg {
@@ -239,6 +247,7 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                 }
             });
         }
+        let mut last_live_write = Instant::now();
 
         while journal.len() < jobs.len() {
             let msg = rx
@@ -251,7 +260,11 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                     let gap = slots[id].last_seen.elapsed();
                     slots[id].last_seen = Instant::now();
                     match event {
-                        WorkerEvent::Hello { .. } => {}
+                        WorkerEvent::Hello { epoch_us, .. } => {
+                            if let Some(worker_wall) = epoch_us {
+                                note_epoch_offset(&mut slots[id], worker_wall);
+                            }
+                        }
                         WorkerEvent::Started { index } => {
                             slots[id].running = Some((index, Instant::now()));
                             progress.set_state(id, WorkerState::Running(index));
@@ -293,6 +306,9 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                             if let Some(m) = mlrl_obs::Metrics::parse(&payload) {
                                 slots[id].metrics = Some(m);
                             }
+                        }
+                        WorkerEvent::Trace { payload } => {
+                            merge_worker_trace(&slots[id], id, &payload);
                         }
                         WorkerEvent::Bye { metrics, .. } => {
                             if let Some(m) = metrics.as_deref().and_then(mlrl_obs::Metrics::parse) {
@@ -373,6 +389,19 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                         ));
                     }
                     progress.emit(false);
+                    // Live observability files for `mlrl top`: refreshed
+                    // about once a second, written tmp+rename so a tailing
+                    // reader never sees a torn file. Best-effort — a full
+                    // disk must not kill the campaign.
+                    if last_live_write.elapsed() >= Duration::from_millis(900) {
+                        last_live_write = Instant::now();
+                        write_fleet_json(cfg, &slots, jobs.len(), journal.len(), progress.eta());
+                        if cfg.telemetry {
+                            let mut live = fold_fleet_slots(&slots);
+                            live.merge(&mlrl_obs::snapshot());
+                            write_atomic(&cfg.run_dir.join("metrics.json"), &live.to_json());
+                        }
+                    }
                 }
             }
         }
@@ -387,6 +416,11 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                     if let Some(m) = mlrl_obs::Metrics::parse(&payload) {
                         slots[id].metrics = Some(m);
                     }
+                }
+                // The final trace flush precedes `bye` — an explicit arm
+                // here, or the catch-all below would silently drop it.
+                Ok(Msg::Event(id, WorkerEvent::Trace { payload })) => {
+                    merge_worker_trace(&slots[id], id, &payload);
                 }
                 Ok(Msg::Event(id, WorkerEvent::Bye { metrics, .. })) => {
                     if let Some(m) = metrics.as_deref().and_then(mlrl_obs::Metrics::parse) {
@@ -418,22 +452,10 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
                 progress.passthrough(&line);
             }
         }
-        // Gauges are max-merged, so same-named per-worker gauges (every
-        // worker process reports `pool.worker0.utilization`) would
-        // collapse to a single fleet-wide value. Namespace each slot's
-        // gauges by worker id before folding; counters, span stats, and
-        // histograms merge additively and need no prefix.
-        for (id, slot) in slots.iter().enumerate() {
-            if let Some(m) = &slot.metrics {
-                let mut namespaced = m.clone();
-                namespaced.gauges = m
-                    .gauges
-                    .iter()
-                    .map(|(k, v)| (format!("w{id}.{k}"), *v))
-                    .collect();
-                fleet_metrics.merge(&namespaced);
-            }
-        }
+        fleet_metrics = fold_fleet_slots(&slots);
+        // Final fleet snapshot so `mlrl top` on a finished run dir shows
+        // settled per-worker states instead of the last live tick.
+        write_fleet_json(cfg, &slots, jobs.len(), journal.len(), progress.eta());
         progress.emit(true);
         progress.finish();
     }
@@ -448,6 +470,11 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
         let path = cfg.run_dir.join("metrics.json");
         std::fs::write(&path, format!("{json}\n"))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        // The merged timeline: workers' streamed spans on `w<slot>/`
+        // lanes interleaved with the supervisor's own `orch/` events.
+        let trace_path = cfg.run_dir.join("trace.json");
+        mlrl_obs::write_trace_json(&trace_path)
+            .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
         Some(json)
     } else {
         None
@@ -486,6 +513,131 @@ pub fn orchestrate(cfg: &OrchestratorConfig) -> Result<OrchestrationOutcome, Str
     })
 }
 
+/// Fix the slot's trace-timestamp shift from its telemetry hello: the
+/// worker reports the wall clock at which it fixed its trace epoch, and
+/// the difference from the supervisor's own epoch wall clock is the
+/// shift between the two trace clocks. The shift is clamped to
+/// `[0, hello receipt]` — a worker's epoch cannot predate the
+/// supervisor's nor postdate its hello's arrival, so anything outside
+/// that window is clock skew, surfaced as the `orch.clock_skew_us`
+/// gauge (max across the fleet).
+fn note_epoch_offset(slot: &mut Slot, worker_wall_us: u64) {
+    let recv_us = mlrl_obs::micros_since_epoch(Instant::now()) as i64;
+    let raw = worker_wall_us as i64 - mlrl_obs::epoch_unix_micros() as i64;
+    let clamped = raw.clamp(0, recv_us);
+    slot.epoch_offset_us = Some(clamped);
+    mlrl_obs::gauge_max("orch.clock_skew_us", (raw - clamped).abs() as f64);
+}
+
+/// Merge one streamed trace chunk into the supervisor's sink under the
+/// slot's `w<id>/` lane namespace, shifted onto the supervisor's
+/// timeline by the slot's epoch offset. Malformed chunks — e.g. the
+/// truncated final flush of a killed worker — are counted and dropped;
+/// they must never corrupt the merged trace.
+fn merge_worker_trace(slot: &Slot, id: usize, payload: &str) {
+    if !mlrl_obs::enabled() {
+        return;
+    }
+    let offset = slot.epoch_offset_us.unwrap_or(0);
+    if !mlrl_obs::merge_trace_chunk(payload, &format!("w{id}/"), offset) {
+        mlrl_obs::counter_add("orch.trace.rejected", 1);
+    }
+}
+
+/// Fold every slot's latest streamed rollup into one fleet rollup.
+/// Gauges are max-merged, so same-named per-worker gauges (every worker
+/// process reports `pool.worker0.utilization`) would collapse to a
+/// single fleet-wide value — namespace each slot's gauges by worker id
+/// before folding; counters, span stats, and histograms merge
+/// additively and need no prefix.
+fn fold_fleet_slots(slots: &[Slot]) -> mlrl_obs::Metrics {
+    let mut fleet = mlrl_obs::Metrics::default();
+    for (id, slot) in slots.iter().enumerate() {
+        if let Some(m) = &slot.metrics {
+            let mut namespaced = m.clone();
+            namespaced.gauges = m
+                .gauges
+                .iter()
+                .map(|(k, v)| (format!("w{id}.{k}"), *v))
+                .collect();
+            fleet.merge(&namespaced);
+        }
+    }
+    fleet
+}
+
+/// Write `content` (newline-terminated) to `path` via a sibling temp
+/// file and rename, so a concurrent reader (`mlrl top`) never observes
+/// a torn write. Best-effort: errors are swallowed — live observability
+/// must never kill the campaign.
+fn write_atomic(path: &std::path::Path, content: &str) {
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, format!("{content}\n")).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// The live fleet snapshot `mlrl top` tails: campaign progress, blended
+/// ETA, and per-slot state/heartbeat-age/in-flight cell, as one line of
+/// JSON in `<run_dir>/fleet.json`. Written on a ~1s throttle during the
+/// run and once more at the end (telemetry on or off — it derives from
+/// protocol traffic, not from worker metrics).
+fn write_fleet_json(
+    cfg: &OrchestratorConfig,
+    slots: &[Slot],
+    cells_total: usize,
+    cells_done: usize,
+    eta: Option<Duration>,
+) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64;
+    let mut out = format!(
+        "{{\"updated_unix_ms\":{unix_ms},\"cells_total\":{cells_total},\
+         \"cells_done\":{cells_done},\"eta_s\":"
+    );
+    match eta {
+        Some(d) => out.push_str(&d.as_secs().to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"workers\":[");
+    for (id, slot) in slots.iter().enumerate() {
+        if id > 0 {
+            out.push(',');
+        }
+        let state = if !slot.alive {
+            if slot.pending.is_empty() {
+                "done"
+            } else {
+                "crashed"
+            }
+        } else if slot.killing {
+            "wedged"
+        } else if slot.running.is_some() {
+            "running"
+        } else if slot.pending.is_empty() {
+            "draining"
+        } else {
+            "idle"
+        };
+        out.push_str(&format!(
+            "{{\"id\":{id},\"state\":\"{state}\",\"pending\":{},\"hb_ms\":{}",
+            slot.pending.len(),
+            slot.last_seen.elapsed().as_millis()
+        ));
+        if let Some((cell, since)) = slot.running {
+            out.push_str(&format!(
+                ",\"cell\":{cell},\"cell_ms\":{}",
+                since.elapsed().as_millis()
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    write_atomic(&cfg.run_dir.join("fleet.json"), &out);
+}
+
 /// Spawns one worker process over `cells` and its stdout reader thread.
 fn spawn_worker(
     cfg: &OrchestratorConfig,
@@ -522,6 +674,9 @@ fn spawn_worker(
     }
     if cfg.telemetry {
         command.arg("--telemetry");
+    }
+    if let Some(n) = cfg.trace_sample {
+        command.arg("--trace-sample").arg(n.to_string());
     }
     if let Some(level) = &cfg.opt_level {
         command.arg("--opt-level").arg(level);
@@ -568,8 +723,12 @@ fn spawn_worker(
         }
         let _ = tx.send(Msg::Eof(id));
     });
+    // Supervisor-synthesized spans live under the `orch/` lane prefix;
+    // real worker spans stream in under `w<slot>/`. The disjoint
+    // prefixes are the guard against lane-label collisions in the
+    // merged timeline.
     let lane = if mlrl_obs::enabled() {
-        mlrl_obs::lane(&format!("worker-{id}"))
+        mlrl_obs::lane(&format!("orch/worker-{id}"))
     } else {
         0
     };
@@ -583,6 +742,7 @@ fn spawn_worker(
         spawned: Instant::now(),
         running: None,
         metrics: None,
+        epoch_offset_us: None,
     })
 }
 

@@ -16,16 +16,19 @@
 //!             [--jsonl out.jsonl]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--canonical]
 //!             [--shard I/N] [--trace-out FILE] [--metrics-out FILE]
+//!             [--trace-sample N]
 //! mlrl merge  <shard.jsonl>... [-o merged.jsonl]
 //! mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR]
 //!             [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N]
 //!             [--opt-level o0|o1|o2] [--wedge-timeout SECS]
 //!             [--max-restarts N] [--canonical]
 //!             [--jsonl out.jsonl] [--quick]
-//!             [--trace-out FILE] [--metrics-out FILE]
+//!             [--trace-out FILE] [--metrics-out FILE] [--trace-sample N]
 //! mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--opt-level o0|o1|o2]
 //!             [--cache-dir DIR]
 //!             [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]
+//!             [--trace-sample N]
+//! mlrl top    <run-dir> [--once] [--refresh-ms MS] [--stale-ms MS] [--top N]
 //! mlrl report <run-dir> [--trace FILE] [--top N] [--folded-out FILE]
 //! mlrl bench-diff <old.json> <new.json> [--threshold PCT]
 //! ```
@@ -51,8 +54,20 @@
 //! metrics rollup after the run. Telemetry is a pure side channel:
 //! canonical output bytes are identical with it on or off. Under
 //! `orchestrate`, workers run with `--telemetry` and stream cumulative
-//! rollups over the line protocol; the supervisor aggregates the fleet
-//! into `<run-dir>/metrics.json` (and `--metrics-out`, if given).
+//! rollups *and incremental trace chunks* over the line protocol; the
+//! supervisor aggregates the fleet into `<run-dir>/metrics.json` and
+//! merges every worker's spans onto one skew-corrected timeline in
+//! `<run-dir>/trace.json` (worker lanes namespaced `w<slot>/`,
+//! supervisor-synthesized lanes `orch/`). `--trace-sample N` keeps
+//! 1-in-N hot-class spans (phase and cell spans always kept; aggregate
+//! stats stay exact) to bound trace volume on long runs.
+//!
+//! `top` is the live fleet console: it tails a run directory's
+//! `journal.jsonl` / `fleet.json` / `metrics.json` and renders
+//! campaign progress with ETA, per-worker state, heartbeat age and
+//! utilization (stale workers flagged), p50/p90/p99 cell latency,
+//! cache hit rates, and process memory. `--once` prints a single
+//! plain snapshot for scripts and CI.
 //!
 //! `report` analyzes those artifacts offline: phase-time breakdown,
 //! latency percentiles from the histogram rollup, cache hit rates,
@@ -99,7 +114,7 @@ use mlrl::sat::attack::{sat_attack_with_sim_oracle, SatAttackConfig};
 
 /// Flags that take no value; the parser must not consume the next token
 /// as their argument (`mlrl campaign --canonical spec.txt`).
-const BOOLEAN_FLAGS: &[&str] = &["canonical", "quick", "telemetry"];
+const BOOLEAN_FLAGS: &[&str] = &["canonical", "quick", "telemetry", "once"];
 
 struct Args {
     positional: Vec<String>,
@@ -489,6 +504,19 @@ fn arm_telemetry(args: &Args) -> bool {
     wanted
 }
 
+/// Applies the trace-overhead controls once the sink is armed:
+/// `--trace-sample N` keeps 1-in-N hot-class spans (phase and cell
+/// spans always kept; aggregate stats stay exact), and a background
+/// `/proc/self` sampler exports `proc.rss_bytes` / `proc.cpu_ms`
+/// gauges so process memory shows up in metrics, baselines, and
+/// `mlrl top`.
+fn arm_trace_overhead_controls(args: &Args) {
+    if let Some(n) = args.flag("trace-sample").and_then(|v| v.parse().ok()) {
+        mlrl::obs::set_span_sample(n);
+    }
+    mlrl::obs::proc::start_sampler(Duration::from_millis(200));
+}
+
 /// Writes the telemetry artifacts the run asked for: a Chrome
 /// trace-event JSON (`--trace-out`, Perfetto-loadable) and a metrics
 /// rollup (`--metrics-out`). `metrics_json` overrides the local sink's
@@ -514,7 +542,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
         "usage: mlrl campaign <spec.txt> [--threads N] [--opt-level o0|o1|o2] [--jsonl out.jsonl] [--cache-dir DIR] [--cache-cap BYTES] [--canonical] [--shard I/N] [--trace-out FILE] [--metrics-out FILE]",
     )?;
-    arm_telemetry(args);
+    if arm_telemetry(args) {
+        arm_trace_overhead_controls(args);
+    }
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     if let Some(threads) = args.flag("threads") {
@@ -597,14 +627,19 @@ fn emit_protocol_line(line: &str) {
 /// `i`. When `MLRL_FAULT_FLAG=<path>` is also set, the abort is
 /// one-shot — the flag file is created first, and a worker that finds
 /// it existing runs normally (so the restarted/resumed worker gets
-/// through).
+/// through). `MLRL_FAULT_TRACE=1` turns a telemetry worker hostile for
+/// protocol-compat tests: after every completion it interleaves an
+/// unknown verb, a truncated trace chunk, and a non-JSON trace payload
+/// with the real stream — none of which may corrupt canonical output
+/// or the supervisor's merged trace.
 fn cmd_worker(args: &Args) -> Result<(), String> {
     let path = args.positional.get(1).ok_or(
-        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--opt-level o0|o1|o2] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry]",
+        "usage: mlrl worker <spec.txt> --cells 0,2,5 [--threads N] [--opt-level o0|o1|o2] [--cache-dir DIR] [--cache-cap BYTES] [--heartbeat-ms MS] [--telemetry] [--trace-sample N]",
     )?;
     let telemetry = args.has("telemetry");
     if telemetry {
         mlrl::obs::enable();
+        arm_trace_overhead_controls(args);
     }
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut spec = CampaignSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -627,7 +662,18 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
         return Err(format!("cell index {bad} out of range ({total} cells)"));
     }
 
-    emit_protocol_line(&protocol::hello_line(cells.len()));
+    // The epoch-bearing hello only flows under --telemetry: it hands
+    // the supervisor this worker's wall clock at trace-epoch time so
+    // streamed spans can be skew-corrected onto one fleet timeline.
+    // Readers predating the field drop the whole hello otherwise.
+    if telemetry {
+        emit_protocol_line(&protocol::hello_line_with_epoch(
+            cells.len(),
+            mlrl::obs::epoch_unix_micros(),
+        ));
+    } else {
+        emit_protocol_line(&protocol::hello_line(cells.len()));
+    }
 
     // Heartbeats flow between cell events so the supervisor can tell a
     // wedged worker from one grinding through an expensive cell.
@@ -648,6 +694,7 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
         .ok()
         .and_then(|v| v.parse().ok());
     let fault_flag: Option<PathBuf> = std::env::var("MLRL_FAULT_FLAG").ok().map(PathBuf::from);
+    let fault_trace = telemetry && std::env::var("MLRL_FAULT_TRACE").is_ok();
 
     let emitted = Arc::new(Mutex::new(std::collections::HashSet::new()));
     let emitted_by_observer = Arc::clone(&emitted);
@@ -672,10 +719,22 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
             }
             JobEvent::Finished { record } => {
                 emit_protocol_line(&protocol::done_line(record.index, &record.canonical_line()));
-                // Stream the cumulative rollup after every completion so
-                // a crash loses at most the in-flight cell's telemetry.
+                // Stream the cumulative rollup and the buffered trace
+                // events after every completion so a crash loses at
+                // most the in-flight cell's telemetry.
                 if telemetry {
                     emit_protocol_line(&protocol::metrics_line(&mlrl::obs::snapshot().to_json()));
+                    if fault_trace {
+                        // Hostile-stream injection: an unknown verb, a
+                        // truncated chunk, and a non-JSON payload, all
+                        // interleaved with the real traffic.
+                        emit_protocol_line("zorp 42");
+                        emit_protocol_line("trace {\"lanes\":[\"main\"");
+                        emit_protocol_line(&protocol::trace_line("not json at all"));
+                    }
+                    if let Some(chunk) = mlrl::obs::drain_trace_chunk() {
+                        emit_protocol_line(&protocol::trace_line(&chunk));
+                    }
                 }
                 emitted_by_observer
                     .lock()
@@ -696,8 +755,16 @@ fn cmd_worker(args: &Args) -> Result<(), String> {
         }
     }
     // The payload-carrying bye only flows under --telemetry: readers
-    // predating the payload would drop the whole line otherwise.
+    // predating the payload would drop the whole line otherwise. The
+    // final trace flush goes first so spans recorded after the last
+    // cell (teardown, stragglers) still reach the merged timeline.
     if telemetry {
+        if fault_trace {
+            emit_protocol_line("trace {\"lanes\":[\"main\"],\"ev");
+        }
+        if let Some(chunk) = mlrl::obs::drain_trace_chunk() {
+            emit_protocol_line(&protocol::trace_line(&chunk));
+        }
         emit_protocol_line(&protocol::bye_line_with_metrics(
             report.records.len(),
             &mlrl::obs::snapshot().to_json(),
@@ -713,9 +780,14 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
         "usage: mlrl orchestrate <spec.txt> [--workers N] [--run-dir DIR | --resume DIR] \
          [--cache-dir DIR] [--cache-cap BYTES] [--worker-threads N] [--opt-level o0|o1|o2] \
          [--wedge-timeout SECS] [--max-restarts N] [--canonical] [--jsonl out.jsonl] [--quick] \
-         [--trace-out FILE] [--metrics-out FILE]",
+         [--trace-out FILE] [--metrics-out FILE] [--trace-sample N]",
     )?;
     let telemetry = arm_telemetry(args);
+    if telemetry {
+        // The supervisor samples its own /proc too, so the fleet
+        // metrics include the orchestrator's footprint.
+        arm_trace_overhead_controls(args);
+    }
     let (run_dir, resume) = match args.flag("resume") {
         Some(dir) => (PathBuf::from(dir), true),
         None => (
@@ -744,6 +816,7 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
     cfg.wedge_timeout = Duration::from_secs(args.num("wedge-timeout", 30u64).max(1));
     cfg.max_restarts = args.num("max-restarts", 3usize);
     cfg.telemetry = telemetry;
+    cfg.trace_sample = args.flag("trace-sample").and_then(|v| v.parse().ok());
     if args.has("quick") {
         // Smoke-test timing: tight heartbeats and wedge detection so a
         // small campaign's supervision overhead stays negligible. Never
@@ -783,6 +856,19 @@ fn cmd_orchestrate(args: &Args) -> Result<(), String> {
         return Err(format!("{} cell(s) failed", outcome.failed_cells));
     }
     Ok(())
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let run_dir = args
+        .positional
+        .get(1)
+        .ok_or("usage: mlrl top <run-dir> [--once] [--refresh-ms MS] [--stale-ms MS] [--top N]")?;
+    let opts = mlrl::orchestrate::TopOptions {
+        refresh_ms: args.num("refresh-ms", 1000u64),
+        stale_ms: args.num("stale-ms", 5000u64),
+        top_k: args.num("top", 3usize),
+    };
+    mlrl::orchestrate::run_top(std::path::Path::new(run_dir), &opts, args.has("once"))
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
@@ -839,10 +925,11 @@ fn run() -> Result<(), String> {
         Some("merge") => cmd_merge(&args),
         Some("orchestrate") => cmd_orchestrate(&args),
         Some("worker") => cmd_worker(&args),
+        Some("top") => cmd_top(&args),
         Some("report") => cmd_report(&args),
         Some("bench-diff") => cmd_bench_diff(&args),
         _ => Err(
-            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge|orchestrate|worker|report|bench-diff> ...\nsee `src/bin/mlrl.rs` docs"
+            "usage: mlrl <gen|flatten|stats|lock|verify|attack|synth|gatelock|sat-attack|campaign|merge|orchestrate|worker|top|report|bench-diff> ...\nsee `src/bin/mlrl.rs` docs"
                 .to_owned(),
         ),
     }

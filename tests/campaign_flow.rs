@@ -517,6 +517,58 @@ fn telemetry_is_a_pure_side_channel_with_wellformed_artifacts() {
             .any(|e| name_of(e).is_some_and(|n| n == "thread_name")),
         "trace must label its lanes"
     );
+
+    // The overhead controls thin only the trace stream: with 1-in-8
+    // span sampling and a 64-event ring, the canonical bytes and the
+    // aggregate stats stay exact — only trace events get dropped.
+    mlrl::obs::reset();
+    mlrl::obs::enable();
+    mlrl::obs::set_span_sample(8);
+    mlrl::obs::set_trace_cap(64);
+    let sampled = Engine::new().run(&spec).canonical_jsonl();
+    let sampled_metrics = mlrl::obs::snapshot();
+    let sampled_trace = mlrl::obs::trace_json();
+    mlrl::obs::reset();
+    mlrl::obs::disable();
+    assert_eq!(
+        sampled, baseline,
+        "sampling and ring capping must never perturb the canonical bytes"
+    );
+    assert!(
+        sampled_metrics
+            .counters
+            .get("cells.completed")
+            .is_some_and(|&n| n >= 12),
+        "stats stay exact under sampling (counters: {:?})",
+        sampled_metrics.counters
+    );
+    let doc = mlrl::obs::json::parse(&sampled_trace).expect("sampled trace is valid JSON");
+    let kept: Vec<String> = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("sampled traceEvents array")
+        .iter()
+        .filter_map(|e| {
+            let o = e.as_object()?;
+            if o.get("ph")?.as_str()? == "M" {
+                return None;
+            }
+            o.get("name")?.as_str().map(str::to_owned)
+        })
+        .collect();
+    let retained = kept
+        .iter()
+        .filter(|n| !n.starts_with("obs.events.dropped"))
+        .count();
+    assert!(
+        retained <= 64,
+        "the trace ring must stay bounded ({retained} events kept)"
+    );
+    assert!(
+        kept.iter().any(|n| n.starts_with("obs.events.dropped")),
+        "a 12-cell run overflows a 64-event ring, which must be marked: {kept:?}"
+    );
 }
 
 #[test]

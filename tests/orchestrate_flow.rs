@@ -396,6 +396,180 @@ fn traced_orchestrations_aggregate_worker_metrics_without_perturbing_bytes() {
         names.iter().any(|n| n.starts_with("worker ")),
         "trace must span worker lifecycles: {names:?}"
     );
+
+    // The run dir's merged fleet trace interleaves real worker-side
+    // spans (lanes namespaced `w<slot>/`, streamed over the protocol
+    // and skew-corrected) with supervisor-synthesized `orch/` lanes.
+    let merged =
+        std::fs::read_to_string(run_dir.join("trace.json")).expect("merged fleet trace written");
+    let doc = mlrl::obs::json::parse(&merged).expect("merged trace is valid JSON");
+    let events = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("merged traceEvents array");
+    let lanes: Vec<String> = events
+        .iter()
+        .filter_map(|e| {
+            let o = e.as_object()?;
+            if o.get("name")?.as_str()? != "thread_name" {
+                return None;
+            }
+            o.get("args")?
+                .as_object()?
+                .get("name")?
+                .as_str()
+                .map(str::to_owned)
+        })
+        .collect();
+    let worker_slots: std::collections::HashSet<&str> = lanes
+        .iter()
+        .filter_map(|l| l.strip_prefix('w')?.split_once('/').map(|(slot, _)| slot))
+        .filter(|slot| slot.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    assert!(
+        worker_slots.len() >= 2,
+        "streamed lanes from both worker slots must appear: {lanes:?}"
+    );
+    assert!(
+        lanes.iter().any(|l| l.starts_with("orch/")),
+        "supervisor-synthesized lanes must live under orch/: {lanes:?}"
+    );
+    // Collision guard: the namespaces keep every lane label unique.
+    let mut deduped = lanes.clone();
+    deduped.sort();
+    deduped.dedup();
+    assert_eq!(deduped.len(), lanes.len(), "lane labels collide: {lanes:?}");
+    let merged_names: Vec<String> = events
+        .iter()
+        .filter_map(|e| {
+            e.as_object()
+                .and_then(|o| o.get("name"))
+                .and_then(|n| n.as_str())
+                .map(str::to_owned)
+        })
+        .collect();
+    assert!(
+        merged_names.iter().any(|n| n.starts_with("phase.")),
+        "worker-side phase spans must reach the merged trace: {merged_names:?}"
+    );
+
+    // The live console reads the same run dir after the fact.
+    let out = mlrl()
+        .args(["top", run_dir.to_str().unwrap(), "--once"])
+        .output()
+        .expect("run top");
+    let console = stdout_of(&out, "top --once");
+    assert!(console.contains("4/4 cells"), "{console}");
+    assert!(console.contains("w0"), "{console}");
+    assert!(console.contains("p99"), "{console}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Protocol compatibility under a hostile trace stream: with
+/// `MLRL_FAULT_TRACE=1` every worker interleaves unknown verbs,
+/// truncated trace chunks, and non-JSON trace payloads with its real
+/// traffic — and the orchestration must still emit the exact bytes and
+/// a well-formed merged trace.
+#[test]
+fn hostile_trace_streams_never_corrupt_bytes_or_the_merged_trace() {
+    let dir = tmpdir("fault-trace");
+    let spec = write_spec(&dir);
+    let full = unsharded_reference(&spec);
+
+    let run_dir = dir.join("run");
+    let metrics_out = dir.join("metrics.json");
+    let out = mlrl()
+        .args([
+            "orchestrate",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--quick",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--canonical",
+            "--metrics-out",
+            metrics_out.to_str().unwrap(),
+        ])
+        .env("MLRL_FAULT_TRACE", "1")
+        .output()
+        .expect("run orchestrate under trace faults");
+    let orchestrated = stdout_of(&out, "orchestrate under trace faults");
+    assert_eq!(
+        orchestrated, full,
+        "garbled trace traffic must never perturb canonical bytes"
+    );
+
+    // The merged trace still parses; the malformed chunks were rejected
+    // whole (counted, not half-merged).
+    let merged = std::fs::read_to_string(run_dir.join("trace.json")).expect("merged trace written");
+    mlrl::obs::json::parse(&merged).expect("merged trace is valid JSON despite garbled chunks");
+    let rollup = std::fs::read_to_string(&metrics_out).expect("metrics rollup written");
+    let metrics = mlrl::obs::Metrics::parse(&rollup).expect("metrics rollup parses");
+    assert_eq!(metrics.counters.get("cells.completed"), Some(&4));
+    assert!(
+        metrics
+            .counters
+            .get("orch.trace.rejected")
+            .is_some_and(|&n| n >= 1),
+        "rejected chunks must be counted (counters: {:?})",
+        metrics.counters
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `--telemetry` worker upgrades the protocol in place: an
+/// epoch-bearing hello, incremental `trace` chunks after completions,
+/// and a final flush before the payload-carrying bye. A reader
+/// predating those lines sees only additions it already skips.
+#[test]
+fn telemetry_workers_stream_epoch_hellos_and_trace_chunks() {
+    let dir = tmpdir("worker-telemetry");
+    let spec = write_spec(&dir);
+    let out = mlrl()
+        .args([
+            "worker",
+            spec.to_str().unwrap(),
+            "--cells",
+            "0,3",
+            "--threads",
+            "1",
+            "--telemetry",
+        ])
+        .output()
+        .expect("run telemetry worker");
+    let stdout = stdout_of(&out, "telemetry worker");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines
+            .first()
+            .is_some_and(|l| l.starts_with("mlrl-worker v1 cells=2 epoch_us=")),
+        "telemetry hello must carry the worker's trace epoch: {stdout}"
+    );
+    assert!(
+        lines.last().is_some_and(|l| l.starts_with("bye 2 {")),
+        "telemetry bye must carry the metrics payload: {stdout}"
+    );
+    let trace_lines: Vec<&&str> = lines.iter().filter(|l| l.starts_with("trace ")).collect();
+    assert!(
+        !trace_lines.is_empty(),
+        "completions must stream trace chunks: {stdout}"
+    );
+    for line in &trace_lines {
+        let payload = line.strip_prefix("trace ").unwrap();
+        let chunk = mlrl::obs::json::parse(payload).expect("trace chunk is valid JSON");
+        let obj = chunk.as_object().expect("chunk object");
+        assert!(
+            obj.contains_key("lanes") && obj.contains_key("events"),
+            "{line}"
+        );
+    }
+    // Chunks flow strictly after the done they describe, and the last
+    // one after the final done (the pre-bye flush).
+    let first_done = lines.iter().position(|l| l.starts_with("done ")).unwrap();
+    let first_trace = lines.iter().position(|l| l.starts_with("trace ")).unwrap();
+    assert!(first_trace > first_done, "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
